@@ -1,0 +1,147 @@
+//! The random benchmark of Figures 2 and 3 (Section VII-B of the paper).
+//!
+//! > "1) When comparing energy consumption and completion time at different maximum
+//! > transmission power limits, for the n-th device, randomly select the CPU frequency `f_n`
+//! > from 0.1 to 2 GHz and set `p_n = p_max`, `B_n = B/N`. 2) When comparing at different
+//! > maximum CPU frequencies, randomly select the transmission power `p_n` between 0 and
+//! > 12 dBm and set `f_n = f_max`, `B_n = B/N`."
+
+use crate::result::BaselineResult;
+use flsys::{Allocation, FlError, Scenario};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The random benchmark allocator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BenchmarkAllocator;
+
+impl BenchmarkAllocator {
+    /// Creates a benchmark allocator.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Variant used when sweeping the maximum transmit power (Fig. 2): random frequency in
+    /// `[0.1 GHz, f_max]` (never above the device's cap), `p = p_max`, equal bandwidth split.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FlError`] from the cost evaluation (cannot occur for scenarios built by
+    /// `flsys`).
+    pub fn random_frequency(&self, scenario: &Scenario, seed: u64) -> Result<BaselineResult, FlError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = scenario.devices.len();
+        let share = scenario.params.total_bandwidth.value() / n as f64;
+        let allocation = Allocation::new(
+            scenario.devices.iter().map(|d| d.p_max.value()).collect(),
+            scenario
+                .devices
+                .iter()
+                .map(|d| {
+                    let lo = 0.1e9_f64.min(d.f_max.value()).max(d.f_min.value());
+                    let hi = d.f_max.value();
+                    if hi > lo {
+                        rng.gen_range(lo..=hi)
+                    } else {
+                        hi
+                    }
+                })
+                .collect(),
+            vec![share; n],
+        );
+        BaselineResult::evaluate(scenario, allocation)
+    }
+
+    /// Variant used when sweeping the maximum CPU frequency (Fig. 3): random power in
+    /// `[p_min, p_max]`, `f = f_max`, equal bandwidth split.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FlError`] from the cost evaluation.
+    pub fn random_power(&self, scenario: &Scenario, seed: u64) -> Result<BaselineResult, FlError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = scenario.devices.len();
+        let share = scenario.params.total_bandwidth.value() / n as f64;
+        let allocation = Allocation::new(
+            scenario
+                .devices
+                .iter()
+                .map(|d| {
+                    let lo = d.p_min.value();
+                    let hi = d.p_max.value();
+                    if hi > lo {
+                        rng.gen_range(lo..=hi)
+                    } else {
+                        hi
+                    }
+                })
+                .collect(),
+            scenario.devices.iter().map(|d| d.f_max.value()).collect(),
+            vec![share; n],
+        );
+        BaselineResult::evaluate(scenario, allocation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flsys::ScenarioBuilder;
+
+    fn scenario() -> Scenario {
+        ScenarioBuilder::paper_default().with_devices(10).build(5).unwrap()
+    }
+
+    #[test]
+    fn random_frequency_is_feasible_and_reproducible() {
+        let s = scenario();
+        let b = BenchmarkAllocator::new();
+        let r1 = b.random_frequency(&s, 7).unwrap();
+        let r2 = b.random_frequency(&s, 7).unwrap();
+        assert_eq!(r1.allocation, r2.allocation);
+        assert!(r1.allocation.is_feasible(&s, 1e-9));
+        for (dev, &p) in s.devices.iter().zip(&r1.allocation.powers_w) {
+            assert_eq!(p, dev.p_max.value());
+        }
+        for &f in &r1.allocation.frequencies_hz {
+            assert!((0.1e9..=2.0e9).contains(&f));
+        }
+    }
+
+    #[test]
+    fn random_power_is_feasible_and_uses_fmax() {
+        let s = scenario();
+        let b = BenchmarkAllocator::new();
+        let r = b.random_power(&s, 9).unwrap();
+        assert!(r.allocation.is_feasible(&s, 1e-9));
+        for (dev, &f) in s.devices.iter().zip(&r.allocation.frequencies_hz) {
+            assert_eq!(f, dev.f_max.value());
+        }
+        for (dev, &p) in s.devices.iter().zip(&r.allocation.powers_w) {
+            assert!(p >= dev.p_min.value() && p <= dev.p_max.value());
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_draws() {
+        let s = scenario();
+        let b = BenchmarkAllocator::new();
+        let r1 = b.random_frequency(&s, 1).unwrap();
+        let r2 = b.random_frequency(&s, 2).unwrap();
+        assert_ne!(r1.allocation.frequencies_hz, r2.allocation.frequencies_hz);
+    }
+
+    #[test]
+    fn degenerate_boxes_fall_back_to_the_cap() {
+        // A scenario whose f_max is below 0.1 GHz exercises the lo >= hi branch.
+        let s = ScenarioBuilder::paper_default()
+            .with_devices(3)
+            .with_frequency_range(wireless::units::Hertz::new(5.0e7), wireless::units::Hertz::new(5.0e7))
+            .build(0)
+            .unwrap();
+        let r = BenchmarkAllocator::new().random_frequency(&s, 3).unwrap();
+        for &f in &r.allocation.frequencies_hz {
+            assert_eq!(f, 5.0e7);
+        }
+    }
+}

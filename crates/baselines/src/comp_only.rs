@@ -1,0 +1,92 @@
+//! Computation-only optimization (Figure 7 of the paper).
+//!
+//! > "Each device's transmission power and bandwidth are fixed and we optimize only the CPU
+//! > frequency. The transmission power and bandwidth of device n are set as `p_n = p_max` and
+//! > `B_n = B/(2N)`."
+
+use crate::result::BaselineResult;
+use fedopt_core::{sp1, CoreError, SolverConfig};
+use flsys::{Allocation, Scenario};
+
+/// Deadline-constrained energy minimization that only touches the CPU frequencies.
+#[derive(Debug, Clone, Default)]
+pub struct CompOnlyAllocator {
+    config: SolverConfig,
+}
+
+impl CompOnlyAllocator {
+    /// Creates the allocator with the given solver configuration.
+    pub fn new(config: SolverConfig) -> Self {
+        Self { config }
+    }
+
+    /// Minimizes computation energy under the total completion-time deadline
+    /// `total_deadline_s`, with `(p, B)` pinned to the paper's fixed values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if the scenario rejects the allocation shape.
+    pub fn allocate(&self, scenario: &Scenario, total_deadline_s: f64) -> Result<BaselineResult, CoreError> {
+        let round_deadline = total_deadline_s / scenario.params.rg();
+
+        let fixed = Allocation::half_split_max(scenario);
+        let rates = fixed.rates_bps(scenario);
+        let uploads: Vec<f64> = scenario
+            .devices
+            .iter()
+            .zip(&rates)
+            .map(|(d, &r)| if r > 0.0 { d.upload_bits / r } else { f64::INFINITY })
+            .collect();
+
+        // The cheapest frequencies that still meet the deadline given the fixed uplink times.
+        let frequencies = sp1::frequencies_for_deadline(scenario, round_deadline, &uploads);
+        let _ = &self.config;
+
+        let mut allocation = Allocation::new(fixed.powers_w, frequencies, fixed.bandwidths_hz);
+        allocation.project_feasible(scenario);
+        BaselineResult::evaluate(scenario, allocation).map_err(CoreError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flsys::ScenarioBuilder;
+
+    #[test]
+    fn allocation_is_feasible_and_uses_fixed_p_and_b() {
+        let s = ScenarioBuilder::paper_default().with_devices(8).build(51).unwrap();
+        let alloc = CompOnlyAllocator::new(SolverConfig::fast());
+        let r = alloc.allocate(&s, 120.0).unwrap();
+        assert!(r.allocation.is_feasible(&s, 1e-6));
+        let half_share = s.params.total_bandwidth.value() / (2.0 * 8.0);
+        for (dev, (&p, &b)) in s
+            .devices
+            .iter()
+            .zip(r.allocation.powers_w.iter().zip(&r.allocation.bandwidths_hz))
+        {
+            assert_eq!(p, dev.p_max.value());
+            assert!((b - half_share).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn roughly_meets_deadline_when_feasible() {
+        let s = ScenarioBuilder::paper_default().with_devices(8).build(52).unwrap();
+        let alloc = CompOnlyAllocator::new(SolverConfig::fast());
+        let deadline = 130.0;
+        let r = alloc.allocate(&s, deadline).unwrap();
+        assert!(r.total_time_s() <= deadline * 1.1);
+    }
+
+    #[test]
+    fn looser_deadline_reduces_computation_energy() {
+        let s = ScenarioBuilder::paper_default().with_devices(8).build(53).unwrap();
+        let alloc = CompOnlyAllocator::new(SolverConfig::fast());
+        let tight = alloc.allocate(&s, 100.0).unwrap();
+        let loose = alloc.allocate(&s, 150.0).unwrap();
+        assert!(loose.cost.computation_energy_j <= tight.cost.computation_energy_j * (1.0 + 1e-9));
+        // Transmission energy is identical because (p, B) are pinned.
+        assert!((loose.cost.transmission_energy_j - tight.cost.transmission_energy_j).abs() < 1e-9);
+    }
+}

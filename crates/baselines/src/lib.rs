@@ -1,0 +1,35 @@
+//! # baselines
+//!
+//! Every comparison scheme used in the evaluation section (Section VII) of the ICDCS 2022
+//! paper, scored through exactly the same `flsys` cost formulas as the proposed algorithm:
+//!
+//! * [`benchmark`] — the random **benchmark** of Figures 2 and 3: equal bandwidth split,
+//!   maximum power with a random CPU frequency (power sweep) or maximum frequency with a
+//!   random transmit power (frequency sweep).
+//! * [`comm_only`] — **communication-only** optimization (Figure 7): frequencies pinned to
+//!   the value that just meets the deadline under the initial uplink times, powers and
+//!   bandwidths optimized.
+//! * [`comp_only`] — **computation-only** optimization (Figure 7): powers and bandwidths
+//!   pinned to `p_max` and `B/(2N)`, frequencies optimized.
+//! * [`scheme1`] — **Scheme 1** (Figure 8): a reimplementation of the structure of Yang et
+//!   al., *"Energy efficient federated learning over wireless communication networks"*
+//!   (IEEE TWC 2021) — energy minimization under a hard deadline with a per-device time split
+//!   fixed up front instead of re-optimized jointly with the bandwidth allocation.
+//!
+//! All baselines return a [`BaselineResult`] so the experiment harness can treat every scheme
+//! uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmark;
+pub mod comm_only;
+pub mod comp_only;
+pub mod result;
+pub mod scheme1;
+
+pub use benchmark::BenchmarkAllocator;
+pub use comm_only::CommOnlyAllocator;
+pub use comp_only::CompOnlyAllocator;
+pub use result::BaselineResult;
+pub use scheme1::Scheme1Allocator;

@@ -1,0 +1,57 @@
+//! Common result type for every baseline.
+
+use flsys::{Allocation, CostBreakdown, FlError, Scenario};
+
+/// An allocation produced by a baseline scheme together with its evaluated cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineResult {
+    /// The allocation the baseline chose.
+    pub allocation: Allocation,
+    /// Its cost under the shared `flsys` formulas.
+    pub cost: CostBreakdown,
+}
+
+impl BaselineResult {
+    /// Evaluates an allocation against a scenario and wraps both.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`FlError`] if the allocation does not match the scenario.
+    pub fn evaluate(scenario: &Scenario, allocation: Allocation) -> Result<Self, FlError> {
+        let cost = scenario.cost(&allocation)?;
+        Ok(Self { allocation, cost })
+    }
+
+    /// Total energy in joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.cost.total_energy_j
+    }
+
+    /// Total completion time in seconds.
+    pub fn total_time_s(&self) -> f64 {
+        self.cost.total_time_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flsys::ScenarioBuilder;
+
+    #[test]
+    fn evaluate_wraps_cost() {
+        let s = ScenarioBuilder::paper_default().with_devices(4).build(0).unwrap();
+        let a = Allocation::equal_split_max(&s);
+        let r = BaselineResult::evaluate(&s, a.clone()).unwrap();
+        assert_eq!(r.allocation, a);
+        assert!(r.total_energy_j() > 0.0);
+        assert!(r.total_time_s() > 0.0);
+    }
+
+    #[test]
+    fn mismatched_allocation_is_error() {
+        let s = ScenarioBuilder::paper_default().with_devices(4).build(0).unwrap();
+        let bad = Allocation::new(vec![0.01], vec![1e9], vec![1e6]);
+        assert!(BaselineResult::evaluate(&s, bad).is_err());
+    }
+}

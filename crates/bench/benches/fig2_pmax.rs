@@ -1,0 +1,28 @@
+//! Regenerates a reduced-resolution version of the paper's Figure 2 (energy/delay vs maximum transmit power) as a benchmark, so
+//! `cargo bench` exercises the same code path the experiment harness uses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_pmax");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(8));
+    group.bench_function("reduced_sweep", |b| {
+        b.iter(|| {
+            
+            let cfg = experiments::fig2::Fig2Config {
+                devices: 8,
+                seeds: vec![1],
+                p_max_dbm: vec![6.0, 12.0],
+                weights: vec![flsys::Weights::new(0.5, 0.5).unwrap()],
+                solver: fedopt_core::SolverConfig::fast(),
+            };
+            let (energy, _) = experiments::fig2::run(&cfg).unwrap();
+            energy.rows.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Regenerates a reduced-resolution version of the paper's Figure 5 (energy/delay vs cell radius) as a benchmark, so
+//! `cargo bench` exercises the same code path the experiment harness uses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_radius");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(8));
+    group.bench_function("reduced_sweep", |b| {
+        b.iter(|| {
+            
+            let cfg = experiments::fig5::Fig5Config {
+                radii_km: vec![0.25, 1.0],
+                device_counts: vec![8],
+                samples_per_device: 500,
+                seeds: vec![4],
+                solver: fedopt_core::SolverConfig::fast(),
+            };
+            let (energy, _) = experiments::fig5::run(&cfg).unwrap();
+            energy.rows.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

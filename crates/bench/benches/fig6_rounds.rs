@@ -1,0 +1,28 @@
+//! Regenerates a reduced-resolution version of the paper's Figure 6 (energy/delay vs computation rounds) as a benchmark, so
+//! `cargo bench` exercises the same code path the experiment harness uses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_rounds");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(8));
+    group.bench_function("reduced_sweep", |b| {
+        b.iter(|| {
+            
+            let cfg = experiments::fig6::Fig6Config {
+                local_iterations: vec![10, 110],
+                global_rounds: vec![50, 400],
+                devices: 8,
+                seeds: vec![5],
+                solver: fedopt_core::SolverConfig::fast(),
+            };
+            let (energy, _) = experiments::fig6::run(&cfg).unwrap();
+            energy.rows.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

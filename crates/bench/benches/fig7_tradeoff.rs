@@ -1,0 +1,28 @@
+//! Regenerates a reduced-resolution version of the paper's Figure 7 (joint vs communication-only vs computation-only) as a benchmark, so
+//! `cargo bench` exercises the same code path the experiment harness uses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_tradeoff");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(8));
+    group.bench_function("reduced_sweep", |b| {
+        b.iter(|| {
+            
+            let cfg = experiments::fig7::Fig7Config {
+                devices: 8,
+                p_max_dbm: 10.0,
+                deadlines_s: vec![110.0, 150.0],
+                seeds: vec![6],
+                solver: fedopt_core::SolverConfig::fast(),
+            };
+            let report = experiments::fig7::run(&cfg).unwrap();
+            report.rows.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

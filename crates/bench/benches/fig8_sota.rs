@@ -1,0 +1,28 @@
+//! Regenerates a reduced-resolution version of the paper's Figure 8 (proposed vs Scheme 1) as a benchmark, so
+//! `cargo bench` exercises the same code path the experiment harness uses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_sota");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(8));
+    group.bench_function("reduced_sweep", |b| {
+        b.iter(|| {
+            
+            let cfg = experiments::fig8::Fig8Config {
+                devices: 8,
+                p_max_dbm: vec![8.0, 12.0],
+                deadlines_s: vec![100.0],
+                seeds: vec![7],
+                solver: fedopt_core::SolverConfig::fast(),
+            };
+            let report = experiments::fig8::run(&cfg).unwrap();
+            report.rows.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

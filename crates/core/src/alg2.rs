@@ -1,0 +1,613 @@
+//! Algorithm 2 — the complete resource-allocation algorithm.
+//!
+//! [`JointOptimizer::solve`] reproduces the paper's Algorithm 2: starting from a feasible
+//! allocation, it alternates
+//!
+//! 1. **Subproblem 1** (frequencies + auxiliary round time `T`) for the current uplink times,
+//! 2. **Subproblem 2** (powers + bandwidths) for the rate floors implied by that `T`,
+//!
+//! until the solution stops changing or the iteration cap `K` is hit. The weighted objective
+//! `w1·E + w2·R_g·T` is evaluated through `flsys` after every outer iteration and the best
+//! iterate is returned, so the reported allocation is never worse than the initial feasible
+//! point.
+//!
+//! [`JointOptimizer::solve_with_deadline`] is the deadline-constrained variant used for the
+//! comparisons of Figures 7 and 8 (`w1 = 1, w2 = 0`, completion time as a hard constraint),
+//! and [`JointOptimizer::minimize_round_time`] is the pure delay-minimization path used when
+//! `w2 = 1`.
+
+use crate::config::SolverConfig;
+use crate::error::CoreError;
+use crate::sp1;
+use crate::sp2::{self, PowerBandwidth};
+use crate::trace::{OuterIteration, Trace};
+use flsys::{Allocation, CostBreakdown, Scenario, Weights};
+use wireless::channel::shannon_rate_raw;
+
+/// Result of a full resource-allocation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// The allocation the optimizer settled on (always feasible).
+    pub allocation: Allocation,
+    /// Cost breakdown of that allocation (energy, latency, per-device detail).
+    pub cost: CostBreakdown,
+    /// The weighted objective `w1·E + w2·R_g·T` of the returned allocation.
+    pub objective: f64,
+    /// Total energy in joules (convenience copy of `cost.total_energy_j`).
+    pub total_energy_j: f64,
+    /// Total completion time in seconds (convenience copy of `cost.total_time_s`).
+    pub total_time_s: f64,
+    /// The weights the run optimized for.
+    pub weights: Weights,
+    /// Convergence trace (one entry per outer iteration).
+    pub trace: Trace,
+    /// Whether the outer loop met its tolerance before the iteration cap.
+    pub converged: bool,
+}
+
+/// The paper's resource-allocation algorithm (Algorithm 2) plus its deadline-constrained and
+/// delay-only variants.
+#[derive(Debug, Clone, Default)]
+pub struct JointOptimizer {
+    config: SolverConfig,
+}
+
+impl JointOptimizer {
+    /// Creates an optimizer with the given configuration.
+    pub fn new(config: SolverConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Solves the weighted joint problem (9) for the given scenario and weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Model`] for invalid inputs or [`CoreError::SolverFailure`] /
+    /// [`CoreError::Numerical`] if both Subproblem-2 solvers fail (which the test-suite never
+    /// observes on paper-like scenarios).
+    pub fn solve(&self, scenario: &Scenario, weights: Weights) -> Result<Outcome, CoreError> {
+        if weights.time() >= 1.0 {
+            // Pure delay minimization: energy plays no role, so Subproblem 2's objective is
+            // degenerate. Solve the min-max completion-time problem directly.
+            let (allocation, _round) = self.minimize_round_time(scenario)?;
+            return self.finish(scenario, weights, allocation, Trace::new(), true);
+        }
+
+        let mut allocation = Allocation::equal_split_max(scenario);
+        let mut trace = Trace::new();
+        let mut best: Option<(f64, Allocation)> = None;
+        let mut converged = false;
+
+        for k in 1..=self.config.outer_max_iter {
+            let previous = allocation.clone();
+
+            // --- Subproblem 1: frequencies and the auxiliary round time T. ---
+            let rates = allocation.rates_bps(scenario);
+            let uploads: Vec<f64> = scenario
+                .devices
+                .iter()
+                .zip(&rates)
+                .map(|(d, &r)| if r > 0.0 { d.upload_bits / r } else { f64::INFINITY })
+                .collect();
+            let sp1_sol = sp1::solve_direct(scenario, weights, &uploads, &self.config)?;
+            allocation.frequencies_hz = sp1_sol.frequencies_hz.clone();
+
+            // --- Subproblem 2: powers and bandwidths under the rate floors implied by T. ---
+            let r_min = rate_floors(scenario, sp1_sol.round_time_s, &sp1_sol.frequencies_hz, weights);
+            let start = PowerBandwidth::new(allocation.powers_w.clone(), allocation.bandwidths_hz.clone());
+            let sp2_sol = sp2::solve(scenario, weights, r_min, start, &self.config)?;
+            allocation.powers_w = sp2_sol.powers_w.clone();
+            allocation.bandwidths_hz = sp2_sol.bandwidths_hz.clone();
+            allocation.project_feasible(scenario);
+
+            // --- Bookkeeping. ---
+            let cost = scenario.cost(&allocation)?;
+            let objective = cost.objective(weights);
+            let change = allocation.normalized_distance(&previous);
+            trace.push(OuterIteration {
+                k,
+                objective,
+                total_energy_j: cost.total_energy_j,
+                total_time_s: cost.total_time_s,
+                solution_change: change,
+                sp2_converged: sp2_sol.converged,
+            });
+            if best.as_ref().map_or(true, |(b, _)| objective < *b) {
+                best = Some((objective, allocation.clone()));
+            }
+            if change <= self.config.outer_tol {
+                converged = true;
+                break;
+            }
+        }
+
+        let (_, best_alloc) = best.ok_or_else(|| CoreError::SolverFailure("no iteration produced a finite objective".into()))?;
+        self.finish(scenario, weights, best_alloc, trace, converged)
+    }
+
+    /// Minimizes total energy subject to a hard completion-time deadline for the whole
+    /// training process (the setting of Figures 7 and 8, `w1 = 1, w2 = 0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InfeasibleDeadline`] when the deadline cannot be met even with
+    /// every resource at its maximum, and the same solver errors as [`JointOptimizer::solve`].
+    pub fn solve_with_deadline(
+        &self,
+        scenario: &Scenario,
+        total_deadline_s: f64,
+    ) -> Result<Outcome, CoreError> {
+        if !(total_deadline_s.is_finite() && total_deadline_s > 0.0) {
+            return Err(CoreError::Model(flsys::FlError::InvalidParameter {
+                name: "total_deadline_s",
+                value: total_deadline_s,
+            }));
+        }
+        let weights = Weights::energy_only();
+        let round_deadline = total_deadline_s / scenario.params.rg();
+
+        let (fastest_alloc, fastest_round) = self.minimize_round_time(scenario)?;
+        if round_deadline < fastest_round * (1.0 - 1e-9) {
+            return Err(CoreError::InfeasibleDeadline {
+                requested_s: total_deadline_s,
+                achievable_s: fastest_round * scenario.params.rg(),
+            });
+        }
+
+        // The alternation below is a local search, and at fixed deadlines its quality depends
+        // on the starting bandwidth split: the equal split is the better seed when the
+        // deadline is loose, the time-optimal split (which hands far devices the bandwidth
+        // they need) is the better seed when the deadline is tight. Run both seeds and keep
+        // the cheaper feasible result.
+        let mut trace = Trace::new();
+        let mut best: Option<(f64, Allocation)> = None;
+        let mut converged = false;
+        for seed_alloc in [Allocation::equal_split_max(scenario), fastest_alloc.clone()] {
+            let (seed_best, seed_converged) =
+                self.deadline_iterations(scenario, round_deadline, seed_alloc, &mut trace)?;
+            converged |= seed_converged;
+            if let Some((energy, alloc)) = seed_best {
+                if best.as_ref().map_or(true, |(b, _)| energy < *b) {
+                    best = Some((energy, alloc));
+                }
+            }
+        }
+
+        let best_alloc = match best {
+            Some((_, alloc)) => alloc,
+            // Every iterate somehow missed the deadline (only possible in pathological corner
+            // cases): fall back to the fastest allocation, which was proven to meet it.
+            None => fastest_alloc,
+        };
+        self.finish(scenario, weights, best_alloc, trace, converged)
+    }
+
+    /// One run of the deadline-constrained alternation from a given starting allocation.
+    /// Returns the best feasible `(energy, allocation)` found (if any) and whether the loop
+    /// converged.
+    #[allow(clippy::type_complexity)]
+    fn deadline_iterations(
+        &self,
+        scenario: &Scenario,
+        round_deadline: f64,
+        mut allocation: Allocation,
+        trace: &mut Trace,
+    ) -> Result<(Option<(f64, Allocation)>, bool), CoreError> {
+        let weights = Weights::energy_only();
+        let mut best: Option<(f64, Allocation)> = None;
+        let mut converged = false;
+        let k_offset = trace.len();
+
+        for k in 1..=self.config.outer_max_iter {
+            let previous = allocation.clone();
+
+            // Split every device's round deadline between computation and upload so that the
+            // *total* per-device energy (computation at the implied frequency plus the
+            // cheapest transmission meeting the implied rate) is minimized, given the current
+            // bandwidth shares. This plays the role Subproblem 1 plays in the weighted
+            // problem: it decides the frequencies and the rate floors handed to Subproblem 2.
+            let (frequencies, r_min) =
+                self.optimal_split_for_deadline(scenario, round_deadline, &allocation.bandwidths_hz);
+            allocation.frequencies_hz = frequencies;
+
+            // Powers/bandwidths: communication-energy minimization under those rate floors.
+            let start = PowerBandwidth::new(allocation.powers_w.clone(), allocation.bandwidths_hz.clone());
+            let sp2_sol = sp2::solve(scenario, weights, r_min, start, &self.config)?;
+            allocation.powers_w = sp2_sol.powers_w.clone();
+            allocation.bandwidths_hz = sp2_sol.bandwidths_hz.clone();
+            allocation.project_feasible(scenario);
+
+            let cost = scenario.cost(&allocation)?;
+            // Track energy among allocations that actually meet the deadline (tiny slack for
+            // the floating-point repairs in the sanitize pass).
+            let meets_deadline = cost.round_time_s <= round_deadline * (1.0 + 1e-3);
+            let objective = cost.total_energy_j;
+            let change = allocation.normalized_distance(&previous);
+            trace.push(OuterIteration {
+                k: k_offset + k,
+                objective,
+                total_energy_j: cost.total_energy_j,
+                total_time_s: cost.total_time_s,
+                solution_change: change,
+                sp2_converged: sp2_sol.converged,
+            });
+            if meets_deadline && best.as_ref().map_or(true, |(b, _)| objective < *b) {
+                best = Some((objective, allocation.clone()));
+            }
+            if change <= self.config.outer_tol {
+                converged = true;
+                break;
+            }
+        }
+        Ok((best, converged))
+    }
+
+    /// For a fixed round deadline and fixed bandwidth shares, chooses each device's
+    /// computation/upload time split to minimize its per-round energy, and returns the
+    /// implied CPU frequencies and rate floors.
+    ///
+    /// For device `n` with bandwidth `B_n`, an upload time `t` implies the frequency
+    /// `f_n = R_l c_n D_n / (deadline − t)` and the cheapest power reaching rate `d_n / t`;
+    /// the per-round energy `κ R_l c_n D_n f_n² + p(t)·t` is minimized over `t` by a scalar
+    /// search (it is unimodal: computation energy falls and transmission energy rises as `t`
+    /// shrinks the compute share).
+    fn optimal_split_for_deadline(
+        &self,
+        scenario: &Scenario,
+        round_deadline: f64,
+        bandwidths_hz: &[f64],
+    ) -> (Vec<f64>, Vec<f64>) {
+        let params = &scenario.params;
+        let rl = params.rl();
+        let n0 = params.noise.watts_per_hz();
+        let n = scenario.devices.len();
+        let mut frequencies = Vec::with_capacity(n);
+        let mut r_min = Vec::with_capacity(n);
+
+        for i in 0..n {
+            let dev = &scenario.devices[i];
+            let cycles = rl * dev.cycles_per_local_iteration();
+            let b = bandwidths_hz[i].max(self.config.bandwidth_floor_hz);
+            let g = dev.gain.value();
+            let t_cmp_min = cycles / dev.f_max.value();
+            let upload_budget_max = round_deadline - t_cmp_min;
+            if upload_budget_max <= 0.0 {
+                // The deadline leaves no room even at f_max: run flat out and hope the upload
+                // squeezes through (the caller's feasibility check prevents this in practice).
+                frequencies.push(dev.f_max.value());
+                r_min.push(dev.upload_bits / 1e-6);
+                continue;
+            }
+            // The shortest upload the device can manage with its current bandwidth is the one
+            // at maximum power; restricting the search to [that, remaining budget] keeps every
+            // candidate split power-feasible, so the objective below is finite and unimodal
+            // (computation energy rises, transmission energy falls, as the upload shrinks the
+            // compute share).
+            let fastest_rate = wireless::channel::shannon_rate_raw(dev.p_max.value(), b, g, n0);
+            let t_up_fastest = if fastest_rate > 0.0 { dev.upload_bits / fastest_rate } else { f64::INFINITY };
+            if t_up_fastest >= upload_budget_max {
+                // Even flat-out transmission cannot fit the deadline with this bandwidth
+                // share: use the whole remaining budget and let the rate floor tell
+                // Subproblem 2 that this device needs more bandwidth.
+                frequencies.push(dev.f_max.value());
+                r_min.push(dev.upload_bits / upload_budget_max);
+                continue;
+            }
+            let energy_of_split = |t_up: f64| -> f64 {
+                let f = dev.clamp_frequency(cycles / (round_deadline - t_up));
+                let comp = params.kappa * rl * dev.cycles_per_local_iteration() * f * f;
+                let rate = dev.upload_bits / t_up;
+                let p_needed = wireless::channel::power_for_rate(rate, b, g, n0);
+                let p = p_needed.clamp(dev.p_min.value(), dev.p_max.value());
+                comp + p * t_up
+            };
+            let best = numopt::scalar::golden_section_min_with_endpoints(
+                energy_of_split,
+                t_up_fastest,
+                upload_budget_max,
+                self.config.scalar_tol * upload_budget_max,
+                300,
+            );
+            let t_up = match best {
+                Ok(m) => m.argmin,
+                Err(_) => t_up_fastest,
+            };
+            frequencies.push(dev.clamp_frequency(cycles / (round_deadline - t_up)));
+            r_min.push(dev.upload_bits / t_up);
+        }
+        (frequencies, r_min)
+    }
+
+    /// Minimizes the per-round completion time (every device at `f_max` / `p_max`, bandwidth
+    /// split to equalize finish times). Returns the allocation and its round time in seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Model`] if the scenario rejects the allocation shape (cannot
+    /// happen for scenarios built by `flsys`).
+    pub fn minimize_round_time(&self, scenario: &Scenario) -> Result<(Allocation, f64), CoreError> {
+        let n = scenario.devices.len();
+        let n0 = scenario.params.noise.watts_per_hz();
+        let b_total = scenario.params.total_bandwidth.value();
+        let floor = self.config.bandwidth_floor_hz;
+        let rl = scenario.params.rl();
+
+        let t_cmp: Vec<f64> = scenario
+            .devices
+            .iter()
+            .map(|d| rl * d.cycles_per_local_iteration() / d.f_max.value())
+            .collect();
+
+        // Bandwidth needed by device i to finish within round time t (at p_max).
+        let bandwidth_needed = |i: usize, t: f64| -> f64 {
+            let dev = &scenario.devices[i];
+            let budget = t - t_cmp[i];
+            if budget <= 0.0 {
+                return f64::INFINITY;
+            }
+            let r_req = dev.upload_bits / budget;
+            min_bandwidth_for_rate(dev.gain.value(), dev.p_max.value(), r_req, n0, b_total, floor)
+        };
+        let feasible = |t: f64| -> bool {
+            let mut sum = 0.0;
+            for i in 0..n {
+                let b = bandwidth_needed(i, t);
+                if !b.is_finite() {
+                    return false;
+                }
+                sum += b;
+                if sum > b_total {
+                    return false;
+                }
+            }
+            true
+        };
+
+        // Bracket the smallest feasible round time and bisect.
+        let t_lo = t_cmp.iter().cloned().fold(0.0, f64::max);
+        let mut hi = t_lo.max(1e-6) * 2.0 + 1e-3;
+        let mut expansions = 0;
+        while !feasible(hi) && expansions < 80 {
+            hi *= 2.0;
+            expansions += 1;
+        }
+        let mut lo = t_lo;
+        for _ in 0..90 {
+            let mid = 0.5 * (lo + hi);
+            if feasible(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        let t_star = hi;
+
+        let mut bandwidths: Vec<f64> = (0..n).map(|i| bandwidth_needed(i, t_star).min(b_total)).collect();
+        // Hand out any slack proportionally — extra bandwidth can only shorten uploads.
+        let used: f64 = bandwidths.iter().sum();
+        if used < b_total && used > 0.0 {
+            let scale = b_total / used;
+            for b in &mut bandwidths {
+                *b *= scale;
+            }
+        }
+        let mut allocation = Allocation::new(
+            scenario.devices.iter().map(|d| d.p_max.value()).collect(),
+            scenario.devices.iter().map(|d| d.f_max.value()).collect(),
+            bandwidths,
+        );
+        allocation.project_feasible(scenario);
+        let cost = scenario.cost(&allocation)?;
+        Ok((allocation, cost.round_time_s))
+    }
+
+    fn finish(
+        &self,
+        scenario: &Scenario,
+        weights: Weights,
+        mut allocation: Allocation,
+        trace: Trace,
+        converged: bool,
+    ) -> Result<Outcome, CoreError> {
+        allocation.project_feasible(scenario);
+        let cost = scenario.cost(&allocation)?;
+        let objective = cost.objective(weights);
+        Ok(Outcome {
+            total_energy_j: cost.total_energy_j,
+            total_time_s: cost.total_time_s,
+            allocation,
+            objective,
+            cost,
+            weights,
+            trace,
+            converged,
+        })
+    }
+}
+
+/// Rate floors `r_n^min = d_n / (T − R_l c_n D_n / f_n)` implied by a round deadline `T`.
+///
+/// With no pressure on time (`w2 = 0` and no explicit deadline handling by the caller) the
+/// floors are zero — the paper's constraint (9a) is slack in that regime.
+fn rate_floors(scenario: &Scenario, round_time_s: f64, frequencies_hz: &[f64], weights: Weights) -> Vec<f64> {
+    let rl = scenario.params.rl();
+    scenario
+        .devices
+        .iter()
+        .enumerate()
+        .map(|(i, dev)| {
+            if weights.time() <= 0.0 && round_time_s.is_infinite() {
+                return 0.0;
+            }
+            let t_cmp = rl * dev.cycles_per_local_iteration() / frequencies_hz[i].max(1e-3);
+            let budget = round_time_s - t_cmp;
+            if budget <= 0.0 {
+                // The deadline leaves no room for the upload: ask for the fastest rate the
+                // device could possibly need; the sanitize pass will do its best.
+                dev.upload_bits / 1e-6
+            } else {
+                dev.upload_bits / budget
+            }
+        })
+        .collect()
+}
+
+/// Smallest bandwidth at which a device with channel gain `gain` can reach `r_min` at power
+/// `p_max` (monotone bisection), capped at `b_total`.
+fn min_bandwidth_for_rate(gain: f64, p_max: f64, r_min: f64, n0: f64, b_total: f64, floor: f64) -> f64 {
+    if r_min <= 0.0 {
+        return floor;
+    }
+    if shannon_rate_raw(p_max, b_total, gain, n0) < r_min {
+        return f64::INFINITY;
+    }
+    let mut lo = floor;
+    let mut hi = b_total;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if shannon_rate_raw(p_max, mid, gain, n0) >= r_min {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if (hi - lo) / hi < 1e-10 {
+            break;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flsys::ScenarioBuilder;
+
+    fn scenario(n: usize, seed: u64) -> Scenario {
+        ScenarioBuilder::paper_default().with_devices(n).build(seed).unwrap()
+    }
+
+    fn optimizer() -> JointOptimizer {
+        JointOptimizer::new(SolverConfig::fast())
+    }
+
+    #[test]
+    fn solve_beats_equal_split_for_all_paper_weights() {
+        let s = scenario(10, 31);
+        let opt = optimizer();
+        let naive = s.cost(&Allocation::equal_split_max(&s)).unwrap();
+        for w in Weights::paper_sweep() {
+            let out = opt.solve(&s, w).unwrap();
+            assert!(out.allocation.is_feasible(&s, 1e-5), "infeasible at {w:?}");
+            assert!(
+                out.objective <= naive.objective(w) * (1.0 + 1e-9),
+                "objective {} worse than naive {} at {w:?}",
+                out.objective,
+                naive.objective(w)
+            );
+        }
+    }
+
+    #[test]
+    fn energy_decreases_as_w1_grows() {
+        let s = scenario(10, 32);
+        let opt = optimizer();
+        let mut energies = Vec::new();
+        let mut times = Vec::new();
+        for w in Weights::paper_sweep() {
+            let out = opt.solve(&s, w).unwrap();
+            energies.push(out.total_energy_j);
+            times.push(out.total_time_s);
+        }
+        // paper_sweep is ordered from w1 = 0.9 down to 0.1: energy should (weakly) increase
+        // along the sweep and completion time should (weakly) decrease.
+        for pair in energies.windows(2) {
+            assert!(pair[1] >= pair[0] * (1.0 - 0.05), "energy not monotone: {energies:?}");
+        }
+        for pair in times.windows(2) {
+            assert!(pair[1] <= pair[0] * (1.0 + 0.05), "time not monotone: {times:?}");
+        }
+    }
+
+    #[test]
+    fn time_only_matches_min_round_time() {
+        let s = scenario(8, 33);
+        let opt = optimizer();
+        let out = opt.solve(&s, Weights::time_only()).unwrap();
+        let (_, fastest) = opt.minimize_round_time(&s).unwrap();
+        assert!((out.cost.round_time_s - fastest).abs() / fastest < 0.05);
+    }
+
+    #[test]
+    fn deadline_constrained_meets_deadline() {
+        let s = scenario(10, 34);
+        let opt = optimizer();
+        let (_, fastest_round) = opt.minimize_round_time(&s).unwrap();
+        let deadline = fastest_round * s.params.rg() * 2.0;
+        let out = opt.solve_with_deadline(&s, deadline).unwrap();
+        assert!(out.total_time_s <= deadline * 1.01, "missed deadline: {} > {}", out.total_time_s, deadline);
+        assert!(out.allocation.is_feasible(&s, 1e-5));
+    }
+
+    #[test]
+    fn looser_deadline_never_costs_more_energy() {
+        let s = scenario(10, 35);
+        let opt = optimizer();
+        let (_, fastest_round) = opt.minimize_round_time(&s).unwrap();
+        let base = fastest_round * s.params.rg();
+        let tight = opt.solve_with_deadline(&s, base * 1.2).unwrap();
+        let loose = opt.solve_with_deadline(&s, base * 3.0).unwrap();
+        assert!(
+            loose.total_energy_j <= tight.total_energy_j * (1.0 + 0.02),
+            "loose {} vs tight {}",
+            loose.total_energy_j,
+            tight.total_energy_j
+        );
+    }
+
+    #[test]
+    fn impossible_deadline_is_reported() {
+        let s = scenario(6, 36);
+        let opt = optimizer();
+        let err = opt.solve_with_deadline(&s, 1e-3).unwrap_err();
+        assert!(matches!(err, CoreError::InfeasibleDeadline { .. }));
+        let err = opt.solve_with_deadline(&s, -1.0).unwrap_err();
+        assert!(matches!(err, CoreError::Model(_)));
+    }
+
+    #[test]
+    fn min_round_time_allocation_is_feasible_and_fast() {
+        let s = scenario(12, 37);
+        let opt = optimizer();
+        let (alloc, round) = opt.minimize_round_time(&s).unwrap();
+        assert!(alloc.is_feasible(&s, 1e-5));
+        // It should be at least as fast as the naive equal split.
+        let naive = s.cost(&Allocation::equal_split_max(&s)).unwrap();
+        assert!(round <= naive.round_time_s * (1.0 + 1e-6));
+    }
+
+    #[test]
+    fn trace_records_iterations_and_best_objective_is_returned() {
+        let s = scenario(8, 38);
+        let opt = optimizer();
+        let out = opt.solve(&s, Weights::balanced()).unwrap();
+        assert!(!out.trace.is_empty());
+        let best_traced = out.trace.best_objective().unwrap();
+        assert!(out.objective <= best_traced * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn rate_floors_shrink_with_looser_deadline() {
+        let s = scenario(5, 39);
+        let freqs: Vec<f64> = s.devices.iter().map(|d| d.f_max.value()).collect();
+        let tight = rate_floors(&s, 0.1, &freqs, Weights::balanced());
+        let loose = rate_floors(&s, 1.0, &freqs, Weights::balanced());
+        for (t, l) in tight.iter().zip(&loose) {
+            assert!(t > l);
+        }
+    }
+}

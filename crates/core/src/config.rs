@@ -1,0 +1,86 @@
+//! Solver configuration.
+
+use numopt::JongConfig;
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the resource-allocation solver (Algorithm 2 and its subproblem solvers).
+///
+/// The defaults reproduce the paper's setup; they are deliberately conservative so that the
+/// evaluation harness never trips over a half-converged inner loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolverConfig {
+    /// Maximum outer iterations `K` of Algorithm 2 (alternating Subproblem 1 / Subproblem 2).
+    pub outer_max_iter: usize,
+    /// Outer convergence tolerance `ε₀` on the normalized change of the solution vector.
+    pub outer_tol: f64,
+    /// Newton-like loop settings for Subproblem 2 (the paper's Algorithm 1).
+    #[serde(skip, default = "default_jong")]
+    pub jong: JongConfig,
+    /// Relative tolerance of the bisection that finds the bandwidth-budget multiplier `μ`.
+    pub mu_tol: f64,
+    /// Tolerance of the one-dimensional searches (Subproblem 1 over `T`, baselines).
+    pub scalar_tol: f64,
+    /// Feasibility tolerance used when validating the final allocation.
+    pub feasibility_tol: f64,
+    /// Lower floor on any device's bandwidth share in hertz (keeps Shannon rates strictly
+    /// positive so the sum-of-ratios denominators never vanish).
+    pub bandwidth_floor_hz: f64,
+    /// If `true`, Subproblem 2 cross-checks the Newton-like (Theorem 2) solution against a
+    /// direct reference solver and keeps whichever attains lower communication energy.
+    pub polish_with_reference: bool,
+}
+
+fn default_jong() -> JongConfig {
+    JongConfig::default()
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self {
+            outer_max_iter: 25,
+            outer_tol: 1.0e-4,
+            jong: JongConfig::default(),
+            mu_tol: 1.0e-11,
+            scalar_tol: 1.0e-7,
+            feasibility_tol: 1.0e-6,
+            bandwidth_floor_hz: 1.0,
+            polish_with_reference: true,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// A faster, looser configuration for benchmarks and large sweeps.
+    pub fn fast() -> Self {
+        Self {
+            outer_max_iter: 10,
+            outer_tol: 1.0e-3,
+            jong: JongConfig { max_iter: 25, phi_tol: 1.0e-6, ..JongConfig::default() },
+            mu_tol: 1.0e-9,
+            scalar_tol: 1.0e-6,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sensible() {
+        let c = SolverConfig::default();
+        assert!(c.outer_max_iter >= 5);
+        assert!(c.outer_tol > 0.0 && c.outer_tol < 1.0);
+        assert!(c.bandwidth_floor_hz > 0.0);
+        assert!(c.polish_with_reference);
+    }
+
+    #[test]
+    fn fast_is_looser_than_default() {
+        let fast = SolverConfig::fast();
+        let def = SolverConfig::default();
+        assert!(fast.outer_max_iter <= def.outer_max_iter);
+        assert!(fast.outer_tol >= def.outer_tol);
+    }
+}

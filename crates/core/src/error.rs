@@ -1,0 +1,82 @@
+//! Error type of the core optimizer.
+
+use std::fmt;
+
+/// Errors raised by the resource-allocation algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The system model rejected an input (invalid scenario, weights, or allocation shape).
+    Model(flsys::FlError),
+    /// A numerical routine failed.
+    Numerical(numopt::NumError),
+    /// The requested deadline cannot be met even with every resource at its maximum.
+    InfeasibleDeadline {
+        /// The requested total completion time in seconds.
+        requested_s: f64,
+        /// The smallest total completion time achievable with maximum resources.
+        achievable_s: f64,
+    },
+    /// The solver produced an infeasible or non-finite allocation and the fallback also failed.
+    SolverFailure(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Model(e) => write!(f, "system model error: {e}"),
+            CoreError::Numerical(e) => write!(f, "numerical error: {e}"),
+            CoreError::InfeasibleDeadline { requested_s, achievable_s } => write!(
+                f,
+                "deadline {requested_s} s is infeasible; best achievable is {achievable_s} s"
+            ),
+            CoreError::SolverFailure(msg) => write!(f, "solver failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Model(e) => Some(e),
+            CoreError::Numerical(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<flsys::FlError> for CoreError {
+    fn from(e: flsys::FlError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+impl From<numopt::NumError> for CoreError {
+    fn from(e: numopt::NumError) -> Self {
+        CoreError::Numerical(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: CoreError = flsys::FlError::NoDevices.into();
+        assert!(matches!(e, CoreError::Model(_)));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: CoreError = numopt::NumError::NonFiniteValue { at: 1.0 }.into();
+        assert!(matches!(e, CoreError::Numerical(_)));
+
+        let e = CoreError::InfeasibleDeadline { requested_s: 10.0, achievable_s: 24.0 };
+        assert!(e.to_string().contains("24"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

@@ -1,0 +1,395 @@
+//! Subproblem 1 — computation-energy / completion-time minimization over `(f, T)`.
+//!
+//! Given the current uplink times `T_n^up` (fixed by the current `(p, B)`), Subproblem 1 of
+//! the paper (problem (10)) is
+//!
+//! ```text
+//! min_{f, T}  w1·R_g·Σ_n κ·R_l·c_n·D_n·f_n²  +  w2·R_g·T
+//! s.t.        f_n^min ≤ f_n ≤ f_n^max,
+//!             R_l·c_n·D_n / f_n + T_n^up ≤ T .
+//! ```
+//!
+//! Two solvers are provided:
+//!
+//! * [`solve_direct`] eliminates `f` analytically (for a fixed `T`, the cheapest feasible
+//!   frequency is the smallest one meeting the deadline) and minimizes the resulting
+//!   one-dimensional convex function of `T` by golden-section search. This is the reference
+//!   solution.
+//! * [`solve_dual`] follows the paper: it maximizes the Lagrangian dual (17) over the scaled
+//!   simplex `{λ ≥ 0, Σ λ_n = w2·R_g}` by projected gradient ascent and recovers the primal
+//!   frequencies from equations (16) and (18). The two agree (tests cross-check them); the
+//!   dual path exists for fidelity to the paper and as an independent check.
+//!
+//! [`frequencies_for_deadline`] is the fixed-deadline variant used by the comparisons of
+//! Figures 7 and 8 (`w1 = 1, w2 = 0` with `T` given): it simply returns the cheapest feasible
+//! frequency per device.
+
+use crate::config::SolverConfig;
+use crate::error::CoreError;
+use flsys::{Scenario, Weights};
+use numopt::projgrad::{projected_gradient_ascent, ProjGradConfig};
+use numopt::scalar::{clamp, golden_section_min_with_endpoints};
+use numopt::simplex::project_simplex;
+
+/// Result of a Subproblem-1 solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sp1Solution {
+    /// Optimal CPU frequency per device (Hz).
+    pub frequencies_hz: Vec<f64>,
+    /// Optimal auxiliary round-completion time `T` (seconds).
+    pub round_time_s: f64,
+    /// Value of the Subproblem-1 objective `w1·R_g·Σ κ R_l c_n D_n f_n² + w2·R_g·T`.
+    pub objective: f64,
+}
+
+/// Computation-energy part of the Subproblem-1 objective for a given frequency vector.
+fn computation_energy_term(scenario: &Scenario, frequencies: &[f64]) -> f64 {
+    let p = &scenario.params;
+    scenario
+        .devices
+        .iter()
+        .zip(frequencies)
+        .map(|(dev, &f)| p.kappa * p.rl() * dev.cycles_per_local_iteration() * f * f)
+        .sum()
+}
+
+/// The cheapest feasible frequency vector for a given round deadline `T` and uplink times:
+/// `f_n = clamp(R_l·c_n·D_n / (T − T_n^up), f_min, f_max)`.
+///
+/// Devices whose uplink alone exceeds the deadline get `f_max` (best effort).
+pub fn frequencies_for_deadline(
+    scenario: &Scenario,
+    round_deadline_s: f64,
+    upload_times_s: &[f64],
+) -> Vec<f64> {
+    let rl = scenario.params.rl();
+    scenario
+        .devices
+        .iter()
+        .zip(upload_times_s)
+        .map(|(dev, &t_up)| {
+            let compute_budget = round_deadline_s - t_up;
+            if compute_budget <= 0.0 {
+                dev.f_max.value()
+            } else {
+                dev.clamp_frequency(rl * dev.cycles_per_local_iteration() / compute_budget)
+            }
+        })
+        .collect()
+}
+
+/// The smallest round time any frequency assignment can achieve given the uplink times
+/// (every device at `f_max`).
+pub fn min_feasible_round_time(scenario: &Scenario, upload_times_s: &[f64]) -> f64 {
+    let rl = scenario.params.rl();
+    scenario
+        .devices
+        .iter()
+        .zip(upload_times_s)
+        .map(|(dev, &t_up)| t_up + rl * dev.cycles_per_local_iteration() / dev.f_max.value())
+        .fold(0.0, f64::max)
+}
+
+/// Solves Subproblem 1 exactly by reducing it to a one-dimensional convex search over `T`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Model`] for a shape mismatch between `upload_times_s` and the
+/// scenario, or [`CoreError::Numerical`] if the scalar search fails.
+pub fn solve_direct(
+    scenario: &Scenario,
+    weights: Weights,
+    upload_times_s: &[f64],
+    config: &SolverConfig,
+) -> Result<Sp1Solution, CoreError> {
+    check_lengths(scenario, upload_times_s)?;
+    let params = &scenario.params;
+    let w1 = weights.energy();
+    let w2 = weights.time();
+    let rg = params.rg();
+    let rl = params.rl();
+
+    let t_min = min_feasible_round_time(scenario, upload_times_s);
+    let t_max = scenario
+        .devices
+        .iter()
+        .zip(upload_times_s)
+        .map(|(dev, &t_up)| t_up + rl * dev.cycles_per_local_iteration() / dev.f_min.value().max(1e-3))
+        .fold(0.0, f64::max)
+        .max(t_min);
+
+    // Degenerate corner cases first.
+    if w2 == 0.0 {
+        // No pressure on time: every device runs at its minimum frequency.
+        let freqs: Vec<f64> = scenario.devices.iter().map(|d| d.f_min.value()).collect();
+        let round = round_time(scenario, &freqs, upload_times_s);
+        let objective = w1 * rg * computation_energy_term(scenario, &freqs) + w2 * rg * round;
+        return Ok(Sp1Solution { frequencies_hz: freqs, round_time_s: round, objective });
+    }
+    if w1 == 0.0 {
+        // No pressure on energy: every device runs flat out.
+        let freqs: Vec<f64> = scenario.devices.iter().map(|d| d.f_max.value()).collect();
+        let round = round_time(scenario, &freqs, upload_times_s);
+        let objective = w2 * rg * round;
+        return Ok(Sp1Solution { frequencies_hz: freqs, round_time_s: round, objective });
+    }
+
+    let objective_of_t = |t: f64| {
+        let freqs = frequencies_for_deadline(scenario, t, upload_times_s);
+        w1 * rg * computation_energy_term(scenario, &freqs) + w2 * rg * t
+    };
+    let best = golden_section_min_with_endpoints(objective_of_t, t_min, t_max, config.scalar_tol * t_max.max(1.0), 500)?;
+    let frequencies_hz = frequencies_for_deadline(scenario, best.argmin, upload_times_s);
+    // Report the actually achieved round time (≤ the searched T when clamping bites).
+    let achieved_round = round_time(scenario, &frequencies_hz, upload_times_s);
+    let round_time_s = achieved_round.min(best.argmin).max(t_min);
+    let objective = w1 * rg * computation_energy_term(scenario, &frequencies_hz) + w2 * rg * round_time_s;
+    Ok(Sp1Solution { frequencies_hz, round_time_s, objective })
+}
+
+/// Solves Subproblem 1 through the paper's Lagrangian dual (17):
+/// maximize `Σ_n (2^{-2/3} + 2^{1/3})·h·c_n·D_n·λ_n^{2/3} + T_n^up·λ_n` over
+/// `{λ ≥ 0, Σ λ_n = w2·R_g}`, with `h = R_l (w1 κ R_g)^{1/3}`, then recover
+/// `f_n* = (λ_n / (2 w1 R_g κ))^{1/3}` clamped into the frequency box (equations (16), (18)).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Model`] on a length mismatch. Falls back to [`solve_direct`]
+/// internally when a weight is exactly zero (the dual is degenerate there).
+pub fn solve_dual(
+    scenario: &Scenario,
+    weights: Weights,
+    upload_times_s: &[f64],
+    config: &SolverConfig,
+) -> Result<Sp1Solution, CoreError> {
+    check_lengths(scenario, upload_times_s)?;
+    let w1 = weights.energy();
+    let w2 = weights.time();
+    if w1 == 0.0 || w2 == 0.0 {
+        return solve_direct(scenario, weights, upload_times_s, config);
+    }
+    let params = &scenario.params;
+    let rg = params.rg();
+    let kappa = params.kappa;
+    let rl = params.rl();
+    let h = rl * (w1 * kappa * rg).powf(1.0 / 3.0);
+    let coef: f64 = 2f64.powf(-2.0 / 3.0) + 2f64.powf(1.0 / 3.0);
+
+    let cd: Vec<f64> = scenario.devices.iter().map(|d| d.cycles_per_local_iteration()).collect();
+    let t_up = upload_times_s.to_vec();
+    let radius = w2 * rg;
+    let n = scenario.devices.len();
+
+    let objective = {
+        let cd = cd.clone();
+        let t_up = t_up.clone();
+        move |lambda: &[f64]| -> f64 {
+            lambda
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| coef * h * cd[i] * l.max(0.0).powf(2.0 / 3.0) + t_up[i] * l)
+                .sum()
+        }
+    };
+    let gradient = {
+        let cd = cd.clone();
+        let t_up = t_up.clone();
+        move |lambda: &[f64], g: &mut [f64]| {
+            for i in 0..lambda.len() {
+                g[i] = (2.0 / 3.0) * coef * h * cd[i] * lambda[i].max(1e-18).powf(-1.0 / 3.0) + t_up[i];
+            }
+        }
+    };
+
+    let start = vec![radius / n as f64; n];
+    let out = projected_gradient_ascent(
+        start,
+        objective,
+        gradient,
+        |x| project_simplex(x, radius),
+        ProjGradConfig { step: radius / n as f64, max_iter: 5_000, ..ProjGradConfig::default() },
+    )?;
+
+    // Primal recovery (16) + (18).
+    let frequencies_hz: Vec<f64> = scenario
+        .devices
+        .iter()
+        .zip(&out.x)
+        .map(|(dev, &lambda)| {
+            let f_star = (lambda.max(0.0) / (2.0 * w1 * rg * kappa)).powf(1.0 / 3.0);
+            clamp(f_star, dev.f_min.value(), dev.f_max.value())
+        })
+        .collect();
+    let round_time_s = round_time(scenario, &frequencies_hz, upload_times_s);
+    let objective = w1 * rg * computation_energy_term(scenario, &frequencies_hz) + w2 * rg * round_time_s;
+    Ok(Sp1Solution { frequencies_hz, round_time_s, objective })
+}
+
+fn round_time(scenario: &Scenario, frequencies: &[f64], upload_times_s: &[f64]) -> f64 {
+    let rl = scenario.params.rl();
+    scenario
+        .devices
+        .iter()
+        .enumerate()
+        .map(|(i, dev)| upload_times_s[i] + rl * dev.cycles_per_local_iteration() / frequencies[i].max(1e-3))
+        .fold(0.0, f64::max)
+}
+
+fn check_lengths(scenario: &Scenario, upload_times_s: &[f64]) -> Result<(), CoreError> {
+    if upload_times_s.len() != scenario.devices.len() {
+        return Err(CoreError::Model(flsys::FlError::AllocationSizeMismatch {
+            devices: scenario.devices.len(),
+            got: upload_times_s.len(),
+        }));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flsys::ScenarioBuilder;
+
+    fn scenario(n: usize) -> Scenario {
+        ScenarioBuilder::paper_default().with_devices(n).build(123).unwrap()
+    }
+
+    fn uniform_uploads(scenario: &Scenario, t: f64) -> Vec<f64> {
+        vec![t; scenario.devices.len()]
+    }
+
+    #[test]
+    fn direct_beats_or_matches_naive_choices() {
+        let s = scenario(10);
+        let cfg = SolverConfig::default();
+        let uploads = uniform_uploads(&s, 0.01);
+        let w = Weights::balanced();
+        let sol = solve_direct(&s, w, &uploads, &cfg).unwrap();
+
+        // Compare against running everything at f_max and at f_min.
+        for f_choice in ["max", "min"] {
+            let freqs: Vec<f64> = s
+                .devices
+                .iter()
+                .map(|d| if f_choice == "max" { d.f_max.value() } else { d.f_min.value() })
+                .collect();
+            let t = round_time(&s, &freqs, &uploads);
+            let obj = w.energy() * s.params.rg() * computation_energy_term(&s, &freqs)
+                + w.time() * s.params.rg() * t;
+            assert!(
+                sol.objective <= obj * (1.0 + 1e-9),
+                "direct {} should beat naive {f_choice} {obj}",
+                sol.objective
+            );
+        }
+    }
+
+    #[test]
+    fn direct_respects_frequency_boxes_and_deadline() {
+        let s = scenario(20);
+        let cfg = SolverConfig::default();
+        let uploads = uniform_uploads(&s, 0.02);
+        let sol = solve_direct(&s, Weights::new(0.7, 0.3).unwrap(), &uploads, &cfg).unwrap();
+        for (dev, &f) in s.devices.iter().zip(&sol.frequencies_hz) {
+            assert!(f >= dev.f_min.value() - 1.0 && f <= dev.f_max.value() + 1.0);
+        }
+        // Every device finishes within the reported round time (up to numerical slack).
+        let rl = s.params.rl();
+        for (i, dev) in s.devices.iter().enumerate() {
+            let t = uploads[i] + rl * dev.cycles_per_local_iteration() / sol.frequencies_hz[i];
+            assert!(t <= sol.round_time_s * (1.0 + 1e-6), "device {i} misses deadline");
+        }
+    }
+
+    #[test]
+    fn extreme_weights_hit_boxes() {
+        let s = scenario(5);
+        let cfg = SolverConfig::default();
+        let uploads = uniform_uploads(&s, 0.01);
+        let energy_only = solve_direct(&s, Weights::energy_only(), &uploads, &cfg).unwrap();
+        for (dev, &f) in s.devices.iter().zip(&energy_only.frequencies_hz) {
+            assert_eq!(f, dev.f_min.value());
+        }
+        let time_only = solve_direct(&s, Weights::time_only(), &uploads, &cfg).unwrap();
+        for (dev, &f) in s.devices.iter().zip(&time_only.frequencies_hz) {
+            assert_eq!(f, dev.f_max.value());
+        }
+        assert!(time_only.round_time_s < energy_only.round_time_s);
+    }
+
+    #[test]
+    fn higher_time_weight_gives_faster_rounds() {
+        let s = scenario(15);
+        let cfg = SolverConfig::default();
+        let uploads = uniform_uploads(&s, 0.015);
+        let slow = solve_direct(&s, Weights::new(0.9, 0.1).unwrap(), &uploads, &cfg).unwrap();
+        let fast = solve_direct(&s, Weights::new(0.1, 0.9).unwrap(), &uploads, &cfg).unwrap();
+        assert!(fast.round_time_s <= slow.round_time_s + 1e-9);
+        let e = |sol: &Sp1Solution| computation_energy_term(&s, &sol.frequencies_hz);
+        assert!(e(&fast) >= e(&slow) - 1e-12);
+    }
+
+    #[test]
+    fn dual_matches_direct_when_unclamped() {
+        // Use a wide frequency box so the closed-form (16) is not clamped.
+        let s = ScenarioBuilder::paper_default()
+            .with_devices(8)
+            .with_frequency_range(wireless::units::Hertz::new(1.0e3), wireless::units::Hertz::from_ghz(10.0))
+            .build(7)
+            .unwrap();
+        let cfg = SolverConfig::default();
+        let uploads = uniform_uploads(&s, 0.01);
+        let w = Weights::balanced();
+        let direct = solve_direct(&s, w, &uploads, &cfg).unwrap();
+        let dual = solve_dual(&s, w, &uploads, &cfg).unwrap();
+        let rel = (dual.objective - direct.objective).abs() / direct.objective;
+        assert!(rel < 0.05, "dual {} vs direct {} (rel {rel})", dual.objective, direct.objective);
+        // The direct path is the exact minimizer, so the dual recovery cannot beat it by more
+        // than numerical slack.
+        assert!(dual.objective >= direct.objective * (1.0 - 1e-6));
+    }
+
+    #[test]
+    fn deadline_frequencies_meet_deadline() {
+        let s = scenario(12);
+        let uploads = uniform_uploads(&s, 0.01);
+        let deadline = 0.3;
+        let freqs = frequencies_for_deadline(&s, deadline, &uploads);
+        let rl = s.params.rl();
+        for (i, dev) in s.devices.iter().enumerate() {
+            let t = uploads[i] + rl * dev.cycles_per_local_iteration() / freqs[i];
+            // Either the deadline is met or the device is already at f_max (best effort).
+            assert!(t <= deadline * (1.0 + 1e-9) || (freqs[i] - dev.f_max.value()).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn impossible_deadline_returns_fmax() {
+        let s = scenario(4);
+        let uploads = uniform_uploads(&s, 1.0);
+        let freqs = frequencies_for_deadline(&s, 0.5, &uploads); // uplink alone exceeds deadline
+        for (dev, f) in s.devices.iter().zip(freqs) {
+            assert_eq!(f, dev.f_max.value());
+        }
+    }
+
+    #[test]
+    fn length_mismatch_is_an_error() {
+        let s = scenario(3);
+        let cfg = SolverConfig::default();
+        let err = solve_direct(&s, Weights::balanced(), &[0.01, 0.01], &cfg).unwrap_err();
+        assert!(matches!(err, CoreError::Model(_)));
+    }
+
+    #[test]
+    fn min_feasible_round_time_is_lower_bound() {
+        let s = scenario(10);
+        let uploads = uniform_uploads(&s, 0.02);
+        let t_min = min_feasible_round_time(&s, &uploads);
+        let cfg = SolverConfig::default();
+        for w in Weights::paper_sweep() {
+            let sol = solve_direct(&s, w, &uploads, &cfg).unwrap();
+            assert!(sol.round_time_s >= t_min - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! The Theorem-2 KKT solver for the parametric subproblem `SP2_v2`.
+//!
+//! Given the multipliers `(ν, β)` fixed by the outer Newton-like loop, `SP2_v2` (equation
+//! (21)) is
+//!
+//! ```text
+//! min_{p, B}  Σ_n ν_n (p_n d_n − β_n G_n(p_n, B_n))
+//! s.t.        p_n^min ≤ p_n ≤ p_n^max,  Σ_n B_n ≤ B,  G_n(p_n, B_n) ≥ r_n^min .
+//! ```
+//!
+//! The paper derives its solution in Appendix B:
+//!
+//! 1. Stationarity in `p` gives the affine relation (A.1)
+//!    `p_n = (Λ_n − 1)·N₀·B_n / g_n` with `Λ_n = (ν_nβ_n + τ_n)·g_n / (N₀ d_n ν_n ln 2)`.
+//! 2. Eliminating `p` yields a dual in `(τ, μ)`; the stationarity condition (A.3) links
+//!    `τ_n` to the bandwidth price `μ` through a Lambert-W expression (A.4):
+//!    `τ_n = (μ − j_n) ln 2 / W₀((μ − j_n)/(e·j_n)) − ν_nβ_n`, `j_n = ν_n d_n N₀ / g_n`.
+//! 3. `μ` is the root of the scalar concave dual derivative `g'(μ) = 0`, found by bisection.
+//!    We use the algebraically simplified form
+//!    `g'(μ) = Σ_n r_n^min·ln2 / (W₀((μ − j_n)/(e·j_n)) + 1) − B`,
+//!    which is equivalent to the paper's expression but avoids the removable singularity at
+//!    `μ = j_n`.
+//! 4. Devices with `τ_n > 0` have a tight rate constraint: `B_n = r_n^min / log2(Λ_n)` and
+//!    `p_n` from (A.1). The remaining devices solve the bounded linear program (A.6) in their
+//!    bandwidths, which a greedy pass over the cost coefficients solves exactly.
+//!
+//! Box constraints on `p` (equation (38)) are applied by clamping, exactly as in the paper.
+
+use super::{PowerBandwidth, Sp2Problem};
+use numopt::lambertw::{lambert_w0, ratio_over_w0};
+use numopt::roots::root_of_decreasing;
+use numopt::NumError;
+use wireless::channel::power_for_rate;
+
+const LN2: f64 = std::f64::consts::LN_2;
+
+/// Solves the parametric subproblem `SP2_v2` for fixed `(ν, β)` via the Theorem-2
+/// construction.
+///
+/// # Errors
+///
+/// Returns an error if the Lambert-W evaluation or the `μ` bisection fails on non-finite
+/// inputs; callers treat that as "fall back to the reference solver".
+pub fn solve_parametric(
+    problem: &Sp2Problem<'_>,
+    nu: &[f64],
+    beta: &[f64],
+) -> Result<PowerBandwidth, NumError> {
+    let scenario = problem.scenario();
+    let n = scenario.devices.len();
+    let n0 = problem.n0();
+    let b_total = problem.total_bandwidth();
+    let floor = problem.config().bandwidth_floor_hz;
+    let r_min = problem.r_min_bps();
+
+    // j_n = ν_n d_n N₀ / g_n (the constant of Appendix B).
+    let j: Vec<f64> = (0..n)
+        .map(|i| {
+            let dev = &scenario.devices[i];
+            (nu[i].max(1e-300)) * dev.upload_bits * n0 / dev.gain.value()
+        })
+        .collect();
+
+    // --- Step 3: bandwidth price μ from g'(μ) = 0 (bisection on a decreasing function). ---
+    let has_rate_constraints = r_min.iter().any(|&r| r > 0.0);
+    let mu = if has_rate_constraints {
+        let g_prime = |mu: f64| -> f64 {
+            let mut sum = 0.0;
+            for i in 0..n {
+                if r_min[i] <= 0.0 {
+                    continue;
+                }
+                let arg = (mu - j[i]) / (std::f64::consts::E * j[i]);
+                let w = lambert_w0(arg.max(-1.0 / std::f64::consts::E)).unwrap_or(0.0);
+                // Simplified derivative term: r_min·ln2 / (W + 1).
+                let denom = (w + 1.0).max(1e-12);
+                sum += r_min[i] * LN2 / denom;
+            }
+            sum - b_total
+        };
+        let j_max = j.iter().cloned().fold(0.0_f64, f64::max).max(1e-300);
+        let j_min = j.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-300);
+        let mu_lo = 1e-9 * j_min;
+        // Expand the upper bracket until the derivative is negative.
+        let mut mu_hi = 10.0 * j_max;
+        let mut expansions = 0;
+        while g_prime(mu_hi) > 0.0 && expansions < 200 {
+            mu_hi *= 4.0;
+            expansions += 1;
+        }
+        root_of_decreasing(g_prime, mu_lo, mu_hi, problem.config().mu_tol * mu_hi, 300)?
+    } else {
+        0.0
+    };
+
+    // --- Step 2/4: per-device multipliers τ_n and the rate-tight closed form. ---
+    let mut powers = vec![0.0; n];
+    let mut bandwidths = vec![0.0; n];
+    let mut lp_set: Vec<usize> = Vec::new();
+    let mut budget_used = 0.0;
+
+    for i in 0..n {
+        let dev = &scenario.devices[i];
+        let g = dev.gain.value();
+        let d = dev.upload_bits;
+        let tau = if r_min[i] > 0.0 && mu > 0.0 {
+            (ratio_over_w0(mu - j[i], j[i])? * LN2 - nu[i] * beta[i]).max(0.0)
+        } else {
+            0.0
+        };
+        if tau > 0.0 {
+            let lambda_n = (nu[i] * beta[i] + tau) * g / (n0 * d * nu[i].max(1e-300) * LN2);
+            if lambda_n > 1.0 + 1e-9 && r_min[i] > 0.0 {
+                let b = r_min[i] / lambda_n.log2();
+                let p = (lambda_n - 1.0) * n0 * b / g;
+                bandwidths[i] = b.max(floor);
+                powers[i] = dev.clamp_power(p);
+                budget_used += bandwidths[i];
+                continue;
+            }
+        }
+        lp_set.push(i);
+    }
+
+    // --- Step 4b: the bounded LP (A.6) over the devices whose rate constraint is slack. ---
+    if !lp_set.is_empty() {
+        let mut remaining = (b_total - budget_used).max(0.0);
+        // Per-device LP data: cost coefficient ρ_n and the bandwidth bounds implied by the
+        // power box under the affine relation (A.1) with τ_n = 0.
+        struct LpEntry {
+            idx: usize,
+            rho: f64,
+            b_lo: f64,
+            b_hi: f64,
+        }
+        let mut entries: Vec<LpEntry> = Vec::with_capacity(lp_set.len());
+        for &i in &lp_set {
+            let dev = &scenario.devices[i];
+            let g = dev.gain.value();
+            let d = dev.upload_bits;
+            let lambda0 = beta[i] * g / (n0 * d * LN2);
+            let (rho, b_lo, b_hi);
+            if lambda0 > 1.0 + 1e-9 {
+                rho = nu[i] * beta[i] / LN2 - n0 * d * nu[i] / g - nu[i] * beta[i] * lambda0.log2();
+                let slope = (lambda0 - 1.0) * n0 / g; // p = slope · B
+                let lo_from_pmin = dev.p_min.value() / slope;
+                let hi_from_pmax = dev.p_max.value() / slope;
+                let lo_from_rate = if r_min[i] > 0.0 { r_min[i] / lambda0.log2() } else { 0.0 };
+                b_lo = lo_from_pmin.max(lo_from_rate).max(floor);
+                b_hi = hi_from_pmax.max(b_lo);
+            } else {
+                // The unconstrained stationary power would be non-positive: the device sits at
+                // p_min and simply wants as much bandwidth as the budget allows (the objective
+                // is decreasing in B there). Its lower bound is whatever keeps the rate
+                // constraint satisfiable at maximum power.
+                rho = -nu[i] * beta[i]; // strictly negative ⇒ prioritized for leftover bandwidth
+                b_lo = bandwidth_for_rate(dev, r_min[i], n0, b_total, floor);
+                b_hi = b_total;
+            }
+            entries.push(LpEntry { idx: i, rho, b_lo, b_hi });
+        }
+
+        // Assign lower bounds first.
+        let lo_sum: f64 = entries.iter().map(|e| e.b_lo).sum();
+        let scale = if lo_sum > remaining && lo_sum > 0.0 { remaining / lo_sum } else { 1.0 };
+        for e in &entries {
+            bandwidths[e.idx] = (e.b_lo * scale).max(floor);
+        }
+        remaining = (remaining - entries.iter().map(|e| (e.b_lo * scale).max(floor)).sum::<f64>()).max(0.0);
+
+        // Spend the leftover on the devices with the most negative cost coefficient first.
+        entries.sort_by(|a, b| a.rho.partial_cmp(&b.rho).expect("finite coefficients"));
+        for e in &entries {
+            if remaining <= 0.0 {
+                break;
+            }
+            if e.rho < 0.0 {
+                let extra = (e.b_hi - bandwidths[e.idx]).clamp(0.0, remaining);
+                bandwidths[e.idx] += extra;
+                remaining -= extra;
+            }
+        }
+
+        // Recover powers from the affine relation (A.1), clamped into the box (38), and then
+        // repaired upward if the rate constraint needs it.
+        for e in &entries {
+            let i = e.idx;
+            let dev = &scenario.devices[i];
+            let g = dev.gain.value();
+            let d = dev.upload_bits;
+            let lambda0 = beta[i] * g / (n0 * d * LN2);
+            let p_raw = if lambda0 > 1.0 + 1e-9 {
+                (lambda0 - 1.0) * n0 * bandwidths[i] / g
+            } else {
+                dev.p_min.value()
+            };
+            let mut p = dev.clamp_power(p_raw);
+            if r_min[i] > 0.0 {
+                let needed = power_for_rate(r_min[i], bandwidths[i], g, n0);
+                if needed > p {
+                    p = dev.clamp_power(needed);
+                }
+            }
+            powers[i] = p;
+        }
+    }
+
+    let mut point = PowerBandwidth::new(powers, bandwidths);
+    problem.sanitize(&mut point);
+    Ok(point)
+}
+
+/// Smallest bandwidth at which the device can reach `r_min` at maximum power (bisection on
+/// the monotone-increasing map `B ↦ G(p_max, B)`), capped at `b_total`.
+fn bandwidth_for_rate(dev: &flsys::DeviceProfile, r_min: f64, n0: f64, b_total: f64, floor: f64) -> f64 {
+    if r_min <= 0.0 {
+        return floor;
+    }
+    let g = dev.gain.value();
+    let p = dev.p_max.value();
+    let rate_at = |b: f64| wireless::channel::shannon_rate_raw(p, b, g, n0);
+    if rate_at(b_total) < r_min {
+        // Not reachable even with the whole band: ask for the whole band (the sanitize pass
+        // will scale it back together with everyone else).
+        return b_total;
+    }
+    let mut lo = floor;
+    let mut hi = b_total;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if rate_at(mid) >= r_min {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if (hi - lo) / hi < 1e-9 {
+            break;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SolverConfig;
+    use flsys::{Allocation, ScenarioBuilder, Weights};
+    use numopt::fractional::FractionalProblem;
+    use wireless::channel::shannon_rate_raw;
+
+    fn problem_fixture(
+        n: usize,
+        seed: u64,
+        upload_window_s: f64,
+    ) -> (flsys::Scenario, SolverConfig, Vec<f64>) {
+        let s = ScenarioBuilder::paper_default().with_devices(n).build(seed).unwrap();
+        let cfg = SolverConfig::default();
+        let r_min: Vec<f64> = s.devices.iter().map(|d| d.upload_bits / upload_window_s).collect();
+        (s, cfg, r_min)
+    }
+
+    fn nominal_multipliers(problem: &Sp2Problem<'_>, start: &PowerBandwidth) -> (Vec<f64>, Vec<f64>) {
+        let n = problem.len();
+        let mut nu = vec![0.0; n];
+        let mut beta = vec![0.0; n];
+        for i in 0..n {
+            let d = problem.denominator(i, start);
+            nu[i] = problem.ratio_weight(i) / d;
+            beta[i] = problem.numerator(i, start) / d;
+        }
+        (nu, beta)
+    }
+
+    #[test]
+    fn parametric_solution_is_feasible() {
+        let (s, cfg, r_min) = problem_fixture(10, 11, 0.05);
+        let problem = Sp2Problem::new(&s, Weights::balanced(), r_min.clone(), &cfg).unwrap();
+        let a = Allocation::equal_split_max(&s);
+        let start = PowerBandwidth::new(a.powers_w, a.bandwidths_hz);
+        let (nu, beta) = nominal_multipliers(&problem, &start);
+        let point = solve_parametric(&problem, &nu, &beta).unwrap();
+
+        let b_sum: f64 = point.bandwidths_hz.iter().sum();
+        assert!(b_sum <= s.params.total_bandwidth.value() * (1.0 + 1e-6));
+        let n0 = s.params.noise.watts_per_hz();
+        for (i, dev) in s.devices.iter().enumerate() {
+            assert!(point.powers_w[i] >= dev.p_min.value() - 1e-15);
+            assert!(point.powers_w[i] <= dev.p_max.value() + 1e-15);
+            assert!(point.bandwidths_hz[i] >= cfg.bandwidth_floor_hz);
+            let rate = shannon_rate_raw(point.powers_w[i], point.bandwidths_hz[i], dev.gain.value(), n0);
+            assert!(rate > 0.0);
+        }
+    }
+
+    #[test]
+    fn parametric_solution_improves_parametric_objective() {
+        // The KKT point should not be worse than the starting point on the subtractive
+        // objective Σ ν(p·d − β·G).
+        let (s, cfg, r_min) = problem_fixture(8, 13, 0.05);
+        let problem = Sp2Problem::new(&s, Weights::balanced(), r_min, &cfg).unwrap();
+        let a = Allocation::equal_split_max(&s);
+        let start = PowerBandwidth::new(a.powers_w, a.bandwidths_hz);
+        let (nu, beta) = nominal_multipliers(&problem, &start);
+        let parametric = |pt: &PowerBandwidth| -> f64 {
+            (0..problem.len())
+                .map(|i| nu[i] * (problem.numerator(i, pt) - beta[i] * problem.denominator(i, pt)))
+                .sum()
+        };
+        let point = solve_parametric(&problem, &nu, &beta).unwrap();
+        assert!(
+            parametric(&point) <= parametric(&start) + 1e-9,
+            "kkt point {} should improve on start {}",
+            parametric(&point),
+            parametric(&start)
+        );
+    }
+
+    #[test]
+    fn rate_tight_devices_hit_rate_floor() {
+        // With a scarce band and a demanding rate floor, most devices should sit essentially
+        // at r_min (the rate constraint is what drives their bandwidth share).
+        let s = ScenarioBuilder::paper_default()
+            .with_devices(10)
+            .with_total_bandwidth(wireless::units::Hertz::from_mhz(2.0))
+            .build(17)
+            .unwrap();
+        let cfg = SolverConfig::default();
+        let r_min: Vec<f64> = s.devices.iter().map(|d| d.upload_bits / 0.02).collect();
+        let problem = Sp2Problem::new(&s, Weights::balanced(), r_min.clone(), &cfg).unwrap();
+        let a = Allocation::equal_split_max(&s);
+        let start = PowerBandwidth::new(a.powers_w, a.bandwidths_hz);
+        let (nu, beta) = nominal_multipliers(&problem, &start);
+        let point = solve_parametric(&problem, &nu, &beta).unwrap();
+        let n0 = s.params.noise.watts_per_hz();
+        let mut tight = 0;
+        for (i, dev) in s.devices.iter().enumerate() {
+            let rate = shannon_rate_raw(point.powers_w[i], point.bandwidths_hz[i], dev.gain.value(), n0);
+            assert!(rate >= r_min[i] * (1.0 - 1e-3), "device {i} violates rate floor");
+            if rate <= r_min[i] * 1.05 {
+                tight += 1;
+            }
+        }
+        assert!(tight >= s.devices.len() / 2, "expected most devices rate-tight, got {tight}");
+    }
+
+    #[test]
+    fn no_rate_constraint_spends_whole_budget_mostly_at_low_power() {
+        let (s, cfg, _) = problem_fixture(6, 19, 0.05);
+        let r_min = vec![0.0; 6];
+        let problem = Sp2Problem::new(&s, Weights::balanced(), r_min, &cfg).unwrap();
+        let a = Allocation::equal_split_max(&s);
+        let start = PowerBandwidth::new(a.powers_w, a.bandwidths_hz);
+        let (nu, beta) = nominal_multipliers(&problem, &start);
+        let point = solve_parametric(&problem, &nu, &beta).unwrap();
+        let b_sum: f64 = point.bandwidths_hz.iter().sum();
+        assert!(b_sum <= s.params.total_bandwidth.value() * (1.0 + 1e-6));
+        assert!(b_sum > 0.0);
+    }
+
+    #[test]
+    fn bandwidth_for_rate_is_inverse_of_rate() {
+        let s = ScenarioBuilder::paper_default().with_devices(1).build(3).unwrap();
+        let dev = &s.devices[0];
+        let n0 = s.params.noise.watts_per_hz();
+        let b_total = s.params.total_bandwidth.value();
+        let r_min = 1.0e6;
+        let b = bandwidth_for_rate(dev, r_min, n0, b_total, 1.0);
+        let achieved = shannon_rate_raw(dev.p_max.value(), b, dev.gain.value(), n0);
+        assert!((achieved - r_min).abs() / r_min < 1e-3);
+        assert_eq!(bandwidth_for_rate(dev, 0.0, n0, b_total, 1.0), 1.0);
+    }
+}

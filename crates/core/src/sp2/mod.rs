@@ -1,0 +1,420 @@
+//! Subproblem 2 — communication-energy minimization over `(p, B)` (a sum-of-ratios problem).
+//!
+//! With the frequencies and the round deadline `T` fixed by Subproblem 1, the remaining
+//! problem (11) is
+//!
+//! ```text
+//! min_{p, B}  w1·R_g·Σ_n p_n·d_n / G_n(p_n, B_n)
+//! s.t.        p_n^min ≤ p_n ≤ p_n^max,
+//!             Σ_n B_n ≤ B,
+//!             G_n(p_n, B_n) ≥ r_n^min := d_n / (T − R_l c_n D_n / f_n).
+//! ```
+//!
+//! The objective is a sum of ratios (convex numerators over concave positive denominators),
+//! which the paper tackles with Jong's Newton-like parametric method (its Algorithm 1):
+//!
+//! * the generic outer loop lives in [`numopt::fractional`];
+//! * the parametric inner problem `SP2_v2` (equation (21)) is solved in closed form by the
+//!   KKT construction of Theorem 2 — bisection on the bandwidth multiplier `μ`, Lambert-W
+//!   expression (A.4) for the per-device rate multipliers `τ_n`, closed-form bandwidth for
+//!   rate-tight devices and the small LP (A.6) for the rest ([`kkt`]);
+//! * [`reference`] provides an independent direct solver for the *original* ratio objective
+//!   (smallest feasible power per device + price-based bandwidth allocation), used to
+//!   cross-check the Newton-like solution in tests and, when
+//!   [`SolverConfig::polish_with_reference`] is set, to guard against corner cases where the
+//!   KKT construction lands on a slightly worse point.
+//!
+//! [`SolverConfig::polish_with_reference`]: crate::SolverConfig
+
+pub mod kkt;
+pub mod reference;
+
+use crate::config::SolverConfig;
+use crate::error::CoreError;
+use flsys::{Scenario, Weights};
+use numopt::fractional::{solve_sum_of_ratios, FractionalProblem};
+use numopt::NumError;
+use wireless::channel::{power_for_rate, shannon_rate_raw};
+
+/// A `(p, B)` point — the decision variables of Subproblem 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerBandwidth {
+    /// Transmit power per device (W).
+    pub powers_w: Vec<f64>,
+    /// Bandwidth per device (Hz).
+    pub bandwidths_hz: Vec<f64>,
+}
+
+impl PowerBandwidth {
+    /// Creates a point from raw vectors.
+    pub fn new(powers_w: Vec<f64>, bandwidths_hz: Vec<f64>) -> Self {
+        Self { powers_w, bandwidths_hz }
+    }
+}
+
+/// Result of a Subproblem-2 solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sp2Solution {
+    /// Optimal transmit power per device (W).
+    pub powers_w: Vec<f64>,
+    /// Optimal bandwidth per device (Hz).
+    pub bandwidths_hz: Vec<f64>,
+    /// Per-round communication energy `Σ_n p_n d_n / r_n` at the solution (J), *not* scaled
+    /// by `w1 R_g`.
+    pub comm_energy_per_round_j: f64,
+    /// Whether the Newton-like outer loop reported convergence.
+    pub converged: bool,
+    /// Outer (Algorithm-1) iterations used.
+    pub iterations: usize,
+    /// `true` when the reference polish replaced the Newton-like solution.
+    pub polished: bool,
+}
+
+/// The Subproblem-2 instance handed to the sum-of-ratios machinery.
+pub struct Sp2Problem<'a> {
+    scenario: &'a Scenario,
+    /// Constant weight `w1·R_g` multiplying every ratio.
+    weight: f64,
+    /// Per-device minimum rate `r_n^min` (bit/s); `0` disables the rate constraint.
+    r_min_bps: Vec<f64>,
+    config: &'a SolverConfig,
+}
+
+impl<'a> Sp2Problem<'a> {
+    /// Builds a Subproblem-2 instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Model`] if `r_min_bps` does not match the scenario size.
+    pub fn new(
+        scenario: &'a Scenario,
+        weights: Weights,
+        r_min_bps: Vec<f64>,
+        config: &'a SolverConfig,
+    ) -> Result<Self, CoreError> {
+        if r_min_bps.len() != scenario.devices.len() {
+            return Err(CoreError::Model(flsys::FlError::AllocationSizeMismatch {
+                devices: scenario.devices.len(),
+                got: r_min_bps.len(),
+            }));
+        }
+        // A zero energy weight makes the ratio weights vanish and the parametric machinery
+        // degenerate; the caller (Algorithm 2) special-cases that, but clamping here keeps
+        // this type safe to use directly.
+        let weight = (weights.energy() * scenario.params.rg()).max(1e-12);
+        Ok(Self { scenario, weight, r_min_bps, config })
+    }
+
+    /// The scenario this instance optimizes.
+    pub fn scenario(&self) -> &Scenario {
+        self.scenario
+    }
+
+    /// The per-device minimum rates (bit/s).
+    pub fn r_min_bps(&self) -> &[f64] {
+        &self.r_min_bps
+    }
+
+    /// The solver configuration.
+    pub fn config(&self) -> &SolverConfig {
+        self.config
+    }
+
+    /// Noise power spectral density (W/Hz).
+    pub fn n0(&self) -> f64 {
+        self.scenario.params.noise.watts_per_hz()
+    }
+
+    /// Total bandwidth budget (Hz).
+    pub fn total_bandwidth(&self) -> f64 {
+        self.scenario.params.total_bandwidth.value()
+    }
+
+    /// Shannon rate of device `i` at a point, floored so it is always strictly positive.
+    pub fn rate(&self, i: usize, point: &PowerBandwidth) -> f64 {
+        let dev = &self.scenario.devices[i];
+        let b = point.bandwidths_hz[i].max(self.config.bandwidth_floor_hz);
+        let p = point.powers_w[i].max(dev.p_min.value().max(1e-9));
+        shannon_rate_raw(p, b, dev.gain.value(), self.n0()).max(1e-9)
+    }
+
+    /// Per-round communication energy `Σ_n p_n d_n / r_n` at a point (J).
+    pub fn comm_energy(&self, point: &PowerBandwidth) -> f64 {
+        (0..self.scenario.devices.len())
+            .map(|i| {
+                let d = self.scenario.devices[i].upload_bits;
+                point.powers_w[i] * d / self.rate(i, point)
+            })
+            .sum()
+    }
+
+    /// Clamps a candidate point into the feasible set: power boxes, bandwidth floor, total
+    /// bandwidth budget, and (best-effort) the per-device rate constraints.
+    pub fn sanitize(&self, point: &mut PowerBandwidth) {
+        let n = self.scenario.devices.len();
+        let floor = self.config.bandwidth_floor_hz;
+        let b_total = self.total_bandwidth();
+        for i in 0..n {
+            let dev = &self.scenario.devices[i];
+            if !point.bandwidths_hz[i].is_finite() || point.bandwidths_hz[i] < floor {
+                point.bandwidths_hz[i] = floor;
+            }
+            if !point.powers_w[i].is_finite() {
+                point.powers_w[i] = dev.p_max.value();
+            }
+            point.powers_w[i] = dev.clamp_power(point.powers_w[i]);
+        }
+        let sum: f64 = point.bandwidths_hz.iter().sum();
+        if sum > b_total {
+            let scale = b_total / sum;
+            for b in &mut point.bandwidths_hz {
+                *b = (*b * scale).max(floor.min(b_total / n as f64));
+            }
+        }
+        // Best-effort rate repair: raise power (never bandwidth, which is budgeted) until the
+        // rate constraint holds or the power box is exhausted.
+        for i in 0..n {
+            let dev = &self.scenario.devices[i];
+            if self.r_min_bps[i] <= 0.0 {
+                continue;
+            }
+            let b = point.bandwidths_hz[i];
+            let needed = power_for_rate(self.r_min_bps[i], b, dev.gain.value(), self.n0());
+            if needed > point.powers_w[i] {
+                point.powers_w[i] = dev.clamp_power(needed);
+            }
+        }
+    }
+}
+
+impl FractionalProblem for Sp2Problem<'_> {
+    type Point = PowerBandwidth;
+
+    fn len(&self) -> usize {
+        self.scenario.devices.len()
+    }
+
+    fn ratio_weight(&self, _i: usize) -> f64 {
+        self.weight
+    }
+
+    fn numerator(&self, i: usize, x: &PowerBandwidth) -> f64 {
+        x.powers_w[i] * self.scenario.devices[i].upload_bits
+    }
+
+    fn denominator(&self, i: usize, x: &PowerBandwidth) -> f64 {
+        self.rate(i, x)
+    }
+
+    fn solve_parametric(&self, nu: &[f64], beta: &[f64]) -> Result<PowerBandwidth, NumError> {
+        kkt::solve_parametric(self, nu, beta)
+    }
+}
+
+/// Solves Subproblem 2 starting from a feasible `(p, B)` point.
+///
+/// Runs the paper's Algorithm 1 (Newton-like sum-of-ratios loop with the Theorem-2 KKT inner
+/// solver). When [`SolverConfig::polish_with_reference`] is enabled the result is compared
+/// against the direct reference solver on the true communication energy and the better point
+/// is returned.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Model`] for shape mismatches and [`CoreError::Numerical`] if both the
+/// Newton-like path and the reference solver fail.
+///
+/// [`SolverConfig::polish_with_reference`]: crate::SolverConfig
+pub fn solve(
+    scenario: &Scenario,
+    weights: Weights,
+    r_min_bps: Vec<f64>,
+    initial: PowerBandwidth,
+    config: &SolverConfig,
+) -> Result<Sp2Solution, CoreError> {
+    let problem = Sp2Problem::new(scenario, weights, r_min_bps, config)?;
+
+    let mut start = initial;
+    problem.sanitize(&mut start);
+
+    let newton = solve_sum_of_ratios(&problem, start.clone(), config.jong);
+
+    let mut best_point: Option<PowerBandwidth> = None;
+    let mut best_energy = f64::INFINITY;
+    let mut converged = false;
+    let mut iterations = 0;
+    let mut polished = false;
+
+    if let Ok(sol) = newton {
+        let mut point = sol.point;
+        problem.sanitize(&mut point);
+        let energy = problem.comm_energy(&point);
+        if energy.is_finite() {
+            best_energy = energy;
+            best_point = Some(point);
+            converged = sol.converged;
+            iterations = sol.iterations;
+        }
+    }
+
+    if config.polish_with_reference || best_point.is_none() {
+        if let Ok(mut ref_point) = reference::solve_reference(&problem, &start) {
+            problem.sanitize(&mut ref_point);
+            let energy = problem.comm_energy(&ref_point);
+            if energy.is_finite() && energy < best_energy {
+                best_energy = energy;
+                best_point = Some(ref_point);
+                polished = true;
+            }
+        }
+    }
+
+    let point = best_point.ok_or_else(|| {
+        CoreError::SolverFailure("both the Newton-like and reference Subproblem-2 solvers failed".to_string())
+    })?;
+
+    Ok(Sp2Solution {
+        powers_w: point.powers_w.clone(),
+        bandwidths_hz: point.bandwidths_hz.clone(),
+        comm_energy_per_round_j: best_energy,
+        converged,
+        iterations,
+        polished,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flsys::{Allocation, ScenarioBuilder};
+
+    fn setup(n: usize, seed: u64) -> (Scenario, SolverConfig) {
+        let s = ScenarioBuilder::paper_default().with_devices(n).build(seed).unwrap();
+        (s, SolverConfig::default())
+    }
+
+    fn equal_start(s: &Scenario) -> PowerBandwidth {
+        let a = Allocation::equal_split_max(s);
+        PowerBandwidth::new(a.powers_w, a.bandwidths_hz)
+    }
+
+    fn loose_r_min(s: &Scenario) -> Vec<f64> {
+        // A rate floor that equal-split max power comfortably exceeds.
+        vec![1.0e5; s.devices.len()]
+    }
+
+    #[test]
+    fn solve_reduces_comm_energy_vs_start() {
+        let (s, cfg) = setup(10, 1);
+        let start = equal_start(&s);
+        let problem = Sp2Problem::new(&s, Weights::balanced(), loose_r_min(&s), &cfg).unwrap();
+        let start_energy = problem.comm_energy(&start);
+        let sol = solve(&s, Weights::balanced(), loose_r_min(&s), start, &cfg).unwrap();
+        assert!(
+            sol.comm_energy_per_round_j <= start_energy * (1.0 + 1e-9),
+            "sp2 {} should not exceed start {}",
+            sol.comm_energy_per_round_j,
+            start_energy
+        );
+    }
+
+    #[test]
+    fn solution_is_feasible() {
+        let (s, cfg) = setup(12, 2);
+        let sol = solve(&s, Weights::balanced(), loose_r_min(&s), equal_start(&s), &cfg).unwrap();
+        let b_sum: f64 = sol.bandwidths_hz.iter().sum();
+        assert!(b_sum <= s.params.total_bandwidth.value() * (1.0 + 1e-6));
+        for (i, dev) in s.devices.iter().enumerate() {
+            assert!(sol.powers_w[i] >= dev.p_min.value() - 1e-12);
+            assert!(sol.powers_w[i] <= dev.p_max.value() + 1e-12);
+            assert!(sol.bandwidths_hz[i] > 0.0);
+        }
+    }
+
+    #[test]
+    fn rate_constraints_respected_when_feasible() {
+        let (s, cfg) = setup(8, 3);
+        // Moderate rate floor: 28.1 kbit in at most 50 ms.
+        let r_min: Vec<f64> = s.devices.iter().map(|d| d.upload_bits / 0.05).collect();
+        let sol = solve(&s, Weights::balanced(), r_min.clone(), equal_start(&s), &cfg).unwrap();
+        let n0 = s.params.noise.watts_per_hz();
+        for (i, dev) in s.devices.iter().enumerate() {
+            let rate = shannon_rate_raw(sol.powers_w[i], sol.bandwidths_hz[i], dev.gain.value(), n0);
+            assert!(
+                rate >= r_min[i] * (1.0 - 1e-3),
+                "device {i}: rate {rate} below floor {}",
+                r_min[i]
+            );
+        }
+    }
+
+    #[test]
+    fn newton_and_reference_agree_roughly() {
+        // Use a scarce band and a binding rate floor (the regime Algorithm 2 actually operates
+        // in: the deadline from Subproblem 1 makes every device's rate constraint
+        // meaningful). In the loose-constraint corner the Theorem-2 construction is known to
+        // be weaker — that is exactly what `polish_with_reference` is for.
+        let s = ScenarioBuilder::paper_default()
+            .with_devices(10)
+            .with_total_bandwidth(wireless::units::Hertz::from_mhz(2.0))
+            .build(4)
+            .unwrap();
+        let r_min: Vec<f64> = s.devices.iter().map(|d| d.upload_bits / 0.02).collect();
+        let start = equal_start(&s);
+
+        let mut cfg_newton = SolverConfig::default();
+        cfg_newton.polish_with_reference = false;
+        let newton = solve(&s, Weights::balanced(), r_min.clone(), start.clone(), &cfg_newton).unwrap();
+
+        let cfg = SolverConfig::default();
+        let problem = Sp2Problem::new(&s, Weights::balanced(), r_min, &cfg).unwrap();
+        let reference = reference::solve_reference(&problem, &start).unwrap();
+        let ref_energy = problem.comm_energy(&reference);
+
+        let ratio = newton.comm_energy_per_round_j / ref_energy;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "newton {} vs reference {} (ratio {ratio})",
+            newton.comm_energy_per_round_j,
+            ref_energy
+        );
+    }
+
+    #[test]
+    fn mismatched_r_min_length_is_error() {
+        let (s, cfg) = setup(4, 5);
+        let err = solve(&s, Weights::balanced(), vec![1.0; 3], equal_start(&s), &cfg).unwrap_err();
+        assert!(matches!(err, CoreError::Model(_)));
+    }
+
+    #[test]
+    fn sanitize_repairs_pathological_points() {
+        let (s, cfg) = setup(5, 6);
+        let problem = Sp2Problem::new(&s, Weights::balanced(), loose_r_min(&s), &cfg).unwrap();
+        let n = s.devices.len();
+        let mut bad = PowerBandwidth::new(vec![f64::NAN; n], vec![-1.0; n]);
+        problem.sanitize(&mut bad);
+        for i in 0..n {
+            assert!(bad.powers_w[i].is_finite());
+            assert!(bad.bandwidths_hz[i] >= cfg.bandwidth_floor_hz);
+        }
+        let b_sum: f64 = bad.bandwidths_hz.iter().sum();
+        assert!(b_sum <= s.params.total_bandwidth.value() * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn tighter_rate_floor_costs_more_energy() {
+        let (s, cfg) = setup(10, 7);
+        let loose: Vec<f64> = s.devices.iter().map(|d| d.upload_bits / 0.2).collect();
+        let tight: Vec<f64> = s.devices.iter().map(|d| d.upload_bits / 0.01).collect();
+        let e_loose = solve(&s, Weights::balanced(), loose, equal_start(&s), &cfg)
+            .unwrap()
+            .comm_energy_per_round_j;
+        let e_tight = solve(&s, Weights::balanced(), tight, equal_start(&s), &cfg)
+            .unwrap()
+            .comm_energy_per_round_j;
+        assert!(
+            e_tight >= e_loose * (1.0 - 1e-6),
+            "tight deadline energy {e_tight} should be at least loose {e_loose}"
+        );
+    }
+}

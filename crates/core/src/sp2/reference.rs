@@ -1,0 +1,258 @@
+//! Direct reference solver for Subproblem 2.
+//!
+//! This solver attacks the *original* ratio objective rather than the parametric form, using
+//! two structural facts:
+//!
+//! 1. For a fixed bandwidth `B_n`, the per-device communication energy
+//!    `E_n(p) = p·d_n / G_n(p, B_n)` is strictly increasing in `p` (because
+//!    `G_n(p) ≥ p·∂G_n/∂p` for a concave function through the origin). The energy-optimal
+//!    power is therefore the *smallest feasible* one: just enough to meet the rate floor
+//!    `r_n^min`, clamped into the power box.
+//! 2. With that power rule substituted in, every device's energy is decreasing in its
+//!    bandwidth share, so the bandwidth budget binds and the allocation is a one-dimensional
+//!    pricing problem: introduce a price `ω` on bandwidth, let every device pick its
+//!    favourite `B_n(ω)` by a scalar search, and bisect `ω` until the picks add up to `B`.
+//!
+//! The result is a high-quality feasible point for the sum-of-ratios problem that does not
+//! depend on the Newton-like machinery at all, which makes it a meaningful cross-check (the
+//! role CVX played for the authors) and a robust fallback.
+
+use super::{PowerBandwidth, Sp2Problem};
+use numopt::scalar::golden_section_min_with_endpoints;
+use numopt::NumError;
+use wireless::channel::{power_for_rate, shannon_rate_raw};
+
+/// Per-device energy under the "smallest feasible power" rule.
+fn device_energy(problem: &Sp2Problem<'_>, i: usize, bandwidth: f64) -> f64 {
+    let dev = &problem.scenario().devices[i];
+    let n0 = problem.n0();
+    let g = dev.gain.value();
+    let d = dev.upload_bits;
+    let r_min = problem.r_min_bps()[i];
+    let p = dev.clamp_power(power_for_rate(r_min, bandwidth, g, n0));
+    let rate = shannon_rate_raw(p, bandwidth, g, n0);
+    if rate <= 0.0 {
+        return f64::INFINITY;
+    }
+    let mut energy = p * d / rate;
+    // Soft penalty when even p_max cannot reach the rate floor with this bandwidth, so the
+    // scalar search steers toward bandwidths that restore feasibility.
+    if r_min > 0.0 && rate < r_min {
+        energy *= 1.0 + 10.0 * (r_min - rate) / r_min;
+    }
+    energy
+}
+
+/// Smallest bandwidth at which the device can meet its rate floor at maximum power.
+fn min_bandwidth(problem: &Sp2Problem<'_>, i: usize) -> f64 {
+    let dev = &problem.scenario().devices[i];
+    let n0 = problem.n0();
+    let g = dev.gain.value();
+    let p_max = dev.p_max.value();
+    let r_min = problem.r_min_bps()[i];
+    let floor = problem.config().bandwidth_floor_hz;
+    let b_total = problem.total_bandwidth();
+    if r_min <= 0.0 {
+        return floor;
+    }
+    if shannon_rate_raw(p_max, b_total, g, n0) < r_min {
+        // Infeasible even with the whole band; claim an equal share and let the sanitize pass
+        // arbitrate.
+        return b_total / problem.scenario().devices.len() as f64;
+    }
+    let mut lo = floor;
+    let mut hi = b_total;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if shannon_rate_raw(p_max, mid, g, n0) >= r_min {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if (hi - lo) / hi < 1e-10 {
+            break;
+        }
+    }
+    hi.max(floor)
+}
+
+/// Bandwidth the device picks when bandwidth costs `ω` per hertz.
+fn bandwidth_at_price(
+    problem: &Sp2Problem<'_>,
+    i: usize,
+    omega: f64,
+    b_lo: f64,
+    b_hi: f64,
+) -> Result<f64, NumError> {
+    let pick = golden_section_min_with_endpoints(
+        |b| device_energy(problem, i, b) + omega * b,
+        b_lo,
+        b_hi,
+        problem.config().scalar_tol * b_hi,
+        300,
+    )?;
+    Ok(pick.argmin)
+}
+
+/// Solves Subproblem 2 directly (see the module docs) and returns a feasible `(p, B)` point.
+///
+/// # Errors
+///
+/// Propagates numerical errors from the scalar searches (which only trigger on non-finite
+/// inputs); the caller treats any error as "keep the Newton-like solution".
+pub fn solve_reference(
+    problem: &Sp2Problem<'_>,
+    _start: &PowerBandwidth,
+) -> Result<PowerBandwidth, NumError> {
+    let scenario = problem.scenario();
+    let n = scenario.devices.len();
+    let b_total = problem.total_bandwidth();
+    let n0 = problem.n0();
+
+    let b_lo: Vec<f64> = (0..n).map(|i| min_bandwidth(problem, i)).collect();
+    let lo_sum: f64 = b_lo.iter().sum();
+
+    let mut bandwidths = vec![0.0; n];
+    if lo_sum >= b_total {
+        // The rate floors alone exhaust (or exceed) the budget: hand out proportional shares.
+        for i in 0..n {
+            bandwidths[i] = b_lo[i] / lo_sum * b_total;
+        }
+    } else {
+        // Price the bandwidth and bisect the price until the budget clears.
+        let demand = |omega: f64| -> Result<f64, NumError> {
+            let mut total = 0.0;
+            for i in 0..n {
+                total += bandwidth_at_price(problem, i, omega, b_lo[i], b_total)?;
+            }
+            Ok(total)
+        };
+        // Find an upper price at which demand fits inside the budget.
+        let mut omega_hi = 1e-12;
+        let mut tries = 0;
+        while demand(omega_hi)? > b_total && tries < 80 {
+            omega_hi *= 4.0;
+            tries += 1;
+        }
+        let mut omega_lo = 0.0;
+        // Bisection on the (decreasing) aggregate demand.
+        for _ in 0..60 {
+            let mid = 0.5 * (omega_lo + omega_hi);
+            if demand(mid)? > b_total {
+                omega_lo = mid;
+            } else {
+                omega_hi = mid;
+            }
+        }
+        for i in 0..n {
+            bandwidths[i] = bandwidth_at_price(problem, i, omega_hi, b_lo[i], b_total)?;
+        }
+        // Give any slack back to the devices proportionally to their demand (energy is
+        // decreasing in bandwidth, so this can only help).
+        let used: f64 = bandwidths.iter().sum();
+        if used < b_total && used > 0.0 {
+            let scale = b_total / used;
+            for b in &mut bandwidths {
+                *b *= scale;
+            }
+        }
+    }
+
+    let powers: Vec<f64> = (0..n)
+        .map(|i| {
+            let dev = &scenario.devices[i];
+            dev.clamp_power(power_for_rate(problem.r_min_bps()[i], bandwidths[i], dev.gain.value(), n0))
+        })
+        .collect();
+
+    let mut point = PowerBandwidth::new(powers, bandwidths);
+    problem.sanitize(&mut point);
+    Ok(point)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SolverConfig;
+    use flsys::{Allocation, ScenarioBuilder, Weights};
+
+    fn fixture(n: usize, seed: u64, window_s: f64) -> (flsys::Scenario, SolverConfig, Vec<f64>) {
+        let s = ScenarioBuilder::paper_default().with_devices(n).build(seed).unwrap();
+        let cfg = SolverConfig::default();
+        let r_min = s.devices.iter().map(|d| d.upload_bits / window_s).collect();
+        (s, cfg, r_min)
+    }
+
+    #[test]
+    fn reference_beats_equal_split_at_max_power() {
+        let (s, cfg, r_min) = fixture(10, 21, 0.05);
+        let problem = Sp2Problem::new(&s, Weights::balanced(), r_min, &cfg).unwrap();
+        let a = Allocation::equal_split_max(&s);
+        let start = PowerBandwidth::new(a.powers_w.clone(), a.bandwidths_hz.clone());
+        let reference = solve_reference(&problem, &start).unwrap();
+        assert!(
+            problem.comm_energy(&reference) <= problem.comm_energy(&start) * (1.0 + 1e-9),
+            "reference {} should beat start {}",
+            problem.comm_energy(&reference),
+            problem.comm_energy(&start)
+        );
+    }
+
+    #[test]
+    fn reference_uses_the_whole_band() {
+        let (s, cfg, r_min) = fixture(8, 22, 0.05);
+        let problem = Sp2Problem::new(&s, Weights::balanced(), r_min, &cfg).unwrap();
+        let a = Allocation::equal_split_max(&s);
+        let start = PowerBandwidth::new(a.powers_w, a.bandwidths_hz);
+        let reference = solve_reference(&problem, &start).unwrap();
+        let used: f64 = reference.bandwidths_hz.iter().sum();
+        assert!(used >= 0.95 * s.params.total_bandwidth.value(), "band under-used: {used}");
+        assert!(used <= s.params.total_bandwidth.value() * (1.0 + 1e-6));
+    }
+
+    #[test]
+    fn reference_meets_rate_floors() {
+        let (s, cfg, r_min) = fixture(12, 23, 0.03);
+        let problem = Sp2Problem::new(&s, Weights::balanced(), r_min.clone(), &cfg).unwrap();
+        let a = Allocation::equal_split_max(&s);
+        let start = PowerBandwidth::new(a.powers_w, a.bandwidths_hz);
+        let reference = solve_reference(&problem, &start).unwrap();
+        let n0 = s.params.noise.watts_per_hz();
+        for (i, dev) in s.devices.iter().enumerate() {
+            let rate = shannon_rate_raw(reference.powers_w[i], reference.bandwidths_hz[i], dev.gain.value(), n0);
+            assert!(rate >= r_min[i] * (1.0 - 1e-3), "device {i} rate {rate} < {}", r_min[i]);
+        }
+    }
+
+    #[test]
+    fn min_bandwidth_respects_rate_floor() {
+        let (s, cfg, r_min) = fixture(5, 24, 0.02);
+        let problem = Sp2Problem::new(&s, Weights::balanced(), r_min.clone(), &cfg).unwrap();
+        let n0 = s.params.noise.watts_per_hz();
+        for i in 0..5 {
+            let b = min_bandwidth(&problem, i);
+            let dev = &s.devices[i];
+            let rate = shannon_rate_raw(dev.p_max.value(), b, dev.gain.value(), n0);
+            assert!(rate >= r_min[i] * (1.0 - 1e-6));
+        }
+    }
+
+    #[test]
+    fn devices_with_better_channels_spend_less_energy() {
+        // Aggregate sanity: the reference solution's total energy decreases if every channel
+        // gain is improved by 6 dB.
+        let (s, cfg, r_min) = fixture(10, 25, 0.05);
+        let problem = Sp2Problem::new(&s, Weights::balanced(), r_min.clone(), &cfg).unwrap();
+        let a = Allocation::equal_split_max(&s);
+        let start = PowerBandwidth::new(a.powers_w.clone(), a.bandwidths_hz.clone());
+        let base = problem.comm_energy(&solve_reference(&problem, &start).unwrap());
+
+        let mut better = s.clone();
+        for d in &mut better.devices {
+            d.gain = wireless::channel::ChannelGain::new(d.gain.value() * 4.0);
+        }
+        let problem2 = Sp2Problem::new(&better, Weights::balanced(), r_min, &cfg).unwrap();
+        let improved = problem2.comm_energy(&solve_reference(&problem2, &start).unwrap());
+        assert!(improved < base, "better channels should reduce energy ({improved} vs {base})");
+    }
+}

@@ -1,0 +1,104 @@
+//! Convergence traces of the alternating optimization.
+
+use serde::{Deserialize, Serialize};
+
+/// Snapshot of one outer iteration of Algorithm 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OuterIteration {
+    /// Outer iteration index (1-based, matching the paper's `k`).
+    pub k: usize,
+    /// Weighted objective `w1·E + w2·R_g·T` after this iteration.
+    pub objective: f64,
+    /// Total energy `E` after this iteration (J).
+    pub total_energy_j: f64,
+    /// Total completion time `R_g·T` after this iteration (s).
+    pub total_time_s: f64,
+    /// Normalized change of the solution vector relative to the previous iteration.
+    pub solution_change: f64,
+    /// Whether the Subproblem-2 Newton-like loop reported convergence in this iteration.
+    pub sp2_converged: bool,
+}
+
+/// Full convergence trace of one solver run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// One entry per outer iteration, in order.
+    pub iterations: Vec<OuterIteration>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one outer iteration.
+    pub fn push(&mut self, iteration: OuterIteration) {
+        self.iterations.push(iteration);
+    }
+
+    /// Number of outer iterations recorded.
+    pub fn len(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// Returns `true` if nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.iterations.is_empty()
+    }
+
+    /// The best (lowest) objective seen so far.
+    pub fn best_objective(&self) -> Option<f64> {
+        self.iterations.iter().map(|it| it.objective).min_by(|a, b| a.partial_cmp(b).expect("finite"))
+    }
+
+    /// Returns `true` if the recorded objectives are non-increasing within `tol` (relative).
+    pub fn is_monotone_non_increasing(&self, tol: f64) -> bool {
+        self.iterations
+            .windows(2)
+            .all(|w| w[1].objective <= w[0].objective * (1.0 + tol) + tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iter(k: usize, obj: f64) -> OuterIteration {
+        OuterIteration {
+            k,
+            objective: obj,
+            total_energy_j: obj / 2.0,
+            total_time_s: obj / 2.0,
+            solution_change: 0.1,
+            sp2_converged: true,
+        }
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.push(iter(1, 10.0));
+        t.push(iter(2, 8.0));
+        t.push(iter(3, 7.9));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.best_objective(), Some(7.9));
+        assert!(t.is_monotone_non_increasing(1e-9));
+    }
+
+    #[test]
+    fn detects_non_monotone() {
+        let mut t = Trace::new();
+        t.push(iter(1, 5.0));
+        t.push(iter(2, 6.0));
+        assert!(!t.is_monotone_non_increasing(1e-9));
+        // But a 25% tolerance masks it.
+        assert!(t.is_monotone_non_increasing(0.25));
+    }
+
+    #[test]
+    fn empty_trace_has_no_best() {
+        assert_eq!(Trace::new().best_objective(), None);
+    }
+}

@@ -1,0 +1,52 @@
+//! Property-based tests of the resource-allocation solver's invariants.
+
+use fedopt_core::{JointOptimizer, SolverConfig, Weights};
+use flsys::{Allocation, ScenarioBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    // Each case runs the full solver, so keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any scenario and any valid weight pair, the solver returns a feasible allocation
+    /// whose weighted objective does not exceed the naive equal-split allocation's.
+    #[test]
+    fn solver_output_is_feasible_and_no_worse_than_naive(
+        seed in 0u64..200,
+        devices in 3usize..10,
+        w1_tenths in 1u32..10,
+    ) {
+        let scenario = ScenarioBuilder::paper_default().with_devices(devices).build(seed).unwrap();
+        let w1 = f64::from(w1_tenths) / 10.0;
+        let weights = Weights::new(w1, 1.0 - w1).unwrap();
+        let optimizer = JointOptimizer::new(SolverConfig::fast());
+        let outcome = optimizer.solve(&scenario, weights).unwrap();
+
+        prop_assert!(outcome.allocation.is_feasible(&scenario, 1e-5));
+        prop_assert!(outcome.objective.is_finite());
+        prop_assert!(outcome.total_energy_j > 0.0);
+        prop_assert!(outcome.total_time_s > 0.0);
+
+        let naive = scenario.cost(&Allocation::equal_split_max(&scenario)).unwrap();
+        prop_assert!(outcome.objective <= naive.objective(weights) * (1.0 + 1e-9));
+    }
+
+    /// The deadline-constrained variant either meets the deadline or reports infeasibility —
+    /// it never silently violates the constraint.
+    #[test]
+    fn deadline_variant_is_honest(seed in 0u64..200, devices in 3usize..9, deadline in 20.0f64..200.0) {
+        let scenario = ScenarioBuilder::paper_default().with_devices(devices).build(seed).unwrap();
+        let optimizer = JointOptimizer::new(SolverConfig::fast());
+        match optimizer.solve_with_deadline(&scenario, deadline) {
+            Ok(outcome) => {
+                prop_assert!(outcome.allocation.is_feasible(&scenario, 1e-5));
+                prop_assert!(outcome.total_time_s <= deadline * 1.01,
+                    "returned {} for deadline {deadline}", outcome.total_time_s);
+            }
+            Err(fedopt_core::CoreError::InfeasibleDeadline { achievable_s, .. }) => {
+                prop_assert!(achievable_s > deadline * 0.99);
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+        }
+    }
+}

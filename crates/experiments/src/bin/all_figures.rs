@@ -1,0 +1,38 @@
+//! Regenerates every figure of the paper's evaluation in one run.
+//!
+//! Run with `--paper` for the full 50-device sweeps; the default quick presets finish in a
+//! few minutes on a laptop.
+
+#[path = "common.rs"]
+mod common;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let paper = common::paper_mode();
+    macro_rules! pair {
+        ($modname:ident, $cfg:ident, $label:expr) => {{
+            eprintln!("=== {} ===", $label);
+            let cfg = if paper {
+                experiments::$modname::$cfg::paper()
+            } else {
+                experiments::$modname::$cfg::quick()
+            };
+            let (energy, delay) = experiments::$modname::run(&cfg)?;
+            common::emit(&energy);
+            common::emit(&delay);
+        }};
+    }
+    pair!(fig2, Fig2Config, "Figure 2: energy/delay vs maximum transmit power");
+    pair!(fig3, Fig3Config, "Figure 3: energy/delay vs maximum CPU frequency");
+    pair!(fig4, Fig4Config, "Figure 4: energy/delay vs number of devices");
+    pair!(fig5, Fig5Config, "Figure 5: energy/delay vs cell radius");
+    pair!(fig6, Fig6Config, "Figure 6: energy/delay vs computation rounds");
+
+    eprintln!("=== Figure 7: joint vs communication-only vs computation-only ===");
+    let cfg7 = if paper { experiments::fig7::Fig7Config::paper() } else { experiments::fig7::Fig7Config::quick() };
+    common::emit(&experiments::fig7::run(&cfg7)?);
+
+    eprintln!("=== Figure 8: proposed vs Scheme 1 ===");
+    let cfg8 = if paper { experiments::fig8::Fig8Config::paper() } else { experiments::fig8::Fig8Config::quick() };
+    common::emit(&experiments::fig8::run(&cfg8)?);
+    Ok(())
+}

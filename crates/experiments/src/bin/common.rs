@@ -1,0 +1,14 @@
+//! Shared helpers for the figure binaries (included via `#[path]`).
+
+/// Returns `true` when the binary was invoked with `--paper`, selecting the full-scale
+/// (50-device) preset instead of the quick one.
+pub fn paper_mode() -> bool {
+    std::env::args().any(|a| a == "--paper")
+}
+
+/// Prints a figure report as a table followed by its CSV form.
+pub fn emit(report: &experiments::FigureReport) {
+    println!("{}", report.to_table_string());
+    println!("--- CSV ({}) ---", report.id);
+    println!("{}", report.to_csv_string());
+}

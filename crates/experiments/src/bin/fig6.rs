@@ -1,0 +1,17 @@
+//! Regenerates Figure 6 of the paper (energy and delay sub-figures).
+//!
+//! Run with `--paper` for the full 50-device sweep; the default is a quick preset.
+
+#[path = "common.rs"]
+mod common;
+
+use experiments::fig6::{run, Fig6Config};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = if common::paper_mode() { Fig6Config::paper() } else { Fig6Config::quick() };
+    eprintln!("running figure 6 sweep ({} mode)...", if common::paper_mode() { "paper" } else { "quick" });
+    let (energy, delay) = run(&cfg)?;
+    common::emit(&energy);
+    common::emit(&delay);
+    Ok(())
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 7 of the paper.
+//!
+//! Run with `--paper` for the full 50-device sweep; the default is a quick preset.
+
+#[path = "common.rs"]
+mod common;
+
+use experiments::fig7::{run, Fig7Config};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = if common::paper_mode() { Fig7Config::paper() } else { Fig7Config::quick() };
+    eprintln!("running figure 7 sweep ({} mode)...", if common::paper_mode() { "paper" } else { "quick" });
+    let report = run(&cfg)?;
+    common::emit(&report);
+    Ok(())
+}

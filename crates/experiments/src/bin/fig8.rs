@@ -1,0 +1,16 @@
+//! Regenerates Figure 8 of the paper.
+//!
+//! Run with `--paper` for the full 50-device sweep; the default is a quick preset.
+
+#[path = "common.rs"]
+mod common;
+
+use experiments::fig8::{run, Fig8Config};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = if common::paper_mode() { Fig8Config::paper() } else { Fig8Config::quick() };
+    eprintln!("running figure 8 sweep ({} mode)...", if common::paper_mode() { "paper" } else { "quick" });
+    let report = run(&cfg)?;
+    common::emit(&report);
+    Ok(())
+}

@@ -1,0 +1,134 @@
+//! Figure 2 — total energy (2a) and total delay (2b) vs the maximum transmit power limit.
+//!
+//! Five weight pairs of the proposed algorithm are compared against the random benchmark
+//! (random CPU frequency, maximum power, equal bandwidth split) while `p_max` sweeps from
+//! 5 dBm to 12 dBm.
+
+use crate::report::FigureReport;
+use crate::sweep::{average_benchmark, average_proposed};
+use fedopt_core::{CoreError, SolverConfig};
+use flsys::{ScenarioBuilder, Weights};
+
+/// Configuration of the Figure-2 sweep.
+#[derive(Debug, Clone)]
+pub struct Fig2Config {
+    /// Number of devices (the paper uses 50).
+    pub devices: usize,
+    /// Scenario seeds to average over (the paper averages 100 random user draws).
+    pub seeds: Vec<u64>,
+    /// The `p_max` values to sweep, in dBm.
+    pub p_max_dbm: Vec<f64>,
+    /// The weight pairs to plot.
+    pub weights: Vec<Weights>,
+    /// Solver settings.
+    pub solver: SolverConfig,
+}
+
+impl Fig2Config {
+    /// Small preset for CI / benches: 15 devices, 2 seeds, 4 sweep points.
+    pub fn quick() -> Self {
+        Self {
+            devices: 15,
+            seeds: vec![11, 12],
+            p_max_dbm: vec![5.0, 8.0, 10.0, 12.0],
+            weights: Weights::paper_sweep().to_vec(),
+            solver: SolverConfig::fast(),
+        }
+    }
+
+    /// The paper's setup: 50 devices, 5 dBm to 12 dBm in 1 dB steps.
+    pub fn paper() -> Self {
+        Self {
+            devices: 50,
+            seeds: (0..5).collect(),
+            p_max_dbm: (5..=12).map(f64::from).collect(),
+            weights: Weights::paper_sweep().to_vec(),
+            solver: SolverConfig::default(),
+        }
+    }
+}
+
+/// Runs the sweep and returns `(energy report, delay report)` — Fig. 2a and Fig. 2b.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn run(cfg: &Fig2Config) -> Result<(FigureReport, FigureReport), CoreError> {
+    let mut columns: Vec<String> = cfg
+        .weights
+        .iter()
+        .map(|w| format!("proposed w1={:.1},w2={:.1}", w.energy(), w.time()))
+        .collect();
+    columns.push("benchmark".to_string());
+
+    let mut energy = FigureReport::new(
+        "fig2a",
+        "Total energy consumption vs maximum transmit power",
+        "p_max (dBm)",
+        "total energy (J)",
+        columns.clone(),
+    );
+    let mut delay = FigureReport::new(
+        "fig2b",
+        "Total completion time vs maximum transmit power",
+        "p_max (dBm)",
+        "total time (s)",
+        columns,
+    );
+
+    for &p_max in &cfg.p_max_dbm {
+        let builder = ScenarioBuilder::paper_default()
+            .with_devices(cfg.devices)
+            .with_p_max_dbm(p_max);
+        let mut e_row = Vec::new();
+        let mut t_row = Vec::new();
+        for &w in &cfg.weights {
+            let (e, t) = average_proposed(&builder, w, &cfg.seeds, &cfg.solver)?;
+            e_row.push(e);
+            t_row.push(t);
+        }
+        let (e_bench, t_bench) = average_benchmark(&builder, &cfg.seeds, true)?;
+        e_row.push(e_bench);
+        t_row.push(t_bench);
+        energy.push_row(p_max, e_row);
+        delay.push_row(p_max, t_row);
+    }
+    Ok((energy, delay))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Fig2Config {
+        Fig2Config {
+            devices: 6,
+            seeds: vec![1],
+            p_max_dbm: vec![6.0, 12.0],
+            weights: vec![Weights::new(0.9, 0.1).unwrap(), Weights::new(0.1, 0.9).unwrap()],
+            solver: SolverConfig::fast(),
+        }
+    }
+
+    #[test]
+    fn proposed_beats_benchmark_on_its_weighted_metric_and_is_monotone() {
+        // At this small device count the paper's "every weight pair beats the benchmark on
+        // energy" only holds for the energy-leaning pairs (the energy optimum scales with
+        // 1/N), so the robust cross-scale claims are: the energy-focused pair wins on energy,
+        // the time-focused pair wins on delay, and both metrics are monotone in the weights.
+        let (energy, delay) = run(&tiny()).unwrap();
+        assert_eq!(energy.rows.len(), 2);
+        assert_eq!(delay.rows.len(), 2);
+        for ((_, e_row), (_, t_row)) in energy.rows.iter().zip(&delay.rows) {
+            let e_bench = *e_row.last().unwrap();
+            let t_bench = *t_row.last().unwrap();
+            // w1 = 0.9 beats the benchmark on energy (Fig. 2a's headline).
+            assert!(e_row[0] < e_bench, "w1=0.9 energy {} should beat benchmark {e_bench}", e_row[0]);
+            // w2 = 0.9 beats the benchmark on delay (Fig. 2b's headline).
+            assert!(t_row[1] < t_bench, "w2=0.9 delay {} should beat benchmark {t_bench}", t_row[1]);
+            // Larger w1 ⇒ lower energy; larger w2 ⇒ lower delay.
+            assert!(e_row[0] <= e_row[1] * 1.05);
+            assert!(t_row[1] <= t_row[0] * 1.05);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Figure 4 — total energy (4a) and total delay (4b) vs the number of devices.
+//!
+//! The total number of training samples is fixed at 25 000 and split equally across devices,
+//! so adding devices shrinks every device's local workload.
+
+use crate::report::FigureReport;
+use crate::sweep::average_proposed;
+use fedopt_core::{CoreError, SolverConfig};
+use flsys::{ScenarioBuilder, Weights};
+
+/// Configuration of the Figure-4 sweep.
+#[derive(Debug, Clone)]
+pub struct Fig4Config {
+    /// Device counts to sweep (the paper uses 20–80).
+    pub device_counts: Vec<usize>,
+    /// Total number of samples split across the devices.
+    pub total_samples: u64,
+    /// Scenario seeds to average over.
+    pub seeds: Vec<u64>,
+    /// The weight pairs to plot.
+    pub weights: Vec<Weights>,
+    /// Solver settings.
+    pub solver: SolverConfig,
+}
+
+impl Fig4Config {
+    /// Small preset for CI / benches.
+    pub fn quick() -> Self {
+        Self {
+            device_counts: vec![10, 20, 40],
+            total_samples: 25_000,
+            seeds: vec![31],
+            weights: vec![
+                Weights::new(0.9, 0.1).expect("valid"),
+                Weights::new(0.5, 0.5).expect("valid"),
+                Weights::new(0.1, 0.9).expect("valid"),
+            ],
+            solver: SolverConfig::fast(),
+        }
+    }
+
+    /// The paper's setup: 20–80 devices, all five weight pairs.
+    pub fn paper() -> Self {
+        Self {
+            device_counts: vec![20, 30, 40, 50, 60, 70, 80],
+            total_samples: 25_000,
+            seeds: (0..5).collect(),
+            weights: Weights::paper_sweep().to_vec(),
+            solver: SolverConfig::default(),
+        }
+    }
+}
+
+/// Runs the sweep and returns `(energy report, delay report)` — Fig. 4a and Fig. 4b.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn run(cfg: &Fig4Config) -> Result<(FigureReport, FigureReport), CoreError> {
+    let columns: Vec<String> = cfg
+        .weights
+        .iter()
+        .map(|w| format!("proposed w1={:.1},w2={:.1}", w.energy(), w.time()))
+        .collect();
+
+    let mut energy = FigureReport::new(
+        "fig4a",
+        "Total energy consumption vs number of devices",
+        "number of devices",
+        "total energy (J)",
+        columns.clone(),
+    );
+    let mut delay = FigureReport::new(
+        "fig4b",
+        "Total completion time vs number of devices",
+        "number of devices",
+        "total time (s)",
+        columns,
+    );
+
+    for &n in &cfg.device_counts {
+        let builder = ScenarioBuilder::paper_default()
+            .with_devices(n)
+            .with_total_samples(cfg.total_samples);
+        let mut e_row = Vec::new();
+        let mut t_row = Vec::new();
+        for &w in &cfg.weights {
+            let (e, t) = average_proposed(&builder, w, &cfg.seeds, &cfg.solver)?;
+            e_row.push(e);
+            t_row.push(t);
+        }
+        energy.push_row(n as f64, e_row);
+        delay.push_row(n as f64, t_row);
+    }
+    Ok((energy, delay))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_devices_with_fixed_total_samples_reduces_delay() {
+        let cfg = Fig4Config {
+            device_counts: vec![5, 20],
+            total_samples: 10_000,
+            seeds: vec![3],
+            weights: vec![Weights::new(0.1, 0.9).unwrap()],
+            solver: SolverConfig::fast(),
+        };
+        let (energy, delay) = run(&cfg).unwrap();
+        assert_eq!(energy.rows.len(), 2);
+        // With 4x fewer samples per device, the time-weighted run finishes faster.
+        let few = delay.rows[0].1[0];
+        let many = delay.rows[1].1[0];
+        assert!(many < few, "delay should drop with more devices: {few} -> {many}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Figure 5 — total energy (5a) and total delay (5b) vs the radius of the placement disc,
+//! for three device counts, at `w1 = w2 = 0.5`.
+
+use crate::report::FigureReport;
+use crate::sweep::average_proposed;
+use fedopt_core::{CoreError, SolverConfig};
+use flsys::{ScenarioBuilder, Weights};
+
+/// Configuration of the Figure-5 sweep.
+#[derive(Debug, Clone)]
+pub struct Fig5Config {
+    /// Radii of the placement disc to sweep, in kilometres.
+    pub radii_km: Vec<f64>,
+    /// Device counts (one series each; the paper uses 20, 50, 80).
+    pub device_counts: Vec<usize>,
+    /// Samples per device (the paper keeps 500 regardless of the device count here).
+    pub samples_per_device: u64,
+    /// Scenario seeds to average over.
+    pub seeds: Vec<u64>,
+    /// Solver settings.
+    pub solver: SolverConfig,
+}
+
+impl Fig5Config {
+    /// Small preset for CI / benches.
+    pub fn quick() -> Self {
+        Self {
+            radii_km: vec![0.1, 0.5, 1.0],
+            device_counts: vec![10, 20],
+            samples_per_device: 500,
+            seeds: vec![41],
+            solver: SolverConfig::fast(),
+        }
+    }
+
+    /// The paper's setup: radii 0.1–1.5 km, N ∈ {20, 50, 80}.
+    pub fn paper() -> Self {
+        Self {
+            radii_km: vec![0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.3, 1.5],
+            device_counts: vec![20, 50, 80],
+            samples_per_device: 500,
+            seeds: (0..5).collect(),
+            solver: SolverConfig::default(),
+        }
+    }
+}
+
+/// Runs the sweep and returns `(energy report, delay report)` — Fig. 5a and Fig. 5b.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn run(cfg: &Fig5Config) -> Result<(FigureReport, FigureReport), CoreError> {
+    let columns: Vec<String> = cfg.device_counts.iter().map(|n| format!("N = {n}")).collect();
+    let mut energy = FigureReport::new(
+        "fig5a",
+        "Total energy consumption vs cell radius (w1 = w2 = 0.5)",
+        "radius (km)",
+        "total energy (J)",
+        columns.clone(),
+    );
+    let mut delay = FigureReport::new(
+        "fig5b",
+        "Total completion time vs cell radius (w1 = w2 = 0.5)",
+        "radius (km)",
+        "total time (s)",
+        columns,
+    );
+
+    for &radius in &cfg.radii_km {
+        let mut e_row = Vec::new();
+        let mut t_row = Vec::new();
+        for &n in &cfg.device_counts {
+            let builder = ScenarioBuilder::paper_default()
+                .with_devices(n)
+                .with_samples_per_device(cfg.samples_per_device)
+                .with_radius_km(radius);
+            let (e, t) = average_proposed(&builder, Weights::balanced(), &cfg.seeds, &cfg.solver)?;
+            e_row.push(e);
+            t_row.push(t);
+        }
+        energy.push_row(radius, e_row);
+        delay.push_row(radius, t_row);
+    }
+    Ok((energy, delay))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_grows_with_radius() {
+        let cfg = Fig5Config {
+            radii_km: vec![0.1, 1.5],
+            device_counts: vec![8],
+            samples_per_device: 500,
+            seeds: vec![5],
+            solver: SolverConfig::fast(),
+        };
+        let (_, delay) = run(&cfg).unwrap();
+        let near = delay.rows[0].1[0];
+        let far = delay.rows[1].1[0];
+        assert!(far > near, "delay should grow with radius: {near} -> {far}");
+    }
+}

@@ -1,0 +1,113 @@
+//! Figure 6 — total energy (6a) and total delay (6b) vs the number of local iterations per
+//! global round, for several global-round counts, at `w1 = w2 = 0.5`.
+
+use crate::report::FigureReport;
+use crate::sweep::average_proposed;
+use fedopt_core::{CoreError, SolverConfig};
+use flsys::{ScenarioBuilder, Weights};
+
+/// Configuration of the Figure-6 sweep.
+#[derive(Debug, Clone)]
+pub struct Fig6Config {
+    /// Numbers of local iterations `R_l` to sweep.
+    pub local_iterations: Vec<u32>,
+    /// Numbers of global rounds `R_g` (one series each).
+    pub global_rounds: Vec<u32>,
+    /// Number of devices.
+    pub devices: usize,
+    /// Scenario seeds to average over.
+    pub seeds: Vec<u64>,
+    /// Solver settings.
+    pub solver: SolverConfig,
+}
+
+impl Fig6Config {
+    /// Small preset for CI / benches.
+    pub fn quick() -> Self {
+        Self {
+            local_iterations: vec![10, 50, 110],
+            global_rounds: vec![50, 400],
+            devices: 10,
+            seeds: vec![51],
+            solver: SolverConfig::fast(),
+        }
+    }
+
+    /// The paper's setup: `R_l ∈ {10, 30, …, 110}`, `R_g ∈ {50, 100, 200, 300, 400}`, 50 devices.
+    pub fn paper() -> Self {
+        Self {
+            local_iterations: vec![10, 30, 50, 70, 90, 110],
+            global_rounds: vec![50, 100, 200, 300, 400],
+            devices: 50,
+            seeds: (0..5).collect(),
+            solver: SolverConfig::default(),
+        }
+    }
+}
+
+/// Runs the sweep and returns `(energy report, delay report)` — Fig. 6a and Fig. 6b.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn run(cfg: &Fig6Config) -> Result<(FigureReport, FigureReport), CoreError> {
+    let columns: Vec<String> = cfg.global_rounds.iter().map(|rg| format!("R_g = {rg}")).collect();
+    let mut energy = FigureReport::new(
+        "fig6a",
+        "Total energy consumption vs local iterations per round (w1 = w2 = 0.5)",
+        "local iterations R_l",
+        "total energy (J)",
+        columns.clone(),
+    );
+    let mut delay = FigureReport::new(
+        "fig6b",
+        "Total completion time vs local iterations per round (w1 = w2 = 0.5)",
+        "local iterations R_l",
+        "total time (s)",
+        columns,
+    );
+
+    for &rl in &cfg.local_iterations {
+        let mut e_row = Vec::new();
+        let mut t_row = Vec::new();
+        for &rg in &cfg.global_rounds {
+            let builder = ScenarioBuilder::paper_default()
+                .with_devices(cfg.devices)
+                .with_local_iterations(rl)
+                .with_global_rounds(rg);
+            let (e, t) = average_proposed(&builder, Weights::balanced(), &cfg.seeds, &cfg.solver)?;
+            e_row.push(e);
+            t_row.push(t);
+        }
+        energy.push_row(f64::from(rl), e_row);
+        delay.push_row(f64::from(rl), t_row);
+    }
+    Ok((energy, delay))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_and_delay_grow_with_local_iterations_and_rounds() {
+        let cfg = Fig6Config {
+            local_iterations: vec![10, 90],
+            global_rounds: vec![50, 400],
+            devices: 6,
+            seeds: vec![6],
+            solver: SolverConfig::fast(),
+        };
+        let (energy, delay) = run(&cfg).unwrap();
+        // More local iterations: both metrics grow (column-wise comparison).
+        for c in 0..2 {
+            assert!(energy.rows[1].1[c] > energy.rows[0].1[c]);
+            assert!(delay.rows[1].1[c] > delay.rows[0].1[c]);
+        }
+        // More global rounds: both metrics grow (row-wise comparison).
+        for r in 0..2 {
+            assert!(energy.rows[r].1[1] > energy.rows[r].1[0]);
+            assert!(delay.rows[r].1[1] > delay.rows[r].1[0]);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Figure 7 — total energy vs the maximum completion time `T`, comparing joint optimization
+//! against communication-only and computation-only optimization (`w1 = 1, w2 = 0`,
+//! `p_max = 10 dBm`).
+
+use crate::report::FigureReport;
+use crate::sweep::average_metric;
+use baselines::{CommOnlyAllocator, CompOnlyAllocator};
+use fedopt_core::{CoreError, JointOptimizer, SolverConfig};
+use flsys::ScenarioBuilder;
+
+/// Configuration of the Figure-7 sweep.
+#[derive(Debug, Clone)]
+pub struct Fig7Config {
+    /// Number of devices.
+    pub devices: usize,
+    /// Maximum transmit power in dBm (the paper fixes 10 dBm here).
+    pub p_max_dbm: f64,
+    /// Completion-time deadlines to sweep, in seconds.
+    pub deadlines_s: Vec<f64>,
+    /// Scenario seeds to average over.
+    pub seeds: Vec<u64>,
+    /// Solver settings.
+    pub solver: SolverConfig,
+}
+
+impl Fig7Config {
+    /// Small preset for CI / benches.
+    pub fn quick() -> Self {
+        Self {
+            devices: 12,
+            p_max_dbm: 10.0,
+            deadlines_s: vec![100.0, 120.0, 150.0],
+            seeds: vec![61],
+            solver: SolverConfig::fast(),
+        }
+    }
+
+    /// The paper's setup: 50 devices, deadlines 100–150 s.
+    pub fn paper() -> Self {
+        Self {
+            devices: 50,
+            p_max_dbm: 10.0,
+            deadlines_s: vec![100.0, 110.0, 120.0, 130.0, 140.0, 150.0],
+            seeds: (0..5).collect(),
+            solver: SolverConfig::default(),
+        }
+    }
+}
+
+/// Runs the sweep and returns the Figure-7 report (three series: proposed, communication
+/// only, computation only).
+///
+/// # Errors
+///
+/// Propagates solver errors (an infeasible deadline for some seed is skipped, not an error).
+pub fn run(cfg: &Fig7Config) -> Result<FigureReport, CoreError> {
+    let mut report = FigureReport::new(
+        "fig7",
+        "Total energy consumption vs maximum completion time",
+        "maximum completion time T (s)",
+        "total energy (J)",
+        vec!["proposed".to_string(), "communication only".to_string(), "computation only".to_string()],
+    );
+
+    let builder = ScenarioBuilder::paper_default()
+        .with_devices(cfg.devices)
+        .with_p_max_dbm(cfg.p_max_dbm);
+    let optimizer = JointOptimizer::new(cfg.solver);
+    let comm = CommOnlyAllocator::new(cfg.solver);
+    let comp = CompOnlyAllocator::new(cfg.solver);
+
+    for &deadline in &cfg.deadlines_s {
+        let proposed = average_metric(&builder, &cfg.seeds, |s| match optimizer.solve_with_deadline(s, deadline) {
+            Ok(out) => Ok(Some(out.total_energy_j)),
+            Err(CoreError::InfeasibleDeadline { .. }) => Ok(None),
+            Err(e) => Err(e),
+        })?;
+        let comm_only = average_metric(&builder, &cfg.seeds, |s| {
+            comm.allocate(s, deadline).map(|r| Some(r.total_energy_j()))
+        })?;
+        let comp_only = average_metric(&builder, &cfg.seeds, |s| {
+            comp.allocate(s, deadline).map(|r| Some(r.total_energy_j()))
+        })?;
+        report.push_row(deadline, vec![proposed, comm_only, comp_only]);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joint_beats_comm_only_beats_comp_only() {
+        let cfg = Fig7Config {
+            devices: 8,
+            p_max_dbm: 10.0,
+            deadlines_s: vec![110.0, 150.0],
+            seeds: vec![7],
+            solver: SolverConfig::fast(),
+        };
+        let report = run(&cfg).unwrap();
+        for (deadline, row) in &report.rows {
+            let (proposed, comm, comp) = (row[0], row[1], row[2]);
+            assert!(
+                proposed <= comm * 1.02,
+                "T={deadline}: proposed {proposed} should beat comm-only {comm}"
+            );
+            assert!(
+                comm <= comp * 1.05,
+                "T={deadline}: comm-only {comm} should beat comp-only {comp}"
+            );
+        }
+        // Looser deadline never costs the proposed scheme more energy.
+        assert!(report.rows[1].1[0] <= report.rows[0].1[0] * 1.02);
+    }
+}

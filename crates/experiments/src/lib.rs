@@ -1,0 +1,45 @@
+//! # experiments
+//!
+//! The reproduction harness for the evaluation section (Section VII) of the ICDCS 2022 paper.
+//! Every figure has a dedicated module with a `quick()` preset (small device counts and
+//! sweeps, suitable for CI and benches) and a `paper()` preset (the paper's 50-device setup),
+//! plus a binary target that prints the regenerated series as an aligned table and CSV.
+//!
+//! | module | paper figure | sweep |
+//! |---|---|---|
+//! | [`fig2`] | Fig. 2a/2b | energy & delay vs maximum transmit power, five weight pairs + benchmark |
+//! | [`fig3`] | Fig. 3a/3b | energy & delay vs maximum CPU frequency, five weight pairs + benchmark |
+//! | [`fig4`] | Fig. 4a/4b | energy & delay vs number of devices (total samples fixed) |
+//! | [`fig5`] | Fig. 5a/5b | energy & delay vs cell radius for N ∈ {20, 50, 80} |
+//! | [`fig6`] | Fig. 6a/6b | energy & delay vs local iterations for R_g ∈ {50…400} |
+//! | [`fig7`] | Fig. 7 | energy vs completion-time deadline: joint vs comm-only vs comp-only |
+//! | [`fig8`] | Fig. 8 | energy vs maximum transmit power at fixed deadlines: proposed vs Scheme 1 |
+//!
+//! ```rust
+//! use experiments::fig7::{run, Fig7Config};
+//!
+//! # fn main() -> Result<(), fedopt_core::CoreError> {
+//! let mut cfg = Fig7Config::quick();
+//! cfg.devices = 6; // keep the doctest fast
+//! cfg.deadlines_s = vec![110.0, 150.0];
+//! let report = run(&cfg)?;
+//! assert_eq!(report.series_names().len(), 3);
+//! println!("{}", report.to_table_string());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod report;
+pub mod sweep;
+
+pub use report::FigureReport;

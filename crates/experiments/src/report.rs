@@ -1,0 +1,150 @@
+//! Tabular output for regenerated figures.
+
+use serde::{Deserialize, Serialize};
+
+/// One regenerated figure (or sub-figure): an x-axis sweep with one column per series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureReport {
+    /// Identifier matching the paper, e.g. `"fig2a"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Label of the x axis (sweep variable).
+    pub x_label: String,
+    /// Label of the y axis (metric).
+    pub y_label: String,
+    /// Column (series) names, e.g. one per weight pair plus the benchmark.
+    pub columns: Vec<String>,
+    /// Rows: the x value followed by one y value per column (`f64::NAN` marks a missing
+    /// point, e.g. an infeasible deadline).
+    pub rows: Vec<(f64, Vec<f64>)>,
+}
+
+impl FigureReport {
+    /// Creates an empty report with the given metadata.
+    pub fn new(id: &str, title: &str, x_label: &str, y_label: &str, columns: Vec<String>) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row. `values` must have one entry per column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the number of columns (a programming error in
+    /// the harness, not a data condition).
+    pub fn push_row(&mut self, x: f64, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row width must match column count");
+        self.rows.push((x, values));
+    }
+
+    /// The series names.
+    pub fn series_names(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Extracts one series as `(x, y)` pairs.
+    pub fn series(&self, name: &str) -> Option<Vec<(f64, f64)>> {
+        let idx = self.columns.iter().position(|c| c == name)?;
+        Some(self.rows.iter().map(|(x, v)| (*x, v[idx])).collect())
+    }
+
+    /// Renders the report as an aligned plain-text table.
+    pub fn to_table_string(&self) -> String {
+        let mut header: Vec<String> = vec![self.x_label.clone()];
+        header.extend(self.columns.iter().cloned());
+        let mut table: Vec<Vec<String>> = vec![header];
+        for (x, values) in &self.rows {
+            let mut row = vec![format!("{x:.4}")];
+            row.extend(values.iter().map(|v| if v.is_nan() { "-".to_string() } else { format!("{v:.4}") }));
+            table.push(row);
+        }
+        let widths: Vec<usize> = (0..table[0].len())
+            .map(|c| table.iter().map(|r| r[c].len()).max().unwrap_or(0))
+            .collect();
+        let mut out = format!("# {} — {} [{}]\n", self.id, self.title, self.y_label);
+        for row in &table {
+            let line: Vec<String> = row.iter().zip(&widths).map(|(cell, w)| format!("{cell:>w$}")).collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the report as CSV (header row, then one line per x value).
+    pub fn to_csv_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.x_label.replace(',', ";"));
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(&c.replace(',', ";"));
+        }
+        out.push('\n');
+        for (x, values) in &self.rows {
+            out.push_str(&format!("{x}"));
+            for v in values {
+                out.push(',');
+                if v.is_nan() {
+                    out.push_str("NA");
+                } else {
+                    out.push_str(&format!("{v}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureReport {
+        let mut r = FigureReport::new(
+            "fig2a",
+            "Total energy vs p_max",
+            "p_max (dBm)",
+            "energy (J)",
+            vec!["w1=0.9".into(), "benchmark".into()],
+        );
+        r.push_row(5.0, vec![10.0, 50.0]);
+        r.push_row(6.0, vec![11.0, f64::NAN]);
+        r
+    }
+
+    #[test]
+    fn table_and_csv_contain_all_cells() {
+        let r = sample();
+        let table = r.to_table_string();
+        assert!(table.contains("fig2a"));
+        assert!(table.contains("benchmark"));
+        assert!(table.contains("50.0000"));
+        assert!(table.contains("-"));
+        let csv = r.to_csv_string();
+        assert!(csv.starts_with("p_max (dBm),w1=0.9,benchmark"));
+        assert!(csv.contains("5,10,50"));
+        assert!(csv.contains("NA"));
+    }
+
+    #[test]
+    fn series_extraction_works() {
+        let r = sample();
+        let s = r.series("w1=0.9").unwrap();
+        assert_eq!(s, vec![(5.0, 10.0), (6.0, 11.0)]);
+        assert!(r.series("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut r = sample();
+        r.push_row(7.0, vec![1.0]);
+    }
+}

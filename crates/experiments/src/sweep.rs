@@ -1,0 +1,163 @@
+//! Shared sweep utilities: averaged runs of the proposed algorithm and the baselines.
+
+use baselines::BenchmarkAllocator;
+use fedopt_core::{CoreError, JointOptimizer, SolverConfig};
+use flsys::{Scenario, ScenarioBuilder, Weights};
+
+/// Average `(total energy, total time)` of the proposed algorithm over several scenario seeds.
+///
+/// Every seed draws fresh device positions, channel gains and CPU parameters — the paper's
+/// "we run our algorithm ... 100 times and take the average value" protocol, at a
+/// configurable repetition count.
+///
+/// # Errors
+///
+/// Propagates the first solver error encountered.
+pub fn average_proposed(
+    builder: &ScenarioBuilder,
+    weights: Weights,
+    seeds: &[u64],
+    solver: &SolverConfig,
+) -> Result<(f64, f64), CoreError> {
+    let optimizer = JointOptimizer::new(*solver);
+    let mut energy = 0.0;
+    let mut time = 0.0;
+    for &seed in seeds {
+        let scenario = builder.build(seed)?;
+        let out = optimizer.solve(&scenario, weights)?;
+        energy += out.total_energy_j;
+        time += out.total_time_s;
+    }
+    let n = seeds.len().max(1) as f64;
+    Ok((energy / n, time / n))
+}
+
+/// Average `(total energy, total time)` of the random benchmark over several seeds.
+///
+/// `random_frequency` selects the Fig. 2 variant (random `f`, max power); otherwise the
+/// Fig. 3 variant (random `p`, max frequency) is used.
+///
+/// # Errors
+///
+/// Propagates scenario-construction or evaluation errors.
+pub fn average_benchmark(
+    builder: &ScenarioBuilder,
+    seeds: &[u64],
+    random_frequency: bool,
+) -> Result<(f64, f64), CoreError> {
+    let bench = BenchmarkAllocator::new();
+    let mut energy = 0.0;
+    let mut time = 0.0;
+    for &seed in seeds {
+        let scenario = builder.build(seed)?;
+        let result = if random_frequency {
+            bench.random_frequency(&scenario, seed ^ 0x9e37_79b9)?
+        } else {
+            bench.random_power(&scenario, seed ^ 0x9e37_79b9)?
+        };
+        energy += result.total_energy_j();
+        time += result.total_time_s();
+    }
+    let n = seeds.len().max(1) as f64;
+    Ok((energy / n, time / n))
+}
+
+/// Average total energy of the deadline-constrained proposed algorithm over several seeds.
+/// Returns `f64::NAN` if the deadline is infeasible for every seed.
+///
+/// # Errors
+///
+/// Propagates solver errors other than [`CoreError::InfeasibleDeadline`].
+pub fn average_proposed_with_deadline(
+    builder: &ScenarioBuilder,
+    deadline_s: f64,
+    seeds: &[u64],
+    solver: &SolverConfig,
+) -> Result<f64, CoreError> {
+    let optimizer = JointOptimizer::new(*solver);
+    let mut energy = 0.0;
+    let mut count = 0usize;
+    for &seed in seeds {
+        let scenario = builder.build(seed)?;
+        match optimizer.solve_with_deadline(&scenario, deadline_s) {
+            Ok(out) => {
+                energy += out.total_energy_j;
+                count += 1;
+            }
+            Err(CoreError::InfeasibleDeadline { .. }) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    if count == 0 {
+        Ok(f64::NAN)
+    } else {
+        Ok(energy / count as f64)
+    }
+}
+
+/// Runs a per-seed closure over scenarios built from the same builder and averages its output.
+/// Seeds whose closure returns `None` (e.g. infeasible deadline) are skipped.
+///
+/// # Errors
+///
+/// Propagates scenario-construction errors and errors returned by the closure.
+pub fn average_metric<F>(builder: &ScenarioBuilder, seeds: &[u64], mut f: F) -> Result<f64, CoreError>
+where
+    F: FnMut(&Scenario) -> Result<Option<f64>, CoreError>,
+{
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for &seed in seeds {
+        let scenario = builder.build(seed)?;
+        if let Some(v) = f(&scenario)? {
+            total += v;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        Ok(f64::NAN)
+    } else {
+        Ok(total / count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_builder() -> ScenarioBuilder {
+        ScenarioBuilder::paper_default().with_devices(6)
+    }
+
+    #[test]
+    fn proposed_beats_benchmark_on_average() {
+        let builder = small_builder();
+        let seeds = [1, 2];
+        let solver = SolverConfig::fast();
+        let (e_prop, _) = average_proposed(&builder, Weights::balanced(), &seeds, &solver).unwrap();
+        let (e_bench, _) = average_benchmark(&builder, &seeds, true).unwrap();
+        assert!(e_prop < e_bench, "proposed {e_prop} should beat benchmark {e_bench}");
+    }
+
+    #[test]
+    fn deadline_average_handles_infeasible() {
+        let builder = small_builder();
+        let solver = SolverConfig::fast();
+        let nan = average_proposed_with_deadline(&builder, 1e-6, &[1], &solver).unwrap();
+        assert!(nan.is_nan());
+        let ok = average_proposed_with_deadline(&builder, 200.0, &[1], &solver).unwrap();
+        assert!(ok.is_finite() && ok > 0.0);
+    }
+
+    #[test]
+    fn average_metric_skips_none() {
+        let builder = small_builder();
+        let v = average_metric(&builder, &[1, 2, 3], |s| {
+            Ok(if s.num_devices() > 0 { Some(2.0) } else { None })
+        })
+        .unwrap();
+        assert_eq!(v, 2.0);
+        let nan = average_metric(&builder, &[1], |_s| Ok(None)).unwrap();
+        assert!(nan.is_nan());
+    }
+}

@@ -1,0 +1,212 @@
+//! Hand-rolled logistic regression.
+//!
+//! The model each device trains locally: logistic regression with a bias term, optimized by
+//! plain mini-batch-free SGD (every local iteration is a full pass over the device's data,
+//! matching the paper's statement that "each device n uses all of its `D_n` data samples" per
+//! local iteration).
+
+use crate::data::DeviceDataset;
+use serde::{Deserialize, Serialize};
+
+/// A logistic-regression model `σ(w·x + b)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogisticModel {
+    /// Feature weights.
+    pub weights: Vec<f64>,
+    /// Bias term.
+    pub bias: f64,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl LogisticModel {
+    /// Creates a zero-initialized model of the given feature dimension.
+    pub fn zeros(dimension: usize) -> Self {
+        Self { weights: vec![0.0; dimension], bias: 0.0 }
+    }
+
+    /// Feature dimension.
+    pub fn dimension(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Predicted probability of the positive class for one sample.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        let z: f64 = self.weights.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>() + self.bias;
+        sigmoid(z)
+    }
+
+    /// Hard 0/1 prediction for one sample.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        if self.predict_proba(x) >= 0.5 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean cross-entropy loss over a dataset (the paper's `l_n(w)`).
+    ///
+    /// Returns `0.0` for an empty dataset.
+    pub fn loss(&self, data: &DeviceDataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let eps = 1e-12;
+        let total: f64 = data
+            .features
+            .iter()
+            .zip(&data.labels)
+            .map(|(x, &y)| {
+                let p = self.predict_proba(x).clamp(eps, 1.0 - eps);
+                -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+            })
+            .sum();
+        total / data.len() as f64
+    }
+
+    /// Classification accuracy over a dataset. Returns `0.0` for an empty dataset.
+    pub fn accuracy(&self, data: &DeviceDataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = data
+            .features
+            .iter()
+            .zip(&data.labels)
+            .filter(|(x, &y)| (self.predict(x) - y).abs() < 0.5)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// One full-batch gradient-descent step on a device's local data.
+    pub fn sgd_step(&mut self, data: &DeviceDataset, learning_rate: f64) {
+        if data.is_empty() {
+            return;
+        }
+        let n = data.len() as f64;
+        let dim = self.dimension();
+        let mut grad_w = vec![0.0; dim];
+        let mut grad_b = 0.0;
+        for (x, &y) in data.features.iter().zip(&data.labels) {
+            let err = self.predict_proba(x) - y;
+            for j in 0..dim {
+                grad_w[j] += err * x[j];
+            }
+            grad_b += err;
+        }
+        for j in 0..dim {
+            self.weights[j] -= learning_rate * grad_w[j] / n;
+        }
+        self.bias -= learning_rate * grad_b / n;
+    }
+
+    /// Runs `iterations` local full-batch steps (the paper's `R_l` local iterations).
+    pub fn train_local(&mut self, data: &DeviceDataset, learning_rate: f64, iterations: u32) {
+        for _ in 0..iterations {
+            self.sgd_step(data, learning_rate);
+        }
+    }
+
+    /// Weighted average of several models (FedAvg aggregation with weights `D_n / D`).
+    ///
+    /// Models and weights must be non-empty and of equal length; weights are renormalized to
+    /// sum to one. Returns `None` for empty or mismatched input.
+    pub fn weighted_average(models: &[LogisticModel], weights: &[f64]) -> Option<LogisticModel> {
+        if models.is_empty() || models.len() != weights.len() {
+            return None;
+        }
+        let dim = models[0].dimension();
+        if models.iter().any(|m| m.dimension() != dim) {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut avg = LogisticModel::zeros(dim);
+        for (m, &w) in models.iter().zip(weights) {
+            let share = w / total;
+            for j in 0..dim {
+                avg.weights[j] += share * m.weights[j];
+            }
+            avg.bias += share * m.bias;
+        }
+        Some(avg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{FederatedDataset, SyntheticConfig};
+
+    fn toy_data() -> DeviceDataset {
+        // Separable on the first coordinate.
+        DeviceDataset {
+            features: vec![vec![2.0, 0.1], vec![1.5, -0.3], vec![-2.0, 0.2], vec![-1.0, 0.4]],
+            labels: vec![1.0, 1.0, 0.0, 0.0],
+        }
+    }
+
+    #[test]
+    fn sigmoid_is_stable_and_bounded() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(1000.0) <= 1.0 && sigmoid(1000.0) > 0.999);
+        assert!(sigmoid(-1000.0) >= 0.0 && sigmoid(-1000.0) < 1e-3);
+    }
+
+    #[test]
+    fn training_reduces_loss_and_separates_toy_data() {
+        let data = toy_data();
+        let mut model = LogisticModel::zeros(2);
+        let initial_loss = model.loss(&data);
+        model.train_local(&data, 0.5, 200);
+        assert!(model.loss(&data) < initial_loss);
+        assert_eq!(model.accuracy(&data), 1.0);
+    }
+
+    #[test]
+    fn empty_dataset_is_harmless() {
+        let mut model = LogisticModel::zeros(3);
+        let empty = DeviceDataset::default();
+        model.sgd_step(&empty, 0.1);
+        assert_eq!(model.loss(&empty), 0.0);
+        assert_eq!(model.accuracy(&empty), 0.0);
+        assert_eq!(model, LogisticModel::zeros(3));
+    }
+
+    #[test]
+    fn weighted_average_respects_weights() {
+        let a = LogisticModel { weights: vec![1.0, 0.0], bias: 1.0 };
+        let b = LogisticModel { weights: vec![0.0, 1.0], bias: -1.0 };
+        let avg = LogisticModel::weighted_average(&[a, b], &[3.0, 1.0]).unwrap();
+        assert!((avg.weights[0] - 0.75).abs() < 1e-12);
+        assert!((avg.weights[1] - 0.25).abs() < 1e-12);
+        assert!((avg.bias - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_average_rejects_bad_input() {
+        let a = LogisticModel::zeros(2);
+        assert!(LogisticModel::weighted_average(&[], &[]).is_none());
+        assert!(LogisticModel::weighted_average(&[a.clone()], &[1.0, 2.0]).is_none());
+        assert!(LogisticModel::weighted_average(&[a.clone(), LogisticModel::zeros(3)], &[1.0, 1.0]).is_none());
+        assert!(LogisticModel::weighted_average(&[a], &[0.0]).is_none());
+    }
+
+    #[test]
+    fn learns_synthetic_task_better_than_chance() {
+        let data = FederatedDataset::synthetic(&SyntheticConfig::default().with_devices(1).with_samples_per_device(400), 5);
+        let mut model = LogisticModel::zeros(data.dimension);
+        model.train_local(&data.devices[0], 0.5, 300);
+        assert!(model.accuracy(&data.test) > 0.8, "accuracy {}", model.accuracy(&data.test));
+    }
+}

@@ -1,0 +1,361 @@
+//! Resource allocations and their cost evaluation.
+//!
+//! An [`Allocation`] is the decision vector of the optimization problem (8): one transmit
+//! power, one CPU frequency and one bandwidth share per device. [`CostBreakdown`] is the
+//! result of plugging an allocation into the energy/latency formulas — every algorithm in the
+//! workspace (the paper's and all baselines) is scored through the same
+//! [`crate::Scenario::evaluate`] path so comparisons are apples-to-apples.
+
+use crate::device::DeviceProfile;
+use crate::energy;
+use crate::error::FlError;
+use crate::latency;
+use crate::scenario::Scenario;
+use crate::weights::Weights;
+use serde::{Deserialize, Serialize};
+use wireless::channel::shannon_rate_raw;
+
+/// One candidate solution of problem (8): per-device transmit power, CPU frequency and
+/// bandwidth share.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Transmit power of each device in watts (`p_n`).
+    pub powers_w: Vec<f64>,
+    /// CPU frequency of each device in hertz (`f_n`).
+    pub frequencies_hz: Vec<f64>,
+    /// Bandwidth allocated to each device in hertz (`B_n`).
+    pub bandwidths_hz: Vec<f64>,
+}
+
+impl Allocation {
+    /// Creates an allocation from raw vectors.
+    pub fn new(powers_w: Vec<f64>, frequencies_hz: Vec<f64>, bandwidths_hz: Vec<f64>) -> Self {
+        Self { powers_w, frequencies_hz, bandwidths_hz }
+    }
+
+    /// A simple feasible starting point: every device at maximum power, maximum frequency,
+    /// and an equal share of the total bandwidth.
+    pub fn equal_split_max(scenario: &Scenario) -> Self {
+        let n = scenario.devices.len();
+        let share = scenario.params.total_bandwidth.value() / n.max(1) as f64;
+        Self {
+            powers_w: scenario.devices.iter().map(|d| d.p_max.value()).collect(),
+            frequencies_hz: scenario.devices.iter().map(|d| d.f_max.value()).collect(),
+            bandwidths_hz: vec![share; n],
+        }
+    }
+
+    /// The paper's initialization for the state-of-the-art comparison (Section VII-D):
+    /// maximum power, maximum frequency, and `B/(2N)` bandwidth per device.
+    pub fn half_split_max(scenario: &Scenario) -> Self {
+        let n = scenario.devices.len();
+        let share = scenario.params.total_bandwidth.value() / (2.0 * n.max(1) as f64);
+        Self {
+            powers_w: scenario.devices.iter().map(|d| d.p_max.value()).collect(),
+            frequencies_hz: scenario.devices.iter().map(|d| d.f_max.value()).collect(),
+            bandwidths_hz: vec![share; n],
+        }
+    }
+
+    /// Number of devices this allocation covers.
+    pub fn len(&self) -> usize {
+        self.powers_w.len()
+    }
+
+    /// Returns `true` if the allocation covers no devices.
+    pub fn is_empty(&self) -> bool {
+        self.powers_w.is_empty()
+    }
+
+    /// Checks that the three vectors have the same length and match the scenario size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::AllocationSizeMismatch`] on any mismatch.
+    pub fn check_shape(&self, scenario: &Scenario) -> Result<(), FlError> {
+        let n = scenario.devices.len();
+        for len in [self.powers_w.len(), self.frequencies_hz.len(), self.bandwidths_hz.len()] {
+            if len != n {
+                return Err(FlError::AllocationSizeMismatch { devices: n, got: len });
+            }
+        }
+        Ok(())
+    }
+
+    /// Uplink Shannon rate of every device under this allocation (bit/s).
+    pub fn rates_bps(&self, scenario: &Scenario) -> Vec<f64> {
+        let n0 = scenario.params.noise.watts_per_hz();
+        scenario
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(i, dev)| {
+                shannon_rate_raw(self.powers_w[i], self.bandwidths_hz[i], dev.gain.value(), n0)
+            })
+            .collect()
+    }
+
+    /// Returns `true` if the allocation satisfies every constraint of problem (8) within the
+    /// given absolute/relative tolerance: power boxes (8a), frequency boxes (8b), the total
+    /// bandwidth budget (8c), and non-negative bandwidths.
+    pub fn is_feasible(&self, scenario: &Scenario, tol: f64) -> bool {
+        if self.check_shape(scenario).is_err() {
+            return false;
+        }
+        let b_total = scenario.params.total_bandwidth.value();
+        let mut b_sum = 0.0;
+        for (i, dev) in scenario.devices.iter().enumerate() {
+            let p = self.powers_w[i];
+            let f = self.frequencies_hz[i];
+            let b = self.bandwidths_hz[i];
+            if !(p.is_finite() && f.is_finite() && b.is_finite()) {
+                return false;
+            }
+            if p < dev.p_min.value() - tol * dev.p_max.value().max(1.0)
+                || p > dev.p_max.value() + tol * dev.p_max.value().max(1.0)
+            {
+                return false;
+            }
+            if f < dev.f_min.value() - tol * dev.f_max.value()
+                || f > dev.f_max.value() + tol * dev.f_max.value()
+            {
+                return false;
+            }
+            if b < -tol * b_total {
+                return false;
+            }
+            b_sum += b;
+        }
+        b_sum <= b_total * (1.0 + tol)
+    }
+
+    /// Projects the allocation onto the feasible set of problem (8): clamps powers and
+    /// frequencies into their boxes, floors bandwidths at zero, and rescales bandwidths
+    /// proportionally if their sum exceeds the budget.
+    pub fn project_feasible(&mut self, scenario: &Scenario) {
+        let b_total = scenario.params.total_bandwidth.value();
+        for (i, dev) in scenario.devices.iter().enumerate() {
+            self.powers_w[i] = dev.clamp_power(self.powers_w[i]);
+            self.frequencies_hz[i] = dev.clamp_frequency(self.frequencies_hz[i]);
+            if !self.bandwidths_hz[i].is_finite() || self.bandwidths_hz[i] < 0.0 {
+                self.bandwidths_hz[i] = 0.0;
+            }
+        }
+        let sum: f64 = self.bandwidths_hz.iter().sum();
+        if sum > b_total && sum > 0.0 {
+            let scale = b_total / sum;
+            for b in &mut self.bandwidths_hz {
+                *b *= scale;
+            }
+        }
+    }
+
+    /// Largest absolute component-wise difference to another allocation (the convergence
+    /// metric `|sol_k − sol_{k−1}|` of Algorithm 2), with each component normalized by its
+    /// own typical magnitude so watts, hertz and gigahertz are comparable.
+    pub fn normalized_distance(&self, other: &Allocation) -> f64 {
+        fn rel_diff(a: &[f64], b: &[f64]) -> f64 {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs() / x.abs().max(y.abs()).max(1e-12))
+                .fold(0.0, f64::max)
+        }
+        rel_diff(&self.powers_w, &other.powers_w)
+            .max(rel_diff(&self.frequencies_hz, &other.frequencies_hz))
+            .max(rel_diff(&self.bandwidths_hz, &other.bandwidths_hz))
+    }
+}
+
+/// Cost of one device under an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DeviceCost {
+    /// Uplink rate (bit/s).
+    pub rate_bps: f64,
+    /// Upload time per round (s).
+    pub upload_time_s: f64,
+    /// Computation time per round (s).
+    pub computation_time_s: f64,
+    /// Transmission energy per round (J).
+    pub transmission_energy_j: f64,
+    /// Computation energy per round (J).
+    pub computation_energy_j: f64,
+}
+
+impl DeviceCost {
+    /// Per-round completion time of this device.
+    pub fn round_time_s(&self) -> f64 {
+        self.upload_time_s + self.computation_time_s
+    }
+
+    /// Per-round energy of this device.
+    pub fn round_energy_j(&self) -> f64 {
+        self.transmission_energy_j + self.computation_energy_j
+    }
+}
+
+/// Full cost of an allocation over the whole training process.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Total energy `E` of equation (6), in joules.
+    pub total_energy_j: f64,
+    /// Total transmission energy (all devices, all rounds), in joules.
+    pub transmission_energy_j: f64,
+    /// Total computation energy (all devices, all rounds), in joules.
+    pub computation_energy_j: f64,
+    /// Per-round completion time `max_n (T_n^cmp + T_n^up)`, in seconds.
+    pub round_time_s: f64,
+    /// Total completion time `R_g · round_time`, in seconds.
+    pub total_time_s: f64,
+    /// Per-device cost detail.
+    pub per_device: Vec<DeviceCost>,
+}
+
+impl CostBreakdown {
+    /// The weighted objective of problem (9): `w1·E + w2·R_g·T`.
+    pub fn objective(&self, weights: Weights) -> f64 {
+        weights.energy() * self.total_energy_j + weights.time() * self.total_time_s
+    }
+
+    /// Index and per-round time of the straggler (slowest device), if any.
+    pub fn straggler(&self) -> Option<(usize, f64)> {
+        self.per_device
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.round_time_s()))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
+    }
+}
+
+pub(crate) fn evaluate_allocation(
+    scenario: &Scenario,
+    allocation: &Allocation,
+) -> Result<CostBreakdown, FlError> {
+    allocation.check_shape(scenario)?;
+    let params = &scenario.params;
+    let devices: &[DeviceProfile] = &scenario.devices;
+    let rates = allocation.rates_bps(scenario);
+
+    let mut per_device = Vec::with_capacity(devices.len());
+    for (i, dev) in devices.iter().enumerate() {
+        per_device.push(DeviceCost {
+            rate_bps: rates[i],
+            upload_time_s: latency::upload_time(dev, rates[i]),
+            computation_time_s: latency::computation_time(params, dev, allocation.frequencies_hz[i]),
+            transmission_energy_j: energy::transmission_energy_per_round(dev, allocation.powers_w[i], rates[i]),
+            computation_energy_j: energy::computation_energy_per_round(params, dev, allocation.frequencies_hz[i]),
+        });
+    }
+
+    let transmission_energy_j: f64 =
+        params.rg() * per_device.iter().map(|c| c.transmission_energy_j).sum::<f64>();
+    let computation_energy_j: f64 =
+        params.rg() * per_device.iter().map(|c| c.computation_energy_j).sum::<f64>();
+    let round_time_s = per_device.iter().map(DeviceCost::round_time_s).fold(0.0, f64::max);
+
+    Ok(CostBreakdown {
+        total_energy_j: transmission_energy_j + computation_energy_j,
+        transmission_energy_j,
+        computation_energy_j,
+        round_time_s,
+        total_time_s: params.rg() * round_time_s,
+        per_device,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioBuilder;
+
+    fn scenario() -> Scenario {
+        ScenarioBuilder::paper_default().with_devices(5).build(1).unwrap()
+    }
+
+    #[test]
+    fn equal_split_is_feasible() {
+        let s = scenario();
+        let a = Allocation::equal_split_max(&s);
+        assert!(a.is_feasible(&s, 1e-9));
+        assert_eq!(a.len(), 5);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn half_split_uses_half_the_band() {
+        let s = scenario();
+        let a = Allocation::half_split_max(&s);
+        let sum: f64 = a.bandwidths_hz.iter().sum();
+        assert!((sum - 0.5 * s.params.total_bandwidth.value()).abs() < 1.0);
+        assert!(a.is_feasible(&s, 1e-9));
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let s = scenario();
+        let mut a = Allocation::equal_split_max(&s);
+        a.powers_w.pop();
+        assert!(matches!(a.check_shape(&s), Err(FlError::AllocationSizeMismatch { .. })));
+        assert!(!a.is_feasible(&s, 1e-9));
+    }
+
+    #[test]
+    fn infeasible_when_power_exceeds_box() {
+        let s = scenario();
+        let mut a = Allocation::equal_split_max(&s);
+        a.powers_w[0] = s.devices[0].p_max.value() * 2.0;
+        assert!(!a.is_feasible(&s, 1e-9));
+        a.project_feasible(&s);
+        assert!(a.is_feasible(&s, 1e-9));
+    }
+
+    #[test]
+    fn infeasible_when_bandwidth_over_budget() {
+        let s = scenario();
+        let mut a = Allocation::equal_split_max(&s);
+        for b in &mut a.bandwidths_hz {
+            *b *= 3.0;
+        }
+        assert!(!a.is_feasible(&s, 1e-9));
+        a.project_feasible(&s);
+        assert!(a.is_feasible(&s, 1e-6));
+        let sum: f64 = a.bandwidths_hz.iter().sum();
+        assert!(sum <= s.params.total_bandwidth.value() * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn evaluation_matches_formula_components() {
+        let s = scenario();
+        let a = Allocation::equal_split_max(&s);
+        let cost = evaluate_allocation(&s, &a).unwrap();
+        assert_eq!(cost.per_device.len(), 5);
+        assert!((cost.total_energy_j - (cost.transmission_energy_j + cost.computation_energy_j)).abs() < 1e-9);
+        assert!((cost.total_time_s - s.params.rg() * cost.round_time_s).abs() < 1e-9);
+        // Straggler time equals the round time.
+        let (idx, t) = cost.straggler().unwrap();
+        assert!(idx < 5);
+        assert!((t - cost.round_time_s).abs() < 1e-12);
+        // Objective is a convex combination of the two totals.
+        let w = Weights::new(0.3, 0.7).unwrap();
+        let obj = cost.objective(w);
+        assert!((obj - (0.3 * cost.total_energy_j + 0.7 * cost.total_time_s)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalized_distance_zero_for_identical() {
+        let s = scenario();
+        let a = Allocation::equal_split_max(&s);
+        assert_eq!(a.normalized_distance(&a), 0.0);
+        let mut b = a.clone();
+        b.powers_w[0] *= 1.1;
+        assert!(a.normalized_distance(&b) > 0.05);
+    }
+
+    #[test]
+    fn rates_positive_for_reasonable_allocation() {
+        let s = scenario();
+        let a = Allocation::equal_split_max(&s);
+        for r in a.rates_bps(&s) {
+            assert!(r > 1.0e4, "rate {r} suspiciously low");
+        }
+    }
+}

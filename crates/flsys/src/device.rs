@@ -1,0 +1,134 @@
+//! Per-device profiles.
+
+use crate::error::FlError;
+use serde::{Deserialize, Serialize};
+use wireless::channel::ChannelGain;
+use wireless::units::{Hertz, Watts};
+
+/// Everything the optimizer needs to know about one participating device `n`.
+///
+/// The fields mirror Table I of the paper: dataset size `D_n`, CPU cycles per sample `c_n`,
+/// upload payload `d_n`, channel gain `g_n`, and the box constraints on transmit power and
+/// CPU frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Number of local training samples `D_n`.
+    pub samples: u64,
+    /// CPU cycles needed to process one sample, `c_n`.
+    pub cycles_per_sample: f64,
+    /// Size of the model update uploaded each global round, `d_n`, in bits.
+    pub upload_bits: f64,
+    /// Linear channel power gain `g_n` to the base station.
+    pub gain: ChannelGain,
+    /// Minimum transmit power `p_n^min`.
+    pub p_min: Watts,
+    /// Maximum transmit power `p_n^max`.
+    pub p_max: Watts,
+    /// Minimum CPU frequency `f_n^min`.
+    pub f_min: Hertz,
+    /// Maximum CPU frequency `f_n^max`.
+    pub f_max: Hertz,
+}
+
+impl DeviceProfile {
+    /// Validates the physical ranges of the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidParameter`] when a quantity is non-positive where it must be
+    /// positive, or a box constraint is inverted (`min > max`).
+    pub fn validate(&self) -> Result<(), FlError> {
+        if self.samples == 0 {
+            return Err(FlError::InvalidParameter { name: "samples", value: 0.0 });
+        }
+        if self.cycles_per_sample <= 0.0 || !self.cycles_per_sample.is_finite() {
+            return Err(FlError::InvalidParameter { name: "cycles_per_sample", value: self.cycles_per_sample });
+        }
+        if self.upload_bits <= 0.0 || !self.upload_bits.is_finite() {
+            return Err(FlError::InvalidParameter { name: "upload_bits", value: self.upload_bits });
+        }
+        if self.p_min.value() < 0.0 || self.p_max.value() <= 0.0 || self.p_min > self.p_max {
+            return Err(FlError::InvalidParameter { name: "p_min..p_max", value: self.p_min.value() });
+        }
+        if self.f_min.value() < 0.0 || self.f_max.value() <= 0.0 || self.f_min > self.f_max {
+            return Err(FlError::InvalidParameter { name: "f_min..f_max", value: self.f_min.value() });
+        }
+        Ok(())
+    }
+
+    /// Total CPU cycles for one **local iteration** over the device's dataset: `c_n · D_n`.
+    pub fn cycles_per_local_iteration(&self) -> f64 {
+        self.cycles_per_sample * self.samples as f64
+    }
+
+    /// Clamps a power value into the device's `[p_min, p_max]` box.
+    pub fn clamp_power(&self, p: f64) -> f64 {
+        numopt::scalar::clamp(p, self.p_min.value(), self.p_max.value())
+    }
+
+    /// Clamps a frequency value into the device's `[f_min, f_max]` box.
+    pub fn clamp_frequency(&self, f: f64) -> f64 {
+        numopt::scalar::clamp(f, self.f_min.value(), self.f_max.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_device() -> DeviceProfile {
+        DeviceProfile {
+            samples: 500,
+            cycles_per_sample: 2.0e4,
+            upload_bits: 28_100.0,
+            gain: ChannelGain::from_db(-105.0),
+            p_min: Watts::new(1.0e-3),
+            p_max: Watts::new(1.585e-2),
+            f_min: Hertz::new(1.0e6),
+            f_max: Hertz::from_ghz(2.0),
+        }
+    }
+
+    #[test]
+    fn valid_device_passes() {
+        assert!(sample_device().validate().is_ok());
+    }
+
+    #[test]
+    fn cycles_per_local_iteration_formula() {
+        let d = sample_device();
+        assert_eq!(d.cycles_per_local_iteration(), 1.0e7);
+    }
+
+    #[test]
+    fn validation_catches_inverted_boxes() {
+        let mut d = sample_device();
+        d.p_min = Watts::new(1.0);
+        assert!(d.validate().is_err());
+        let mut d = sample_device();
+        d.f_min = Hertz::from_ghz(3.0);
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_degenerate_values() {
+        let mut d = sample_device();
+        d.samples = 0;
+        assert!(d.validate().is_err());
+        let mut d = sample_device();
+        d.cycles_per_sample = -1.0;
+        assert!(d.validate().is_err());
+        let mut d = sample_device();
+        d.upload_bits = 0.0;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn clamping_respects_boxes() {
+        let d = sample_device();
+        assert_eq!(d.clamp_power(1.0), d.p_max.value());
+        assert_eq!(d.clamp_power(0.0), d.p_min.value());
+        assert_eq!(d.clamp_frequency(5.0e9), d.f_max.value());
+        assert_eq!(d.clamp_frequency(0.0), d.f_min.value());
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type for the system-model crate.
+
+use std::fmt;
+
+/// Errors raised while building scenarios or evaluating allocations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlError {
+    /// A weight pair did not satisfy `w1, w2 ∈ [0,1]` and `w1 + w2 = 1`.
+    InvalidWeights {
+        /// The offending energy weight.
+        w1: f64,
+        /// The offending time weight.
+        w2: f64,
+    },
+    /// A scenario parameter was outside its physical range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A scenario must contain at least one device.
+    NoDevices,
+    /// An allocation's vectors did not match the scenario's device count.
+    AllocationSizeMismatch {
+        /// Number of devices in the scenario.
+        devices: usize,
+        /// Length of the offending allocation vector.
+        got: usize,
+    },
+    /// An allocation produced a non-finite or non-positive rate for a device that must upload.
+    UnusableRate {
+        /// Index of the device.
+        device: usize,
+    },
+    /// Numerical failure bubbled up from the `numopt` substrate.
+    Numerical(String),
+}
+
+impl fmt::Display for FlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlError::InvalidWeights { w1, w2 } => {
+                write!(f, "invalid weights (w1={w1}, w2={w2}); need w1,w2 in [0,1] with w1+w2=1")
+            }
+            FlError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter `{name}` = {value}")
+            }
+            FlError::NoDevices => write!(f, "scenario has no devices"),
+            FlError::AllocationSizeMismatch { devices, got } => {
+                write!(f, "allocation length {got} does not match {devices} devices")
+            }
+            FlError::UnusableRate { device } => {
+                write!(f, "device {device} has a non-positive or non-finite uplink rate")
+            }
+            FlError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FlError {}
+
+impl From<numopt::NumError> for FlError {
+    fn from(e: numopt::NumError) -> Self {
+        FlError::Numerical(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = FlError::InvalidWeights { w1: 0.4, w2: 0.4 };
+        assert!(e.to_string().contains("w1+w2=1"));
+        let e = FlError::AllocationSizeMismatch { devices: 50, got: 49 };
+        assert!(e.to_string().contains("50"));
+        assert!(e.to_string().contains("49"));
+    }
+
+    #[test]
+    fn numerical_errors_convert() {
+        let n = numopt::NumError::NonFiniteValue { at: 1.0 };
+        let e: FlError = n.into();
+        assert!(matches!(e, FlError::Numerical(_)));
+    }
+
+    #[test]
+    fn send_sync_static() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<FlError>();
+    }
+}

@@ -1,0 +1,46 @@
+//! # flsys
+//!
+//! The federated-learning *system model* of the ICDCS 2022 paper: devices, their computation
+//! and communication parameters, the energy and latency formulas (equations (1)–(7)), the
+//! weighted objective (8)/(9), and generators for the simulation scenarios of Section VII-A.
+//!
+//! This crate contains no optimization — it is the substrate that both the paper's algorithm
+//! (`fedopt-core`) and every baseline (`baselines`) evaluate against, which guarantees that
+//! all schemes are scored by exactly the same formulas.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use flsys::{Allocation, ScenarioBuilder, Weights};
+//!
+//! # fn main() -> Result<(), flsys::FlError> {
+//! let scenario = ScenarioBuilder::paper_default().with_devices(8).build(7)?;
+//! // A trivially feasible allocation: max power, equal bandwidth, max frequency.
+//! let alloc = Allocation::equal_split_max(&scenario);
+//! let weights = Weights::new(0.5, 0.5)?;
+//! let cost = scenario.evaluate(&alloc, weights)?;
+//! assert!(cost.total_energy_j > 0.0);
+//! assert!(cost.total_time_s > 0.0);
+//! assert!(alloc.is_feasible(&scenario, 1e-9));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocation;
+pub mod device;
+pub mod energy;
+pub mod error;
+pub mod latency;
+pub mod params;
+pub mod scenario;
+pub mod weights;
+
+pub use allocation::{Allocation, CostBreakdown, DeviceCost};
+pub use device::DeviceProfile;
+pub use error::FlError;
+pub use params::SystemParams;
+pub use scenario::{Scenario, ScenarioBuilder};
+pub use weights::Weights;

@@ -1,0 +1,114 @@
+//! Global system parameters shared by every device.
+
+use crate::error::FlError;
+use serde::{Deserialize, Serialize};
+use wireless::noise::NoiseDensity;
+use wireless::units::Hertz;
+
+/// System-wide constants of the FL deployment (Table I of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemParams {
+    /// Total uplink bandwidth `B` shared by all devices (Hz).
+    pub total_bandwidth: Hertz,
+    /// Noise power spectral density `N₀`.
+    pub noise: NoiseDensity,
+    /// Effective switched capacitance `κ` of the device CPUs.
+    pub kappa: f64,
+    /// Number of global aggregation rounds `R_g`.
+    pub global_rounds: u32,
+    /// Number of local iterations per global round `R_l`.
+    pub local_iterations: u32,
+}
+
+impl SystemParams {
+    /// The defaults of Section VII-A: `B = 20 MHz`, `N₀ = −174 dBm/Hz`, `κ = 10⁻²⁸`,
+    /// `R_g = 400`, `R_l = 10`.
+    pub fn paper_default() -> Self {
+        Self {
+            total_bandwidth: Hertz::from_mhz(20.0),
+            noise: NoiseDensity::from_dbm_per_hz(-174.0),
+            kappa: 1.0e-28,
+            global_rounds: 400,
+            local_iterations: 10,
+        }
+    }
+
+    /// Validates physical ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidParameter`] if the bandwidth, noise density, or `κ` are not
+    /// strictly positive, or a round count is zero.
+    pub fn validate(&self) -> Result<(), FlError> {
+        if self.total_bandwidth.value() <= 0.0 {
+            return Err(FlError::InvalidParameter { name: "total_bandwidth", value: self.total_bandwidth.value() });
+        }
+        if self.noise.watts_per_hz() <= 0.0 {
+            return Err(FlError::InvalidParameter { name: "noise", value: self.noise.watts_per_hz() });
+        }
+        if self.kappa <= 0.0 || !self.kappa.is_finite() {
+            return Err(FlError::InvalidParameter { name: "kappa", value: self.kappa });
+        }
+        if self.global_rounds == 0 {
+            return Err(FlError::InvalidParameter { name: "global_rounds", value: 0.0 });
+        }
+        if self.local_iterations == 0 {
+            return Err(FlError::InvalidParameter { name: "local_iterations", value: 0.0 });
+        }
+        Ok(())
+    }
+
+    /// `R_g` as an `f64` (used in every cost formula).
+    pub fn rg(&self) -> f64 {
+        f64::from(self.global_rounds)
+    }
+
+    /// `R_l` as an `f64`.
+    pub fn rl(&self) -> f64 {
+        f64::from(self.local_iterations)
+    }
+}
+
+impl Default for SystemParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table() {
+        let p = SystemParams::paper_default();
+        assert_eq!(p.total_bandwidth.value(), 2.0e7);
+        assert_eq!(p.kappa, 1.0e-28);
+        assert_eq!(p.global_rounds, 400);
+        assert_eq!(p.local_iterations, 10);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut p = SystemParams::paper_default();
+        p.kappa = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = SystemParams::paper_default();
+        p.global_rounds = 0;
+        assert!(p.validate().is_err());
+        let mut p = SystemParams::paper_default();
+        p.total_bandwidth = Hertz::new(-1.0);
+        assert!(p.validate().is_err());
+        let mut p = SystemParams::paper_default();
+        p.local_iterations = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn round_counts_as_floats() {
+        let p = SystemParams::paper_default();
+        assert_eq!(p.rg(), 400.0);
+        assert_eq!(p.rl(), 10.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! The weight pair `(w1, w2)` of the joint objective.
+
+use crate::error::FlError;
+use serde::{Deserialize, Serialize};
+
+/// Weights of the joint objective `w1·E + w2·R_g·T` (equation (9) of the paper).
+///
+/// Invariants enforced at construction: `w1, w2 ∈ [0, 1]` and `w1 + w2 = 1`. The paper's
+/// evaluation uses the five pairs (0.9, 0.1) … (0.1, 0.9), plus (1, 0) for the
+/// deadline-constrained comparisons of Figures 7 and 8.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Weights {
+    w1: f64,
+    w2: f64,
+}
+
+impl Weights {
+    /// Creates a validated weight pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidWeights`] unless `w1, w2 ∈ [0,1]` and `w1 + w2 = 1`
+    /// (within `1e-9`).
+    pub fn new(w1: f64, w2: f64) -> Result<Self, FlError> {
+        let valid = (0.0..=1.0).contains(&w1)
+            && (0.0..=1.0).contains(&w2)
+            && (w1 + w2 - 1.0).abs() <= 1e-9;
+        if valid {
+            Ok(Self { w1, w2 })
+        } else {
+            Err(FlError::InvalidWeights { w1, w2 })
+        }
+    }
+
+    /// Weight on energy only (`w1 = 1`), used with an explicit deadline in Figs. 7–8.
+    pub fn energy_only() -> Self {
+        Self { w1: 1.0, w2: 0.0 }
+    }
+
+    /// Weight on completion time only (`w2 = 1`).
+    pub fn time_only() -> Self {
+        Self { w1: 0.0, w2: 1.0 }
+    }
+
+    /// Equal weights (the paper's "normal scenario").
+    pub fn balanced() -> Self {
+        Self { w1: 0.5, w2: 0.5 }
+    }
+
+    /// The five weight pairs swept in Figures 2–4 of the paper.
+    pub fn paper_sweep() -> [Self; 5] {
+        [
+            Self { w1: 0.9, w2: 0.1 },
+            Self { w1: 0.7, w2: 0.3 },
+            Self { w1: 0.5, w2: 0.5 },
+            Self { w1: 0.3, w2: 0.7 },
+            Self { w1: 0.1, w2: 0.9 },
+        ]
+    }
+
+    /// The energy weight `w1`.
+    pub fn energy(&self) -> f64 {
+        self.w1
+    }
+
+    /// The completion-time weight `w2`.
+    pub fn time(&self) -> f64 {
+        self.w2
+    }
+}
+
+impl Default for Weights {
+    fn default() -> Self {
+        Self::balanced()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_pairs_accepted() {
+        assert!(Weights::new(0.3, 0.7).is_ok());
+        assert!(Weights::new(1.0, 0.0).is_ok());
+        assert!(Weights::new(0.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn invalid_pairs_rejected() {
+        assert!(Weights::new(0.5, 0.6).is_err());
+        assert!(Weights::new(-0.1, 1.1).is_err());
+        assert!(Weights::new(1.2, -0.2).is_err());
+        assert!(Weights::new(f64::NAN, 0.5).is_err());
+    }
+
+    #[test]
+    fn named_constructors() {
+        assert_eq!(Weights::energy_only().energy(), 1.0);
+        assert_eq!(Weights::time_only().time(), 1.0);
+        assert_eq!(Weights::balanced(), Weights::default());
+    }
+
+    #[test]
+    fn paper_sweep_is_valid_and_ordered() {
+        let sweep = Weights::paper_sweep();
+        assert_eq!(sweep.len(), 5);
+        for w in sweep {
+            assert!((w.energy() + w.time() - 1.0).abs() < 1e-12);
+        }
+        // Decreasing in w1.
+        for pair in sweep.windows(2) {
+            assert!(pair[0].energy() > pair[1].energy());
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based tests of the system model: cost formulas and feasibility projection.
+
+use flsys::{Allocation, ScenarioBuilder, Weights};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Projecting an arbitrary allocation always yields a feasible one, and evaluation on a
+    /// feasible allocation produces finite, non-negative costs.
+    #[test]
+    fn projection_always_restores_feasibility(
+        seed in 0u64..1000,
+        devices in 2usize..12,
+        p_scale in 0.0f64..5.0,
+        f_scale in 0.0f64..5.0,
+        b_scale in 0.0f64..5.0,
+    ) {
+        let scenario = ScenarioBuilder::paper_default().with_devices(devices).build(seed).unwrap();
+        let mut alloc = Allocation::equal_split_max(&scenario);
+        for p in &mut alloc.powers_w { *p *= p_scale; }
+        for f in &mut alloc.frequencies_hz { *f *= f_scale; }
+        for b in &mut alloc.bandwidths_hz { *b *= b_scale; }
+        alloc.project_feasible(&scenario);
+        prop_assert!(alloc.is_feasible(&scenario, 1e-6));
+
+        let cost = scenario.cost(&alloc).unwrap();
+        prop_assert!(cost.total_energy_j >= 0.0);
+        prop_assert!(cost.round_time_s >= 0.0);
+        prop_assert!(cost.total_energy_j.is_finite());
+        // The weighted objective interpolates between the two totals.
+        let w = Weights::new(0.3, 0.7).unwrap();
+        let obj = cost.objective(w);
+        prop_assert!(obj <= cost.total_energy_j.max(cost.total_time_s) + 1e-9);
+        prop_assert!(obj >= cost.total_energy_j.min(cost.total_time_s) - 1e-9);
+    }
+
+    /// Raising any device's CPU frequency never increases the round completion time and never
+    /// decreases the computation energy.
+    #[test]
+    fn frequency_monotonicity(seed in 0u64..1000, devices in 2usize..10, which in 0usize..10, bump in 1.1f64..4.0) {
+        let scenario = ScenarioBuilder::paper_default().with_devices(devices).build(seed).unwrap();
+        let idx = which % devices;
+        let base = Allocation::equal_split_max(&scenario);
+        let mut slow = base.clone();
+        slow.frequencies_hz[idx] /= bump;
+        let fast = base;
+        let cost_slow = scenario.cost(&slow).unwrap();
+        let cost_fast = scenario.cost(&fast).unwrap();
+        prop_assert!(cost_fast.round_time_s <= cost_slow.round_time_s + 1e-12);
+        prop_assert!(cost_fast.computation_energy_j >= cost_slow.computation_energy_j - 1e-12);
+    }
+
+    /// Scenario generation is deterministic in the seed and scales sample counts as asked.
+    #[test]
+    fn scenario_generation_is_deterministic(seed in 0u64..500, devices in 1usize..30) {
+        let builder = ScenarioBuilder::paper_default().with_devices(devices).with_total_samples(12_000);
+        let a = builder.build(seed).unwrap();
+        let b = builder.build(seed).unwrap();
+        prop_assert_eq!(&a, &b);
+        let total: u64 = a.devices.iter().map(|d| d.samples).sum();
+        prop_assert_eq!(total, 12_000);
+    }
+}

@@ -1,0 +1,124 @@
+//! Error type shared by every numerical routine in this crate.
+
+use std::fmt;
+
+/// Errors produced by the numerical routines in [`crate`].
+///
+/// Every variant carries enough context to identify which routine failed and why; the
+/// `Display` messages are lowercase and concise per Rust API guidelines (C-GOOD-ERR).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumError {
+    /// The caller supplied an interval `[lo, hi]` with `lo > hi`, or a NaN endpoint.
+    InvalidInterval {
+        /// Lower endpoint supplied by the caller.
+        lo: f64,
+        /// Upper endpoint supplied by the caller.
+        hi: f64,
+    },
+    /// A bracketing routine was given endpoints whose function values do not straddle zero.
+    NoSignChange {
+        /// Function value at the lower endpoint.
+        f_lo: f64,
+        /// Function value at the upper endpoint.
+        f_hi: f64,
+    },
+    /// The iteration budget was exhausted before reaching the requested tolerance.
+    MaxIterations {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Best residual or interval width achieved when the budget ran out.
+        residual: f64,
+    },
+    /// A function evaluation returned NaN or an infinite value.
+    NonFiniteValue {
+        /// The argument at which the non-finite value was produced.
+        at: f64,
+    },
+    /// An argument was outside the mathematical domain of the routine
+    /// (for example Lambert W below `-1/e`).
+    DomainError {
+        /// The offending argument.
+        value: f64,
+        /// Human-readable description of the required domain.
+        expected: &'static str,
+    },
+    /// A vector argument had the wrong length or was empty.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A parameter that must be strictly positive was not.
+    NonPositiveParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for NumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumError::InvalidInterval { lo, hi } => {
+                write!(f, "invalid interval [{lo}, {hi}]")
+            }
+            NumError::NoSignChange { f_lo, f_hi } => {
+                write!(f, "no sign change over bracket (f(lo)={f_lo}, f(hi)={f_hi})")
+            }
+            NumError::MaxIterations { iterations, residual } => {
+                write!(f, "no convergence after {iterations} iterations (residual {residual:e})")
+            }
+            NumError::NonFiniteValue { at } => {
+                write!(f, "function returned a non-finite value at {at}")
+            }
+            NumError::DomainError { value, expected } => {
+                write!(f, "argument {value} outside domain ({expected})")
+            }
+            NumError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            NumError::NonPositiveParameter { name, value } => {
+                write!(f, "parameter `{name}` must be positive, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errors = vec![
+            NumError::InvalidInterval { lo: 1.0, hi: 0.0 },
+            NumError::NoSignChange { f_lo: 1.0, f_hi: 2.0 },
+            NumError::MaxIterations { iterations: 10, residual: 0.5 },
+            NumError::NonFiniteValue { at: 3.0 },
+            NumError::DomainError { value: -1.0, expected: "x >= -1/e" },
+            NumError::DimensionMismatch { expected: 3, actual: 2 },
+            NumError::NonPositiveParameter { name: "kappa", value: 0.0 },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumError>();
+    }
+
+    #[test]
+    fn error_trait_object_usable() {
+        let e: Box<dyn std::error::Error> = Box::new(NumError::NonFiniteValue { at: 0.0 });
+        assert!(e.to_string().contains("non-finite"));
+    }
+}

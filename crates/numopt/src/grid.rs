@@ -1,0 +1,136 @@
+//! Brute-force grid search.
+//!
+//! Only used by tests and cross-validation helpers: the KKT-based solvers in `fedopt-core`
+//! are checked against exhaustive grids on small instances, which is how we substitute for
+//! the "compare against CVX" sanity check the authors had available.
+
+use crate::error::NumError;
+
+/// Result of a grid search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridMinimum {
+    /// Coordinates of the best grid point.
+    pub argmin: Vec<f64>,
+    /// Objective at the best grid point.
+    pub value: f64,
+    /// Total number of grid points evaluated.
+    pub evaluations: usize,
+}
+
+/// Minimizes `f` over the Cartesian product of `axes` (each axis a list of sample points).
+///
+/// Points where `f` returns NaN/∞ are skipped, which lets callers encode constraints by
+/// returning `f64::INFINITY` for infeasible points.
+///
+/// # Errors
+///
+/// * [`NumError::DimensionMismatch`] if `axes` is empty or any axis is empty.
+/// * [`NumError::MaxIterations`] if every grid point was infeasible (value = ∞ / NaN).
+pub fn grid_min<F>(axes: &[Vec<f64>], mut f: F) -> Result<GridMinimum, NumError>
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    if axes.is_empty() || axes.iter().any(|a| a.is_empty()) {
+        return Err(NumError::DimensionMismatch { expected: 1, actual: 0 });
+    }
+    let dims = axes.len();
+    let mut idx = vec![0usize; dims];
+    let mut point = vec![0.0; dims];
+    let mut best_value = f64::INFINITY;
+    let mut best_point: Option<Vec<f64>> = None;
+    let mut evals = 0usize;
+
+    loop {
+        for (d, &i) in idx.iter().enumerate() {
+            point[d] = axes[d][i];
+        }
+        let v = f(&point);
+        evals += 1;
+        if v.is_finite() && v < best_value {
+            best_value = v;
+            best_point = Some(point.clone());
+        }
+
+        // Odometer increment.
+        let mut d = 0;
+        loop {
+            idx[d] += 1;
+            if idx[d] < axes[d].len() {
+                break;
+            }
+            idx[d] = 0;
+            d += 1;
+            if d == dims {
+                return match best_point {
+                    Some(argmin) => Ok(GridMinimum { argmin, value: best_value, evaluations: evals }),
+                    None => Err(NumError::MaxIterations { iterations: evals, residual: f64::INFINITY }),
+                };
+            }
+        }
+    }
+}
+
+/// Builds `count` evenly spaced samples covering `[lo, hi]` inclusive.
+///
+/// # Errors
+///
+/// * [`NumError::InvalidInterval`] if `lo > hi` or an endpoint is not finite.
+/// * [`NumError::NonPositiveParameter`] if `count == 0`.
+pub fn linspace(lo: f64, hi: f64, count: usize) -> Result<Vec<f64>, NumError> {
+    if !lo.is_finite() || !hi.is_finite() || lo > hi {
+        return Err(NumError::InvalidInterval { lo, hi });
+    }
+    if count == 0 {
+        return Err(NumError::NonPositiveParameter { name: "count", value: 0.0 });
+    }
+    if count == 1 {
+        return Ok(vec![0.5 * (lo + hi)]);
+    }
+    let step = (hi - lo) / (count as f64 - 1.0);
+    Ok((0..count).map(|i| lo + step * i as f64).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_endpoints_and_spacing() {
+        let v = linspace(0.0, 1.0, 5).unwrap();
+        assert_eq!(v, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(linspace(2.0, 4.0, 1).unwrap(), vec![3.0]);
+        assert!(linspace(1.0, 0.0, 3).is_err());
+        assert!(linspace(0.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn grid_finds_quadratic_minimum() {
+        let axes = vec![linspace(-2.0, 2.0, 41).unwrap(), linspace(-2.0, 2.0, 41).unwrap()];
+        let out = grid_min(&axes, |p| (p[0] - 1.0).powi(2) + (p[1] + 0.5).powi(2)).unwrap();
+        assert!((out.argmin[0] - 1.0).abs() < 0.11);
+        assert!((out.argmin[1] + 0.5).abs() < 0.11);
+        assert_eq!(out.evaluations, 41 * 41);
+    }
+
+    #[test]
+    fn grid_respects_infeasible_points() {
+        let axes = vec![linspace(0.0, 1.0, 11).unwrap()];
+        let out = grid_min(&axes, |p| if p[0] < 0.55 { f64::INFINITY } else { p[0] }).unwrap();
+        assert!((out.argmin[0] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_all_infeasible_is_error() {
+        let axes = vec![linspace(0.0, 1.0, 3).unwrap()];
+        assert!(matches!(
+            grid_min(&axes, |_p| f64::INFINITY),
+            Err(NumError::MaxIterations { .. })
+        ));
+    }
+
+    #[test]
+    fn grid_rejects_empty_axes() {
+        assert!(grid_min(&[], |_p| 0.0).is_err());
+        assert!(grid_min(&[vec![]], |_p| 0.0).is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Principal branch `W₀` of the Lambert W function.
+//!
+//! Equation (A.4) of the paper expresses the per-device rate-constraint multiplier as
+//! `τ_n = (μ − j_n) ln 2 / W((μ − j_n) / (e·j_n)) − ν_n β_n`, so the inner KKT solver of
+//! Subproblem 2 needs `W₀` on `[-1/e, ∞)`. We implement it with a high-quality initial guess
+//! followed by Halley iterations, which converges to machine precision in a handful of steps
+//! over the whole domain.
+
+use crate::error::NumError;
+
+/// `1/e`, the left edge of the domain of the principal branch.
+pub const NEG_INV_E: f64 = -0.367_879_441_171_442_33;
+
+/// Computes the principal branch `W₀(x)` of the Lambert W function, i.e. the solution
+/// `w ≥ −1` of `w·e^w = x`, for `x ≥ −1/e`.
+///
+/// Accuracy is close to machine precision (the tests require `|W e^W − x| ≤ 1e−12·max(1,|x|)`).
+///
+/// # Errors
+///
+/// * [`NumError::DomainError`] if `x < −1/e` (allowing for a tiny numerical slack of `1e−12`
+///   below the edge, which is clamped to the edge) or `x` is NaN.
+///
+/// # Examples
+///
+/// ```rust
+/// # use numopt::lambertw::lambert_w0;
+/// let w = lambert_w0(1.0)?;                 // Ω constant
+/// assert!((w - 0.5671432904097838).abs() < 1e-12);
+/// assert!((lambert_w0(0.0)?).abs() < 1e-15);
+/// # Ok::<(), numopt::NumError>(())
+/// ```
+pub fn lambert_w0(x: f64) -> Result<f64, NumError> {
+    if x.is_nan() {
+        return Err(NumError::DomainError { value: x, expected: "x >= -1/e" });
+    }
+    if x < NEG_INV_E {
+        // Tolerate round-off just below the edge; reject anything materially outside.
+        if x > NEG_INV_E - 1e-12 {
+            return Ok(-1.0);
+        }
+        return Err(NumError::DomainError { value: x, expected: "x >= -1/e" });
+    }
+    if x == 0.0 {
+        return Ok(0.0);
+    }
+    if x.is_infinite() {
+        return Ok(f64::INFINITY);
+    }
+
+    // Initial guess.
+    let mut w = if x < -0.25 {
+        // Near the branch point use the series in p = sqrt(2(ex + 1)).
+        let p = (2.0 * (std::f64::consts::E * x + 1.0)).max(0.0).sqrt();
+        -1.0 + p - p * p / 3.0 + 11.0 * p * p * p / 72.0
+    } else if x < 10.0 {
+        // ln(1+x) is within ~15% of W0 on this range — plenty for Halley to converge.
+        x.ln_1p() * (1.0 - x.ln_1p() / (2.0 + 2.0 * x.ln_1p()))
+    } else {
+        // Asymptotic expansion for large x (safe: ln(x) > 2 here).
+        let l1 = x.ln();
+        let l2 = l1.ln();
+        l1 - l2 + l2 / l1
+    };
+
+    // Halley iterations.
+    for _ in 0..50 {
+        let ew = w.exp();
+        let wew = w * ew;
+        let diff = wew - x;
+        if diff.abs() <= 1e-14 * x.abs().max(1.0) {
+            return Ok(w);
+        }
+        let wp1 = w + 1.0;
+        let delta = diff / (ew * wp1 - (w + 2.0) * diff / (2.0 * wp1));
+        w -= delta;
+        if !w.is_finite() {
+            return Err(NumError::NonFiniteValue { at: x });
+        }
+    }
+    // Accept whatever precision we reached if it is reasonable; otherwise report failure.
+    let resid = (w * w.exp() - x).abs();
+    if resid <= 1e-9 * x.abs().max(1.0) {
+        Ok(w)
+    } else {
+        Err(NumError::MaxIterations { iterations: 50, residual: resid })
+    }
+}
+
+/// Evaluates the expression `y / W₀(y / (e·j))` that appears in equation (A.4) of the paper,
+/// with the removable singularity at `y = 0` filled in by its limit `e·j`.
+///
+/// Here `y = μ − j_n` and `j = j_n = ν_n d_n N₀ / g_n > 0`. For `y → 0` the ratio
+/// `y / W₀(y/(e·j)) → e·j` because `W₀(z) ≈ z` near zero.
+///
+/// # Errors
+///
+/// * [`NumError::NonPositiveParameter`] if `j ≤ 0`.
+/// * Propagates [`NumError::DomainError`] from [`lambert_w0`] (cannot occur for `y ≥ −j`,
+///   i.e. `μ ≥ 0`, which the callers guarantee).
+pub fn ratio_over_w0(y: f64, j: f64) -> Result<f64, NumError> {
+    if j <= 0.0 || !j.is_finite() {
+        return Err(NumError::NonPositiveParameter { name: "j", value: j });
+    }
+    let arg = y / (std::f64::consts::E * j);
+    // Removable singularity at y = 0 (W0(0) = 0).
+    if y.abs() < 1e-300 || arg.abs() < 1e-16 {
+        return Ok(std::f64::consts::E * j);
+    }
+    let w = lambert_w0(arg)?;
+    if w == 0.0 {
+        return Ok(std::f64::consts::E * j);
+    }
+    Ok(y / w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_inverse(x: f64) {
+        let w = lambert_w0(x).unwrap();
+        let back = w * w.exp();
+        assert!(
+            (back - x).abs() <= 1e-12 * x.abs().max(1.0),
+            "W0 inverse identity failed at x={x}: w={w}, w e^w={back}"
+        );
+    }
+
+    #[test]
+    fn known_values() {
+        assert!((lambert_w0(std::f64::consts::E).unwrap() - 1.0).abs() < 1e-13);
+        assert!((lambert_w0(0.0).unwrap()).abs() < 1e-15);
+        assert!((lambert_w0(1.0).unwrap() - 0.567_143_290_409_783_8).abs() < 1e-12);
+        // W0(-1/e) = -1.
+        assert!((lambert_w0(NEG_INV_E).unwrap() + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inverse_identity_over_wide_range() {
+        for &x in &[
+            -0.367, -0.3, -0.2, -0.1, -0.01, -1e-6, 1e-9, 1e-3, 0.1, 0.5, 1.0, 2.0, 10.0, 100.0,
+            1e4, 1e8, 1e15,
+        ] {
+            check_inverse(x);
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_domain() {
+        assert!(matches!(lambert_w0(-1.0), Err(NumError::DomainError { .. })));
+        assert!(matches!(lambert_w0(f64::NAN), Err(NumError::DomainError { .. })));
+    }
+
+    #[test]
+    fn slightly_below_edge_clamps() {
+        let w = lambert_w0(NEG_INV_E - 1e-15).unwrap();
+        assert!((w + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infinity_maps_to_infinity() {
+        assert_eq!(lambert_w0(f64::INFINITY).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn monotone_increasing() {
+        let mut prev = lambert_w0(-0.36).unwrap();
+        let mut x = -0.35;
+        while x < 50.0 {
+            let w = lambert_w0(x).unwrap();
+            assert!(w >= prev - 1e-12, "W0 not monotone at {x}");
+            prev = w;
+            x += 0.37;
+        }
+    }
+
+    #[test]
+    fn ratio_limit_at_zero() {
+        let j = 2.5;
+        let lim = ratio_over_w0(0.0, j).unwrap();
+        assert!((lim - std::f64::consts::E * j).abs() < 1e-12);
+        // Continuity: tiny y gives nearly the same value.
+        let near = ratio_over_w0(1e-12, j).unwrap();
+        assert!((near - lim).abs() / lim < 1e-6);
+    }
+
+    #[test]
+    fn ratio_rejects_nonpositive_j() {
+        assert!(matches!(ratio_over_w0(1.0, 0.0), Err(NumError::NonPositiveParameter { .. })));
+        assert!(matches!(ratio_over_w0(1.0, -3.0), Err(NumError::NonPositiveParameter { .. })));
+    }
+
+    #[test]
+    fn ratio_positive_for_negative_y_above_minus_j() {
+        // y in (-j, 0): argument in (-1/e, 0), W0 in (-1, 0), ratio positive.
+        let j = 1.0;
+        for &y in &[-0.9, -0.5, -0.1, -0.001] {
+            let r = ratio_over_w0(y, j).unwrap();
+            assert!(r > 0.0, "ratio should be positive for y={y}");
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Scalar root finding: safeguarded bisection and a Brent-style hybrid.
+//!
+//! The paper's Theorem 2 finds the bandwidth-budget multiplier `μ` as the root of the
+//! monotone decreasing derivative `g'(μ)` of a concave dual function; the baselines use the
+//! same machinery to price bandwidth. Bisection is slow but unconditionally robust, which is
+//! what an inner solver that runs thousands of times per experiment sweep needs.
+
+use crate::error::NumError;
+
+/// Result of a successful root search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BisectOutcome {
+    /// Approximate root.
+    pub root: f64,
+    /// Function value at [`BisectOutcome::root`].
+    pub f_root: f64,
+    /// Number of iterations used.
+    pub iterations: usize,
+}
+
+fn check_interval(lo: f64, hi: f64) -> Result<(), NumError> {
+    if !lo.is_finite() || !hi.is_finite() || lo > hi {
+        return Err(NumError::InvalidInterval { lo, hi });
+    }
+    Ok(())
+}
+
+/// Finds a root of `f` on `[lo, hi]` by bisection.
+///
+/// The function must be continuous on the interval and `f(lo)` / `f(hi)` must have opposite
+/// signs (a zero at either endpoint is accepted and returned immediately).
+///
+/// # Errors
+///
+/// * [`NumError::InvalidInterval`] if `lo > hi` or either endpoint is not finite.
+/// * [`NumError::NoSignChange`] if the endpoint values have the same (nonzero) sign.
+/// * [`NumError::NonFiniteValue`] if any evaluation returns NaN/∞.
+/// * [`NumError::MaxIterations`] if the interval is still wider than `tol` after `max_iter`
+///   halvings (with `tol = 1e-12` and a unit interval this needs ~40 iterations, so the error
+///   indicates a pathological input rather than a tight budget).
+///
+/// # Examples
+///
+/// ```rust
+/// # use numopt::roots::bisect;
+/// let out = bisect(|x| x.cos() - x, 0.0, 1.0, 1e-12, 200)?;
+/// assert!((out.root - 0.7390851332151607).abs() < 1e-9);
+/// # Ok::<(), numopt::NumError>(())
+/// ```
+pub fn bisect<F>(mut f: F, lo: f64, hi: f64, tol: f64, max_iter: usize) -> Result<BisectOutcome, NumError>
+where
+    F: FnMut(f64) -> f64,
+{
+    check_interval(lo, hi)?;
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let fb = f(b);
+    if !fa.is_finite() {
+        return Err(NumError::NonFiniteValue { at: a });
+    }
+    if !fb.is_finite() {
+        return Err(NumError::NonFiniteValue { at: b });
+    }
+    if fa == 0.0 {
+        return Ok(BisectOutcome { root: a, f_root: 0.0, iterations: 0 });
+    }
+    if fb == 0.0 {
+        return Ok(BisectOutcome { root: b, f_root: 0.0, iterations: 0 });
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumError::NoSignChange { f_lo: fa, f_hi: fb });
+    }
+    let mut mid = 0.5 * (a + b);
+    let mut fm = f(mid);
+    for it in 0..max_iter {
+        mid = 0.5 * (a + b);
+        fm = f(mid);
+        if !fm.is_finite() {
+            return Err(NumError::NonFiniteValue { at: mid });
+        }
+        if fm == 0.0 || (b - a) <= tol {
+            return Ok(BisectOutcome { root: mid, f_root: fm, iterations: it + 1 });
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+    }
+    Err(NumError::MaxIterations { iterations: max_iter, residual: (b - a).abs().max(fm.abs()) })
+}
+
+/// Finds the root of a **monotone decreasing** function on `[lo, hi]`, clamping to the
+/// endpoints when the root lies outside the bracket.
+///
+/// This is the shape of every "price" search in the paper (bandwidth multiplier `μ`,
+/// bandwidth price in Scheme 1): the derivative of a concave dual is decreasing, and a root
+/// below `lo` (resp. above `hi`) simply means the constraint is inactive (resp. the budget is
+/// binding at the boundary). Returning the clamped endpoint is the economically meaningful
+/// answer, so this helper never fails on a missing sign change.
+///
+/// # Errors
+///
+/// * [`NumError::InvalidInterval`] for a malformed bracket.
+/// * [`NumError::NonFiniteValue`] if an evaluation is NaN/∞.
+///
+/// # Examples
+///
+/// ```rust
+/// # use numopt::roots::root_of_decreasing;
+/// // g'(mu) = 5 - mu; root at 5, inside [0, 10].
+/// let mu = root_of_decreasing(|x| 5.0 - x, 0.0, 10.0, 1e-10, 200)?;
+/// assert!((mu - 5.0).abs() < 1e-8);
+/// // Root outside the bracket: clamp.
+/// let clamped = root_of_decreasing(|x| -1.0 - x, 0.0, 10.0, 1e-10, 200)?;
+/// assert_eq!(clamped, 0.0);
+/// # Ok::<(), numopt::NumError>(())
+/// ```
+pub fn root_of_decreasing<F>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, NumError>
+where
+    F: FnMut(f64) -> f64,
+{
+    check_interval(lo, hi)?;
+    let f_lo = f(lo);
+    if !f_lo.is_finite() {
+        return Err(NumError::NonFiniteValue { at: lo });
+    }
+    // Decreasing and already non-positive at the left end: the root is at or below `lo`.
+    if f_lo <= 0.0 {
+        return Ok(lo);
+    }
+    let f_hi = f(hi);
+    if !f_hi.is_finite() {
+        return Err(NumError::NonFiniteValue { at: hi });
+    }
+    // Still positive at the right end: the root is beyond `hi`.
+    if f_hi >= 0.0 {
+        return Ok(hi);
+    }
+    bisect(f, lo, hi, tol, max_iter).map(|o| o.root)
+}
+
+/// Expands `hi` geometrically until `f(hi)` changes sign relative to `f(lo)`, then bisects.
+///
+/// Useful when only a lower bound of the bracket is known (e.g. searching for the completion
+/// time `T` at which a feasibility function flips). The bracket grows by `factor` up to
+/// `max_expansions` times.
+///
+/// # Errors
+///
+/// Same as [`bisect`], plus [`NumError::NoSignChange`] if no sign change is found after all
+/// expansions.
+pub fn bisect_with_expansion<F>(
+    mut f: F,
+    lo: f64,
+    initial_hi: f64,
+    factor: f64,
+    max_expansions: usize,
+    tol: f64,
+    max_iter: usize,
+) -> Result<BisectOutcome, NumError>
+where
+    F: FnMut(f64) -> f64,
+{
+    check_interval(lo, initial_hi)?;
+    if factor <= 1.0 {
+        return Err(NumError::NonPositiveParameter { name: "factor - 1", value: factor - 1.0 });
+    }
+    let f_lo = f(lo);
+    if !f_lo.is_finite() {
+        return Err(NumError::NonFiniteValue { at: lo });
+    }
+    let mut hi = initial_hi;
+    let mut f_hi = f(hi);
+    let mut expansions = 0usize;
+    while f_hi.is_finite() && f_lo.signum() == f_hi.signum() && expansions < max_expansions {
+        hi *= factor;
+        f_hi = f(hi);
+        expansions += 1;
+    }
+    if !f_hi.is_finite() {
+        return Err(NumError::NonFiniteValue { at: hi });
+    }
+    if f_lo.signum() == f_hi.signum() {
+        return Err(NumError::NoSignChange { f_lo, f_hi });
+    }
+    bisect(f, lo, hi, tol, max_iter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_cube_root_of_two() {
+        let out = bisect(|x| x * x * x - 2.0, 0.0, 2.0, 1e-13, 200).unwrap();
+        assert!((out.root - 2f64.powf(1.0 / 3.0)).abs() < 1e-10);
+        assert!(out.iterations > 0);
+    }
+
+    #[test]
+    fn bisect_accepts_root_at_endpoint() {
+        let out = bisect(|x| x, 0.0, 5.0, 1e-12, 100).unwrap();
+        assert_eq!(out.root, 0.0);
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn bisect_rejects_bad_interval() {
+        let err = bisect(|x| x, 2.0, 1.0, 1e-12, 100).unwrap_err();
+        assert!(matches!(err, NumError::InvalidInterval { .. }));
+    }
+
+    #[test]
+    fn bisect_rejects_same_sign() {
+        let err = bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100).unwrap_err();
+        assert!(matches!(err, NumError::NoSignChange { .. }));
+    }
+
+    #[test]
+    fn bisect_detects_nan() {
+        let err = bisect(|x| if x > 0.5 { f64::NAN } else { -1.0 }, 0.0, 1.0, 1e-12, 100).unwrap_err();
+        assert!(matches!(err, NumError::NonFiniteValue { .. }));
+    }
+
+    #[test]
+    fn decreasing_root_interior() {
+        let mu = root_of_decreasing(|x| 3.0 - x * x, 0.0, 10.0, 1e-12, 200).unwrap();
+        assert!((mu - 3f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decreasing_root_clamps_left() {
+        let mu = root_of_decreasing(|x| -1.0 - x, 0.0, 10.0, 1e-12, 200).unwrap();
+        assert_eq!(mu, 0.0);
+    }
+
+    #[test]
+    fn decreasing_root_clamps_right() {
+        let mu = root_of_decreasing(|x| 100.0 - x, 0.0, 10.0, 1e-12, 200).unwrap();
+        assert_eq!(mu, 10.0);
+    }
+
+    #[test]
+    fn expansion_finds_far_root() {
+        let out = bisect_with_expansion(|x| x - 1000.0, 0.0, 1.0, 2.0, 60, 1e-9, 300).unwrap();
+        assert!((out.root - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn expansion_gives_up_gracefully() {
+        let err = bisect_with_expansion(|x| x + 1.0, 0.0, 1.0, 2.0, 5, 1e-9, 100).unwrap_err();
+        assert!(matches!(err, NumError::NoSignChange { .. }));
+    }
+
+    #[test]
+    fn expansion_rejects_bad_factor() {
+        let err = bisect_with_expansion(|x| x - 3.0, 0.0, 1.0, 0.5, 5, 1e-9, 100).unwrap_err();
+        assert!(matches!(err, NumError::NonPositiveParameter { .. }));
+    }
+}

@@ -1,0 +1,47 @@
+//! # wireless
+//!
+//! The FDMA wireless substrate used by the ICDCS 2022 reproduction: everything between the
+//! physical placement of devices and the Shannon rate `r_n = B_n log2(1 + g_n p_n / (N_0 B_n))`
+//! that the optimization problem consumes.
+//!
+//! * [`units`] — newtypes for decibel/linear quantities (`Dbm`, `Db`, `Watts`, `Hertz`, …) so
+//!   that dBm never gets added to watts by accident.
+//! * [`pathloss`] — the 3GPP-style urban-macro path loss `128.1 + 37.6·log10(d_km)` dB used in
+//!   Section VII-A of the paper.
+//! * [`shadowing`] — log-normal shadow fading with the paper's 8 dB standard deviation.
+//! * [`placement`] — uniform placement of devices in a disc around the base station.
+//! * [`channel`] — channel-gain synthesis and the exact Shannon rate function
+//!   `G_n(p_n, B_n)` (Lemma 1 of the paper proves it concave; the tests here verify that
+//!   numerically).
+//! * [`noise`] — noise power spectral density handling.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use wireless::units::{Dbm, Hertz};
+//! use wireless::channel::{shannon_rate, ChannelGain};
+//! use wireless::noise::NoiseDensity;
+//!
+//! // -174 dBm/Hz noise density, 400 kHz of bandwidth, 10 dBm transmit power, -100 dB gain.
+//! let n0 = NoiseDensity::from_dbm_per_hz(-174.0);
+//! let gain = ChannelGain::from_db(-100.0);
+//! let rate = shannon_rate(Dbm::new(10.0).to_watts(), Hertz::new(4.0e5), gain, n0);
+//! assert!(rate.as_bits_per_sec() > 1.0e6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod noise;
+pub mod pathloss;
+pub mod placement;
+pub mod shadowing;
+pub mod units;
+
+pub use channel::{shannon_rate, ChannelGain, RateBps};
+pub use noise::NoiseDensity;
+pub use pathloss::PathLossModel;
+pub use placement::{DiscPlacement, Position};
+pub use shadowing::LogNormalShadowing;
+pub use units::{Db, Dbm, Hertz, Watts};

@@ -1,0 +1,74 @@
+//! Noise power spectral density.
+
+use crate::units::{Hertz, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Noise power spectral density `N₀`, stored in linear watts per hertz.
+///
+/// The paper uses `N₀ = −174 dBm/Hz` (thermal noise at room temperature); the noise power in
+/// a sub-channel of bandwidth `B_n` is `N₀·B_n`, which is exactly what the Shannon formula
+/// (1) of the paper divides by.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct NoiseDensity {
+    watts_per_hz: f64,
+}
+
+impl NoiseDensity {
+    /// Builds a noise density from a dBm/Hz figure (e.g. `-174.0`).
+    pub fn from_dbm_per_hz(dbm_per_hz: f64) -> Self {
+        Self { watts_per_hz: 10f64.powf((dbm_per_hz - 30.0) / 10.0) }
+    }
+
+    /// Builds a noise density directly from watts per hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the density is not strictly positive.
+    pub fn from_watts_per_hz(watts_per_hz: f64) -> Self {
+        debug_assert!(watts_per_hz > 0.0, "noise density must be positive");
+        Self { watts_per_hz }
+    }
+
+    /// The density in watts per hertz.
+    pub fn watts_per_hz(self) -> f64 {
+        self.watts_per_hz
+    }
+
+    /// Total noise power over a bandwidth: `N₀·B`.
+    pub fn power_over(self, bandwidth: Hertz) -> Watts {
+        Watts::new(self.watts_per_hz * bandwidth.value())
+    }
+}
+
+impl Default for NoiseDensity {
+    /// The paper's `-174 dBm/Hz`.
+    fn default() -> Self {
+        Self::from_dbm_per_hz(-174.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_value_matches_linear() {
+        let n0 = NoiseDensity::from_dbm_per_hz(-174.0);
+        assert!((n0.watts_per_hz() - 3.981_071_705_534_97e-21).abs() < 1e-30);
+        assert_eq!(NoiseDensity::default(), n0);
+    }
+
+    #[test]
+    fn power_scales_with_bandwidth() {
+        let n0 = NoiseDensity::from_watts_per_hz(4.0e-21);
+        let p = n0.power_over(Hertz::from_mhz(20.0));
+        assert!((p.value() - 8.0e-14).abs() < 1e-25);
+    }
+
+    #[test]
+    fn round_trip_via_watts_per_hz() {
+        let n0 = NoiseDensity::from_dbm_per_hz(-160.0);
+        let again = NoiseDensity::from_watts_per_hz(n0.watts_per_hz());
+        assert_eq!(n0, again);
+    }
+}

@@ -1,0 +1,95 @@
+//! Large-scale path loss.
+//!
+//! Section VII-A of the paper models the channel's path loss as
+//! `PL(d) = 128.1 + 37.6·log10(d)` dB with `d` in kilometres — the standard 3GPP urban-macro
+//! model — plus 8 dB of log-normal shadow fading handled in [`crate::shadowing`].
+
+use crate::units::{Db, Kilometres};
+use serde::{Deserialize, Serialize};
+
+/// A log-distance path loss model `PL(d) = intercept + slope·log10(d_km)` in dB.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathLossModel {
+    /// Path loss at 1 km, in dB.
+    pub intercept_db: f64,
+    /// Slope per decade of distance, in dB.
+    pub slope_db_per_decade: f64,
+    /// Distances below this floor are clamped to it (keeps the model finite at `d → 0`
+    /// and mirrors the minimum-coupling-loss convention of cellular simulators).
+    pub min_distance: Kilometres,
+}
+
+impl PathLossModel {
+    /// The paper's model: `128.1 + 37.6 log10(d_km)` dB, with a 1 m minimum distance.
+    pub fn paper_default() -> Self {
+        Self {
+            intercept_db: 128.1,
+            slope_db_per_decade: 37.6,
+            min_distance: Kilometres::new(1.0e-3),
+        }
+    }
+
+    /// Path loss (a positive dB number) at the given distance.
+    pub fn loss(&self, distance: Kilometres) -> Db {
+        let d = distance.value().max(self.min_distance.value());
+        Db::new(self.intercept_db + self.slope_db_per_decade * d.log10())
+    }
+
+    /// Linear channel **gain** (≤ 1) implied by the path loss at the given distance, before
+    /// shadow fading: `g = 10^(−PL/10)`.
+    pub fn gain(&self, distance: Kilometres) -> f64 {
+        Db::new(-self.loss(distance).value()).to_linear()
+    }
+}
+
+impl Default for PathLossModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_at_one_km_is_intercept() {
+        let m = PathLossModel::paper_default();
+        assert!((m.loss(Kilometres::new(1.0)).value() - 128.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_at_quarter_km_matches_hand_calc() {
+        let m = PathLossModel::paper_default();
+        // 128.1 + 37.6*log10(0.25) = 128.1 - 22.637... = 105.46...
+        let expected = 128.1 + 37.6 * 0.25f64.log10();
+        assert!((m.loss(Kilometres::new(0.25)).value() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_decreases_with_distance() {
+        let m = PathLossModel::paper_default();
+        let g_near = m.gain(Kilometres::new(0.1));
+        let g_far = m.gain(Kilometres::new(1.0));
+        assert!(g_near > g_far);
+        assert!(g_far > 0.0);
+    }
+
+    #[test]
+    fn distance_is_floored() {
+        let m = PathLossModel::paper_default();
+        let at_zero = m.loss(Kilometres::new(0.0));
+        let at_floor = m.loss(m.min_distance);
+        assert_eq!(at_zero, at_floor);
+        assert!(at_zero.value().is_finite());
+    }
+
+    #[test]
+    fn gains_are_physical() {
+        let m = PathLossModel::paper_default();
+        for d in [0.01, 0.1, 0.25, 0.5, 1.0, 1.5] {
+            let g = m.gain(Kilometres::new(d));
+            assert!(g > 0.0 && g < 1.0, "gain {g} at {d} km out of (0,1)");
+        }
+    }
+}

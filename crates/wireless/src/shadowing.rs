@@ -1,0 +1,127 @@
+//! Log-normal shadow fading.
+//!
+//! The paper adds shadow fading with an 8 dB standard deviation on top of the deterministic
+//! path loss. We sample it as a zero-mean Gaussian in the dB domain (equivalently, the linear
+//! gain factor is log-normally distributed). The Gaussian is generated with a Box–Muller
+//! transform so the crate does not need a distributions dependency.
+
+use crate::units::Db;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Zero-mean log-normal shadow fading with configurable dB standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormalShadowing {
+    /// Standard deviation of the shadowing term in dB.
+    pub sigma_db: f64,
+}
+
+impl LogNormalShadowing {
+    /// Creates a shadowing model with the given dB standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `sigma_db` is negative.
+    pub fn new(sigma_db: f64) -> Self {
+        debug_assert!(sigma_db >= 0.0, "shadowing sigma must be non-negative");
+        Self { sigma_db }
+    }
+
+    /// The paper's 8 dB standard deviation.
+    pub fn paper_default() -> Self {
+        Self { sigma_db: 8.0 }
+    }
+
+    /// Draws one shadowing realization in dB (may be positive or negative).
+    pub fn sample_db<R: Rng + ?Sized>(&self, rng: &mut R) -> Db {
+        Db::new(self.sigma_db * standard_normal(rng))
+    }
+
+    /// Draws one shadowing realization as a linear gain multiplier (always positive).
+    pub fn sample_linear<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.sample_db(rng).to_linear()
+    }
+}
+
+impl Default for LogNormalShadowing {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Samples a standard normal variate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_default_sigma() {
+        assert_eq!(LogNormalShadowing::paper_default().sigma_db, 8.0);
+        assert_eq!(LogNormalShadowing::default(), LogNormalShadowing::new(8.0));
+    }
+
+    #[test]
+    fn zero_sigma_is_deterministic_unity_gain() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = LogNormalShadowing::new(0.0);
+        for _ in 0..10 {
+            assert_eq!(s.sample_db(&mut rng).value(), 0.0);
+            assert_eq!(s.sample_linear(&mut rng), 1.0);
+        }
+    }
+
+    #[test]
+    fn sample_statistics_match_sigma() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let s = LogNormalShadowing::new(8.0);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| s.sample_db(&mut rng).value()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.3, "mean {mean} too far from 0");
+        assert!((var.sqrt() - 8.0).abs() < 0.3, "std {} too far from 8", var.sqrt());
+    }
+
+    #[test]
+    fn linear_samples_are_positive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = LogNormalShadowing::paper_default();
+        for _ in 0..1000 {
+            assert!(s.sample_linear(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02);
+        assert!((var - 1.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn seeded_rng_is_reproducible() {
+        let s = LogNormalShadowing::paper_default();
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(123);
+            (0..5).map(|_| s.sample_db(&mut rng).value()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(123);
+            (0..5).map(|_| s.sample_db(&mut rng).value()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

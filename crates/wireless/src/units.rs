@@ -1,0 +1,226 @@
+//! Newtypes for the physical units used throughout the system model.
+//!
+//! The parameter table of the paper mixes logarithmic (dBm, dB) and linear (W, Hz, J, s)
+//! quantities; the classic failure mode in reimplementations is feeding a dBm value where the
+//! optimizer expects watts. These newtypes make the conversion explicit and one-directional:
+//! logarithmic types convert *to* linear types by a named method, never implicitly.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Transmit power expressed in dBm (decibels relative to one milliwatt).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Dbm(f64);
+
+impl Dbm {
+    /// Wraps a raw dBm value.
+    pub fn new(value: f64) -> Self {
+        Self(value)
+    }
+
+    /// Returns the raw dBm value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to linear watts: `10^((dBm − 30) / 10)`.
+    pub fn to_watts(self) -> Watts {
+        Watts::new(10f64.powf((self.0 - 30.0) / 10.0))
+    }
+}
+
+impl fmt::Display for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} dBm", self.0)
+    }
+}
+
+/// A dimensionless ratio expressed in decibels.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Db(f64);
+
+impl Db {
+    /// Wraps a raw dB value.
+    pub fn new(value: f64) -> Self {
+        Self(value)
+    }
+
+    /// Returns the raw dB value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to a linear ratio: `10^(dB/10)`.
+    pub fn to_linear(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Builds a `Db` from a linear power ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `ratio` is not strictly positive.
+    pub fn from_linear(ratio: f64) -> Self {
+        debug_assert!(ratio > 0.0, "dB conversion needs a positive ratio");
+        Self(10.0 * ratio.log10())
+    }
+}
+
+impl fmt::Display for Db {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} dB", self.0)
+    }
+}
+
+/// Power in linear watts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Watts(f64);
+
+impl Watts {
+    /// Wraps a raw power in watts.
+    pub fn new(value: f64) -> Self {
+        Self(value)
+    }
+
+    /// Returns the raw value in watts.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to dBm: `10·log10(W) + 30`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the power is not strictly positive.
+    pub fn to_dbm(self) -> Dbm {
+        debug_assert!(self.0 > 0.0, "dBm conversion needs positive power");
+        Dbm::new(10.0 * self.0.log10() + 30.0)
+    }
+}
+
+impl fmt::Display for Watts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} W", self.0)
+    }
+}
+
+/// Frequency / bandwidth in hertz.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Hertz(f64);
+
+impl Hertz {
+    /// Wraps a raw frequency in Hz.
+    pub fn new(value: f64) -> Self {
+        Self(value)
+    }
+
+    /// Convenience constructor from megahertz.
+    pub fn from_mhz(mhz: f64) -> Self {
+        Self(mhz * 1.0e6)
+    }
+
+    /// Convenience constructor from gigahertz.
+    pub fn from_ghz(ghz: f64) -> Self {
+        Self(ghz * 1.0e9)
+    }
+
+    /// Returns the raw value in Hz.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Hertz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} Hz", self.0)
+    }
+}
+
+/// Distance in kilometres (the unit the paper's path-loss formula expects).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Kilometres(f64);
+
+impl Kilometres {
+    /// Wraps a raw distance in km.
+    pub fn new(value: f64) -> Self {
+        Self(value)
+    }
+
+    /// Convenience constructor from metres.
+    pub fn from_metres(metres: f64) -> Self {
+        Self(metres / 1000.0)
+    }
+
+    /// Returns the raw value in km.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the distance in metres.
+    pub fn as_metres(self) -> f64 {
+        self.0 * 1000.0
+    }
+}
+
+impl fmt::Display for Kilometres {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} km", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_to_watts_known_points() {
+        assert!((Dbm::new(0.0).to_watts().value() - 1.0e-3).abs() < 1e-12);
+        assert!((Dbm::new(30.0).to_watts().value() - 1.0).abs() < 1e-12);
+        assert!((Dbm::new(10.0).to_watts().value() - 1.0e-2).abs() < 1e-12);
+        assert!((Dbm::new(12.0).to_watts().value() - 0.015_848_931_924_611_134).abs() < 1e-12);
+        assert!((Dbm::new(-174.0).to_watts().value() - 3.981_071_705_534_97e-21).abs() < 1e-30);
+    }
+
+    #[test]
+    fn watts_dbm_round_trip() {
+        for &p in &[1e-6, 1e-3, 0.5, 2.0, 100.0] {
+            let back = Watts::new(p).to_dbm().to_watts().value();
+            assert!((back - p).abs() / p < 1e-12);
+        }
+    }
+
+    #[test]
+    fn db_linear_round_trip() {
+        for &db in &[-120.0, -30.0, 0.0, 3.0, 60.0] {
+            let back = Db::from_linear(Db::new(db).to_linear()).value();
+            assert!((back - db).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hertz_constructors() {
+        assert_eq!(Hertz::from_mhz(20.0).value(), 2.0e7);
+        assert_eq!(Hertz::from_ghz(2.0).value(), 2.0e9);
+    }
+
+    #[test]
+    fn kilometres_conversions() {
+        assert_eq!(Kilometres::from_metres(500.0).value(), 0.5);
+        assert_eq!(Kilometres::new(1.5).as_metres(), 1500.0);
+    }
+
+    #[test]
+    fn display_includes_units() {
+        assert_eq!(Dbm::new(10.0).to_string(), "10 dBm");
+        assert_eq!(Db::new(8.0).to_string(), "8 dB");
+        assert_eq!(Watts::new(0.01).to_string(), "0.01 W");
+        assert_eq!(Hertz::new(100.0).to_string(), "100 Hz");
+        assert_eq!(Kilometres::new(0.5).to_string(), "0.5 km");
+    }
+
+    #[test]
+    fn ordering_behaves_like_f64() {
+        assert!(Dbm::new(5.0) < Dbm::new(12.0));
+        assert!(Watts::new(0.1) > Watts::new(0.01));
+    }
+}

@@ -1,0 +1,45 @@
+//! Quickstart: build the paper's default scenario, run the joint optimizer, and compare it
+//! against the random benchmark.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fedopt::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build a wireless FL deployment: 20 devices in a 250 m cell, 20 MHz of uplink
+    //    bandwidth, 400 global rounds of 10 local iterations each (Section VII-A defaults).
+    let scenario = ScenarioBuilder::paper_default().with_devices(20).build(2024)?;
+    println!(
+        "scenario: {} devices, {:.0} MHz uplink, R_g = {}, R_l = {}",
+        scenario.num_devices(),
+        scenario.params.total_bandwidth.value() / 1e6,
+        scenario.params.global_rounds,
+        scenario.params.local_iterations,
+    );
+
+    // 2. Pick the trade-off: w1 weighs energy, w2 weighs completion time.
+    let weights = Weights::new(0.5, 0.5)?;
+
+    // 3. Run the paper's Algorithm 2.
+    let optimizer = JointOptimizer::new(SolverConfig::default());
+    let outcome = optimizer.solve(&scenario, weights)?;
+    assert!(outcome.allocation.is_feasible(&scenario, 1e-6));
+
+    println!("\nproposed allocation (Algorithm 2):");
+    println!("  total energy      : {:>10.2} J", outcome.total_energy_j);
+    println!("  total completion  : {:>10.2} s", outcome.total_time_s);
+    println!("  weighted objective: {:>10.2}", outcome.objective);
+    println!("  outer iterations  : {:>10}", outcome.trace.len());
+
+    // 4. Compare with the paper's random benchmark (max power, random frequency, equal band).
+    let benchmark = BenchmarkAllocator::new().random_frequency(&scenario, 2024)?;
+    println!("\nrandom benchmark:");
+    println!("  total energy      : {:>10.2} J", benchmark.total_energy_j());
+    println!("  total completion  : {:>10.2} s", benchmark.total_time_s());
+
+    let saving = 100.0 * (1.0 - outcome.total_energy_j / benchmark.total_energy_j());
+    println!("\nenergy saving vs benchmark: {saving:.1} %");
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! The energy/latency trade-off knob: sweep the five weight pairs used in the paper's
+//! evaluation and print the resulting operating points.
+//!
+//! The introduction motivates two extremes — low-battery devices (care about energy) and
+//! latency-critical deployments such as connected vehicles (care about completion time). The
+//! weight pair `(w1, w2)` selects the point on that trade-off curve.
+//!
+//! ```text
+//! cargo run --release --example weight_tradeoff
+//! ```
+
+use fedopt::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = ScenarioBuilder::paper_default().with_devices(20).build(7)?;
+    let optimizer = JointOptimizer::new(SolverConfig::default());
+
+    println!("{:>14} {:>14} {:>14} {:>18}", "(w1, w2)", "energy (J)", "time (s)", "scenario");
+    let labels = [
+        "low battery",
+        "battery-leaning",
+        "balanced",
+        "latency-leaning",
+        "latency-critical",
+    ];
+    let mut previous_energy = f64::NEG_INFINITY;
+    for (weights, label) in Weights::paper_sweep().into_iter().zip(labels) {
+        let outcome = optimizer.solve(&scenario, weights)?;
+        println!(
+            "{:>14} {:>14.2} {:>14.2} {:>18}",
+            format!("({:.1}, {:.1})", weights.energy(), weights.time()),
+            outcome.total_energy_j,
+            outcome.total_time_s,
+            label
+        );
+        // The sweep moves from energy-focused to latency-focused, so energy rises monotonically.
+        assert!(outcome.total_energy_j >= previous_energy * 0.95);
+        previous_energy = outcome.total_energy_j;
+    }
+
+    println!("\nreading the table: move down the rows to trade joules for seconds.");
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Integration of the resource allocator with the FedAvg training simulator: the optimized
+//! allocation trains the same model for less energy than the benchmark allocation.
+
+use fedopt::fedsim::prelude::*;
+use fedopt::fedsim::FedAvgConfig;
+use fedopt::prelude::*;
+
+#[test]
+fn optimized_allocation_trains_same_model_cheaper() {
+    let devices = 6;
+    let rounds = 12;
+    let scenario = ScenarioBuilder::paper_default()
+        .with_devices(devices)
+        .with_global_rounds(rounds)
+        .build(300)
+        .unwrap();
+    let dataset = FederatedDataset::synthetic(
+        &SyntheticConfig::default().with_devices(devices).with_samples_per_device(60),
+        300,
+    );
+
+    let optimizer = JointOptimizer::new(SolverConfig::fast());
+    let optimized = optimizer.solve(&scenario, Weights::balanced()).unwrap();
+    let benchmark = BenchmarkAllocator::new().random_frequency(&scenario, 300).unwrap();
+
+    let runner = FedAvgRunner::new(FedAvgConfig::default());
+    let run_opt = runner.run(&scenario, &optimized.allocation, &dataset).unwrap();
+    let run_bench = runner.run(&scenario, &benchmark.allocation, &dataset).unwrap();
+
+    // Identical learning trajectory (the allocation does not change the math of FedAvg)...
+    assert_eq!(run_opt.rounds.len(), rounds as usize);
+    assert!((run_opt.final_accuracy - run_bench.final_accuracy).abs() < 1e-12);
+    assert!((run_opt.final_loss - run_bench.final_loss).abs() < 1e-12);
+    // ...at a lower energy cost.
+    assert!(run_opt.total_energy_j < run_bench.total_energy_j);
+    // Training makes progress.
+    assert!(run_opt.final_loss < run_opt.rounds[0].global_loss);
+    assert!(run_opt.final_accuracy > 0.6);
+}
+
+#[test]
+fn cumulative_accounting_matches_closed_form_totals() {
+    let scenario = ScenarioBuilder::paper_default()
+        .with_devices(4)
+        .with_global_rounds(5)
+        .build(301)
+        .unwrap();
+    let dataset = FederatedDataset::synthetic(
+        &SyntheticConfig::default().with_devices(4).with_samples_per_device(40),
+        301,
+    );
+    let allocation = Allocation::equal_split_max(&scenario);
+    let report = FedAvgRunner::new(FedAvgConfig::default())
+        .run(&scenario, &allocation, &dataset)
+        .unwrap();
+    let cost = scenario.cost(&allocation).unwrap();
+    // 5 rounds of the closed-form per-round cost equal the simulator's cumulative totals.
+    assert!((report.total_energy_j - cost.total_energy_j / scenario.params.rg() * 5.0).abs() < 1e-9);
+    assert!((report.total_time_s - cost.round_time_s * 5.0).abs() < 1e-9);
+}

@@ -1,0 +1,86 @@
+//! Small-scale versions of the qualitative claims of the paper's evaluation section, run
+//! through the same experiment harness that regenerates the figures.
+
+use experiments::{fig2, fig6, fig7, fig8};
+use fedopt_core::SolverConfig;
+use flsys::Weights;
+
+#[test]
+fn fig2_claims_hold_at_small_scale() {
+    let cfg = fig2::Fig2Config {
+        devices: 8,
+        seeds: vec![201],
+        p_max_dbm: vec![6.0, 12.0],
+        weights: vec![Weights::new(0.9, 0.1).unwrap(), Weights::new(0.1, 0.9).unwrap()],
+        solver: SolverConfig::fast(),
+    };
+    let (energy, delay) = fig2::run(&cfg).unwrap();
+    for ((_, e_row), (_, t_row)) in energy.rows.iter().zip(&delay.rows) {
+        // Energy-leaning weights beat the benchmark on energy; time-leaning weights beat it
+        // on delay; and the two weightings order as expected on both metrics.
+        assert!(e_row[0] < *e_row.last().unwrap());
+        assert!(t_row[1] < *t_row.last().unwrap());
+        assert!(e_row[0] <= e_row[1] * 1.05);
+        assert!(t_row[1] <= t_row[0] * 1.05);
+    }
+}
+
+#[test]
+fn fig6_energy_and_delay_scale_with_training_effort() {
+    let cfg = fig6::Fig6Config {
+        local_iterations: vec![10, 110],
+        global_rounds: vec![50, 400],
+        devices: 6,
+        seeds: vec![202],
+        solver: SolverConfig::fast(),
+    };
+    let (energy, delay) = fig6::run(&cfg).unwrap();
+    // Both metrics grow along both axes of training effort (R_l and R_g).
+    for c in 0..2 {
+        assert!(energy.rows[1].1[c] > energy.rows[0].1[c]);
+        assert!(delay.rows[1].1[c] > delay.rows[0].1[c]);
+    }
+    for r in 0..2 {
+        assert!(energy.rows[r].1[1] > energy.rows[r].1[0]);
+        assert!(delay.rows[r].1[1] > delay.rows[r].1[0]);
+    }
+}
+
+#[test]
+fn fig7_ordering_joint_then_comm_then_comp() {
+    let cfg = fig7::Fig7Config {
+        devices: 8,
+        p_max_dbm: 10.0,
+        deadlines_s: vec![120.0, 150.0],
+        seeds: vec![203],
+        solver: SolverConfig::fast(),
+    };
+    let report = fig7::run(&cfg).unwrap();
+    for (deadline, row) in &report.rows {
+        assert!(row[0] <= row[1] * 1.02, "T={deadline}: joint should beat comm-only");
+        assert!(row[1] <= row[2] * 1.05, "T={deadline}: comm-only should beat comp-only");
+    }
+}
+
+#[test]
+fn fig8_proposed_at_least_matches_scheme1() {
+    let cfg = fig8::Fig8Config {
+        devices: 8,
+        p_max_dbm: vec![8.0, 12.0],
+        deadlines_s: vec![45.0, 150.0],
+        seeds: vec![204],
+        solver: SolverConfig::fast(),
+    };
+    let report = fig8::run(&cfg).unwrap();
+    for (p_max, row) in &report.rows {
+        // Columns alternate scheme1/proposed per deadline.
+        for pair in row.chunks(2) {
+            assert!(
+                pair[1] <= pair[0] * 1.02,
+                "p_max={p_max}: proposed {} should not lose to scheme1 {}",
+                pair[1],
+                pair[0]
+            );
+        }
+    }
+}
