@@ -24,11 +24,19 @@ impl BenchmarkAllocator {
     /// Variant used when sweeping the maximum transmit power (Fig. 2): random frequency in
     /// `[0.1 GHz, f_max]` (never above the device's cap), `p = p_max`, equal bandwidth split.
     ///
+    /// `seed` is the RNG stream for the random draw. When it originates from a figure
+    /// cell's base (scenario) seed, derive it with [`crate::seeding::derive_stream_seed`]
+    /// first so the draw stays decorrelated from the scenario realisation.
+    ///
     /// # Errors
     ///
     /// Propagates [`FlError`] from the cost evaluation (cannot occur for scenarios built by
     /// `flsys`).
-    pub fn random_frequency(&self, scenario: &Scenario, seed: u64) -> Result<BaselineResult, FlError> {
+    pub fn random_frequency(
+        &self,
+        scenario: &Scenario,
+        seed: u64,
+    ) -> Result<BaselineResult, FlError> {
         let mut rng = StdRng::seed_from_u64(seed);
         let n = scenario.devices.len();
         let share = scenario.params.total_bandwidth.value() / n as f64;
@@ -53,7 +61,8 @@ impl BenchmarkAllocator {
     }
 
     /// Variant used when sweeping the maximum CPU frequency (Fig. 3): random power in
-    /// `[p_min, p_max]`, `f = f_max`, equal bandwidth split.
+    /// `[p_min, p_max]`, `f = f_max`, equal bandwidth split. See [`Self::random_frequency`]
+    /// for the seed-derivation convention.
     ///
     /// # Errors
     ///
@@ -136,7 +145,10 @@ mod tests {
         // A scenario whose f_max is below 0.1 GHz exercises the lo >= hi branch.
         let s = ScenarioBuilder::paper_default()
             .with_devices(3)
-            .with_frequency_range(wireless::units::Hertz::new(5.0e7), wireless::units::Hertz::new(5.0e7))
+            .with_frequency_range(
+                wireless::units::Hertz::new(5.0e7),
+                wireless::units::Hertz::new(5.0e7),
+            )
             .build(0)
             .unwrap();
         let r = BenchmarkAllocator::new().random_frequency(&s, 3).unwrap();

@@ -31,7 +31,11 @@ impl CommOnlyAllocator {
     ///
     /// Returns [`CoreError`] if the inner Subproblem-2 solver fails or the scenario rejects
     /// the allocation.
-    pub fn allocate(&self, scenario: &Scenario, total_deadline_s: f64) -> Result<BaselineResult, CoreError> {
+    pub fn allocate(
+        &self,
+        scenario: &Scenario,
+        total_deadline_s: f64,
+    ) -> Result<BaselineResult, CoreError> {
         let params = &scenario.params;
         let round_deadline = total_deadline_s / params.rg();
         let rl = params.rl();
@@ -90,7 +94,11 @@ mod tests {
         let deadline = 120.0;
         let r = alloc.allocate(&s, deadline).unwrap();
         assert!(r.allocation.is_feasible(&s, 1e-5));
-        assert!(r.total_time_s() <= deadline * 1.1, "time {} vs deadline {deadline}", r.total_time_s());
+        assert!(
+            r.total_time_s() <= deadline * 1.1,
+            "time {} vs deadline {deadline}",
+            r.total_time_s()
+        );
     }
 
     #[test]

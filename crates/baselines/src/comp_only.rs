@@ -26,7 +26,11 @@ impl CompOnlyAllocator {
     /// # Errors
     ///
     /// Returns [`CoreError`] if the scenario rejects the allocation shape.
-    pub fn allocate(&self, scenario: &Scenario, total_deadline_s: f64) -> Result<BaselineResult, CoreError> {
+    pub fn allocate(
+        &self,
+        scenario: &Scenario,
+        total_deadline_s: f64,
+    ) -> Result<BaselineResult, CoreError> {
         let round_deadline = total_deadline_s / scenario.params.rg();
 
         let fixed = Allocation::half_split_max(scenario);
@@ -60,10 +64,8 @@ mod tests {
         let r = alloc.allocate(&s, 120.0).unwrap();
         assert!(r.allocation.is_feasible(&s, 1e-6));
         let half_share = s.params.total_bandwidth.value() / (2.0 * 8.0);
-        for (dev, (&p, &b)) in s
-            .devices
-            .iter()
-            .zip(r.allocation.powers_w.iter().zip(&r.allocation.bandwidths_hz))
+        for (dev, (&p, &b)) in
+            s.devices.iter().zip(r.allocation.powers_w.iter().zip(&r.allocation.bandwidths_hz))
         {
             assert_eq!(p, dev.p_max.value());
             assert!((b - half_share).abs() < 1.0);

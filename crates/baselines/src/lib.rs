@@ -27,9 +27,11 @@ pub mod comm_only;
 pub mod comp_only;
 pub mod result;
 pub mod scheme1;
+pub mod seeding;
 
 pub use benchmark::BenchmarkAllocator;
 pub use comm_only::CommOnlyAllocator;
 pub use comp_only::CompOnlyAllocator;
 pub use result::BaselineResult;
 pub use scheme1::Scheme1Allocator;
+pub use seeding::derive_stream_seed;

@@ -41,7 +41,11 @@ impl Scheme1Allocator {
     ///
     /// Returns [`CoreError`] if the inner Subproblem-2 solver fails or the scenario rejects
     /// the allocation.
-    pub fn allocate(&self, scenario: &Scenario, total_deadline_s: f64) -> Result<BaselineResult, CoreError> {
+    pub fn allocate(
+        &self,
+        scenario: &Scenario,
+        total_deadline_s: f64,
+    ) -> Result<BaselineResult, CoreError> {
         let params = &scenario.params;
         let round_deadline = total_deadline_s / params.rg();
         let rl = params.rl();

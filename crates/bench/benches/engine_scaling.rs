@@ -1,0 +1,32 @@
+//! Benchmarks the SweepEngine's thread scaling on the quick Figure-2 grid: the same cells
+//! evaluated sequentially and with 2/4 workers. On a multi-core host the 4-worker run
+//! demonstrates the >= 2x speedup the engine was introduced for (the grid is
+//! embarrassingly parallel); output is bit-identical across all of them (see the
+//! `engine_integration` tests).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::fig2::{run_with_engine, Fig2Config};
+use experiments::SweepEngine;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(8));
+    let cfg = Fig2Config::quick();
+    for &threads in &[1usize, 2, 4] {
+        let engine = SweepEngine::with_threads(threads);
+        group.bench_with_input(BenchmarkId::new("fig2_quick", threads), &threads, |b, _| {
+            b.iter(|| {
+                let (energy, _) = run_with_engine(&cfg, &engine).unwrap();
+                energy.rows.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -6,10 +6,12 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2_pmax");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(8));
     group.bench_function("reduced_sweep", |b| {
         b.iter(|| {
-            
             let cfg = experiments::fig2::Fig2Config {
                 devices: 8,
                 seeds: vec![1],

@@ -6,10 +6,12 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_radius");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(8));
     group.bench_function("reduced_sweep", |b| {
         b.iter(|| {
-            
             let cfg = experiments::fig5::Fig5Config {
                 radii_km: vec![0.25, 1.0],
                 device_counts: vec![8],

@@ -6,10 +6,12 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_rounds");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(8));
     group.bench_function("reduced_sweep", |b| {
         b.iter(|| {
-            
             let cfg = experiments::fig6::Fig6Config {
                 local_iterations: vec![10, 110],
                 global_rounds: vec![50, 400],

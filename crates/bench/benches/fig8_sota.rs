@@ -6,10 +6,12 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_sota");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(8));
     group.bench_function("reduced_sweep", |b| {
         b.iter(|| {
-            
             let cfg = experiments::fig8::Fig8Config {
                 devices: 8,
                 p_max_dbm: vec![8.0, 12.0],

@@ -9,7 +9,10 @@ use std::time::Duration;
 
 fn bench_numerics(c: &mut Criterion) {
     let mut group = c.benchmark_group("numopt");
-    group.sample_size(30).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("lambert_w0", |b| {
         b.iter(|| {
             let mut acc = 0.0;
@@ -32,19 +35,25 @@ fn bench_numerics(c: &mut Criterion) {
 
 fn bench_subproblems(c: &mut Criterion) {
     let mut group = c.benchmark_group("subproblems");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(4));
     let cfg = SolverConfig::fast();
     for &n in &[10usize, 25] {
         let scenario = ScenarioBuilder::paper_default().with_devices(n).build(7).unwrap();
         let uploads = vec![0.01; n];
         group.bench_with_input(BenchmarkId::new("sp1_direct", n), &n, |b, _| {
-            b.iter(|| sp1::solve_direct(&scenario, Weights::balanced(), &uploads, &cfg).unwrap().objective)
+            b.iter(|| {
+                sp1::solve_direct(&scenario, Weights::balanced(), &uploads, &cfg).unwrap().objective
+            })
         });
         let alloc = Allocation::equal_split_max(&scenario);
         let r_min: Vec<f64> = scenario.devices.iter().map(|d| d.upload_bits / 0.05).collect();
         group.bench_with_input(BenchmarkId::new("sp2_solve", n), &n, |b, _| {
             b.iter(|| {
-                let start = PowerBandwidth::new(alloc.powers_w.clone(), alloc.bandwidths_hz.clone());
+                let start =
+                    PowerBandwidth::new(alloc.powers_w.clone(), alloc.bandwidths_hz.clone());
                 sp2::solve(&scenario, Weights::balanced(), r_min.clone(), start, &cfg)
                     .unwrap()
                     .comm_energy_per_round_j
@@ -56,7 +65,10 @@ fn bench_subproblems(c: &mut Criterion) {
 
 fn bench_full_solve(c: &mut Criterion) {
     let mut group = c.benchmark_group("algorithm2");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(6));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(6));
     let cfg = SolverConfig::fast();
     let optimizer = JointOptimizer::new(cfg);
     for &n in &[10usize, 25] {

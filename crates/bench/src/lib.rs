@@ -1,0 +1,7 @@
+//! # fedopt-bench
+//!
+//! This crate exists only to host the Criterion bench targets under `benches/`; it has no
+//! library code of its own. Run them with `cargo bench -p fedopt-bench` (or a single
+//! harness, e.g. `cargo bench -p fedopt-bench --bench engine_scaling`).
+
+#![forbid(unsafe_code)]

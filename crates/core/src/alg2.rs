@@ -98,8 +98,10 @@ impl JointOptimizer {
             allocation.frequencies_hz = sp1_sol.frequencies_hz.clone();
 
             // --- Subproblem 2: powers and bandwidths under the rate floors implied by T. ---
-            let r_min = rate_floors(scenario, sp1_sol.round_time_s, &sp1_sol.frequencies_hz, weights);
-            let start = PowerBandwidth::new(allocation.powers_w.clone(), allocation.bandwidths_hz.clone());
+            let r_min =
+                rate_floors(scenario, sp1_sol.round_time_s, &sp1_sol.frequencies_hz, weights);
+            let start =
+                PowerBandwidth::new(allocation.powers_w.clone(), allocation.bandwidths_hz.clone());
             let sp2_sol = sp2::solve(scenario, weights, r_min, start, &self.config)?;
             allocation.powers_w = sp2_sol.powers_w.clone();
             allocation.bandwidths_hz = sp2_sol.bandwidths_hz.clone();
@@ -126,7 +128,9 @@ impl JointOptimizer {
             }
         }
 
-        let (_, best_alloc) = best.ok_or_else(|| CoreError::SolverFailure("no iteration produced a finite objective".into()))?;
+        let (_, best_alloc) = best.ok_or_else(|| {
+            CoreError::SolverFailure("no iteration produced a finite objective".into())
+        })?;
         self.finish(scenario, weights, best_alloc, trace, converged)
     }
 
@@ -211,12 +215,16 @@ impl JointOptimizer {
             // cheapest transmission meeting the implied rate) is minimized, given the current
             // bandwidth shares. This plays the role Subproblem 1 plays in the weighted
             // problem: it decides the frequencies and the rate floors handed to Subproblem 2.
-            let (frequencies, r_min) =
-                self.optimal_split_for_deadline(scenario, round_deadline, &allocation.bandwidths_hz);
+            let (frequencies, r_min) = self.optimal_split_for_deadline(
+                scenario,
+                round_deadline,
+                &allocation.bandwidths_hz,
+            );
             allocation.frequencies_hz = frequencies;
 
             // Powers/bandwidths: communication-energy minimization under those rate floors.
-            let start = PowerBandwidth::new(allocation.powers_w.clone(), allocation.bandwidths_hz.clone());
+            let start =
+                PowerBandwidth::new(allocation.powers_w.clone(), allocation.bandwidths_hz.clone());
             let sp2_sol = sp2::solve(scenario, weights, r_min, start, &self.config)?;
             allocation.powers_w = sp2_sol.powers_w.clone();
             allocation.bandwidths_hz = sp2_sol.bandwidths_hz.clone();
@@ -269,10 +277,9 @@ impl JointOptimizer {
         let mut frequencies = Vec::with_capacity(n);
         let mut r_min = Vec::with_capacity(n);
 
-        for i in 0..n {
-            let dev = &scenario.devices[i];
+        for (dev, &bandwidth_hz) in scenario.devices.iter().zip(bandwidths_hz) {
             let cycles = rl * dev.cycles_per_local_iteration();
-            let b = bandwidths_hz[i].max(self.config.bandwidth_floor_hz);
+            let b = bandwidth_hz.max(self.config.bandwidth_floor_hz);
             let g = dev.gain.value();
             let t_cmp_min = cycles / dev.f_max.value();
             let upload_budget_max = round_deadline - t_cmp_min;
@@ -289,7 +296,8 @@ impl JointOptimizer {
             // (computation energy rises, transmission energy falls, as the upload shrinks the
             // compute share).
             let fastest_rate = wireless::channel::shannon_rate_raw(dev.p_max.value(), b, g, n0);
-            let t_up_fastest = if fastest_rate > 0.0 { dev.upload_bits / fastest_rate } else { f64::INFINITY };
+            let t_up_fastest =
+                if fastest_rate > 0.0 { dev.upload_bits / fastest_rate } else { f64::INFINITY };
             if t_up_fastest >= upload_budget_max {
                 // Even flat-out transmission cannot fit the deadline with this bandwidth
                 // share: use the whole remaining budget and let the rate floor tell
@@ -387,7 +395,8 @@ impl JointOptimizer {
         }
         let t_star = hi;
 
-        let mut bandwidths: Vec<f64> = (0..n).map(|i| bandwidth_needed(i, t_star).min(b_total)).collect();
+        let mut bandwidths: Vec<f64> =
+            (0..n).map(|i| bandwidth_needed(i, t_star).min(b_total)).collect();
         // Hand out any slack proportionally — extra bandwidth can only shorten uploads.
         let used: f64 = bandwidths.iter().sum();
         if used < b_total && used > 0.0 {
@@ -434,7 +443,12 @@ impl JointOptimizer {
 ///
 /// With no pressure on time (`w2 = 0` and no explicit deadline handling by the caller) the
 /// floors are zero — the paper's constraint (9a) is slack in that regime.
-fn rate_floors(scenario: &Scenario, round_time_s: f64, frequencies_hz: &[f64], weights: Weights) -> Vec<f64> {
+fn rate_floors(
+    scenario: &Scenario,
+    round_time_s: f64,
+    frequencies_hz: &[f64],
+    weights: Weights,
+) -> Vec<f64> {
     let rl = scenario.params.rl();
     scenario
         .devices
@@ -459,7 +473,14 @@ fn rate_floors(scenario: &Scenario, round_time_s: f64, frequencies_hz: &[f64], w
 
 /// Smallest bandwidth at which a device with channel gain `gain` can reach `r_min` at power
 /// `p_max` (monotone bisection), capped at `b_total`.
-fn min_bandwidth_for_rate(gain: f64, p_max: f64, r_min: f64, n0: f64, b_total: f64, floor: f64) -> f64 {
+fn min_bandwidth_for_rate(
+    gain: f64,
+    p_max: f64,
+    r_min: f64,
+    n0: f64,
+    b_total: f64,
+    floor: f64,
+) -> f64 {
     if r_min <= 0.0 {
         return floor;
     }
@@ -549,7 +570,12 @@ mod tests {
         let (_, fastest_round) = opt.minimize_round_time(&s).unwrap();
         let deadline = fastest_round * s.params.rg() * 2.0;
         let out = opt.solve_with_deadline(&s, deadline).unwrap();
-        assert!(out.total_time_s <= deadline * 1.01, "missed deadline: {} > {}", out.total_time_s, deadline);
+        assert!(
+            out.total_time_s <= deadline * 1.01,
+            "missed deadline: {} > {}",
+            out.total_time_s,
+            deadline
+        );
         assert!(out.allocation.is_feasible(&s, 1e-5));
     }
 

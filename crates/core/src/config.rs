@@ -39,7 +39,7 @@ impl Default for SolverConfig {
         Self {
             outer_max_iter: 25,
             outer_tol: 1.0e-4,
-            jong: JongConfig::default(),
+            jong: default_jong(),
             mu_tol: 1.0e-11,
             scalar_tol: 1.0e-7,
             feasibility_tol: 1.0e-6,

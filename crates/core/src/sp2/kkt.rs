@@ -166,7 +166,8 @@ pub fn solve_parametric(
         for e in &entries {
             bandwidths[e.idx] = (e.b_lo * scale).max(floor);
         }
-        remaining = (remaining - entries.iter().map(|e| (e.b_lo * scale).max(floor)).sum::<f64>()).max(0.0);
+        remaining =
+            (remaining - entries.iter().map(|e| (e.b_lo * scale).max(floor)).sum::<f64>()).max(0.0);
 
         // Spend the leftover on the devices with the most negative cost coefficient first.
         entries.sort_by(|a, b| a.rho.partial_cmp(&b.rho).expect("finite coefficients"));
@@ -212,7 +213,13 @@ pub fn solve_parametric(
 
 /// Smallest bandwidth at which the device can reach `r_min` at maximum power (bisection on
 /// the monotone-increasing map `B ↦ G(p_max, B)`), capped at `b_total`.
-fn bandwidth_for_rate(dev: &flsys::DeviceProfile, r_min: f64, n0: f64, b_total: f64, floor: f64) -> f64 {
+fn bandwidth_for_rate(
+    dev: &flsys::DeviceProfile,
+    r_min: f64,
+    n0: f64,
+    b_total: f64,
+    floor: f64,
+) -> f64 {
     if r_min <= 0.0 {
         return floor;
     }
@@ -259,7 +266,10 @@ mod tests {
         (s, cfg, r_min)
     }
 
-    fn nominal_multipliers(problem: &Sp2Problem<'_>, start: &PowerBandwidth) -> (Vec<f64>, Vec<f64>) {
+    fn nominal_multipliers(
+        problem: &Sp2Problem<'_>,
+        start: &PowerBandwidth,
+    ) -> (Vec<f64>, Vec<f64>) {
         let n = problem.len();
         let mut nu = vec![0.0; n];
         let mut beta = vec![0.0; n];
@@ -287,7 +297,8 @@ mod tests {
             assert!(point.powers_w[i] >= dev.p_min.value() - 1e-15);
             assert!(point.powers_w[i] <= dev.p_max.value() + 1e-15);
             assert!(point.bandwidths_hz[i] >= cfg.bandwidth_floor_hz);
-            let rate = shannon_rate_raw(point.powers_w[i], point.bandwidths_hz[i], dev.gain.value(), n0);
+            let rate =
+                shannon_rate_raw(point.powers_w[i], point.bandwidths_hz[i], dev.gain.value(), n0);
             assert!(rate > 0.0);
         }
     }
@@ -334,7 +345,8 @@ mod tests {
         let n0 = s.params.noise.watts_per_hz();
         let mut tight = 0;
         for (i, dev) in s.devices.iter().enumerate() {
-            let rate = shannon_rate_raw(point.powers_w[i], point.bandwidths_hz[i], dev.gain.value(), n0);
+            let rate =
+                shannon_rate_raw(point.powers_w[i], point.bandwidths_hz[i], dev.gain.value(), n0);
             assert!(rate >= r_min[i] * (1.0 - 1e-3), "device {i} violates rate floor");
             if rate <= r_min[i] * 1.05 {
                 tight += 1;

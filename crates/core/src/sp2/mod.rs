@@ -269,7 +269,9 @@ pub fn solve(
     }
 
     let point = best_point.ok_or_else(|| {
-        CoreError::SolverFailure("both the Newton-like and reference Subproblem-2 solvers failed".to_string())
+        CoreError::SolverFailure(
+            "both the Newton-like and reference Subproblem-2 solvers failed".to_string(),
+        )
     })?;
 
     Ok(Sp2Solution {
@@ -338,7 +340,8 @@ mod tests {
         let sol = solve(&s, Weights::balanced(), r_min.clone(), equal_start(&s), &cfg).unwrap();
         let n0 = s.params.noise.watts_per_hz();
         for (i, dev) in s.devices.iter().enumerate() {
-            let rate = shannon_rate_raw(sol.powers_w[i], sol.bandwidths_hz[i], dev.gain.value(), n0);
+            let rate =
+                shannon_rate_raw(sol.powers_w[i], sol.bandwidths_hz[i], dev.gain.value(), n0);
             assert!(
                 rate >= r_min[i] * (1.0 - 1e-3),
                 "device {i}: rate {rate} below floor {}",
@@ -361,9 +364,9 @@ mod tests {
         let r_min: Vec<f64> = s.devices.iter().map(|d| d.upload_bits / 0.02).collect();
         let start = equal_start(&s);
 
-        let mut cfg_newton = SolverConfig::default();
-        cfg_newton.polish_with_reference = false;
-        let newton = solve(&s, Weights::balanced(), r_min.clone(), start.clone(), &cfg_newton).unwrap();
+        let cfg_newton = SolverConfig { polish_with_reference: false, ..SolverConfig::default() };
+        let newton =
+            solve(&s, Weights::balanced(), r_min.clone(), start.clone(), &cfg_newton).unwrap();
 
         let cfg = SolverConfig::default();
         let problem = Sp2Problem::new(&s, Weights::balanced(), r_min, &cfg).unwrap();

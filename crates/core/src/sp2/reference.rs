@@ -115,15 +115,15 @@ pub fn solve_reference(
     let mut bandwidths = vec![0.0; n];
     if lo_sum >= b_total {
         // The rate floors alone exhaust (or exceed) the budget: hand out proportional shares.
-        for i in 0..n {
-            bandwidths[i] = b_lo[i] / lo_sum * b_total;
+        for (b, &lo) in bandwidths.iter_mut().zip(&b_lo) {
+            *b = lo / lo_sum * b_total;
         }
     } else {
         // Price the bandwidth and bisect the price until the budget clears.
         let demand = |omega: f64| -> Result<f64, NumError> {
             let mut total = 0.0;
-            for i in 0..n {
-                total += bandwidth_at_price(problem, i, omega, b_lo[i], b_total)?;
+            for (i, &lo) in b_lo.iter().enumerate() {
+                total += bandwidth_at_price(problem, i, omega, lo, b_total)?;
             }
             Ok(total)
         };
@@ -161,7 +161,12 @@ pub fn solve_reference(
     let powers: Vec<f64> = (0..n)
         .map(|i| {
             let dev = &scenario.devices[i];
-            dev.clamp_power(power_for_rate(problem.r_min_bps()[i], bandwidths[i], dev.gain.value(), n0))
+            dev.clamp_power(power_for_rate(
+                problem.r_min_bps()[i],
+                bandwidths[i],
+                dev.gain.value(),
+                n0,
+            ))
         })
         .collect();
 
@@ -219,7 +224,12 @@ mod tests {
         let reference = solve_reference(&problem, &start).unwrap();
         let n0 = s.params.noise.watts_per_hz();
         for (i, dev) in s.devices.iter().enumerate() {
-            let rate = shannon_rate_raw(reference.powers_w[i], reference.bandwidths_hz[i], dev.gain.value(), n0);
+            let rate = shannon_rate_raw(
+                reference.powers_w[i],
+                reference.bandwidths_hz[i],
+                dev.gain.value(),
+                n0,
+            );
             assert!(rate >= r_min[i] * (1.0 - 1e-3), "device {i} rate {rate} < {}", r_min[i]);
         }
     }
@@ -229,9 +239,8 @@ mod tests {
         let (s, cfg, r_min) = fixture(5, 24, 0.02);
         let problem = Sp2Problem::new(&s, Weights::balanced(), r_min.clone(), &cfg).unwrap();
         let n0 = s.params.noise.watts_per_hz();
-        for i in 0..5 {
+        for (i, dev) in s.devices.iter().enumerate() {
             let b = min_bandwidth(&problem, i);
-            let dev = &s.devices[i];
             let rate = shannon_rate_raw(dev.p_max.value(), b, dev.gain.value(), n0);
             assert!(rate >= r_min[i] * (1.0 - 1e-6));
         }

@@ -49,14 +49,15 @@ impl Trace {
 
     /// The best (lowest) objective seen so far.
     pub fn best_objective(&self) -> Option<f64> {
-        self.iterations.iter().map(|it| it.objective).min_by(|a, b| a.partial_cmp(b).expect("finite"))
+        self.iterations
+            .iter()
+            .map(|it| it.objective)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite"))
     }
 
     /// Returns `true` if the recorded objectives are non-increasing within `tol` (relative).
     pub fn is_monotone_non_increasing(&self, tol: f64) -> bool {
-        self.iterations
-            .windows(2)
-            .all(|w| w[1].objective <= w[0].objective * (1.0 + tol) + tol)
+        self.iterations.windows(2).all(|w| w[1].objective <= w[0].objective * (1.0 + tol) + tol)
     }
 }
 

@@ -1,13 +1,15 @@
 //! Regenerates every figure of the paper's evaluation in one run.
 //!
-//! Run with `--paper` for the full 50-device sweeps; the default quick presets finish in a
-//! few minutes on a laptop.
+//! Run with `--paper` for the full 50-device sweeps (the default quick presets finish in a
+//! few minutes on a laptop) and `--threads N` to pin the sweep-engine worker count.
 
 #[path = "common.rs"]
 mod common;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let paper = common::paper_mode();
+    let engine = common::engine_from_args();
+    eprintln!("sweep engine: {} threads", engine.threads());
     macro_rules! pair {
         ($modname:ident, $cfg:ident, $label:expr) => {{
             eprintln!("=== {} ===", $label);
@@ -16,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             } else {
                 experiments::$modname::$cfg::quick()
             };
-            let (energy, delay) = experiments::$modname::run(&cfg)?;
+            let (energy, delay) = experiments::$modname::run_with_engine(&cfg, &engine)?;
             common::emit(&energy);
             common::emit(&delay);
         }};
@@ -28,11 +30,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     pair!(fig6, Fig6Config, "Figure 6: energy/delay vs computation rounds");
 
     eprintln!("=== Figure 7: joint vs communication-only vs computation-only ===");
-    let cfg7 = if paper { experiments::fig7::Fig7Config::paper() } else { experiments::fig7::Fig7Config::quick() };
-    common::emit(&experiments::fig7::run(&cfg7)?);
+    let cfg7 = if paper {
+        experiments::fig7::Fig7Config::paper()
+    } else {
+        experiments::fig7::Fig7Config::quick()
+    };
+    common::emit(&experiments::fig7::run_with_engine(&cfg7, &engine)?);
 
     eprintln!("=== Figure 8: proposed vs Scheme 1 ===");
-    let cfg8 = if paper { experiments::fig8::Fig8Config::paper() } else { experiments::fig8::Fig8Config::quick() };
-    common::emit(&experiments::fig8::run(&cfg8)?);
+    let cfg8 = if paper {
+        experiments::fig8::Fig8Config::paper()
+    } else {
+        experiments::fig8::Fig8Config::quick()
+    };
+    common::emit(&experiments::fig8::run_with_engine(&cfg8, &engine)?);
     Ok(())
 }

@@ -1,9 +1,36 @@
 //! Shared helpers for the figure binaries (included via `#[path]`).
 
+use experiments::SweepEngine;
+
 /// Returns `true` when the binary was invoked with `--paper`, selecting the full-scale
 /// (50-device) preset instead of the quick one.
 pub fn paper_mode() -> bool {
     std::env::args().any(|a| a == "--paper")
+}
+
+/// Builds the sweep engine from the command line: `--threads N` (or `--threads=N`) pins
+/// the worker count (`--threads 1` forces a sequential run); the default uses all
+/// available cores.
+///
+/// # Panics
+///
+/// Panics with a usage message when `--threads` is present without a positive integer.
+pub fn engine_from_args() -> SweepEngine {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        let value = if arg == "--threads" {
+            Some(args.next().unwrap_or_default())
+        } else {
+            arg.strip_prefix("--threads=").map(str::to_string)
+        };
+        if let Some(value) = value {
+            let Some(n) = value.parse::<usize>().ok().filter(|&n| n > 0) else {
+                panic!("--threads requires a positive integer, got {value:?} (e.g. `--threads 4`)");
+            };
+            return SweepEngine::with_threads(n);
+        }
+    }
+    SweepEngine::new()
 }
 
 /// Prints a figure report as a table followed by its CSV form.

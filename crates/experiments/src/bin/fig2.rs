@@ -1,16 +1,22 @@
 //! Regenerates Figure 2 of the paper (energy and delay sub-figures).
 //!
-//! Run with `--paper` for the full 50-device sweep; the default is a quick preset.
+//! Run with `--paper` for the full 50-device sweep (the default is a quick preset) and
+//! `--threads N` to pin the sweep-engine worker count.
 
 #[path = "common.rs"]
 mod common;
 
-use experiments::fig2::{run, Fig2Config};
+use experiments::fig2::{run_with_engine, Fig2Config};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = if common::paper_mode() { Fig2Config::paper() } else { Fig2Config::quick() };
-    eprintln!("running figure 2 sweep ({} mode)...", if common::paper_mode() { "paper" } else { "quick" });
-    let (energy, delay) = run(&cfg)?;
+    let engine = common::engine_from_args();
+    eprintln!(
+        "running figure 2 sweep ({} mode, {} threads)...",
+        if common::paper_mode() { "paper" } else { "quick" },
+        engine.threads()
+    );
+    let (energy, delay) = run_with_engine(&cfg, &engine)?;
     common::emit(&energy);
     common::emit(&delay);
     Ok(())

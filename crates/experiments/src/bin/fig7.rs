@@ -1,16 +1,22 @@
 //! Regenerates Figure 7 of the paper.
 //!
-//! Run with `--paper` for the full 50-device sweep; the default is a quick preset.
+//! Run with `--paper` for the full 50-device sweep (the default is a quick preset) and
+//! `--threads N` to pin the sweep-engine worker count.
 
 #[path = "common.rs"]
 mod common;
 
-use experiments::fig7::{run, Fig7Config};
+use experiments::fig7::{run_with_engine, Fig7Config};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = if common::paper_mode() { Fig7Config::paper() } else { Fig7Config::quick() };
-    eprintln!("running figure 7 sweep ({} mode)...", if common::paper_mode() { "paper" } else { "quick" });
-    let report = run(&cfg)?;
+    let engine = common::engine_from_args();
+    eprintln!(
+        "running figure 7 sweep ({} mode, {} threads)...",
+        if common::paper_mode() { "paper" } else { "quick" },
+        engine.threads()
+    );
+    let report = run_with_engine(&cfg, &engine)?;
     common::emit(&report);
     Ok(())
 }

@@ -1,16 +1,22 @@
 //! Regenerates Figure 8 of the paper.
 //!
-//! Run with `--paper` for the full 50-device sweep; the default is a quick preset.
+//! Run with `--paper` for the full 50-device sweep (the default is a quick preset) and
+//! `--threads N` to pin the sweep-engine worker count.
 
 #[path = "common.rs"]
 mod common;
 
-use experiments::fig8::{run, Fig8Config};
+use experiments::fig8::{run_with_engine, Fig8Config};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = if common::paper_mode() { Fig8Config::paper() } else { Fig8Config::quick() };
-    eprintln!("running figure 8 sweep ({} mode)...", if common::paper_mode() { "paper" } else { "quick" });
-    let report = run(&cfg)?;
+    let engine = common::engine_from_args();
+    eprintln!(
+        "running figure 8 sweep ({} mode, {} threads)...",
+        if common::paper_mode() { "paper" } else { "quick" },
+        engine.threads()
+    );
+    let report = run_with_engine(&cfg, &engine)?;
     common::emit(&report);
     Ok(())
 }

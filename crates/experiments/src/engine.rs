@@ -1,0 +1,545 @@
+//! The parallel sweep engine behind every figure of the evaluation.
+//!
+//! The paper's protocol (Section VII) averages each figure point over many random scenario
+//! draws. That grid — sweep point × scheme ("arm") × scenario seed — is embarrassingly
+//! parallel, and this module evaluates it as such: a [`SweepGrid`] declares the cells, a
+//! [`SweepEngine`] evaluates them across threads, and the per-(point, arm) results are
+//! reduced into [`Aggregate`]s (mean / standard deviation / feasible-sample count) that
+//! [`SweepResult`] turns into [`FigureReport`]s.
+//!
+//! # Seeding scheme
+//!
+//! Determinism is independent of thread count and scheduling because no randomness flows
+//! through iteration order; every cell's inputs are pure functions of its *coordinates*:
+//!
+//! * **Scenario stream** — the cell's scenario is `builder.build(seed)`, where `seed` is the
+//!   cell's entry from [`SweepGrid::seeds`] and the builder is derived from the cell's point
+//!   (and arm, via [`Arm::prepare`]) alone. Every arm at a sweep point therefore sees *the
+//!   same* scenario realisations — schemes are compared on identical draws, as in the paper.
+//! * **Arm stream** — arms with internal randomness (the random benchmark) must not reuse
+//!   the scenario seed, or their draws would be correlated with the channel realisations.
+//!   Each cell carries [`CellContext::stream_seed`], produced by
+//!   [`baselines::derive_stream_seed`] from the base seed (historically `seed ^ 0x9e37_79b9`,
+//!   now defined in exactly one place).
+//! * **Reduction order** — per-cell outputs are written to slots indexed by
+//!   `(point, arm, seed)` and reduced sequentially in seed order, so floating-point sums are
+//!   bit-identical between a single-threaded and an N-threaded run (verified by a
+//!   regression test against the historical sequential helpers).
+//!
+//! Cells that report infeasibility ([`Arm::evaluate`] returning `Ok(None)`) are recorded,
+//! not averaged: an [`Aggregate`] with `count == 0` keeps `NaN` means but the per-cell
+//! sample counts travel with the [`FigureReport`], so "no feasible draw" is a labelled
+//! condition instead of a silent `NaN`.
+//!
+//! Threading uses a scoped work-stealing map over `std::thread` (see [`par_map_indexed`]);
+//! the environment cannot fetch `rayon`, and the engine needs nothing more than an indexed
+//! parallel map.
+
+use crate::report::FigureReport;
+use fedopt_core::CoreError;
+use flsys::{Scenario, ScenarioBuilder};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One evaluated cell: the totals the figures plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellOutput {
+    /// Total energy consumption in joules.
+    pub energy_j: f64,
+    /// Total completion time in seconds.
+    pub time_s: f64,
+}
+
+impl CellOutput {
+    /// Creates a cell output from the two totals.
+    pub fn new(energy_j: f64, time_s: f64) -> Self {
+        Self { energy_j, time_s }
+    }
+}
+
+/// The coordinates and derived seeds of the cell being evaluated.
+#[derive(Debug, Clone, Copy)]
+pub struct CellContext {
+    /// The sweep point's x value (e.g. `p_max` in dBm for Figure 2, the deadline in seconds
+    /// for Figure 7).
+    pub x: f64,
+    /// The base (scenario) seed of this cell.
+    pub seed: u64,
+    /// The decorrelated stream seed for arm-internal randomness
+    /// ([`baselines::derive_stream_seed`] of [`Self::seed`]).
+    pub stream_seed: u64,
+    /// Index of the sweep point within [`SweepGrid::points`].
+    pub point_idx: usize,
+    /// Index of the arm within [`SweepGrid::arms`].
+    pub arm_idx: usize,
+}
+
+/// One scheme being swept: a column of the resulting figure.
+///
+/// Implementations must be [`Send`] + [`Sync`]; the engine shares them across worker
+/// threads by reference and must never observe interior mutability across cells (that
+/// would break run-to-run determinism).
+pub trait Arm: Send + Sync {
+    /// The column name, e.g. `"proposed w1=0.9,w2=0.1"` or `"benchmark"`.
+    fn name(&self) -> String;
+
+    /// Hook to specialise the sweep point's scenario builder for this arm (e.g. Figure 5's
+    /// per-series device counts). The default keeps the point's builder unchanged.
+    fn prepare(&self, builder: &ScenarioBuilder) -> ScenarioBuilder {
+        builder.clone()
+    }
+
+    /// Evaluates one cell. `Ok(None)` marks an infeasible cell (skipped by the aggregate,
+    /// counted in [`Aggregate::attempts`] only); errors abort the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CoreError`] other than "this cell is infeasible" (which is `Ok(None)`).
+    fn evaluate(
+        &self,
+        scenario: &Scenario,
+        ctx: &CellContext,
+    ) -> Result<Option<CellOutput>, CoreError>;
+}
+
+/// One sweep point: the x value and the scenario builder all arms share there.
+#[derive(Debug, Clone)]
+pub struct GridPoint {
+    /// The x-axis value this point is plotted at.
+    pub x: f64,
+    /// Builder for the scenarios of this point (before [`Arm::prepare`]).
+    pub builder: ScenarioBuilder,
+}
+
+/// The declarative evaluation grid: points × arms × seeds.
+pub struct SweepGrid {
+    /// The sweep points, in x-axis order.
+    pub points: Vec<GridPoint>,
+    /// The schemes, in column order.
+    pub arms: Vec<Box<dyn Arm>>,
+    /// The base scenario seeds averaged over, shared by every (point, arm).
+    pub seeds: Vec<u64>,
+}
+
+impl SweepGrid {
+    /// Creates an empty grid over the given scenario seeds.
+    pub fn new(seeds: impl Into<Vec<u64>>) -> Self {
+        Self { points: Vec::new(), arms: Vec::new(), seeds: seeds.into() }
+    }
+
+    /// Adds a sweep point.
+    #[must_use]
+    pub fn point(mut self, x: f64, builder: ScenarioBuilder) -> Self {
+        self.points.push(GridPoint { x, builder });
+        self
+    }
+
+    /// Adds an arm (column).
+    #[must_use]
+    pub fn arm(mut self, arm: impl Arm + 'static) -> Self {
+        self.arms.push(Box::new(arm));
+        self
+    }
+
+    /// Total number of cells the grid will evaluate.
+    pub fn num_cells(&self) -> usize {
+        self.points.len() * self.arms.len() * self.seeds.len()
+    }
+}
+
+/// Mean / spread / sample-count summary of one (point, arm) across the seed draws.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aggregate {
+    /// Mean total energy over the feasible draws (`NaN` when `count == 0`).
+    pub mean_energy_j: f64,
+    /// Mean total completion time over the feasible draws (`NaN` when `count == 0`).
+    pub mean_time_s: f64,
+    /// Population standard deviation of the energy over the feasible draws.
+    pub std_energy_j: f64,
+    /// Population standard deviation of the completion time over the feasible draws.
+    pub std_time_s: f64,
+    /// Number of feasible draws behind the means.
+    pub count: usize,
+    /// Number of draws evaluated (feasible or not).
+    pub attempts: usize,
+}
+
+impl Aggregate {
+    /// Reduces the per-seed outputs of one (point, arm), in seed order.
+    ///
+    /// Summation order is fixed (seed order), so the result is bit-identical regardless of
+    /// which threads produced the samples — and matches the historical sequential helpers,
+    /// which accumulated in the same order.
+    pub fn from_samples(samples: &[Option<CellOutput>]) -> Self {
+        let attempts = samples.len();
+        let feasible: Vec<CellOutput> = samples.iter().flatten().copied().collect();
+        let count = feasible.len();
+        if count == 0 {
+            return Self {
+                mean_energy_j: f64::NAN,
+                mean_time_s: f64::NAN,
+                std_energy_j: f64::NAN,
+                std_time_s: f64::NAN,
+                count: 0,
+                attempts,
+            };
+        }
+        let n = count as f64;
+        let mut energy = 0.0;
+        let mut time = 0.0;
+        for s in &feasible {
+            energy += s.energy_j;
+            time += s.time_s;
+        }
+        let (mean_energy_j, mean_time_s) = (energy / n, time / n);
+        let mut var_e = 0.0;
+        let mut var_t = 0.0;
+        for s in &feasible {
+            var_e += (s.energy_j - mean_energy_j) * (s.energy_j - mean_energy_j);
+            var_t += (s.time_s - mean_time_s) * (s.time_s - mean_time_s);
+        }
+        Self {
+            mean_energy_j,
+            mean_time_s,
+            std_energy_j: (var_e / n).sqrt(),
+            std_time_s: (var_t / n).sqrt(),
+            count,
+            attempts,
+        }
+    }
+}
+
+/// The evaluated grid: one [`Aggregate`] per (point, arm).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// The x value of every sweep point, in grid order.
+    pub xs: Vec<f64>,
+    /// The arm (column) names, in grid order.
+    pub arm_names: Vec<String>,
+    /// `aggregates[point_idx][arm_idx]`.
+    pub aggregates: Vec<Vec<Aggregate>>,
+}
+
+impl SweepResult {
+    /// Builds a [`FigureReport`] from one metric of the aggregates, carrying the per-cell
+    /// feasible-sample counts.
+    pub fn report(
+        &self,
+        id: &str,
+        title: &str,
+        x_label: &str,
+        y_label: &str,
+        metric: impl Fn(&Aggregate) -> f64,
+    ) -> FigureReport {
+        let mut report = FigureReport::new(id, title, x_label, y_label, self.arm_names.clone());
+        for (x, row) in self.xs.iter().zip(&self.aggregates) {
+            report.push_row_with_counts(
+                *x,
+                row.iter().map(&metric).collect(),
+                row.iter().map(|a| a.count).collect(),
+            );
+        }
+        report
+    }
+
+    /// The mean-total-energy report.
+    pub fn energy_report(&self, id: &str, title: &str, x_label: &str) -> FigureReport {
+        self.report(id, title, x_label, "total energy (J)", |a| a.mean_energy_j)
+    }
+
+    /// The mean-total-completion-time report.
+    pub fn time_report(&self, id: &str, title: &str, x_label: &str) -> FigureReport {
+        self.report(id, title, x_label, "total time (s)", |a| a.mean_time_s)
+    }
+}
+
+/// Evaluates [`SweepGrid`]s in parallel with deterministic output.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepEngine {
+    threads: NonZeroUsize,
+}
+
+impl Default for SweepEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepEngine {
+    /// An engine using all available CPU parallelism.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN);
+        Self { threads }
+    }
+
+    /// An engine with an explicit worker count (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads: NonZeroUsize::new(threads.max(1)).expect("max(1) is nonzero") }
+    }
+
+    /// A sequential engine — useful as the reference in determinism tests.
+    pub fn single_thread() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// The worker count this engine will use.
+    pub fn threads(&self) -> usize {
+        self.threads.get()
+    }
+
+    /// Evaluates every cell of the grid and reduces the per-(point, arm) aggregates.
+    ///
+    /// # Errors
+    ///
+    /// A hard cell error aborts the sweep: workers stop picking up new cells as soon as
+    /// one fails (in-flight cells still finish), so a deterministic early failure does not
+    /// burn through the rest of an expensive grid. The error surfaced is the failing cell
+    /// with the lowest `(point, arm, seed)` index among those evaluated — with one thread
+    /// that is exactly the error the historical sequential loops surfaced; with more,
+    /// scheduling decides which failing cells were reached first. Infeasible cells
+    /// (`Ok(None)`) are not errors.
+    pub fn run(&self, grid: &SweepGrid) -> Result<SweepResult, CoreError> {
+        let n_arms = grid.arms.len();
+        let n_seeds = grid.seeds.len();
+        // Builders are pure data; specialise them once per (point, arm) up front.
+        let builders: Vec<Vec<ScenarioBuilder>> = grid
+            .points
+            .iter()
+            .map(|p| grid.arms.iter().map(|a| a.prepare(&p.builder)).collect())
+            .collect();
+
+        enum Cell {
+            Computed(Option<CellOutput>),
+            Failed(CoreError),
+            /// Not evaluated because some other cell had already failed.
+            Skipped,
+        }
+
+        let failed = std::sync::atomic::AtomicBool::new(false);
+        let evaluate_cell = |cell: usize| -> Cell {
+            if failed.load(Ordering::Relaxed) {
+                return Cell::Skipped;
+            }
+            let point_idx = cell / (n_arms * n_seeds);
+            let arm_idx = (cell / n_seeds) % n_arms;
+            let seed = grid.seeds[cell % n_seeds];
+            let ctx = CellContext {
+                x: grid.points[point_idx].x,
+                seed,
+                stream_seed: baselines::derive_stream_seed(seed),
+                point_idx,
+                arm_idx,
+            };
+            let outcome = builders[point_idx][arm_idx]
+                .build(seed)
+                .map_err(CoreError::from)
+                .and_then(|scenario| grid.arms[arm_idx].evaluate(&scenario, &ctx));
+            match outcome {
+                Ok(sample) => Cell::Computed(sample),
+                Err(e) => {
+                    failed.store(true, Ordering::Relaxed);
+                    Cell::Failed(e)
+                }
+            }
+        };
+
+        let outputs = par_map_indexed(grid.num_cells(), self.threads(), evaluate_cell);
+
+        // Surface the lowest-indexed error among the evaluated cells.
+        let mut cells = Vec::with_capacity(outputs.len());
+        for out in outputs {
+            match out {
+                Cell::Computed(sample) => cells.push(sample),
+                Cell::Failed(e) => return Err(e),
+                Cell::Skipped => {
+                    // A skip implies some cell failed; keep scanning to find and return it.
+                    continue;
+                }
+            }
+        }
+        debug_assert_eq!(cells.len(), grid.num_cells(), "skips must imply a surfaced failure");
+
+        let aggregates: Vec<Vec<Aggregate>> = (0..grid.points.len())
+            .map(|p| {
+                (0..n_arms)
+                    .map(|a| {
+                        let base = (p * n_arms + a) * n_seeds;
+                        Aggregate::from_samples(&cells[base..base + n_seeds])
+                    })
+                    .collect()
+            })
+            .collect();
+
+        Ok(SweepResult {
+            xs: grid.points.iter().map(|p| p.x).collect(),
+            arm_names: grid.arms.iter().map(|a| a.name()).collect(),
+            aggregates,
+        })
+    }
+}
+
+/// Maps `f` over `0..n` using up to `threads` scoped workers and returns the outputs in
+/// index order.
+///
+/// Work is distributed by an atomic cursor (dynamic scheduling — solver cells vary wildly
+/// in cost), but each worker tags outputs with their index and the final vector is
+/// assembled by index, so the result is identical to the sequential map. With one thread —
+/// or one cell — no worker threads are spawned at all.
+pub fn par_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.min(n).max(1);
+    if workers == 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let cursor = &cursor;
+    let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            break;
+                        }
+                        local.push((idx, f(idx)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("sweep worker panicked")).collect()
+    });
+    tagged.sort_by_key(|(idx, _)| *idx);
+    debug_assert_eq!(tagged.len(), n);
+    tagged.into_iter().map(|(_, value)| value).collect()
+}
+
+#[cfg(test)]
+mod tests_support {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// Test arm that errors on one seed of the first point and counts evaluations.
+    pub struct FailingArm {
+        pub evaluated: Arc<AtomicUsize>,
+        pub fail_seed: u64,
+    }
+
+    impl Arm for FailingArm {
+        fn name(&self) -> String {
+            "failing".to_string()
+        }
+
+        fn evaluate(
+            &self,
+            _scenario: &Scenario,
+            ctx: &CellContext,
+        ) -> Result<Option<CellOutput>, CoreError> {
+            self.evaluated.fetch_add(1, Ordering::Relaxed);
+            if ctx.point_idx == 0 && ctx.seed == self.fail_seed {
+                return Err(CoreError::SolverFailure("injected".to_string()));
+            }
+            Ok(Some(CellOutput::new(1.0, 1.0)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arms::ProposedArm;
+    use fedopt_core::SolverConfig;
+    use flsys::Weights;
+
+    #[test]
+    fn par_map_matches_sequential_for_any_thread_count() {
+        let f = |i: usize| (i * 31) % 17;
+        let expected: Vec<usize> = (0..100).map(f).collect();
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(par_map_indexed(100, threads, f), expected);
+        }
+        assert_eq!(par_map_indexed(0, 4, f), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn aggregate_of_no_feasible_samples_is_labelled_not_silent() {
+        let agg = Aggregate::from_samples(&[None, None, None]);
+        assert_eq!(agg.count, 0);
+        assert_eq!(agg.attempts, 3);
+        assert!(agg.mean_energy_j.is_nan());
+        let some = Aggregate::from_samples(&[Some(CellOutput::new(2.0, 4.0)), None]);
+        assert_eq!(some.count, 1);
+        assert_eq!(some.attempts, 2);
+        assert_eq!(some.mean_energy_j, 2.0);
+        assert_eq!(some.mean_time_s, 4.0);
+        assert_eq!(some.std_energy_j, 0.0);
+    }
+
+    #[test]
+    fn aggregate_mean_and_std_are_correct() {
+        let agg = Aggregate::from_samples(&[
+            Some(CellOutput::new(1.0, 10.0)),
+            Some(CellOutput::new(3.0, 30.0)),
+        ]);
+        assert_eq!(agg.mean_energy_j, 2.0);
+        assert_eq!(agg.mean_time_s, 20.0);
+        assert_eq!(agg.std_energy_j, 1.0);
+        assert_eq!(agg.std_time_s, 10.0);
+        assert_eq!(agg.count, 2);
+    }
+
+    #[test]
+    fn first_error_aborts_the_sweep_instead_of_draining_the_grid() {
+        use crate::engine::tests_support::FailingArm;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let evaluated = Arc::new(AtomicUsize::new(0));
+        let builder = flsys::ScenarioBuilder::paper_default().with_devices(2);
+        let mut grid = SweepGrid::new((1..=4).collect::<Vec<u64>>());
+        for x in 0..6 {
+            grid = grid.point(f64::from(x), builder.clone());
+        }
+        let grid = grid.arm(FailingArm { evaluated: Arc::clone(&evaluated), fail_seed: 2 });
+
+        let err = SweepEngine::single_thread().run(&grid).unwrap_err();
+        assert!(matches!(err, CoreError::SolverFailure(ref m) if m == "injected"), "{err:?}");
+        // Sequentially the failure at cell 1 (point 0, seed 2) stops the sweep: seed 1
+        // succeeded, seed 2 failed, and the remaining 22 cells were never evaluated.
+        assert_eq!(evaluated.load(Ordering::Relaxed), 2);
+
+        // A parallel run also aborts (in-flight cells may still finish, so only an upper
+        // bound is deterministic) and surfaces the same error type.
+        evaluated.store(0, Ordering::Relaxed);
+        let err = SweepEngine::with_threads(4).run(&grid).unwrap_err();
+        assert!(matches!(err, CoreError::SolverFailure(_)));
+        assert!(evaluated.load(Ordering::Relaxed) <= grid.num_cells());
+    }
+
+    #[test]
+    fn engine_is_deterministic_across_thread_counts() {
+        let grid = |seeds: &[u64]| {
+            SweepGrid::new(seeds)
+                .point(
+                    6.0,
+                    flsys::ScenarioBuilder::paper_default().with_devices(5).with_p_max_dbm(6.0),
+                )
+                .point(
+                    12.0,
+                    flsys::ScenarioBuilder::paper_default().with_devices(5).with_p_max_dbm(12.0),
+                )
+                .arm(ProposedArm::new(Weights::balanced(), SolverConfig::fast()))
+        };
+        let single = SweepEngine::single_thread().run(&grid(&[1, 2, 3])).unwrap();
+        let multi = SweepEngine::with_threads(4).run(&grid(&[1, 2, 3])).unwrap();
+        assert_eq!(single, multi);
+    }
+}

@@ -4,8 +4,9 @@
 //! (random CPU frequency, maximum power, equal bandwidth split) while `p_max` sweeps from
 //! 5 dBm to 12 dBm.
 
+use crate::arms::{BenchmarkArm, ProposedArm};
+use crate::engine::{SweepEngine, SweepGrid};
 use crate::report::FigureReport;
-use crate::sweep::{average_benchmark, average_proposed};
 use fedopt_core::{CoreError, SolverConfig};
 use flsys::{ScenarioBuilder, Weights};
 
@@ -46,54 +47,55 @@ impl Fig2Config {
             solver: SolverConfig::default(),
         }
     }
+
+    /// The sweep grid this configuration describes.
+    pub fn grid(&self) -> SweepGrid {
+        let mut grid = SweepGrid::new(self.seeds.clone());
+        for &p_max in &self.p_max_dbm {
+            grid = grid.point(
+                p_max,
+                ScenarioBuilder::paper_default().with_devices(self.devices).with_p_max_dbm(p_max),
+            );
+        }
+        for &w in &self.weights {
+            grid = grid.arm(ProposedArm::new(w, self.solver));
+        }
+        grid.arm(BenchmarkArm::random_frequency())
+    }
 }
 
-/// Runs the sweep and returns `(energy report, delay report)` — Fig. 2a and Fig. 2b.
+/// Runs the sweep on a default (fully parallel) engine and returns
+/// `(energy report, delay report)` — Fig. 2a and Fig. 2b.
 ///
 /// # Errors
 ///
 /// Propagates solver errors.
 pub fn run(cfg: &Fig2Config) -> Result<(FigureReport, FigureReport), CoreError> {
-    let mut columns: Vec<String> = cfg
-        .weights
-        .iter()
-        .map(|w| format!("proposed w1={:.1},w2={:.1}", w.energy(), w.time()))
-        .collect();
-    columns.push("benchmark".to_string());
+    run_with_engine(cfg, &SweepEngine::new())
+}
 
-    let mut energy = FigureReport::new(
-        "fig2a",
-        "Total energy consumption vs maximum transmit power",
-        "p_max (dBm)",
-        "total energy (J)",
-        columns.clone(),
-    );
-    let mut delay = FigureReport::new(
-        "fig2b",
-        "Total completion time vs maximum transmit power",
-        "p_max (dBm)",
-        "total time (s)",
-        columns,
-    );
-
-    for &p_max in &cfg.p_max_dbm {
-        let builder = ScenarioBuilder::paper_default()
-            .with_devices(cfg.devices)
-            .with_p_max_dbm(p_max);
-        let mut e_row = Vec::new();
-        let mut t_row = Vec::new();
-        for &w in &cfg.weights {
-            let (e, t) = average_proposed(&builder, w, &cfg.seeds, &cfg.solver)?;
-            e_row.push(e);
-            t_row.push(t);
-        }
-        let (e_bench, t_bench) = average_benchmark(&builder, &cfg.seeds, true)?;
-        e_row.push(e_bench);
-        t_row.push(t_bench);
-        energy.push_row(p_max, e_row);
-        delay.push_row(p_max, t_row);
-    }
-    Ok((energy, delay))
+/// [`run`] on an explicit engine (thread-count control for tests and benches).
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn run_with_engine(
+    cfg: &Fig2Config,
+    engine: &SweepEngine,
+) -> Result<(FigureReport, FigureReport), CoreError> {
+    let result = engine.run(&cfg.grid())?;
+    Ok((
+        result.energy_report(
+            "fig2a",
+            "Total energy consumption vs maximum transmit power",
+            "p_max (dBm)",
+        ),
+        result.time_report(
+            "fig2b",
+            "Total completion time vs maximum transmit power",
+            "p_max (dBm)",
+        ),
+    ))
 }
 
 #[cfg(test)]
@@ -123,12 +125,26 @@ mod tests {
             let e_bench = *e_row.last().unwrap();
             let t_bench = *t_row.last().unwrap();
             // w1 = 0.9 beats the benchmark on energy (Fig. 2a's headline).
-            assert!(e_row[0] < e_bench, "w1=0.9 energy {} should beat benchmark {e_bench}", e_row[0]);
+            assert!(
+                e_row[0] < e_bench,
+                "w1=0.9 energy {} should beat benchmark {e_bench}",
+                e_row[0]
+            );
             // w2 = 0.9 beats the benchmark on delay (Fig. 2b's headline).
-            assert!(t_row[1] < t_bench, "w2=0.9 delay {} should beat benchmark {t_bench}", t_row[1]);
+            assert!(
+                t_row[1] < t_bench,
+                "w2=0.9 delay {} should beat benchmark {t_bench}",
+                t_row[1]
+            );
             // Larger w1 ⇒ lower energy; larger w2 ⇒ lower delay.
             assert!(e_row[0] <= e_row[1] * 1.05);
             assert!(t_row[1] <= t_row[0] * 1.05);
+        }
+        // Every cell averaged its full seed set.
+        for row in 0..energy.rows.len() {
+            for col in 0..energy.columns.len() {
+                assert_eq!(energy.sample_count(row, col), Some(1));
+            }
         }
     }
 }

@@ -3,8 +3,9 @@
 //! Same protocol as Figure 2, but the sweep variable is `f_max` (0.1 GHz to 2 GHz) and the
 //! benchmark draws a random transmit power while running at `f_max`.
 
+use crate::arms::{BenchmarkArm, ProposedArm};
+use crate::engine::{SweepEngine, SweepGrid};
 use crate::report::FigureReport;
-use crate::sweep::{average_benchmark, average_proposed};
 use fedopt_core::{CoreError, SolverConfig};
 use flsys::{ScenarioBuilder, Weights};
 
@@ -45,54 +46,55 @@ impl Fig3Config {
             solver: SolverConfig::default(),
         }
     }
+
+    /// The sweep grid this configuration describes.
+    pub fn grid(&self) -> SweepGrid {
+        let mut grid = SweepGrid::new(self.seeds.clone());
+        for &f_max in &self.f_max_ghz {
+            grid = grid.point(
+                f_max,
+                ScenarioBuilder::paper_default().with_devices(self.devices).with_f_max_ghz(f_max),
+            );
+        }
+        for &w in &self.weights {
+            grid = grid.arm(ProposedArm::new(w, self.solver));
+        }
+        grid.arm(BenchmarkArm::random_power())
+    }
 }
 
-/// Runs the sweep and returns `(energy report, delay report)` — Fig. 3a and Fig. 3b.
+/// Runs the sweep on a default engine and returns `(energy report, delay report)` —
+/// Fig. 3a and Fig. 3b.
 ///
 /// # Errors
 ///
 /// Propagates solver errors.
 pub fn run(cfg: &Fig3Config) -> Result<(FigureReport, FigureReport), CoreError> {
-    let mut columns: Vec<String> = cfg
-        .weights
-        .iter()
-        .map(|w| format!("proposed w1={:.1},w2={:.1}", w.energy(), w.time()))
-        .collect();
-    columns.push("benchmark".to_string());
+    run_with_engine(cfg, &SweepEngine::new())
+}
 
-    let mut energy = FigureReport::new(
-        "fig3a",
-        "Total energy consumption vs maximum CPU frequency",
-        "f_max (GHz)",
-        "total energy (J)",
-        columns.clone(),
-    );
-    let mut delay = FigureReport::new(
-        "fig3b",
-        "Total completion time vs maximum CPU frequency",
-        "f_max (GHz)",
-        "total time (s)",
-        columns,
-    );
-
-    for &f_max in &cfg.f_max_ghz {
-        let builder = ScenarioBuilder::paper_default()
-            .with_devices(cfg.devices)
-            .with_f_max_ghz(f_max);
-        let mut e_row = Vec::new();
-        let mut t_row = Vec::new();
-        for &w in &cfg.weights {
-            let (e, t) = average_proposed(&builder, w, &cfg.seeds, &cfg.solver)?;
-            e_row.push(e);
-            t_row.push(t);
-        }
-        let (e_bench, t_bench) = average_benchmark(&builder, &cfg.seeds, false)?;
-        e_row.push(e_bench);
-        t_row.push(t_bench);
-        energy.push_row(f_max, e_row);
-        delay.push_row(f_max, t_row);
-    }
-    Ok((energy, delay))
+/// [`run`] on an explicit engine.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn run_with_engine(
+    cfg: &Fig3Config,
+    engine: &SweepEngine,
+) -> Result<(FigureReport, FigureReport), CoreError> {
+    let result = engine.run(&cfg.grid())?;
+    Ok((
+        result.energy_report(
+            "fig3a",
+            "Total energy consumption vs maximum CPU frequency",
+            "f_max (GHz)",
+        ),
+        result.time_report(
+            "fig3b",
+            "Total completion time vs maximum CPU frequency",
+            "f_max (GHz)",
+        ),
+    ))
 }
 
 #[cfg(test)]
@@ -118,7 +120,10 @@ mod tests {
         assert!(bench_high > bench_low);
         let prop_low = energy.rows[0].1[0];
         let prop_high = energy.rows[1].1[0];
-        assert!(prop_high <= prop_low * 1.05, "proposed energy should plateau: {prop_low} -> {prop_high}");
+        assert!(
+            prop_high <= prop_low * 1.05,
+            "proposed energy should plateau: {prop_low} -> {prop_high}"
+        );
         // And the proposed energy sits below the benchmark at both caps.
         assert!(prop_low < bench_low && prop_high < bench_high);
         assert_eq!(delay.rows.len(), 2);

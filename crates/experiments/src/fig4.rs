@@ -3,8 +3,9 @@
 //! The total number of training samples is fixed at 25 000 and split equally across devices,
 //! so adding devices shrinks every device's local workload.
 
+use crate::arms::ProposedArm;
+use crate::engine::{SweepEngine, SweepGrid};
 use crate::report::FigureReport;
-use crate::sweep::average_proposed;
 use fedopt_core::{CoreError, SolverConfig};
 use flsys::{ScenarioBuilder, Weights};
 
@@ -49,50 +50,57 @@ impl Fig4Config {
             solver: SolverConfig::default(),
         }
     }
+
+    /// The sweep grid this configuration describes.
+    pub fn grid(&self) -> SweepGrid {
+        let mut grid = SweepGrid::new(self.seeds.clone());
+        for &n in &self.device_counts {
+            grid = grid.point(
+                n as f64,
+                ScenarioBuilder::paper_default()
+                    .with_devices(n)
+                    .with_total_samples(self.total_samples),
+            );
+        }
+        for &w in &self.weights {
+            grid = grid.arm(ProposedArm::new(w, self.solver));
+        }
+        grid
+    }
 }
 
-/// Runs the sweep and returns `(energy report, delay report)` — Fig. 4a and Fig. 4b.
+/// Runs the sweep on a default engine and returns `(energy report, delay report)` —
+/// Fig. 4a and Fig. 4b.
 ///
 /// # Errors
 ///
 /// Propagates solver errors.
 pub fn run(cfg: &Fig4Config) -> Result<(FigureReport, FigureReport), CoreError> {
-    let columns: Vec<String> = cfg
-        .weights
-        .iter()
-        .map(|w| format!("proposed w1={:.1},w2={:.1}", w.energy(), w.time()))
-        .collect();
+    run_with_engine(cfg, &SweepEngine::new())
+}
 
-    let mut energy = FigureReport::new(
-        "fig4a",
-        "Total energy consumption vs number of devices",
-        "number of devices",
-        "total energy (J)",
-        columns.clone(),
-    );
-    let mut delay = FigureReport::new(
-        "fig4b",
-        "Total completion time vs number of devices",
-        "number of devices",
-        "total time (s)",
-        columns,
-    );
-
-    for &n in &cfg.device_counts {
-        let builder = ScenarioBuilder::paper_default()
-            .with_devices(n)
-            .with_total_samples(cfg.total_samples);
-        let mut e_row = Vec::new();
-        let mut t_row = Vec::new();
-        for &w in &cfg.weights {
-            let (e, t) = average_proposed(&builder, w, &cfg.seeds, &cfg.solver)?;
-            e_row.push(e);
-            t_row.push(t);
-        }
-        energy.push_row(n as f64, e_row);
-        delay.push_row(n as f64, t_row);
-    }
-    Ok((energy, delay))
+/// [`run`] on an explicit engine.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn run_with_engine(
+    cfg: &Fig4Config,
+    engine: &SweepEngine,
+) -> Result<(FigureReport, FigureReport), CoreError> {
+    let result = engine.run(&cfg.grid())?;
+    Ok((
+        result.energy_report(
+            "fig4a",
+            "Total energy consumption vs number of devices",
+            "number of devices",
+        ),
+        result.time_report(
+            "fig4b",
+            "Total completion time vs number of devices",
+            "number of devices",
+        ),
+    ))
 }
 
 #[cfg(test)]

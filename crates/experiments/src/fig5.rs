@@ -1,8 +1,9 @@
 //! Figure 5 — total energy (5a) and total delay (5b) vs the radius of the placement disc,
 //! for three device counts, at `w1 = w2 = 0.5`.
 
+use crate::arms::{ConfiguredArm, ProposedArm};
+use crate::engine::{SweepEngine, SweepGrid};
 use crate::report::FigureReport;
-use crate::sweep::average_proposed;
 use fedopt_core::{CoreError, SolverConfig};
 use flsys::{ScenarioBuilder, Weights};
 
@@ -43,46 +44,61 @@ impl Fig5Config {
             solver: SolverConfig::default(),
         }
     }
+
+    /// The sweep grid: radii as points, one proposed arm per device count.
+    pub fn grid(&self) -> SweepGrid {
+        let mut grid = SweepGrid::new(self.seeds.clone());
+        for &radius in &self.radii_km {
+            grid = grid.point(
+                radius,
+                ScenarioBuilder::paper_default()
+                    .with_samples_per_device(self.samples_per_device)
+                    .with_radius_km(radius),
+            );
+        }
+        for &n in &self.device_counts {
+            grid = grid.arm(
+                ConfiguredArm::new(ProposedArm::new(Weights::balanced(), self.solver))
+                    .named(format!("N = {n}"))
+                    .with_builder(move |b| b.with_devices(n)),
+            );
+        }
+        grid
+    }
 }
 
-/// Runs the sweep and returns `(energy report, delay report)` — Fig. 5a and Fig. 5b.
+/// Runs the sweep on a default engine and returns `(energy report, delay report)` —
+/// Fig. 5a and Fig. 5b.
 ///
 /// # Errors
 ///
 /// Propagates solver errors.
 pub fn run(cfg: &Fig5Config) -> Result<(FigureReport, FigureReport), CoreError> {
-    let columns: Vec<String> = cfg.device_counts.iter().map(|n| format!("N = {n}")).collect();
-    let mut energy = FigureReport::new(
-        "fig5a",
-        "Total energy consumption vs cell radius (w1 = w2 = 0.5)",
-        "radius (km)",
-        "total energy (J)",
-        columns.clone(),
-    );
-    let mut delay = FigureReport::new(
-        "fig5b",
-        "Total completion time vs cell radius (w1 = w2 = 0.5)",
-        "radius (km)",
-        "total time (s)",
-        columns,
-    );
+    run_with_engine(cfg, &SweepEngine::new())
+}
 
-    for &radius in &cfg.radii_km {
-        let mut e_row = Vec::new();
-        let mut t_row = Vec::new();
-        for &n in &cfg.device_counts {
-            let builder = ScenarioBuilder::paper_default()
-                .with_devices(n)
-                .with_samples_per_device(cfg.samples_per_device)
-                .with_radius_km(radius);
-            let (e, t) = average_proposed(&builder, Weights::balanced(), &cfg.seeds, &cfg.solver)?;
-            e_row.push(e);
-            t_row.push(t);
-        }
-        energy.push_row(radius, e_row);
-        delay.push_row(radius, t_row);
-    }
-    Ok((energy, delay))
+/// [`run`] on an explicit engine.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn run_with_engine(
+    cfg: &Fig5Config,
+    engine: &SweepEngine,
+) -> Result<(FigureReport, FigureReport), CoreError> {
+    let result = engine.run(&cfg.grid())?;
+    Ok((
+        result.energy_report(
+            "fig5a",
+            "Total energy consumption vs cell radius (w1 = w2 = 0.5)",
+            "radius (km)",
+        ),
+        result.time_report(
+            "fig5b",
+            "Total completion time vs cell radius (w1 = w2 = 0.5)",
+            "radius (km)",
+        ),
+    ))
 }
 
 #[cfg(test)]
@@ -98,9 +114,10 @@ mod tests {
             seeds: vec![5],
             solver: SolverConfig::fast(),
         };
-        let (_, delay) = run(&cfg).unwrap();
+        let (energy, delay) = run(&cfg).unwrap();
         let near = delay.rows[0].1[0];
         let far = delay.rows[1].1[0];
         assert!(far > near, "delay should grow with radius: {near} -> {far}");
+        assert_eq!(energy.columns, vec!["N = 8".to_string()]);
     }
 }

@@ -1,8 +1,9 @@
 //! Figure 6 — total energy (6a) and total delay (6b) vs the number of local iterations per
 //! global round, for several global-round counts, at `w1 = w2 = 0.5`.
 
+use crate::arms::{ConfiguredArm, ProposedArm};
+use crate::engine::{SweepEngine, SweepGrid};
 use crate::report::FigureReport;
-use crate::sweep::average_proposed;
 use fedopt_core::{CoreError, SolverConfig};
 use flsys::{ScenarioBuilder, Weights};
 
@@ -43,46 +44,61 @@ impl Fig6Config {
             solver: SolverConfig::default(),
         }
     }
+
+    /// The sweep grid: local-iteration counts as points, one proposed arm per `R_g`.
+    pub fn grid(&self) -> SweepGrid {
+        let mut grid = SweepGrid::new(self.seeds.clone());
+        for &rl in &self.local_iterations {
+            grid = grid.point(
+                f64::from(rl),
+                ScenarioBuilder::paper_default()
+                    .with_devices(self.devices)
+                    .with_local_iterations(rl),
+            );
+        }
+        for &rg in &self.global_rounds {
+            grid = grid.arm(
+                ConfiguredArm::new(ProposedArm::new(Weights::balanced(), self.solver))
+                    .named(format!("R_g = {rg}"))
+                    .with_builder(move |b| b.with_global_rounds(rg)),
+            );
+        }
+        grid
+    }
 }
 
-/// Runs the sweep and returns `(energy report, delay report)` — Fig. 6a and Fig. 6b.
+/// Runs the sweep on a default engine and returns `(energy report, delay report)` —
+/// Fig. 6a and Fig. 6b.
 ///
 /// # Errors
 ///
 /// Propagates solver errors.
 pub fn run(cfg: &Fig6Config) -> Result<(FigureReport, FigureReport), CoreError> {
-    let columns: Vec<String> = cfg.global_rounds.iter().map(|rg| format!("R_g = {rg}")).collect();
-    let mut energy = FigureReport::new(
-        "fig6a",
-        "Total energy consumption vs local iterations per round (w1 = w2 = 0.5)",
-        "local iterations R_l",
-        "total energy (J)",
-        columns.clone(),
-    );
-    let mut delay = FigureReport::new(
-        "fig6b",
-        "Total completion time vs local iterations per round (w1 = w2 = 0.5)",
-        "local iterations R_l",
-        "total time (s)",
-        columns,
-    );
+    run_with_engine(cfg, &SweepEngine::new())
+}
 
-    for &rl in &cfg.local_iterations {
-        let mut e_row = Vec::new();
-        let mut t_row = Vec::new();
-        for &rg in &cfg.global_rounds {
-            let builder = ScenarioBuilder::paper_default()
-                .with_devices(cfg.devices)
-                .with_local_iterations(rl)
-                .with_global_rounds(rg);
-            let (e, t) = average_proposed(&builder, Weights::balanced(), &cfg.seeds, &cfg.solver)?;
-            e_row.push(e);
-            t_row.push(t);
-        }
-        energy.push_row(f64::from(rl), e_row);
-        delay.push_row(f64::from(rl), t_row);
-    }
-    Ok((energy, delay))
+/// [`run`] on an explicit engine.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn run_with_engine(
+    cfg: &Fig6Config,
+    engine: &SweepEngine,
+) -> Result<(FigureReport, FigureReport), CoreError> {
+    let result = engine.run(&cfg.grid())?;
+    Ok((
+        result.energy_report(
+            "fig6a",
+            "Total energy consumption vs local iterations per round (w1 = w2 = 0.5)",
+            "local iterations R_l",
+        ),
+        result.time_report(
+            "fig6b",
+            "Total completion time vs local iterations per round (w1 = w2 = 0.5)",
+            "local iterations R_l",
+        ),
+    ))
 }
 
 #[cfg(test)]

@@ -2,10 +2,10 @@
 //! against communication-only and computation-only optimization (`w1 = 1, w2 = 0`,
 //! `p_max = 10 dBm`).
 
+use crate::arms::{CommOnlyArm, CompOnlyArm, DeadlineProposedArm, DeadlineSource};
+use crate::engine::{SweepEngine, SweepGrid};
 use crate::report::FigureReport;
-use crate::sweep::average_metric;
-use baselines::{CommOnlyAllocator, CompOnlyAllocator};
-use fedopt_core::{CoreError, JointOptimizer, SolverConfig};
+use fedopt_core::{CoreError, SolverConfig};
 use flsys::ScenarioBuilder;
 
 /// Configuration of the Figure-7 sweep.
@@ -45,45 +45,44 @@ impl Fig7Config {
             solver: SolverConfig::default(),
         }
     }
+
+    /// The sweep grid: deadlines as points (the arms read the deadline from the x value).
+    pub fn grid(&self) -> SweepGrid {
+        let builder = ScenarioBuilder::paper_default()
+            .with_devices(self.devices)
+            .with_p_max_dbm(self.p_max_dbm);
+        let mut grid = SweepGrid::new(self.seeds.clone());
+        for &deadline in &self.deadlines_s {
+            grid = grid.point(deadline, builder.clone());
+        }
+        grid.arm(DeadlineProposedArm::new(DeadlineSource::FromX, self.solver))
+            .arm(CommOnlyArm::new(self.solver))
+            .arm(CompOnlyArm::new(self.solver))
+    }
 }
 
-/// Runs the sweep and returns the Figure-7 report (three series: proposed, communication
-/// only, computation only).
+/// Runs the sweep on a default engine and returns the Figure-7 report (three series:
+/// proposed, communication only, computation only).
 ///
 /// # Errors
 ///
 /// Propagates solver errors (an infeasible deadline for some seed is skipped, not an error).
 pub fn run(cfg: &Fig7Config) -> Result<FigureReport, CoreError> {
-    let mut report = FigureReport::new(
+    run_with_engine(cfg, &SweepEngine::new())
+}
+
+/// [`run`] on an explicit engine.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn run_with_engine(cfg: &Fig7Config, engine: &SweepEngine) -> Result<FigureReport, CoreError> {
+    let result = engine.run(&cfg.grid())?;
+    Ok(result.energy_report(
         "fig7",
         "Total energy consumption vs maximum completion time",
         "maximum completion time T (s)",
-        "total energy (J)",
-        vec!["proposed".to_string(), "communication only".to_string(), "computation only".to_string()],
-    );
-
-    let builder = ScenarioBuilder::paper_default()
-        .with_devices(cfg.devices)
-        .with_p_max_dbm(cfg.p_max_dbm);
-    let optimizer = JointOptimizer::new(cfg.solver);
-    let comm = CommOnlyAllocator::new(cfg.solver);
-    let comp = CompOnlyAllocator::new(cfg.solver);
-
-    for &deadline in &cfg.deadlines_s {
-        let proposed = average_metric(&builder, &cfg.seeds, |s| match optimizer.solve_with_deadline(s, deadline) {
-            Ok(out) => Ok(Some(out.total_energy_j)),
-            Err(CoreError::InfeasibleDeadline { .. }) => Ok(None),
-            Err(e) => Err(e),
-        })?;
-        let comm_only = average_metric(&builder, &cfg.seeds, |s| {
-            comm.allocate(s, deadline).map(|r| Some(r.total_energy_j()))
-        })?;
-        let comp_only = average_metric(&builder, &cfg.seeds, |s| {
-            comp.allocate(s, deadline).map(|r| Some(r.total_energy_j()))
-        })?;
-        report.push_row(deadline, vec![proposed, comm_only, comp_only]);
-    }
-    Ok(report)
+    ))
 }
 
 #[cfg(test)]

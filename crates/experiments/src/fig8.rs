@@ -1,10 +1,10 @@
 //! Figure 8 — total energy vs the maximum transmit power at fixed completion-time deadlines,
 //! comparing the proposed algorithm against Scheme 1 (Yang et al., IEEE TWC 2021).
 
+use crate::arms::{DeadlineProposedArm, DeadlineSource, Scheme1Arm};
+use crate::engine::{SweepEngine, SweepGrid};
 use crate::report::FigureReport;
-use crate::sweep::average_metric;
-use baselines::Scheme1Allocator;
-use fedopt_core::{CoreError, JointOptimizer, SolverConfig};
+use fedopt_core::{CoreError, SolverConfig};
 use flsys::ScenarioBuilder;
 
 /// Configuration of the Figure-8 sweep.
@@ -44,51 +44,47 @@ impl Fig8Config {
             solver: SolverConfig::default(),
         }
     }
+
+    /// The sweep grid: `p_max` as points, a `(scheme1, proposed)` arm pair per deadline.
+    pub fn grid(&self) -> SweepGrid {
+        let mut grid = SweepGrid::new(self.seeds.clone());
+        for &p_max in &self.p_max_dbm {
+            grid = grid.point(
+                p_max,
+                ScenarioBuilder::paper_default().with_devices(self.devices).with_p_max_dbm(p_max),
+            );
+        }
+        for &deadline in &self.deadlines_s {
+            grid = grid
+                .arm(Scheme1Arm::new(deadline, self.solver))
+                .arm(DeadlineProposedArm::new(DeadlineSource::Fixed(deadline), self.solver));
+        }
+        grid
+    }
 }
 
-/// Runs the sweep and returns the Figure-8 report (two series per deadline: Scheme 1 and the
-/// proposed algorithm).
+/// Runs the sweep on a default engine and returns the Figure-8 report (two series per
+/// deadline: Scheme 1 and the proposed algorithm).
 ///
 /// # Errors
 ///
 /// Propagates solver errors (infeasible seeds are skipped).
 pub fn run(cfg: &Fig8Config) -> Result<FigureReport, CoreError> {
-    let mut columns = Vec::new();
-    for t in &cfg.deadlines_s {
-        columns.push(format!("scheme1 (T={t:.0}s)"));
-        columns.push(format!("proposed (T={t:.0}s)"));
-    }
-    let mut report = FigureReport::new(
+    run_with_engine(cfg, &SweepEngine::new())
+}
+
+/// [`run`] on an explicit engine.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn run_with_engine(cfg: &Fig8Config, engine: &SweepEngine) -> Result<FigureReport, CoreError> {
+    let result = engine.run(&cfg.grid())?;
+    Ok(result.energy_report(
         "fig8",
         "Total energy consumption vs maximum transmit power at fixed deadlines",
         "p_max (dBm)",
-        "total energy (J)",
-        columns,
-    );
-
-    let optimizer = JointOptimizer::new(cfg.solver);
-    let scheme1 = Scheme1Allocator::new(cfg.solver);
-
-    for &p_max in &cfg.p_max_dbm {
-        let builder = ScenarioBuilder::paper_default()
-            .with_devices(cfg.devices)
-            .with_p_max_dbm(p_max);
-        let mut row = Vec::new();
-        for &deadline in &cfg.deadlines_s {
-            let s1 = average_metric(&builder, &cfg.seeds, |s| {
-                scheme1.allocate(s, deadline).map(|r| Some(r.total_energy_j()))
-            })?;
-            let ours = average_metric(&builder, &cfg.seeds, |s| match optimizer.solve_with_deadline(s, deadline) {
-                Ok(out) => Ok(Some(out.total_energy_j)),
-                Err(CoreError::InfeasibleDeadline { .. }) => Ok(None),
-                Err(e) => Err(e),
-            })?;
-            row.push(s1);
-            row.push(ours);
-        }
-        report.push_row(p_max, row);
-    }
-    Ok(report)
+    ))
 }
 
 #[cfg(test)]
@@ -112,8 +108,18 @@ mod tests {
         let mut tight_gaps = Vec::new();
         let mut loose_gaps = Vec::new();
         for (p_max, row) in &report.rows {
-            assert!(row[1] <= row[0] * 1.02, "p_max={p_max}: proposed {} vs scheme1 {}", row[1], row[0]);
-            assert!(row[3] <= row[2] * 1.02, "p_max={p_max}: proposed {} vs scheme1 {}", row[3], row[2]);
+            assert!(
+                row[1] <= row[0] * 1.02,
+                "p_max={p_max}: proposed {} vs scheme1 {}",
+                row[1],
+                row[0]
+            );
+            assert!(
+                row[3] <= row[2] * 1.02,
+                "p_max={p_max}: proposed {} vs scheme1 {}",
+                row[3],
+                row[2]
+            );
             tight_gaps.push(row[0] - row[1]);
             loose_gaps.push(row[2] - row[3]);
         }
@@ -124,6 +130,9 @@ mod tests {
             tight_gaps,
             loose_gaps
         );
-        assert!(avg(&tight_gaps) > 0.0, "proposed should win strictly at the tight deadline: {tight_gaps:?}");
+        assert!(
+            avg(&tight_gaps) > 0.0,
+            "proposed should win strictly at the tight deadline: {tight_gaps:?}"
+        );
     }
 }

@@ -5,6 +5,11 @@
 //! sweeps, suitable for CI and benches) and a `paper()` preset (the paper's 50-device setup),
 //! plus a binary target that prints the regenerated series as an aligned table and CSV.
 //!
+//! All figures evaluate through the same substrate: a figure config describes a declarative
+//! [`engine::SweepGrid`] (sweep points × [`arms`] × scenario seeds) and the parallel
+//! [`engine::SweepEngine`] evaluates the cells across threads with deterministic,
+//! thread-count-independent output (see the [`engine`] module docs for the seeding scheme).
+//!
 //! | module | paper figure | sweep |
 //! |---|---|---|
 //! | [`fig2`] | Fig. 2a/2b | energy & delay vs maximum transmit power, five weight pairs + benchmark |
@@ -32,6 +37,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arms;
+pub mod engine;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
@@ -40,6 +47,6 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod report;
-pub mod sweep;
 
+pub use engine::{Aggregate, SweepEngine, SweepGrid, SweepResult};
 pub use report::FigureReport;

@@ -18,6 +18,11 @@ pub struct FigureReport {
     /// Rows: the x value followed by one y value per column (`f64::NAN` marks a missing
     /// point, e.g. an infeasible deadline).
     pub rows: Vec<(f64, Vec<f64>)>,
+    /// Per-row feasible-sample counts behind each cell, parallel to [`Self::rows`]. An
+    /// empty inner vector means the counts are unknown (rows appended via
+    /// [`Self::push_row`]); otherwise one count per column. A `NaN` cell with a recorded
+    /// count of `0` is the labelled "no feasible draw" condition, not a numerical accident.
+    pub counts: Vec<Vec<usize>>,
 }
 
 impl FigureReport {
@@ -30,10 +35,11 @@ impl FigureReport {
             y_label: y_label.to_string(),
             columns,
             rows: Vec::new(),
+            counts: Vec::new(),
         }
     }
 
-    /// Appends one row. `values` must have one entry per column.
+    /// Appends one row with unknown sample counts. `values` must have one entry per column.
     ///
     /// # Panics
     ///
@@ -42,6 +48,24 @@ impl FigureReport {
     pub fn push_row(&mut self, x: f64, values: Vec<f64>) {
         assert_eq!(values.len(), self.columns.len(), "row width must match column count");
         self.rows.push((x, values));
+        self.counts.push(Vec::new());
+    }
+
+    /// Appends one row together with the per-cell feasible-sample counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` or `cell_counts` do not have one entry per column.
+    pub fn push_row_with_counts(&mut self, x: f64, values: Vec<f64>, cell_counts: Vec<usize>) {
+        assert_eq!(values.len(), self.columns.len(), "row width must match column count");
+        assert_eq!(cell_counts.len(), self.columns.len(), "count width must match column count");
+        self.rows.push((x, values));
+        self.counts.push(cell_counts);
+    }
+
+    /// The feasible-sample count behind one cell, if recorded.
+    pub fn sample_count(&self, row: usize, col: usize) -> Option<usize> {
+        self.counts.get(row).and_then(|c| c.get(col)).copied()
     }
 
     /// The series names.
@@ -55,14 +79,25 @@ impl FigureReport {
         Some(self.rows.iter().map(|(x, v)| (*x, v[idx])).collect())
     }
 
-    /// Renders the report as an aligned plain-text table.
+    /// Renders the report as an aligned plain-text table. `NaN` cells render as `-`; when
+    /// the cell's sample count is recorded as zero they render as `n=0` (every draw was
+    /// infeasible).
     pub fn to_table_string(&self) -> String {
         let mut header: Vec<String> = vec![self.x_label.clone()];
         header.extend(self.columns.iter().cloned());
         let mut table: Vec<Vec<String>> = vec![header];
-        for (x, values) in &self.rows {
+        for (row_idx, (x, values)) in self.rows.iter().enumerate() {
             let mut row = vec![format!("{x:.4}")];
-            row.extend(values.iter().map(|v| if v.is_nan() { "-".to_string() } else { format!("{v:.4}") }));
+            row.extend(values.iter().enumerate().map(|(col, v)| {
+                if v.is_nan() {
+                    match self.sample_count(row_idx, col) {
+                        Some(0) => "n=0".to_string(),
+                        _ => "-".to_string(),
+                    }
+                } else {
+                    format!("{v:.4}")
+                }
+            }));
             table.push(row);
         }
         let widths: Vec<usize> = (0..table[0].len())
@@ -70,7 +105,8 @@ impl FigureReport {
             .collect();
         let mut out = format!("# {} — {} [{}]\n", self.id, self.title, self.y_label);
         for row in &table {
-            let line: Vec<String> = row.iter().zip(&widths).map(|(cell, w)| format!("{cell:>w$}")).collect();
+            let line: Vec<String> =
+                row.iter().zip(&widths).map(|(cell, w)| format!("{cell:>w$}")).collect();
             out.push_str(&line.join("  "));
             out.push('\n');
         }
@@ -146,5 +182,26 @@ mod tests {
     fn mismatched_row_panics() {
         let mut r = sample();
         r.push_row(7.0, vec![1.0]);
+    }
+
+    #[test]
+    fn counts_travel_with_rows_and_label_empty_cells() {
+        let mut r = FigureReport::new("fig7", "t", "T (s)", "energy (J)", vec!["proposed".into()]);
+        r.push_row_with_counts(100.0, vec![f64::NAN], vec![0]);
+        r.push_row_with_counts(150.0, vec![42.0], vec![5]);
+        assert_eq!(r.sample_count(0, 0), Some(0));
+        assert_eq!(r.sample_count(1, 0), Some(5));
+        let table = r.to_table_string();
+        assert!(table.contains("n=0"), "zero-sample cells must be labelled: {table}");
+        // Rows appended without counts report `None`.
+        r.push_row(200.0, vec![40.0]);
+        assert_eq!(r.sample_count(2, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "count width")]
+    fn mismatched_count_width_panics() {
+        let mut r = sample();
+        r.push_row_with_counts(7.0, vec![1.0, 2.0], vec![1]);
     }
 }

@@ -1,0 +1,167 @@
+//! Integration tests of the parallel sweep engine: determinism across thread counts,
+//! bit-exact agreement with the historical sequential averaging helpers, and the parallel
+//! speedup the engine exists for.
+
+use baselines::BenchmarkAllocator;
+use experiments::fig2::{self, Fig2Config};
+use experiments::fig7::{self, Fig7Config};
+use experiments::{FigureReport, SweepEngine};
+use fedopt_core::{CoreError, JointOptimizer};
+use flsys::{ScenarioBuilder, Weights};
+use std::time::Instant;
+
+/// The parallel engine must produce bit-identical reports to a forced single-thread run:
+/// per-cell seeding depends only on cell coordinates and reduction order is fixed, so
+/// thread count and scheduling must not leak into the output.
+#[test]
+fn parallel_reports_are_bit_identical_to_single_threaded() {
+    let cfg = Fig2Config::quick();
+    let (energy_seq, delay_seq) =
+        fig2::run_with_engine(&cfg, &SweepEngine::single_thread()).unwrap();
+    for threads in [2, 4, 7] {
+        let (energy_par, delay_par) =
+            fig2::run_with_engine(&cfg, &SweepEngine::with_threads(threads)).unwrap();
+        assert_eq!(energy_seq, energy_par, "energy report diverged at {threads} threads");
+        assert_eq!(delay_seq, delay_par, "delay report diverged at {threads} threads");
+    }
+
+    // Also across a figure with infeasible cells (deadline misses), where the per-cell
+    // sample counts must agree too.
+    let mut cfg7 = Fig7Config::quick();
+    cfg7.devices = 8;
+    cfg7.deadlines_s = vec![30.0, 110.0, 150.0];
+    let seq = fig7::run_with_engine(&cfg7, &SweepEngine::single_thread()).unwrap();
+    let par = fig7::run_with_engine(&cfg7, &SweepEngine::with_threads(4)).unwrap();
+    assert_eq!(seq, par);
+}
+
+/// Reimplementation of the pre-refactor sequential helpers (`average_proposed` /
+/// `average_benchmark` from the old `experiments::sweep`), kept here as the regression
+/// reference for `Fig2Config::quick()`.
+fn fig2_reference(cfg: &Fig2Config) -> Result<(FigureReport, FigureReport), CoreError> {
+    let average_proposed =
+        |builder: &ScenarioBuilder, weights: Weights| -> Result<(f64, f64), CoreError> {
+            let optimizer = JointOptimizer::new(cfg.solver);
+            let (mut energy, mut time) = (0.0, 0.0);
+            for &seed in &cfg.seeds {
+                let scenario = builder.build(seed)?;
+                let out = optimizer.solve(&scenario, weights)?;
+                energy += out.total_energy_j;
+                time += out.total_time_s;
+            }
+            let n = cfg.seeds.len().max(1) as f64;
+            Ok((energy / n, time / n))
+        };
+    let average_benchmark = |builder: &ScenarioBuilder| -> Result<(f64, f64), CoreError> {
+        let bench = BenchmarkAllocator::new();
+        let (mut energy, mut time) = (0.0, 0.0);
+        for &seed in &cfg.seeds {
+            let scenario = builder.build(seed)?;
+            // The historical inline stream-seed derivation, spelled out on purpose so this
+            // reference stays independent of `baselines::derive_stream_seed`.
+            let result = bench.random_frequency(&scenario, seed ^ 0x9e37_79b9)?;
+            energy += result.total_energy_j();
+            time += result.total_time_s();
+        }
+        let n = cfg.seeds.len().max(1) as f64;
+        Ok((energy / n, time / n))
+    };
+
+    let mut columns: Vec<String> = cfg
+        .weights
+        .iter()
+        .map(|w| format!("proposed w1={:.1},w2={:.1}", w.energy(), w.time()))
+        .collect();
+    columns.push("benchmark".to_string());
+    let mut energy = FigureReport::new(
+        "fig2a",
+        "Total energy consumption vs maximum transmit power",
+        "p_max (dBm)",
+        "total energy (J)",
+        columns.clone(),
+    );
+    let mut delay = FigureReport::new(
+        "fig2b",
+        "Total completion time vs maximum transmit power",
+        "p_max (dBm)",
+        "total time (s)",
+        columns,
+    );
+    for &p_max in &cfg.p_max_dbm {
+        let builder =
+            ScenarioBuilder::paper_default().with_devices(cfg.devices).with_p_max_dbm(p_max);
+        let mut e_row = Vec::new();
+        let mut t_row = Vec::new();
+        for &w in &cfg.weights {
+            let (e, t) = average_proposed(&builder, w)?;
+            e_row.push(e);
+            t_row.push(t);
+        }
+        let (e_bench, t_bench) = average_benchmark(&builder)?;
+        e_row.push(e_bench);
+        t_row.push(t_bench);
+        energy.push_row(p_max, e_row);
+        delay.push_row(p_max, t_row);
+    }
+    Ok((energy, delay))
+}
+
+/// `Fig2Config::quick()` through the engine must reproduce the pre-refactor helpers'
+/// output bit for bit (values, column names, row order).
+#[test]
+fn fig2_quick_output_is_unchanged_from_pre_refactor_helpers() {
+    let cfg = Fig2Config::quick();
+    let (energy_new, delay_new) = fig2::run(&cfg).unwrap();
+    let (energy_ref, delay_ref) = fig2_reference(&cfg).unwrap();
+
+    assert_eq!(energy_new.columns, energy_ref.columns);
+    assert_eq!(delay_new.columns, delay_ref.columns);
+    // The reference used `push_row` (unknown counts) while the engine records counts, so
+    // compare the numerical payload exactly rather than the whole struct.
+    assert_eq!(energy_new.rows, energy_ref.rows, "energy rows must be bit-identical");
+    assert_eq!(delay_new.rows, delay_ref.rows, "delay rows must be bit-identical");
+    // And the engine's counts must reflect the full seed set everywhere.
+    for (row_idx, _) in energy_new.rows.iter().enumerate() {
+        for col in 0..energy_new.columns.len() {
+            assert_eq!(energy_new.sample_count(row_idx, col), Some(cfg.seeds.len()));
+        }
+    }
+}
+
+/// On a machine with ≥ 4 cores, 4 engine workers must finish `Fig2Config::quick()` at
+/// least 2× faster than the sequential engine (the grid is embarrassingly parallel).
+/// Skipped (with a message) on smaller machines, where the speedup physically cannot
+/// materialise; the determinism test above still covers correctness there.
+///
+/// Ignored in the default suite because it is timing-sensitive: libtest would run it
+/// concurrently with the other tests in this binary (which spawn their own engine
+/// workers), skewing the baseline. CI runs it serialized via
+/// `cargo test -p experiments --test engine_integration -- --ignored --test-threads=1`.
+#[test]
+#[ignore = "timing-sensitive; run serialized with -- --ignored --test-threads=1"]
+fn four_threads_give_at_least_2x_on_quick_fig2() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if cores < 4 {
+        eprintln!("skipping speedup assertion: only {cores} core(s) available, need >= 4");
+        return;
+    }
+    let cfg = Fig2Config::quick();
+    let time_with = |engine: &SweepEngine| {
+        // Warm once (page cache, lazy allocations), then take the best of two runs.
+        fig2::run_with_engine(&cfg, engine).unwrap();
+        let mut best = f64::INFINITY;
+        for _ in 0..2 {
+            let start = Instant::now();
+            fig2::run_with_engine(&cfg, engine).unwrap();
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let sequential = time_with(&SweepEngine::single_thread());
+    let parallel = time_with(&SweepEngine::with_threads(4));
+    let speedup = sequential / parallel;
+    assert!(
+        speedup >= 2.0,
+        "expected >= 2x speedup with 4 threads, got {speedup:.2}x ({sequential:.3}s -> {parallel:.3}s)"
+    );
+}

@@ -125,9 +125,8 @@ impl FederatedDataset {
         let zero_shift = vec![0.0; dim];
         let devices: Vec<DeviceDataset> = (0..config.num_devices)
             .map(|_| {
-                let shift: Vec<f64> = (0..dim)
-                    .map(|_| config.skew * standard_normal(&mut rng))
-                    .collect();
+                let shift: Vec<f64> =
+                    (0..dim).map(|_| config.skew * standard_normal(&mut rng)).collect();
                 make_samples(config.samples_per_device, &shift, &mut rng)
             })
             .collect();
@@ -189,9 +188,7 @@ mod tests {
             let means: Vec<f64> = d
                 .devices
                 .iter()
-                .map(|dd| {
-                    dd.features.iter().map(|x| x[0]).sum::<f64>() / dd.len() as f64
-                })
+                .map(|dd| dd.features.iter().map(|x| x[0]).sum::<f64>() / dd.len() as f64)
                 .collect();
             let grand = means.iter().sum::<f64>() / means.len() as f64;
             means.iter().map(|m| (m - grand) * (m - grand)).sum::<f64>() / means.len() as f64

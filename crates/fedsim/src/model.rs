@@ -97,13 +97,13 @@ impl LogisticModel {
         let mut grad_b = 0.0;
         for (x, &y) in data.features.iter().zip(&data.labels) {
             let err = self.predict_proba(x) - y;
-            for j in 0..dim {
-                grad_w[j] += err * x[j];
+            for (g, &xj) in grad_w.iter_mut().zip(x) {
+                *g += err * xj;
             }
             grad_b += err;
         }
-        for j in 0..dim {
-            self.weights[j] -= learning_rate * grad_w[j] / n;
+        for (w, &g) in self.weights.iter_mut().zip(&grad_w) {
+            *w -= learning_rate * g / n;
         }
         self.bias -= learning_rate * grad_b / n;
     }
@@ -197,14 +197,21 @@ mod tests {
     fn weighted_average_rejects_bad_input() {
         let a = LogisticModel::zeros(2);
         assert!(LogisticModel::weighted_average(&[], &[]).is_none());
-        assert!(LogisticModel::weighted_average(&[a.clone()], &[1.0, 2.0]).is_none());
-        assert!(LogisticModel::weighted_average(&[a.clone(), LogisticModel::zeros(3)], &[1.0, 1.0]).is_none());
+        assert!(LogisticModel::weighted_average(std::slice::from_ref(&a), &[1.0, 2.0]).is_none());
+        assert!(LogisticModel::weighted_average(
+            &[a.clone(), LogisticModel::zeros(3)],
+            &[1.0, 1.0]
+        )
+        .is_none());
         assert!(LogisticModel::weighted_average(&[a], &[0.0]).is_none());
     }
 
     #[test]
     fn learns_synthetic_task_better_than_chance() {
-        let data = FederatedDataset::synthetic(&SyntheticConfig::default().with_devices(1).with_samples_per_device(400), 5);
+        let data = FederatedDataset::synthetic(
+            &SyntheticConfig::default().with_devices(1).with_samples_per_device(400),
+            5,
+        );
         let mut model = LogisticModel::zeros(data.dimension);
         model.train_local(&data.devices[0], 0.5, 300);
         assert!(model.accuracy(&data.test) > 0.8, "accuracy {}", model.accuracy(&data.test));

@@ -240,9 +240,21 @@ pub(crate) fn evaluate_allocation(
         per_device.push(DeviceCost {
             rate_bps: rates[i],
             upload_time_s: latency::upload_time(dev, rates[i]),
-            computation_time_s: latency::computation_time(params, dev, allocation.frequencies_hz[i]),
-            transmission_energy_j: energy::transmission_energy_per_round(dev, allocation.powers_w[i], rates[i]),
-            computation_energy_j: energy::computation_energy_per_round(params, dev, allocation.frequencies_hz[i]),
+            computation_time_s: latency::computation_time(
+                params,
+                dev,
+                allocation.frequencies_hz[i],
+            ),
+            transmission_energy_j: energy::transmission_energy_per_round(
+                dev,
+                allocation.powers_w[i],
+                rates[i],
+            ),
+            computation_energy_j: energy::computation_energy_per_round(
+                params,
+                dev,
+                allocation.frequencies_hz[i],
+            ),
         });
     }
 
@@ -328,7 +340,10 @@ mod tests {
         let a = Allocation::equal_split_max(&s);
         let cost = evaluate_allocation(&s, &a).unwrap();
         assert_eq!(cost.per_device.len(), 5);
-        assert!((cost.total_energy_j - (cost.transmission_energy_j + cost.computation_energy_j)).abs() < 1e-9);
+        assert!(
+            (cost.total_energy_j - (cost.transmission_energy_j + cost.computation_energy_j)).abs()
+                < 1e-9
+        );
         assert!((cost.total_time_s - s.params.rg() * cost.round_time_s).abs() < 1e-9);
         // Straggler time equals the round time.
         let (idx, t) = cost.straggler().unwrap();

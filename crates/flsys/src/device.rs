@@ -42,16 +42,25 @@ impl DeviceProfile {
             return Err(FlError::InvalidParameter { name: "samples", value: 0.0 });
         }
         if self.cycles_per_sample <= 0.0 || !self.cycles_per_sample.is_finite() {
-            return Err(FlError::InvalidParameter { name: "cycles_per_sample", value: self.cycles_per_sample });
+            return Err(FlError::InvalidParameter {
+                name: "cycles_per_sample",
+                value: self.cycles_per_sample,
+            });
         }
         if self.upload_bits <= 0.0 || !self.upload_bits.is_finite() {
             return Err(FlError::InvalidParameter { name: "upload_bits", value: self.upload_bits });
         }
         if self.p_min.value() < 0.0 || self.p_max.value() <= 0.0 || self.p_min > self.p_max {
-            return Err(FlError::InvalidParameter { name: "p_min..p_max", value: self.p_min.value() });
+            return Err(FlError::InvalidParameter {
+                name: "p_min..p_max",
+                value: self.p_min.value(),
+            });
         }
         if self.f_min.value() < 0.0 || self.f_max.value() <= 0.0 || self.f_min > self.f_max {
-            return Err(FlError::InvalidParameter { name: "f_min..f_max", value: self.f_min.value() });
+            return Err(FlError::InvalidParameter {
+                name: "f_min..f_max",
+                value: self.f_min.value(),
+            });
         }
         Ok(())
     }

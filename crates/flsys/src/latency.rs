@@ -97,9 +97,8 @@ mod tests {
         let devices = vec![device(), device(), device()];
         let freqs = [1.0e9, 0.5e9, 2.0e9];
         let rates = [2.81e6, 2.81e6, 2.81e6];
-        let per_device: Vec<f64> = (0..3)
-            .map(|i| device_round_time(&params, &devices[i], freqs[i], rates[i]))
-            .collect();
+        let per_device: Vec<f64> =
+            (0..3).map(|i| device_round_time(&params, &devices[i], freqs[i], rates[i])).collect();
         let round = round_completion_time(&params, &devices, &freqs, &rates);
         assert_eq!(round, per_device.iter().cloned().fold(0.0, f64::max));
         // The straggler is the 0.5 GHz device.

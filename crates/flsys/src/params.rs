@@ -41,10 +41,16 @@ impl SystemParams {
     /// strictly positive, or a round count is zero.
     pub fn validate(&self) -> Result<(), FlError> {
         if self.total_bandwidth.value() <= 0.0 {
-            return Err(FlError::InvalidParameter { name: "total_bandwidth", value: self.total_bandwidth.value() });
+            return Err(FlError::InvalidParameter {
+                name: "total_bandwidth",
+                value: self.total_bandwidth.value(),
+            });
         }
         if self.noise.watts_per_hz() <= 0.0 {
-            return Err(FlError::InvalidParameter { name: "noise", value: self.noise.watts_per_hz() });
+            return Err(FlError::InvalidParameter {
+                name: "noise",
+                value: self.noise.watts_per_hz(),
+            });
         }
         if self.kappa <= 0.0 || !self.kappa.is_finite() {
             return Err(FlError::InvalidParameter { name: "kappa", value: self.kappa });

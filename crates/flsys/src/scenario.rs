@@ -59,7 +59,11 @@ impl Scenario {
     /// scenario's device count. (`weights` only affects the scalar objective, which the
     /// returned [`CostBreakdown::objective`] computes on demand — it is accepted here so call
     /// sites read naturally and future cost terms can depend on it.)
-    pub fn evaluate(&self, allocation: &Allocation, _weights: Weights) -> Result<CostBreakdown, FlError> {
+    pub fn evaluate(
+        &self,
+        allocation: &Allocation,
+        _weights: Weights,
+    ) -> Result<CostBreakdown, FlError> {
         evaluate_allocation(self, allocation)
     }
 
@@ -228,9 +232,7 @@ impl ScenarioBuilder {
             Some(total) => {
                 let base = total / self.num_devices as u64;
                 let remainder = (total % self.num_devices as u64) as usize;
-                (0..self.num_devices)
-                    .map(|i| if i < remainder { base + 1 } else { base })
-                    .collect()
+                (0..self.num_devices).map(|i| if i < remainder { base + 1 } else { base }).collect()
             }
             None => vec![self.samples_per_device; self.num_devices],
         };
@@ -241,7 +243,12 @@ impl ScenarioBuilder {
             .zip(samples_each)
             .map(|(pos, samples)| {
                 let distance = pos.distance_to_origin();
-                let gain = ChannelGain::from_distance(distance, &self.path_loss, &self.shadowing, &mut rng);
+                let gain = ChannelGain::from_distance(
+                    distance,
+                    &self.path_loss,
+                    &self.shadowing,
+                    &mut rng,
+                );
                 DeviceProfile {
                     samples: samples.max(1),
                     cycles_per_sample: rng.gen_range(c_lo..=c_hi),
@@ -325,9 +332,21 @@ mod tests {
 
     #[test]
     fn radius_controls_average_gain() {
-        let near = ScenarioBuilder::paper_default().with_devices(60).with_radius_km(0.1).without_shadowing().build(5).unwrap();
-        let far = ScenarioBuilder::paper_default().with_devices(60).with_radius_km(1.5).without_shadowing().build(5).unwrap();
-        let avg = |s: &Scenario| s.devices.iter().map(|d| d.gain.value()).sum::<f64>() / s.num_devices() as f64;
+        let near = ScenarioBuilder::paper_default()
+            .with_devices(60)
+            .with_radius_km(0.1)
+            .without_shadowing()
+            .build(5)
+            .unwrap();
+        let far = ScenarioBuilder::paper_default()
+            .with_devices(60)
+            .with_radius_km(1.5)
+            .without_shadowing()
+            .build(5)
+            .unwrap();
+        let avg = |s: &Scenario| {
+            s.devices.iter().map(|d| d.gain.value()).sum::<f64>() / s.num_devices() as f64
+        };
         assert!(avg(&near) > avg(&far) * 10.0);
     }
 
@@ -369,7 +388,8 @@ mod tests {
     #[test]
     fn scenario_rejects_invalid_device() {
         let params = SystemParams::paper_default();
-        let mut devices = ScenarioBuilder::paper_default().with_devices(2).build(0).unwrap().devices;
+        let mut devices =
+            ScenarioBuilder::paper_default().with_devices(2).build(0).unwrap().devices;
         devices[1].cycles_per_sample = -5.0;
         assert!(Scenario::new(params, devices).is_err());
     }

@@ -22,9 +22,8 @@ impl Weights {
     /// Returns [`FlError::InvalidWeights`] unless `w1, w2 ∈ [0,1]` and `w1 + w2 = 1`
     /// (within `1e-9`).
     pub fn new(w1: f64, w2: f64) -> Result<Self, FlError> {
-        let valid = (0.0..=1.0).contains(&w1)
-            && (0.0..=1.0).contains(&w2)
-            && (w1 + w2 - 1.0).abs() <= 1e-9;
+        let valid =
+            (0.0..=1.0).contains(&w1) && (0.0..=1.0).contains(&w2) && (w1 + w2 - 1.0).abs() <= 1e-9;
         if valid {
             Ok(Self { w1, w2 })
         } else {

@@ -120,9 +120,7 @@ where
     F: FractionalProblem<Point = P> + ?Sized,
 {
     (0..problem.len())
-        .map(|i| {
-            problem.ratio_weight(i) * problem.numerator(i, x) / problem.denominator(i, x)
-        })
+        .map(|i| problem.ratio_weight(i) * problem.numerator(i, x) / problem.denominator(i, x))
         .sum()
 }
 

@@ -62,8 +62,12 @@ where
             d += 1;
             if d == dims {
                 return match best_point {
-                    Some(argmin) => Ok(GridMinimum { argmin, value: best_value, evaluations: evals }),
-                    None => Err(NumError::MaxIterations { iterations: evals, residual: f64::INFINITY }),
+                    Some(argmin) => {
+                        Ok(GridMinimum { argmin, value: best_value, evaluations: evals })
+                    }
+                    None => {
+                        Err(NumError::MaxIterations { iterations: evals, residual: f64::INFINITY })
+                    }
                 };
             }
         }
@@ -122,10 +126,7 @@ mod tests {
     #[test]
     fn grid_all_infeasible_is_error() {
         let axes = vec![linspace(0.0, 1.0, 3).unwrap()];
-        assert!(matches!(
-            grid_min(&axes, |_p| f64::INFINITY),
-            Err(NumError::MaxIterations { .. })
-        ));
+        assert!(matches!(grid_min(&axes, |_p| f64::INFINITY), Err(NumError::MaxIterations { .. })));
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod scalar;
 pub mod simplex;
 
 pub use error::NumError;
-pub use fractional::{FractionalProblem, FractionalSolution, JongConfig, solve_sum_of_ratios};
+pub use fractional::{solve_sum_of_ratios, FractionalProblem, FractionalSolution, JongConfig};
 pub use lambertw::lambert_w0;
 pub use roots::{bisect, BisectOutcome};
 pub use scalar::{golden_section_min, ScalarMinimum};

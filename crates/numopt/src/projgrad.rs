@@ -122,11 +122,7 @@ where
                 return Err(NumError::NonFiniteValue { at: candidate[0] });
             }
             if cand_value > value + 1e-15 * value.abs().max(1.0) * 1e-3 {
-                step_len_sq = x
-                    .iter()
-                    .zip(&candidate)
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum::<f64>();
+                step_len_sq = x.iter().zip(&candidate).map(|(a, b)| (a - b) * (a - b)).sum::<f64>();
                 std::mem::swap(&mut x, &mut candidate);
                 value = cand_value;
                 improved = true;

@@ -47,7 +47,13 @@ fn check_interval(lo: f64, hi: f64) -> Result<(), NumError> {
 /// assert!((out.root - 0.7390851332151607).abs() < 1e-9);
 /// # Ok::<(), numopt::NumError>(())
 /// ```
-pub fn bisect<F>(mut f: F, lo: f64, hi: f64, tol: f64, max_iter: usize) -> Result<BisectOutcome, NumError>
+pub fn bisect<F>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<BisectOutcome, NumError>
 where
     F: FnMut(f64) -> f64,
 {
@@ -227,7 +233,8 @@ mod tests {
 
     #[test]
     fn bisect_detects_nan() {
-        let err = bisect(|x| if x > 0.5 { f64::NAN } else { -1.0 }, 0.0, 1.0, 1e-12, 100).unwrap_err();
+        let err =
+            bisect(|x| if x > 0.5 { f64::NAN } else { -1.0 }, 0.0, 1.0, 1e-12, 100).unwrap_err();
         assert!(matches!(err, NumError::NonFiniteValue { .. }));
     }
 

@@ -209,7 +209,8 @@ mod tests {
     #[test]
     fn asymmetric_convex_function() {
         // f(x) = e^x + e^{-2x}; minimum at x = ln(2)/3.
-        let m = golden_section_min(|x: f64| x.exp() + (-2.0 * x).exp(), -5.0, 5.0, 1e-11, 500).unwrap();
+        let m =
+            golden_section_min(|x: f64| x.exp() + (-2.0 * x).exp(), -5.0, 5.0, 1e-11, 500).unwrap();
         assert!((m.argmin - (2f64.ln() / 3.0)).abs() < 1e-6);
     }
 }

@@ -120,10 +120,16 @@ mod tests {
     #[test]
     fn rejects_empty_and_bad_radius() {
         let mut empty: Vec<f64> = vec![];
-        assert!(matches!(project_simplex(&mut empty, 1.0), Err(NumError::DimensionMismatch { .. })));
+        assert!(matches!(
+            project_simplex(&mut empty, 1.0),
+            Err(NumError::DimensionMismatch { .. })
+        ));
         let mut v = vec![1.0];
         assert!(matches!(project_simplex(&mut v, 0.0), Err(NumError::NonPositiveParameter { .. })));
-        assert!(matches!(project_simplex(&mut v, f64::NAN), Err(NumError::NonPositiveParameter { .. })));
+        assert!(matches!(
+            project_simplex(&mut v, f64::NAN),
+            Err(NumError::NonPositiveParameter { .. })
+        ));
     }
 
     #[test]
@@ -143,6 +149,9 @@ mod tests {
 
     #[test]
     fn distance_sq_mismatch() {
-        assert!(matches!(distance_sq(&[1.0], &[1.0, 2.0]), Err(NumError::DimensionMismatch { .. })));
+        assert!(matches!(
+            distance_sq(&[1.0], &[1.0, 2.0]),
+            Err(NumError::DimensionMismatch { .. })
+        ));
     }
 }

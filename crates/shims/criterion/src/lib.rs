@@ -1,0 +1,224 @@
+//! # criterion (offline shim)
+//!
+//! A small wall-clock benchmarking harness that is source-compatible with the subset of
+//! the `criterion` 0.5 API used by `crates/bench`. The build environment cannot fetch the
+//! real criterion from a registry; this shim keeps the bench files unchanged and prints
+//! `min / mean / max` per-iteration timings instead of criterion's full statistics
+//! (no outlier analysis, no HTML reports, no comparison against saved baselines).
+//!
+//! Supported surface: [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::warm_up_time`], [`BenchmarkGroup::measurement_time`],
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId::new`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark context (mirrors `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+/// A named benchmark identifier with a parameter, e.g. `sp1_direct/25`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `function_name/parameter`.
+    pub fn new(function_name: &str, parameter: impl Display) -> Self {
+        Self { id: format!("{function_name}/{parameter}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// How long to run the routine untimed before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Upper bound on total measuring time (samples stop early when exceeded).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark that receives an input by reference.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    fn run(&self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        let label = format!("{}/{}", self.name, id);
+        match summarize(&bencher.samples) {
+            Some((min, mean, max)) => println!(
+                "{label:<40} time: [{} {} {}]  ({} samples)",
+                fmt_duration(min),
+                fmt_duration(mean),
+                fmt_duration(max),
+                bencher.samples.len()
+            ),
+            None => println!("{label:<40} time: [no samples collected]"),
+        }
+    }
+
+    /// Ends the group (printing happens per-benchmark; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Collects timed samples of a routine.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then collecting up to `sample_size` samples
+    /// within the measurement-time budget. Each sample is one call's wall-clock seconds.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_until = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_until {
+            std::hint::black_box(routine());
+        }
+        let measure_until = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed().as_secs_f64());
+            if Instant::now() > measure_until {
+                break;
+            }
+        }
+    }
+}
+
+fn summarize(samples: &[f64]) -> Option<(f64, f64, f64)> {
+    if samples.is_empty() {
+        return None;
+    }
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    Some((min, mean, max))
+}
+
+fn fmt_duration(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Groups benchmark functions into a single callable (mirrors `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        #[doc = concat!("Benchmark group `", stringify!($group), "`.")]
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `fn main` running the given groups (mirrors `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_collects_samples_and_prints() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(fmt_duration(2.0).ends_with(" s"));
+        assert!(fmt_duration(2.0e-3).ends_with(" ms"));
+        assert!(fmt_duration(2.0e-6).ends_with(" µs"));
+        assert!(fmt_duration(2.0e-9).ends_with(" ns"));
+    }
+}

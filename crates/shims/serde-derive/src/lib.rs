@@ -1,0 +1,59 @@
+//! # serde-derive (offline shim)
+//!
+//! Proc-macro half of the serde shim: `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! that implement the shim's *marker* traits instead of generating real
+//! serialization code. `#[serde(...)]` field/container attributes are accepted and
+//! ignored. See `crates/shims/serde` for the rationale.
+//!
+//! The parser is intentionally tiny (no `syn`/`quote`, which are also unavailable
+//! offline): it scans the top-level token stream for `struct`/`enum`/`union`, takes the
+//! following identifier as the type name, and bails out (emitting no impl at all) when the
+//! type has generic parameters. Every type derived in this workspace is non-generic.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Returns `(type_name, has_generics)` for a derive input, or `None` if the shape is not
+/// recognised.
+fn type_name(input: TokenStream) -> Option<(String, bool)> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    let has_generics = matches!(
+                        iter.peek(),
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                    );
+                    return Some((name.to_string(), has_generics));
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+/// No-op `Serialize` derive: implements the marker trait `::serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some((name, false)) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("generated impl must parse"),
+        // Generic or unrecognised shapes get no impl; the traits are markers, so nothing
+        // downstream can miss it.
+        _ => TokenStream::new(),
+    }
+}
+
+/// No-op `Deserialize` derive: implements the marker trait `::serde::Deserialize<'de>`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some((name, false)) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("generated impl must parse"),
+        _ => TokenStream::new(),
+    }
+}

@@ -1,0 +1,47 @@
+//! # serde (offline shim)
+//!
+//! The build environment has no access to a crates.io registry, so the real `serde`
+//! cannot be fetched. This workspace only *decorates* types with
+//! `#[derive(Serialize, Deserialize)]` — nothing actually serializes yet — so this shim
+//! keeps those call sites source-compatible with marker traits and no-op derives.
+//!
+//! When real serialization lands (e.g. JSON export of [`FigureReport`]s), replace this
+//! path dependency with the registry `serde` and everything downstream keeps compiling:
+//! the trait names, derive names, and the `#[serde(...)]` attribute namespace all match.
+//!
+//! [`FigureReport`]: ../experiments/struct.FigureReport.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// Lets the `::serde::…` paths emitted by the derive macros resolve inside this crate too
+// (dependents see the crate under the name `serde` already).
+extern crate self as serde;
+
+/// Marker stand-in for `serde::Serialize`.
+///
+/// Carries no methods; it only records the author's intent that the type is
+/// serialization-ready so the real `serde` can be dropped in later.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive_shim::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    // The derives are exercised by every downstream crate; here we only check that a
+    // marker impl written by the derive satisfies a generic bound.
+    #[derive(crate::Serialize, crate::Deserialize)]
+    struct Probe {
+        _x: u8,
+    }
+
+    fn requires_serialize<T: crate::Serialize>() {}
+
+    #[test]
+    fn derive_implements_marker_traits() {
+        requires_serialize::<Probe>();
+    }
+}

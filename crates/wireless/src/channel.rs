@@ -24,7 +24,10 @@ impl ChannelGain {
     ///
     /// Panics in debug builds if the gain is not strictly positive or not finite.
     pub fn new(linear: f64) -> Self {
-        debug_assert!(linear > 0.0 && linear.is_finite(), "channel gain must be positive and finite");
+        debug_assert!(
+            linear > 0.0 && linear.is_finite(),
+            "channel gain must be positive and finite"
+        );
         Self(linear)
     }
 
@@ -74,8 +77,18 @@ impl RateBps {
 ///
 /// Degenerate inputs are handled the way the optimizer needs them: zero bandwidth or zero
 /// power yields a zero rate (the limit of the formula).
-pub fn shannon_rate(power: Watts, bandwidth: Hertz, gain: ChannelGain, noise: NoiseDensity) -> RateBps {
-    RateBps::new(shannon_rate_raw(power.value(), bandwidth.value(), gain.value(), noise.watts_per_hz()))
+pub fn shannon_rate(
+    power: Watts,
+    bandwidth: Hertz,
+    gain: ChannelGain,
+    noise: NoiseDensity,
+) -> RateBps {
+    RateBps::new(shannon_rate_raw(
+        power.value(),
+        bandwidth.value(),
+        gain.value(),
+        noise.watts_per_hz(),
+    ))
 }
 
 /// Raw-`f64` version of [`shannon_rate`] for use inside hot solver loops.
@@ -188,8 +201,12 @@ mod tests {
         let b = 3.0e5;
         let eps_p = 1e-9;
         let eps_b = 1e-3;
-        let dp_num = (shannon_rate_raw(p + eps_p, b, G, N0) - shannon_rate_raw(p - eps_p, b, G, N0)) / (2.0 * eps_p);
-        let db_num = (shannon_rate_raw(p, b + eps_b, G, N0) - shannon_rate_raw(p, b - eps_b, G, N0)) / (2.0 * eps_b);
+        let dp_num = (shannon_rate_raw(p + eps_p, b, G, N0)
+            - shannon_rate_raw(p - eps_p, b, G, N0))
+            / (2.0 * eps_p);
+        let db_num = (shannon_rate_raw(p, b + eps_b, G, N0)
+            - shannon_rate_raw(p, b - eps_b, G, N0))
+            / (2.0 * eps_b);
         assert!((shannon_rate_dp(p, b, G, N0) - dp_num).abs() / dp_num.abs() < 1e-5);
         assert!((shannon_rate_db(p, b, G, N0) - db_num).abs() / db_num.abs() < 1e-5);
     }

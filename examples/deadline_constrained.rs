@@ -12,10 +12,8 @@
 use fedopt::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scenario = ScenarioBuilder::paper_default()
-        .with_devices(20)
-        .with_p_max_dbm(10.0)
-        .build(99)?;
+    let scenario =
+        ScenarioBuilder::paper_default().with_devices(20).with_p_max_dbm(10.0).build(99)?;
     let config = SolverConfig::default();
     let optimizer = JointOptimizer::new(config);
     let scheme1 = Scheme1Allocator::new(config);
@@ -39,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             comm.total_energy_j(),
             comp.total_energy_j()
         );
-        assert!(proposed.total_time_s <= deadline * 1.01, "proposed allocation must meet the deadline");
+        assert!(
+            proposed.total_time_s <= deadline * 1.01,
+            "proposed allocation must meet the deadline"
+        );
     }
 
     println!("\nthe tighter the deadline, the larger the advantage of joint optimization (Figs. 7 and 8).");

@@ -37,13 +37,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("federated training of a logistic model, {rounds} global rounds, {devices} devices\n");
     println!("{:>24} {:>16} {:>16}", "", "optimized", "benchmark");
-    println!("{:>24} {:>16.3} {:>16.3}", "final test accuracy", run_opt.final_accuracy, run_bench.final_accuracy);
-    println!("{:>24} {:>16.3} {:>16.3}", "final training loss", run_opt.final_loss, run_bench.final_loss);
-    println!("{:>24} {:>16.2} {:>16.2}", "total energy (J)", run_opt.total_energy_j, run_bench.total_energy_j);
-    println!("{:>24} {:>16.2} {:>16.2}", "total time (s)", run_opt.total_time_s, run_bench.total_time_s);
+    println!(
+        "{:>24} {:>16.3} {:>16.3}",
+        "final test accuracy", run_opt.final_accuracy, run_bench.final_accuracy
+    );
+    println!(
+        "{:>24} {:>16.3} {:>16.3}",
+        "final training loss", run_opt.final_loss, run_bench.final_loss
+    );
+    println!(
+        "{:>24} {:>16.2} {:>16.2}",
+        "total energy (J)", run_opt.total_energy_j, run_bench.total_energy_j
+    );
+    println!(
+        "{:>24} {:>16.2} {:>16.2}",
+        "total time (s)", run_opt.total_time_s, run_bench.total_time_s
+    );
 
     println!("\nper-round trajectory (optimized run):");
-    println!("{:>6} {:>12} {:>12} {:>14} {:>12}", "round", "loss", "accuracy", "energy (J)", "time (s)");
+    println!(
+        "{:>6} {:>12} {:>12} {:>14} {:>12}",
+        "round", "loss", "accuracy", "energy (J)", "time (s)"
+    );
     for r in run_opt.rounds.iter().step_by(5) {
         println!(
             "{:>6} {:>12.4} {:>12.3} {:>14.3} {:>12.2}",

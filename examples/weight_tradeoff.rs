@@ -16,13 +16,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let optimizer = JointOptimizer::new(SolverConfig::default());
 
     println!("{:>14} {:>14} {:>14} {:>18}", "(w1, w2)", "energy (J)", "time (s)", "scenario");
-    let labels = [
-        "low battery",
-        "battery-leaning",
-        "balanced",
-        "latency-leaning",
-        "latency-critical",
-    ];
+    let labels =
+        ["low battery", "battery-leaning", "balanced", "latency-leaning", "latency-critical"];
     let mut previous_energy = f64::NEG_INFINITY;
     for (weights, label) in Weights::paper_sweep().into_iter().zip(labels) {
         let outcome = optimizer.solve(&scenario, weights)?;

@@ -50,7 +50,9 @@ pub use wireless;
 
 /// Convenient re-exports of the types used by nearly every program built on this workspace.
 pub mod prelude {
-    pub use baselines::{BenchmarkAllocator, CommOnlyAllocator, CompOnlyAllocator, Scheme1Allocator};
+    pub use baselines::{
+        BenchmarkAllocator, CommOnlyAllocator, CompOnlyAllocator, Scheme1Allocator,
+    };
     pub use fedopt_core::{JointOptimizer, SolverConfig, Weights};
     pub use flsys::{Allocation, Scenario, ScenarioBuilder, SystemParams};
     pub use wireless::units::{Db, Dbm, Hertz, Watts};

@@ -40,21 +40,19 @@ fn optimized_allocation_trains_same_model_cheaper() {
 
 #[test]
 fn cumulative_accounting_matches_closed_form_totals() {
-    let scenario = ScenarioBuilder::paper_default()
-        .with_devices(4)
-        .with_global_rounds(5)
-        .build(301)
-        .unwrap();
+    let scenario =
+        ScenarioBuilder::paper_default().with_devices(4).with_global_rounds(5).build(301).unwrap();
     let dataset = FederatedDataset::synthetic(
         &SyntheticConfig::default().with_devices(4).with_samples_per_device(40),
         301,
     );
     let allocation = Allocation::equal_split_max(&scenario);
-    let report = FedAvgRunner::new(FedAvgConfig::default())
-        .run(&scenario, &allocation, &dataset)
-        .unwrap();
+    let report =
+        FedAvgRunner::new(FedAvgConfig::default()).run(&scenario, &allocation, &dataset).unwrap();
     let cost = scenario.cost(&allocation).unwrap();
     // 5 rounds of the closed-form per-round cost equal the simulator's cumulative totals.
-    assert!((report.total_energy_j - cost.total_energy_j / scenario.params.rg() * 5.0).abs() < 1e-9);
+    assert!(
+        (report.total_energy_j - cost.total_energy_j / scenario.params.rg() * 5.0).abs() < 1e-9
+    );
     assert!((report.total_time_s - cost.round_time_s * 5.0).abs() < 1e-9);
 }
