@@ -8,7 +8,7 @@
 
 use crate::result::BaselineResult;
 use fedopt_core::sp2::{self, PowerBandwidth};
-use fedopt_core::{CoreError, SolverConfig};
+use fedopt_core::{CoreError, SolverConfig, SolverWorkspace};
 use flsys::{Allocation, Scenario, Weights};
 
 /// Deadline-constrained energy minimization that only touches `(p, B)`.
@@ -36,48 +36,64 @@ impl CommOnlyAllocator {
         scenario: &Scenario,
         total_deadline_s: f64,
     ) -> Result<BaselineResult, CoreError> {
+        self.allocate_with(scenario, total_deadline_s, &mut SolverWorkspace::new())
+    }
+
+    /// [`Self::allocate`] against a caller-owned [`SolverWorkspace`] — the sweep hot path,
+    /// reusing the workspace's per-device buffers instead of allocating per call
+    /// (bit-identical results; the workspace is pure scratch).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::allocate`].
+    pub fn allocate_with(
+        &self,
+        scenario: &Scenario,
+        total_deadline_s: f64,
+        ws: &mut SolverWorkspace,
+    ) -> Result<BaselineResult, CoreError> {
         let params = &scenario.params;
         let round_deadline = total_deadline_s / params.rg();
         let rl = params.rl();
-        let n = scenario.devices.len();
 
         // Initial (p, B): maximum power, half-band equal split (the paper's initialization).
         let initial = Allocation::half_split_max(scenario);
-        let rates = initial.rates_bps(scenario);
-        let uploads: Vec<f64> = scenario
-            .devices
-            .iter()
-            .zip(&rates)
-            .map(|(d, &r)| if r > 0.0 { d.upload_bits / r } else { f64::INFINITY })
-            .collect();
-        let max_upload = uploads.iter().cloned().fold(0.0, f64::max);
+        initial.rates_bps_into(scenario, &mut ws.rates_bps);
+        ws.upload_times_from_rates(scenario);
+        let SolverWorkspace { uploads_s, r_min_bps, frequencies_hz, kkt, .. } = &mut *ws;
+        let max_upload = uploads_s.iter().cloned().fold(0.0, f64::max);
 
         // Fixed frequency from constraint (9a), shared compute budget = deadline − slowest upload.
         let compute_budget = (round_deadline - max_upload).max(1e-6);
-        let frequencies: Vec<f64> = scenario
-            .devices
-            .iter()
-            .map(|d| d.clamp_frequency(rl * d.cycles_per_local_iteration() / compute_budget))
-            .collect();
+        frequencies_hz.clear();
+        frequencies_hz.extend(
+            scenario
+                .devices
+                .iter()
+                .map(|d| d.clamp_frequency(rl * d.cycles_per_local_iteration() / compute_budget)),
+        );
 
         // Optimize (p, B) for minimum transmission energy under the per-device rate floors
         // implied by the deadline and the fixed frequencies.
-        let r_min: Vec<f64> = scenario
-            .devices
-            .iter()
-            .enumerate()
-            .map(|(i, d)| {
-                let t_cmp = rl * d.cycles_per_local_iteration() / frequencies[i];
-                let budget = (round_deadline - t_cmp).max(1e-6);
-                d.upload_bits / budget
-            })
-            .collect();
+        r_min_bps.clear();
+        r_min_bps.extend(scenario.devices.iter().enumerate().map(|(i, d)| {
+            let t_cmp = rl * d.cycles_per_local_iteration() / frequencies_hz[i];
+            let budget = (round_deadline - t_cmp).max(1e-6);
+            d.upload_bits / budget
+        }));
         let start = PowerBandwidth::new(initial.powers_w.clone(), initial.bandwidths_hz.clone());
-        let sol = sp2::solve(scenario, Weights::energy_only(), r_min, start, &self.config)?;
+        let sol = sp2::solve_scratch(
+            scenario,
+            Weights::energy_only(),
+            r_min_bps,
+            start,
+            &self.config,
+            kkt,
+        )?;
 
-        let mut allocation = Allocation::new(sol.powers_w, frequencies, sol.bandwidths_hz);
+        let mut allocation =
+            Allocation::new(sol.powers_w, frequencies_hz.clone(), sol.bandwidths_hz);
         allocation.project_feasible(scenario);
-        let _ = n;
         BaselineResult::evaluate(scenario, allocation).map_err(CoreError::from)
     }
 }

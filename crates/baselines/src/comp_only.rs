@@ -5,7 +5,7 @@
 //! > `B_n = B/(2N)`."
 
 use crate::result::BaselineResult;
-use fedopt_core::{sp1, CoreError, SolverConfig};
+use fedopt_core::{sp1, CoreError, SolverConfig, SolverWorkspace};
 use flsys::{Allocation, Scenario};
 
 /// Deadline-constrained energy minimization that only touches the CPU frequencies.
@@ -31,22 +31,35 @@ impl CompOnlyAllocator {
         scenario: &Scenario,
         total_deadline_s: f64,
     ) -> Result<BaselineResult, CoreError> {
+        self.allocate_with(scenario, total_deadline_s, &mut SolverWorkspace::new())
+    }
+
+    /// [`Self::allocate`] against a caller-owned [`SolverWorkspace`] — the sweep hot path,
+    /// reusing the workspace's per-device buffers instead of allocating per call
+    /// (bit-identical results; the workspace is pure scratch).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::allocate`].
+    pub fn allocate_with(
+        &self,
+        scenario: &Scenario,
+        total_deadline_s: f64,
+        ws: &mut SolverWorkspace,
+    ) -> Result<BaselineResult, CoreError> {
         let round_deadline = total_deadline_s / scenario.params.rg();
 
         let fixed = Allocation::half_split_max(scenario);
-        let rates = fixed.rates_bps(scenario);
-        let uploads: Vec<f64> = scenario
-            .devices
-            .iter()
-            .zip(&rates)
-            .map(|(d, &r)| if r > 0.0 { d.upload_bits / r } else { f64::INFINITY })
-            .collect();
+        fixed.rates_bps_into(scenario, &mut ws.rates_bps);
+        ws.upload_times_from_rates(scenario);
+        let SolverWorkspace { uploads_s, frequencies_hz, .. } = &mut *ws;
 
         // The cheapest frequencies that still meet the deadline given the fixed uplink times.
-        let frequencies = sp1::frequencies_for_deadline(scenario, round_deadline, &uploads);
+        sp1::frequencies_for_deadline_into(scenario, round_deadline, uploads_s, frequencies_hz);
         let _ = &self.config;
 
-        let mut allocation = Allocation::new(fixed.powers_w, frequencies, fixed.bandwidths_hz);
+        let mut allocation =
+            Allocation::new(fixed.powers_w, frequencies_hz.clone(), fixed.bandwidths_hz);
         allocation.project_feasible(scenario);
         BaselineResult::evaluate(scenario, allocation).map_err(CoreError::from)
     }

@@ -20,7 +20,7 @@
 
 use crate::result::BaselineResult;
 use fedopt_core::sp2::{self, PowerBandwidth};
-use fedopt_core::{CoreError, SolverConfig};
+use fedopt_core::{CoreError, SolverConfig, SolverWorkspace};
 use flsys::{Allocation, Scenario, Weights};
 
 /// Reimplementation of the structure of Yang et al.'s deadline-constrained energy minimizer.
@@ -46,47 +46,59 @@ impl Scheme1Allocator {
         scenario: &Scenario,
         total_deadline_s: f64,
     ) -> Result<BaselineResult, CoreError> {
+        self.allocate_with(scenario, total_deadline_s, &mut SolverWorkspace::new())
+    }
+
+    /// [`Self::allocate`] against a caller-owned [`SolverWorkspace`] — the sweep hot path,
+    /// reusing the workspace's per-device buffers instead of allocating per call
+    /// (bit-identical results; the workspace is pure scratch).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::allocate`].
+    pub fn allocate_with(
+        &self,
+        scenario: &Scenario,
+        total_deadline_s: f64,
+        ws: &mut SolverWorkspace,
+    ) -> Result<BaselineResult, CoreError> {
         let params = &scenario.params;
         let round_deadline = total_deadline_s / params.rg();
         let rl = params.rl();
 
         // Step 1: the paper's initialization.
         let initial = Allocation::half_split_max(scenario);
-        let rates = initial.rates_bps(scenario);
-        let uploads0: Vec<f64> = scenario
-            .devices
-            .iter()
-            .zip(&rates)
-            .map(|(d, &r)| if r > 0.0 { d.upload_bits / r } else { f64::INFINITY })
-            .collect();
+        initial.rates_bps_into(scenario, &mut ws.rates_bps);
+        ws.upload_times_from_rates(scenario);
+        let SolverWorkspace { uploads_s, r_min_bps, frequencies_hz, kkt, .. } = &mut *ws;
 
         // Steps 2–3: fix each device's compute/upload split from the initial uplink time and
         // choose the cheapest frequency that fits the compute share.
-        let frequencies: Vec<f64> = scenario
-            .devices
-            .iter()
-            .zip(&uploads0)
-            .map(|(d, &t_up)| {
-                let compute_budget = (round_deadline - t_up).max(1e-6);
-                d.clamp_frequency(rl * d.cycles_per_local_iteration() / compute_budget)
-            })
-            .collect();
+        frequencies_hz.clear();
+        frequencies_hz.extend(scenario.devices.iter().zip(uploads_s.iter()).map(|(d, &t_up)| {
+            let compute_budget = (round_deadline - t_up).max(1e-6);
+            d.clamp_frequency(rl * d.cycles_per_local_iteration() / compute_budget)
+        }));
 
         // Step 4: transmission-energy minimization under the upload share left by that split.
-        let r_min: Vec<f64> = scenario
-            .devices
-            .iter()
-            .enumerate()
-            .map(|(i, d)| {
-                let t_cmp = rl * d.cycles_per_local_iteration() / frequencies[i];
-                let budget = (round_deadline - t_cmp).max(1e-6);
-                d.upload_bits / budget
-            })
-            .collect();
+        r_min_bps.clear();
+        r_min_bps.extend(scenario.devices.iter().enumerate().map(|(i, d)| {
+            let t_cmp = rl * d.cycles_per_local_iteration() / frequencies_hz[i];
+            let budget = (round_deadline - t_cmp).max(1e-6);
+            d.upload_bits / budget
+        }));
         let start = PowerBandwidth::new(initial.powers_w.clone(), initial.bandwidths_hz.clone());
-        let sol = sp2::solve(scenario, Weights::energy_only(), r_min, start, &self.config)?;
+        let sol = sp2::solve_scratch(
+            scenario,
+            Weights::energy_only(),
+            r_min_bps,
+            start,
+            &self.config,
+            kkt,
+        )?;
 
-        let mut allocation = Allocation::new(sol.powers_w, frequencies, sol.bandwidths_hz);
+        let mut allocation =
+            Allocation::new(sol.powers_w, frequencies_hz.clone(), sol.bandwidths_hz);
         allocation.project_feasible(scenario);
         BaselineResult::evaluate(scenario, allocation).map_err(CoreError::from)
     }

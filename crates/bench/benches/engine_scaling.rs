@@ -1,8 +1,9 @@
-//! Benchmarks the SweepEngine's thread scaling on the quick Figure-2 grid: the same cells
-//! evaluated sequentially and with 2/4 workers. On a multi-core host the 4-worker run
-//! demonstrates the >= 2x speedup the engine was introduced for (the grid is
-//! embarrassingly parallel); output is bit-identical across all of them (see the
-//! `engine_integration` tests).
+//! Benchmarks the SweepEngine's thread scaling: the quick Figure-2 grid evaluated
+//! sequentially and with 2/4 workers, and the same grid scaled to the paper's 100 scenario
+//! draws per point (trimmed to 8 devices / 2 points so a sequential pass stays benchable).
+//! On a multi-core host the 4-worker run demonstrates the >= 2x speedup the engine was
+//! introduced for (the grid is embarrassingly parallel); output is bit-identical across
+//! all of them (see the `engine_integration` tests).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use experiments::fig2::{run_with_engine, Fig2Config};
@@ -19,6 +20,28 @@ fn bench(c: &mut Criterion) {
     for &threads in &[1usize, 2, 4] {
         let engine = SweepEngine::with_threads(threads);
         group.bench_with_input(BenchmarkId::new("fig2_quick", threads), &threads, |b, _| {
+            b.iter(|| {
+                let (energy, _) = run_with_engine(&cfg, &engine).unwrap();
+                energy.rows.len()
+            })
+        });
+    }
+    group.finish();
+
+    // The figure defaults' draw count: 100 seeds per point, where per-worker workspace
+    // reuse and the per-(point, seed) scenario cache pay off across a long seed grid.
+    let mut group = c.benchmark_group("engine_scaling_100draws");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(10));
+    let mut cfg = Fig2Config::quick();
+    cfg.devices = 8;
+    cfg.p_max_dbm = vec![5.0, 12.0];
+    cfg.seeds = (0..100).collect();
+    for &threads in &[1usize, 4] {
+        let engine = SweepEngine::with_threads(threads);
+        group.bench_with_input(BenchmarkId::new("fig2_8dev", threads), &threads, |b, _| {
             b.iter(|| {
                 let (energy, _) = run_with_engine(&cfg, &engine).unwrap();
                 energy.rows.len()

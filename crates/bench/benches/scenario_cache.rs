@@ -1,0 +1,74 @@
+//! Benchmarks the cell-group engine's scenario-build sharing: the same grid evaluated with
+//! sharing on (builds = points × seeds per distinct prepared builder) and off (the
+//! historical builds = points × arms × seeds), plus the raw cost of one scenario build.
+//!
+//! Three angles on the same win:
+//!
+//! * `build_scenario/*` — what one `ScenarioBuilder::build` costs (the thing being cached).
+//! * `bench_arms_6x/*` — a build-bound grid (six copies of the cheap random-benchmark arm):
+//!   sharing removes ~5/6 of the builds, so the wall-clock gap IS the cache win.
+//! * `fig2_quick/*` — a solver-bound end-to-end figure grid, showing what survives of the
+//!   win once real solves dominate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::arms::BenchmarkArm;
+use experiments::fig2::{run_with_engine, Fig2Config};
+use experiments::{SweepEngine, SweepGrid};
+use flsys::ScenarioBuilder;
+use std::time::Duration;
+
+fn build_bound_grid() -> SweepGrid {
+    let mut grid = SweepGrid::new((0..25).collect::<Vec<u64>>());
+    for &p_max in &[5.0, 8.0, 10.0, 12.0] {
+        grid = grid
+            .point(p_max, ScenarioBuilder::paper_default().with_devices(50).with_p_max_dbm(p_max));
+    }
+    // Six copies of the (cheap) benchmark arm: with sharing on, one 50-device build serves
+    // all six; with sharing off, each rebuilds it.
+    for _ in 0..6 {
+        grid = grid.arm(BenchmarkArm::random_frequency());
+    }
+    grid
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_cache");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+
+    group.bench_function("build_scenario/50dev", |b| {
+        let builder = ScenarioBuilder::paper_default().with_devices(50);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            builder.build(seed).unwrap().devices.len()
+        })
+    });
+
+    for &(label, share) in &[("shared", true), ("rebuilt", false)] {
+        let engine = SweepEngine::with_threads(4).with_scenario_sharing(share);
+        group.bench_with_input(BenchmarkId::new("bench_arms_6x", label), &share, |b, _| {
+            b.iter(|| {
+                let result = engine.run(&build_bound_grid()).unwrap();
+                result.counters.scenarios_built
+            })
+        });
+    }
+
+    let cfg = Fig2Config::quick();
+    for &(label, share) in &[("shared", true), ("rebuilt", false)] {
+        let engine = SweepEngine::with_threads(4).with_scenario_sharing(share);
+        group.bench_with_input(BenchmarkId::new("fig2_quick", label), &share, |b, _| {
+            b.iter(|| {
+                let (energy, _) = run_with_engine(&cfg, &engine).unwrap();
+                energy.rows.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fedopt_core::sp2::{self, PowerBandwidth};
-use fedopt_core::{sp1, JointOptimizer, SolverConfig};
+use fedopt_core::{sp1, JointOptimizer, KktScratch, SolverConfig, SolverWorkspace};
 use flsys::{Allocation, ScenarioBuilder, Weights};
 use std::time::Duration;
 
@@ -51,12 +51,20 @@ fn bench_subproblems(c: &mut Criterion) {
         let alloc = Allocation::equal_split_max(&scenario);
         let r_min: Vec<f64> = scenario.devices.iter().map(|d| d.upload_bits / 0.05).collect();
         group.bench_with_input(BenchmarkId::new("sp2_solve", n), &n, |b, _| {
+            let mut scratch = KktScratch::default();
             b.iter(|| {
                 let start =
                     PowerBandwidth::new(alloc.powers_w.clone(), alloc.bandwidths_hz.clone());
-                sp2::solve(&scenario, Weights::balanced(), r_min.clone(), start, &cfg)
-                    .unwrap()
-                    .comm_energy_per_round_j
+                sp2::solve_scratch(
+                    &scenario,
+                    Weights::balanced(),
+                    &r_min,
+                    start,
+                    &cfg,
+                    &mut scratch,
+                )
+                .unwrap()
+                .comm_energy_per_round_j
             })
         });
     }
@@ -75,6 +83,13 @@ fn bench_full_solve(c: &mut Criterion) {
         let scenario = ScenarioBuilder::paper_default().with_devices(n).build(9).unwrap();
         group.bench_with_input(BenchmarkId::new("solve_balanced", n), &n, |b, _| {
             b.iter(|| optimizer.solve(&scenario, Weights::balanced()).unwrap().objective)
+        });
+        // The workspace-reusing hot path the sweep engine drives (bit-identical output).
+        group.bench_with_input(BenchmarkId::new("solve_balanced_with_workspace", n), &n, |b, _| {
+            let mut ws = SolverWorkspace::with_capacity(n);
+            b.iter(|| {
+                optimizer.solve_with(&scenario, Weights::balanced(), &mut ws).unwrap().objective
+            })
         });
     }
     group.finish();

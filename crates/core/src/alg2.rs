@@ -21,6 +21,7 @@ use crate::error::CoreError;
 use crate::sp1;
 use crate::sp2::{self, PowerBandwidth};
 use crate::trace::{OuterIteration, Trace};
+use crate::workspace::SolverWorkspace;
 use flsys::{Allocation, CostBreakdown, Scenario, Weights};
 use wireless::channel::shannon_rate_raw;
 
@@ -71,6 +72,23 @@ impl JointOptimizer {
     /// [`CoreError::Numerical`] if both Subproblem-2 solvers fail (which the test-suite never
     /// observes on paper-like scenarios).
     pub fn solve(&self, scenario: &Scenario, weights: Weights) -> Result<Outcome, CoreError> {
+        self.solve_with(scenario, weights, &mut SolverWorkspace::new())
+    }
+
+    /// [`Self::solve`] against a caller-owned [`SolverWorkspace`], so repeated solves (a
+    /// figure sweep runs thousands) reuse one set of per-device buffers instead of
+    /// allocating per call. The workspace is pure scratch — see [`crate::workspace`] for the
+    /// reuse contract — and the result is bit-identical to [`Self::solve`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::solve`].
+    pub fn solve_with(
+        &self,
+        scenario: &Scenario,
+        weights: Weights,
+        ws: &mut SolverWorkspace,
+    ) -> Result<Outcome, CoreError> {
         if weights.time() >= 1.0 {
             // Pure delay minimization: energy plays no role, so Subproblem 2's objective is
             // degenerate. Solve the min-max completion-time problem directly.
@@ -79,32 +97,30 @@ impl JointOptimizer {
         }
 
         let mut allocation = Allocation::equal_split_max(scenario);
+        let mut previous = allocation.clone();
         let mut trace = Trace::new();
         let mut best: Option<(f64, Allocation)> = None;
         let mut converged = false;
 
         for k in 1..=self.config.outer_max_iter {
-            let previous = allocation.clone();
+            previous.clone_from(&allocation);
 
             // --- Subproblem 1: frequencies and the auxiliary round time T. ---
-            let rates = allocation.rates_bps(scenario);
-            let uploads: Vec<f64> = scenario
-                .devices
-                .iter()
-                .zip(&rates)
-                .map(|(d, &r)| if r > 0.0 { d.upload_bits / r } else { f64::INFINITY })
-                .collect();
-            let sp1_sol = sp1::solve_direct(scenario, weights, &uploads, &self.config)?;
-            allocation.frequencies_hz = sp1_sol.frequencies_hz.clone();
+            allocation.rates_bps_into(scenario, &mut ws.rates_bps);
+            ws.upload_times_from_rates(scenario);
+            let SolverWorkspace { uploads_s, r_min_bps, frequencies_hz, kkt, .. } = &mut *ws;
+            let sp1_sol =
+                sp1::solve_direct_in(scenario, weights, uploads_s, &self.config, frequencies_hz)?;
+            allocation.frequencies_hz.copy_from_slice(frequencies_hz);
 
             // --- Subproblem 2: powers and bandwidths under the rate floors implied by T. ---
-            let r_min =
-                rate_floors(scenario, sp1_sol.round_time_s, &sp1_sol.frequencies_hz, weights);
+            rate_floors_into(scenario, sp1_sol.round_time_s, frequencies_hz, weights, r_min_bps);
             let start =
                 PowerBandwidth::new(allocation.powers_w.clone(), allocation.bandwidths_hz.clone());
-            let sp2_sol = sp2::solve(scenario, weights, r_min, start, &self.config)?;
-            allocation.powers_w = sp2_sol.powers_w.clone();
-            allocation.bandwidths_hz = sp2_sol.bandwidths_hz.clone();
+            let sp2_sol =
+                sp2::solve_scratch(scenario, weights, r_min_bps, start, &self.config, kkt)?;
+            allocation.powers_w.copy_from_slice(&sp2_sol.powers_w);
+            allocation.bandwidths_hz.copy_from_slice(&sp2_sol.bandwidths_hz);
             allocation.project_feasible(scenario);
 
             // --- Bookkeeping. ---
@@ -146,6 +162,21 @@ impl JointOptimizer {
         scenario: &Scenario,
         total_deadline_s: f64,
     ) -> Result<Outcome, CoreError> {
+        self.solve_with_deadline_in(scenario, total_deadline_s, &mut SolverWorkspace::new())
+    }
+
+    /// [`Self::solve_with_deadline`] against a caller-owned [`SolverWorkspace`] (same reuse
+    /// contract as [`Self::solve_with`]; bit-identical results).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::solve_with_deadline`].
+    pub fn solve_with_deadline_in(
+        &self,
+        scenario: &Scenario,
+        total_deadline_s: f64,
+        ws: &mut SolverWorkspace,
+    ) -> Result<Outcome, CoreError> {
         if !(total_deadline_s.is_finite() && total_deadline_s > 0.0) {
             return Err(CoreError::Model(flsys::FlError::InvalidParameter {
                 name: "total_deadline_s",
@@ -173,7 +204,7 @@ impl JointOptimizer {
         let mut converged = false;
         for seed_alloc in [Allocation::equal_split_max(scenario), fastest_alloc.clone()] {
             let (seed_best, seed_converged) =
-                self.deadline_iterations(scenario, round_deadline, seed_alloc, &mut trace)?;
+                self.deadline_iterations(scenario, round_deadline, seed_alloc, &mut trace, ws)?;
             converged |= seed_converged;
             if let Some((energy, alloc)) = seed_best {
                 if best.as_ref().map_or(true, |(b, _)| energy < *b) {
@@ -201,33 +232,39 @@ impl JointOptimizer {
         round_deadline: f64,
         mut allocation: Allocation,
         trace: &mut Trace,
+        ws: &mut SolverWorkspace,
     ) -> Result<(Option<(f64, Allocation)>, bool), CoreError> {
         let weights = Weights::energy_only();
+        let mut previous = allocation.clone();
         let mut best: Option<(f64, Allocation)> = None;
         let mut converged = false;
         let k_offset = trace.len();
 
         for k in 1..=self.config.outer_max_iter {
-            let previous = allocation.clone();
+            previous.clone_from(&allocation);
+            let SolverWorkspace { r_min_bps, frequencies_hz, kkt, .. } = &mut *ws;
 
             // Split every device's round deadline between computation and upload so that the
             // *total* per-device energy (computation at the implied frequency plus the
             // cheapest transmission meeting the implied rate) is minimized, given the current
             // bandwidth shares. This plays the role Subproblem 1 plays in the weighted
             // problem: it decides the frequencies and the rate floors handed to Subproblem 2.
-            let (frequencies, r_min) = self.optimal_split_for_deadline(
+            self.optimal_split_for_deadline(
                 scenario,
                 round_deadline,
                 &allocation.bandwidths_hz,
+                frequencies_hz,
+                r_min_bps,
             );
-            allocation.frequencies_hz = frequencies;
+            allocation.frequencies_hz.copy_from_slice(frequencies_hz);
 
             // Powers/bandwidths: communication-energy minimization under those rate floors.
             let start =
                 PowerBandwidth::new(allocation.powers_w.clone(), allocation.bandwidths_hz.clone());
-            let sp2_sol = sp2::solve(scenario, weights, r_min, start, &self.config)?;
-            allocation.powers_w = sp2_sol.powers_w.clone();
-            allocation.bandwidths_hz = sp2_sol.bandwidths_hz.clone();
+            let sp2_sol =
+                sp2::solve_scratch(scenario, weights, r_min_bps, start, &self.config, kkt)?;
+            allocation.powers_w.copy_from_slice(&sp2_sol.powers_w);
+            allocation.bandwidths_hz.copy_from_slice(&sp2_sol.bandwidths_hz);
             allocation.project_feasible(scenario);
 
             let cost = scenario.cost(&allocation)?;
@@ -256,8 +293,8 @@ impl JointOptimizer {
     }
 
     /// For a fixed round deadline and fixed bandwidth shares, chooses each device's
-    /// computation/upload time split to minimize its per-round energy, and returns the
-    /// implied CPU frequencies and rate floors.
+    /// computation/upload time split to minimize its per-round energy, writing the implied
+    /// CPU frequencies and rate floors into the caller's buffers (cleared first).
     ///
     /// For device `n` with bandwidth `B_n`, an upload time `t` implies the frequency
     /// `f_n = R_l c_n D_n / (deadline − t)` and the cheapest power reaching rate `d_n / t`;
@@ -269,13 +306,14 @@ impl JointOptimizer {
         scenario: &Scenario,
         round_deadline: f64,
         bandwidths_hz: &[f64],
-    ) -> (Vec<f64>, Vec<f64>) {
+        frequencies: &mut Vec<f64>,
+        r_min: &mut Vec<f64>,
+    ) {
         let params = &scenario.params;
         let rl = params.rl();
         let n0 = params.noise.watts_per_hz();
-        let n = scenario.devices.len();
-        let mut frequencies = Vec::with_capacity(n);
-        let mut r_min = Vec::with_capacity(n);
+        frequencies.clear();
+        r_min.clear();
 
         for (dev, &bandwidth_hz) in scenario.devices.iter().zip(bandwidths_hz) {
             let cycles = rl * dev.cycles_per_local_iteration();
@@ -328,7 +366,6 @@ impl JointOptimizer {
             frequencies.push(dev.clamp_frequency(cycles / (round_deadline - t_up)));
             r_min.push(dev.upload_bits / t_up);
         }
-        (frequencies, r_min)
     }
 
     /// Minimizes the per-round completion time (every device at `f_max` / `p_max`, bandwidth
@@ -443,32 +480,43 @@ impl JointOptimizer {
 ///
 /// With no pressure on time (`w2 = 0` and no explicit deadline handling by the caller) the
 /// floors are zero — the paper's constraint (9a) is slack in that regime.
+#[cfg(test)]
 fn rate_floors(
     scenario: &Scenario,
     round_time_s: f64,
     frequencies_hz: &[f64],
     weights: Weights,
 ) -> Vec<f64> {
+    let mut out = Vec::with_capacity(scenario.devices.len());
+    rate_floors_into(scenario, round_time_s, frequencies_hz, weights, &mut out);
+    out
+}
+
+/// `rate_floors` into a caller-owned buffer (cleared first) — the hot-path form used by
+/// Algorithm 2's outer loop.
+fn rate_floors_into(
+    scenario: &Scenario,
+    round_time_s: f64,
+    frequencies_hz: &[f64],
+    weights: Weights,
+    out: &mut Vec<f64>,
+) {
     let rl = scenario.params.rl();
-    scenario
-        .devices
-        .iter()
-        .enumerate()
-        .map(|(i, dev)| {
-            if weights.time() <= 0.0 && round_time_s.is_infinite() {
-                return 0.0;
-            }
-            let t_cmp = rl * dev.cycles_per_local_iteration() / frequencies_hz[i].max(1e-3);
-            let budget = round_time_s - t_cmp;
-            if budget <= 0.0 {
-                // The deadline leaves no room for the upload: ask for the fastest rate the
-                // device could possibly need; the sanitize pass will do its best.
-                dev.upload_bits / 1e-6
-            } else {
-                dev.upload_bits / budget
-            }
-        })
-        .collect()
+    out.clear();
+    out.extend(scenario.devices.iter().enumerate().map(|(i, dev)| {
+        if weights.time() <= 0.0 && round_time_s.is_infinite() {
+            return 0.0;
+        }
+        let t_cmp = rl * dev.cycles_per_local_iteration() / frequencies_hz[i].max(1e-3);
+        let budget = round_time_s - t_cmp;
+        if budget <= 0.0 {
+            // The deadline leaves no room for the upload: ask for the fastest rate the
+            // device could possibly need; the sanitize pass will do its best.
+            dev.upload_bits / 1e-6
+        } else {
+            dev.upload_bits / budget
+        }
+    }));
 }
 
 /// Smallest bandwidth at which a device with channel gain `gain` can reach `r_min` at power

@@ -40,11 +40,14 @@ pub mod error;
 pub mod sp1;
 pub mod sp2;
 pub mod trace;
+pub mod workspace;
 
 pub use alg2::{JointOptimizer, Outcome};
 pub use config::SolverConfig;
 pub use error::CoreError;
+pub use sp2::kkt::KktScratch;
 pub use trace::{OuterIteration, Trace};
+pub use workspace::SolverWorkspace;
 
 // Re-exported so downstream users can write `fedopt_core::Weights` without importing `flsys`.
 pub use flsys::Weights;

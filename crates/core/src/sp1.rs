@@ -31,11 +31,35 @@ use numopt::projgrad::{projected_gradient_ascent, ProjGradConfig};
 use numopt::scalar::{clamp, golden_section_min_with_endpoints};
 use numopt::simplex::project_simplex;
 
+/// Relative slack allowed between the dual ([`solve_dual`]) and direct ([`solve_direct`])
+/// Subproblem-1 objectives before the cross-check fails.
+///
+/// The direct path minimizes over `T` by a tolerance-bounded golden-section search, so the
+/// closed-form dual recovery can legitimately undercut it by the search's own numerical
+/// slack. How far depends on the scenario draws: with the workspace's deterministic
+/// shim PRNG (`crates/shims/rand`, a SplitMix64-style stream standing in for the registry
+/// `rand`), the wide-frequency-box draw used by the cross-check test lands near the edge of
+/// the search tolerance, and PR 1 loosened the bound to `1e-4` to absorb it. The gap
+/// observed on those draws is ~2·10⁻⁵; this constant pins the bound at 5·10⁻⁵ — tight
+/// enough to catch a real dual/direct divergence, loose enough for the shim-PRNG draws.
+/// If the shims are ever swapped for the registry crates, the realisations change and this
+/// slack should be re-measured.
+pub const DUAL_DIRECT_REL_SLACK: f64 = 5.0e-5;
+
 /// Result of a Subproblem-1 solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sp1Solution {
     /// Optimal CPU frequency per device (Hz).
     pub frequencies_hz: Vec<f64>,
+    /// Optimal auxiliary round-completion time `T` (seconds).
+    pub round_time_s: f64,
+    /// Value of the Subproblem-1 objective `w1·R_g·Σ κ R_l c_n D_n f_n² + w2·R_g·T`.
+    pub objective: f64,
+}
+
+/// The scalar outputs of a Subproblem-1 solve (the frequencies land in a caller buffer).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sp1Summary {
     /// Optimal auxiliary round-completion time `T` (seconds).
     pub round_time_s: f64,
     /// Value of the Subproblem-1 objective `w1·R_g·Σ κ R_l c_n D_n f_n² + w2·R_g·T`.
@@ -53,6 +77,19 @@ fn computation_energy_term(scenario: &Scenario, frequencies: &[f64]) -> f64 {
         .sum()
 }
 
+/// The cheapest feasible frequency for one device under a round deadline: `f_n =
+/// clamp(R_l·c_n·D_n / (T − T_n^up), f_min, f_max)`, or `f_max` (best effort) when the
+/// uplink alone exceeds the deadline.
+#[inline]
+fn frequency_for_deadline(dev: &flsys::DeviceProfile, rl: f64, deadline_s: f64, t_up: f64) -> f64 {
+    let compute_budget = deadline_s - t_up;
+    if compute_budget <= 0.0 {
+        dev.f_max.value()
+    } else {
+        dev.clamp_frequency(rl * dev.cycles_per_local_iteration() / compute_budget)
+    }
+}
+
 /// The cheapest feasible frequency vector for a given round deadline `T` and uplink times:
 /// `f_n = clamp(R_l·c_n·D_n / (T − T_n^up), f_min, f_max)`.
 ///
@@ -62,20 +99,28 @@ pub fn frequencies_for_deadline(
     round_deadline_s: f64,
     upload_times_s: &[f64],
 ) -> Vec<f64> {
+    let mut out = Vec::with_capacity(scenario.devices.len());
+    frequencies_for_deadline_into(scenario, round_deadline_s, upload_times_s, &mut out);
+    out
+}
+
+/// [`frequencies_for_deadline`] into a caller-owned buffer (cleared first), for hot paths
+/// that reuse one allocation across calls.
+pub fn frequencies_for_deadline_into(
+    scenario: &Scenario,
+    round_deadline_s: f64,
+    upload_times_s: &[f64],
+    out: &mut Vec<f64>,
+) {
     let rl = scenario.params.rl();
-    scenario
-        .devices
-        .iter()
-        .zip(upload_times_s)
-        .map(|(dev, &t_up)| {
-            let compute_budget = round_deadline_s - t_up;
-            if compute_budget <= 0.0 {
-                dev.f_max.value()
-            } else {
-                dev.clamp_frequency(rl * dev.cycles_per_local_iteration() / compute_budget)
-            }
-        })
-        .collect()
+    out.clear();
+    out.extend(
+        scenario
+            .devices
+            .iter()
+            .zip(upload_times_s)
+            .map(|(dev, &t_up)| frequency_for_deadline(dev, rl, round_deadline_s, t_up)),
+    );
 }
 
 /// The smallest round time any frequency assignment can achieve given the uplink times
@@ -102,6 +147,32 @@ pub fn solve_direct(
     upload_times_s: &[f64],
     config: &SolverConfig,
 ) -> Result<Sp1Solution, CoreError> {
+    let mut frequencies_hz = Vec::with_capacity(scenario.devices.len());
+    let summary = solve_direct_in(scenario, weights, upload_times_s, config, &mut frequencies_hz)?;
+    Ok(Sp1Solution {
+        frequencies_hz,
+        round_time_s: summary.round_time_s,
+        objective: summary.objective,
+    })
+}
+
+/// [`solve_direct`] with the optimal frequencies written into a caller-owned buffer
+/// (cleared first), so the alternating outer loop can reuse one allocation per worker.
+///
+/// The search itself is allocation-free: each golden-section probe evaluates the objective
+/// device by device instead of materialising a frequency vector per probe (the old
+/// per-probe `Vec` was the hottest allocation site of the whole sweep).
+///
+/// # Errors
+///
+/// Same as [`solve_direct`].
+pub fn solve_direct_in(
+    scenario: &Scenario,
+    weights: Weights,
+    upload_times_s: &[f64],
+    config: &SolverConfig,
+    frequencies_out: &mut Vec<f64>,
+) -> Result<Sp1Summary, CoreError> {
     check_lengths(scenario, upload_times_s)?;
     let params = &scenario.params;
     let w1 = weights.energy();
@@ -123,22 +194,31 @@ pub fn solve_direct(
     // Degenerate corner cases first.
     if w2 == 0.0 {
         // No pressure on time: every device runs at its minimum frequency.
-        let freqs: Vec<f64> = scenario.devices.iter().map(|d| d.f_min.value()).collect();
-        let round = round_time(scenario, &freqs, upload_times_s);
-        let objective = w1 * rg * computation_energy_term(scenario, &freqs) + w2 * rg * round;
-        return Ok(Sp1Solution { frequencies_hz: freqs, round_time_s: round, objective });
+        frequencies_out.clear();
+        frequencies_out.extend(scenario.devices.iter().map(|d| d.f_min.value()));
+        let round = round_time(scenario, frequencies_out, upload_times_s);
+        let objective =
+            w1 * rg * computation_energy_term(scenario, frequencies_out) + w2 * rg * round;
+        return Ok(Sp1Summary { round_time_s: round, objective });
     }
     if w1 == 0.0 {
         // No pressure on energy: every device runs flat out.
-        let freqs: Vec<f64> = scenario.devices.iter().map(|d| d.f_max.value()).collect();
-        let round = round_time(scenario, &freqs, upload_times_s);
+        frequencies_out.clear();
+        frequencies_out.extend(scenario.devices.iter().map(|d| d.f_max.value()));
+        let round = round_time(scenario, frequencies_out, upload_times_s);
         let objective = w2 * rg * round;
-        return Ok(Sp1Solution { frequencies_hz: freqs, round_time_s: round, objective });
+        return Ok(Sp1Summary { round_time_s: round, objective });
     }
 
     let objective_of_t = |t: f64| {
-        let freqs = frequencies_for_deadline(scenario, t, upload_times_s);
-        w1 * rg * computation_energy_term(scenario, &freqs) + w2 * rg * t
+        // Same per-device terms and summation order as `computation_energy_term` over
+        // `frequencies_for_deadline`, without the intermediate vector.
+        let mut energy = 0.0;
+        for (dev, &t_up) in scenario.devices.iter().zip(upload_times_s) {
+            let f = frequency_for_deadline(dev, rl, t, t_up);
+            energy += params.kappa * params.rl() * dev.cycles_per_local_iteration() * f * f;
+        }
+        w1 * rg * energy + w2 * rg * t
     };
     let best = golden_section_min_with_endpoints(
         objective_of_t,
@@ -147,13 +227,13 @@ pub fn solve_direct(
         config.scalar_tol * t_max.max(1.0),
         500,
     )?;
-    let frequencies_hz = frequencies_for_deadline(scenario, best.argmin, upload_times_s);
+    frequencies_for_deadline_into(scenario, best.argmin, upload_times_s, frequencies_out);
     // Report the actually achieved round time (≤ the searched T when clamping bites).
-    let achieved_round = round_time(scenario, &frequencies_hz, upload_times_s);
+    let achieved_round = round_time(scenario, frequencies_out, upload_times_s);
     let round_time_s = achieved_round.min(best.argmin).max(t_min);
     let objective =
-        w1 * rg * computation_energy_term(scenario, &frequencies_hz) + w2 * rg * round_time_s;
-    Ok(Sp1Solution { frequencies_hz, round_time_s, objective })
+        w1 * rg * computation_energy_term(scenario, frequencies_out) + w2 * rg * round_time_s;
+    Ok(Sp1Summary { round_time_s, objective })
 }
 
 /// Solves Subproblem 1 through the paper's Lagrangian dual (17):
@@ -361,9 +441,9 @@ mod tests {
         let rel = (dual.objective - direct.objective).abs() / direct.objective;
         assert!(rel < 0.05, "dual {} vs direct {} (rel {rel})", dual.objective, direct.objective);
         // The direct path minimizes over T by a tolerance-bounded 1-D search, so the dual
-        // recovery can undercut it only within that numerical slack (observed ~2e-5 on some
-        // scenario draws).
-        assert!(dual.objective >= direct.objective * (1.0 - 1e-4));
+        // recovery can undercut it only within that numerical slack (see the constant's
+        // docs for the shim-PRNG provenance of the bound).
+        assert!(dual.objective >= direct.objective * (1.0 - DUAL_DIRECT_REL_SLACK));
     }
 
     #[test]

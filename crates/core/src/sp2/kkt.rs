@@ -34,6 +34,30 @@ use wireless::channel::power_for_rate;
 
 const LN2: f64 = std::f64::consts::LN_2;
 
+/// Per-device LP data of step 4b: cost coefficient `ρ_n` and the bandwidth bounds implied by
+/// the power box under the affine relation (A.1) with `τ_n = 0`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LpEntry {
+    idx: usize,
+    rho: f64,
+    b_lo: f64,
+    b_hi: f64,
+}
+
+/// Reusable scratch buffers of the Theorem-2 KKT construction.
+///
+/// Every field is pure scratch: [`solve_parametric`] overwrites the contents on entry and
+/// never reads state left by a previous call, so one instance can be reused across
+/// arbitrarily many solves (and across scenarios of different device counts — the buffers
+/// are resized per call). Reuse only saves the allocations.
+#[derive(Debug, Clone, Default)]
+pub struct KktScratch {
+    /// `j_n = ν_n d_n N₀ / g_n` per device (the constant of Appendix B).
+    j: Vec<f64>,
+    /// LP entries of the devices whose rate constraint is slack (step 4b).
+    entries: Vec<LpEntry>,
+}
+
 /// Solves the parametric subproblem `SP2_v2` for fixed `(ν, β)` via the Theorem-2
 /// construction.
 ///
@@ -52,14 +76,15 @@ pub fn solve_parametric(
     let b_total = problem.total_bandwidth();
     let floor = problem.config().bandwidth_floor_hz;
     let r_min = problem.r_min_bps();
+    let mut scratch = problem.scratch_mut();
+    let KktScratch { j, entries } = &mut *scratch;
 
     // j_n = ν_n d_n N₀ / g_n (the constant of Appendix B).
-    let j: Vec<f64> = (0..n)
-        .map(|i| {
-            let dev = &scenario.devices[i];
-            (nu[i].max(1e-300)) * dev.upload_bits * n0 / dev.gain.value()
-        })
-        .collect();
+    j.clear();
+    j.extend((0..n).map(|i| {
+        let dev = &scenario.devices[i];
+        (nu[i].max(1e-300)) * dev.upload_bits * n0 / dev.gain.value()
+    }));
 
     // --- Step 3: bandwidth price μ from g'(μ) = 0 (bisection on a decreasing function). ---
     let has_rate_constraints = r_min.iter().any(|&r| r > 0.0);
@@ -93,10 +118,11 @@ pub fn solve_parametric(
         0.0
     };
 
-    // --- Step 2/4: per-device multipliers τ_n and the rate-tight closed form. ---
+    // --- Step 2/4: per-device multipliers τ_n and the rate-tight closed form. Devices whose
+    // rate constraint is slack get their LP data (previously a second pass) built inline. ---
     let mut powers = vec![0.0; n];
     let mut bandwidths = vec![0.0; n];
-    let mut lp_set: Vec<usize> = Vec::new();
+    entries.clear();
     let mut budget_used = 0.0;
 
     for i in 0..n {
@@ -119,51 +145,36 @@ pub fn solve_parametric(
                 continue;
             }
         }
-        lp_set.push(i);
+        let lambda0 = beta[i] * g / (n0 * d * LN2);
+        let (rho, b_lo, b_hi);
+        if lambda0 > 1.0 + 1e-9 {
+            rho = nu[i] * beta[i] / LN2 - n0 * d * nu[i] / g - nu[i] * beta[i] * lambda0.log2();
+            let slope = (lambda0 - 1.0) * n0 / g; // p = slope · B
+            let lo_from_pmin = dev.p_min.value() / slope;
+            let hi_from_pmax = dev.p_max.value() / slope;
+            let lo_from_rate = if r_min[i] > 0.0 { r_min[i] / lambda0.log2() } else { 0.0 };
+            b_lo = lo_from_pmin.max(lo_from_rate).max(floor);
+            b_hi = hi_from_pmax.max(b_lo);
+        } else {
+            // The unconstrained stationary power would be non-positive: the device sits at
+            // p_min and simply wants as much bandwidth as the budget allows (the objective
+            // is decreasing in B there). Its lower bound is whatever keeps the rate
+            // constraint satisfiable at maximum power.
+            rho = -nu[i] * beta[i]; // strictly negative ⇒ prioritized for leftover bandwidth
+            b_lo = bandwidth_for_rate(dev, r_min[i], n0, b_total, floor);
+            b_hi = b_total;
+        }
+        entries.push(LpEntry { idx: i, rho, b_lo, b_hi });
     }
 
     // --- Step 4b: the bounded LP (A.6) over the devices whose rate constraint is slack. ---
-    if !lp_set.is_empty() {
+    if !entries.is_empty() {
         let mut remaining = (b_total - budget_used).max(0.0);
-        // Per-device LP data: cost coefficient ρ_n and the bandwidth bounds implied by the
-        // power box under the affine relation (A.1) with τ_n = 0.
-        struct LpEntry {
-            idx: usize,
-            rho: f64,
-            b_lo: f64,
-            b_hi: f64,
-        }
-        let mut entries: Vec<LpEntry> = Vec::with_capacity(lp_set.len());
-        for &i in &lp_set {
-            let dev = &scenario.devices[i];
-            let g = dev.gain.value();
-            let d = dev.upload_bits;
-            let lambda0 = beta[i] * g / (n0 * d * LN2);
-            let (rho, b_lo, b_hi);
-            if lambda0 > 1.0 + 1e-9 {
-                rho = nu[i] * beta[i] / LN2 - n0 * d * nu[i] / g - nu[i] * beta[i] * lambda0.log2();
-                let slope = (lambda0 - 1.0) * n0 / g; // p = slope · B
-                let lo_from_pmin = dev.p_min.value() / slope;
-                let hi_from_pmax = dev.p_max.value() / slope;
-                let lo_from_rate = if r_min[i] > 0.0 { r_min[i] / lambda0.log2() } else { 0.0 };
-                b_lo = lo_from_pmin.max(lo_from_rate).max(floor);
-                b_hi = hi_from_pmax.max(b_lo);
-            } else {
-                // The unconstrained stationary power would be non-positive: the device sits at
-                // p_min and simply wants as much bandwidth as the budget allows (the objective
-                // is decreasing in B there). Its lower bound is whatever keeps the rate
-                // constraint satisfiable at maximum power.
-                rho = -nu[i] * beta[i]; // strictly negative ⇒ prioritized for leftover bandwidth
-                b_lo = bandwidth_for_rate(dev, r_min[i], n0, b_total, floor);
-                b_hi = b_total;
-            }
-            entries.push(LpEntry { idx: i, rho, b_lo, b_hi });
-        }
 
         // Assign lower bounds first.
         let lo_sum: f64 = entries.iter().map(|e| e.b_lo).sum();
         let scale = if lo_sum > remaining && lo_sum > 0.0 { remaining / lo_sum } else { 1.0 };
-        for e in &entries {
+        for e in entries.iter() {
             bandwidths[e.idx] = (e.b_lo * scale).max(floor);
         }
         remaining =
@@ -171,7 +182,7 @@ pub fn solve_parametric(
 
         // Spend the leftover on the devices with the most negative cost coefficient first.
         entries.sort_by(|a, b| a.rho.partial_cmp(&b.rho).expect("finite coefficients"));
-        for e in &entries {
+        for e in entries.iter() {
             if remaining <= 0.0 {
                 break;
             }
@@ -184,7 +195,7 @@ pub fn solve_parametric(
 
         // Recover powers from the affine relation (A.1), clamped into the box (38), and then
         // repaired upward if the rate constraint needs it.
-        for e in &entries {
+        for e in entries.iter() {
             let i = e.idx;
             let dev = &scenario.devices[i];
             let g = dev.gain.value();
@@ -284,7 +295,7 @@ mod tests {
     #[test]
     fn parametric_solution_is_feasible() {
         let (s, cfg, r_min) = problem_fixture(10, 11, 0.05);
-        let problem = Sp2Problem::new(&s, Weights::balanced(), r_min.clone(), &cfg).unwrap();
+        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
         let a = Allocation::equal_split_max(&s);
         let start = PowerBandwidth::new(a.powers_w, a.bandwidths_hz);
         let (nu, beta) = nominal_multipliers(&problem, &start);
@@ -308,7 +319,7 @@ mod tests {
         // The KKT point should not be worse than the starting point on the subtractive
         // objective Σ ν(p·d − β·G).
         let (s, cfg, r_min) = problem_fixture(8, 13, 0.05);
-        let problem = Sp2Problem::new(&s, Weights::balanced(), r_min, &cfg).unwrap();
+        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
         let a = Allocation::equal_split_max(&s);
         let start = PowerBandwidth::new(a.powers_w, a.bandwidths_hz);
         let (nu, beta) = nominal_multipliers(&problem, &start);
@@ -337,7 +348,7 @@ mod tests {
             .unwrap();
         let cfg = SolverConfig::default();
         let r_min: Vec<f64> = s.devices.iter().map(|d| d.upload_bits / 0.02).collect();
-        let problem = Sp2Problem::new(&s, Weights::balanced(), r_min.clone(), &cfg).unwrap();
+        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
         let a = Allocation::equal_split_max(&s);
         let start = PowerBandwidth::new(a.powers_w, a.bandwidths_hz);
         let (nu, beta) = nominal_multipliers(&problem, &start);
@@ -359,7 +370,7 @@ mod tests {
     fn no_rate_constraint_spends_whole_budget_mostly_at_low_power() {
         let (s, cfg, _) = problem_fixture(6, 19, 0.05);
         let r_min = vec![0.0; 6];
-        let problem = Sp2Problem::new(&s, Weights::balanced(), r_min, &cfg).unwrap();
+        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
         let a = Allocation::equal_split_max(&s);
         let start = PowerBandwidth::new(a.powers_w, a.bandwidths_hz);
         let (nu, beta) = nominal_multipliers(&problem, &start);

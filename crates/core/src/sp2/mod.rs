@@ -18,7 +18,7 @@
 //!   KKT construction of Theorem 2 — bisection on the bandwidth multiplier `μ`, Lambert-W
 //!   expression (A.4) for the per-device rate multipliers `τ_n`, closed-form bandwidth for
 //!   rate-tight devices and the small LP (A.6) for the rest ([`kkt`]);
-//! * [`reference`] provides an independent direct solver for the *original* ratio objective
+//! * [`reference`](mod@reference) provides an independent direct solver for the *original* ratio objective
 //!   (smallest feasible power per device + price-based bandwidth allocation), used to
 //!   cross-check the Newton-like solution in tests and, when
 //!   [`SolverConfig::polish_with_reference`] is set, to guard against corner cases where the
@@ -32,8 +32,10 @@ pub mod reference;
 use crate::config::SolverConfig;
 use crate::error::CoreError;
 use flsys::{Scenario, Weights};
+use kkt::KktScratch;
 use numopt::fractional::{solve_sum_of_ratios, FractionalProblem};
 use numopt::NumError;
+use std::cell::RefCell;
 use wireless::channel::{power_for_rate, shannon_rate_raw};
 
 /// A `(p, B)` point — the decision variables of Subproblem 2.
@@ -76,8 +78,13 @@ pub struct Sp2Problem<'a> {
     /// Constant weight `w1·R_g` multiplying every ratio.
     weight: f64,
     /// Per-device minimum rate `r_n^min` (bit/s); `0` disables the rate constraint.
-    r_min_bps: Vec<f64>,
+    r_min_bps: &'a [f64],
     config: &'a SolverConfig,
+    /// KKT scratch buffers shared by every [`kkt::solve_parametric`] call on this instance
+    /// (the Newton-like outer loop makes dozens). `RefCell` because the `FractionalProblem`
+    /// trait hands the problem out by shared reference; `Sp2Problem` is not `Sync` and is
+    /// never shared across threads.
+    scratch: RefCell<KktScratch>,
 }
 
 impl<'a> Sp2Problem<'a> {
@@ -89,7 +96,7 @@ impl<'a> Sp2Problem<'a> {
     pub fn new(
         scenario: &'a Scenario,
         weights: Weights,
-        r_min_bps: Vec<f64>,
+        r_min_bps: &'a [f64],
         config: &'a SolverConfig,
     ) -> Result<Self, CoreError> {
         if r_min_bps.len() != scenario.devices.len() {
@@ -102,7 +109,12 @@ impl<'a> Sp2Problem<'a> {
         // degenerate; the caller (Algorithm 2) special-cases that, but clamping here keeps
         // this type safe to use directly.
         let weight = (weights.energy() * scenario.params.rg()).max(1e-12);
-        Ok(Self { scenario, weight, r_min_bps, config })
+        Ok(Self { scenario, weight, r_min_bps, config, scratch: RefCell::default() })
+    }
+
+    /// Mutable access to the KKT scratch buffers (for [`kkt::solve_parametric`]).
+    pub(crate) fn scratch_mut(&self) -> std::cell::RefMut<'_, KktScratch> {
+        self.scratch.borrow_mut()
     }
 
     /// The scenario this instance optimizes.
@@ -112,7 +124,7 @@ impl<'a> Sp2Problem<'a> {
 
     /// The per-device minimum rates (bit/s).
     pub fn r_min_bps(&self) -> &[f64] {
-        &self.r_min_bps
+        self.r_min_bps
     }
 
     /// The solver configuration.
@@ -227,11 +239,32 @@ impl FractionalProblem for Sp2Problem<'_> {
 pub fn solve(
     scenario: &Scenario,
     weights: Weights,
-    r_min_bps: Vec<f64>,
+    r_min_bps: &[f64],
     initial: PowerBandwidth,
     config: &SolverConfig,
 ) -> Result<Sp2Solution, CoreError> {
+    solve_scratch(scenario, weights, r_min_bps, initial, config, &mut KktScratch::default())
+}
+
+/// [`solve`] with caller-owned KKT scratch buffers, so repeated solves (Algorithm 2 runs one
+/// per outer iteration, a sweep runs thousands) reuse the same allocations. The scratch is
+/// pure scratch — see [`KktScratch`] — and is handed back refreshed on return.
+///
+/// # Errors
+///
+/// Same as [`solve`].
+pub fn solve_scratch(
+    scenario: &Scenario,
+    weights: Weights,
+    r_min_bps: &[f64],
+    initial: PowerBandwidth,
+    config: &SolverConfig,
+    scratch: &mut KktScratch,
+) -> Result<Sp2Solution, CoreError> {
     let problem = Sp2Problem::new(scenario, weights, r_min_bps, config)?;
+    // Lend the caller's scratch buffers to this problem instance for the duration of the
+    // solve; they are swapped back (with whatever capacity they grew) before returning.
+    std::mem::swap(&mut *problem.scratch_mut(), scratch);
 
     let mut start = initial;
     problem.sanitize(&mut start);
@@ -267,6 +300,8 @@ pub fn solve(
             }
         }
     }
+
+    std::mem::swap(&mut *problem.scratch_mut(), scratch);
 
     let point = best_point.ok_or_else(|| {
         CoreError::SolverFailure(
@@ -308,9 +343,10 @@ mod tests {
     fn solve_reduces_comm_energy_vs_start() {
         let (s, cfg) = setup(10, 1);
         let start = equal_start(&s);
-        let problem = Sp2Problem::new(&s, Weights::balanced(), loose_r_min(&s), &cfg).unwrap();
+        let r_min = loose_r_min(&s);
+        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
         let start_energy = problem.comm_energy(&start);
-        let sol = solve(&s, Weights::balanced(), loose_r_min(&s), start, &cfg).unwrap();
+        let sol = solve(&s, Weights::balanced(), &r_min, start, &cfg).unwrap();
         assert!(
             sol.comm_energy_per_round_j <= start_energy * (1.0 + 1e-9),
             "sp2 {} should not exceed start {}",
@@ -322,7 +358,7 @@ mod tests {
     #[test]
     fn solution_is_feasible() {
         let (s, cfg) = setup(12, 2);
-        let sol = solve(&s, Weights::balanced(), loose_r_min(&s), equal_start(&s), &cfg).unwrap();
+        let sol = solve(&s, Weights::balanced(), &loose_r_min(&s), equal_start(&s), &cfg).unwrap();
         let b_sum: f64 = sol.bandwidths_hz.iter().sum();
         assert!(b_sum <= s.params.total_bandwidth.value() * (1.0 + 1e-6));
         for (i, dev) in s.devices.iter().enumerate() {
@@ -337,7 +373,7 @@ mod tests {
         let (s, cfg) = setup(8, 3);
         // Moderate rate floor: 28.1 kbit in at most 50 ms.
         let r_min: Vec<f64> = s.devices.iter().map(|d| d.upload_bits / 0.05).collect();
-        let sol = solve(&s, Weights::balanced(), r_min.clone(), equal_start(&s), &cfg).unwrap();
+        let sol = solve(&s, Weights::balanced(), &r_min, equal_start(&s), &cfg).unwrap();
         let n0 = s.params.noise.watts_per_hz();
         for (i, dev) in s.devices.iter().enumerate() {
             let rate =
@@ -365,11 +401,10 @@ mod tests {
         let start = equal_start(&s);
 
         let cfg_newton = SolverConfig { polish_with_reference: false, ..SolverConfig::default() };
-        let newton =
-            solve(&s, Weights::balanced(), r_min.clone(), start.clone(), &cfg_newton).unwrap();
+        let newton = solve(&s, Weights::balanced(), &r_min, start.clone(), &cfg_newton).unwrap();
 
         let cfg = SolverConfig::default();
-        let problem = Sp2Problem::new(&s, Weights::balanced(), r_min, &cfg).unwrap();
+        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
         let reference = reference::solve_reference(&problem, &start).unwrap();
         let ref_energy = problem.comm_energy(&reference);
 
@@ -385,14 +420,15 @@ mod tests {
     #[test]
     fn mismatched_r_min_length_is_error() {
         let (s, cfg) = setup(4, 5);
-        let err = solve(&s, Weights::balanced(), vec![1.0; 3], equal_start(&s), &cfg).unwrap_err();
+        let err = solve(&s, Weights::balanced(), &[1.0; 3], equal_start(&s), &cfg).unwrap_err();
         assert!(matches!(err, CoreError::Model(_)));
     }
 
     #[test]
     fn sanitize_repairs_pathological_points() {
         let (s, cfg) = setup(5, 6);
-        let problem = Sp2Problem::new(&s, Weights::balanced(), loose_r_min(&s), &cfg).unwrap();
+        let r_min = loose_r_min(&s);
+        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
         let n = s.devices.len();
         let mut bad = PowerBandwidth::new(vec![f64::NAN; n], vec![-1.0; n]);
         problem.sanitize(&mut bad);
@@ -409,10 +445,10 @@ mod tests {
         let (s, cfg) = setup(10, 7);
         let loose: Vec<f64> = s.devices.iter().map(|d| d.upload_bits / 0.2).collect();
         let tight: Vec<f64> = s.devices.iter().map(|d| d.upload_bits / 0.01).collect();
-        let e_loose = solve(&s, Weights::balanced(), loose, equal_start(&s), &cfg)
+        let e_loose = solve(&s, Weights::balanced(), &loose, equal_start(&s), &cfg)
             .unwrap()
             .comm_energy_per_round_j;
-        let e_tight = solve(&s, Weights::balanced(), tight, equal_start(&s), &cfg)
+        let e_tight = solve(&s, Weights::balanced(), &tight, equal_start(&s), &cfg)
             .unwrap()
             .comm_energy_per_round_j;
         assert!(

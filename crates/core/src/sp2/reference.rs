@@ -191,7 +191,7 @@ mod tests {
     #[test]
     fn reference_beats_equal_split_at_max_power() {
         let (s, cfg, r_min) = fixture(10, 21, 0.05);
-        let problem = Sp2Problem::new(&s, Weights::balanced(), r_min, &cfg).unwrap();
+        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
         let a = Allocation::equal_split_max(&s);
         let start = PowerBandwidth::new(a.powers_w.clone(), a.bandwidths_hz.clone());
         let reference = solve_reference(&problem, &start).unwrap();
@@ -206,7 +206,7 @@ mod tests {
     #[test]
     fn reference_uses_the_whole_band() {
         let (s, cfg, r_min) = fixture(8, 22, 0.05);
-        let problem = Sp2Problem::new(&s, Weights::balanced(), r_min, &cfg).unwrap();
+        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
         let a = Allocation::equal_split_max(&s);
         let start = PowerBandwidth::new(a.powers_w, a.bandwidths_hz);
         let reference = solve_reference(&problem, &start).unwrap();
@@ -218,7 +218,7 @@ mod tests {
     #[test]
     fn reference_meets_rate_floors() {
         let (s, cfg, r_min) = fixture(12, 23, 0.03);
-        let problem = Sp2Problem::new(&s, Weights::balanced(), r_min.clone(), &cfg).unwrap();
+        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
         let a = Allocation::equal_split_max(&s);
         let start = PowerBandwidth::new(a.powers_w, a.bandwidths_hz);
         let reference = solve_reference(&problem, &start).unwrap();
@@ -237,7 +237,7 @@ mod tests {
     #[test]
     fn min_bandwidth_respects_rate_floor() {
         let (s, cfg, r_min) = fixture(5, 24, 0.02);
-        let problem = Sp2Problem::new(&s, Weights::balanced(), r_min.clone(), &cfg).unwrap();
+        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
         let n0 = s.params.noise.watts_per_hz();
         for (i, dev) in s.devices.iter().enumerate() {
             let b = min_bandwidth(&problem, i);
@@ -251,7 +251,7 @@ mod tests {
         // Aggregate sanity: the reference solution's total energy decreases if every channel
         // gain is improved by 6 dB.
         let (s, cfg, r_min) = fixture(10, 25, 0.05);
-        let problem = Sp2Problem::new(&s, Weights::balanced(), r_min.clone(), &cfg).unwrap();
+        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
         let a = Allocation::equal_split_max(&s);
         let start = PowerBandwidth::new(a.powers_w.clone(), a.bandwidths_hz.clone());
         let base = problem.comm_energy(&solve_reference(&problem, &start).unwrap());
@@ -260,7 +260,7 @@ mod tests {
         for d in &mut better.devices {
             d.gain = wireless::channel::ChannelGain::new(d.gain.value() * 4.0);
         }
-        let problem2 = Sp2Problem::new(&better, Weights::balanced(), r_min, &cfg).unwrap();
+        let problem2 = Sp2Problem::new(&better, Weights::balanced(), &r_min, &cfg).unwrap();
         let improved = problem2.comm_energy(&solve_reference(&problem2, &start).unwrap());
         assert!(improved < base, "better channels should reduce energy ({improved} vs {base})");
     }

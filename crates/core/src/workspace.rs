@@ -1,0 +1,121 @@
+//! Reusable per-device scratch buffers for the solver hot path.
+//!
+//! Every call into [`JointOptimizer::solve`] used to allocate a fresh set of per-device
+//! vectors (uplink rates, upload times, rate floors, frequencies, KKT scratch) — dozens of
+//! allocations per outer iteration, millions across a figure sweep at the paper's 100
+//! scenario draws per point. A [`SolverWorkspace`] owns those buffers once; the
+//! `*_with`/`*_in`/`*_scratch` solver entry points borrow it mutably and reuse the
+//! allocations call after call.
+//!
+//! # Reuse contract: everything is scratch, nothing is carried
+//!
+//! No field of the workspace carries information between solver calls. Every entry point
+//! that borrows the workspace clears or overwrites each buffer it touches *before* reading
+//! it, and resizes buffers to the scenario at hand — so one workspace can serve scenarios
+//! of different device counts back to back, and a freshly-created workspace produces
+//! bit-identical results to a heavily reused one (a regression test in this module holds
+//! that promise down). The only thing reuse preserves is `Vec` capacity.
+//!
+//! The intended pattern is one workspace per worker thread, living as long as the worker:
+//! the sweep engine (`experiments::engine`) creates one per worker and threads it through
+//! `Arm::evaluate` for every cell that worker picks up.
+//!
+//! [`JointOptimizer::solve`]: crate::JointOptimizer::solve
+
+use crate::sp2::kkt::KktScratch;
+
+/// Reusable per-device buffers for [`JointOptimizer`](crate::JointOptimizer), Subproblem 1,
+/// Subproblem 2 and the baseline allocators. See the [module docs](self) for the reuse
+/// contract (all scratch, nothing carried).
+///
+/// The fields are public so downstream harnesses (the sweep engine, the baseline
+/// allocators) can stage their own per-device intermediates in the same buffers; their
+/// contents are unspecified between calls.
+#[derive(Debug, Clone, Default)]
+pub struct SolverWorkspace {
+    /// Per-device upload times `T_n^up = d_n / r_n` (seconds).
+    pub uploads_s: Vec<f64>,
+    /// Per-device uplink Shannon rates (bit/s).
+    pub rates_bps: Vec<f64>,
+    /// Per-device minimum-rate floors `r_n^min` handed to Subproblem 2 (bit/s).
+    pub r_min_bps: Vec<f64>,
+    /// Per-device CPU frequencies (Hz) — Subproblem 1's output buffer.
+    pub frequencies_hz: Vec<f64>,
+    /// Scratch of the Theorem-2 KKT construction (Subproblem 2's inner solver).
+    pub kkt: KktScratch,
+}
+
+impl SolverWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a workspace with per-device buffers pre-sized for `n` devices.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            uploads_s: Vec::with_capacity(n),
+            rates_bps: Vec::with_capacity(n),
+            r_min_bps: Vec::with_capacity(n),
+            frequencies_hz: Vec::with_capacity(n),
+            kkt: KktScratch::default(),
+        }
+    }
+
+    /// Fills [`Self::uploads_s`] with the per-device upload times `T_n^up = d_n / r_n`
+    /// implied by the rates currently staged in [`Self::rates_bps`] (`∞` for a
+    /// non-positive rate) — the convention shared by Algorithm 2 and every baseline, kept
+    /// in one place so the zero-rate sentinel can never diverge between them.
+    pub fn upload_times_from_rates(&mut self, scenario: &flsys::Scenario) {
+        self.uploads_s.clear();
+        let rates = &self.rates_bps;
+        self.uploads_s.extend(scenario.devices.iter().zip(rates.iter()).map(|(d, &r)| {
+            if r > 0.0 {
+                d.upload_bits / r
+            } else {
+                f64::INFINITY
+            }
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{JointOptimizer, SolverConfig};
+    use flsys::{ScenarioBuilder, Weights};
+
+    /// The reuse contract: a workspace that has served a *larger* scenario (and a smaller
+    /// one) must produce bit-identical results on the next scenario — stale buffer contents
+    /// or lengths must never leak between calls.
+    #[test]
+    fn reuse_across_device_counts_matches_fresh_workspace() {
+        let opt = JointOptimizer::new(SolverConfig::fast());
+        let big = ScenarioBuilder::paper_default().with_devices(10).build(91).unwrap();
+        let small = ScenarioBuilder::paper_default().with_devices(4).build(92).unwrap();
+        let mid = ScenarioBuilder::paper_default().with_devices(7).build(93).unwrap();
+
+        let mut reused = SolverWorkspace::new();
+        // Dirty the workspace with a 10-device solve, then shrink to 4, then grow to 7.
+        let mut seq = Vec::new();
+        for s in [&big, &small, &mid] {
+            seq.push(opt.solve_with(s, Weights::balanced(), &mut reused).unwrap());
+        }
+
+        for (s, reused_out) in [&big, &small, &mid].into_iter().zip(&seq) {
+            let fresh =
+                opt.solve_with(s, Weights::balanced(), &mut SolverWorkspace::new()).unwrap();
+            assert_eq!(&fresh, reused_out, "workspace reuse changed the result");
+            // And the plain (workspace-less) entry point agrees too.
+            let plain = opt.solve(s, Weights::balanced()).unwrap();
+            assert_eq!(&plain, reused_out);
+        }
+
+        // Same for the deadline-constrained path.
+        let mut reused = SolverWorkspace::with_capacity(10);
+        let d_big = opt.solve_with_deadline_in(&big, 150.0, &mut reused).unwrap();
+        let d_small = opt.solve_with_deadline_in(&small, 150.0, &mut reused).unwrap();
+        assert_eq!(d_big, opt.solve_with_deadline(&big, 150.0).unwrap());
+        assert_eq!(d_small, opt.solve_with_deadline(&small, 150.0).unwrap());
+    }
+}

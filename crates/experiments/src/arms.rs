@@ -21,7 +21,7 @@ pub enum DeadlineSource {
 }
 
 impl DeadlineSource {
-    fn deadline_s(self, ctx: &CellContext) -> f64 {
+    fn deadline_s(self, ctx: &CellContext<'_>) -> f64 {
         match self {
             Self::FromX => ctx.x,
             Self::Fixed(deadline_s) => deadline_s,
@@ -61,9 +61,9 @@ impl Arm for ProposedArm {
     fn evaluate(
         &self,
         scenario: &Scenario,
-        _ctx: &CellContext,
+        ctx: &mut CellContext<'_>,
     ) -> Result<Option<CellOutput>, CoreError> {
-        let out = self.optimizer.solve(scenario, self.weights)?;
+        let out = self.optimizer.solve_with(scenario, self.weights, ctx.workspace)?;
         Ok(Some(CellOutput::new(out.total_energy_j, out.total_time_s)))
     }
 }
@@ -99,9 +99,10 @@ impl Arm for DeadlineProposedArm {
     fn evaluate(
         &self,
         scenario: &Scenario,
-        ctx: &CellContext,
+        ctx: &mut CellContext<'_>,
     ) -> Result<Option<CellOutput>, CoreError> {
-        match self.optimizer.solve_with_deadline(scenario, self.deadline.deadline_s(ctx)) {
+        let deadline_s = self.deadline.deadline_s(ctx);
+        match self.optimizer.solve_with_deadline_in(scenario, deadline_s, ctx.workspace) {
             Ok(out) => Ok(Some(CellOutput::new(out.total_energy_j, out.total_time_s))),
             Err(CoreError::InfeasibleDeadline { .. }) => Ok(None),
             Err(e) => Err(e),
@@ -138,8 +139,10 @@ impl Arm for BenchmarkArm {
     fn evaluate(
         &self,
         scenario: &Scenario,
-        ctx: &CellContext,
+        ctx: &mut CellContext<'_>,
     ) -> Result<Option<CellOutput>, CoreError> {
+        // The benchmark draws random allocations and evaluates them once — no solver loop,
+        // so the workspace has nothing to offer it.
         let allocator = BenchmarkAllocator::new();
         let result = if self.random_frequency {
             allocator.random_frequency(scenario, ctx.stream_seed)?
@@ -171,9 +174,9 @@ impl Arm for CommOnlyArm {
     fn evaluate(
         &self,
         scenario: &Scenario,
-        ctx: &CellContext,
+        ctx: &mut CellContext<'_>,
     ) -> Result<Option<CellOutput>, CoreError> {
-        let result = self.allocator.allocate(scenario, ctx.x)?;
+        let result = self.allocator.allocate_with(scenario, ctx.x, ctx.workspace)?;
         Ok(Some(CellOutput::new(result.total_energy_j(), result.total_time_s())))
     }
 }
@@ -199,9 +202,9 @@ impl Arm for CompOnlyArm {
     fn evaluate(
         &self,
         scenario: &Scenario,
-        ctx: &CellContext,
+        ctx: &mut CellContext<'_>,
     ) -> Result<Option<CellOutput>, CoreError> {
-        let result = self.allocator.allocate(scenario, ctx.x)?;
+        let result = self.allocator.allocate_with(scenario, ctx.x, ctx.workspace)?;
         Ok(Some(CellOutput::new(result.total_energy_j(), result.total_time_s())))
     }
 }
@@ -228,9 +231,9 @@ impl Arm for Scheme1Arm {
     fn evaluate(
         &self,
         scenario: &Scenario,
-        _ctx: &CellContext,
+        ctx: &mut CellContext<'_>,
     ) -> Result<Option<CellOutput>, CoreError> {
-        let result = self.allocator.allocate(scenario, self.deadline_s)?;
+        let result = self.allocator.allocate_with(scenario, self.deadline_s, ctx.workspace)?;
         Ok(Some(CellOutput::new(result.total_energy_j(), result.total_time_s())))
     }
 }
@@ -279,7 +282,7 @@ impl<A: Arm> Arm for ConfiguredArm<A> {
     fn evaluate(
         &self,
         scenario: &Scenario,
-        ctx: &CellContext,
+        ctx: &mut CellContext<'_>,
     ) -> Result<Option<CellOutput>, CoreError> {
         self.inner.evaluate(scenario, ctx)
     }

@@ -1,7 +1,8 @@
 //! Regenerates every figure of the paper's evaluation in one run.
 //!
-//! Run with `--paper` for the full 50-device sweeps (the default quick presets finish in a
-//! few minutes on a laptop) and `--threads N` to pin the sweep-engine worker count.
+//! Run with `--paper` for the full 50-device sweeps at the paper's 100 scenario draws per
+//! point (the default quick presets finish in a few minutes on a laptop), `--threads N` to
+//! pin the sweep-engine worker count, and `--seeds N` to override the draws per point.
 
 #[path = "common.rs"]
 mod common;
@@ -13,11 +14,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     macro_rules! pair {
         ($modname:ident, $cfg:ident, $label:expr) => {{
             eprintln!("=== {} ===", $label);
-            let cfg = if paper {
+            let mut cfg = if paper {
                 experiments::$modname::$cfg::paper()
             } else {
                 experiments::$modname::$cfg::quick()
             };
+            common::apply_seed_override(&mut cfg.seeds);
             let (energy, delay) = experiments::$modname::run_with_engine(&cfg, &engine)?;
             common::emit(&energy);
             common::emit(&delay);
@@ -30,19 +32,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     pair!(fig6, Fig6Config, "Figure 6: energy/delay vs computation rounds");
 
     eprintln!("=== Figure 7: joint vs communication-only vs computation-only ===");
-    let cfg7 = if paper {
+    let mut cfg7 = if paper {
         experiments::fig7::Fig7Config::paper()
     } else {
         experiments::fig7::Fig7Config::quick()
     };
+    common::apply_seed_override(&mut cfg7.seeds);
     common::emit(&experiments::fig7::run_with_engine(&cfg7, &engine)?);
 
     eprintln!("=== Figure 8: proposed vs Scheme 1 ===");
-    let cfg8 = if paper {
+    let mut cfg8 = if paper {
         experiments::fig8::Fig8Config::paper()
     } else {
         experiments::fig8::Fig8Config::quick()
     };
+    common::apply_seed_override(&mut cfg8.seeds);
     common::emit(&experiments::fig8::run_with_engine(&cfg8, &engine)?);
     Ok(())
 }

@@ -8,29 +8,56 @@ pub fn paper_mode() -> bool {
     std::env::args().any(|a| a == "--paper")
 }
 
+/// Parses one `--flag N` / `--flag=N` positive-integer option from the command line.
+///
+/// # Panics
+///
+/// Panics with a usage message when the flag is present without a positive integer.
+fn positive_flag(flag: &str) -> Option<usize> {
+    let prefix = format!("{flag}=");
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        let value = if arg == flag {
+            Some(args.next().unwrap_or_default())
+        } else {
+            arg.strip_prefix(&prefix).map(str::to_string)
+        };
+        if let Some(value) = value {
+            let Some(n) = value.parse::<usize>().ok().filter(|&n| n > 0) else {
+                panic!("{flag} requires a positive integer, got {value:?} (e.g. `{flag} 4`)");
+            };
+            return Some(n);
+        }
+    }
+    None
+}
+
 /// Builds the sweep engine from the command line: `--threads N` (or `--threads=N`) pins
 /// the worker count (`--threads 1` forces a sequential run); the default uses all
-/// available cores.
+/// available cores (or the `FEDOPT_SWEEP_THREADS` environment override).
 ///
 /// # Panics
 ///
 /// Panics with a usage message when `--threads` is present without a positive integer.
 pub fn engine_from_args() -> SweepEngine {
-    let mut args = std::env::args();
-    while let Some(arg) = args.next() {
-        let value = if arg == "--threads" {
-            Some(args.next().unwrap_or_default())
-        } else {
-            arg.strip_prefix("--threads=").map(str::to_string)
-        };
-        if let Some(value) = value {
-            let Some(n) = value.parse::<usize>().ok().filter(|&n| n > 0) else {
-                panic!("--threads requires a positive integer, got {value:?} (e.g. `--threads 4`)");
-            };
-            return SweepEngine::with_threads(n);
-        }
+    match positive_flag("--threads") {
+        Some(n) => SweepEngine::with_threads(n),
+        None => SweepEngine::new(),
     }
-    SweepEngine::new()
+}
+
+/// Applies a `--seeds N` (or `--seeds=N`) override to a figure config's scenario-seed
+/// grid, replacing it with seeds `0..N`. Without the flag the preset's grid is kept —
+/// `--paper` defaults to the paper's 100 draws per point, the quick presets to their
+/// small CI grids.
+///
+/// # Panics
+///
+/// Panics with a usage message when `--seeds` is present without a positive integer.
+pub fn apply_seed_override(seeds: &mut Vec<u64>) {
+    if let Some(n) = positive_flag("--seeds") {
+        *seeds = (0..n as u64).collect();
+    }
 }
 
 /// Prints a figure report as a table followed by its CSV form.

@@ -1,7 +1,8 @@
 //! Regenerates Figure 5 of the paper (energy and delay sub-figures).
 //!
-//! Run with `--paper` for the full 50-device sweep (the default is a quick preset) and
-//! `--threads N` to pin the sweep-engine worker count.
+//! Run with `--paper` for the full 50-device sweep at the paper's 100 scenario draws
+//! per point (the default is a quick preset), `--threads N` to pin the sweep-engine
+//! worker count, and `--seeds N` to override the number of draws per point.
 
 #[path = "common.rs"]
 mod common;
@@ -9,12 +10,14 @@ mod common;
 use experiments::fig5::{run_with_engine, Fig5Config};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = if common::paper_mode() { Fig5Config::paper() } else { Fig5Config::quick() };
+    let mut cfg = if common::paper_mode() { Fig5Config::paper() } else { Fig5Config::quick() };
+    common::apply_seed_override(&mut cfg.seeds);
     let engine = common::engine_from_args();
     eprintln!(
-        "running figure 5 sweep ({} mode, {} threads)...",
+        "running figure 5 sweep ({} mode, {} threads, {} draws/point)...",
         if common::paper_mode() { "paper" } else { "quick" },
-        engine.threads()
+        engine.threads(),
+        cfg.seeds.len()
     );
     let (energy, delay) = run_with_engine(&cfg, &engine)?;
     common::emit(&energy);

@@ -1,11 +1,29 @@
 //! The parallel sweep engine behind every figure of the evaluation.
 //!
 //! The paper's protocol (Section VII) averages each figure point over many random scenario
-//! draws. That grid — sweep point × scheme ("arm") × scenario seed — is embarrassingly
-//! parallel, and this module evaluates it as such: a [`SweepGrid`] declares the cells, a
-//! [`SweepEngine`] evaluates them across threads, and the per-(point, arm) results are
-//! reduced into [`Aggregate`]s (mean / standard deviation / feasible-sample count) that
-//! [`SweepResult`] turns into [`FigureReport`]s.
+//! draws (100 per point in the paper's setup). That grid — sweep point × scheme ("arm") ×
+//! scenario seed — is embarrassingly parallel, and this module evaluates it as such: a
+//! [`SweepGrid`] declares the cells, a [`SweepEngine`] evaluates them across threads, and
+//! the per-(point, arm) results are reduced into [`Aggregate`]s (mean / standard deviation /
+//! feasible-sample count) that [`SweepResult`] turns into [`FigureReport`]s.
+//!
+//! # Cell-group architecture
+//!
+//! The unit of parallel work is a **(point, seed) cell-group**, not a single cell. All arms
+//! at a sweep point see the same scenario realisation per seed, so the engine builds each
+//! scenario **once** per group and evaluates every arm of the group against the shared
+//! build by reference — scenario builds drop from `points × arms × seeds` to
+//! `points × seeds`. Arms that specialise their builder via [`Arm::prepare`] (Figures 5 and
+//! 6 sweep per-arm device/round counts) are grouped by *identical prepared builder*, so
+//! only genuinely distinct scenarios are built. [`SweepResult::counters`] reports scenarios
+//! built vs cells evaluated; [`SweepEngine::with_scenario_sharing`] can disable the sharing
+//! (one build per cell, the historical behaviour) — a regression test asserts both paths
+//! are bit-identical.
+//!
+//! Each worker thread owns one [`SolverWorkspace`] for its whole share of the grid and
+//! threads it through [`CellContext::workspace`], so the solver hot path reuses one set of
+//! per-device buffers instead of allocating per cell (the workspace is pure scratch — see
+//! `fedopt_core::workspace` for the contract).
 //!
 //! # Seeding scheme
 //!
@@ -15,7 +33,9 @@
 //! * **Scenario stream** — the cell's scenario is `builder.build(seed)`, where `seed` is the
 //!   cell's entry from [`SweepGrid::seeds`] and the builder is derived from the cell's point
 //!   (and arm, via [`Arm::prepare`]) alone. Every arm at a sweep point therefore sees *the
-//!   same* scenario realisations — schemes are compared on identical draws, as in the paper.
+//!   same* scenario realisations — schemes are compared on identical draws, as in the paper
+//!   (the cell-group sharing above merely stops re-building what is identical by
+//!   construction).
 //! * **Arm stream** — arms with internal randomness (the random benchmark) must not reuse
 //!   the scenario seed, or their draws would be correlated with the channel realisations.
 //!   Each cell carries [`CellContext::stream_seed`], produced by
@@ -31,12 +51,12 @@
 //! sample counts travel with the [`FigureReport`], so "no feasible draw" is a labelled
 //! condition instead of a silent `NaN`.
 //!
-//! Threading uses a scoped work-stealing map over `std::thread` (see [`par_map_indexed`]);
-//! the environment cannot fetch `rayon`, and the engine needs nothing more than an indexed
-//! parallel map.
+//! Threading uses a scoped work-stealing map over `std::thread` (see [`par_map_indexed`]
+//! and its stateful sibling [`par_map_indexed_with`]); the environment cannot fetch
+//! `rayon`, and the engine needs nothing more than an indexed parallel map.
 
 use crate::report::FigureReport;
-use fedopt_core::CoreError;
+use fedopt_core::{CoreError, SolverWorkspace};
 use flsys::{Scenario, ScenarioBuilder};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -57,9 +77,9 @@ impl CellOutput {
     }
 }
 
-/// The coordinates and derived seeds of the cell being evaluated.
-#[derive(Debug, Clone, Copy)]
-pub struct CellContext {
+/// The coordinates, derived seeds and per-worker scratch of the cell being evaluated.
+#[derive(Debug)]
+pub struct CellContext<'a> {
     /// The sweep point's x value (e.g. `p_max` in dBm for Figure 2, the deadline in seconds
     /// for Figure 7).
     pub x: f64,
@@ -72,19 +92,27 @@ pub struct CellContext {
     pub point_idx: usize,
     /// Index of the arm within [`SweepGrid::arms`].
     pub arm_idx: usize,
+    /// The worker thread's reusable solver workspace. Pure scratch (see
+    /// `fedopt_core::workspace` for the contract): arms may hand it to any `*_with` solver
+    /// entry point but must not expect state to survive between cells.
+    pub workspace: &'a mut SolverWorkspace,
 }
 
 /// One scheme being swept: a column of the resulting figure.
 ///
 /// Implementations must be [`Send`] + [`Sync`]; the engine shares them across worker
 /// threads by reference and must never observe interior mutability across cells (that
-/// would break run-to-run determinism).
+/// would break run-to-run determinism). Per-cell mutable scratch belongs in
+/// [`CellContext::workspace`], which the engine owns per worker thread.
 pub trait Arm: Send + Sync {
     /// The column name, e.g. `"proposed w1=0.9,w2=0.1"` or `"benchmark"`.
     fn name(&self) -> String;
 
     /// Hook to specialise the sweep point's scenario builder for this arm (e.g. Figure 5's
     /// per-series device counts). The default keeps the point's builder unchanged.
+    ///
+    /// Arms whose prepared builders compare equal (the default does, trivially) share one
+    /// scenario build per (point, seed) cell-group.
     fn prepare(&self, builder: &ScenarioBuilder) -> ScenarioBuilder {
         builder.clone()
     }
@@ -98,7 +126,7 @@ pub trait Arm: Send + Sync {
     fn evaluate(
         &self,
         scenario: &Scenario,
-        ctx: &CellContext,
+        ctx: &mut CellContext<'_>,
     ) -> Result<Option<CellOutput>, CoreError>;
 }
 
@@ -209,6 +237,22 @@ impl Aggregate {
     }
 }
 
+/// Work counters of one sweep: how many scenarios were actually built versus how many
+/// cells were evaluated against them.
+///
+/// With scenario sharing on (the default) and arms that don't specialise their builder,
+/// `scenarios_built == points × seeds` while `cells_evaluated == points × arms × seeds` —
+/// the build cost is amortised across the arm count. Both counters are deterministic for a
+/// successful sweep (independent of thread count); after an aborted sweep they reflect
+/// only the work done before the abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepCounters {
+    /// Number of `ScenarioBuilder::build` calls the sweep performed.
+    pub scenarios_built: usize,
+    /// Number of [`Arm::evaluate`] calls the sweep performed.
+    pub cells_evaluated: usize,
+}
+
 /// The evaluated grid: one [`Aggregate`] per (point, arm).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepResult {
@@ -218,6 +262,8 @@ pub struct SweepResult {
     pub arm_names: Vec<String>,
     /// `aggregates[point_idx][arm_idx]`.
     pub aggregates: Vec<Vec<Aggregate>>,
+    /// Scenario-build vs cell-evaluation counters of the run.
+    pub counters: SweepCounters,
 }
 
 impl SweepResult {
@@ -253,10 +299,16 @@ impl SweepResult {
     }
 }
 
+/// Environment variable read by [`SweepEngine::new`] to pin the default worker count
+/// (positive integer; anything else is ignored). CI uses it to run the whole test suite
+/// through both the sequential and the multi-worker scheduling path.
+pub const THREADS_ENV: &str = "FEDOPT_SWEEP_THREADS";
+
 /// Evaluates [`SweepGrid`]s in parallel with deterministic output.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepEngine {
     threads: NonZeroUsize,
+    share_scenarios: bool,
 }
 
 impl Default for SweepEngine {
@@ -266,20 +318,42 @@ impl Default for SweepEngine {
 }
 
 impl SweepEngine {
-    /// An engine using all available CPU parallelism.
+    /// An engine using all available CPU parallelism (or the [`THREADS_ENV`] override).
     pub fn new() -> Self {
-        let threads = std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN);
-        Self { threads }
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .and_then(NonZeroUsize::new)
+            .unwrap_or_else(|| std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN));
+        Self { threads, share_scenarios: true }
     }
 
     /// An engine with an explicit worker count (clamped to at least 1).
     pub fn with_threads(threads: usize) -> Self {
-        Self { threads: NonZeroUsize::new(threads.max(1)).expect("max(1) is nonzero") }
+        Self {
+            threads: NonZeroUsize::new(threads.max(1)).expect("max(1) is nonzero"),
+            share_scenarios: true,
+        }
     }
 
     /// A sequential engine — useful as the reference in determinism tests.
     pub fn single_thread() -> Self {
         Self::with_threads(1)
+    }
+
+    /// Enables or disables sharing one scenario build across the arms of a (point, seed)
+    /// cell-group (default: enabled). Disabling rebuilds the scenario for every cell — the
+    /// historical behaviour, kept selectable as the reference for the bit-identity
+    /// regression test and the `scenario_cache` bench.
+    #[must_use]
+    pub fn with_scenario_sharing(mut self, share: bool) -> Self {
+        self.share_scenarios = share;
+        self
+    }
+
+    /// Whether this engine shares scenario builds across the arms of a cell-group.
+    pub fn shares_scenarios(&self) -> bool {
+        self.share_scenarios
     }
 
     /// The worker count this engine will use.
@@ -289,16 +363,25 @@ impl SweepEngine {
 
     /// Evaluates every cell of the grid and reduces the per-(point, arm) aggregates.
     ///
+    /// The unit of parallel work is a (point, seed) cell-group: the group's scenario is
+    /// built once per set of arms whose prepared builders compare equal, and every arm of
+    /// the set evaluates against the shared build by reference. Output slots stay indexed
+    /// by `(point, arm, seed)`, so the reduction — and therefore the result — is bit-identical
+    /// to the historical one-build-per-cell engine at any thread count.
+    ///
     /// # Errors
     ///
-    /// A hard cell error aborts the sweep: workers stop picking up new cells as soon as
-    /// one fails (in-flight cells still finish), so a deterministic early failure does not
-    /// burn through the rest of an expensive grid. The error surfaced is the failing cell
-    /// with the lowest `(point, arm, seed)` index among those evaluated — with one thread
-    /// that is exactly the error the historical sequential loops surfaced; with more,
+    /// A hard cell error aborts the sweep: workers stop picking up new cell-groups as soon
+    /// as one cell fails, and in-flight groups abandon their remaining cells at the next
+    /// cell boundary (the cell being solved still finishes), so a deterministic early
+    /// failure does not burn through the rest of an expensive grid. The error surfaced is
+    /// the failing cell with the lowest
+    /// `(point, arm, seed)` slot index among those evaluated — with one thread the groups
+    /// run in `(point, seed)` order, so that is the first error the run hit; with more,
     /// scheduling decides which failing cells were reached first. Infeasible cells
     /// (`Ok(None)`) are not errors.
     pub fn run(&self, grid: &SweepGrid) -> Result<SweepResult, CoreError> {
+        let n_points = grid.points.len();
         let n_arms = grid.arms.len();
         let n_seeds = grid.seeds.len();
         // Builders are pure data; specialise them once per (point, arm) up front.
@@ -308,63 +391,137 @@ impl SweepEngine {
             .map(|p| grid.arms.iter().map(|a| a.prepare(&p.builder)).collect())
             .collect();
 
+        // Group each point's arms by identical prepared builder: every group shares one
+        // scenario build per seed. With sharing disabled, every arm is its own group.
+        let groups: Vec<Vec<Vec<usize>>> = builders
+            .iter()
+            .map(|point_builders| {
+                let mut point_groups: Vec<Vec<usize>> = Vec::new();
+                for (arm_idx, builder) in point_builders.iter().enumerate() {
+                    if self.share_scenarios {
+                        if let Some(group) = point_groups
+                            .iter_mut()
+                            .find(|group| &point_builders[group[0]] == builder)
+                        {
+                            group.push(arm_idx);
+                            continue;
+                        }
+                    }
+                    point_groups.push(vec![arm_idx]);
+                }
+                point_groups
+            })
+            .collect();
+
         enum Cell {
             Computed(Option<CellOutput>),
             Failed(CoreError),
-            /// Not evaluated because some other cell had already failed.
+            /// Not evaluated because some cell (of this group or an earlier one) failed.
             Skipped,
         }
 
         let failed = std::sync::atomic::AtomicBool::new(false);
-        let evaluate_cell = |cell: usize| -> Cell {
+        let scenarios_built = AtomicUsize::new(0);
+        let cells_evaluated = AtomicUsize::new(0);
+        // One cell-group = all arms of one (point, seed); returns one Cell per arm.
+        let evaluate_group = |ws: &mut SolverWorkspace, item: usize| -> Vec<Cell> {
+            let mut cells: Vec<Cell> = (0..n_arms).map(|_| Cell::Skipped).collect();
             if failed.load(Ordering::Relaxed) {
-                return Cell::Skipped;
+                return cells;
             }
-            let point_idx = cell / (n_arms * n_seeds);
-            let arm_idx = (cell / n_seeds) % n_arms;
-            let seed = grid.seeds[cell % n_seeds];
-            let ctx = CellContext {
-                x: grid.points[point_idx].x,
-                seed,
-                stream_seed: baselines::derive_stream_seed(seed),
-                point_idx,
-                arm_idx,
-            };
-            let outcome = builders[point_idx][arm_idx]
-                .build(seed)
-                .map_err(CoreError::from)
-                .and_then(|scenario| grid.arms[arm_idx].evaluate(&scenario, &ctx));
-            match outcome {
-                Ok(sample) => Cell::Computed(sample),
-                Err(e) => {
-                    failed.store(true, Ordering::Relaxed);
-                    Cell::Failed(e)
+            let point_idx = item / n_seeds;
+            let seed = grid.seeds[item % n_seeds];
+            for group in &groups[point_idx] {
+                // A build is the expensive step worth skipping once some other worker has
+                // already failed the sweep.
+                if failed.load(Ordering::Relaxed) {
+                    return cells;
+                }
+                let scenario = match builders[point_idx][group[0]].build(seed) {
+                    Ok(scenario) => {
+                        scenarios_built.fetch_add(1, Ordering::Relaxed);
+                        scenario
+                    }
+                    Err(e) => {
+                        failed.store(true, Ordering::Relaxed);
+                        cells[group[0]] = Cell::Failed(CoreError::from(e));
+                        return cells;
+                    }
+                };
+                for &arm_idx in group {
+                    // Another worker may have failed while this group was mid-flight:
+                    // abandon the remaining (expensive) cells at the next cell boundary
+                    // rather than draining the whole group. Output is unaffected — the
+                    // sweep returns the surfaced error either way.
+                    if failed.load(Ordering::Relaxed) {
+                        return cells;
+                    }
+                    let mut ctx = CellContext {
+                        x: grid.points[point_idx].x,
+                        seed,
+                        stream_seed: baselines::derive_stream_seed(seed),
+                        point_idx,
+                        arm_idx,
+                        workspace: &mut *ws,
+                    };
+                    cells_evaluated.fetch_add(1, Ordering::Relaxed);
+                    match grid.arms[arm_idx].evaluate(&scenario, &mut ctx) {
+                        Ok(sample) => cells[arm_idx] = Cell::Computed(sample),
+                        Err(e) => {
+                            failed.store(true, Ordering::Relaxed);
+                            cells[arm_idx] = Cell::Failed(e);
+                            return cells;
+                        }
+                    }
                 }
             }
+            cells
         };
 
-        let outputs = par_map_indexed(grid.num_cells(), self.threads(), evaluate_cell);
+        let mut group_outputs = par_map_indexed_with(
+            n_points * n_seeds,
+            self.threads(),
+            SolverWorkspace::new,
+            evaluate_group,
+        );
 
-        // Surface the lowest-indexed error among the evaluated cells.
-        let mut cells = Vec::with_capacity(outputs.len());
-        for out in outputs {
-            match out {
-                Cell::Computed(sample) => cells.push(sample),
-                Cell::Failed(e) => return Err(e),
-                Cell::Skipped => {
-                    // A skip implies some cell failed; keep scanning to find and return it.
-                    continue;
+        // Re-slot the (point, seed)-major group outputs into (point, arm, seed) order and
+        // surface the lowest-slot-indexed error among the evaluated cells.
+        let mut samples: Vec<Option<CellOutput>> = Vec::with_capacity(grid.num_cells());
+        let mut first_error: Option<CoreError> = None;
+        let mut skipped = 0usize;
+        // The read below transposes (item, arm) into (point, arm, seed) slot order, so
+        // index arithmetic is clearer than nested iterators here.
+        #[allow(clippy::needless_range_loop)]
+        for p in 0..n_points {
+            for a in 0..n_arms {
+                for s in 0..n_seeds {
+                    let cell =
+                        std::mem::replace(&mut group_outputs[p * n_seeds + s][a], Cell::Skipped);
+                    match cell {
+                        Cell::Computed(sample) => samples.push(sample),
+                        Cell::Failed(e) => {
+                            if first_error.is_none() {
+                                first_error = Some(e);
+                            }
+                        }
+                        Cell::Skipped => skipped += 1,
+                    }
                 }
             }
         }
-        debug_assert_eq!(cells.len(), grid.num_cells(), "skips must imply a surfaced failure");
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        debug_assert_eq!(skipped, 0, "skips must imply a surfaced failure");
+        debug_assert_eq!(samples.len(), grid.num_cells());
 
-        let aggregates: Vec<Vec<Aggregate>> = (0..grid.points.len())
+        let aggregates: Vec<Vec<Aggregate>> = (0..n_points)
             .map(|p| {
                 (0..n_arms)
                     .map(|a| {
                         let base = (p * n_arms + a) * n_seeds;
-                        Aggregate::from_samples(&cells[base..base + n_seeds])
+                        Aggregate::from_samples(&samples[base..base + n_seeds])
                     })
                     .collect()
             })
@@ -374,6 +531,10 @@ impl SweepEngine {
             xs: grid.points.iter().map(|p| p.x).collect(),
             arm_names: grid.arms.iter().map(|a| a.name()).collect(),
             aggregates,
+            counters: SweepCounters {
+                scenarios_built: scenarios_built.into_inner(),
+                cells_evaluated: cells_evaluated.into_inner(),
+            },
         })
     }
 }
@@ -381,34 +542,53 @@ impl SweepEngine {
 /// Maps `f` over `0..n` using up to `threads` scoped workers and returns the outputs in
 /// index order.
 ///
-/// Work is distributed by an atomic cursor (dynamic scheduling — solver cells vary wildly
-/// in cost), but each worker tags outputs with their index and the final vector is
-/// assembled by index, so the result is identical to the sequential map. With one thread —
-/// or one cell — no worker threads are spawned at all.
+/// Stateless convenience wrapper over [`par_map_indexed_with`].
 pub fn par_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    par_map_indexed_with(n, threads, || (), |_, idx| f(idx))
+}
+
+/// Maps `f` over `0..n` using up to `threads` scoped workers, each owning one worker state
+/// created by `init` (the engine's per-worker [`SolverWorkspace`]), and returns the outputs
+/// in index order.
+///
+/// Work is distributed by an atomic cursor (dynamic scheduling — solver cells vary wildly
+/// in cost), but each worker tags outputs with their index and the final vector is
+/// assembled by index, so the result is identical to the sequential map *provided `f` is a
+/// pure function of its index* — the worker state must be scratch, never carried signal
+/// (which is exactly the [`SolverWorkspace`] contract). With one thread — or one item — no
+/// worker threads are spawned at all and a single state serves the whole range.
+pub fn par_map_indexed_with<S, T, I, F>(n: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let workers = threads.min(n).max(1);
     if workers == 1 {
-        return (0..n).map(f).collect();
+        let mut state = init();
+        return (0..n).map(|idx| f(&mut state, idx)).collect();
     }
 
     let cursor = AtomicUsize::new(0);
+    let init = &init;
     let f = &f;
     let cursor = &cursor;
     let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(move || {
+                    let mut state = init();
                     let mut local = Vec::new();
                     loop {
                         let idx = cursor.fetch_add(1, Ordering::Relaxed);
                         if idx >= n {
                             break;
                         }
-                        local.push((idx, f(idx)));
+                        local.push((idx, f(&mut state, idx)));
                     }
                     local
                 })
@@ -441,7 +621,7 @@ mod tests_support {
         fn evaluate(
             &self,
             _scenario: &Scenario,
-            ctx: &CellContext,
+            ctx: &mut CellContext<'_>,
         ) -> Result<Option<CellOutput>, CoreError> {
             self.evaluated.fetch_add(1, Ordering::Relaxed);
             if ctx.point_idx == 0 && ctx.seed == self.fail_seed {
@@ -522,6 +702,46 @@ mod tests {
         let err = SweepEngine::with_threads(4).run(&grid).unwrap_err();
         assert!(matches!(err, CoreError::SolverFailure(_)));
         assert!(evaluated.load(Ordering::Relaxed) <= grid.num_cells());
+    }
+
+    #[test]
+    fn scenario_builds_are_shared_per_prepared_builder_and_match_unshared() {
+        use crate::arms::ConfiguredArm;
+
+        let solver = SolverConfig::fast();
+        let grid = || {
+            let mut grid = SweepGrid::new(vec![1u64, 2, 3]);
+            for x in [6.0, 12.0] {
+                grid = grid.point(
+                    x,
+                    flsys::ScenarioBuilder::paper_default().with_devices(5).with_p_max_dbm(x),
+                );
+            }
+            // Two arms with the default prepare share one build; the configured arm's
+            // distinct builder gets its own.
+            grid.arm(ProposedArm::new(Weights::balanced(), solver))
+                .arm(ProposedArm::new(Weights::new(0.9, 0.1).unwrap(), solver))
+                .arm(
+                    ConfiguredArm::new(ProposedArm::new(Weights::balanced(), solver))
+                        .named("N = 3")
+                        .with_builder(|b| b.with_devices(3)),
+                )
+        };
+        let (points, seeds, arms, distinct_builders) = (2, 3, 3, 2);
+
+        let shared = SweepEngine::single_thread().run(&grid()).unwrap();
+        assert_eq!(shared.counters.scenarios_built, points * seeds * distinct_builders);
+        assert_eq!(shared.counters.cells_evaluated, points * seeds * arms);
+
+        let unshared =
+            SweepEngine::single_thread().with_scenario_sharing(false).run(&grid()).unwrap();
+        assert_eq!(unshared.counters.scenarios_built, points * seeds * arms);
+        assert_eq!(unshared.counters.cells_evaluated, points * seeds * arms);
+
+        // Sharing must never change the numbers — only how often scenarios are rebuilt.
+        assert_eq!(shared.aggregates, unshared.aggregates);
+        assert_eq!(shared.xs, unshared.xs);
+        assert_eq!(shared.arm_names, unshared.arm_names);
     }
 
     #[test]

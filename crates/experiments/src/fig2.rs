@@ -37,11 +37,12 @@ impl Fig2Config {
         }
     }
 
-    /// The paper's setup: 50 devices, 5 dBm to 12 dBm in 1 dB steps.
+    /// The paper's setup: 50 devices, 5 dBm to 12 dBm in 1 dB steps, 100 scenario
+    /// draws per point.
     pub fn paper() -> Self {
         Self {
             devices: 50,
-            seeds: (0..5).collect(),
+            seeds: (0..100).collect(),
             p_max_dbm: (5..=12).map(f64::from).collect(),
             weights: Weights::paper_sweep().to_vec(),
             solver: SolverConfig::default(),

@@ -36,11 +36,12 @@ impl Fig3Config {
         }
     }
 
-    /// The paper's setup: 50 devices, `f_max` from 0.1 GHz to 2 GHz.
+    /// The paper's setup: 50 devices, `f_max` from 0.1 GHz to 2 GHz, 100 scenario
+    /// draws per point.
     pub fn paper() -> Self {
         Self {
             devices: 50,
-            seeds: (0..5).collect(),
+            seeds: (0..100).collect(),
             f_max_ghz: vec![0.1, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0],
             weights: Weights::paper_sweep().to_vec(),
             solver: SolverConfig::default(),

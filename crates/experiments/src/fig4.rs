@@ -40,12 +40,13 @@ impl Fig4Config {
         }
     }
 
-    /// The paper's setup: 20–80 devices, all five weight pairs.
+    /// The paper's setup: 20–80 devices, all five weight pairs, 100 scenario draws
+    /// per point.
     pub fn paper() -> Self {
         Self {
             device_counts: vec![20, 30, 40, 50, 60, 70, 80],
             total_samples: 25_000,
-            seeds: (0..5).collect(),
+            seeds: (0..100).collect(),
             weights: Weights::paper_sweep().to_vec(),
             solver: SolverConfig::default(),
         }

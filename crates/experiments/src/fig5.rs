@@ -34,13 +34,14 @@ impl Fig5Config {
         }
     }
 
-    /// The paper's setup: radii 0.1–1.5 km, N ∈ {20, 50, 80}.
+    /// The paper's setup: radii 0.1–1.5 km, N ∈ {20, 50, 80}, 100 scenario draws per
+    /// point.
     pub fn paper() -> Self {
         Self {
             radii_km: vec![0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.3, 1.5],
             device_counts: vec![20, 50, 80],
             samples_per_device: 500,
-            seeds: (0..5).collect(),
+            seeds: (0..100).collect(),
             solver: SolverConfig::default(),
         }
     }

@@ -34,13 +34,14 @@ impl Fig6Config {
         }
     }
 
-    /// The paper's setup: `R_l ∈ {10, 30, …, 110}`, `R_g ∈ {50, 100, 200, 300, 400}`, 50 devices.
+    /// The paper's setup: `R_l ∈ {10, 30, …, 110}`, `R_g ∈ {50, 100, 200, 300, 400}`,
+    /// 50 devices, 100 scenario draws per point.
     pub fn paper() -> Self {
         Self {
             local_iterations: vec![10, 30, 50, 70, 90, 110],
             global_rounds: vec![50, 100, 200, 300, 400],
             devices: 50,
-            seeds: (0..5).collect(),
+            seeds: (0..100).collect(),
             solver: SolverConfig::default(),
         }
     }

@@ -35,13 +35,14 @@ impl Fig7Config {
         }
     }
 
-    /// The paper's setup: 50 devices, deadlines 100–150 s.
+    /// The paper's setup: 50 devices, deadlines 100–150 s, 100 scenario draws per
+    /// point.
     pub fn paper() -> Self {
         Self {
             devices: 50,
             p_max_dbm: 10.0,
             deadlines_s: vec![100.0, 110.0, 120.0, 130.0, 140.0, 150.0],
-            seeds: (0..5).collect(),
+            seeds: (0..100).collect(),
             solver: SolverConfig::default(),
         }
     }

@@ -34,13 +34,14 @@ impl Fig8Config {
         }
     }
 
-    /// The paper's setup: 50 devices, 5–12 dBm, deadlines {80, 100, 150} s.
+    /// The paper's setup: 50 devices, 5–12 dBm, deadlines {80, 100, 150} s, 100
+    /// scenario draws per point.
     pub fn paper() -> Self {
         Self {
             devices: 50,
             p_max_dbm: (5..=12).map(f64::from).collect(),
             deadlines_s: vec![80.0, 100.0, 150.0],
-            seeds: (0..5).collect(),
+            seeds: (0..100).collect(),
             solver: SolverConfig::default(),
         }
     }

@@ -7,8 +7,11 @@
 //!
 //! All figures evaluate through the same substrate: a figure config describes a declarative
 //! [`engine::SweepGrid`] (sweep points × [`arms`] × scenario seeds) and the parallel
-//! [`engine::SweepEngine`] evaluates the cells across threads with deterministic,
-//! thread-count-independent output (see the [`engine`] module docs for the seeding scheme).
+//! [`engine::SweepEngine`] evaluates it across threads in (point, seed) cell-groups — one
+//! scenario build shared by every arm of the group, one reusable
+//! [`SolverWorkspace`](fedopt_core::SolverWorkspace) per worker thread — with
+//! deterministic, thread-count-independent output (see the [`engine`] module docs for the
+//! cell-group architecture and the seeding scheme).
 //!
 //! | module | paper figure | sweep |
 //! |---|---|---|
@@ -48,5 +51,5 @@ pub mod fig7;
 pub mod fig8;
 pub mod report;
 
-pub use engine::{Aggregate, SweepEngine, SweepGrid, SweepResult};
+pub use engine::{Aggregate, SweepCounters, SweepEngine, SweepGrid, SweepResult};
 pub use report::FigureReport;

@@ -35,6 +35,53 @@ fn parallel_reports_are_bit_identical_to_single_threaded() {
     assert_eq!(seq, par);
 }
 
+/// Sharing one scenario build across all arms of a (point, seed) cell-group must be
+/// invisible in the output: the shared path and the historical one-build-per-cell path are
+/// bit-identical on `Fig2Config::quick()` (and on a figure with per-arm builders, where
+/// grouping has to keep distinct scenarios distinct).
+#[test]
+fn arm_shared_scenarios_are_bit_identical_to_per_arm_rebuilding() {
+    let cfg = Fig2Config::quick();
+    let engine = SweepEngine::with_threads(2);
+    assert!(engine.shares_scenarios());
+    let (energy_shared, delay_shared) = fig2::run_with_engine(&cfg, &engine).unwrap();
+    let (energy_rebuilt, delay_rebuilt) =
+        fig2::run_with_engine(&cfg, &engine.with_scenario_sharing(false)).unwrap();
+    assert_eq!(energy_shared, energy_rebuilt);
+    assert_eq!(delay_shared, delay_rebuilt);
+
+    // Figure 5 gives every arm its own device count via `Arm::prepare`: sharing must group
+    // by prepared builder, never blur the per-arm scenarios together.
+    let cfg5 = experiments::fig5::Fig5Config::quick();
+    let shared = experiments::fig5::run_with_engine(&cfg5, &engine).unwrap();
+    let rebuilt =
+        experiments::fig5::run_with_engine(&cfg5, &engine.with_scenario_sharing(false)).unwrap();
+    assert_eq!(shared, rebuilt);
+}
+
+/// The whole point of the cell-group refactor: a sweep builds `points × seeds` scenarios
+/// (per distinct prepared builder), not `points × arms × seeds`, while still evaluating
+/// every cell.
+#[test]
+fn scenario_builds_scale_with_points_times_seeds_not_arms() {
+    let cfg = Fig2Config::quick();
+    let grid = cfg.grid();
+    let (points, arms, seeds) = (grid.points.len(), grid.arms.len(), grid.seeds.len());
+    assert!(arms > 1, "needs multiple arms for the assertion to mean anything");
+
+    let result = SweepEngine::with_threads(2).run(&grid).unwrap();
+    assert_eq!(
+        result.counters.scenarios_built,
+        points * seeds,
+        "all {arms} fig2 arms share the point's builder, so builds must not scale with arms"
+    );
+    assert_eq!(result.counters.cells_evaluated, points * arms * seeds);
+
+    // The counters are part of the deterministic output: a sequential run agrees.
+    let sequential = SweepEngine::single_thread().run(&cfg.grid()).unwrap();
+    assert_eq!(sequential.counters, result.counters);
+}
+
 /// Reimplementation of the pre-refactor sequential helpers (`average_proposed` /
 /// `average_benchmark` from the old `experiments::sweep`), kept here as the regression
 /// reference for `Fig2Config::quick()`.

@@ -53,7 +53,7 @@ pub mod prelude {
     pub use baselines::{
         BenchmarkAllocator, CommOnlyAllocator, CompOnlyAllocator, Scheme1Allocator,
     };
-    pub use fedopt_core::{JointOptimizer, SolverConfig, Weights};
+    pub use fedopt_core::{JointOptimizer, SolverConfig, SolverWorkspace, Weights};
     pub use flsys::{Allocation, Scenario, ScenarioBuilder, SystemParams};
     pub use wireless::units::{Db, Dbm, Hertz, Watts};
 }
