@@ -7,7 +7,8 @@
 //! > 12 dBm and set `f_n = f_max`, `B_n = B/N`."
 
 use crate::result::BaselineResult;
-use flsys::{Allocation, FlError, Scenario};
+use fedopt_core::SolverWorkspace;
+use flsys::{CostSummary, FlError, Scenario};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -37,27 +38,79 @@ impl BenchmarkAllocator {
         scenario: &Scenario,
         seed: u64,
     ) -> Result<BaselineResult, FlError> {
+        // Delegate to the summary form so the draw sequence exists in exactly one place.
+        let mut ws = SolverWorkspace::new();
+        self.random_frequency_summary_with(scenario, seed, &mut ws)?;
+        BaselineResult::evaluate(scenario, std::mem::take(&mut ws.allocation))
+    }
+
+    /// [`Self::random_frequency`] without materialising an [`Allocation`] or a
+    /// [`BaselineResult`] — the sweep hot path, allocation-free in steady state. The drawn
+    /// allocation is staged in [`SolverWorkspace::allocation`] and the returned
+    /// [`CostSummary`] totals are bit-identical to the full result's (identical RNG stream,
+    /// identical cost formulas).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::random_frequency`].
+    pub fn random_frequency_summary_with(
+        &self,
+        scenario: &Scenario,
+        seed: u64,
+        ws: &mut SolverWorkspace,
+    ) -> Result<CostSummary, FlError> {
         let mut rng = StdRng::seed_from_u64(seed);
         let n = scenario.devices.len();
         let share = scenario.params.total_bandwidth.value() / n as f64;
-        let allocation = Allocation::new(
-            scenario.devices.iter().map(|d| d.p_max.value()).collect(),
-            scenario
-                .devices
-                .iter()
-                .map(|d| {
-                    let lo = 0.1e9_f64.min(d.f_max.value()).max(d.f_min.value());
-                    let hi = d.f_max.value();
-                    if hi > lo {
-                        rng.gen_range(lo..=hi)
-                    } else {
-                        hi
-                    }
-                })
-                .collect(),
-            vec![share; n],
-        );
-        BaselineResult::evaluate(scenario, allocation)
+        let a = &mut ws.allocation;
+        a.powers_w.clear();
+        a.powers_w.extend(scenario.devices.iter().map(|d| d.p_max.value()));
+        a.frequencies_hz.clear();
+        a.frequencies_hz.extend(scenario.devices.iter().map(|d| {
+            let lo = 0.1e9_f64.min(d.f_max.value()).max(d.f_min.value());
+            let hi = d.f_max.value();
+            if hi > lo {
+                rng.gen_range(lo..=hi)
+            } else {
+                hi
+            }
+        }));
+        a.bandwidths_hz.clear();
+        a.bandwidths_hz.resize(n, share);
+        scenario.cost_summary(a)
+    }
+
+    /// [`Self::random_power`] without materialising an [`Allocation`] or a
+    /// [`BaselineResult`] (see [`Self::random_frequency_summary_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::random_power`].
+    pub fn random_power_summary_with(
+        &self,
+        scenario: &Scenario,
+        seed: u64,
+        ws: &mut SolverWorkspace,
+    ) -> Result<CostSummary, FlError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = scenario.devices.len();
+        let share = scenario.params.total_bandwidth.value() / n as f64;
+        let a = &mut ws.allocation;
+        a.powers_w.clear();
+        a.powers_w.extend(scenario.devices.iter().map(|d| {
+            let lo = d.p_min.value();
+            let hi = d.p_max.value();
+            if hi > lo {
+                rng.gen_range(lo..=hi)
+            } else {
+                hi
+            }
+        }));
+        a.frequencies_hz.clear();
+        a.frequencies_hz.extend(scenario.devices.iter().map(|d| d.f_max.value()));
+        a.bandwidths_hz.clear();
+        a.bandwidths_hz.resize(n, share);
+        scenario.cost_summary(a)
     }
 
     /// Variant used when sweeping the maximum CPU frequency (Fig. 3): random power in
@@ -68,27 +121,10 @@ impl BenchmarkAllocator {
     ///
     /// Propagates [`FlError`] from the cost evaluation.
     pub fn random_power(&self, scenario: &Scenario, seed: u64) -> Result<BaselineResult, FlError> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let n = scenario.devices.len();
-        let share = scenario.params.total_bandwidth.value() / n as f64;
-        let allocation = Allocation::new(
-            scenario
-                .devices
-                .iter()
-                .map(|d| {
-                    let lo = d.p_min.value();
-                    let hi = d.p_max.value();
-                    if hi > lo {
-                        rng.gen_range(lo..=hi)
-                    } else {
-                        hi
-                    }
-                })
-                .collect(),
-            scenario.devices.iter().map(|d| d.f_max.value()).collect(),
-            vec![share; n],
-        );
-        BaselineResult::evaluate(scenario, allocation)
+        // Delegate to the summary form so the draw sequence exists in exactly one place.
+        let mut ws = SolverWorkspace::new();
+        self.random_power_summary_with(scenario, seed, &mut ws)?;
+        BaselineResult::evaluate(scenario, std::mem::take(&mut ws.allocation))
     }
 }
 
@@ -128,6 +164,26 @@ mod tests {
         }
         for (dev, &p) in s.devices.iter().zip(&r.allocation.powers_w) {
             assert!(p >= dev.p_min.value() && p <= dev.p_max.value());
+        }
+    }
+
+    #[test]
+    fn summary_variants_are_bit_identical_to_full_results() {
+        let s = scenario();
+        let b = BenchmarkAllocator::new();
+        let mut ws = SolverWorkspace::new();
+        for seed in [1u64, 7, 19] {
+            let full = b.random_frequency(&s, seed).unwrap();
+            let summary = b.random_frequency_summary_with(&s, seed, &mut ws).unwrap();
+            assert_eq!(ws.allocation, full.allocation);
+            assert_eq!(summary.total_energy_j, full.total_energy_j());
+            assert_eq!(summary.total_time_s, full.total_time_s());
+
+            let full = b.random_power(&s, seed).unwrap();
+            let summary = b.random_power_summary_with(&s, seed, &mut ws).unwrap();
+            assert_eq!(ws.allocation, full.allocation);
+            assert_eq!(summary.total_energy_j, full.total_energy_j());
+            assert_eq!(summary.total_time_s, full.total_time_s());
         }
     }
 

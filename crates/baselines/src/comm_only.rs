@@ -7,9 +7,9 @@
 //! > `r_n` is calculated from the initial bandwidth and transmission power."
 
 use crate::result::BaselineResult;
-use fedopt_core::sp2::{self, PowerBandwidth};
+use fedopt_core::sp2;
 use fedopt_core::{CoreError, SolverConfig, SolverWorkspace};
-use flsys::{Allocation, Scenario, Weights};
+use flsys::{CostSummary, Scenario, Weights};
 
 /// Deadline-constrained energy minimization that only touches `(p, B)`.
 #[derive(Debug, Clone, Default)]
@@ -39,9 +39,9 @@ impl CommOnlyAllocator {
         self.allocate_with(scenario, total_deadline_s, &mut SolverWorkspace::new())
     }
 
-    /// [`Self::allocate`] against a caller-owned [`SolverWorkspace`] — the sweep hot path,
-    /// reusing the workspace's per-device buffers instead of allocating per call
-    /// (bit-identical results; the workspace is pure scratch).
+    /// [`Self::allocate`] against a caller-owned [`SolverWorkspace`] — reusing the
+    /// workspace's per-device buffers instead of allocating per call (bit-identical
+    /// results; the workspace is pure scratch).
     ///
     /// # Errors
     ///
@@ -52,15 +52,34 @@ impl CommOnlyAllocator {
         total_deadline_s: f64,
         ws: &mut SolverWorkspace,
     ) -> Result<BaselineResult, CoreError> {
+        self.allocate_summary_with(scenario, total_deadline_s, ws)?;
+        BaselineResult::evaluate(scenario, ws.allocation.clone()).map_err(CoreError::from)
+    }
+
+    /// [`Self::allocate_with`] without materialising a [`BaselineResult`] — the sweep hot
+    /// path, allocation-free in steady state. The chosen allocation stays in
+    /// [`SolverWorkspace::allocation`]; the returned [`CostSummary`] totals are
+    /// bit-identical to the full result's.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::allocate`].
+    pub fn allocate_summary_with(
+        &self,
+        scenario: &Scenario,
+        total_deadline_s: f64,
+        ws: &mut SolverWorkspace,
+    ) -> Result<CostSummary, CoreError> {
         let params = &scenario.params;
         let round_deadline = total_deadline_s / params.rg();
         let rl = params.rl();
 
         // Initial (p, B): maximum power, half-band equal split (the paper's initialization).
-        let initial = Allocation::half_split_max(scenario);
-        initial.rates_bps_into(scenario, &mut ws.rates_bps);
+        ws.allocation.set_half_split_max(scenario);
+        ws.allocation.rates_bps_into(scenario, &mut ws.rates_bps);
         ws.upload_times_from_rates(scenario);
-        let SolverWorkspace { uploads_s, r_min_bps, frequencies_hz, kkt, .. } = &mut *ws;
+        let SolverWorkspace { uploads_s, r_min_bps, frequencies_hz, sp2, allocation, .. } =
+            &mut *ws;
         let max_upload = uploads_s.iter().cloned().fold(0.0, f64::max);
 
         // Fixed frequency from constraint (9a), shared compute budget = deadline − slowest upload.
@@ -81,20 +100,14 @@ impl CommOnlyAllocator {
             let budget = (round_deadline - t_cmp).max(1e-6);
             d.upload_bits / budget
         }));
-        let start = PowerBandwidth::new(initial.powers_w.clone(), initial.bandwidths_hz.clone());
-        let sol = sp2::solve_scratch(
-            scenario,
-            Weights::energy_only(),
-            r_min_bps,
-            start,
-            &self.config,
-            kkt,
-        )?;
+        sp2.stage_start(&allocation.powers_w, &allocation.bandwidths_hz);
+        sp2::solve_in(scenario, Weights::energy_only(), r_min_bps, &self.config, sp2)?;
 
-        let mut allocation =
-            Allocation::new(sol.powers_w, frequencies_hz.clone(), sol.bandwidths_hz);
+        allocation.powers_w.copy_from_slice(&sp2.solution().powers_w);
+        allocation.bandwidths_hz.copy_from_slice(&sp2.solution().bandwidths_hz);
+        allocation.frequencies_hz.copy_from_slice(frequencies_hz);
         allocation.project_feasible(scenario);
-        BaselineResult::evaluate(scenario, allocation).map_err(CoreError::from)
+        scenario.cost_summary(allocation).map_err(CoreError::from)
     }
 }
 

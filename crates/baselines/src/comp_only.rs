@@ -6,7 +6,7 @@
 
 use crate::result::BaselineResult;
 use fedopt_core::{sp1, CoreError, SolverConfig, SolverWorkspace};
-use flsys::{Allocation, Scenario};
+use flsys::{CostSummary, Scenario};
 
 /// Deadline-constrained energy minimization that only touches the CPU frequencies.
 #[derive(Debug, Clone, Default)]
@@ -34,9 +34,9 @@ impl CompOnlyAllocator {
         self.allocate_with(scenario, total_deadline_s, &mut SolverWorkspace::new())
     }
 
-    /// [`Self::allocate`] against a caller-owned [`SolverWorkspace`] — the sweep hot path,
-    /// reusing the workspace's per-device buffers instead of allocating per call
-    /// (bit-identical results; the workspace is pure scratch).
+    /// [`Self::allocate`] against a caller-owned [`SolverWorkspace`] — reusing the
+    /// workspace's per-device buffers instead of allocating per call (bit-identical
+    /// results; the workspace is pure scratch).
     ///
     /// # Errors
     ///
@@ -47,21 +47,38 @@ impl CompOnlyAllocator {
         total_deadline_s: f64,
         ws: &mut SolverWorkspace,
     ) -> Result<BaselineResult, CoreError> {
+        self.allocate_summary_with(scenario, total_deadline_s, ws)?;
+        BaselineResult::evaluate(scenario, ws.allocation.clone()).map_err(CoreError::from)
+    }
+
+    /// [`Self::allocate_with`] without materialising a [`BaselineResult`] — the sweep hot
+    /// path, allocation-free in steady state. The chosen allocation stays in
+    /// [`SolverWorkspace::allocation`]; the returned [`CostSummary`] totals are
+    /// bit-identical to the full result's.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::allocate`].
+    pub fn allocate_summary_with(
+        &self,
+        scenario: &Scenario,
+        total_deadline_s: f64,
+        ws: &mut SolverWorkspace,
+    ) -> Result<CostSummary, CoreError> {
         let round_deadline = total_deadline_s / scenario.params.rg();
 
-        let fixed = Allocation::half_split_max(scenario);
-        fixed.rates_bps_into(scenario, &mut ws.rates_bps);
+        ws.allocation.set_half_split_max(scenario);
+        ws.allocation.rates_bps_into(scenario, &mut ws.rates_bps);
         ws.upload_times_from_rates(scenario);
-        let SolverWorkspace { uploads_s, frequencies_hz, .. } = &mut *ws;
+        let SolverWorkspace { uploads_s, frequencies_hz, allocation, .. } = &mut *ws;
 
         // The cheapest frequencies that still meet the deadline given the fixed uplink times.
         sp1::frequencies_for_deadline_into(scenario, round_deadline, uploads_s, frequencies_hz);
         let _ = &self.config;
 
-        let mut allocation =
-            Allocation::new(fixed.powers_w, frequencies_hz.clone(), fixed.bandwidths_hz);
+        allocation.frequencies_hz.copy_from_slice(frequencies_hz);
         allocation.project_feasible(scenario);
-        BaselineResult::evaluate(scenario, allocation).map_err(CoreError::from)
+        scenario.cost_summary(allocation).map_err(CoreError::from)
     }
 }
 

@@ -1,0 +1,93 @@
+//! Machine-readable perf capture for the allocation-free solver / streaming-reduction
+//! work: measures cells/sec on the solver-bound fig2 quick grid, steady-state allocations
+//! per cell, the sp2 hot-path latency, and the streaming reducer's accumulator footprint,
+//! then writes the per-run `BENCH_PR3.capture.json` at the workspace root (gitignored; CI
+//! uploads it as an artifact so the perf trajectory is recorded per commit). The curated,
+//! committed before/after snapshot lives separately in `BENCH_PR3.json` — this bench
+//! never touches it.
+//!
+//! Run with `cargo bench -p fedopt-bench --bench perf_capture`.
+
+use experiments::fig2::{run_with_engine, Fig2Config};
+use experiments::SweepEngine;
+use fedopt_bench::thread_allocation_count;
+use fedopt_core::{sp2, JointOptimizer, SolverWorkspace};
+use flsys::{ScenarioBuilder, Weights};
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOCATOR: fedopt_bench::CountingAllocator = fedopt_bench::CountingAllocator;
+
+fn best_of<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let cfg = Fig2Config::quick();
+    let grid = cfg.grid();
+    let cells = grid.num_cells();
+    let (points, arms) = (grid.points.len(), grid.arms.len());
+
+    // --- Solver-bound grid throughput (sequential: measures the solve path, not scaling).
+    let engine = SweepEngine::single_thread();
+    run_with_engine(&cfg, &engine).unwrap(); // warm-up
+    let secs = best_of(3, || run_with_engine(&cfg, &engine).unwrap());
+    let cells_per_sec = cells as f64 / secs;
+
+    // --- Steady-state allocations per cell (same contract as tests/alloc_free.rs).
+    let scenario = ScenarioBuilder::paper_default().with_devices(cfg.devices).build(11).unwrap();
+    let optimizer = JointOptimizer::new(cfg.solver);
+    let mut ws = SolverWorkspace::new();
+    optimizer.solve_summary_with(&scenario, Weights::balanced(), &mut ws).unwrap(); // warm-up
+    let before = thread_allocation_count();
+    let reps = 20u64;
+    for _ in 0..reps {
+        optimizer.solve_summary_with(&scenario, Weights::balanced(), &mut ws).unwrap();
+    }
+    let allocs_per_cell = (thread_allocation_count() - before) as f64 / reps as f64;
+
+    // --- sp2 hot-path latency (the Theorem-2 + Algorithm-1 stack, allocation-free form).
+    let r_min: Vec<f64> = scenario.devices.iter().map(|d| d.upload_bits / 0.05).collect();
+    let start_alloc = flsys::Allocation::equal_split_max(&scenario);
+    let mut scratch = sp2::Sp2Scratch::new();
+    let solver_cfg = cfg.solver;
+    let sp2_secs = {
+        let mut once = || {
+            scratch.stage_start(&start_alloc.powers_w, &start_alloc.bandwidths_hz);
+            sp2::solve_in(&scenario, Weights::balanced(), &r_min, &solver_cfg, &mut scratch)
+                .unwrap()
+                .comm_energy_per_round_j
+        };
+        once(); // warm-up
+        best_of(10, &mut once)
+    };
+
+    // --- Streaming reducer footprint: accumulators are O(points × arms) by construction.
+    let streamed = engine.run(&grid).unwrap();
+    assert_eq!(streamed.aggregates.len(), points);
+    let peak_accumulators = points * arms;
+
+    let json = format!(
+        "{{\n  \"bench\": \"perf_capture\",\n  \"grid\": \"fig2_quick\",\n  \
+         \"cells\": {cells},\n  \"cells_per_sec\": {cells_per_sec:.1},\n  \
+         \"allocs_per_cell_steady_state\": {allocs_per_cell},\n  \
+         \"sp2_solve_in_us\": {:.1},\n  \"peak_accumulators\": {peak_accumulators},\n  \
+         \"seed_chunk\": {},\n  \"threads\": 1\n}}\n",
+        sp2_secs * 1e6,
+        engine.seed_chunk(),
+    );
+    print!("{json}");
+
+    // Workspace root (bench crate lives at crates/bench).
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.capture.json");
+    std::fs::write(out, &json).expect("write BENCH_PR3.capture.json");
+    eprintln!("wrote {out}");
+
+    assert_eq!(allocs_per_cell, 0.0, "steady-state cells must not allocate");
+}

@@ -67,6 +67,17 @@ fn bench_subproblems(c: &mut Criterion) {
                 .comm_energy_per_round_j
             })
         });
+        // The all-scratch form the sweep engine drives: bit-identical solution, zero heap
+        // allocations in steady state.
+        group.bench_with_input(BenchmarkId::new("sp2_solve_in", n), &n, |b, _| {
+            let mut scratch = sp2::Sp2Scratch::new();
+            b.iter(|| {
+                scratch.stage_start(&alloc.powers_w, &alloc.bandwidths_hz);
+                sp2::solve_in(&scenario, Weights::balanced(), &r_min, &cfg, &mut scratch)
+                    .unwrap()
+                    .comm_energy_per_round_j
+            })
+        });
     }
     group.finish();
 }
@@ -89,6 +100,17 @@ fn bench_full_solve(c: &mut Criterion) {
             let mut ws = SolverWorkspace::with_capacity(n);
             b.iter(|| {
                 optimizer.solve_with(&scenario, Weights::balanced(), &mut ws).unwrap().objective
+            })
+        });
+        // The summary form: identical numbers, no Outcome materialisation — the actual
+        // per-cell path of every figure sweep (zero allocations in steady state).
+        group.bench_with_input(BenchmarkId::new("solve_balanced_summary", n), &n, |b, _| {
+            let mut ws = SolverWorkspace::with_capacity(n);
+            b.iter(|| {
+                optimizer
+                    .solve_summary_with(&scenario, Weights::balanced(), &mut ws)
+                    .unwrap()
+                    .objective
             })
         });
     }

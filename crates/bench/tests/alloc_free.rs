@@ -1,0 +1,98 @@
+//! The zero-allocation proof of the solver hot path.
+//!
+//! With the instrumented global allocator installed, a warmed-up [`SolverWorkspace`] must
+//! evaluate every cell of the `Fig2Config::quick()` grid — every proposed-arm weight pair
+//! and the random benchmark, across all points and seeds — with **zero heap allocations**
+//! on the measuring thread. Allocation counts are per-thread, so concurrently running
+//! sibling tests cannot pollute the measurement.
+
+use experiments::fig2::Fig2Config;
+use fedopt_bench::thread_allocation_count;
+use fedopt_core::{sp2, JointOptimizer, SolverWorkspace};
+use flsys::{Scenario, Weights};
+
+#[global_allocator]
+static ALLOCATOR: fedopt_bench::CountingAllocator = fedopt_bench::CountingAllocator;
+
+/// All scenarios of the fig2 quick grid (points × seeds), prebuilt: scenario construction
+/// is not part of the per-cell contract (the engine builds once per cell-group and shares).
+fn quick_grid_scenarios(cfg: &Fig2Config) -> Vec<Scenario> {
+    let mut scenarios = Vec::new();
+    for &p_max in &cfg.p_max_dbm {
+        let builder =
+            flsys::ScenarioBuilder::paper_default().with_devices(cfg.devices).with_p_max_dbm(p_max);
+        for &seed in &cfg.seeds {
+            scenarios.push(builder.build(seed).unwrap());
+        }
+    }
+    scenarios
+}
+
+#[test]
+fn fig2_quick_cells_are_allocation_free_after_warmup() {
+    let cfg = Fig2Config::quick();
+    let scenarios = quick_grid_scenarios(&cfg);
+    let optimizer = JointOptimizer::new(cfg.solver);
+    let mut ws = SolverWorkspace::new();
+
+    let run_all_cells = |ws: &mut SolverWorkspace| {
+        let mut checksum = 0.0;
+        for scenario in &scenarios {
+            // Proposed arms: one cell per weight pair.
+            for &w in &cfg.weights {
+                let out = optimizer.solve_summary_with(scenario, w, ws).unwrap();
+                checksum += out.total_energy_j;
+            }
+            // The random-benchmark arm.
+            let bench = baselines::BenchmarkAllocator::new();
+            let summary = bench
+                .random_frequency_summary_with(scenario, baselines::derive_stream_seed(7), ws)
+                .unwrap();
+            checksum += summary.total_energy_j;
+        }
+        checksum
+    };
+
+    // Warm-up pass: buffers grow to the grid's device count and iteration depth once.
+    let warm = run_all_cells(&mut ws);
+
+    // Steady state: a full second pass over every cell of the grid must not allocate.
+    let before = thread_allocation_count();
+    let measured = run_all_cells(&mut ws);
+    let allocations = thread_allocation_count() - before;
+    assert_eq!(
+        allocations,
+        0,
+        "expected 0 heap allocations across {} warmed-up cells, counted {allocations}",
+        scenarios.len() * (cfg.weights.len() + 1),
+    );
+    // The measured pass did real work (identical to the warm-up pass — pure scratch).
+    assert_eq!(measured, warm);
+    assert!(measured.is_finite() && measured > 0.0);
+}
+
+#[test]
+fn sp2_solve_in_is_allocation_free_after_warmup() {
+    let scenario = flsys::ScenarioBuilder::paper_default().with_devices(10).build(11).unwrap();
+    let cfg = fedopt_core::SolverConfig::default();
+    let r_min: Vec<f64> = scenario.devices.iter().map(|d| d.upload_bits / 0.05).collect();
+    let start = flsys::Allocation::equal_split_max(&scenario);
+    let mut scratch = sp2::Sp2Scratch::new();
+
+    let solve_once = |scratch: &mut sp2::Sp2Scratch| {
+        scratch.stage_start(&start.powers_w, &start.bandwidths_hz);
+        sp2::solve_in(&scenario, Weights::balanced(), &r_min, &cfg, scratch)
+            .unwrap()
+            .comm_energy_per_round_j
+    };
+
+    let warm = solve_once(&mut scratch);
+    let before = thread_allocation_count();
+    let energy = solve_once(&mut scratch);
+    assert_eq!(
+        thread_allocation_count() - before,
+        0,
+        "a warmed-up sp2::solve_in must not touch the heap"
+    );
+    assert_eq!(energy, warm);
+}

@@ -19,11 +19,27 @@
 use crate::config::SolverConfig;
 use crate::error::CoreError;
 use crate::sp1;
-use crate::sp2::{self, PowerBandwidth};
+use crate::sp2;
 use crate::trace::{OuterIteration, Trace};
 use crate::workspace::SolverWorkspace;
 use flsys::{Allocation, CostBreakdown, Scenario, Weights};
 use wireless::channel::shannon_rate_raw;
+
+/// The scalar outcome of a `*_summary_*` solve: everything the sweep hot path consumes,
+/// with no owned buffers. The winning allocation itself stays in
+/// [`SolverWorkspace::best`] and the convergence trace in [`SolverWorkspace::trace`] until
+/// the next solve overwrites them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutcomeSummary {
+    /// The weighted objective `w1·E + w2·R_g·T` of the winning allocation.
+    pub objective: f64,
+    /// Total energy in joules.
+    pub total_energy_j: f64,
+    /// Total completion time in seconds.
+    pub total_time_s: f64,
+    /// Whether the outer loop met its tolerance before the iteration cap.
+    pub converged: bool,
+}
 
 /// Result of a full resource-allocation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,44 +105,75 @@ impl JointOptimizer {
         weights: Weights,
         ws: &mut SolverWorkspace,
     ) -> Result<Outcome, CoreError> {
+        let summary = self.solve_summary_with(scenario, weights, ws)?;
+        self.outcome_from_workspace(scenario, weights, ws, summary)
+    }
+
+    /// [`Self::solve_with`] without materialising an [`Outcome`]: the sweep hot path.
+    ///
+    /// Returns the scalar [`OutcomeSummary`] and leaves the winning allocation in
+    /// [`SolverWorkspace::best`] (projected feasible) and the convergence trace in
+    /// [`SolverWorkspace::trace`]. The numbers are bit-identical to [`Self::solve_with`] —
+    /// this entry point merely skips cloning the allocation, the per-device cost breakdown
+    /// and the trace, which makes a whole figure cell **allocation-free in steady state**
+    /// (after the workspace has grown to the scenario's device count once).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::solve`].
+    pub fn solve_summary_with(
+        &self,
+        scenario: &Scenario,
+        weights: Weights,
+        ws: &mut SolverWorkspace,
+    ) -> Result<OutcomeSummary, CoreError> {
+        ws.trace.clear();
         if weights.time() >= 1.0 {
             // Pure delay minimization: energy plays no role, so Subproblem 2's objective is
             // degenerate. Solve the min-max completion-time problem directly.
             let (allocation, _round) = self.minimize_round_time(scenario)?;
-            return self.finish(scenario, weights, allocation, Trace::new(), true);
+            ws.best = allocation;
+            return self.finish_summary(scenario, weights, ws, true);
         }
 
-        let mut allocation = Allocation::equal_split_max(scenario);
-        let mut previous = allocation.clone();
-        let mut trace = Trace::new();
-        let mut best: Option<(f64, Allocation)> = None;
+        ws.allocation.set_equal_split_max(scenario);
+        let mut best_objective = f64::INFINITY;
+        let mut have_best = false;
         let mut converged = false;
 
         for k in 1..=self.config.outer_max_iter {
-            previous.clone_from(&allocation);
+            ws.previous.clone_from(&ws.allocation);
 
             // --- Subproblem 1: frequencies and the auxiliary round time T. ---
-            allocation.rates_bps_into(scenario, &mut ws.rates_bps);
+            ws.allocation.rates_bps_into(scenario, &mut ws.rates_bps);
             ws.upload_times_from_rates(scenario);
-            let SolverWorkspace { uploads_s, r_min_bps, frequencies_hz, kkt, .. } = &mut *ws;
+            let SolverWorkspace {
+                uploads_s,
+                r_min_bps,
+                frequencies_hz,
+                sp2,
+                allocation,
+                previous,
+                best,
+                trace,
+                ..
+            } = &mut *ws;
             let sp1_sol =
                 sp1::solve_direct_in(scenario, weights, uploads_s, &self.config, frequencies_hz)?;
             allocation.frequencies_hz.copy_from_slice(frequencies_hz);
 
             // --- Subproblem 2: powers and bandwidths under the rate floors implied by T. ---
             rate_floors_into(scenario, sp1_sol.round_time_s, frequencies_hz, weights, r_min_bps);
-            let start =
-                PowerBandwidth::new(allocation.powers_w.clone(), allocation.bandwidths_hz.clone());
-            let sp2_sol =
-                sp2::solve_scratch(scenario, weights, r_min_bps, start, &self.config, kkt)?;
-            allocation.powers_w.copy_from_slice(&sp2_sol.powers_w);
-            allocation.bandwidths_hz.copy_from_slice(&sp2_sol.bandwidths_hz);
+            sp2.stage_start(&allocation.powers_w, &allocation.bandwidths_hz);
+            let sp2_sol = sp2::solve_in(scenario, weights, r_min_bps, &self.config, sp2)?;
+            allocation.powers_w.copy_from_slice(&sp2.solution().powers_w);
+            allocation.bandwidths_hz.copy_from_slice(&sp2.solution().bandwidths_hz);
             allocation.project_feasible(scenario);
 
             // --- Bookkeeping. ---
-            let cost = scenario.cost(&allocation)?;
+            let cost = scenario.cost_summary(allocation)?;
             let objective = cost.objective(weights);
-            let change = allocation.normalized_distance(&previous);
+            let change = allocation.normalized_distance(previous);
             trace.push(OuterIteration {
                 k,
                 objective,
@@ -135,8 +182,10 @@ impl JointOptimizer {
                 solution_change: change,
                 sp2_converged: sp2_sol.converged,
             });
-            if best.as_ref().map_or(true, |(b, _)| objective < *b) {
-                best = Some((objective, allocation.clone()));
+            if !have_best || objective < best_objective {
+                best_objective = objective;
+                have_best = true;
+                best.clone_from(allocation);
             }
             if change <= self.config.outer_tol {
                 converged = true;
@@ -144,10 +193,12 @@ impl JointOptimizer {
             }
         }
 
-        let (_, best_alloc) = best.ok_or_else(|| {
-            CoreError::SolverFailure("no iteration produced a finite objective".into())
-        })?;
-        self.finish(scenario, weights, best_alloc, trace, converged)
+        if !have_best {
+            return Err(CoreError::SolverFailure(
+                "no iteration produced a finite objective".into(),
+            ));
+        }
+        self.finish_summary(scenario, weights, ws, converged)
     }
 
     /// Minimizes total energy subject to a hard completion-time deadline for the whole
@@ -177,6 +228,24 @@ impl JointOptimizer {
         total_deadline_s: f64,
         ws: &mut SolverWorkspace,
     ) -> Result<Outcome, CoreError> {
+        let summary = self.solve_with_deadline_summary_in(scenario, total_deadline_s, ws)?;
+        self.outcome_from_workspace(scenario, Weights::energy_only(), ws, summary)
+    }
+
+    /// [`Self::solve_with_deadline_in`] without materialising an [`Outcome`] — the sweep
+    /// hot path of Figures 7 and 8, with the same workspace conventions as
+    /// [`Self::solve_summary_with`] (winning allocation in [`SolverWorkspace::best`], trace
+    /// in [`SolverWorkspace::trace`]; bit-identical numbers).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::solve_with_deadline`].
+    pub fn solve_with_deadline_summary_in(
+        &self,
+        scenario: &Scenario,
+        total_deadline_s: f64,
+        ws: &mut SolverWorkspace,
+    ) -> Result<OutcomeSummary, CoreError> {
         if !(total_deadline_s.is_finite() && total_deadline_s > 0.0) {
             return Err(CoreError::Model(flsys::FlError::InvalidParameter {
                 name: "total_deadline_s",
@@ -198,51 +267,62 @@ impl JointOptimizer {
         // on the starting bandwidth split: the equal split is the better seed when the
         // deadline is loose, the time-optimal split (which hands far devices the bandwidth
         // they need) is the better seed when the deadline is tight. Run both seeds and keep
-        // the cheaper feasible result.
-        let mut trace = Trace::new();
-        let mut best: Option<(f64, Allocation)> = None;
+        // the cheaper feasible result (tracked across both runs in `ws.best`).
+        ws.trace.clear();
+        let mut best_energy = f64::INFINITY;
+        let mut have_best = false;
         let mut converged = false;
-        for seed_alloc in [Allocation::equal_split_max(scenario), fastest_alloc.clone()] {
-            let (seed_best, seed_converged) =
-                self.deadline_iterations(scenario, round_deadline, seed_alloc, &mut trace, ws)?;
-            converged |= seed_converged;
-            if let Some((energy, alloc)) = seed_best {
-                if best.as_ref().map_or(true, |(b, _)| energy < *b) {
-                    best = Some((energy, alloc));
-                }
+        for tight_seed in [false, true] {
+            if tight_seed {
+                ws.allocation.clone_from(&fastest_alloc);
+            } else {
+                ws.allocation.set_equal_split_max(scenario);
             }
+            converged |= self.deadline_iterations(
+                scenario,
+                round_deadline,
+                &mut best_energy,
+                &mut have_best,
+                ws,
+            )?;
         }
 
-        let best_alloc = match best {
-            Some((_, alloc)) => alloc,
+        if !have_best {
             // Every iterate somehow missed the deadline (only possible in pathological corner
             // cases): fall back to the fastest allocation, which was proven to meet it.
-            None => fastest_alloc,
-        };
-        self.finish(scenario, weights, best_alloc, trace, converged)
+            ws.best.clone_from(&fastest_alloc);
+        }
+        self.finish_summary(scenario, weights, ws, converged)
     }
 
-    /// One run of the deadline-constrained alternation from a given starting allocation.
-    /// Returns the best feasible `(energy, allocation)` found (if any) and whether the loop
-    /// converged.
-    #[allow(clippy::type_complexity)]
+    /// One run of the deadline-constrained alternation from the allocation staged in
+    /// [`SolverWorkspace::allocation`]. Updates the cross-seed best (energy in
+    /// `best_energy`/`have_best`, allocation in [`SolverWorkspace::best`]) and returns
+    /// whether the loop converged.
     fn deadline_iterations(
         &self,
         scenario: &Scenario,
         round_deadline: f64,
-        mut allocation: Allocation,
-        trace: &mut Trace,
+        best_energy: &mut f64,
+        have_best: &mut bool,
         ws: &mut SolverWorkspace,
-    ) -> Result<(Option<(f64, Allocation)>, bool), CoreError> {
+    ) -> Result<bool, CoreError> {
         let weights = Weights::energy_only();
-        let mut previous = allocation.clone();
-        let mut best: Option<(f64, Allocation)> = None;
         let mut converged = false;
-        let k_offset = trace.len();
+        let k_offset = ws.trace.len();
 
         for k in 1..=self.config.outer_max_iter {
-            previous.clone_from(&allocation);
-            let SolverWorkspace { r_min_bps, frequencies_hz, kkt, .. } = &mut *ws;
+            ws.previous.clone_from(&ws.allocation);
+            let SolverWorkspace {
+                r_min_bps,
+                frequencies_hz,
+                sp2,
+                allocation,
+                previous,
+                best,
+                trace,
+                ..
+            } = &mut *ws;
 
             // Split every device's round deadline between computation and upload so that the
             // *total* per-device energy (computation at the implied frequency plus the
@@ -259,20 +339,18 @@ impl JointOptimizer {
             allocation.frequencies_hz.copy_from_slice(frequencies_hz);
 
             // Powers/bandwidths: communication-energy minimization under those rate floors.
-            let start =
-                PowerBandwidth::new(allocation.powers_w.clone(), allocation.bandwidths_hz.clone());
-            let sp2_sol =
-                sp2::solve_scratch(scenario, weights, r_min_bps, start, &self.config, kkt)?;
-            allocation.powers_w.copy_from_slice(&sp2_sol.powers_w);
-            allocation.bandwidths_hz.copy_from_slice(&sp2_sol.bandwidths_hz);
+            sp2.stage_start(&allocation.powers_w, &allocation.bandwidths_hz);
+            let sp2_sol = sp2::solve_in(scenario, weights, r_min_bps, &self.config, sp2)?;
+            allocation.powers_w.copy_from_slice(&sp2.solution().powers_w);
+            allocation.bandwidths_hz.copy_from_slice(&sp2.solution().bandwidths_hz);
             allocation.project_feasible(scenario);
 
-            let cost = scenario.cost(&allocation)?;
+            let cost = scenario.cost_summary(allocation)?;
             // Track energy among allocations that actually meet the deadline (tiny slack for
             // the floating-point repairs in the sanitize pass).
             let meets_deadline = cost.round_time_s <= round_deadline * (1.0 + 1e-3);
             let objective = cost.total_energy_j;
-            let change = allocation.normalized_distance(&previous);
+            let change = allocation.normalized_distance(previous);
             trace.push(OuterIteration {
                 k: k_offset + k,
                 objective,
@@ -281,15 +359,17 @@ impl JointOptimizer {
                 solution_change: change,
                 sp2_converged: sp2_sol.converged,
             });
-            if meets_deadline && best.as_ref().map_or(true, |(b, _)| objective < *b) {
-                best = Some((objective, allocation.clone()));
+            if meets_deadline && (!*have_best || objective < *best_energy) {
+                *best_energy = objective;
+                *have_best = true;
+                best.clone_from(allocation);
             }
             if change <= self.config.outer_tol {
                 converged = true;
                 break;
             }
         }
-        Ok((best, converged))
+        Ok(converged)
     }
 
     /// For a fixed round deadline and fixed bandwidth shares, chooses each device's
@@ -452,26 +532,45 @@ impl JointOptimizer {
         Ok((allocation, cost.round_time_s))
     }
 
-    fn finish(
+    /// Projects the winning allocation ([`SolverWorkspace::best`]) feasible and summarises
+    /// its cost — the allocation-free tail of every `*_summary_*` path.
+    fn finish_summary(
         &self,
         scenario: &Scenario,
         weights: Weights,
-        mut allocation: Allocation,
-        trace: Trace,
+        ws: &mut SolverWorkspace,
         converged: bool,
+    ) -> Result<OutcomeSummary, CoreError> {
+        ws.best.project_feasible(scenario);
+        let cost = scenario.cost_summary(&ws.best)?;
+        Ok(OutcomeSummary {
+            objective: cost.objective(weights),
+            total_energy_j: cost.total_energy_j,
+            total_time_s: cost.total_time_s,
+            converged,
+        })
+    }
+
+    /// Materialises a full [`Outcome`] (owned allocation, per-device cost breakdown,
+    /// cloned trace) from the workspace state a `*_summary_*` solve left behind.
+    fn outcome_from_workspace(
+        &self,
+        scenario: &Scenario,
+        weights: Weights,
+        ws: &SolverWorkspace,
+        summary: OutcomeSummary,
     ) -> Result<Outcome, CoreError> {
-        allocation.project_feasible(scenario);
+        let allocation = ws.best.clone();
         let cost = scenario.cost(&allocation)?;
-        let objective = cost.objective(weights);
         Ok(Outcome {
             total_energy_j: cost.total_energy_j,
             total_time_s: cost.total_time_s,
+            objective: cost.objective(weights),
             allocation,
-            objective,
             cost,
             weights,
-            trace,
-            converged,
+            trace: Trace { iterations: ws.trace.clone() },
+            converged: summary.converged,
         })
     }
 }

@@ -42,10 +42,11 @@ pub mod sp2;
 pub mod trace;
 pub mod workspace;
 
-pub use alg2::{JointOptimizer, Outcome};
+pub use alg2::{JointOptimizer, Outcome, OutcomeSummary};
 pub use config::SolverConfig;
 pub use error::CoreError;
 pub use sp2::kkt::KktScratch;
+pub use sp2::{Sp2Scratch, Sp2Summary};
 pub use trace::{OuterIteration, Trace};
 pub use workspace::SolverWorkspace;
 

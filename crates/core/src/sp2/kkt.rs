@@ -61,6 +61,8 @@ pub struct KktScratch {
 /// Solves the parametric subproblem `SP2_v2` for fixed `(ν, β)` via the Theorem-2
 /// construction.
 ///
+/// Allocating convenience form of [`solve_parametric_into`].
+///
 /// # Errors
 ///
 /// Returns an error if the Lambert-W evaluation or the `μ` bisection fails on non-finite
@@ -70,6 +72,28 @@ pub fn solve_parametric(
     nu: &[f64],
     beta: &[f64],
 ) -> Result<PowerBandwidth, NumError> {
+    let mut point = PowerBandwidth::new(Vec::new(), Vec::new());
+    solve_parametric_into(problem, nu, beta, &mut point)?;
+    Ok(point)
+}
+
+/// [`solve_parametric`] into a caller-owned point — the allocation-free hot-path form.
+///
+/// `out` is pure scratch: whatever it holds on entry (any device count, any values) is
+/// discarded, its vectors are resized to the scenario and every entry is written before the
+/// final sanitize pass reads it. Together with the pooled [`KktScratch`] buffers this makes
+/// the whole Theorem-2 construction allocation-free in steady state; results are
+/// bit-identical to [`solve_parametric`].
+///
+/// # Errors
+///
+/// Same as [`solve_parametric`].
+pub fn solve_parametric_into(
+    problem: &Sp2Problem<'_>,
+    nu: &[f64],
+    beta: &[f64],
+    out: &mut PowerBandwidth,
+) -> Result<(), NumError> {
     let scenario = problem.scenario();
     let n = scenario.devices.len();
     let n0 = problem.n0();
@@ -119,9 +143,14 @@ pub fn solve_parametric(
     };
 
     // --- Step 2/4: per-device multipliers τ_n and the rate-tight closed form. Devices whose
-    // rate constraint is slack get their LP data (previously a second pass) built inline. ---
-    let mut powers = vec![0.0; n];
-    let mut bandwidths = vec![0.0; n];
+    // rate constraint is slack get their LP data (previously a second pass) built inline.
+    // The output point doubles as the (p, B) working buffers. ---
+    out.powers_w.clear();
+    out.powers_w.resize(n, 0.0);
+    out.bandwidths_hz.clear();
+    out.bandwidths_hz.resize(n, 0.0);
+    let powers = &mut out.powers_w;
+    let bandwidths = &mut out.bandwidths_hz;
     entries.clear();
     let mut budget_used = 0.0;
 
@@ -171,17 +200,27 @@ pub fn solve_parametric(
     if !entries.is_empty() {
         let mut remaining = (b_total - budget_used).max(0.0);
 
-        // Assign lower bounds first.
+        // Assign lower bounds first. Each floored share `(b_lo·scale).max(floor)` is computed
+        // once and used both as the device's assignment and as its contribution to the spent
+        // budget, so the two can never drift apart.
         let lo_sum: f64 = entries.iter().map(|e| e.b_lo).sum();
         let scale = if lo_sum > remaining && lo_sum > 0.0 { remaining / lo_sum } else { 1.0 };
+        let mut assigned = 0.0;
         for e in entries.iter() {
-            bandwidths[e.idx] = (e.b_lo * scale).max(floor);
+            let share = (e.b_lo * scale).max(floor);
+            bandwidths[e.idx] = share;
+            assigned += share;
         }
-        remaining =
-            (remaining - entries.iter().map(|e| (e.b_lo * scale).max(floor)).sum::<f64>()).max(0.0);
+        remaining = (remaining - assigned).max(0.0);
 
         // Spend the leftover on the devices with the most negative cost coefficient first.
-        entries.sort_by(|a, b| a.rho.partial_cmp(&b.rho).expect("finite coefficients"));
+        // `sort_unstable_by` with the `(ρ, idx)` key: ties on ρ resolve by device index —
+        // exactly the order a stable sort would produce (entries are pushed in index order),
+        // but the determinism no longer hinges on sort stability (and the unstable sort does
+        // not allocate its merge buffer).
+        entries.sort_unstable_by(|a, b| {
+            (a.rho, a.idx).partial_cmp(&(b.rho, b.idx)).expect("finite coefficients")
+        });
         for e in entries.iter() {
             if remaining <= 0.0 {
                 break;
@@ -217,9 +256,8 @@ pub fn solve_parametric(
         }
     }
 
-    let mut point = PowerBandwidth::new(powers, bandwidths);
-    problem.sanitize(&mut point);
-    Ok(point)
+    problem.sanitize(out);
+    Ok(())
 }
 
 /// Smallest bandwidth at which the device can reach `r_min` at maximum power (bisection on
@@ -378,6 +416,68 @@ mod tests {
         let b_sum: f64 = point.bandwidths_hz.iter().sum();
         assert!(b_sum <= s.params.total_bandwidth.value() * (1.0 + 1e-6));
         assert!(b_sum > 0.0);
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_variant_from_dirty_out() {
+        let (s, cfg, r_min) = problem_fixture(10, 11, 0.05);
+        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
+        let a = Allocation::equal_split_max(&s);
+        let start = PowerBandwidth::new(a.powers_w, a.bandwidths_hz);
+        let (nu, beta) = nominal_multipliers(&problem, &start);
+        let fresh = solve_parametric(&problem, &nu, &beta).unwrap();
+
+        // A wrongly-sized, garbage-filled output point must be overwritten completely.
+        let mut dirty = PowerBandwidth::new(vec![f64::NAN; 3], vec![-1.0; 17]);
+        solve_parametric_into(&problem, &nu, &beta, &mut dirty).unwrap();
+        assert_eq!(dirty, fresh);
+        // And reusing the same buffer again stays bit-identical.
+        solve_parametric_into(&problem, &nu, &beta, &mut dirty).unwrap();
+        assert_eq!(dirty, fresh);
+    }
+
+    #[test]
+    fn step4b_lower_bound_assignment_and_budget_deduction_agree() {
+        // The floored share `(b_lo·scale).max(floor)` used to be computed twice — once for
+        // the assignment, once (re-derived inside a sum) for the budget deduction. Guard the
+        // single-computation refactor two ways. First, the arithmetic identity on a mixed
+        // set of entries (floored and unfloored):
+        let entries = [
+            LpEntry { idx: 0, rho: -1.0, b_lo: 10.0, b_hi: 100.0 },
+            LpEntry { idx: 1, rho: 0.5, b_lo: 0.1, b_hi: 50.0 },
+            LpEntry { idx: 2, rho: -0.2, b_lo: 7.0, b_hi: 9.0 },
+        ];
+        let (floor, remaining) = (2.0, 12.0);
+        let lo_sum: f64 = entries.iter().map(|e| e.b_lo).sum();
+        let scale = if lo_sum > remaining && lo_sum > 0.0 { remaining / lo_sum } else { 1.0 };
+        let mut assigned = 0.0;
+        for e in &entries {
+            assigned += (e.b_lo * scale).max(floor);
+        }
+        let recomputed: f64 = entries.iter().map(|e| (e.b_lo * scale).max(floor)).sum();
+        assert_eq!(assigned, recomputed, "assignment and deduction drifted apart");
+
+        // Second, end to end: with a scarce band the lower bounds are scaled to fit the
+        // budget exactly, so any drift between assignment and deduction would leave the
+        // solver under- or over-spending the band.
+        let s = ScenarioBuilder::paper_default()
+            .with_devices(10)
+            .with_total_bandwidth(wireless::units::Hertz::from_mhz(2.0))
+            .build(17)
+            .unwrap();
+        let cfg = SolverConfig::default();
+        let r_min: Vec<f64> = s.devices.iter().map(|d| d.upload_bits / 0.02).collect();
+        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
+        let a = Allocation::equal_split_max(&s);
+        let start = PowerBandwidth::new(a.powers_w, a.bandwidths_hz);
+        let (nu, beta) = nominal_multipliers(&problem, &start);
+        let point = solve_parametric(&problem, &nu, &beta).unwrap();
+        let b_total = s.params.total_bandwidth.value();
+        let b_sum: f64 = point.bandwidths_hz.iter().sum();
+        assert!(
+            (b_sum - b_total).abs() / b_total < 1e-6,
+            "scarce band must be spent exactly: used {b_sum} of {b_total}"
+        );
     }
 
     #[test]

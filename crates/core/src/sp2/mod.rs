@@ -33,13 +33,13 @@ use crate::config::SolverConfig;
 use crate::error::CoreError;
 use flsys::{Scenario, Weights};
 use kkt::KktScratch;
-use numopt::fractional::{solve_sum_of_ratios, FractionalProblem};
+use numopt::fractional::{solve_sum_of_ratios_in, FractionalProblem, JongScratch};
 use numopt::NumError;
 use std::cell::RefCell;
 use wireless::channel::{power_for_rate, shannon_rate_raw};
 
 /// A `(p, B)` point — the decision variables of Subproblem 2.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq, Default)]
 pub struct PowerBandwidth {
     /// Transmit power per device (W).
     pub powers_w: Vec<f64>,
@@ -47,11 +47,86 @@ pub struct PowerBandwidth {
     pub bandwidths_hz: Vec<f64>,
 }
 
+// Hand-written so `clone_from` reuses capacity via `Vec::clone_from` (the derived fallback
+// reallocates; see the equivalent impl on `flsys::Allocation`).
+impl Clone for PowerBandwidth {
+    fn clone(&self) -> Self {
+        Self { powers_w: self.powers_w.clone(), bandwidths_hz: self.bandwidths_hz.clone() }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.powers_w.clone_from(&source.powers_w);
+        self.bandwidths_hz.clone_from(&source.bandwidths_hz);
+    }
+}
+
 impl PowerBandwidth {
     /// Creates a point from raw vectors.
     pub fn new(powers_w: Vec<f64>, bandwidths_hz: Vec<f64>) -> Self {
         Self { powers_w, bandwidths_hz }
     }
+}
+
+/// The complete scratch state of a Subproblem-2 solve: KKT buffers, the Newton-like outer
+/// loop's multiplier/history vectors, the double-buffered `(p, B)` points, and the
+/// reference solver's working set.
+///
+/// Everything is pure scratch in the [`crate::workspace`] sense — [`solve_in`] overwrites
+/// or clears each buffer before reading it and resizes per scenario, so one instance serves
+/// scenarios of any device count back to back and only capacity survives. The one
+/// flow-contract exception is the staged point: the caller stages the starting `(p, B)`
+/// with [`Sp2Scratch::stage_start`] immediately before [`solve_in`], and reads the solution
+/// back through [`Sp2Scratch::solution`] immediately after — nothing else is carried.
+#[derive(Debug, Clone, Default)]
+pub struct Sp2Scratch {
+    /// Scratch of the Theorem-2 KKT construction (the parametric inner solver).
+    pub kkt: KktScratch,
+    /// Scratch of the Newton-like outer loop (the paper's Algorithm 1).
+    jong: JongScratch,
+    /// Start point in / solution out; doubles as the outer loop's primary point buffer.
+    point: PowerBandwidth,
+    /// Second half of the outer loop's point double-buffer.
+    spare: PowerBandwidth,
+    /// Candidate point of the reference polish pass.
+    reference: PowerBandwidth,
+    /// Per-device minimum-bandwidth bounds of the reference solver.
+    ref_b_lo: Vec<f64>,
+}
+
+impl Sp2Scratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stages the starting `(p, B)` point for the next [`solve_in`] call (overwriting
+    /// whatever point a previous solve left behind).
+    pub fn stage_start(&mut self, powers_w: &[f64], bandwidths_hz: &[f64]) {
+        self.point.powers_w.clear();
+        self.point.powers_w.extend_from_slice(powers_w);
+        self.point.bandwidths_hz.clear();
+        self.point.bandwidths_hz.extend_from_slice(bandwidths_hz);
+    }
+
+    /// The solution point left behind by the last successful [`solve_in`] call.
+    pub fn solution(&self) -> &PowerBandwidth {
+        &self.point
+    }
+}
+
+/// The scalar outcome of an in-place Subproblem-2 solve ([`solve_in`]); the solution point
+/// stays in the [`Sp2Scratch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sp2Summary {
+    /// Per-round communication energy `Σ_n p_n d_n / r_n` at the solution (J), *not* scaled
+    /// by `w1 R_g`.
+    pub comm_energy_per_round_j: f64,
+    /// Whether the Newton-like outer loop reported convergence.
+    pub converged: bool,
+    /// Outer (Algorithm-1) iterations used.
+    pub iterations: usize,
+    /// `true` when the reference polish replaced the Newton-like solution.
+    pub polished: bool,
 }
 
 /// Result of a Subproblem-2 solve.
@@ -221,6 +296,15 @@ impl FractionalProblem for Sp2Problem<'_> {
     fn solve_parametric(&self, nu: &[f64], beta: &[f64]) -> Result<PowerBandwidth, NumError> {
         kkt::solve_parametric(self, nu, beta)
     }
+
+    fn solve_parametric_into(
+        &self,
+        nu: &[f64],
+        beta: &[f64],
+        out: &mut PowerBandwidth,
+    ) -> Result<(), NumError> {
+        kkt::solve_parametric_into(self, nu, beta, out)
+    }
 }
 
 /// Solves Subproblem 2 starting from a feasible `(p, B)` point.
@@ -246,9 +330,10 @@ pub fn solve(
     solve_scratch(scenario, weights, r_min_bps, initial, config, &mut KktScratch::default())
 }
 
-/// [`solve`] with caller-owned KKT scratch buffers, so repeated solves (Algorithm 2 runs one
-/// per outer iteration, a sweep runs thousands) reuse the same allocations. The scratch is
-/// pure scratch — see [`KktScratch`] — and is handed back refreshed on return.
+/// [`solve`] with caller-owned KKT scratch buffers, so repeated solves reuse the KKT
+/// allocations. Superseded on the sweep hot path by [`solve_in`], which additionally pools
+/// the outer loop's buffers and the `(p, B)` points; this form is kept for callers that
+/// want an owned [`Sp2Solution`] without managing a full [`Sp2Scratch`].
 ///
 /// # Errors
 ///
@@ -261,62 +346,89 @@ pub fn solve_scratch(
     config: &SolverConfig,
     scratch: &mut KktScratch,
 ) -> Result<Sp2Solution, CoreError> {
+    let mut sp2_scratch = Sp2Scratch::default();
+    std::mem::swap(&mut sp2_scratch.kkt, scratch);
+    sp2_scratch.point = initial;
+    let result = solve_in(scenario, weights, r_min_bps, config, &mut sp2_scratch);
+    std::mem::swap(&mut sp2_scratch.kkt, scratch);
+    let summary = result?;
+    let PowerBandwidth { powers_w, bandwidths_hz } = sp2_scratch.point;
+    Ok(Sp2Solution {
+        powers_w,
+        bandwidths_hz,
+        comm_energy_per_round_j: summary.comm_energy_per_round_j,
+        converged: summary.converged,
+        iterations: summary.iterations,
+        polished: summary.polished,
+    })
+}
+
+/// The all-scratch Subproblem-2 entry point: solves from the point staged via
+/// [`Sp2Scratch::stage_start`] and leaves the solution in [`Sp2Scratch::solution`],
+/// performing **zero heap allocations in steady state** (after the scratch buffers have
+/// grown to the scenario's device count once). Results are bit-identical to [`solve`] /
+/// [`solve_scratch`] — same arithmetic, same order, different buffer ownership.
+///
+/// # Errors
+///
+/// Same as [`solve`]. On error the staged point's contents are unspecified.
+pub fn solve_in(
+    scenario: &Scenario,
+    weights: Weights,
+    r_min_bps: &[f64],
+    config: &SolverConfig,
+    scratch: &mut Sp2Scratch,
+) -> Result<Sp2Summary, CoreError> {
     let problem = Sp2Problem::new(scenario, weights, r_min_bps, config)?;
-    // Lend the caller's scratch buffers to this problem instance for the duration of the
-    // solve; they are swapped back (with whatever capacity they grew) before returning.
-    std::mem::swap(&mut *problem.scratch_mut(), scratch);
+    // Lend the caller's KKT buffers to this problem instance for the duration of the solve;
+    // they are swapped back (with whatever capacity they grew) before returning.
+    std::mem::swap(&mut *problem.scratch_mut(), &mut scratch.kkt);
+    let Sp2Scratch { jong, point, spare, reference, ref_b_lo, .. } = &mut *scratch;
 
-    let mut start = initial;
-    problem.sanitize(&mut start);
+    problem.sanitize(point);
 
-    let newton = solve_sum_of_ratios(&problem, start.clone(), config.jong);
+    // Newton-like path, running in place on the staged point (double-buffered with `spare`).
+    let newton = solve_sum_of_ratios_in(&problem, point, spare, config.jong, jong);
 
-    let mut best_point: Option<PowerBandwidth> = None;
     let mut best_energy = f64::INFINITY;
+    let mut have_best = false;
     let mut converged = false;
     let mut iterations = 0;
     let mut polished = false;
 
-    if let Ok(sol) = newton {
-        let mut point = sol.point;
-        problem.sanitize(&mut point);
-        let energy = problem.comm_energy(&point);
+    if let Ok(summary) = newton {
+        problem.sanitize(point);
+        let energy = problem.comm_energy(point);
         if energy.is_finite() {
             best_energy = energy;
-            best_point = Some(point);
-            converged = sol.converged;
-            iterations = sol.iterations;
+            have_best = true;
+            converged = summary.converged;
+            iterations = summary.iterations;
         }
     }
 
-    if config.polish_with_reference || best_point.is_none() {
-        if let Ok(mut ref_point) = reference::solve_reference(&problem, &start) {
-            problem.sanitize(&mut ref_point);
-            let energy = problem.comm_energy(&ref_point);
-            if energy.is_finite() && energy < best_energy {
-                best_energy = energy;
-                best_point = Some(ref_point);
-                polished = true;
-            }
+    if (config.polish_with_reference || !have_best)
+        && reference::solve_reference_into(&problem, reference, ref_b_lo).is_ok()
+    {
+        problem.sanitize(reference);
+        let energy = problem.comm_energy(reference);
+        if energy.is_finite() && energy < best_energy {
+            best_energy = energy;
+            have_best = true;
+            polished = true;
+            std::mem::swap(point, reference);
         }
     }
 
-    std::mem::swap(&mut *problem.scratch_mut(), scratch);
+    std::mem::swap(&mut *problem.scratch_mut(), &mut scratch.kkt);
 
-    let point = best_point.ok_or_else(|| {
-        CoreError::SolverFailure(
+    if !have_best {
+        return Err(CoreError::SolverFailure(
             "both the Newton-like and reference Subproblem-2 solvers failed".to_string(),
-        )
-    })?;
+        ));
+    }
 
-    Ok(Sp2Solution {
-        powers_w: point.powers_w.clone(),
-        bandwidths_hz: point.bandwidths_hz.clone(),
-        comm_energy_per_round_j: best_energy,
-        converged,
-        iterations,
-        polished,
-    })
+    Ok(Sp2Summary { comm_energy_per_round_j: best_energy, converged, iterations, polished })
 }
 
 #[cfg(test)]

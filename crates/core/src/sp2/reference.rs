@@ -96,6 +96,9 @@ fn bandwidth_at_price(
 
 /// Solves Subproblem 2 directly (see the module docs) and returns a feasible `(p, B)` point.
 ///
+/// Allocating convenience form of [`solve_reference_into`]. `_start` is kept in the
+/// signature for API stability; the construction never depended on it.
+///
 /// # Errors
 ///
 /// Propagates numerical errors from the scalar searches (which only trigger on non-finite
@@ -104,18 +107,41 @@ pub fn solve_reference(
     problem: &Sp2Problem<'_>,
     _start: &PowerBandwidth,
 ) -> Result<PowerBandwidth, NumError> {
+    let mut point = PowerBandwidth::new(Vec::new(), Vec::new());
+    solve_reference_into(problem, &mut point, &mut Vec::new())?;
+    Ok(point)
+}
+
+/// [`solve_reference`] into caller-owned buffers — the allocation-free hot-path form used
+/// by the `polish_with_reference` pass of every Subproblem-2 solve.
+///
+/// `out` and `b_lo_scratch` are pure scratch: overwritten completely, resized to the
+/// scenario, never read across calls. Results are bit-identical to [`solve_reference`].
+///
+/// # Errors
+///
+/// Same as [`solve_reference`]. On error `out` is unspecified.
+pub fn solve_reference_into(
+    problem: &Sp2Problem<'_>,
+    out: &mut PowerBandwidth,
+    b_lo_scratch: &mut Vec<f64>,
+) -> Result<(), NumError> {
     let scenario = problem.scenario();
     let n = scenario.devices.len();
     let b_total = problem.total_bandwidth();
     let n0 = problem.n0();
 
-    let b_lo: Vec<f64> = (0..n).map(|i| min_bandwidth(problem, i)).collect();
+    b_lo_scratch.clear();
+    b_lo_scratch.extend((0..n).map(|i| min_bandwidth(problem, i)));
+    let b_lo: &[f64] = b_lo_scratch;
     let lo_sum: f64 = b_lo.iter().sum();
 
-    let mut bandwidths = vec![0.0; n];
+    out.bandwidths_hz.clear();
+    out.bandwidths_hz.resize(n, 0.0);
+    let bandwidths = &mut out.bandwidths_hz;
     if lo_sum >= b_total {
         // The rate floors alone exhaust (or exceed) the budget: hand out proportional shares.
-        for (b, &lo) in bandwidths.iter_mut().zip(&b_lo) {
+        for (b, &lo) in bandwidths.iter_mut().zip(b_lo) {
             *b = lo / lo_sum * b_total;
         }
     } else {
@@ -152,27 +178,26 @@ pub fn solve_reference(
         let used: f64 = bandwidths.iter().sum();
         if used < b_total && used > 0.0 {
             let scale = b_total / used;
-            for b in &mut bandwidths {
+            for b in bandwidths.iter_mut() {
                 *b *= scale;
             }
         }
     }
 
-    let powers: Vec<f64> = (0..n)
-        .map(|i| {
-            let dev = &scenario.devices[i];
-            dev.clamp_power(power_for_rate(
-                problem.r_min_bps()[i],
-                bandwidths[i],
-                dev.gain.value(),
-                n0,
-            ))
-        })
-        .collect();
+    out.powers_w.clear();
+    for i in 0..n {
+        let dev = &scenario.devices[i];
+        let p = dev.clamp_power(power_for_rate(
+            problem.r_min_bps()[i],
+            out.bandwidths_hz[i],
+            dev.gain.value(),
+            n0,
+        ));
+        out.powers_w.push(p);
+    }
 
-    let mut point = PowerBandwidth::new(powers, bandwidths);
-    problem.sanitize(&mut point);
-    Ok(point)
+    problem.sanitize(out);
+    Ok(())
 }
 
 #[cfg(test)]

@@ -22,7 +22,9 @@
 //!
 //! [`JointOptimizer::solve`]: crate::JointOptimizer::solve
 
-use crate::sp2::kkt::KktScratch;
+use crate::sp2::Sp2Scratch;
+use crate::trace::OuterIteration;
+use flsys::Allocation;
 
 /// Reusable per-device buffers for [`JointOptimizer`](crate::JointOptimizer), Subproblem 1,
 /// Subproblem 2 and the baseline allocators. See the [module docs](self) for the reuse
@@ -41,8 +43,18 @@ pub struct SolverWorkspace {
     pub r_min_bps: Vec<f64>,
     /// Per-device CPU frequencies (Hz) — Subproblem 1's output buffer.
     pub frequencies_hz: Vec<f64>,
-    /// Scratch of the Theorem-2 KKT construction (Subproblem 2's inner solver).
-    pub kkt: KktScratch,
+    /// Complete Subproblem-2 scratch: KKT buffers, the Newton-like outer loop's vectors,
+    /// and the double-buffered `(p, B)` points (see [`Sp2Scratch`]).
+    pub sp2: Sp2Scratch,
+    /// Algorithm 2's working allocation (and general staging allocation for baselines).
+    pub allocation: Allocation,
+    /// The previous outer iterate (Algorithm 2's convergence metric compares against it).
+    pub previous: Allocation,
+    /// The best iterate seen so far. After a `*_summary_*` solve this holds the returned
+    /// solution (the one piece of output that intentionally stays in the workspace).
+    pub best: Allocation,
+    /// Pooled backing store of the convergence [`Trace`](crate::Trace) — cleared per solve.
+    pub trace: Vec<OuterIteration>,
 }
 
 impl SolverWorkspace {
@@ -58,7 +70,11 @@ impl SolverWorkspace {
             rates_bps: Vec::with_capacity(n),
             r_min_bps: Vec::with_capacity(n),
             frequencies_hz: Vec::with_capacity(n),
-            kkt: KktScratch::default(),
+            sp2: Sp2Scratch::new(),
+            allocation: Allocation::default(),
+            previous: Allocation::default(),
+            best: Allocation::default(),
+            trace: Vec::new(),
         }
     }
 

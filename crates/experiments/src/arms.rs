@@ -63,7 +63,9 @@ impl Arm for ProposedArm {
         scenario: &Scenario,
         ctx: &mut CellContext<'_>,
     ) -> Result<Option<CellOutput>, CoreError> {
-        let out = self.optimizer.solve_with(scenario, self.weights, ctx.workspace)?;
+        // The summary path: bit-identical totals to `solve_with`, but the cell performs
+        // zero heap allocations in steady state (everything lives in the workspace).
+        let out = self.optimizer.solve_summary_with(scenario, self.weights, ctx.workspace)?;
         Ok(Some(CellOutput::new(out.total_energy_j, out.total_time_s)))
     }
 }
@@ -102,7 +104,7 @@ impl Arm for DeadlineProposedArm {
         ctx: &mut CellContext<'_>,
     ) -> Result<Option<CellOutput>, CoreError> {
         let deadline_s = self.deadline.deadline_s(ctx);
-        match self.optimizer.solve_with_deadline_in(scenario, deadline_s, ctx.workspace) {
+        match self.optimizer.solve_with_deadline_summary_in(scenario, deadline_s, ctx.workspace) {
             Ok(out) => Ok(Some(CellOutput::new(out.total_energy_j, out.total_time_s))),
             Err(CoreError::InfeasibleDeadline { .. }) => Ok(None),
             Err(e) => Err(e),
@@ -141,15 +143,16 @@ impl Arm for BenchmarkArm {
         scenario: &Scenario,
         ctx: &mut CellContext<'_>,
     ) -> Result<Option<CellOutput>, CoreError> {
-        // The benchmark draws random allocations and evaluates them once — no solver loop,
-        // so the workspace has nothing to offer it.
+        // The benchmark draws a random allocation and evaluates it once — no solver loop,
+        // but the workspace still hosts the drawn allocation so the cell stays
+        // allocation-free.
         let allocator = BenchmarkAllocator::new();
-        let result = if self.random_frequency {
-            allocator.random_frequency(scenario, ctx.stream_seed)?
+        let summary = if self.random_frequency {
+            allocator.random_frequency_summary_with(scenario, ctx.stream_seed, ctx.workspace)?
         } else {
-            allocator.random_power(scenario, ctx.stream_seed)?
+            allocator.random_power_summary_with(scenario, ctx.stream_seed, ctx.workspace)?
         };
-        Ok(Some(CellOutput::new(result.total_energy_j(), result.total_time_s())))
+        Ok(Some(CellOutput::new(summary.total_energy_j, summary.total_time_s)))
     }
 }
 
@@ -176,8 +179,8 @@ impl Arm for CommOnlyArm {
         scenario: &Scenario,
         ctx: &mut CellContext<'_>,
     ) -> Result<Option<CellOutput>, CoreError> {
-        let result = self.allocator.allocate_with(scenario, ctx.x, ctx.workspace)?;
-        Ok(Some(CellOutput::new(result.total_energy_j(), result.total_time_s())))
+        let summary = self.allocator.allocate_summary_with(scenario, ctx.x, ctx.workspace)?;
+        Ok(Some(CellOutput::new(summary.total_energy_j, summary.total_time_s)))
     }
 }
 
@@ -204,8 +207,8 @@ impl Arm for CompOnlyArm {
         scenario: &Scenario,
         ctx: &mut CellContext<'_>,
     ) -> Result<Option<CellOutput>, CoreError> {
-        let result = self.allocator.allocate_with(scenario, ctx.x, ctx.workspace)?;
-        Ok(Some(CellOutput::new(result.total_energy_j(), result.total_time_s())))
+        let summary = self.allocator.allocate_summary_with(scenario, ctx.x, ctx.workspace)?;
+        Ok(Some(CellOutput::new(summary.total_energy_j, summary.total_time_s)))
     }
 }
 
@@ -233,8 +236,9 @@ impl Arm for Scheme1Arm {
         scenario: &Scenario,
         ctx: &mut CellContext<'_>,
     ) -> Result<Option<CellOutput>, CoreError> {
-        let result = self.allocator.allocate_with(scenario, self.deadline_s, ctx.workspace)?;
-        Ok(Some(CellOutput::new(result.total_energy_j(), result.total_time_s())))
+        let summary =
+            self.allocator.allocate_summary_with(scenario, self.deadline_s, ctx.workspace)?;
+        Ok(Some(CellOutput::new(summary.total_energy_j, summary.total_time_s)))
     }
 }
 

@@ -3,11 +3,12 @@
 //! speedup the engine exists for.
 
 use baselines::BenchmarkAllocator;
+use experiments::engine::{Arm, CellContext, CellOutput, SweepGrid};
 use experiments::fig2::{self, Fig2Config};
 use experiments::fig7::{self, Fig7Config};
 use experiments::{FigureReport, SweepEngine};
 use fedopt_core::{CoreError, JointOptimizer};
-use flsys::{ScenarioBuilder, Weights};
+use flsys::{Scenario, ScenarioBuilder, Weights};
 use std::time::Instant;
 
 /// The parallel engine must produce bit-identical reports to a forced single-thread run:
@@ -80,6 +81,90 @@ fn scenario_builds_scale_with_points_times_seeds_not_arms() {
     // The counters are part of the deterministic output: a sequential run agrees.
     let sequential = SweepEngine::single_thread().run(&cfg.grid()).unwrap();
     assert_eq!(sequential.counters, result.counters);
+}
+
+/// A solver-free arm whose output is a cheap deterministic function of the cell
+/// coordinates, with a sprinkling of infeasible cells — lets the 10⁴-draw reduction tests
+/// run in seconds while still exercising sums, spreads and feasible-sample counts.
+struct SyntheticArm {
+    tag: f64,
+}
+
+impl Arm for SyntheticArm {
+    fn name(&self) -> String {
+        format!("synthetic {}", self.tag)
+    }
+
+    fn evaluate(
+        &self,
+        _scenario: &Scenario,
+        ctx: &mut CellContext<'_>,
+    ) -> Result<Option<CellOutput>, CoreError> {
+        if ctx.seed % 97 == 13 {
+            return Ok(None); // labelled infeasible draw
+        }
+        let v = (ctx.seed as f64).sin() * self.tag + ctx.x;
+        Ok(Some(CellOutput::new(v * v + 1.0, v.abs() + 0.5)))
+    }
+}
+
+/// The headline property of the streaming reduction: on a 10⁴-draw grid it must reproduce
+/// the materializing path bit for bit — means, standard deviations, feasible counts and
+/// attempt counts — while holding only O(points × arms) accumulators plus a bounded window
+/// of in-flight chunks (the materializing path holds all 60 000 cell outputs).
+#[test]
+fn ten_thousand_draw_grid_streams_bit_identically_to_materializing() {
+    let grid = || {
+        let builder = ScenarioBuilder::paper_default().with_devices(2);
+        SweepGrid::new((0..10_000).collect::<Vec<u64>>())
+            .point(5.0, builder.clone())
+            .point(9.0, builder.clone())
+            .point(12.0, builder)
+            .arm(SyntheticArm { tag: 1.0 })
+            .arm(SyntheticArm { tag: 2.5 })
+    };
+
+    let materialized =
+        SweepEngine::with_threads(2).with_streaming_reduction(false).run(&grid()).unwrap();
+    // 13 of every 97 seeds... exactly the draws with seed % 97 == 13 are infeasible.
+    let expected_infeasible = (0..10_000u64).filter(|s| s % 97 == 13).count();
+    for row in &materialized.aggregates {
+        for agg in row {
+            assert_eq!(agg.attempts, 10_000);
+            assert_eq!(agg.count, 10_000 - expected_infeasible);
+        }
+    }
+
+    for threads in [1usize, 4] {
+        let streamed =
+            SweepEngine::with_threads(threads).with_streaming_reduction(true).run(&grid()).unwrap();
+        assert_eq!(streamed, materialized, "streaming diverged at {threads} thread(s)");
+    }
+}
+
+/// Every figure's quick preset must produce bit-identical reports through the streaming
+/// and the materializing reductions — the acceptance bar of the streaming refactor. The
+/// seed chunk is forced to 1 so even the 2-seed quick grids exercise multi-chunk folding.
+#[test]
+fn all_figure_quick_presets_stream_bit_identically() {
+    let streamed = SweepEngine::with_threads(2).with_streaming_reduction(true).with_seed_chunk(1);
+    let materialized = streamed.with_streaming_reduction(false);
+
+    macro_rules! check {
+        ($fig:ident, $cfg:expr) => {{
+            let cfg = $cfg;
+            let s = experiments::$fig::run_with_engine(&cfg, &streamed).unwrap();
+            let m = experiments::$fig::run_with_engine(&cfg, &materialized).unwrap();
+            assert_eq!(s, m, concat!(stringify!($fig), " quick preset diverged"));
+        }};
+    }
+    check!(fig2, Fig2Config::quick());
+    check!(fig3, experiments::fig3::Fig3Config::quick());
+    check!(fig4, experiments::fig4::Fig4Config::quick());
+    check!(fig5, experiments::fig5::Fig5Config::quick());
+    check!(fig6, experiments::fig6::Fig6Config::quick());
+    check!(fig7, Fig7Config::quick());
+    check!(fig8, experiments::fig8::Fig8Config::quick());
 }
 
 /// Reimplementation of the pre-refactor sequential helpers (`average_proposed` /

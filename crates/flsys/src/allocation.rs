@@ -17,7 +17,7 @@ use wireless::channel::shannon_rate_raw;
 
 /// One candidate solution of problem (8): per-device transmit power, CPU frequency and
 /// bandwidth share.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Default, Serialize, Deserialize)]
 pub struct Allocation {
     /// Transmit power of each device in watts (`p_n`).
     pub powers_w: Vec<f64>,
@@ -25,6 +25,26 @@ pub struct Allocation {
     pub frequencies_hz: Vec<f64>,
     /// Bandwidth allocated to each device in hertz (`B_n`).
     pub bandwidths_hz: Vec<f64>,
+}
+
+// Hand-written (not derived) so that `clone_from` delegates to `Vec::clone_from` and
+// reuses the destination's capacity — the solver outer loops clone allocations every
+// iteration, and the derived fallback (`*self = source.clone()`) would reallocate all
+// three vectors each time, breaking the zero-allocation steady state.
+impl Clone for Allocation {
+    fn clone(&self) -> Self {
+        Self {
+            powers_w: self.powers_w.clone(),
+            frequencies_hz: self.frequencies_hz.clone(),
+            bandwidths_hz: self.bandwidths_hz.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.powers_w.clone_from(&source.powers_w);
+        self.frequencies_hz.clone_from(&source.frequencies_hz);
+        self.bandwidths_hz.clone_from(&source.bandwidths_hz);
+    }
 }
 
 impl Allocation {
@@ -36,25 +56,43 @@ impl Allocation {
     /// A simple feasible starting point: every device at maximum power, maximum frequency,
     /// and an equal share of the total bandwidth.
     pub fn equal_split_max(scenario: &Scenario) -> Self {
+        let mut out = Self::default();
+        out.set_equal_split_max(scenario);
+        out
+    }
+
+    /// Overwrites `self` with [`Self::equal_split_max`]'s starting point, reusing the
+    /// existing vector capacity — the hot-path form used once per solver run.
+    pub fn set_equal_split_max(&mut self, scenario: &Scenario) {
         let n = scenario.devices.len();
         let share = scenario.params.total_bandwidth.value() / n.max(1) as f64;
-        Self {
-            powers_w: scenario.devices.iter().map(|d| d.p_max.value()).collect(),
-            frequencies_hz: scenario.devices.iter().map(|d| d.f_max.value()).collect(),
-            bandwidths_hz: vec![share; n],
-        }
+        self.powers_w.clear();
+        self.powers_w.extend(scenario.devices.iter().map(|d| d.p_max.value()));
+        self.frequencies_hz.clear();
+        self.frequencies_hz.extend(scenario.devices.iter().map(|d| d.f_max.value()));
+        self.bandwidths_hz.clear();
+        self.bandwidths_hz.resize(n, share);
     }
 
     /// The paper's initialization for the state-of-the-art comparison (Section VII-D):
     /// maximum power, maximum frequency, and `B/(2N)` bandwidth per device.
     pub fn half_split_max(scenario: &Scenario) -> Self {
+        let mut out = Self::default();
+        out.set_half_split_max(scenario);
+        out
+    }
+
+    /// Overwrites `self` with [`Self::half_split_max`]'s starting point, reusing the
+    /// existing vector capacity (see [`Self::set_equal_split_max`]).
+    pub fn set_half_split_max(&mut self, scenario: &Scenario) {
         let n = scenario.devices.len();
         let share = scenario.params.total_bandwidth.value() / (2.0 * n.max(1) as f64);
-        Self {
-            powers_w: scenario.devices.iter().map(|d| d.p_max.value()).collect(),
-            frequencies_hz: scenario.devices.iter().map(|d| d.f_max.value()).collect(),
-            bandwidths_hz: vec![share; n],
-        }
+        self.powers_w.clear();
+        self.powers_w.extend(scenario.devices.iter().map(|d| d.p_max.value()));
+        self.frequencies_hz.clear();
+        self.frequencies_hz.extend(scenario.devices.iter().map(|d| d.f_max.value()));
+        self.bandwidths_hz.clear();
+        self.bandwidths_hz.resize(n, share);
     }
 
     /// Number of devices this allocation covers.
@@ -230,6 +268,74 @@ impl CostBreakdown {
     }
 }
 
+/// The scalar totals of a [`CostBreakdown`] — everything the optimizers and sweep
+/// aggregates consume, with no per-device detail and therefore no owned buffers.
+///
+/// Produced by [`Scenario::cost_summary`](crate::Scenario::cost_summary), whose fused
+/// single-pass evaluation is bit-identical to the corresponding [`CostBreakdown`] fields
+/// (same per-device terms, same summation order) while performing zero heap allocations.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostSummary {
+    /// Total energy `E` of equation (6), in joules.
+    pub total_energy_j: f64,
+    /// Total transmission energy (all devices, all rounds), in joules.
+    pub transmission_energy_j: f64,
+    /// Total computation energy (all devices, all rounds), in joules.
+    pub computation_energy_j: f64,
+    /// Per-round completion time `max_n (T_n^cmp + T_n^up)`, in seconds.
+    pub round_time_s: f64,
+    /// Total completion time `R_g · round_time`, in seconds.
+    pub total_time_s: f64,
+}
+
+impl CostSummary {
+    /// The weighted objective of problem (9): `w1·E + w2·R_g·T`.
+    pub fn objective(&self, weights: Weights) -> f64 {
+        weights.energy() * self.total_energy_j + weights.time() * self.total_time_s
+    }
+}
+
+pub(crate) fn evaluate_allocation_summary(
+    scenario: &Scenario,
+    allocation: &Allocation,
+) -> Result<CostSummary, FlError> {
+    allocation.check_shape(scenario)?;
+    let params = &scenario.params;
+    let n0 = params.noise.watts_per_hz();
+
+    // One fused pass, with exactly the per-device terms and left-to-right summation order
+    // of `evaluate_allocation`, so the totals are bit-identical to `CostBreakdown`'s.
+    let mut transmission_sum = 0.0;
+    let mut computation_sum = 0.0;
+    let mut round_time_s = 0.0_f64;
+    for (i, dev) in scenario.devices.iter().enumerate() {
+        let rate = shannon_rate_raw(
+            allocation.powers_w[i],
+            allocation.bandwidths_hz[i],
+            dev.gain.value(),
+            n0,
+        );
+        let upload_time_s = latency::upload_time(dev, rate);
+        let computation_time_s =
+            latency::computation_time(params, dev, allocation.frequencies_hz[i]);
+        transmission_sum +=
+            energy::transmission_energy_per_round(dev, allocation.powers_w[i], rate);
+        computation_sum +=
+            energy::computation_energy_per_round(params, dev, allocation.frequencies_hz[i]);
+        round_time_s = round_time_s.max(upload_time_s + computation_time_s);
+    }
+
+    let transmission_energy_j = params.rg() * transmission_sum;
+    let computation_energy_j = params.rg() * computation_sum;
+    Ok(CostSummary {
+        total_energy_j: transmission_energy_j + computation_energy_j,
+        transmission_energy_j,
+        computation_energy_j,
+        round_time_s,
+        total_time_s: params.rg() * round_time_s,
+    })
+}
+
 pub(crate) fn evaluate_allocation(
     scenario: &Scenario,
     allocation: &Allocation,
@@ -357,6 +463,38 @@ mod tests {
         let w = Weights::new(0.3, 0.7).unwrap();
         let obj = cost.objective(w);
         assert!((obj - (0.3 * cost.total_energy_j + 0.7 * cost.total_time_s)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_summary_is_bit_identical_to_full_breakdown() {
+        for seed in [1u64, 7, 42] {
+            let s = ScenarioBuilder::paper_default().with_devices(8).build(seed).unwrap();
+            let a = Allocation::equal_split_max(&s);
+            let full = evaluate_allocation(&s, &a).unwrap();
+            let summary = evaluate_allocation_summary(&s, &a).unwrap();
+            assert_eq!(summary.total_energy_j, full.total_energy_j);
+            assert_eq!(summary.transmission_energy_j, full.transmission_energy_j);
+            assert_eq!(summary.computation_energy_j, full.computation_energy_j);
+            assert_eq!(summary.round_time_s, full.round_time_s);
+            assert_eq!(summary.total_time_s, full.total_time_s);
+            let w = Weights::new(0.3, 0.7).unwrap();
+            assert_eq!(summary.objective(w), full.objective(w));
+        }
+        // Shape mismatches are rejected the same way.
+        let s = ScenarioBuilder::paper_default().with_devices(4).build(0).unwrap();
+        let bad = Allocation::new(vec![0.01], vec![1e9], vec![1e6]);
+        assert!(evaluate_allocation_summary(&s, &bad).is_err());
+    }
+
+    #[test]
+    fn set_equal_split_max_overwrites_any_previous_contents() {
+        let s5 = ScenarioBuilder::paper_default().with_devices(5).build(1).unwrap();
+        let s3 = ScenarioBuilder::paper_default().with_devices(3).build(2).unwrap();
+        let mut a = Allocation::new(vec![f64::NAN; 9], vec![0.0; 2], vec![-1.0; 7]);
+        a.set_equal_split_max(&s5);
+        assert_eq!(a, Allocation::equal_split_max(&s5));
+        a.set_equal_split_max(&s3);
+        assert_eq!(a, Allocation::equal_split_max(&s3));
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod params;
 pub mod scenario;
 pub mod weights;
 
-pub use allocation::{Allocation, CostBreakdown, DeviceCost};
+pub use allocation::{Allocation, CostBreakdown, CostSummary, DeviceCost};
 pub use device::DeviceProfile;
 pub use error::FlError;
 pub use params::SystemParams;

@@ -5,7 +5,9 @@
 //! evaluation sweeps (number of devices, disc radius, power/frequency caps, sample counts,
 //! round counts), so each figure's experiment is a couple of builder calls.
 
-use crate::allocation::{evaluate_allocation, Allocation, CostBreakdown};
+use crate::allocation::{
+    evaluate_allocation, evaluate_allocation_summary, Allocation, CostBreakdown, CostSummary,
+};
 use crate::device::DeviceProfile;
 use crate::error::FlError;
 use crate::params::SystemParams;
@@ -74,6 +76,17 @@ impl Scenario {
     /// Same as [`Scenario::evaluate`].
     pub fn cost(&self, allocation: &Allocation) -> Result<CostBreakdown, FlError> {
         evaluate_allocation(self, allocation)
+    }
+
+    /// Evaluates an allocation's scalar totals only — bit-identical to the corresponding
+    /// [`CostBreakdown`] fields, computed in one fused pass with **zero heap allocations**
+    /// (the solver and sweep hot-path form; see [`CostSummary`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scenario::evaluate`].
+    pub fn cost_summary(&self, allocation: &Allocation) -> Result<CostSummary, FlError> {
+        evaluate_allocation_summary(self, allocation)
     }
 }
 

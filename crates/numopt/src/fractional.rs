@@ -51,6 +51,28 @@ pub trait FractionalProblem {
     /// Implementations should return an error if the subproblem is infeasible or the inner
     /// solver fails; the outer loop aborts with that error.
     fn solve_parametric(&self, nu: &[f64], beta: &[f64]) -> Result<Self::Point, NumError>;
+
+    /// [`Self::solve_parametric`] into a caller-owned point, so the outer loop can
+    /// double-buffer two points instead of allocating one per iteration.
+    ///
+    /// `out` may hold an arbitrary (even wrongly-sized) previous point on entry;
+    /// implementations must overwrite it completely. The default forwards to
+    /// [`Self::solve_parametric`] and assigns — correct for every implementor, but it
+    /// allocates; hot problems (e.g. `fedopt-core`'s `Sp2Problem`) override it with a
+    /// genuinely in-place solve.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::solve_parametric`].
+    fn solve_parametric_into(
+        &self,
+        nu: &[f64],
+        beta: &[f64],
+        out: &mut Self::Point,
+    ) -> Result<(), NumError> {
+        *out = self.solve_parametric(nu, beta)?;
+        Ok(())
+    }
 }
 
 /// Configuration of the Newton-like outer loop (the paper's Algorithm 1).
@@ -72,6 +94,43 @@ impl Default for JongConfig {
     fn default() -> Self {
         Self { xi: 0.5, epsilon: 0.01, max_iter: 60, phi_tol: 1e-9, max_damping: 40 }
     }
+}
+
+/// Reusable buffers of the Newton-like outer loop: the multipliers `(β, ν)`, their
+/// full-Newton targets, the damping-line-search trials, and the objective history.
+///
+/// Every field is pure scratch for [`solve_sum_of_ratios_in`]: cleared or fully overwritten
+/// on entry, never read across calls, resized to the problem at hand — one instance can
+/// serve problems of different sizes back to back and only `Vec` capacity survives. After a
+/// successful solve, [`JongScratch::beta`] / [`JongScratch::nu`] hold the final multipliers
+/// and [`JongScratch::history`] the per-iteration objectives (the data
+/// [`FractionalSolution`] clones out in the allocating wrapper).
+#[derive(Debug, Clone, Default)]
+pub struct JongScratch {
+    /// Final auxiliary ratio values `β_i = n_i / d_i` (output of the last solve).
+    pub beta: Vec<f64>,
+    /// Final multipliers `ν_i = w_i / d_i` (output of the last solve).
+    pub nu: Vec<f64>,
+    /// Objective value after every outer iteration of the last solve.
+    pub history: Vec<f64>,
+    beta_target: Vec<f64>,
+    nu_target: Vec<f64>,
+    trial_beta: Vec<f64>,
+    trial_nu: Vec<f64>,
+}
+
+/// The scalar outcome of [`solve_sum_of_ratios_in`] (the point lands in the caller's
+/// buffer, the multipliers and history in the [`JongScratch`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FractionalSummary {
+    /// Objective value `Σ_i w_i n_i / d_i` at the final point.
+    pub objective: f64,
+    /// `‖ϕ(β,ν)‖∞` at termination — the Newton residual of the optimality system (22)–(23).
+    pub residual: f64,
+    /// Outer iterations performed.
+    pub iterations: usize,
+    /// Whether the residual tolerance was reached.
+    pub converged: bool,
 }
 
 /// Outcome of [`solve_sum_of_ratios`].
@@ -152,6 +211,46 @@ where
     P: Clone,
     F: FractionalProblem<Point = P> + ?Sized,
 {
+    let mut x = x0;
+    let mut spare = x.clone();
+    let mut scratch = JongScratch::default();
+    let summary = solve_sum_of_ratios_in(problem, &mut x, &mut spare, config, &mut scratch)?;
+    Ok(FractionalSolution {
+        objective: summary.objective,
+        point: x,
+        beta: scratch.beta,
+        nu: scratch.nu,
+        residual: summary.residual,
+        iterations: summary.iterations,
+        converged: summary.converged,
+        history: scratch.history,
+    })
+}
+
+/// [`solve_sum_of_ratios`] against caller-owned buffers — the allocation-free form.
+///
+/// `x` holds the feasible starting point on entry and the final point on return; `spare` is
+/// a second point buffer of the same type (its contents are irrelevant — each
+/// [`FractionalProblem::solve_parametric_into`] call overwrites it completely) that the
+/// loop double-buffers against `x`, so no point is ever allocated. All `(β, ν)` vectors and
+/// the objective history live in the [`JongScratch`]; with a problem that overrides
+/// `solve_parametric_into` in-place, the whole outer loop performs zero heap allocations in
+/// steady state. Results are bit-identical to [`solve_sum_of_ratios`] — same arithmetic,
+/// same order.
+///
+/// # Errors
+///
+/// Same as [`solve_sum_of_ratios`].
+pub fn solve_sum_of_ratios_in<P, F>(
+    problem: &F,
+    x: &mut P,
+    spare: &mut P,
+    config: JongConfig,
+    scratch: &mut JongScratch,
+) -> Result<FractionalSummary, NumError>
+where
+    F: FractionalProblem<Point = P> + ?Sized,
+{
     let n_ratios = problem.len();
     if n_ratios == 0 {
         return Err(NumError::DimensionMismatch { expected: 1, actual: 0 });
@@ -163,21 +262,26 @@ where
         return Err(NumError::NonPositiveParameter { name: "epsilon", value: config.epsilon });
     }
 
-    let mut x = x0;
-    let mut beta = vec![0.0; n_ratios];
-    let mut nu = vec![0.0; n_ratios];
+    let JongScratch { beta, nu, history, beta_target, nu_target, trial_beta, trial_nu } = scratch;
+    for buf in
+        [&mut *beta, &mut *nu, &mut *beta_target, &mut *nu_target, &mut *trial_beta, &mut *trial_nu]
+    {
+        buf.clear();
+        buf.resize(n_ratios, 0.0);
+    }
     // Initialize (β, ν) from the starting point.
     for i in 0..n_ratios {
-        let d = problem.denominator(i, &x);
+        let d = problem.denominator(i, x);
         if d <= 0.0 || !d.is_finite() {
             return Err(NumError::NonPositiveParameter { name: "denominator", value: d });
         }
-        beta[i] = problem.numerator(i, &x) / d;
+        beta[i] = problem.numerator(i, x) / d;
         nu[i] = problem.ratio_weight(i) / d;
     }
 
-    let mut history = Vec::with_capacity(config.max_iter + 1);
-    history.push(objective_value(problem, &x));
+    history.clear();
+    history.reserve(config.max_iter + 1);
+    history.push(objective_value(problem, x));
 
     let mut residual = f64::INFINITY;
     let mut iterations = 0;
@@ -186,63 +290,58 @@ where
     for it in 0..config.max_iter {
         iterations = it + 1;
 
-        // Step 4: solve the parametric subproblem at the current (β, ν).
-        x = problem.solve_parametric(&nu, &beta)?;
-        history.push(objective_value(problem, &x));
+        // Step 4: solve the parametric subproblem at the current (β, ν), double-buffering
+        // the point instead of allocating a fresh one.
+        problem.solve_parametric_into(nu, beta, spare)?;
+        std::mem::swap(x, spare);
+        history.push(objective_value(problem, x));
 
         // Convergence check: ϕ(β, ν) evaluated at the *response* x(β, ν). At the fixed point
         // the parametric solution reproduces the ratios that generated it — exactly the
         // optimality system (22)–(23) of Theorem 1.
-        residual = phi_inf_norm(problem, &x, &beta, &nu);
+        residual = phi_inf_norm(problem, x, beta, nu);
         if residual <= config.phi_tol {
             converged = true;
             break;
         }
 
         // Full-Newton targets at the response point: β_i → n_i(x)/d_i(x), ν_i → w_i/d_i(x).
-        let mut beta_target = vec![0.0; n_ratios];
-        let mut nu_target = vec![0.0; n_ratios];
         for i in 0..n_ratios {
-            let d = problem.denominator(i, &x);
+            let d = problem.denominator(i, x);
             if d <= 0.0 || !d.is_finite() {
                 return Err(NumError::NonPositiveParameter { name: "denominator", value: d });
             }
-            beta_target[i] = problem.numerator(i, &x) / d;
+            beta_target[i] = problem.numerator(i, x) / d;
             nu_target[i] = problem.ratio_weight(i) / d;
         }
 
         // Steps 5–6: damped Newton update of (β, ν) with the Armijo-like rule (29). Because ϕ
         // is linear in (β, ν) at fixed x and the Jacobian diag(d_i) is exact, the full step
         // (j = 0) always satisfies the rule; the loop is kept for fidelity to Algorithm 1 and
-        // as a safety net against inexact inner solutions.
+        // as a safety net against inexact inner solutions. Every trial entry is rewritten
+        // before it is read, so the trial buffers need no per-iteration reset.
         let phi_now = residual;
-        let mut trial_beta = beta.clone();
-        let mut trial_nu = nu.clone();
         let mut step = 1.0;
         for _j in 0..=config.max_damping {
             for i in 0..n_ratios {
                 trial_beta[i] = beta[i] + step * (beta_target[i] - beta[i]);
                 trial_nu[i] = nu[i] + step * (nu_target[i] - nu[i]);
             }
-            let phi_trial = phi_inf_norm(problem, &x, &trial_beta, &trial_nu);
+            let phi_trial = phi_inf_norm(problem, x, trial_beta, trial_nu);
             if phi_trial <= (1.0 - config.epsilon * step) * phi_now || phi_now == 0.0 {
                 break;
             }
             step *= config.xi;
         }
-        beta.copy_from_slice(&trial_beta);
-        nu.copy_from_slice(&trial_nu);
+        beta.copy_from_slice(trial_beta);
+        nu.copy_from_slice(trial_nu);
     }
 
-    Ok(FractionalSolution {
-        objective: objective_value(problem, &x),
-        point: x,
-        beta,
-        nu,
+    Ok(FractionalSummary {
+        objective: objective_value(problem, x),
         residual,
         iterations,
         converged,
-        history,
     })
 }
 
@@ -323,6 +422,32 @@ mod tests {
         let sol = solve_sum_of_ratios(&Toy, 5.0, JongConfig::default()).unwrap();
         assert!(sol.history.len() >= 2);
         assert!(sol.history.last().unwrap() <= sol.history.first().unwrap());
+    }
+
+    #[test]
+    fn in_place_driver_matches_allocating_wrapper_bitwise() {
+        let config = JongConfig::default();
+        let sol = solve_sum_of_ratios(&Toy, 5.0, config).unwrap();
+
+        let mut x = 5.0;
+        let mut spare = 0.0; // arbitrary garbage; overwritten by the first parametric solve
+        let mut scratch = JongScratch::default();
+        let s1 = solve_sum_of_ratios_in(&Toy, &mut x, &mut spare, config, &mut scratch).unwrap();
+        assert_eq!(x, sol.point);
+        assert_eq!(s1.objective, sol.objective);
+        assert_eq!(s1.residual, sol.residual);
+        assert_eq!(s1.iterations, sol.iterations);
+        assert_eq!(s1.converged, sol.converged);
+        assert_eq!(scratch.beta, sol.beta);
+        assert_eq!(scratch.nu, sol.nu);
+        assert_eq!(scratch.history, sol.history);
+
+        // A dirtied, reused scratch must reproduce the run bit for bit (the reuse contract).
+        let mut x2 = 5.0;
+        let mut spare2 = -7.0;
+        let s2 = solve_sum_of_ratios_in(&Toy, &mut x2, &mut spare2, config, &mut scratch).unwrap();
+        assert_eq!(x2, x);
+        assert_eq!(s2, s1);
     }
 
     #[test]

@@ -56,7 +56,10 @@ pub mod scalar;
 pub mod simplex;
 
 pub use error::NumError;
-pub use fractional::{solve_sum_of_ratios, FractionalProblem, FractionalSolution, JongConfig};
+pub use fractional::{
+    solve_sum_of_ratios, solve_sum_of_ratios_in, FractionalProblem, FractionalSolution,
+    FractionalSummary, JongConfig, JongScratch,
+};
 pub use lambertw::lambert_w0;
 pub use roots::{bisect, BisectOutcome};
 pub use scalar::{golden_section_min, ScalarMinimum};
