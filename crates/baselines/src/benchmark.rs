@@ -44,7 +44,7 @@ impl BenchmarkAllocator {
         BaselineResult::evaluate(scenario, std::mem::take(&mut ws.allocation))
     }
 
-    /// [`Self::random_frequency`] without materialising an [`Allocation`] or a
+    /// [`Self::random_frequency`] without materialising an [`flsys::Allocation`] or a
     /// [`BaselineResult`] — the sweep hot path, allocation-free in steady state. The drawn
     /// allocation is staged in [`SolverWorkspace::allocation`] and the returned
     /// [`CostSummary`] totals are bit-identical to the full result's (identical RNG stream,
@@ -80,7 +80,7 @@ impl BenchmarkAllocator {
         scenario.cost_summary(a)
     }
 
-    /// [`Self::random_power`] without materialising an [`Allocation`] or a
+    /// [`Self::random_power`] without materialising an [`flsys::Allocation`] or a
     /// [`BaselineResult`] (see [`Self::random_frequency_summary_with`]).
     ///
     /// # Errors

@@ -78,8 +78,9 @@ impl CommOnlyAllocator {
         ws.allocation.set_half_split_max(scenario);
         ws.allocation.rates_bps_into(scenario, &mut ws.rates_bps);
         ws.upload_times_from_rates(scenario);
-        let SolverWorkspace { uploads_s, r_min_bps, frequencies_hz, sp2, allocation, .. } =
-            &mut *ws;
+        let SolverWorkspace {
+            uploads_s, r_min_bps, frequencies_hz, sp2, allocation, counters, ..
+        } = &mut *ws;
         let max_upload = uploads_s.iter().cloned().fold(0.0, f64::max);
 
         // Fixed frequency from constraint (9a), shared compute budget = deadline − slowest upload.
@@ -101,7 +102,9 @@ impl CommOnlyAllocator {
             d.upload_bits / budget
         }));
         sp2.stage_start(&allocation.powers_w, &allocation.bandwidths_hz);
-        sp2::solve_in(scenario, Weights::energy_only(), r_min_bps, &self.config, sp2)?;
+        let sp2_sol =
+            sp2::solve_in(scenario, Weights::energy_only(), r_min_bps, &self.config, sp2)?;
+        counters.record_sp2(&sp2_sol);
 
         allocation.powers_w.copy_from_slice(&sp2.solution().powers_w);
         allocation.bandwidths_hz.copy_from_slice(&sp2.solution().bandwidths_hz);

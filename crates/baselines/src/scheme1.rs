@@ -88,8 +88,9 @@ impl Scheme1Allocator {
         ws.allocation.set_half_split_max(scenario);
         ws.allocation.rates_bps_into(scenario, &mut ws.rates_bps);
         ws.upload_times_from_rates(scenario);
-        let SolverWorkspace { uploads_s, r_min_bps, frequencies_hz, sp2, allocation, .. } =
-            &mut *ws;
+        let SolverWorkspace {
+            uploads_s, r_min_bps, frequencies_hz, sp2, allocation, counters, ..
+        } = &mut *ws;
 
         // Steps 2–3: fix each device's compute/upload split from the initial uplink time and
         // choose the cheapest frequency that fits the compute share.
@@ -107,7 +108,9 @@ impl Scheme1Allocator {
             d.upload_bits / budget
         }));
         sp2.stage_start(&allocation.powers_w, &allocation.bandwidths_hz);
-        sp2::solve_in(scenario, Weights::energy_only(), r_min_bps, &self.config, sp2)?;
+        let sp2_sol =
+            sp2::solve_in(scenario, Weights::energy_only(), r_min_bps, &self.config, sp2)?;
+        counters.record_sp2(&sp2_sol);
 
         allocation.powers_w.copy_from_slice(&sp2.solution().powers_w);
         allocation.bandwidths_hz.copy_from_slice(&sp2.solution().bandwidths_hz);

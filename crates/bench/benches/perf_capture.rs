@@ -1,10 +1,11 @@
-//! Machine-readable perf capture for the allocation-free solver / streaming-reduction
-//! work: measures cells/sec on the solver-bound fig2 quick grid, steady-state allocations
-//! per cell, the sp2 hot-path latency, and the streaming reducer's accumulator footprint,
-//! then writes the per-run `BENCH_PR3.capture.json` at the workspace root (gitignored; CI
+//! Machine-readable perf capture for the solver/engine performance work: measures
+//! cells/sec on the solver-bound fig2 quick grid with the warm-start continuation off and
+//! on, steady-state allocations per cell, the sp2 hot-path latency, the warm-vs-cold
+//! solver iteration counters, and the streaming reducer's accumulator footprint, then
+//! writes the per-run `BENCH_PR4.capture.json` at the workspace root (gitignored; CI
 //! uploads it as an artifact so the perf trajectory is recorded per commit). The curated,
-//! committed before/after snapshot lives separately in `BENCH_PR3.json` — this bench
-//! never touches it.
+//! committed before/after snapshots live separately in `BENCH_PR3.json` / `BENCH_PR4.json`
+//! — this bench never touches them.
 //!
 //! Run with `cargo bench -p fedopt-bench --bench perf_capture`.
 
@@ -34,20 +35,31 @@ fn main() {
     let cells = grid.num_cells();
     let (points, arms) = (grid.points.len(), grid.arms.len());
 
-    // --- Solver-bound grid throughput (sequential: measures the solve path, not scaling).
-    let engine = SweepEngine::single_thread();
-    run_with_engine(&cfg, &engine).unwrap(); // warm-up
-    let secs = best_of(3, || run_with_engine(&cfg, &engine).unwrap());
-    let cells_per_sec = cells as f64 / secs;
+    // --- Solver-bound grid throughput, warm start off and on (sequential engine: measures
+    // the solve path, not thread scaling).
+    let cold_engine = SweepEngine::single_thread().with_warm_start(false);
+    let warm_engine = SweepEngine::single_thread().with_warm_start(true);
+    run_with_engine(&cfg, &cold_engine).unwrap(); // warm-up (page cache, lazy allocs)
+    let cold_secs = best_of(3, || run_with_engine(&cfg, &cold_engine).unwrap());
+    let warm_secs = best_of(3, || run_with_engine(&cfg, &warm_engine).unwrap());
+    let cold_cells_per_sec = cells as f64 / cold_secs;
+    let warm_cells_per_sec = cells as f64 / warm_secs;
 
-    // --- Steady-state allocations per cell (same contract as tests/alloc_free.rs).
+    // --- Warm-vs-cold solver iteration counters on the same grid (the non-wall-clock
+    // evidence that the continuation saves work).
+    let cold_counters = cold_engine.run(&grid).unwrap().counters.solver;
+    let warm_counters = warm_engine.run(&grid).unwrap().counters.solver;
+
+    // --- Steady-state allocations per cell (same contract as tests/alloc_free.rs),
+    // measured on the warm path — the stricter case, since it carries state.
     let scenario = ScenarioBuilder::paper_default().with_devices(cfg.devices).build(11).unwrap();
-    let optimizer = JointOptimizer::new(cfg.solver);
+    let optimizer = JointOptimizer::new(cfg.solver.with_warm_start(true));
     let mut ws = SolverWorkspace::new();
     optimizer.solve_summary_with(&scenario, Weights::balanced(), &mut ws).unwrap(); // warm-up
     let before = thread_allocation_count();
     let reps = 20u64;
     for _ in 0..reps {
+        ws.reset_warm_start();
         optimizer.solve_summary_with(&scenario, Weights::balanced(), &mut ws).unwrap();
     }
     let allocs_per_cell = (thread_allocation_count() - before) as f64 / reps as f64;
@@ -69,25 +81,38 @@ fn main() {
     };
 
     // --- Streaming reducer footprint: accumulators are O(points × arms) by construction.
-    let streamed = engine.run(&grid).unwrap();
-    assert_eq!(streamed.aggregates.len(), points);
     let peak_accumulators = points * arms;
 
     let json = format!(
         "{{\n  \"bench\": \"perf_capture\",\n  \"grid\": \"fig2_quick\",\n  \
-         \"cells\": {cells},\n  \"cells_per_sec\": {cells_per_sec:.1},\n  \
+         \"cells\": {cells},\n  \"cold_cells_per_sec\": {cold_cells_per_sec:.1},\n  \
+         \"warm_cells_per_sec\": {warm_cells_per_sec:.1},\n  \
+         \"warm_speedup\": {:.3},\n  \
+         \"cold_jong_iterations\": {},\n  \"warm_jong_iterations\": {},\n  \
+         \"cold_mu_bisect_evals\": {},\n  \"warm_mu_bisect_evals\": {},\n  \
+         \"warm_fast_path_hits\": {},\n  \
          \"allocs_per_cell_steady_state\": {allocs_per_cell},\n  \
          \"sp2_solve_in_us\": {:.1},\n  \"peak_accumulators\": {peak_accumulators},\n  \
          \"seed_chunk\": {},\n  \"threads\": 1\n}}\n",
+        cold_secs / warm_secs,
+        cold_counters.jong_iterations,
+        warm_counters.jong_iterations,
+        cold_counters.mu_bisect_evals,
+        warm_counters.mu_bisect_evals,
+        warm_counters.sp2_fast_path_hits,
         sp2_secs * 1e6,
-        engine.seed_chunk(),
+        cold_engine.seed_chunk(),
     );
     print!("{json}");
 
     // Workspace root (bench crate lives at crates/bench).
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.capture.json");
-    std::fs::write(out, &json).expect("write BENCH_PR3.capture.json");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.capture.json");
+    std::fs::write(out, &json).expect("write BENCH_PR4.capture.json");
     eprintln!("wrote {out}");
 
     assert_eq!(allocs_per_cell, 0.0, "steady-state cells must not allocate");
+    assert!(
+        warm_counters.jong_iterations < cold_counters.jong_iterations,
+        "warm start must save Jong iterations"
+    );
 }

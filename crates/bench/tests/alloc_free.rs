@@ -71,6 +71,42 @@ fn fig2_quick_cells_are_allocation_free_after_warmup() {
     assert!(measured.is_finite() && measured > 0.0);
 }
 
+/// The warm-start continuation must stay inside the pooled buffers too: a warmed-up
+/// workspace evaluating the same cells with `warm_start` enabled (carried multipliers,
+/// μ/ω brackets, rate-floor snapshots, fast-path probes) performs zero heap allocations.
+#[test]
+fn warm_started_cells_are_allocation_free_after_warmup() {
+    let mut cfg = Fig2Config::quick();
+    cfg.solver = cfg.solver.with_warm_start(true);
+    let scenarios = quick_grid_scenarios(&cfg);
+    let optimizer = JointOptimizer::new(cfg.solver);
+    let mut ws = SolverWorkspace::new();
+
+    let run_all_cells = |ws: &mut SolverWorkspace| {
+        let mut checksum = 0.0;
+        for scenario in &scenarios {
+            // The engine resets warm state at every cell-group boundary; mirror that here
+            // so the measured pass exercises both the reset and the in-group carry.
+            ws.reset_warm_start();
+            for &w in &cfg.weights {
+                let out = optimizer.solve_summary_with(scenario, w, ws).unwrap();
+                checksum += out.total_energy_j;
+            }
+        }
+        checksum
+    };
+
+    let warm = run_all_cells(&mut ws);
+    let before = thread_allocation_count();
+    let measured = run_all_cells(&mut ws);
+    assert_eq!(
+        thread_allocation_count() - before,
+        0,
+        "warm-started cells must not touch the heap after warm-up"
+    );
+    assert_eq!(measured, warm, "warm state is reset per scenario, so passes must agree");
+}
+
 #[test]
 fn sp2_solve_in_is_allocation_free_after_warmup() {
     let scenario = flsys::ScenarioBuilder::paper_default().with_devices(10).build(11).unwrap();

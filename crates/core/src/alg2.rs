@@ -156,16 +156,24 @@ impl JointOptimizer {
                 previous,
                 best,
                 trace,
+                counters,
                 ..
             } = &mut *ws;
+            counters.outer_iterations += 1;
             let sp1_sol =
                 sp1::solve_direct_in(scenario, weights, uploads_s, &self.config, frequencies_hz)?;
             allocation.frequencies_hz.copy_from_slice(frequencies_hz);
 
             // --- Subproblem 2: powers and bandwidths under the rate floors implied by T. ---
             rate_floors_into(scenario, sp1_sol.round_time_s, frequencies_hz, weights, r_min_bps);
-            sp2.stage_start(&allocation.powers_w, &allocation.bandwidths_hz);
+            if !(self.config.warm_start && k > 1) {
+                // Warm continuation keeps the previous SP2 iterate staged in the scratch
+                // (un-projected, which is what the fast path recognises); the cold path
+                // restages the projected allocation every iteration, as Algorithm 2 writes.
+                sp2.stage_start(&allocation.powers_w, &allocation.bandwidths_hz);
+            }
             let sp2_sol = sp2::solve_in(scenario, weights, r_min_bps, &self.config, sp2)?;
+            counters.record_sp2(&sp2_sol);
             allocation.powers_w.copy_from_slice(&sp2.solution().powers_w);
             allocation.bandwidths_hz.copy_from_slice(&sp2.solution().bandwidths_hz);
             allocation.project_feasible(scenario);
@@ -181,6 +189,7 @@ impl JointOptimizer {
                 total_time_s: cost.total_time_s,
                 solution_change: change,
                 sp2_converged: sp2_sol.converged,
+                sp2_iterations: sp2_sol.iterations,
             });
             if !have_best || objective < best_objective {
                 best_objective = objective;
@@ -321,8 +330,10 @@ impl JointOptimizer {
                 previous,
                 best,
                 trace,
+                counters,
                 ..
             } = &mut *ws;
+            counters.outer_iterations += 1;
 
             // Split every device's round deadline between computation and upload so that the
             // *total* per-device energy (computation at the implied frequency plus the
@@ -339,8 +350,14 @@ impl JointOptimizer {
             allocation.frequencies_hz.copy_from_slice(frequencies_hz);
 
             // Powers/bandwidths: communication-energy minimization under those rate floors.
-            sp2.stage_start(&allocation.powers_w, &allocation.bandwidths_hz);
+            if !(self.config.warm_start && k > 1) {
+                // Same warm continuation as the weighted loop — but never across the two
+                // seed runs: each run restages its own starting point at k = 1, preserving
+                // the dual-seed diversity the deadline search relies on.
+                sp2.stage_start(&allocation.powers_w, &allocation.bandwidths_hz);
+            }
             let sp2_sol = sp2::solve_in(scenario, weights, r_min_bps, &self.config, sp2)?;
+            counters.record_sp2(&sp2_sol);
             allocation.powers_w.copy_from_slice(&sp2.solution().powers_w);
             allocation.bandwidths_hz.copy_from_slice(&sp2.solution().bandwidths_hz);
             allocation.project_feasible(scenario);
@@ -358,6 +375,7 @@ impl JointOptimizer {
                 total_time_s: cost.total_time_s,
                 solution_change: change,
                 sp2_converged: sp2_sol.converged,
+                sp2_iterations: sp2_sol.iterations,
             });
             if meets_deadline && (!*have_best || objective < *best_energy) {
                 *best_energy = objective;
@@ -771,6 +789,96 @@ mod tests {
         assert!(!out.trace.is_empty());
         let best_traced = out.trace.best_objective().unwrap();
         assert!(out.objective <= best_traced * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn warm_start_matches_cold_within_outer_tol_and_saves_iterations() {
+        let s = scenario(10, 40);
+        let cold_opt = optimizer();
+        let warm_opt = JointOptimizer::new(SolverConfig::fast().with_warm_start(true));
+        for w in Weights::paper_sweep() {
+            let mut cold_ws = SolverWorkspace::new();
+            let mut warm_ws = SolverWorkspace::new();
+            let cold = cold_opt.solve_summary_with(&s, w, &mut cold_ws).unwrap();
+            let warm = warm_opt.solve_summary_with(&s, w, &mut warm_ws).unwrap();
+
+            let rel = (warm.objective - cold.objective).abs() / cold.objective;
+            assert!(
+                rel <= cold_opt.config().outer_tol,
+                "warm {} vs cold {} (rel {rel}) at {w:?}",
+                warm.objective,
+                cold.objective
+            );
+            assert_eq!(warm.converged, cold.converged, "convergence flags diverged at {w:?}");
+            assert!(warm_ws.best.is_feasible(&s, 1e-5));
+
+            // The continuation must do less inner work, not just different work.
+            assert!(
+                warm_ws.counters.jong_iterations <= cold_ws.counters.jong_iterations,
+                "warm jong {} > cold {} at {w:?}",
+                warm_ws.counters.jong_iterations,
+                cold_ws.counters.jong_iterations
+            );
+            assert!(
+                warm_ws.counters.mu_bisect_evals < cold_ws.counters.mu_bisect_evals,
+                "warm μ evals {} not below cold {} at {w:?}",
+                warm_ws.counters.mu_bisect_evals,
+                cold_ws.counters.mu_bisect_evals
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_deadline_variant_meets_deadline_and_matches_cold_energy() {
+        let s = scenario(10, 41);
+        let cold_opt = optimizer();
+        let warm_opt = JointOptimizer::new(SolverConfig::fast().with_warm_start(true));
+        let (_, fastest_round) = cold_opt.minimize_round_time(&s).unwrap();
+        let deadline = fastest_round * s.params.rg() * 1.8;
+
+        let cold = cold_opt.solve_with_deadline(&s, deadline).unwrap();
+        let mut warm_ws = SolverWorkspace::new();
+        let warm = warm_opt.solve_with_deadline_summary_in(&s, deadline, &mut warm_ws).unwrap();
+
+        assert!(warm.total_time_s <= deadline * 1.01, "warm run missed the deadline");
+        assert!(warm_ws.best.is_feasible(&s, 1e-5));
+        let rel = (warm.total_energy_j - cold.total_energy_j).abs() / cold.total_energy_j;
+        assert!(
+            rel <= 1e-2,
+            "warm deadline energy {} vs cold {} (rel {rel})",
+            warm.total_energy_j,
+            cold.total_energy_j
+        );
+    }
+
+    #[test]
+    fn warm_workspace_is_deterministic_after_reset() {
+        // The engine's determinism hinges on reset_warm_start(): a reused warm workspace,
+        // once reset, must reproduce the fresh-workspace warm result bit for bit.
+        let opt = JointOptimizer::new(SolverConfig::fast().with_warm_start(true));
+        let a = scenario(9, 42);
+        let b = scenario(6, 43);
+
+        let fresh = opt.solve_with(&b, Weights::balanced(), &mut SolverWorkspace::new()).unwrap();
+        let mut reused = SolverWorkspace::new();
+        opt.solve_with(&a, Weights::balanced(), &mut reused).unwrap(); // dirty the warm state
+        reused.reset_warm_start();
+        let after_reset = opt.solve_with(&b, Weights::balanced(), &mut reused).unwrap();
+        assert_eq!(after_reset, fresh, "reset_warm_start must restore fresh behaviour");
+    }
+
+    #[test]
+    fn trace_records_sp2_iterations_and_fast_path_hits_are_counted() {
+        let s = scenario(8, 44);
+        let warm_opt = JointOptimizer::new(SolverConfig::fast().with_warm_start(true));
+        let mut ws = SolverWorkspace::new();
+        let out = warm_opt.solve_with(&s, Weights::balanced(), &mut ws).unwrap();
+        assert!(!out.trace.is_empty());
+        // Jong iterations recorded per outer iteration must sum to the workspace total.
+        let traced: u64 = out.trace.iterations.iter().map(|it| it.sp2_iterations as u64).sum();
+        assert_eq!(traced, ws.counters.jong_iterations);
+        assert_eq!(ws.counters.outer_iterations, out.trace.len() as u64);
+        assert_eq!(ws.counters.jong_iterations, ws.counters.kkt_solves);
     }
 
     #[test]

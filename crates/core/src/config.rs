@@ -28,10 +28,39 @@ pub struct SolverConfig {
     /// If `true`, Subproblem 2 cross-checks the Newton-like (Theorem 2) solution against a
     /// direct reference solver and keeps whichever attains lower communication energy.
     pub polish_with_reference: bool,
+    /// Enables the warm-start continuation through the solver stack: Subproblem 2 seeds its
+    /// Newton-like loop with the previous solve's `(β, ν)` multipliers, reuses the previous
+    /// `μ`-bisection bracket, skips the loop entirely once the rate floors stop moving (see
+    /// [`SolverConfig::warm_rmin_tol`]), and Algorithm 2 carries the previous `(p, B)`
+    /// iterate between outer iterations instead of restaging it.
+    ///
+    /// `false` (the default) is the bit-exact reference path: no warm state is ever read
+    /// and results are identical to a solver without the continuation. With `true` the
+    /// solver converges to the same fixed point within the configured tolerances
+    /// (`outer_tol`, `jong.phi_tol`) but along a cheaper trajectory, so the last bits of
+    /// the result may differ; results can also depend on what a reused
+    /// [`SolverWorkspace`](crate::SolverWorkspace) solved last (the sweep engine resets
+    /// that state at every cell-group boundary to stay deterministic).
+    #[serde(default)]
+    pub warm_start: bool,
+    /// Maximum relative drift of Subproblem 2's rate floors `r_n^min` (against the previous
+    /// solve's floors) under which the warm-start fast path may skip the Newton-like loop.
+    /// Only read when [`SolverConfig::warm_start`] is set. The fast path additionally
+    /// requires the carried multipliers to satisfy `jong.phi_tol` at the staged point, so
+    /// this bound caps the *constraint* staleness the skip can hide; the objective error it
+    /// admits is of the same relative order. The defaults therefore track `outer_tol` — a
+    /// rate-floor movement the outer alternation itself would already call converged is the
+    /// natural definition of "the denominators stopped moving".
+    #[serde(default = "default_warm_rmin_tol")]
+    pub warm_rmin_tol: f64,
 }
 
 fn default_jong() -> JongConfig {
     JongConfig::default()
+}
+
+fn default_warm_rmin_tol() -> f64 {
+    1.0e-4
 }
 
 impl Default for SolverConfig {
@@ -45,6 +74,8 @@ impl Default for SolverConfig {
             feasibility_tol: 1.0e-6,
             bandwidth_floor_hz: 1.0,
             polish_with_reference: true,
+            warm_start: false,
+            warm_rmin_tol: default_warm_rmin_tol(),
         }
     }
 }
@@ -58,8 +89,15 @@ impl SolverConfig {
             jong: JongConfig { max_iter: 25, phi_tol: 1.0e-6, ..JongConfig::default() },
             mu_tol: 1.0e-9,
             scalar_tol: 1.0e-6,
+            warm_rmin_tol: 1.0e-3,
             ..Self::default()
         }
+    }
+
+    /// This configuration with the warm-start continuation switched on or off.
+    #[must_use]
+    pub fn with_warm_start(self, warm_start: bool) -> Self {
+        Self { warm_start, ..self }
     }
 }
 
@@ -82,5 +120,16 @@ mod tests {
         let def = SolverConfig::default();
         assert!(fast.outer_max_iter <= def.outer_max_iter);
         assert!(fast.outer_tol >= def.outer_tol);
+    }
+
+    #[test]
+    fn warm_start_defaults_are_cold_and_rmin_tol_tracks_outer_tol() {
+        let def = SolverConfig::default();
+        assert!(!def.warm_start, "the default must be the bit-exact cold reference path");
+        assert_eq!(def.warm_rmin_tol, def.outer_tol);
+        let fast = SolverConfig::fast();
+        assert!(!fast.warm_start);
+        assert_eq!(fast.warm_rmin_tol, fast.outer_tol);
+        assert!(SolverConfig::default().with_warm_start(true).warm_start);
     }
 }

@@ -47,7 +47,7 @@ pub use config::SolverConfig;
 pub use error::CoreError;
 pub use sp2::kkt::KktScratch;
 pub use sp2::{Sp2Scratch, Sp2Summary};
-pub use trace::{OuterIteration, Trace};
+pub use trace::{OuterIteration, SolveCounters, Trace};
 pub use workspace::SolverWorkspace;
 
 // Re-exported so downstream users can write `fedopt_core::Weights` without importing `flsys`.

@@ -161,7 +161,11 @@ pub fn solve_direct(
 ///
 /// The search itself is allocation-free: each golden-section probe evaluates the objective
 /// device by device instead of materialising a frequency vector per probe (the old
-/// per-probe `Vec` was the hottest allocation site of the whole sweep).
+/// per-probe `Vec` was the hottest allocation site of the whole sweep), and the per-device
+/// energy coefficient `κ·R_l·c_n·D_n` is hoisted out of the probe loop — it is staged in
+/// `frequencies_out` (pure scratch until the search ends) rather than recomputed for every
+/// probe, with the exact multiplication grouping of the unhoisted expression so results
+/// stay bit-identical.
 ///
 /// # Errors
 ///
@@ -210,13 +214,27 @@ pub fn solve_direct_in(
         return Ok(Sp1Summary { round_time_s: round, objective });
     }
 
+    // Hoist the per-device energy coefficient κ·R_l·c_n·D_n out of the probe loop, parked
+    // in the output buffer (which nothing reads until `frequencies_for_deadline_into`
+    // rewrites it after the search). The grouping `(κ·R_l)·c_nD_n` then `coef·f·f` matches
+    // the old inline `κ·R_l·c_nD_n·f·f` left-to-right evaluation exactly, so every probe
+    // value — and hence the search trajectory — is bit-identical to the unhoisted code.
+    frequencies_out.clear();
+    frequencies_out.extend(
+        scenario
+            .devices
+            .iter()
+            .map(|dev| params.kappa * params.rl() * dev.cycles_per_local_iteration()),
+    );
+    let energy_coef: &[f64] = frequencies_out;
+
     let objective_of_t = |t: f64| {
         // Same per-device terms and summation order as `computation_energy_term` over
         // `frequencies_for_deadline`, without the intermediate vector.
         let mut energy = 0.0;
-        for (dev, &t_up) in scenario.devices.iter().zip(upload_times_s) {
+        for (i, (dev, &t_up)) in scenario.devices.iter().zip(upload_times_s).enumerate() {
             let f = frequency_for_deadline(dev, rl, t, t_up);
-            energy += params.kappa * params.rl() * dev.cycles_per_local_iteration() * f * f;
+            energy += energy_coef[i] * f * f;
         }
         w1 * rg * energy + w2 * rg * t
     };
@@ -251,6 +269,26 @@ pub fn solve_dual(
     upload_times_s: &[f64],
     config: &SolverConfig,
 ) -> Result<Sp1Solution, CoreError> {
+    solve_dual_in(scenario, weights, upload_times_s, config, &mut Vec::new())
+}
+
+/// [`solve_dual`] with the `c_n·D_n` coefficient vector pooled through a caller-owned
+/// buffer (the [`SolverWorkspace::sp1_cd`](crate::SolverWorkspace) field is reserved for
+/// exactly this), so the dual reference path stops allocating that vector — and its
+/// historical per-closure clones of it and of the upload times — on every call. The ascent
+/// start vector and the projected-gradient internals still allocate; this path exists for
+/// fidelity and cross-checking, not for the sweep hot loop.
+///
+/// # Errors
+///
+/// Same as [`solve_dual`].
+pub fn solve_dual_in(
+    scenario: &Scenario,
+    weights: Weights,
+    upload_times_s: &[f64],
+    config: &SolverConfig,
+    cd_scratch: &mut Vec<f64>,
+) -> Result<Sp1Solution, CoreError> {
     check_lengths(scenario, upload_times_s)?;
     let w1 = weights.energy();
     let w2 = weights.time();
@@ -264,30 +302,23 @@ pub fn solve_dual(
     let h = rl * (w1 * kappa * rg).powf(1.0 / 3.0);
     let coef: f64 = 2f64.powf(-2.0 / 3.0) + 2f64.powf(1.0 / 3.0);
 
-    let cd: Vec<f64> = scenario.devices.iter().map(|d| d.cycles_per_local_iteration()).collect();
-    let t_up = upload_times_s.to_vec();
+    cd_scratch.clear();
+    cd_scratch.extend(scenario.devices.iter().map(|d| d.cycles_per_local_iteration()));
+    let cd: &[f64] = cd_scratch;
+    let t_up = upload_times_s;
     let radius = w2 * rg;
     let n = scenario.devices.len();
 
-    let objective = {
-        let cd = cd.clone();
-        let t_up = t_up.clone();
-        move |lambda: &[f64]| -> f64 {
-            lambda
-                .iter()
-                .enumerate()
-                .map(|(i, &l)| coef * h * cd[i] * l.max(0.0).powf(2.0 / 3.0) + t_up[i] * l)
-                .sum()
-        }
+    let objective = move |lambda: &[f64]| -> f64 {
+        lambda
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| coef * h * cd[i] * l.max(0.0).powf(2.0 / 3.0) + t_up[i] * l)
+            .sum()
     };
-    let gradient = {
-        let cd = cd.clone();
-        let t_up = t_up.clone();
-        move |lambda: &[f64], g: &mut [f64]| {
-            for i in 0..lambda.len() {
-                g[i] = (2.0 / 3.0) * coef * h * cd[i] * lambda[i].max(1e-18).powf(-1.0 / 3.0)
-                    + t_up[i];
-            }
+    let gradient = move |lambda: &[f64], g: &mut [f64]| {
+        for i in 0..lambda.len() {
+            g[i] = (2.0 / 3.0) * coef * h * cd[i] * lambda[i].max(1e-18).powf(-1.0 / 3.0) + t_up[i];
         }
     };
 

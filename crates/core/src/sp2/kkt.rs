@@ -46,16 +46,40 @@ pub(crate) struct LpEntry {
 
 /// Reusable scratch buffers of the Theorem-2 KKT construction.
 ///
-/// Every field is pure scratch: [`solve_parametric`] overwrites the contents on entry and
+/// Every buffer is pure scratch: [`solve_parametric`] overwrites the contents on entry and
 /// never reads state left by a previous call, so one instance can be reused across
 /// arbitrarily many solves (and across scenarios of different device counts — the buffers
 /// are resized per call). Reuse only saves the allocations.
+///
+/// Two kinds of *non-scratch* state ride along, neither of which affects the reference
+/// path: cumulative work counters ([`KktScratch::parametric_solves`],
+/// [`KktScratch::mu_bisect_evals`] — instrumentation only), and the warm-start `μ` seed —
+/// the previous bisection root, read **only** when
+/// [`SolverConfig::warm_start`](crate::SolverConfig) is set, and droppable at any time via
+/// [`KktScratch::reset_warm_start`].
 #[derive(Debug, Clone, Default)]
 pub struct KktScratch {
     /// `j_n = ν_n d_n N₀ / g_n` per device (the constant of Appendix B).
     j: Vec<f64>,
     /// LP entries of the devices whose rate constraint is slack (step 4b).
     entries: Vec<LpEntry>,
+    /// Cumulative count of Theorem-2 parametric solves performed with this scratch.
+    pub parametric_solves: u64,
+    /// Cumulative count of `g'(μ)` evaluations spent in the `μ` bisection (bracket
+    /// validation, expansion and root refinement alike).
+    pub mu_bisect_evals: u64,
+    /// The previous solve's bandwidth price `μ` — the warm-start bracket seed.
+    warm_mu: f64,
+    /// Whether [`KktScratch::warm_mu`] holds a usable seed.
+    warm_mu_valid: bool,
+}
+
+impl KktScratch {
+    /// Drops the carried `μ`-bracket seed: the next warm-start solve brackets from the
+    /// full conservative interval again.
+    pub fn reset_warm_start(&mut self) {
+        self.warm_mu_valid = false;
+    }
 }
 
 /// Solves the parametric subproblem `SP2_v2` for fixed `(ν, β)` via the Theorem-2
@@ -101,7 +125,9 @@ pub fn solve_parametric_into(
     let floor = problem.config().bandwidth_floor_hz;
     let r_min = problem.r_min_bps();
     let mut scratch = problem.scratch_mut();
-    let KktScratch { j, entries } = &mut *scratch;
+    let KktScratch { j, entries, parametric_solves, mu_bisect_evals, warm_mu, warm_mu_valid } =
+        &mut *scratch;
+    *parametric_solves += 1;
 
     // j_n = ν_n d_n N₀ / g_n (the constant of Appendix B).
     j.clear();
@@ -112,8 +138,11 @@ pub fn solve_parametric_into(
 
     // --- Step 3: bandwidth price μ from g'(μ) = 0 (bisection on a decreasing function). ---
     let has_rate_constraints = r_min.iter().any(|&r| r > 0.0);
+    let warm_start = problem.config().warm_start;
     let mu = if has_rate_constraints {
+        let evals = std::cell::Cell::new(0u64);
         let g_prime = |mu: f64| -> f64 {
+            evals.set(evals.get() + 1);
             let mut sum = 0.0;
             for i in 0..n {
                 if r_min[i] <= 0.0 {
@@ -129,18 +158,54 @@ pub fn solve_parametric_into(
         };
         let j_max = j.iter().cloned().fold(0.0_f64, f64::max).max(1e-300);
         let j_min = j.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-300);
-        let mu_lo = 1e-9 * j_min;
-        // Expand the upper bracket until the derivative is negative.
-        let mut mu_hi = 10.0 * j_max;
-        let mut expansions = 0;
-        while g_prime(mu_hi) > 0.0 && expansions < 200 {
-            mu_hi *= 4.0;
-            expansions += 1;
+
+        // Warm start: the Newton-like outer loop moves (ν, β) — and with them the root of
+        // g' — only a little per iteration, so bracket tightly around the previous root and
+        // expand geometrically if that turned out stale. Signs are validated before
+        // bisecting (g' decreasing ⇒ g'(lo) > 0 ≥ g'(hi)); any failure after a few
+        // expansions falls back to the full conservative bracket below. The tolerance is
+        // pinned to the *conservative* bracket's scale so a tight warm bracket saves
+        // halvings instead of buying unasked-for accuracy.
+        let mut warm_root = None;
+        if warm_start && *warm_mu_valid && *warm_mu > 0.0 && warm_mu.is_finite() {
+            let tol = problem.config().mu_tol * (10.0 * j_max);
+            let mut delta = 1e-3;
+            for _ in 0..4 {
+                let lo = (*warm_mu * (1.0 - delta)).max(1e-9 * j_min);
+                let hi = *warm_mu * (1.0 + delta);
+                if g_prime(lo) > 0.0 && g_prime(hi) <= 0.0 {
+                    // A failed refinement (e.g. a non-finite interior probe) falls back to
+                    // the conservative bracket below rather than failing the solve — the
+                    // warm bracket is only ever a hint.
+                    warm_root = root_of_decreasing(&g_prime, lo, hi, tol, 300).ok();
+                    break;
+                }
+                delta *= 16.0;
+            }
         }
-        root_of_decreasing(g_prime, mu_lo, mu_hi, problem.config().mu_tol * mu_hi, 300)?
+        let mu = match warm_root {
+            Some(mu) => mu,
+            None => {
+                let mu_lo = 1e-9 * j_min;
+                // Expand the upper bracket until the derivative is negative.
+                let mut mu_hi = 10.0 * j_max;
+                let mut expansions = 0;
+                while g_prime(mu_hi) > 0.0 && expansions < 200 {
+                    mu_hi *= 4.0;
+                    expansions += 1;
+                }
+                root_of_decreasing(&g_prime, mu_lo, mu_hi, problem.config().mu_tol * mu_hi, 300)?
+            }
+        };
+        *mu_bisect_evals += evals.get();
+        mu
     } else {
         0.0
     };
+    if warm_start && mu > 0.0 {
+        *warm_mu = mu;
+        *warm_mu_valid = true;
+    }
 
     // --- Step 2/4: per-device multipliers τ_n and the rate-tight closed form. Devices whose
     // rate constraint is slack get their LP data (previously a second pass) built inline.

@@ -33,7 +33,7 @@ use crate::config::SolverConfig;
 use crate::error::CoreError;
 use flsys::{Scenario, Weights};
 use kkt::KktScratch;
-use numopt::fractional::{solve_sum_of_ratios_in, FractionalProblem, JongScratch};
+use numopt::fractional::{solve_sum_of_ratios_warm_in, FractionalProblem, JongScratch, WarmMode};
 use numopt::NumError;
 use std::cell::RefCell;
 use wireless::channel::{power_for_rate, shannon_rate_raw};
@@ -76,7 +76,14 @@ impl PowerBandwidth {
 /// scenarios of any device count back to back and only capacity survives. The one
 /// flow-contract exception is the staged point: the caller stages the starting `(p, B)`
 /// with [`Sp2Scratch::stage_start`] immediately before [`solve_in`], and reads the solution
-/// back through [`Sp2Scratch::solution`] immediately after — nothing else is carried.
+/// back through [`Sp2Scratch::solution`] immediately after.
+///
+/// With [`SolverConfig::warm_start`] enabled, three more pieces deliberately survive
+/// between solves and seed the next one: the Newton-like loop's converged `(β, ν)` (in the
+/// [`JongScratch`]), the previous `μ`-bisection root (in the [`KktScratch`]), and the rate
+/// floors of the previous solve (`warm_r_min`, gating the fast path). None of them are ever
+/// read on the cold path, and [`Sp2Scratch::reset_warm_start`] drops them all — the sweep
+/// engine does so at every cell-group boundary so warm-started sweeps stay deterministic.
 #[derive(Debug, Clone, Default)]
 pub struct Sp2Scratch {
     /// Scratch of the Theorem-2 KKT construction (the parametric inner solver).
@@ -91,6 +98,13 @@ pub struct Sp2Scratch {
     reference: PowerBandwidth,
     /// Per-device minimum-bandwidth bounds of the reference solver.
     ref_b_lo: Vec<f64>,
+    /// Warm-start price seed of the reference polish pass.
+    ref_warm: reference::ReferenceWarmState,
+    /// Rate floors of the previous warm-start solve (the fast path fires only while the
+    /// current floors are within [`SolverConfig::warm_rmin_tol`] of these).
+    warm_r_min: Vec<f64>,
+    /// Whether [`Sp2Scratch::warm_r_min`] holds the floors of a successful previous solve.
+    warm_r_min_valid: bool,
 }
 
 impl Sp2Scratch {
@@ -101,6 +115,10 @@ impl Sp2Scratch {
 
     /// Stages the starting `(p, B)` point for the next [`solve_in`] call (overwriting
     /// whatever point a previous solve left behind).
+    ///
+    /// Warm-started callers (Algorithm 2 with [`SolverConfig::warm_start`]) skip this
+    /// between consecutive solves of the same scenario: the previous solution is already
+    /// staged, un-projected — which is exactly what lets the fast path recognise it.
     pub fn stage_start(&mut self, powers_w: &[f64], bandwidths_hz: &[f64]) {
         self.point.powers_w.clear();
         self.point.powers_w.extend_from_slice(powers_w);
@@ -111,6 +129,16 @@ impl Sp2Scratch {
     /// The solution point left behind by the last successful [`solve_in`] call.
     pub fn solution(&self) -> &PowerBandwidth {
         &self.point
+    }
+
+    /// Drops every piece of carried warm-start state (Jong multipliers, `μ` bracket, rate
+    /// floors): the next solve behaves as if this scratch had never solved anything, even
+    /// with [`SolverConfig::warm_start`] enabled.
+    pub fn reset_warm_start(&mut self) {
+        self.jong.invalidate_warm();
+        self.kkt.reset_warm_start();
+        self.ref_warm.reset();
+        self.warm_r_min_valid = false;
     }
 }
 
@@ -127,6 +155,13 @@ pub struct Sp2Summary {
     pub iterations: usize,
     /// `true` when the reference polish replaced the Newton-like solution.
     pub polished: bool,
+    /// `true` when the warm-start fast path skipped the Newton-like loop (and the polish)
+    /// because the carried multipliers still satisfied `phi_tol` at the staged point.
+    pub fast_path: bool,
+    /// Theorem-2 parametric (KKT) solves this call performed.
+    pub kkt_solves: u64,
+    /// `g'(μ)` evaluations the `μ` bisections of this call performed.
+    pub mu_bisect_evals: u64,
 }
 
 /// Result of a Subproblem-2 solve.
@@ -383,20 +418,54 @@ pub fn solve_in(
     // Lend the caller's KKT buffers to this problem instance for the duration of the solve;
     // they are swapped back (with whatever capacity they grew) before returning.
     std::mem::swap(&mut *problem.scratch_mut(), &mut scratch.kkt);
-    let Sp2Scratch { jong, point, spare, reference, ref_b_lo, .. } = &mut *scratch;
+    let kkt_solves_before = problem.scratch_mut().parametric_solves;
+    let mu_evals_before = problem.scratch_mut().mu_bisect_evals;
+    let Sp2Scratch {
+        jong,
+        point,
+        spare,
+        reference,
+        ref_b_lo,
+        ref_warm,
+        warm_r_min,
+        warm_r_min_valid,
+        ..
+    } = &mut *scratch;
 
     problem.sanitize(point);
 
+    // Warm mode: carry the previous solve's (β, ν) whenever warm start is enabled; allow
+    // the loop-skipping fast path only while the rate floors — the one part of the
+    // constraint set ϕ cannot see — are still where the carried multipliers left them.
+    let mode = if config.warm_start {
+        let n = scenario.devices.len();
+        let floors_static = *warm_r_min_valid
+            && warm_r_min.len() == n
+            && r_min_bps.iter().zip(warm_r_min.iter()).all(|(&r, &prev)| {
+                (r - prev).abs() <= config.warm_rmin_tol * r.abs().max(prev.abs()).max(1.0)
+            });
+        if floors_static {
+            WarmMode::FastPath
+        } else {
+            WarmMode::Multipliers
+        }
+    } else {
+        WarmMode::Cold
+    };
+    *warm_r_min_valid = false; // revalidated below on success
+
     // Newton-like path, running in place on the staged point (double-buffered with `spare`).
-    let newton = solve_sum_of_ratios_in(&problem, point, spare, config.jong, jong);
+    let newton = solve_sum_of_ratios_warm_in(&problem, point, spare, config.jong, jong, mode);
 
     let mut best_energy = f64::INFINITY;
     let mut have_best = false;
     let mut converged = false;
     let mut iterations = 0;
     let mut polished = false;
+    let mut fast_path = false;
 
     if let Ok(summary) = newton {
+        fast_path = summary.iterations == 0 && summary.converged;
         problem.sanitize(point);
         let energy = problem.comm_energy(point);
         if energy.is_finite() {
@@ -407,8 +476,11 @@ pub fn solve_in(
         }
     }
 
+    // The fast path skips the polish too: the returned point is the previous solve's, and
+    // that solve already compared it against the reference candidate.
     if (config.polish_with_reference || !have_best)
-        && reference::solve_reference_into(&problem, reference, ref_b_lo).is_ok()
+        && !fast_path
+        && reference::solve_reference_into(&problem, reference, ref_b_lo, ref_warm).is_ok()
     {
         problem.sanitize(reference);
         let energy = problem.comm_energy(reference);
@@ -417,7 +489,20 @@ pub fn solve_in(
             have_best = true;
             polished = true;
             std::mem::swap(point, reference);
+            if config.warm_start {
+                // The polish replaced the loop's solution, so the carried multipliers no
+                // longer describe the staged point; re-anchor them at the polished point so
+                // the continuation (and its fast path) stays consistent with what the next
+                // solve will see.
+                jong.reanchor(&problem, point);
+            }
         }
+    }
+
+    if have_best && config.warm_start {
+        warm_r_min.clear();
+        warm_r_min.extend_from_slice(r_min_bps);
+        *warm_r_min_valid = true;
     }
 
     std::mem::swap(&mut *problem.scratch_mut(), &mut scratch.kkt);
@@ -428,7 +513,15 @@ pub fn solve_in(
         ));
     }
 
-    Ok(Sp2Summary { comm_energy_per_round_j: best_energy, converged, iterations, polished })
+    Ok(Sp2Summary {
+        comm_energy_per_round_j: best_energy,
+        converged,
+        iterations,
+        polished,
+        fast_path,
+        kkt_solves: scratch.kkt.parametric_solves - kkt_solves_before,
+        mu_bisect_evals: scratch.kkt.mu_bisect_evals - mu_evals_before,
+    })
 }
 
 #[cfg(test)]
@@ -550,6 +643,97 @@ mod tests {
         }
         let b_sum: f64 = bad.bandwidths_hz.iter().sum();
         assert!(b_sum <= s.params.total_bandwidth.value() * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn warm_start_fast_path_fires_on_a_repeated_solve() {
+        let (s, cfg) = setup(10, 8);
+        let cfg = cfg.with_warm_start(true);
+        let r_min: Vec<f64> = s.devices.iter().map(|d| d.upload_bits / 0.05).collect();
+        let mut scratch = Sp2Scratch::new();
+        let start = equal_start(&s);
+        scratch.stage_start(&start.powers_w, &start.bandwidths_hz);
+        let first = solve_in(&s, Weights::balanced(), &r_min, &cfg, &mut scratch).unwrap();
+        assert!(!first.fast_path);
+        assert!(first.kkt_solves >= 1);
+
+        // Same floors, solution still staged: the carried multipliers satisfy phi at the
+        // staged point, so the whole Newton loop (and the polish) is skipped.
+        let second = solve_in(&s, Weights::balanced(), &r_min, &cfg, &mut scratch).unwrap();
+        assert!(second.fast_path, "expected the fast path on an unchanged problem");
+        assert_eq!(second.iterations, 0);
+        assert_eq!(second.kkt_solves, 0);
+        assert_eq!(second.comm_energy_per_round_j, first.comm_energy_per_round_j);
+
+        // Moving the rate floors beyond warm_rmin_tol must disarm the fast path.
+        let moved: Vec<f64> = r_min.iter().map(|r| r * 1.05).collect();
+        let third = solve_in(&s, Weights::balanced(), &moved, &cfg, &mut scratch).unwrap();
+        assert!(!third.fast_path, "5% floor move must force a real solve");
+
+        // And a warm-state reset restores cold-start behaviour entirely.
+        scratch.reset_warm_start();
+        scratch.stage_start(&start.powers_w, &start.bandwidths_hz);
+        let fourth = solve_in(&s, Weights::balanced(), &r_min, &cfg, &mut scratch).unwrap();
+        assert!(!fourth.fast_path);
+        assert!(fourth.iterations >= 1);
+    }
+
+    #[test]
+    fn warm_and_cold_solves_agree_on_energy_within_tolerance() {
+        let (s, cold_cfg) = setup(12, 9);
+        let warm_cfg = cold_cfg.with_warm_start(true);
+        let r_min: Vec<f64> = s.devices.iter().map(|d| d.upload_bits / 0.04).collect();
+
+        let mut cold_scratch = Sp2Scratch::new();
+        let start = equal_start(&s);
+        cold_scratch.stage_start(&start.powers_w, &start.bandwidths_hz);
+        let cold = solve_in(&s, Weights::balanced(), &r_min, &cold_cfg, &mut cold_scratch).unwrap();
+
+        // Dirty the warm scratch with a neighbouring problem first, then solve the real one:
+        // the carried multipliers/brackets must not pull the result off the fixed point.
+        let mut warm_scratch = Sp2Scratch::new();
+        let near: Vec<f64> = r_min.iter().map(|r| r * 1.02).collect();
+        warm_scratch.stage_start(&start.powers_w, &start.bandwidths_hz);
+        solve_in(&s, Weights::balanced(), &near, &warm_cfg, &mut warm_scratch).unwrap();
+        let warm = solve_in(&s, Weights::balanced(), &r_min, &warm_cfg, &mut warm_scratch).unwrap();
+
+        let rel = (warm.comm_energy_per_round_j - cold.comm_energy_per_round_j).abs()
+            / cold.comm_energy_per_round_j;
+        assert!(
+            rel <= 1e-3,
+            "warm {} vs cold {} (rel {rel})",
+            warm.comm_energy_per_round_j,
+            cold.comm_energy_per_round_j
+        );
+    }
+
+    #[test]
+    fn warm_start_spends_fewer_mu_bisection_evals() {
+        let (s, cfg) = setup(10, 10);
+        let warm_cfg = cfg.with_warm_start(true);
+        let start = equal_start(&s);
+
+        let run = |cfg: &SolverConfig| -> (u64, u64) {
+            let mut scratch = Sp2Scratch::new();
+            let mut mu = 0;
+            let mut kkt = 0;
+            // Re-stage every time (so no fast path): isolate the μ-bracket carry.
+            for window in [0.050, 0.0502, 0.0504] {
+                let floors: Vec<f64> = s.devices.iter().map(|d| d.upload_bits / window).collect();
+                scratch.stage_start(&start.powers_w, &start.bandwidths_hz);
+                let out = solve_in(&s, Weights::balanced(), &floors, cfg, &mut scratch).unwrap();
+                mu += out.mu_bisect_evals;
+                kkt += out.kkt_solves;
+            }
+            (mu, kkt)
+        };
+        let (cold_mu, cold_kkt) = run(&cfg);
+        let (warm_mu, warm_kkt) = run(&warm_cfg);
+        assert!(cold_kkt > 0 && warm_kkt > 0);
+        assert!(
+            warm_mu < cold_mu,
+            "warm μ-bracket reuse must save g'(μ) evaluations: warm {warm_mu} vs cold {cold_mu}"
+        );
     }
 
     #[test]

@@ -22,6 +22,28 @@ use numopt::scalar::golden_section_min_with_endpoints;
 use numopt::NumError;
 use wireless::channel::{power_for_rate, shannon_rate_raw};
 
+/// Warm-start carry-over of the reference solver: the bandwidth-price `ω` at which the
+/// previous solve's aggregate demand cleared the budget.
+///
+/// Successive Subproblem-2 solves inside Algorithm 2's alternation differ only slightly, so
+/// the clearing price barely moves; seeding the next search with a tight bracket around the
+/// previous `ω` replaces both the cold path's geometric price expansion (from `10⁻¹²`, a
+/// full aggregate-demand evaluation per quadrupling) and most of its fixed 60 bisection
+/// halvings. Only read when [`SolverConfig::warm_start`](crate::SolverConfig) is enabled;
+/// [`ReferenceWarmState::reset`] drops the seed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReferenceWarmState {
+    omega: f64,
+    valid: bool,
+}
+
+impl ReferenceWarmState {
+    /// Drops the carried price seed: the next solve brackets from scratch.
+    pub fn reset(&mut self) {
+        self.valid = false;
+    }
+}
+
 /// Per-device energy under the "smallest feasible power" rule.
 fn device_energy(problem: &Sp2Problem<'_>, i: usize, bandwidth: f64) -> f64 {
     let dev = &problem.scenario().devices[i];
@@ -108,7 +130,7 @@ pub fn solve_reference(
     _start: &PowerBandwidth,
 ) -> Result<PowerBandwidth, NumError> {
     let mut point = PowerBandwidth::new(Vec::new(), Vec::new());
-    solve_reference_into(problem, &mut point, &mut Vec::new())?;
+    solve_reference_into(problem, &mut point, &mut Vec::new(), &mut ReferenceWarmState::default())?;
     Ok(point)
 }
 
@@ -116,7 +138,13 @@ pub fn solve_reference(
 /// by the `polish_with_reference` pass of every Subproblem-2 solve.
 ///
 /// `out` and `b_lo_scratch` are pure scratch: overwritten completely, resized to the
-/// scenario, never read across calls. Results are bit-identical to [`solve_reference`].
+/// scenario, never read across calls. `warm` carries the previous clearing price between
+/// calls; it is only read (and only written) when
+/// [`SolverConfig::warm_start`](crate::SolverConfig) is enabled, so with warm start off —
+/// or a freshly-reset `warm` — results are bit-identical to [`solve_reference`]. The warm
+/// search stops at `scalar_tol` *relative* accuracy on `ω` instead of the cold path's fixed
+/// 60 absolute halvings; the bandwidth picks depend smoothly on the price, so the points
+/// agree to the same relative order.
 ///
 /// # Errors
 ///
@@ -125,11 +153,13 @@ pub fn solve_reference_into(
     problem: &Sp2Problem<'_>,
     out: &mut PowerBandwidth,
     b_lo_scratch: &mut Vec<f64>,
+    warm: &mut ReferenceWarmState,
 ) -> Result<(), NumError> {
     let scenario = problem.scenario();
     let n = scenario.devices.len();
     let b_total = problem.total_bandwidth();
     let n0 = problem.n0();
+    let warm_on = problem.config().warm_start;
 
     b_lo_scratch.clear();
     b_lo_scratch.extend((0..n).map(|i| min_bandwidth(problem, i)));
@@ -153,16 +183,38 @@ pub fn solve_reference_into(
             }
             Ok(total)
         };
-        // Find an upper price at which demand fits inside the budget.
-        let mut omega_hi = 1e-12;
-        let mut tries = 0;
-        while demand(omega_hi)? > b_total && tries < 80 {
-            omega_hi *= 4.0;
-            tries += 1;
+        // Warm start: bracket tightly around the previous clearing price (validated — the
+        // aggregate demand is decreasing in ω, so the bracket must straddle the budget) and
+        // skip the cold geometric expansion entirely when it holds.
+        let mut bracket = None;
+        if warm_on && warm.valid && warm.omega > 0.0 && warm.omega.is_finite() {
+            let lo = warm.omega * 0.25;
+            let hi = warm.omega * 4.0;
+            if demand(lo)? > b_total && demand(hi)? <= b_total {
+                bracket = Some((lo, hi));
+            }
         }
-        let mut omega_lo = 0.0;
-        // Bisection on the (decreasing) aggregate demand.
+        let (mut omega_lo, mut omega_hi) = match bracket {
+            Some(bracket) => bracket,
+            None => {
+                // Find an upper price at which demand fits inside the budget.
+                let mut omega_hi = 1e-12;
+                let mut tries = 0;
+                while demand(omega_hi)? > b_total && tries < 80 {
+                    omega_hi *= 4.0;
+                    tries += 1;
+                }
+                (0.0, omega_hi)
+            }
+        };
+        // Bisection on the (decreasing) aggregate demand. The cold path keeps its
+        // historical fixed 60 halvings (bit-identity); the warm path stops at scalar_tol
+        // relative accuracy on ω, which the smooth price→bandwidth map carries through.
+        let omega_tol = if warm_on { problem.config().scalar_tol } else { 0.0 };
         for _ in 0..60 {
+            if warm_on && (omega_hi - omega_lo) <= omega_tol * omega_hi {
+                break;
+            }
             let mid = 0.5 * (omega_lo + omega_hi);
             if demand(mid)? > b_total {
                 omega_lo = mid;
@@ -181,6 +233,10 @@ pub fn solve_reference_into(
             for b in bandwidths.iter_mut() {
                 *b *= scale;
             }
+        }
+        if warm_on {
+            warm.omega = omega_hi;
+            warm.valid = true;
         }
     }
 

@@ -17,6 +17,67 @@ pub struct OuterIteration {
     pub solution_change: f64,
     /// Whether the Subproblem-2 Newton-like loop reported convergence in this iteration.
     pub sp2_converged: bool,
+    /// Newton-like (Jong / Algorithm-1) iterations Subproblem 2 used in this iteration
+    /// (`0` when the warm-start fast path skipped the loop).
+    pub sp2_iterations: usize,
+}
+
+/// Cumulative work counters of the solver stack, accumulated in a
+/// [`SolverWorkspace`](crate::SolverWorkspace) across every solve that borrows it.
+///
+/// The counts are instrumentation only — they never influence the solve — and they are a
+/// deterministic function of the solve inputs (plus any carried warm-start state), so
+/// per-sweep totals are reproducible across thread counts. Warm-start savings are asserted
+/// against these counters in tests, not just benchmarked: a warm-started sweep must spend
+/// strictly fewer Jong iterations than a cold one on the same grid.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveCounters {
+    /// Outer iterations of Algorithm 2 (both the weighted and the deadline alternation).
+    pub outer_iterations: u64,
+    /// Newton-like (Jong / Algorithm-1) iterations across all Subproblem-2 solves.
+    pub jong_iterations: u64,
+    /// Theorem-2 parametric (KKT) solves across all Subproblem-2 solves.
+    pub kkt_solves: u64,
+    /// `g'(μ)` evaluations across all `μ` bisections.
+    pub mu_bisect_evals: u64,
+    /// Subproblem-2 solves short-circuited by the warm-start fast path.
+    pub sp2_fast_path_hits: u64,
+}
+
+impl SolveCounters {
+    /// Adds `other`'s counts onto `self`.
+    pub fn add(&mut self, other: &Self) {
+        self.outer_iterations += other.outer_iterations;
+        self.jong_iterations += other.jong_iterations;
+        self.kkt_solves += other.kkt_solves;
+        self.mu_bisect_evals += other.mu_bisect_evals;
+        self.sp2_fast_path_hits += other.sp2_fast_path_hits;
+    }
+
+    /// The counts accumulated since an `earlier` snapshot of the same counter set.
+    #[must_use]
+    pub fn since(&self, earlier: &Self) -> Self {
+        Self {
+            outer_iterations: self.outer_iterations - earlier.outer_iterations,
+            jong_iterations: self.jong_iterations - earlier.jong_iterations,
+            kkt_solves: self.kkt_solves - earlier.kkt_solves,
+            mu_bisect_evals: self.mu_bisect_evals - earlier.mu_bisect_evals,
+            sp2_fast_path_hits: self.sp2_fast_path_hits - earlier.sp2_fast_path_hits,
+        }
+    }
+
+    /// Resets every count to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Folds one Subproblem-2 solve's summary into the counters.
+    pub fn record_sp2(&mut self, summary: &crate::sp2::Sp2Summary) {
+        self.jong_iterations += summary.iterations as u64;
+        self.kkt_solves += summary.kkt_solves;
+        self.mu_bisect_evals += summary.mu_bisect_evals;
+        self.sp2_fast_path_hits += u64::from(summary.fast_path);
+    }
 }
 
 /// Full convergence trace of one solver run.
@@ -73,6 +134,7 @@ mod tests {
             total_time_s: obj / 2.0,
             solution_change: 0.1,
             sp2_converged: true,
+            sp2_iterations: 3,
         }
     }
 

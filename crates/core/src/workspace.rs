@@ -9,21 +9,36 @@
 //!
 //! # Reuse contract: everything is scratch, nothing is carried
 //!
-//! No field of the workspace carries information between solver calls. Every entry point
-//! that borrows the workspace clears or overwrites each buffer it touches *before* reading
-//! it, and resizes buffers to the scenario at hand — so one workspace can serve scenarios
-//! of different device counts back to back, and a freshly-created workspace produces
+//! No field of the workspace carries *signal* between solver calls. Every entry point that
+//! borrows the workspace clears or overwrites each buffer it touches *before* reading it,
+//! and resizes buffers to the scenario at hand — so one workspace can serve scenarios of
+//! different device counts back to back, and a freshly-created workspace produces
 //! bit-identical results to a heavily reused one (a regression test in this module holds
 //! that promise down). The only thing reuse preserves is `Vec` capacity.
 //!
+//! Two gated exceptions ride along without weakening that contract on the reference path:
+//!
+//! * [`SolverWorkspace::counters`] accumulates iteration counts across solves —
+//!   instrumentation only, never read by any solver.
+//! * With [`SolverConfig::warm_start`](crate::SolverConfig) **enabled**, the Subproblem-2
+//!   scratch deliberately carries the previous solve's Jong multipliers, `μ`-bisection
+//!   bracket and rate floors to seed the next solve. Results then converge to the same
+//!   fixed point within the configured tolerances but may differ in the last bits
+//!   depending on what the workspace solved before;
+//!   [`SolverWorkspace::reset_warm_start`] restores the fresh-workspace behaviour. With
+//!   warm start disabled (the default) none of that state is ever read and the strict
+//!   contract holds bit for bit.
+//!
 //! The intended pattern is one workspace per worker thread, living as long as the worker:
-//! the sweep engine (`experiments::engine`) creates one per worker and threads it through
-//! `Arm::evaluate` for every cell that worker picks up.
+//! the sweep engine (`experiments::engine`) creates one per worker, threads it through
+//! `Arm::evaluate` for every cell that worker picks up, and calls
+//! [`SolverWorkspace::reset_warm_start`] at every cell-group boundary so warm-started
+//! sweeps stay bit-identical across thread counts.
 //!
 //! [`JointOptimizer::solve`]: crate::JointOptimizer::solve
 
 use crate::sp2::Sp2Scratch;
-use crate::trace::OuterIteration;
+use crate::trace::{OuterIteration, SolveCounters};
 use flsys::Allocation;
 
 /// Reusable per-device buffers for [`JointOptimizer`](crate::JointOptimizer), Subproblem 1,
@@ -55,6 +70,12 @@ pub struct SolverWorkspace {
     pub best: Allocation,
     /// Pooled backing store of the convergence [`Trace`](crate::Trace) — cleared per solve.
     pub trace: Vec<OuterIteration>,
+    /// Cumulative iteration counters of every solve that borrowed this workspace
+    /// (instrumentation only; reset with [`SolveCounters::reset`]).
+    pub counters: SolveCounters,
+    /// Pooled coefficient vector of the Subproblem-1 dual reference path
+    /// ([`crate::sp1::solve_dual_in`]).
+    pub sp1_cd: Vec<f64>,
 }
 
 impl SolverWorkspace {
@@ -75,7 +96,16 @@ impl SolverWorkspace {
             previous: Allocation::default(),
             best: Allocation::default(),
             trace: Vec::new(),
+            counters: SolveCounters::default(),
+            sp1_cd: Vec::with_capacity(n),
         }
+    }
+
+    /// Drops every piece of carried warm-start state (Jong multipliers, `μ` bracket, rate
+    /// floors), restoring fresh-workspace behaviour for the next warm-started solve. A
+    /// no-op for results when [`SolverConfig::warm_start`](crate::SolverConfig) is off.
+    pub fn reset_warm_start(&mut self) {
+        self.sp2.reset_warm_start();
     }
 
     /// Fills [`Self::uploads_s`] with the per-device upload times `T_n^up = d_n / r_n`

@@ -1,6 +1,6 @@
 //! Property-based tests of the resource-allocation solver's invariants.
 
-use fedopt_core::{JointOptimizer, SolverConfig, Weights};
+use fedopt_core::{JointOptimizer, SolverConfig, SolverWorkspace, Weights};
 use flsys::{Allocation, ScenarioBuilder};
 use proptest::prelude::*;
 
@@ -29,6 +29,45 @@ proptest! {
 
         let naive = scenario.cost(&Allocation::equal_split_max(&scenario)).unwrap();
         prop_assert!(outcome.objective <= naive.objective(weights) * (1.0 + 1e-9));
+    }
+
+    /// The warm-start continuation converges to the same fixed point as the cold reference
+    /// path: objectives agree within `outer_tol` (relative), the convergence flags match,
+    /// and the warm best iterate is feasible — across random scenarios, device counts
+    /// 2–25 and the whole weight range.
+    #[test]
+    fn warm_start_agrees_with_cold_within_outer_tol(
+        seed in 0u64..300,
+        devices in 2usize..26,
+        w1_tenths in 1u32..10,
+    ) {
+        let scenario = ScenarioBuilder::paper_default().with_devices(devices).build(seed).unwrap();
+        let w1 = f64::from(w1_tenths) / 10.0;
+        let weights = Weights::new(w1, 1.0 - w1).unwrap();
+        let cold_cfg = SolverConfig::fast();
+        let warm_cfg = cold_cfg.with_warm_start(true);
+
+        let mut cold_ws = SolverWorkspace::new();
+        let mut warm_ws = SolverWorkspace::new();
+        let cold = JointOptimizer::new(cold_cfg)
+            .solve_summary_with(&scenario, weights, &mut cold_ws)
+            .unwrap();
+        let warm = JointOptimizer::new(warm_cfg)
+            .solve_summary_with(&scenario, weights, &mut warm_ws)
+            .unwrap();
+
+        let rel = (warm.objective - cold.objective).abs() / cold.objective;
+        prop_assert!(
+            rel <= cold_cfg.outer_tol,
+            "warm {} vs cold {} (rel {rel})", warm.objective, cold.objective
+        );
+        prop_assert!(warm.converged == cold.converged,
+            "convergence flags diverged (warm {}, cold {})", warm.converged, cold.converged);
+        prop_assert!(warm_ws.best.is_feasible(&scenario, 1e-5));
+        // Warm must never do *more* inner work than cold.
+        prop_assert!(warm_ws.counters.jong_iterations <= cold_ws.counters.jong_iterations,
+            "warm jong {} > cold {}",
+            warm_ws.counters.jong_iterations, cold_ws.counters.jong_iterations);
     }
 
     /// The deadline-constrained variant either meets the deadline or reports infeasibility —

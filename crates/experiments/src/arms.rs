@@ -33,7 +33,7 @@ impl DeadlineSource {
 #[derive(Debug, Clone)]
 pub struct ProposedArm {
     weights: Weights,
-    optimizer: JointOptimizer,
+    solver: SolverConfig,
     name: String,
 }
 
@@ -42,7 +42,7 @@ impl ProposedArm {
     /// (`proposed w1=…,w2=…`).
     pub fn new(weights: Weights, solver: SolverConfig) -> Self {
         let name = format!("proposed w1={:.1},w2={:.1}", weights.energy(), weights.time());
-        Self { weights, optimizer: JointOptimizer::new(solver), name }
+        Self { weights, solver, name }
     }
 
     /// Overrides the column label (Figures 5 and 6 label series by N or R_g instead).
@@ -63,9 +63,12 @@ impl Arm for ProposedArm {
         scenario: &Scenario,
         ctx: &mut CellContext<'_>,
     ) -> Result<Option<CellOutput>, CoreError> {
+        // The optimizer is rebuilt per cell (a copy of one plain-data config — free) so the
+        // engine's warm-start switch gates the solver uniformly across every arm.
+        let optimizer = JointOptimizer::new(ctx.solver_config(&self.solver));
         // The summary path: bit-identical totals to `solve_with`, but the cell performs
         // zero heap allocations in steady state (everything lives in the workspace).
-        let out = self.optimizer.solve_summary_with(scenario, self.weights, ctx.workspace)?;
+        let out = optimizer.solve_summary_with(scenario, self.weights, ctx.workspace)?;
         Ok(Some(CellOutput::new(out.total_energy_j, out.total_time_s)))
     }
 }
@@ -77,7 +80,7 @@ impl Arm for ProposedArm {
 #[derive(Debug, Clone)]
 pub struct DeadlineProposedArm {
     deadline: DeadlineSource,
-    optimizer: JointOptimizer,
+    solver: SolverConfig,
     name: String,
 }
 
@@ -89,7 +92,7 @@ impl DeadlineProposedArm {
             DeadlineSource::FromX => "proposed".to_string(),
             DeadlineSource::Fixed(t) => format!("proposed (T={t:.0}s)"),
         };
-        Self { deadline, optimizer: JointOptimizer::new(solver), name }
+        Self { deadline, solver, name }
     }
 }
 
@@ -103,8 +106,9 @@ impl Arm for DeadlineProposedArm {
         scenario: &Scenario,
         ctx: &mut CellContext<'_>,
     ) -> Result<Option<CellOutput>, CoreError> {
+        let optimizer = JointOptimizer::new(ctx.solver_config(&self.solver));
         let deadline_s = self.deadline.deadline_s(ctx);
-        match self.optimizer.solve_with_deadline_summary_in(scenario, deadline_s, ctx.workspace) {
+        match optimizer.solve_with_deadline_summary_in(scenario, deadline_s, ctx.workspace) {
             Ok(out) => Ok(Some(CellOutput::new(out.total_energy_j, out.total_time_s))),
             Err(CoreError::InfeasibleDeadline { .. }) => Ok(None),
             Err(e) => Err(e),
@@ -159,13 +163,13 @@ impl Arm for BenchmarkArm {
 /// Communication-only optimization under the sweep point's deadline (Figure 7).
 #[derive(Debug, Clone)]
 pub struct CommOnlyArm {
-    allocator: CommOnlyAllocator,
+    solver: SolverConfig,
 }
 
 impl CommOnlyArm {
     /// Creates the arm.
     pub fn new(solver: SolverConfig) -> Self {
-        Self { allocator: CommOnlyAllocator::new(solver) }
+        Self { solver }
     }
 }
 
@@ -179,7 +183,8 @@ impl Arm for CommOnlyArm {
         scenario: &Scenario,
         ctx: &mut CellContext<'_>,
     ) -> Result<Option<CellOutput>, CoreError> {
-        let summary = self.allocator.allocate_summary_with(scenario, ctx.x, ctx.workspace)?;
+        let allocator = CommOnlyAllocator::new(ctx.solver_config(&self.solver));
+        let summary = allocator.allocate_summary_with(scenario, ctx.x, ctx.workspace)?;
         Ok(Some(CellOutput::new(summary.total_energy_j, summary.total_time_s)))
     }
 }
@@ -187,13 +192,13 @@ impl Arm for CommOnlyArm {
 /// Computation-only optimization under the sweep point's deadline (Figure 7).
 #[derive(Debug, Clone)]
 pub struct CompOnlyArm {
-    allocator: CompOnlyAllocator,
+    solver: SolverConfig,
 }
 
 impl CompOnlyArm {
     /// Creates the arm.
     pub fn new(solver: SolverConfig) -> Self {
-        Self { allocator: CompOnlyAllocator::new(solver) }
+        Self { solver }
     }
 }
 
@@ -207,7 +212,8 @@ impl Arm for CompOnlyArm {
         scenario: &Scenario,
         ctx: &mut CellContext<'_>,
     ) -> Result<Option<CellOutput>, CoreError> {
-        let summary = self.allocator.allocate_summary_with(scenario, ctx.x, ctx.workspace)?;
+        let allocator = CompOnlyAllocator::new(ctx.solver_config(&self.solver));
+        let summary = allocator.allocate_summary_with(scenario, ctx.x, ctx.workspace)?;
         Ok(Some(CellOutput::new(summary.total_energy_j, summary.total_time_s)))
     }
 }
@@ -215,14 +221,14 @@ impl Arm for CompOnlyArm {
 /// Scheme 1 (Yang et al., IEEE TWC 2021) at a fixed deadline (Figure 8).
 #[derive(Debug, Clone)]
 pub struct Scheme1Arm {
-    allocator: Scheme1Allocator,
+    solver: SolverConfig,
     deadline_s: f64,
 }
 
 impl Scheme1Arm {
     /// Creates the arm for one deadline series.
     pub fn new(deadline_s: f64, solver: SolverConfig) -> Self {
-        Self { allocator: Scheme1Allocator::new(solver), deadline_s }
+        Self { solver, deadline_s }
     }
 }
 
@@ -236,8 +242,8 @@ impl Arm for Scheme1Arm {
         scenario: &Scenario,
         ctx: &mut CellContext<'_>,
     ) -> Result<Option<CellOutput>, CoreError> {
-        let summary =
-            self.allocator.allocate_summary_with(scenario, self.deadline_s, ctx.workspace)?;
+        let allocator = Scheme1Allocator::new(ctx.solver_config(&self.solver));
+        let summary = allocator.allocate_summary_with(scenario, self.deadline_s, ctx.workspace)?;
         Ok(Some(CellOutput::new(summary.total_energy_j, summary.total_time_s)))
     }
 }

@@ -56,7 +56,7 @@
 //! `rayon`, and the engine needs nothing more than an indexed parallel map.
 
 use crate::report::FigureReport;
-use fedopt_core::{CoreError, SolverWorkspace};
+use fedopt_core::{CoreError, SolveCounters, SolverConfig, SolverWorkspace};
 use flsys::{Scenario, ScenarioBuilder};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -93,10 +93,28 @@ pub struct CellContext<'a> {
     pub point_idx: usize,
     /// Index of the arm within [`SweepGrid::arms`].
     pub arm_idx: usize,
+    /// Whether this sweep runs with the warm-start continuation
+    /// ([`SweepEngine::with_warm_start`]). Arms must gate their solver configuration
+    /// through [`CellContext::solver_config`] so the engine-level switch wins over
+    /// whatever the arm was constructed with.
+    pub warm_start: bool,
     /// The worker thread's reusable solver workspace. Pure scratch (see
     /// `fedopt_core::workspace` for the contract): arms may hand it to any `*_with` solver
-    /// entry point but must not expect state to survive between cells.
+    /// entry point but must not expect state to survive between cells. With warm start
+    /// enabled, solver state *does* carry between the cells of one (point, seed, scenario)
+    /// group — in the grid's fixed arm order, reset by the engine at every group boundary,
+    /// so results stay bit-identical across thread counts.
     pub workspace: &'a mut SolverWorkspace,
+}
+
+impl CellContext<'_> {
+    /// The arm's solver configuration with the engine's warm-start switch applied: the
+    /// sweep-level [`SweepEngine::with_warm_start`] decision overrides the config the arm
+    /// was built with, so one engine flag flips the whole grid between the bit-exact cold
+    /// reference path and the warm continuation.
+    pub fn solver_config(&self, base: &SolverConfig) -> SolverConfig {
+        base.with_warm_start(self.warm_start)
+    }
 }
 
 /// One scheme being swept: a column of the resulting figure.
@@ -290,6 +308,10 @@ pub struct SweepCounters {
     pub scenarios_built: usize,
     /// Number of [`Arm::evaluate`] calls the sweep performed.
     pub cells_evaluated: usize,
+    /// Solver-stack iteration totals (outer, Jong, KKT, `μ`-bisection, fast-path hits)
+    /// summed over every cell — the evidence that warm starting saves iterations, not just
+    /// wall clock. Deterministic for a successful sweep, independent of thread count.
+    pub solver: SolveCounters,
 }
 
 /// The evaluated grid: one [`Aggregate`] per (point, arm).
@@ -343,6 +365,13 @@ impl SweepResult {
 /// through both the sequential and the multi-worker scheduling path.
 pub const THREADS_ENV: &str = "FEDOPT_SWEEP_THREADS";
 
+/// Environment variable read by [`SweepEngine::new`] to set the default warm-start switch
+/// (`1`/`true` enables, `0`/`false` disables; anything else is ignored and the default —
+/// off, the bit-exact cold reference path — applies). CI uses it to run the whole test
+/// suite with the warm continuation both on and off; tests that pin bit-exact reference
+/// outputs force [`SweepEngine::with_warm_start`]`(false)` explicitly.
+pub const WARM_START_ENV: &str = "FEDOPT_WARM_START";
+
 /// Default number of seeds per streaming chunk (see [`SweepEngine::with_seed_chunk`]).
 pub const DEFAULT_SEED_CHUNK: usize = 64;
 
@@ -353,6 +382,7 @@ pub struct SweepEngine {
     share_scenarios: bool,
     streaming: bool,
     seed_chunk: NonZeroUsize,
+    warm_start: bool,
 }
 
 impl Default for SweepEngine {
@@ -362,18 +392,28 @@ impl Default for SweepEngine {
 }
 
 impl SweepEngine {
-    /// An engine using all available CPU parallelism (or the [`THREADS_ENV`] override).
+    /// An engine using all available CPU parallelism (or the [`THREADS_ENV`] override) and
+    /// the [`WARM_START_ENV`] default for the warm-start switch.
     pub fn new() -> Self {
         let threads = std::env::var(THREADS_ENV)
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
             .and_then(NonZeroUsize::new)
             .unwrap_or_else(|| std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN));
+        let warm_start = std::env::var(WARM_START_ENV)
+            .ok()
+            .and_then(|v| match v.trim() {
+                "1" | "true" | "TRUE" | "True" => Some(true),
+                "0" | "false" | "FALSE" | "False" => Some(false),
+                _ => None,
+            })
+            .unwrap_or(false);
         Self {
             threads,
             share_scenarios: true,
             streaming: true,
             seed_chunk: NonZeroUsize::new(DEFAULT_SEED_CHUNK).expect("nonzero"),
+            warm_start,
         }
     }
 
@@ -403,6 +443,26 @@ impl SweepEngine {
     /// Whether this engine shares scenario builds across the arms of a cell-group.
     pub fn shares_scenarios(&self) -> bool {
         self.share_scenarios
+    }
+
+    /// Enables or disables the warm-start continuation for every arm of the sweep
+    /// (default: the [`WARM_START_ENV`] setting, off when unset). With warm start on, the
+    /// solver carries Jong multipliers, `μ`-bisection brackets and rate floors between the
+    /// outer iterations of each solve **and** across the arms of one (point, seed,
+    /// scenario) cell-group — in the grid's fixed arm order, reset at every group boundary,
+    /// so the output is still bit-identical across thread counts (just not bit-identical to
+    /// the cold path: warm solves converge to the same fixed point within the solver
+    /// tolerances along a cheaper trajectory). `with_warm_start(false)` is the bit-exact
+    /// cold reference path regardless of the arms' own configs.
+    #[must_use]
+    pub fn with_warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
+        self
+    }
+
+    /// Whether this engine runs sweeps with the warm-start continuation.
+    pub fn warm_starts(&self) -> bool {
+        self.warm_start
     }
 
     /// Enables or disables the streaming reduction (default: enabled). With streaming the
@@ -542,6 +602,7 @@ impl SweepEngine {
         let failed = AtomicBool::new(false);
         let scenarios_built = AtomicUsize::new(0);
         let cells_evaluated = AtomicUsize::new(0);
+        let solver_totals = Mutex::new(SolveCounters::default());
         let reducer = StreamReducer::new(n_points, n_arms, n_chunks, chunk, n_seeds, window);
         let evaluator = GroupEvaluator {
             grid,
@@ -550,6 +611,8 @@ impl SweepEngine {
             failed: &failed,
             scenarios_built: &scenarios_built,
             cells_evaluated: &cells_evaluated,
+            warm_start: self.warm_start,
+            solver_totals: &solver_totals,
         };
 
         // The (point, arm, seed) slot index of a cell — the same error-ordering key the
@@ -562,6 +625,12 @@ impl SweepEngine {
             let mut ws = SolverWorkspace::new();
             let mut buf: Vec<Option<CellOutput>> = Vec::new();
             while let Some(item) = reducer.claim() {
+                // A claimed item that is neither deposited nor aborted would pin the fold
+                // frontier and leave peers blocked in `claim` forever. The only way to exit
+                // this block without reaching the deposit/abort decision below is a panic
+                // mid-cell — the guard's Drop then poisons the reducer so every peer drains
+                // and the panic propagates through the scope join instead of deadlocking.
+                let mut guard = ClaimGuard { reducer: &reducer, armed: true };
                 let point_idx = item / n_chunks;
                 let chunk_idx = item % n_chunks;
                 let seed_lo = chunk_idx * chunk;
@@ -584,6 +653,7 @@ impl SweepEngine {
                         }
                     }
                 }
+                guard.armed = false;
 
                 if let Some((slot, e)) = error {
                     reducer.abort(slot, e);
@@ -622,6 +692,7 @@ impl SweepEngine {
             counters: SweepCounters {
                 scenarios_built: scenarios_built.into_inner(),
                 cells_evaluated: cells_evaluated.into_inner(),
+                solver: solver_totals.into_inner().expect("counter totals poisoned"),
             },
         })
     }
@@ -650,6 +721,7 @@ impl SweepEngine {
         let failed = AtomicBool::new(false);
         let scenarios_built = AtomicUsize::new(0);
         let cells_evaluated = AtomicUsize::new(0);
+        let solver_totals = Mutex::new(SolveCounters::default());
         let evaluator = GroupEvaluator {
             grid,
             builders,
@@ -657,6 +729,8 @@ impl SweepEngine {
             failed: &failed,
             scenarios_built: &scenarios_built,
             cells_evaluated: &cells_evaluated,
+            warm_start: self.warm_start,
+            solver_totals: &solver_totals,
         };
         // One cell-group = all arms of one (point, seed); returns one Cell per arm.
         let evaluate_group = |ws: &mut SolverWorkspace, item: usize| -> Vec<Cell> {
@@ -728,6 +802,7 @@ impl SweepEngine {
             counters: SweepCounters {
                 scenarios_built: scenarios_built.into_inner(),
                 cells_evaluated: cells_evaluated.into_inner(),
+                solver: solver_totals.into_inner().expect("counter totals poisoned"),
             },
         })
     }
@@ -745,6 +820,11 @@ struct GroupEvaluator<'a> {
     failed: &'a AtomicBool,
     scenarios_built: &'a AtomicUsize,
     cells_evaluated: &'a AtomicUsize,
+    /// Engine-level warm-start switch, handed to every cell via [`CellContext`].
+    warm_start: bool,
+    /// Per-sweep solver-iteration totals (folded once per cell-group; integer sums, so
+    /// thread count and fold order cannot change the result).
+    solver_totals: &'a Mutex<SolveCounters>,
 }
 
 /// How one (point, seed) cell-group evaluation ended.
@@ -761,8 +841,25 @@ enum GroupOutcome {
 impl GroupEvaluator<'_> {
     /// Evaluates every arm of one (point, seed) cell-group, building each distinct
     /// prepared scenario once and delivering each computed cell to
-    /// `sink(arm_idx, sample)`.
+    /// `sink(arm_idx, sample)`. Folds the group's solver-iteration counts into the
+    /// per-sweep totals on every exit path.
     fn evaluate(
+        &self,
+        point_idx: usize,
+        seed: u64,
+        ws: &mut SolverWorkspace,
+        sink: &mut dyn FnMut(usize, Option<CellOutput>),
+    ) -> GroupOutcome {
+        let counters_before = ws.counters;
+        let outcome = self.evaluate_cells(point_idx, seed, ws, sink);
+        let delta = ws.counters.since(&counters_before);
+        if delta != SolveCounters::default() {
+            self.solver_totals.lock().expect("counter totals poisoned").add(&delta);
+        }
+        outcome
+    }
+
+    fn evaluate_cells(
         &self,
         point_idx: usize,
         seed: u64,
@@ -785,6 +882,11 @@ impl GroupEvaluator<'_> {
                     return GroupOutcome::Failed(group[0], CoreError::from(e));
                 }
             };
+            // Warm-start state must never leak across scenario groups: each group's output
+            // has to be a pure function of the group's own cells (in fixed arm order), or
+            // determinism across thread counts — which decide who solved what before —
+            // would be lost. Within the group, the arms deliberately seed each other.
+            ws.reset_warm_start();
             for &arm_idx in group {
                 // Another worker may have failed while this group was mid-flight: abandon
                 // the remaining (expensive) cells at the next cell boundary rather than
@@ -798,6 +900,7 @@ impl GroupEvaluator<'_> {
                     stream_seed: baselines::derive_stream_seed(seed),
                     point_idx,
                     arm_idx,
+                    warm_start: self.warm_start,
                     workspace: &mut *ws,
                 };
                 self.cells_evaluated.fetch_add(1, Ordering::Relaxed);
@@ -862,6 +965,23 @@ struct ReduceState {
     pending: usize,
 }
 
+/// Unwind guard of one claimed streaming work item: if the worker panics between claiming
+/// and the deposit/abort decision, the Drop poisons the reducer so blocked peers drain
+/// instead of waiting on a fold frontier that can never advance (the panic itself then
+/// surfaces through the scope join).
+struct ClaimGuard<'a> {
+    reducer: &'a StreamReducer,
+    armed: bool,
+}
+
+impl Drop for ClaimGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.reducer.poison();
+        }
+    }
+}
+
 impl StreamReducer {
     fn new(
         n_points: usize,
@@ -918,6 +1038,17 @@ impl StreamReducer {
             st.error = Some((slot, error));
         }
         st.aborted = true;
+        self.progressed.notify_all();
+    }
+
+    /// Aborts the sweep without recording an error — called by a panicking worker's
+    /// [`ClaimGuard`] so peers blocked in [`StreamReducer::claim`] wake up and drain.
+    /// Tolerates a poisoned mutex (the panic may have happened while holding the lock, in
+    /// which case every peer's own lock attempt already unblocks them by panicking).
+    fn poison(&self) {
+        if let Ok(mut st) = self.state.lock() {
+            st.aborted = true;
+        }
         self.progressed.notify_all();
     }
 
@@ -1132,6 +1263,50 @@ mod tests {
     }
 
     #[test]
+    fn worker_panic_propagates_instead_of_deadlocking_the_streaming_reducer() {
+        use std::sync::mpsc;
+        use std::time::Duration;
+
+        /// Arm that panics on one specific cell.
+        struct PanickingArm;
+        impl Arm for PanickingArm {
+            fn name(&self) -> String {
+                "panicking".to_string()
+            }
+            fn evaluate(
+                &self,
+                _scenario: &Scenario,
+                ctx: &mut CellContext<'_>,
+            ) -> Result<Option<CellOutput>, CoreError> {
+                assert!(!(ctx.point_idx == 1 && ctx.seed == 2), "injected panic");
+                Ok(Some(CellOutput::new(1.0, 1.0)))
+            }
+        }
+
+        let builder = flsys::ScenarioBuilder::paper_default().with_devices(2);
+        let mut grid = SweepGrid::new((0..6).collect::<Vec<u64>>());
+        for x in 0..4 {
+            grid = grid.point(f64::from(x), builder.clone());
+        }
+        let grid = grid.arm(PanickingArm);
+
+        // Run the sweep on its own thread so a regression (a worker parking forever on the
+        // fold frontier) fails this test by timeout instead of hanging the suite.
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // Chunk size 1 so the panicked item genuinely pins the frontier for peers.
+                SweepEngine::with_threads(4).with_seed_chunk(1).run(&grid)
+            }));
+            tx.send(result.is_err()).ok();
+        });
+        let panicked = rx
+            .recv_timeout(Duration::from_secs(120))
+            .expect("sweep deadlocked after a worker panic");
+        assert!(panicked, "the injected panic must surface from the sweep");
+    }
+
+    #[test]
     fn scenario_builds_are_shared_per_prepared_builder_and_match_unshared() {
         use crate::arms::ConfiguredArm;
 
@@ -1156,12 +1331,15 @@ mod tests {
         };
         let (points, seeds, arms, distinct_builders) = (2, 3, 3, 2);
 
-        let shared = SweepEngine::single_thread().run(&grid()).unwrap();
+        // Pinned to the cold solver path: with warm start, arms of a shared cell-group
+        // deliberately seed each other, so the unshared grouping (one group per arm, no
+        // cross-arm carry) is a *different* — equally deterministic — warm trajectory.
+        let engine = SweepEngine::single_thread().with_warm_start(false);
+        let shared = engine.run(&grid()).unwrap();
         assert_eq!(shared.counters.scenarios_built, points * seeds * distinct_builders);
         assert_eq!(shared.counters.cells_evaluated, points * seeds * arms);
 
-        let unshared =
-            SweepEngine::single_thread().with_scenario_sharing(false).run(&grid()).unwrap();
+        let unshared = engine.with_scenario_sharing(false).run(&grid()).unwrap();
         assert_eq!(unshared.counters.scenarios_built, points * seeds * arms);
         assert_eq!(unshared.counters.cells_evaluated, points * seeds * arms);
 

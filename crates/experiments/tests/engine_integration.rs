@@ -43,7 +43,10 @@ fn parallel_reports_are_bit_identical_to_single_threaded() {
 #[test]
 fn arm_shared_scenarios_are_bit_identical_to_per_arm_rebuilding() {
     let cfg = Fig2Config::quick();
-    let engine = SweepEngine::with_threads(2);
+    // Pinned to the cold solver path: with warm start on, the arms of a shared cell-group
+    // deliberately seed each other, so per-arm rebuilding (its own group per arm) is a
+    // different — equally deterministic — warm trajectory, not a bit-identical one.
+    let engine = SweepEngine::with_threads(2).with_warm_start(false);
     assert!(engine.shares_scenarios());
     let (energy_shared, delay_shared) = fig2::run_with_engine(&cfg, &engine).unwrap();
     let (energy_rebuilt, delay_rebuilt) =
@@ -58,6 +61,72 @@ fn arm_shared_scenarios_are_bit_identical_to_per_arm_rebuilding() {
     let rebuilt =
         experiments::fig5::run_with_engine(&cfg5, &engine.with_scenario_sharing(false)).unwrap();
     assert_eq!(shared, rebuilt);
+}
+
+/// Warm-started sweeps must be exactly as deterministic as cold ones: the warm state is
+/// reset at every cell-group boundary and carried only inside a group (fixed arm order),
+/// so thread count and scheduling cannot leak into the output — including the solver
+/// iteration totals.
+#[test]
+fn warm_started_sweeps_are_bit_identical_across_thread_counts() {
+    let cfg = Fig2Config::quick();
+    let warm_seq = SweepEngine::single_thread().with_warm_start(true);
+    let (energy_seq, delay_seq) = fig2::run_with_engine(&cfg, &warm_seq).unwrap();
+    let counters_seq = warm_seq.run(&cfg.grid()).unwrap().counters;
+    for threads in [2, 4] {
+        let warm_par = SweepEngine::with_threads(threads).with_warm_start(true);
+        let (energy_par, delay_par) = fig2::run_with_engine(&cfg, &warm_par).unwrap();
+        assert_eq!(energy_seq, energy_par, "warm energy report diverged at {threads} threads");
+        assert_eq!(delay_seq, delay_par, "warm delay report diverged at {threads} threads");
+        let counters_par = warm_par.run(&cfg.grid()).unwrap().counters;
+        assert_eq!(counters_seq, counters_par, "warm counters diverged at {threads} threads");
+    }
+
+    // And with infeasible cells in the mix (deadline misses, dual-seed deadline solver).
+    let mut cfg7 = Fig7Config::quick();
+    cfg7.devices = 6;
+    cfg7.deadlines_s = vec![30.0, 110.0, 150.0];
+    let seq = fig7::run_with_engine(&cfg7, &SweepEngine::single_thread().with_warm_start(true));
+    let par = fig7::run_with_engine(&cfg7, &SweepEngine::with_threads(4).with_warm_start(true));
+    assert_eq!(seq.unwrap(), par.unwrap());
+}
+
+/// The warm-start acceptance evidence in counter form, not wall clock: on the fig2 quick
+/// grid a warm sweep must spend strictly fewer Jong iterations and μ-bisection
+/// evaluations than the cold sweep, hit the fast path at least once, and never take more
+/// outer iterations — while agreeing with the cold means to solver tolerance.
+#[test]
+fn warm_sweep_spends_strictly_fewer_iterations_than_cold_on_fig2_quick() {
+    let cfg = Fig2Config::quick();
+    let cold = SweepEngine::with_threads(2).with_warm_start(false).run(&cfg.grid()).unwrap();
+    let warm = SweepEngine::with_threads(2).with_warm_start(true).run(&cfg.grid()).unwrap();
+
+    let (c, w) = (cold.counters.solver, warm.counters.solver);
+    assert!(c.jong_iterations > 0, "cold sweep must do real work");
+    assert!(
+        w.jong_iterations < c.jong_iterations,
+        "warm Jong iterations {} not strictly below cold {}",
+        w.jong_iterations,
+        c.jong_iterations
+    );
+    assert!(
+        w.mu_bisect_evals < c.mu_bisect_evals,
+        "warm μ evals {} not strictly below cold {}",
+        w.mu_bisect_evals,
+        c.mu_bisect_evals
+    );
+    assert!(w.outer_iterations <= c.outer_iterations);
+    assert!(w.sp2_fast_path_hits > 0, "the fast path never fired on the quick grid");
+    assert_eq!(c.sp2_fast_path_hits, 0, "cold sweeps must never take the warm fast path");
+
+    // Same physics: every (point, arm) mean agrees with the cold reference to well within
+    // the solver's own outer tolerance.
+    for (cold_row, warm_row) in cold.aggregates.iter().zip(&warm.aggregates) {
+        for (a, b) in cold_row.iter().zip(warm_row) {
+            let rel = (a.mean_energy_j - b.mean_energy_j).abs() / a.mean_energy_j;
+            assert!(rel <= cfg.solver.outer_tol, "warm mean drifted by {rel}");
+        }
+    }
 }
 
 /// The whole point of the cell-group refactor: a sweep builds `points × seeds` scenarios
@@ -239,11 +308,14 @@ fn fig2_reference(cfg: &Fig2Config) -> Result<(FigureReport, FigureReport), Core
 }
 
 /// `Fig2Config::quick()` through the engine must reproduce the pre-refactor helpers'
-/// output bit for bit (values, column names, row order).
+/// output bit for bit (values, column names, row order). The reference helpers predate the
+/// warm-start continuation, so the engine is pinned to the cold solver path — exactly the
+/// `with_warm_start(false)` bit-identity guarantee.
 #[test]
 fn fig2_quick_output_is_unchanged_from_pre_refactor_helpers() {
     let cfg = Fig2Config::quick();
-    let (energy_new, delay_new) = fig2::run(&cfg).unwrap();
+    let (energy_new, delay_new) =
+        fig2::run_with_engine(&cfg, &SweepEngine::new().with_warm_start(false)).unwrap();
     let (energy_ref, delay_ref) = fig2_reference(&cfg).unwrap();
 
     assert_eq!(energy_new.columns, energy_ref.columns);

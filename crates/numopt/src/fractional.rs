@@ -105,6 +105,12 @@ impl Default for JongConfig {
 /// successful solve, [`JongScratch::beta`] / [`JongScratch::nu`] hold the final multipliers
 /// and [`JongScratch::history`] the per-iteration objectives (the data
 /// [`FractionalSolution`] clones out in the allocating wrapper).
+///
+/// The one deliberate exception is the warm-start continuation
+/// ([`solve_sum_of_ratios_warm_in`]): with a non-[`WarmMode::Cold`] mode the converged
+/// `(β, ν)` of the *previous* solve seed the next one instead of being recomputed from the
+/// starting point. The scratch tracks whether it holds such a valid seed;
+/// [`JongScratch::invalidate_warm`] drops it (e.g. when the caller switches problems).
 #[derive(Debug, Clone, Default)]
 pub struct JongScratch {
     /// Final auxiliary ratio values `β_i = n_i / d_i` (output of the last solve).
@@ -117,6 +123,66 @@ pub struct JongScratch {
     nu_target: Vec<f64>,
     trial_beta: Vec<f64>,
     trial_nu: Vec<f64>,
+    /// `true` while `beta`/`nu` hold the final multipliers of a successful solve (set on
+    /// success, cleared on entry and by [`JongScratch::invalidate_warm`]).
+    warm_valid: bool,
+}
+
+impl JongScratch {
+    /// Drops the carried `(β, ν)` warm seed: the next warm-mode solve cold-starts.
+    pub fn invalidate_warm(&mut self) {
+        self.warm_valid = false;
+    }
+
+    /// Whether the scratch holds a usable `(β, ν)` seed for an `n`-ratio problem.
+    pub fn warm_available(&self, n: usize) -> bool {
+        self.warm_valid && self.beta.len() == n && self.nu.len() == n
+    }
+
+    /// Re-anchors the carried `(β, ν)` at `x` (the cold-initialization formulas evaluated
+    /// there) and marks the seed valid. Callers use this when they *replace* the loop's
+    /// solution with a point of their own — `fedopt-core`'s reference polish — so the
+    /// continuation stays consistent with the point the next solve will see staged. The
+    /// seed is invalidated instead if any denominator is non-positive.
+    pub fn reanchor<P, F>(&mut self, problem: &F, x: &P)
+    where
+        F: FractionalProblem<Point = P> + ?Sized,
+    {
+        let n = problem.len();
+        self.beta.clear();
+        self.beta.resize(n, 0.0);
+        self.nu.clear();
+        self.nu.resize(n, 0.0);
+        for i in 0..n {
+            let d = problem.denominator(i, x);
+            if d <= 0.0 || !d.is_finite() {
+                self.warm_valid = false;
+                return;
+            }
+            self.beta[i] = problem.numerator(i, x) / d;
+            self.nu[i] = problem.ratio_weight(i) / d;
+        }
+        self.warm_valid = true;
+    }
+}
+
+/// How much state from the previous solve [`solve_sum_of_ratios_warm_in`] may reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmMode {
+    /// Initialize `(β, ν)` from the starting point — the classic Algorithm-1 start. This is
+    /// the reference path: [`solve_sum_of_ratios_in`] always runs it.
+    Cold,
+    /// Seed `(β, ν)` from the scratch's previous solve when
+    /// [`JongScratch::warm_available`]; falls back to [`WarmMode::Cold`] otherwise. Safe
+    /// whenever the problem *size* matches — stale multipliers only change the trajectory,
+    /// never the fixed-point condition the loop converges to.
+    Multipliers,
+    /// [`WarmMode::Multipliers`], plus: return immediately (zero iterations, `converged`)
+    /// when the carried multipliers already satisfy `‖ϕ‖∞ ≤ phi_tol` at the staged point.
+    /// Only sound when the caller knows the parametric feasible set is unchanged since the
+    /// solve that produced the carried multipliers — `ϕ` cannot see constraint drift
+    /// (`fedopt-core`'s SP2 gates this on its rate floors being static).
+    FastPath,
 }
 
 /// The scalar outcome of [`solve_sum_of_ratios_in`] (the point lands in the caller's
@@ -251,6 +317,40 @@ pub fn solve_sum_of_ratios_in<P, F>(
 where
     F: FractionalProblem<Point = P> + ?Sized,
 {
+    solve_sum_of_ratios_warm_in(problem, x, spare, config, scratch, WarmMode::Cold)
+}
+
+/// [`solve_sum_of_ratios_in`] with a warm-start continuation over the scratch's previous
+/// solve.
+///
+/// With [`WarmMode::Cold`] this *is* [`solve_sum_of_ratios_in`] — bit-identical, the warm
+/// state is never read. With [`WarmMode::Multipliers`] the converged `(β, ν)` of the
+/// previous solve (when [`JongScratch::warm_available`]) replace the cold initialization,
+/// so the first parametric solve already starts from the previous fixed point — worth
+/// several Newton iterations when successive problems differ only slightly (the alternating
+/// outer loop of `fedopt-core`'s Algorithm 2). [`WarmMode::FastPath`] additionally probes
+/// `‖ϕ‖∞` at the staged point before the loop and returns immediately (zero iterations,
+/// `converged = true`) when the carried multipliers still satisfy `phi_tol` — see the
+/// soundness caveat on [`WarmMode::FastPath`].
+///
+/// Either warm mode converges to a point satisfying the same `phi_tol` fixed-point
+/// condition as the cold path; only the trajectory (and hence the last-bits of the result)
+/// may differ.
+///
+/// # Errors
+///
+/// Same as [`solve_sum_of_ratios`]. After an error the scratch's warm seed is invalid.
+pub fn solve_sum_of_ratios_warm_in<P, F>(
+    problem: &F,
+    x: &mut P,
+    spare: &mut P,
+    config: JongConfig,
+    scratch: &mut JongScratch,
+    mode: WarmMode,
+) -> Result<FractionalSummary, NumError>
+where
+    F: FractionalProblem<Point = P> + ?Sized,
+{
     let n_ratios = problem.len();
     if n_ratios == 0 {
         return Err(NumError::DimensionMismatch { expected: 1, actual: 0 });
@@ -262,26 +362,58 @@ where
         return Err(NumError::NonPositiveParameter { name: "epsilon", value: config.epsilon });
     }
 
-    let JongScratch { beta, nu, history, beta_target, nu_target, trial_beta, trial_nu } = scratch;
-    for buf in
-        [&mut *beta, &mut *nu, &mut *beta_target, &mut *nu_target, &mut *trial_beta, &mut *trial_nu]
-    {
-        buf.clear();
-        buf.resize(n_ratios, 0.0);
-    }
-    // Initialize (β, ν) from the starting point.
-    for i in 0..n_ratios {
-        let d = problem.denominator(i, x);
-        if d <= 0.0 || !d.is_finite() {
-            return Err(NumError::NonPositiveParameter { name: "denominator", value: d });
+    let warm = mode != WarmMode::Cold && scratch.warm_available(n_ratios);
+    scratch.warm_valid = false; // an early error must not leave a half-valid seed behind
+    let JongScratch { beta, nu, history, beta_target, nu_target, trial_beta, trial_nu, .. } =
+        scratch;
+    if warm {
+        // Keep the carried (β, ν); only the private loop buffers need resizing.
+        for buf in [&mut *beta_target, &mut *nu_target, &mut *trial_beta, &mut *trial_nu] {
+            buf.clear();
+            buf.resize(n_ratios, 0.0);
         }
-        beta[i] = problem.numerator(i, x) / d;
-        nu[i] = problem.ratio_weight(i) / d;
+    } else {
+        for buf in [
+            &mut *beta,
+            &mut *nu,
+            &mut *beta_target,
+            &mut *nu_target,
+            &mut *trial_beta,
+            &mut *trial_nu,
+        ] {
+            buf.clear();
+            buf.resize(n_ratios, 0.0);
+        }
+        // Initialize (β, ν) from the starting point.
+        for i in 0..n_ratios {
+            let d = problem.denominator(i, x);
+            if d <= 0.0 || !d.is_finite() {
+                return Err(NumError::NonPositiveParameter { name: "denominator", value: d });
+            }
+            beta[i] = problem.numerator(i, x) / d;
+            nu[i] = problem.ratio_weight(i) / d;
+        }
     }
 
     history.clear();
     history.reserve(config.max_iter + 1);
     history.push(objective_value(problem, x));
+
+    if warm && mode == WarmMode::FastPath {
+        // The carried multipliers still satisfy the optimality system (22)–(23) at the
+        // staged point: the previous fixed point is still a fixed point, skip the loop.
+        let residual0 = phi_inf_norm(problem, x, beta, nu);
+        if residual0 <= config.phi_tol {
+            let objective = *history.last().expect("pushed above");
+            scratch.warm_valid = true;
+            return Ok(FractionalSummary {
+                objective,
+                residual: residual0,
+                iterations: 0,
+                converged: true,
+            });
+        }
+    }
 
     let mut residual = f64::INFINITY;
     let mut iterations = 0;
@@ -337,6 +469,7 @@ where
         nu.copy_from_slice(trial_nu);
     }
 
+    scratch.warm_valid = true;
     Ok(FractionalSummary {
         objective: objective_value(problem, x),
         residual,
@@ -448,6 +581,117 @@ mod tests {
         let s2 = solve_sum_of_ratios_in(&Toy, &mut x2, &mut spare2, config, &mut scratch).unwrap();
         assert_eq!(x2, x);
         assert_eq!(s2, s1);
+    }
+
+    #[test]
+    fn warm_multipliers_reach_the_same_fixed_point() {
+        let config = JongConfig::default();
+        let cold = solve_sum_of_ratios(&Toy, 5.0, config).unwrap();
+
+        // First solve populates the warm seed; the second starts from a different point but
+        // carries the converged multipliers — it must land on the same fixed point.
+        let mut scratch = JongScratch::default();
+        let (mut x, mut spare) = (5.0, 0.0);
+        solve_sum_of_ratios_warm_in(&Toy, &mut x, &mut spare, config, &mut scratch, WarmMode::Cold)
+            .unwrap();
+        let mut x2 = 4.0;
+        let s2 = solve_sum_of_ratios_warm_in(
+            &Toy,
+            &mut x2,
+            &mut spare,
+            config,
+            &mut scratch,
+            WarmMode::Multipliers,
+        )
+        .unwrap();
+        assert!(s2.converged);
+        assert!(
+            (s2.objective - cold.objective).abs() <= 1e-8 * cold.objective.abs(),
+            "warm {} vs cold {}",
+            s2.objective,
+            cold.objective
+        );
+    }
+
+    #[test]
+    fn fast_path_skips_the_loop_when_multipliers_still_hold() {
+        let config = JongConfig::default();
+        let mut scratch = JongScratch::default();
+        let (mut x, mut spare) = (5.0, 0.0);
+        let first = solve_sum_of_ratios_warm_in(
+            &Toy,
+            &mut x,
+            &mut spare,
+            config,
+            &mut scratch,
+            WarmMode::Cold,
+        )
+        .unwrap();
+        assert!(first.converged);
+
+        // Same point, carried multipliers, constraints unchanged: zero iterations.
+        let again = solve_sum_of_ratios_warm_in(
+            &Toy,
+            &mut x,
+            &mut spare,
+            config,
+            &mut scratch,
+            WarmMode::FastPath,
+        )
+        .unwrap();
+        assert!(again.converged);
+        assert_eq!(again.iterations, 0, "fast path must skip the loop");
+        assert_eq!(again.objective, first.objective);
+
+        // An invalidated seed falls back to the cold start (and still solves).
+        scratch.invalidate_warm();
+        assert!(!scratch.warm_available(2));
+        let after_reset = solve_sum_of_ratios_warm_in(
+            &Toy,
+            &mut x,
+            &mut spare,
+            config,
+            &mut scratch,
+            WarmMode::FastPath,
+        )
+        .unwrap();
+        assert!(after_reset.iterations >= 1, "cold fallback must run the loop");
+        assert!(after_reset.converged);
+    }
+
+    #[test]
+    fn cold_mode_ignores_warm_state_bitwise() {
+        let config = JongConfig::default();
+        let reference = solve_sum_of_ratios(&Toy, 5.0, config).unwrap();
+
+        // A scratch dirtied by a previous (different-start) solve, used in Cold mode, must
+        // reproduce the fresh-scratch run bit for bit — the warm seed is never read.
+        let mut scratch = JongScratch::default();
+        let (mut x0, mut spare) = (1.0, 0.0);
+        solve_sum_of_ratios_warm_in(
+            &Toy,
+            &mut x0,
+            &mut spare,
+            config,
+            &mut scratch,
+            WarmMode::Cold,
+        )
+        .unwrap();
+        let mut x = 5.0;
+        let summary = solve_sum_of_ratios_warm_in(
+            &Toy,
+            &mut x,
+            &mut spare,
+            config,
+            &mut scratch,
+            WarmMode::Cold,
+        )
+        .unwrap();
+        assert_eq!(x, reference.point);
+        assert_eq!(summary.objective, reference.objective);
+        assert_eq!(summary.iterations, reference.iterations);
+        assert_eq!(scratch.beta, reference.beta);
+        assert_eq!(scratch.nu, reference.nu);
     }
 
     #[test]

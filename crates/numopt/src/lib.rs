@@ -57,8 +57,8 @@ pub mod simplex;
 
 pub use error::NumError;
 pub use fractional::{
-    solve_sum_of_ratios, solve_sum_of_ratios_in, FractionalProblem, FractionalSolution,
-    FractionalSummary, JongConfig, JongScratch,
+    solve_sum_of_ratios, solve_sum_of_ratios_in, solve_sum_of_ratios_warm_in, FractionalProblem,
+    FractionalSolution, FractionalSummary, JongConfig, JongScratch, WarmMode,
 };
 pub use lambertw::lambert_w0;
 pub use roots::{bisect, BisectOutcome};
