@@ -5,17 +5,64 @@
 //! they reused the base seed, the "random" frequency/power draws would be correlated with
 //! the device placement and channel realisations generated from the same seed. Before this
 //! helper existed the magic constant was inlined at every call site.
+//!
+//! The derivation is **spec-addressable**: every derivation rule is a named
+//! [`StreamDerivation`] variant whose [`StreamDerivation::name`] is stable wire format, so
+//! a serialized experiment description (the `experiments` crate's `ExperimentSpec`) can
+//! pin the exact rule it was produced with and a replay on another host can refuse to run
+//! under a different one.
+
+/// A named rule deriving the RNG stream seed for a scheme's internal randomness from a
+/// cell's base (scenario) seed.
+///
+/// The enum is closed on purpose: each variant is a reproduction contract (changing a
+/// rule changes every benchmark column of Figures 2 and 3), so new derivations must be
+/// added as new named variants, never by mutating an existing one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StreamDerivation {
+    /// XOR with the 32-bit golden-ratio mixing constant `⌊2³² / φ⌋ = 0x9e37_79b9` — the
+    /// historical (and default) rule. The XOR keeps the mapping bijective (distinct base
+    /// seeds keep distinct stream seeds) while decorrelating the stream from the scenario
+    /// draw.
+    #[default]
+    XorGolden32,
+}
+
+impl StreamDerivation {
+    /// The stable wire name of this rule, as serialized in experiment specs.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::XorGolden32 => "xor-golden32",
+        }
+    }
+
+    /// Looks a rule up by its wire name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "xor-golden32" => Some(Self::XorGolden32),
+            _ => None,
+        }
+    }
+
+    /// Derives the stream seed for a base (scenario) seed under this rule.
+    #[must_use]
+    pub const fn derive(self, base_seed: u64) -> u64 {
+        match self {
+            Self::XorGolden32 => base_seed ^ 0x9e37_79b9,
+        }
+    }
+}
 
 /// Derives the RNG stream seed for a scheme's internal randomness from the cell's base
-/// (scenario) seed.
+/// (scenario) seed, under the default [`StreamDerivation::XorGolden32`] rule.
 ///
-/// The constant is the 32-bit golden-ratio mixing constant `⌊2³² / φ⌋ = 0x9e37_79b9`; the
-/// XOR keeps the mapping bijective (so distinct base seeds keep distinct stream seeds)
-/// while decorrelating the stream from the scenario draw. The exact value is part of the
-/// reproduction contract: changing it changes every benchmark column of Figures 2 and 3.
+/// The exact value is part of the reproduction contract: changing it changes every
+/// benchmark column of Figures 2 and 3.
 #[must_use]
 pub fn derive_stream_seed(base_seed: u64) -> u64 {
-    base_seed ^ 0x9e37_79b9
+    StreamDerivation::XorGolden32.derive(base_seed)
 }
 
 #[cfg(test)]
@@ -26,6 +73,7 @@ mod tests {
     fn matches_the_historical_inline_constant() {
         for seed in [0u64, 1, 11, 12, 201, u64::MAX] {
             assert_eq!(derive_stream_seed(seed), seed ^ 0x9e37_79b9);
+            assert_eq!(StreamDerivation::XorGolden32.derive(seed), seed ^ 0x9e37_79b9);
         }
     }
 
@@ -40,5 +88,13 @@ mod tests {
         for (s, d) in seeds.iter().zip(&derived) {
             assert_ne!(s, d, "stream must differ from the scenario stream");
         }
+    }
+
+    #[test]
+    fn wire_names_round_trip() {
+        let rule = StreamDerivation::XorGolden32;
+        assert_eq!(StreamDerivation::from_name(rule.name()), Some(rule));
+        assert_eq!(StreamDerivation::from_name("never-a-rule"), None);
+        assert_eq!(StreamDerivation::default(), rule);
     }
 }

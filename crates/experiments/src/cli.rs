@@ -1,0 +1,510 @@
+//! The `fedopt` command line: one binary for every figure and every spec.
+//!
+//! The eight historical per-figure binaries collapsed into this module — one **tested**
+//! argument parser (the `--seeds/--threads/--paper/--quick` conventions the old bins
+//! shared by copy-paste, now unit-tested in one place) and one dispatcher:
+//!
+//! ```text
+//! fedopt list                                   # the figure presets and what they show
+//! fedopt spec --fig 2 [--paper] [--seeds N]     # print a figure's ExperimentSpec as JSON
+//! fedopt run  --fig 2 [--paper] [--seeds N] [--threads N] [--json]
+//! fedopt run  --spec experiment.json [--json]   # run any serialized spec ("-" = stdin)
+//! fedopt spec --fig 2 | fedopt run --spec -     # specs are data: pipe them
+//! ```
+//!
+//! `run` prints each report as an aligned table plus CSV (the historical format), or —
+//! with `--json` — one deterministic JSON document (reports + work counters) suitable for
+//! golden-file diffs; the CI `cli-smoke` job pins exactly that. All diagnostics go to
+//! stderr, so stdout is always exactly the payload.
+//!
+//! The binary itself (the facade crate's `src/bin/fedopt.rs`) is a thin wrapper over
+//! [`main_with`], so
+//! every branch here is exercisable from unit tests.
+
+use crate::json::Json;
+use crate::presets::{self, Variant};
+use crate::report::FigureReport;
+use crate::spec::{ExperimentSpec, SpecError, SpecRun};
+use std::fmt;
+
+/// The usage text (`fedopt help` / any parse error).
+pub const USAGE: &str = "\
+fedopt — declarative sweep runner for the ICDCS 2022 reproduction
+
+USAGE:
+  fedopt list                        list the figure presets
+  fedopt spec --fig N [--paper] [--seeds N] [--threads N]
+                                     print a figure preset as a JSON ExperimentSpec
+  fedopt run --fig N [--paper|--quick] [--seeds N] [--threads N] [--json]
+                                     run a figure preset
+  fedopt run --spec FILE [--seeds N] [--threads N] [--json]
+                                     run a serialized spec (FILE of '-' reads stdin)
+  fedopt help                        this text
+
+OPTIONS:
+  --fig N       figure number (2..=8)
+  --paper       full-scale paper preset (50 devices, 100 draws/point, warm start on)
+  --quick       small CI preset (the default)
+  --seeds N     override the draws per point with seeds 0..N
+  --threads N   pin the sweep-engine worker count
+  --json        emit one machine-readable JSON document instead of tables + CSV
+  --spec FILE   run the ExperimentSpec in FILE ('-' for stdin)
+
+Environment: FEDOPT_SWEEP_THREADS pins the default worker count; FEDOPT_WARM_START
+overrides every spec's warm-start default (0 forces cold, 1 forces warm).";
+
+/// A CLI failure: a message for stderr (usage problems include the usage text).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliError {
+    /// What went wrong.
+    pub message: String,
+    /// Whether the error is a usage mistake (print [`USAGE`] along with it).
+    pub usage: bool,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        Self { message: message.into(), usage: true }
+    }
+
+    fn runtime(message: impl Into<String>) -> Self {
+        Self { message: message.into(), usage: false }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<SpecError> for CliError {
+    fn from(e: SpecError) -> Self {
+        CliError::runtime(e.to_string())
+    }
+}
+
+/// Where a `run` gets its spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecSource {
+    /// A figure preset.
+    Fig {
+        /// The figure number.
+        fig: u8,
+        /// Paper scale instead of quick.
+        paper: bool,
+    },
+    /// A serialized spec file (`"-"` = stdin).
+    File(String),
+}
+
+/// The `--seeds` / `--threads` overrides shared by `run` and `spec`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Overrides {
+    /// Replace the spec's seed policy with the range `0..N`.
+    pub seeds: Option<u64>,
+    /// Pin the engine worker count.
+    pub threads: Option<usize>,
+}
+
+impl Overrides {
+    fn apply(self, spec: &mut ExperimentSpec) {
+        if let Some(n) = self.seeds {
+            spec.override_seed_count(n);
+        }
+        if let Some(n) = self.threads {
+            spec.engine.threads = Some(n);
+        }
+    }
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `fedopt run …`
+    Run {
+        /// The spec to run.
+        source: SpecSource,
+        /// Seed/thread overrides.
+        overrides: Overrides,
+        /// Emit the JSON document instead of tables.
+        json: bool,
+    },
+    /// `fedopt spec …`
+    Spec {
+        /// The figure number.
+        fig: u8,
+        /// Paper scale instead of quick.
+        paper: bool,
+        /// Baked into the printed spec.
+        overrides: Overrides,
+    },
+    /// `fedopt list`
+    List,
+    /// `fedopt help` / `--help` / no arguments.
+    Help,
+}
+
+// ---------------------------------------------------------------------------
+// The one argument parser (inherited from the historical bins' common.rs)
+// ---------------------------------------------------------------------------
+
+/// Removes `--flag` from `args`; returns whether it was present.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != flag);
+    args.len() != before
+}
+
+/// Removes one `--flag VALUE` / `--flag=VALUE` occurrence from `args`.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliError> {
+    let prefix = format!("{flag}=");
+    let Some(idx) = args.iter().position(|a| a == flag || a.starts_with(&prefix)) else {
+        return Ok(None);
+    };
+    let arg = args.remove(idx);
+    if let Some(value) = arg.strip_prefix(&prefix) {
+        return Ok(Some(value.to_string()));
+    }
+    if idx < args.len() && !args[idx].starts_with("--") {
+        return Ok(Some(args.remove(idx)));
+    }
+    Err(CliError::usage(format!("{flag} requires a value (e.g. `{flag} 4`)")))
+}
+
+/// Removes one positive-integer-valued flag — the `--seeds N` / `--threads N` contract of
+/// the historical figure binaries.
+fn take_positive(args: &mut Vec<String>, flag: &str) -> Result<Option<u64>, CliError> {
+    match take_value(args, flag)? {
+        None => Ok(None),
+        Some(value) => value.parse::<u64>().ok().filter(|&n| n > 0).map(Some).ok_or_else(|| {
+            CliError::usage(format!(
+                "{flag} requires a positive integer, got {value:?} (e.g. `{flag} 4`)"
+            ))
+        }),
+    }
+}
+
+fn take_overrides(args: &mut Vec<String>) -> Result<Overrides, CliError> {
+    let seeds = take_positive(args, "--seeds")?;
+    if let Some(n) = seeds {
+        // The spec's own validation rejects this too, but only at run time — fail the
+        // parse so `fedopt spec --seeds …` can never print an invalid spec either.
+        if n > crate::spec::MAX_SEEDS {
+            return Err(CliError::usage(format!(
+                "--seeds {n} exceeds the per-spec maximum of {} — shard larger sweeps \
+                 into seed sub-ranges",
+                crate::spec::MAX_SEEDS
+            )));
+        }
+    }
+    Ok(Overrides { seeds, threads: take_positive(args, "--threads")?.map(|n| n as usize) })
+}
+
+fn take_fig(args: &mut Vec<String>) -> Result<Option<u8>, CliError> {
+    match take_value(args, "--fig")? {
+        None => Ok(None),
+        Some(value) => {
+            let fig =
+                value.parse::<u8>().ok().filter(|f| presets::FIGURES.contains(f)).ok_or_else(
+                    || {
+                        CliError::usage(format!(
+                            "--fig requires a figure number in 2..=8, got {value:?}"
+                        ))
+                    },
+                )?;
+            Ok(Some(fig))
+        }
+    }
+}
+
+/// Returns `(paper, either_switch_present)`.
+fn take_variant(args: &mut Vec<String>) -> Result<(bool, bool), CliError> {
+    let paper = take_switch(args, "--paper");
+    let quick = take_switch(args, "--quick");
+    if paper && quick {
+        return Err(CliError::usage("--paper and --quick are mutually exclusive"));
+    }
+    Ok((paper, paper || quick))
+}
+
+fn reject_leftovers(args: &[String]) -> Result<(), CliError> {
+    if let Some(first) = args.first() {
+        return Err(CliError::usage(format!("unrecognised argument {first:?}")));
+    }
+    Ok(())
+}
+
+/// Parses a command line (without the program name).
+///
+/// # Errors
+///
+/// [`CliError`] with `usage = true` on any unknown or malformed argument.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let Some((verb, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    let mut rest: Vec<String> = rest.to_vec();
+    match verb.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "list" => {
+            reject_leftovers(&rest)?;
+            Ok(Command::List)
+        }
+        "spec" => {
+            let fig = take_fig(&mut rest)?
+                .ok_or_else(|| CliError::usage("`fedopt spec` requires --fig N"))?;
+            let (paper, _) = take_variant(&mut rest)?;
+            let overrides = take_overrides(&mut rest)?;
+            reject_leftovers(&rest)?;
+            Ok(Command::Spec { fig, paper, overrides })
+        }
+        "run" => {
+            let fig = take_fig(&mut rest)?;
+            let file = take_value(&mut rest, "--spec")?;
+            let (paper, variant_given) = take_variant(&mut rest)?;
+            let overrides = take_overrides(&mut rest)?;
+            let json = take_switch(&mut rest, "--json");
+            reject_leftovers(&rest)?;
+            let source = match (fig, file) {
+                (Some(fig), None) => SpecSource::Fig { fig, paper },
+                (None, Some(path)) => {
+                    if variant_given {
+                        return Err(CliError::usage(
+                            "--paper/--quick select a preset; they cannot modify --spec FILE",
+                        ));
+                    }
+                    SpecSource::File(path)
+                }
+                (Some(_), Some(_)) => {
+                    return Err(CliError::usage("--fig and --spec are mutually exclusive"))
+                }
+                (None, None) => {
+                    return Err(CliError::usage("`fedopt run` requires --fig N or --spec FILE"))
+                }
+            };
+            Ok(Command::Run { source, overrides, json })
+        }
+        other => Err(CliError::usage(format!("unknown command {other:?}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+fn preset(fig: u8, paper: bool) -> Result<ExperimentSpec, CliError> {
+    let variant = if paper { Variant::Paper } else { Variant::Quick };
+    presets::spec(fig, variant)
+        .ok_or_else(|| CliError::usage(format!("no preset for figure {fig}")))
+}
+
+fn load_spec(source: &SpecSource) -> Result<ExperimentSpec, CliError> {
+    match source {
+        SpecSource::Fig { fig, paper } => preset(*fig, *paper),
+        SpecSource::File(path) => {
+            let text = if path == "-" {
+                std::io::read_to_string(std::io::stdin())
+                    .map_err(|e| CliError::runtime(format!("reading stdin: {e}")))?
+            } else {
+                std::fs::read_to_string(path)
+                    .map_err(|e| CliError::runtime(format!("reading {path}: {e}")))?
+            };
+            Ok(ExperimentSpec::from_json_str(&text)?)
+        }
+    }
+}
+
+/// The `list` payload.
+pub fn render_list() -> String {
+    let mut out = String::from("figure  preset ids      what it shows\n");
+    for &fig in &presets::FIGURES {
+        let summary = presets::summary(fig).expect("every listed figure has a summary");
+        out.push_str(&format!("fig{fig}    quick | paper   {summary}\n"));
+    }
+    out.push_str("\nrun one with `fedopt run --fig N [--paper]`; print its spec with `fedopt spec --fig N`.\n");
+    out
+}
+
+/// The deterministic JSON document `fedopt run --json` emits: the spec identity, every
+/// rendered report (see [`FigureReport::to_json`]), and the sweep's work counters.
+pub fn run_document(spec: &ExperimentSpec, run: &SpecRun) -> Json {
+    let counters = &run.result.counters;
+    let solver = &counters.solver;
+    Json::obj([
+        ("schema_version", Json::uint(crate::spec::SCHEMA_VERSION)),
+        ("spec_id", Json::Str(spec.id.clone())),
+        ("reports", Json::Arr(run.reports.iter().map(FigureReport::to_json).collect())),
+        (
+            "counters",
+            Json::obj([
+                ("scenarios_built", Json::uint(counters.scenarios_built as u64)),
+                ("cells_evaluated", Json::uint(counters.cells_evaluated as u64)),
+                (
+                    "solver",
+                    Json::obj([
+                        ("outer_iterations", Json::uint(solver.outer_iterations)),
+                        ("jong_iterations", Json::uint(solver.jong_iterations)),
+                        ("kkt_solves", Json::uint(solver.kkt_solves)),
+                        ("mu_bisect_evals", Json::uint(solver.mu_bisect_evals)),
+                        ("sp2_fast_path_hits", Json::uint(solver.sp2_fast_path_hits)),
+                    ]),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Renders a finished run: the historical tables + CSV, or the JSON document.
+pub fn render_run(spec: &ExperimentSpec, run: &SpecRun, json: bool) -> String {
+    if json {
+        return run_document(spec, run).to_pretty_string();
+    }
+    let mut out = String::new();
+    for report in &run.reports {
+        out.push_str(&report.to_table_string());
+        out.push('\n');
+        out.push_str(&format!("--- CSV ({}) ---\n", report.id));
+        out.push_str(&report.to_csv_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses and executes a command line, returning the stdout payload. Progress goes to
+/// stderr so stdout stays pipeable (`fedopt spec … | fedopt run --spec -`).
+///
+/// # Errors
+///
+/// [`CliError`] for usage mistakes, unreadable/invalid specs, and sweep failures.
+pub fn main_with(args: &[String]) -> Result<String, CliError> {
+    match parse(args)? {
+        Command::Help => Ok(format!("{USAGE}\n")),
+        Command::List => Ok(render_list()),
+        Command::Spec { fig, paper, overrides } => {
+            let mut spec = preset(fig, paper)?;
+            overrides.apply(&mut spec);
+            Ok(spec.to_json_string())
+        }
+        Command::Run { source, overrides, json } => {
+            let mut spec = load_spec(&source)?;
+            overrides.apply(&mut spec);
+            let engine = spec.engine.to_engine();
+            eprintln!(
+                "running {} ({} points x {} arms x {} draws/point, {} threads, warm start {})...",
+                spec.id,
+                spec.axis.values.len(),
+                spec.arms.len(),
+                spec.seeds.len(),
+                engine.threads(),
+                if engine.warm_starts() { "on" } else { "off" },
+            );
+            let run = spec.run_with_engine(&engine)?;
+            Ok(render_run(&spec, &run, json))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SeedPolicy;
+
+    fn argv(line: &str) -> Vec<String> {
+        line.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_the_documented_command_lines() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("list")).unwrap(), Command::List);
+        assert_eq!(
+            parse(&argv("spec --fig 2")).unwrap(),
+            Command::Spec { fig: 2, paper: false, overrides: Overrides::default() }
+        );
+        assert_eq!(
+            parse(&argv("run --fig 7 --paper --seeds 25 --threads 8 --json")).unwrap(),
+            Command::Run {
+                source: SpecSource::Fig { fig: 7, paper: true },
+                overrides: Overrides { seeds: Some(25), threads: Some(8) },
+                json: true,
+            }
+        );
+        // `--flag=value` form and flag order both work (the historical bins' contract).
+        assert_eq!(
+            parse(&argv("run --json --seeds=3 --fig=2")).unwrap(),
+            Command::Run {
+                source: SpecSource::Fig { fig: 2, paper: false },
+                overrides: Overrides { seeds: Some(3), threads: None },
+                json: true,
+            }
+        );
+        assert_eq!(
+            parse(&argv("run --spec - --json")).unwrap(),
+            Command::Run {
+                source: SpecSource::File("-".to_string()),
+                overrides: Overrides::default(),
+                json: true,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_command_lines_with_usage_errors() {
+        for bad in [
+            "frobnicate",
+            "run",
+            "run --fig 1",
+            "run --fig nine",
+            "run --fig 2 --spec x.json",
+            "run --fig 2 --paper --quick",
+            "run --spec x.json --paper",
+            "run --fig 2 --seeds 0",
+            "run --fig 2 --seeds 9007199254740993",
+            "run --spec x.json --quick",
+            "run --fig 2 --seeds",
+            "run --fig 2 --threads -3",
+            "run --fig 2 --threads two",
+            "spec",
+            "spec --fig 2 extra",
+            "list --fig 2",
+        ] {
+            let err = parse(&argv(bad)).unwrap_err();
+            assert!(err.usage, "{bad:?} must be a usage error, got {err:?}");
+        }
+    }
+
+    #[test]
+    fn overrides_bake_into_the_spec() {
+        let mut spec = preset(2, false).unwrap();
+        Overrides { seeds: Some(5), threads: Some(3) }.apply(&mut spec);
+        assert_eq!(spec.seeds.policy, SeedPolicy::Range { start: 0, count: 5 });
+        assert_eq!(spec.engine.threads, Some(3));
+    }
+
+    #[test]
+    fn spec_command_output_is_a_parseable_round_trip() {
+        let out = main_with(&argv("spec --fig 3 --seeds 4 --threads 2")).expect("spec must print");
+        let parsed = ExperimentSpec::from_json_str(&out).expect("printed spec must parse");
+        let mut expected = preset(3, false).unwrap();
+        Overrides { seeds: Some(4), threads: Some(2) }.apply(&mut expected);
+        assert_eq!(parsed, expected);
+    }
+
+    #[test]
+    fn list_names_every_figure() {
+        let out = render_list();
+        for &fig in &presets::FIGURES {
+            assert!(out.contains(&format!("fig{fig}")), "missing fig{fig} in {out}");
+        }
+    }
+
+    #[test]
+    fn help_is_returned_for_bare_invocations() {
+        assert!(main_with(&[]).unwrap().contains("USAGE"));
+        assert!(main_with(&argv("--help")).unwrap().contains("--spec FILE"));
+    }
+}

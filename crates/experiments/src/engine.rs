@@ -149,6 +149,28 @@ pub trait Arm: Send + Sync {
     ) -> Result<Option<CellOutput>, CoreError>;
 }
 
+/// A boxed arm is an arm — what lets spec-compiled grids mix heterogeneous arms (and
+/// wrap them in [`crate::arms::ConfiguredArm`]) behind one type. Every method delegates,
+/// `prepare` included: dropping the delegation would silently fall back to the default
+/// identity `prepare` and break per-arm builder specialisation.
+impl Arm for Box<dyn Arm> {
+    fn name(&self) -> String {
+        self.as_ref().name()
+    }
+
+    fn prepare(&self, builder: &ScenarioBuilder) -> ScenarioBuilder {
+        self.as_ref().prepare(builder)
+    }
+
+    fn evaluate(
+        &self,
+        scenario: &Scenario,
+        ctx: &mut CellContext<'_>,
+    ) -> Result<Option<CellOutput>, CoreError> {
+        self.as_ref().evaluate(scenario, ctx)
+    }
+}
+
 /// One sweep point: the x value and the scenario builder all arms share there.
 #[derive(Debug, Clone)]
 pub struct GridPoint {
@@ -375,6 +397,20 @@ pub const WARM_START_ENV: &str = "FEDOPT_WARM_START";
 /// Default number of seeds per streaming chunk (see [`SweepEngine::with_seed_chunk`]).
 pub const DEFAULT_SEED_CHUNK: usize = 64;
 
+/// The [`WARM_START_ENV`] setting, if the environment states one explicitly: `Some(true)`
+/// / `Some(false)` for a recognised value, `None` when unset or unparseable.
+///
+/// [`SweepEngine::new`] folds this into its default; the spec layer consults it directly
+/// because an explicit environment setting outranks a spec's own `warm_start` default
+/// (`FEDOPT_WARM_START=0` must force any sweep cold).
+pub fn warm_start_env() -> Option<bool> {
+    std::env::var(WARM_START_ENV).ok().and_then(|v| match v.trim() {
+        "1" | "true" | "TRUE" | "True" => Some(true),
+        "0" | "false" | "FALSE" | "False" => Some(false),
+        _ => None,
+    })
+}
+
 /// Evaluates [`SweepGrid`]s in parallel with deterministic output.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepEngine {
@@ -400,14 +436,7 @@ impl SweepEngine {
             .and_then(|v| v.parse::<usize>().ok())
             .and_then(NonZeroUsize::new)
             .unwrap_or_else(|| std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN));
-        let warm_start = std::env::var(WARM_START_ENV)
-            .ok()
-            .and_then(|v| match v.trim() {
-                "1" | "true" | "TRUE" | "True" => Some(true),
-                "0" | "false" | "FALSE" | "False" => Some(false),
-                _ => None,
-            })
-            .unwrap_or(false);
+        let warm_start = warm_start_env().unwrap_or(false);
         Self {
             threads,
             share_scenarios: true,

@@ -64,6 +64,21 @@ impl Fig3Config {
     }
 }
 
+/// The spec twin of [`Fig3Config::quick`]: the same sweep as a serializable
+/// [`ExperimentSpec`](crate::spec::ExperimentSpec) (see [`crate::presets`]); compiled via
+/// [`SweepEngine::run_spec`](crate::engine::SweepEngine::run_spec) it is bit-identical to
+/// this module's imperative path.
+pub fn quick_spec() -> crate::spec::ExperimentSpec {
+    crate::presets::fig3(crate::presets::Variant::Quick)
+}
+
+/// The spec twin of [`Fig3Config::paper`]. Unlike the legacy config, the paper-scale
+/// spec defaults the warm-start continuation on (`engine.warm_start = Some(true)`);
+/// `FEDOPT_WARM_START=0` still forces it off.
+pub fn paper_spec() -> crate::spec::ExperimentSpec {
+    crate::presets::fig3(crate::presets::Variant::Paper)
+}
+
 /// Runs the sweep on a default engine and returns `(energy report, delay report)` —
 /// Fig. 3a and Fig. 3b.
 ///

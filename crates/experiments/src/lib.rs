@@ -1,14 +1,24 @@
 //! # experiments
 //!
 //! The reproduction harness for the evaluation section (Section VII) of the ICDCS 2022 paper.
-//! Every figure has a dedicated module with a `quick()` preset (small device counts and
-//! sweeps, suitable for CI and benches) and a `paper()` preset (the paper's 50-device setup),
-//! plus a binary target that prints the regenerated series as an aligned table and CSV.
 //!
-//! All figures evaluate through the same substrate: a figure config describes a declarative
-//! [`engine::SweepGrid`] (sweep points × [`arms`] × scenario seeds) and the parallel
-//! [`engine::SweepEngine`] evaluates it across threads in (point, seed) cell-groups — one
-//! scenario build shared by every arm of the group, one reusable
+//! The blessed entry point is the **declarative spec API**: an experiment is a
+//! serializable [`spec::ExperimentSpec`] (axis + scenario template + arms + seed policy +
+//! solver/engine options + reports) — the seven figures are just preset spec values in
+//! [`presets`], the single `fedopt` binary ([`cli`]) runs any spec from a figure number or
+//! a JSON file, and [`engine::SweepEngine::run_spec`] compiles a spec onto the imperative
+//! [`engine::SweepGrid`] machinery. Because specs are data (lossless JSON round trip,
+//! byte-stable serialization), a sweep can be received over a wire, cached, diffed,
+//! replayed, and sharded — a shard is a spec plus a seed range.
+//!
+//! Every figure module (`fig2`…`fig8`) still hosts its historical config struct — the
+//! imperative reference the spec path is pinned against bit for bit — plus `quick_spec()`
+//! / `paper_spec()` constructors delegating to [`presets`].
+//!
+//! All sweeps evaluate through the same substrate: a declarative [`engine::SweepGrid`]
+//! (sweep points × [`arms`] × scenario seeds) evaluated by the parallel
+//! [`engine::SweepEngine`] across threads in (point, seed) cell-groups — one scenario
+//! build shared by every arm of the group, one reusable
 //! [`SolverWorkspace`](fedopt_core::SolverWorkspace) per worker thread — with
 //! deterministic, thread-count-independent output (see the [`engine`] module docs for the
 //! cell-group architecture and the seeding scheme).
@@ -41,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod arms;
+pub mod cli;
 pub mod engine;
 pub mod fig2;
 pub mod fig3;
@@ -49,7 +60,11 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod json;
+pub mod presets;
 pub mod report;
+pub mod spec;
 
 pub use engine::{Aggregate, SweepCounters, SweepEngine, SweepGrid, SweepResult};
 pub use report::FigureReport;
+pub use spec::{ExperimentSpec, SpecError, SpecRun};

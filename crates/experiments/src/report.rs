@@ -1,5 +1,6 @@
-//! Tabular output for regenerated figures.
+//! Tabular and machine-readable output for regenerated figures.
 
+use crate::json::Json;
 use serde::{Deserialize, Serialize};
 
 /// One regenerated figure (or sub-figure): an x-axis sweep with one column per series.
@@ -81,7 +82,10 @@ impl FigureReport {
 
     /// Renders the report as an aligned plain-text table. `NaN` cells render as `-`; when
     /// the cell's sample count is recorded as zero they render as `n=0` (every draw was
-    /// infeasible).
+    /// infeasible). Rows with recorded sample counts are followed by one uniform
+    /// `feasible draws` footer — identical in form for every report of a figure (the
+    /// energy and time tables used to disagree on when infeasible-cell counts showed up;
+    /// now both always carry the per-point counts).
     pub fn to_table_string(&self) -> String {
         let mut header: Vec<String> = vec![self.x_label.clone()];
         header.extend(self.columns.iter().cloned());
@@ -110,7 +114,83 @@ impl FigureReport {
             out.push_str(&line.join("  "));
             out.push('\n');
         }
+        for line in self.feasible_summary_lines() {
+            out.push_str(&line);
+            out.push('\n');
+        }
         out
+    }
+
+    /// The uniform feasible-draw footer: empty when no row recorded counts, one compact
+    /// line when every recorded cell saw the same number of feasible draws, otherwise one
+    /// line per point listing the per-column counts.
+    fn feasible_summary_lines(&self) -> Vec<String> {
+        let recorded: Vec<(f64, &[usize])> = self
+            .rows
+            .iter()
+            .zip(&self.counts)
+            .filter(|(_, c)| !c.is_empty())
+            .map(|((x, _), c)| (*x, c.as_slice()))
+            .collect();
+        if recorded.is_empty() {
+            return Vec::new();
+        }
+        let first = recorded[0].1[0];
+        if recorded.iter().all(|(_, c)| c.iter().all(|&n| n == first)) {
+            return vec![format!("feasible draws: {first} per cell")];
+        }
+        let mut lines = vec!["feasible draws per point (one count per column):".to_string()];
+        for (x, counts) in recorded {
+            let cells: Vec<String> = counts.iter().map(|n| n.to_string()).collect();
+            lines.push(format!("  {x:.4}: {}", cells.join(" ")));
+        }
+        lines
+    }
+
+    /// The report as a machine-readable JSON value: metadata, columns, and one object per
+    /// row carrying the x value, the per-column y values (`null` for `NaN` cells), and —
+    /// when recorded — the per-column feasible-draw counts. Member order is fixed and
+    /// floats are shortest-round-trip, so the output is byte-stable (golden-file safe).
+    pub fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .zip(&self.counts)
+            .map(|((x, values), counts)| {
+                let mut members = vec![
+                    ("x".to_string(), Json::Num(*x)),
+                    (
+                        "values".to_string(),
+                        Json::Arr(
+                            values
+                                .iter()
+                                .map(|&v| if v.is_nan() { Json::Null } else { Json::Num(v) })
+                                .collect(),
+                        ),
+                    ),
+                ];
+                if !counts.is_empty() {
+                    members.push((
+                        "feasible".to_string(),
+                        Json::Arr(counts.iter().map(|&n| Json::uint(n as u64)).collect()),
+                    ));
+                }
+                Json::Obj(members)
+            })
+            .collect();
+        Json::obj([
+            ("id", Json::Str(self.id.clone())),
+            ("title", Json::Str(self.title.clone())),
+            ("x_label", Json::Str(self.x_label.clone())),
+            ("y_label", Json::Str(self.y_label.clone())),
+            ("columns", Json::Arr(self.columns.iter().map(|c| Json::Str(c.clone())).collect())),
+            ("rows", Json::Arr(rows)),
+        ])
+    }
+
+    /// [`FigureReport::to_json`], pretty-printed.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_pretty_string()
     }
 
     /// Renders the report as CSV (header row, then one line per x value).
@@ -203,5 +283,48 @@ mod tests {
     fn mismatched_count_width_panics() {
         let mut r = sample();
         r.push_row_with_counts(7.0, vec![1.0, 2.0], vec![1]);
+    }
+
+    fn counted() -> FigureReport {
+        let mut r = FigureReport::new("fig7", "t", "T (s)", "energy (J)", vec!["a".into()]);
+        r.push_row_with_counts(100.0, vec![f64::NAN], vec![0]);
+        r.push_row_with_counts(150.0, vec![42.5], vec![5]);
+        r
+    }
+
+    #[test]
+    fn feasible_footer_is_uniform_across_metrics() {
+        // Uneven counts: per-point lines.
+        let table = counted().to_table_string();
+        assert!(
+            table.contains("feasible draws per point"),
+            "uneven counts need per-point lines: {table}"
+        );
+        assert!(table.contains("100.0000: 0"), "{table}");
+        assert!(table.contains("150.0000: 5"), "{table}");
+
+        // Uniform counts: one compact line.
+        let mut r = sample(); // rows appended without counts -> no footer
+        assert!(!r.to_table_string().contains("feasible draws"));
+        r.push_row_with_counts(7.0, vec![1.0, 2.0], vec![3, 3]);
+        let table = r.to_table_string();
+        assert!(table.contains("feasible draws: 3 per cell"), "{table}");
+    }
+
+    #[test]
+    fn json_report_round_trips_and_labels_nan_as_null() {
+        let r = counted();
+        let json = r.to_json();
+        let text = r.to_json_string();
+        assert_eq!(Json::parse(&text).unwrap(), json);
+        let rows = json.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows[0].get("values").unwrap().as_array().unwrap()[0], Json::Null);
+        assert_eq!(rows[0].get("feasible").unwrap().as_array().unwrap()[0].as_u64(), Some(0));
+        assert_eq!(rows[1].get("values").unwrap().as_array().unwrap()[0].as_f64(), Some(42.5));
+        assert_eq!(json.get("id").unwrap().as_str(), Some("fig7"));
+        // Rows without recorded counts omit the `feasible` member entirely.
+        let bare = sample().to_json();
+        let bare_rows = bare.get("rows").unwrap().as_array().unwrap();
+        assert!(bare_rows[0].get("feasible").is_none());
     }
 }

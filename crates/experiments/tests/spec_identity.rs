@@ -1,0 +1,97 @@
+//! The acceptance pin of the spec API: for every figure, the spec-compiled path
+//! (`SweepEngine::run_spec(presets::…)`) is **bit-identical** to the historical
+//! imperative figure-config path — every arm aggregate (means, standard deviations,
+//! sample counts), every x value, every column name, and the work counters.
+//!
+//! Pinned on the cold solver path and a fixed thread count: the quick presets leave the
+//! warm-start default to the environment, while this test must compare the two build
+//! paths, not two warm trajectories.
+
+use experiments::engine::{SweepEngine, SweepGrid, SweepResult};
+use experiments::presets::{self, Variant};
+use experiments::{fig2, fig3, fig4, fig5, fig6, fig7, fig8};
+
+fn run(engine: &SweepEngine, grid: &SweepGrid) -> SweepResult {
+    engine.run(grid).expect("legacy grid must evaluate")
+}
+
+#[test]
+fn spec_compiled_sweeps_are_bit_identical_to_the_legacy_figure_modules() {
+    // (figure number, legacy quick grid) — the pre-spec imperative reference.
+    let legacy: Vec<(u8, SweepGrid)> = vec![
+        (2, fig2::Fig2Config::quick().grid()),
+        (3, fig3::Fig3Config::quick().grid()),
+        (4, fig4::Fig4Config::quick().grid()),
+        (5, fig5::Fig5Config::quick().grid()),
+        (6, fig6::Fig6Config::quick().grid()),
+        (7, fig7::Fig7Config::quick().grid()),
+        (8, fig8::Fig8Config::quick().grid()),
+    ];
+    for engine in [SweepEngine::single_thread(), SweepEngine::with_threads(3)] {
+        let engine = engine.with_warm_start(false);
+        for (fig, grid) in &legacy {
+            let spec = presets::spec(*fig, Variant::Quick).expect("preset exists");
+            let from_spec = engine.run_spec(&spec).expect("spec must evaluate");
+            let reference = run(&engine, grid);
+            assert_eq!(
+                from_spec.xs, reference.xs,
+                "fig{fig}: spec x values diverged from the legacy config"
+            );
+            assert_eq!(
+                from_spec.arm_names, reference.arm_names,
+                "fig{fig}: spec arm names diverged from the legacy config"
+            );
+            assert_eq!(
+                from_spec.aggregates,
+                reference.aggregates,
+                "fig{fig}: spec aggregates are not bit-identical to the legacy path \
+                 ({} threads)",
+                engine.threads()
+            );
+            assert_eq!(
+                from_spec.counters, reference.counters,
+                "fig{fig}: spec work counters diverged — the compiled grid is not \
+                 grouping/building like the legacy one"
+            );
+        }
+    }
+}
+
+/// The spec constructors exposed on the figure modules are the presets, verbatim.
+#[test]
+fn figure_module_spec_constructors_delegate_to_the_presets() {
+    assert_eq!(fig2::quick_spec(), presets::spec(2, Variant::Quick).unwrap());
+    assert_eq!(fig3::quick_spec(), presets::spec(3, Variant::Quick).unwrap());
+    assert_eq!(fig4::paper_spec(), presets::spec(4, Variant::Paper).unwrap());
+    assert_eq!(fig5::paper_spec(), presets::spec(5, Variant::Paper).unwrap());
+    assert_eq!(fig6::quick_spec(), presets::spec(6, Variant::Quick).unwrap());
+    assert_eq!(fig7::paper_spec(), presets::spec(7, Variant::Paper).unwrap());
+    assert_eq!(fig8::quick_spec(), presets::spec(8, Variant::Quick).unwrap());
+}
+
+/// Spec-compiled figure reports (titles, labels, ids, per-cell counts) equal the legacy
+/// `run_with_engine` output for a figure of each report shape: an energy/time pair
+/// (Figure 2) and a single energy report with infeasible cells (Figure 7 tightened).
+#[test]
+fn spec_reports_match_the_legacy_report_metadata() {
+    let engine = SweepEngine::single_thread().with_warm_start(false);
+
+    let (legacy_energy, legacy_time) =
+        fig2::run_with_engine(&fig2::Fig2Config::quick(), &engine).unwrap();
+    let spec = presets::spec(2, Variant::Quick).unwrap();
+    let run = spec.run_with_engine(&engine).unwrap();
+    assert_eq!(run.reports.len(), 2);
+    assert_eq!(run.reports[0], legacy_energy);
+    assert_eq!(run.reports[1], legacy_time);
+
+    let mut legacy7 = fig7::Fig7Config::quick();
+    legacy7.devices = 8;
+    legacy7.deadlines_s = vec![30.0, 110.0, 150.0];
+    let legacy_report = fig7::run_with_engine(&legacy7, &engine).unwrap();
+    let mut spec7 = presets::spec(7, Variant::Quick).unwrap();
+    spec7.scenario.devices = Some(8);
+    spec7.axis.values = vec![30.0, 110.0, 150.0];
+    let run7 = spec7.run_with_engine(&engine).unwrap();
+    assert_eq!(run7.reports.len(), 1);
+    assert_eq!(run7.reports[0], legacy_report);
+}

@@ -182,6 +182,12 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the minimum transmit power in dBm (keeps the current maximum).
+    pub fn with_p_min_dbm(mut self, p_min: f64) -> Self {
+        self.p_min = Dbm::new(p_min);
+        self
+    }
+
     /// Sets the CPU-frequency box in Hz.
     pub fn with_frequency_range(mut self, f_min: Hertz, f_max: Hertz) -> Self {
         self.f_min = f_min;
@@ -192,6 +198,12 @@ impl ScenarioBuilder {
     /// Sets the maximum CPU frequency in GHz (keeps the current minimum).
     pub fn with_f_max_ghz(mut self, f_max_ghz: f64) -> Self {
         self.f_max = Hertz::from_ghz(f_max_ghz);
+        self
+    }
+
+    /// Sets the minimum CPU frequency in Hz (keeps the current maximum).
+    pub fn with_f_min_hz(mut self, f_min_hz: f64) -> Self {
+        self.f_min = Hertz::new(f_min_hz);
         self
     }
 
@@ -219,10 +231,15 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Disables shadow fading (useful for deterministic tests).
-    pub fn without_shadowing(mut self) -> Self {
-        self.shadowing = LogNormalShadowing::new(0.0);
+    /// Sets the log-normal shadowing standard deviation in dB (`0.0` disables fading).
+    pub fn with_shadowing_db(mut self, sigma_db: f64) -> Self {
+        self.shadowing = LogNormalShadowing::new(sigma_db);
         self
+    }
+
+    /// Disables shadow fading (useful for deterministic tests).
+    pub fn without_shadowing(self) -> Self {
+        self.with_shadowing_db(0.0)
     }
 
     /// Builds the scenario, drawing device positions, channel gains and CPU parameters from a
@@ -387,6 +404,24 @@ mod tests {
             assert_eq!(d.samples, 200);
             assert_eq!(d.cycles_per_sample, 2.0e4);
         }
+    }
+
+    #[test]
+    fn lower_bound_and_shadowing_knobs_propagate() {
+        let s = ScenarioBuilder::paper_default()
+            .with_devices(3)
+            .with_p_min_dbm(3.0)
+            .with_f_min_hz(2.0e6)
+            .build(1)
+            .unwrap();
+        for d in &s.devices {
+            assert!((d.p_min.value() - Dbm::new(3.0).to_watts().value()).abs() < 1e-15);
+            assert_eq!(d.f_min.value(), 2.0e6);
+        }
+        // `with_shadowing_db(0.0)` is exactly `without_shadowing`.
+        let a = ScenarioBuilder::paper_default().with_shadowing_db(0.0);
+        let b = ScenarioBuilder::paper_default().without_shadowing();
+        assert_eq!(a, b);
     }
 
     #[test]

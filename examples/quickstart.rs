@@ -4,6 +4,9 @@
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! For the declarative route — describing a whole sweep as one serializable
+//! `ExperimentSpec` value — see the sibling `spec_quickstart.rs`.
 
 use fedopt::prelude::*;
 

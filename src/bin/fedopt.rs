@@ -1,0 +1,25 @@
+//! The `fedopt` CLI: the eight historical per-figure binaries as one spec-driven tool.
+//! All logic lives in [`fedopt::experiments::cli`] so it is unit-testable; this wrapper only
+//! forwards `argv`, prints the payload to stdout, and maps errors to exit codes
+//! (2 = usage, 1 = runtime).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match fedopt::experiments::cli::main_with(&args) {
+        Ok(payload) => {
+            print!("{payload}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fedopt: {e}");
+            if e.usage {
+                eprintln!("\n{}", fedopt::experiments::cli::USAGE);
+                ExitCode::from(2)
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

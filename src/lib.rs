@@ -6,6 +6,33 @@
 //! The crate is a facade over the workspace members; most users only need the re-exports
 //! below.
 //!
+//! ## Running experiments: the spec API
+//!
+//! The blessed way to describe and run a sweep is the declarative
+//! [`ExperimentSpec`]: a serializable value holding
+//! the sweep axis, scenario template, arms, seed policy, solver and engine options, and
+//! the reports to render. The paper's figures are preset specs in
+//! [`presets`], and the `fedopt` binary
+//! (`cargo run --release --bin fedopt`) runs any of them — or any spec JSON file.
+//!
+//! ```rust
+//! use fedopt::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut spec = fedopt::presets::spec(2, fedopt::presets::Variant::Quick).unwrap();
+//! spec.scenario.devices = Some(6); // shrink the doctest
+//! spec.seeds = fedopt::experiments::spec::SeedSpec::count(1);
+//!
+//! // Specs are data: lossless JSON round trip, byte-stable serialization.
+//! let text = spec.to_json_string();
+//! assert_eq!(ExperimentSpec::from_json_str(&text)?, spec);
+//!
+//! let run = spec.run_with_engine(&SweepEngine::single_thread())?;
+//! println!("{}", run.reports[0].to_table_string());
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! ## Quickstart
 //!
 //! ```rust
@@ -48,11 +75,17 @@ pub use flsys;
 pub use numopt;
 pub use wireless;
 
+// The blessed experiment entry points, re-exported at the facade root.
+pub use experiments::presets;
+pub use experiments::spec;
+pub use experiments::{ExperimentSpec, FigureReport, SpecError, SpecRun, SweepEngine};
+
 /// Convenient re-exports of the types used by nearly every program built on this workspace.
 pub mod prelude {
     pub use baselines::{
         BenchmarkAllocator, CommOnlyAllocator, CompOnlyAllocator, Scheme1Allocator,
     };
+    pub use experiments::{ExperimentSpec, FigureReport, SweepEngine};
     pub use fedopt_core::{JointOptimizer, SolverConfig, SolverWorkspace, Weights};
     pub use flsys::{Allocation, Scenario, ScenarioBuilder, SystemParams};
     pub use wireless::units::{Db, Dbm, Hertz, Watts};
