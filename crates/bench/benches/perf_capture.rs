@@ -1,18 +1,19 @@
 //! Machine-readable perf capture for the solver/engine performance work: measures
-//! cells/sec on the solver-bound fig2 quick grid with the warm-start continuation off and
-//! on, steady-state allocations per cell, the sp2 hot-path latency, the warm-vs-cold
-//! solver iteration counters, and the streaming reducer's accumulator footprint, then
-//! writes the per-run `BENCH_PR4.capture.json` at the workspace root (gitignored; CI
-//! uploads it as an artifact so the perf trajectory is recorded per commit). The curated,
-//! committed before/after snapshots live separately in `BENCH_PR3.json` / `BENCH_PR4.json`
-//! — this bench never touches them.
+//! cells/sec on the solver-bound fig2 quick grid (legacy pure-bisection, cold, and warm
+//! paths), steady-state allocations per cell, the sp2 hot-path latency, the solver
+//! iteration counters on each path, fleet-scale single-scenario solves at 10³/10⁴/10⁵
+//! devices, and the streaming reducer's accumulator footprint, then writes the per-run
+//! `BENCH_PR6.capture.json` at the workspace root (gitignored; CI uploads it as an
+//! artifact so the perf trajectory is recorded per commit). The curated, committed
+//! before/after snapshots live separately in `BENCH_PR3.json` / `BENCH_PR4.json` /
+//! `BENCH_PR6.json` — this bench never touches them.
 //!
 //! Run with `cargo bench -p fedopt-bench --bench perf_capture`.
 
 use experiments::fig2::{run_with_engine, Fig2Config};
 use experiments::SweepEngine;
 use fedopt_bench::thread_allocation_count;
-use fedopt_core::{sp2, JointOptimizer, SolverWorkspace};
+use fedopt_core::{sp2, JointOptimizer, SolveCounters, SolverConfig, SolverWorkspace};
 use flsys::{ScenarioBuilder, Weights};
 use std::time::Instant;
 
@@ -35,18 +36,24 @@ fn main() {
     let cells = grid.num_cells();
     let (points, arms) = (grid.points.len(), grid.arms.len());
 
-    // --- Solver-bound grid throughput, warm start off and on (sequential engine: measures
-    // the solve path, not thread scaling).
+    // --- Solver-bound grid throughput on three paths (sequential engine: measures the
+    // solve path, not thread scaling): the legacy pure-bisection μ-root (the PR 4 state,
+    // still selectable via with_superlinear_mu(false)), the cold superlinear path, and the
+    // warm default.
+    let legacy_engine =
+        SweepEngine::single_thread().with_warm_start(false).with_superlinear_mu(false);
     let cold_engine = SweepEngine::single_thread().with_warm_start(false);
     let warm_engine = SweepEngine::single_thread().with_warm_start(true);
     run_with_engine(&cfg, &cold_engine).unwrap(); // warm-up (page cache, lazy allocs)
+    let legacy_secs = best_of(3, || run_with_engine(&cfg, &legacy_engine).unwrap());
     let cold_secs = best_of(3, || run_with_engine(&cfg, &cold_engine).unwrap());
     let warm_secs = best_of(3, || run_with_engine(&cfg, &warm_engine).unwrap());
     let cold_cells_per_sec = cells as f64 / cold_secs;
     let warm_cells_per_sec = cells as f64 / warm_secs;
 
-    // --- Warm-vs-cold solver iteration counters on the same grid (the non-wall-clock
-    // evidence that the continuation saves work).
+    // --- Solver iteration counters on the same grid for each path (the non-wall-clock
+    // evidence that the continuation and the superlinear μ-step save work).
+    let legacy_counters = legacy_engine.run(&grid).unwrap().counters.solver;
     let cold_counters = cold_engine.run(&grid).unwrap().counters.solver;
     let warm_counters = warm_engine.run(&grid).unwrap().counters.solver;
 
@@ -83,22 +90,74 @@ fn main() {
     // --- Streaming reducer footprint: accumulators are O(points × arms) by construction.
     let peak_accumulators = points * arms;
 
+    // --- Fleet-scale single-scenario solves (PR 6): one cold solve per device count on
+    // the struct-of-arrays hot path (fast config, reference polish off — the large_n
+    // preset's setup), wall clock plus the counters that prove the scalar searches stay
+    // flat in n.
+    let mut fleet_cfg = SolverConfig::fast();
+    fleet_cfg.polish_with_reference = false;
+    let fleet = JointOptimizer::new(fleet_cfg);
+    let fleet_rows: Vec<(usize, f64, SolveCounters)> = [1_000usize, 10_000, 100_000]
+        .iter()
+        .map(|&n| {
+            let scenario = ScenarioBuilder::paper_default().with_devices(n).build(11).unwrap();
+            let mut ws = SolverWorkspace::with_capacity(n);
+            fleet.solve_summary_with(&scenario, Weights::balanced(), &mut ws).unwrap(); // warm-up
+            let runs = if n >= 100_000 { 2 } else { 3 };
+            let secs = best_of(runs, || {
+                ws.reset_warm_start();
+                fleet.solve_summary_with(&scenario, Weights::balanced(), &mut ws).unwrap()
+            });
+            ws.counters.reset();
+            ws.reset_warm_start();
+            fleet.solve_summary_with(&scenario, Weights::balanced(), &mut ws).unwrap();
+            (n, secs, ws.counters)
+        })
+        .collect();
+    let fleet_json: String = fleet_rows
+        .iter()
+        .map(|(n, secs, k)| {
+            format!(
+                "    {{ \"devices\": {n}, \"solve_ms\": {:.1}, \"mu_evals\": {}, \
+                 \"sp1_probe_evals\": {}, \"kkt_solves\": {}, \"lp_sorts\": {} }}",
+                secs * 1e3,
+                k.mu_bisect_evals,
+                k.sp1_probe_evals,
+                k.kkt_solves,
+                k.lp_sorts
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     let json = format!(
         "{{\n  \"bench\": \"perf_capture\",\n  \"grid\": \"fig2_quick\",\n  \
-         \"cells\": {cells},\n  \"cold_cells_per_sec\": {cold_cells_per_sec:.1},\n  \
+         \"cells\": {cells},\n  \"legacy_bisect_cells_per_sec\": {:.1},\n  \
+         \"cold_cells_per_sec\": {cold_cells_per_sec:.1},\n  \
          \"warm_cells_per_sec\": {warm_cells_per_sec:.1},\n  \
-         \"warm_speedup\": {:.3},\n  \
+         \"superlinear_mu_speedup\": {:.3},\n  \"warm_speedup\": {:.3},\n  \
+         \"legacy_mu_bisect_evals\": {},\n  \
          \"cold_jong_iterations\": {},\n  \"warm_jong_iterations\": {},\n  \
          \"cold_mu_bisect_evals\": {},\n  \"warm_mu_bisect_evals\": {},\n  \
+         \"cold_sp1_probe_evals\": {},\n  \"warm_sp1_probe_evals\": {},\n  \
+         \"cold_lp_sorts\": {},\n  \"cold_kkt_solves\": {},\n  \
          \"warm_fast_path_hits\": {},\n  \
          \"allocs_per_cell_steady_state\": {allocs_per_cell},\n  \
          \"sp2_solve_in_us\": {:.1},\n  \"peak_accumulators\": {peak_accumulators},\n  \
+         \"large_n\": [\n{fleet_json}\n  ],\n  \
          \"seed_chunk\": {},\n  \"threads\": 1\n}}\n",
+        cells as f64 / legacy_secs,
+        legacy_secs / cold_secs,
         cold_secs / warm_secs,
+        legacy_counters.mu_bisect_evals,
         cold_counters.jong_iterations,
         warm_counters.jong_iterations,
         cold_counters.mu_bisect_evals,
         warm_counters.mu_bisect_evals,
+        cold_counters.sp1_probe_evals,
+        warm_counters.sp1_probe_evals,
+        cold_counters.lp_sorts,
+        cold_counters.kkt_solves,
         warm_counters.sp2_fast_path_hits,
         sp2_secs * 1e6,
         cold_engine.seed_chunk(),
@@ -106,8 +165,8 @@ fn main() {
     print!("{json}");
 
     // Workspace root (bench crate lives at crates/bench).
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.capture.json");
-    std::fs::write(out, &json).expect("write BENCH_PR4.capture.json");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR6.capture.json");
+    std::fs::write(out, &json).expect("write BENCH_PR6.capture.json");
     eprintln!("wrote {out}");
 
     assert_eq!(allocs_per_cell, 0.0, "steady-state cells must not allocate");
@@ -115,4 +174,10 @@ fn main() {
         warm_counters.jong_iterations < cold_counters.jong_iterations,
         "warm start must save Jong iterations"
     );
+    assert!(
+        cold_counters.mu_bisect_evals < legacy_counters.mu_bisect_evals,
+        "the superlinear μ-step must save g'(μ) evaluations over pure bisection"
+    );
+    // The step-4b sort happens once per parametric KKT solve, never per μ-evaluation.
+    assert!(cold_counters.lp_sorts <= cold_counters.kkt_solves, "lp re-sorted per μ-eval");
 }

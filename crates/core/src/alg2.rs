@@ -22,7 +22,7 @@ use crate::sp1;
 use crate::sp2;
 use crate::trace::{OuterIteration, Trace};
 use crate::workspace::SolverWorkspace;
-use flsys::{Allocation, CostBreakdown, Scenario, Weights};
+use flsys::{Allocation, CostBreakdown, Scenario, ScenarioArrays, Weights};
 use wireless::channel::shannon_rate_raw;
 
 /// The scalar outcome of a `*_summary_*` solve: everything the sweep hot path consumes,
@@ -137,6 +137,7 @@ impl JointOptimizer {
         }
 
         ws.allocation.set_equal_split_max(scenario);
+        ws.arrays.rebuild(scenario);
         let mut best_objective = f64::INFINITY;
         let mut have_best = false;
         let mut converged = false;
@@ -157,29 +158,47 @@ impl JointOptimizer {
                 best,
                 trace,
                 counters,
+                arrays,
+                sp1_warm,
                 ..
             } = &mut *ws;
             counters.outer_iterations += 1;
-            let sp1_sol =
-                sp1::solve_direct_in(scenario, weights, uploads_s, &self.config, frequencies_hz)?;
+            let sp1_sol = sp1::solve_direct_with_arrays_in(
+                scenario,
+                arrays,
+                weights,
+                uploads_s,
+                &self.config,
+                frequencies_hz,
+                sp1_warm,
+                &mut counters.sp1_probe_evals,
+            )?;
             allocation.frequencies_hz.copy_from_slice(frequencies_hz);
 
             // --- Subproblem 2: powers and bandwidths under the rate floors implied by T. ---
-            rate_floors_into(scenario, sp1_sol.round_time_s, frequencies_hz, weights, r_min_bps);
+            rate_floors_into(
+                arrays,
+                scenario.params.rl(),
+                sp1_sol.round_time_s,
+                frequencies_hz,
+                weights,
+                r_min_bps,
+            );
             if !(self.config.warm_start && k > 1) {
                 // Warm continuation keeps the previous SP2 iterate staged in the scratch
                 // (un-projected, which is what the fast path recognises); the cold path
                 // restages the projected allocation every iteration, as Algorithm 2 writes.
                 sp2.stage_start(&allocation.powers_w, &allocation.bandwidths_hz);
             }
-            let sp2_sol = sp2::solve_in(scenario, weights, r_min_bps, &self.config, sp2)?;
+            let sp2_sol =
+                sp2::solve_with_arrays_in(scenario, arrays, weights, r_min_bps, &self.config, sp2)?;
             counters.record_sp2(&sp2_sol);
             allocation.powers_w.copy_from_slice(&sp2.solution().powers_w);
             allocation.bandwidths_hz.copy_from_slice(&sp2.solution().bandwidths_hz);
             allocation.project_feasible(scenario);
 
             // --- Bookkeeping. ---
-            let cost = scenario.cost_summary(allocation)?;
+            let cost = scenario.cost_summary_arrays(arrays, allocation)?;
             let objective = cost.objective(weights);
             let change = allocation.normalized_distance(previous);
             trace.push(OuterIteration {
@@ -278,6 +297,7 @@ impl JointOptimizer {
         // they need) is the better seed when the deadline is tight. Run both seeds and keep
         // the cheaper feasible result (tracked across both runs in `ws.best`).
         ws.trace.clear();
+        ws.arrays.rebuild(scenario);
         let mut best_energy = f64::INFINITY;
         let mut have_best = false;
         let mut converged = false;
@@ -331,6 +351,7 @@ impl JointOptimizer {
                 best,
                 trace,
                 counters,
+                arrays,
                 ..
             } = &mut *ws;
             counters.outer_iterations += 1;
@@ -356,13 +377,14 @@ impl JointOptimizer {
                 // the dual-seed diversity the deadline search relies on.
                 sp2.stage_start(&allocation.powers_w, &allocation.bandwidths_hz);
             }
-            let sp2_sol = sp2::solve_in(scenario, weights, r_min_bps, &self.config, sp2)?;
+            let sp2_sol =
+                sp2::solve_with_arrays_in(scenario, arrays, weights, r_min_bps, &self.config, sp2)?;
             counters.record_sp2(&sp2_sol);
             allocation.powers_w.copy_from_slice(&sp2.solution().powers_w);
             allocation.bandwidths_hz.copy_from_slice(&sp2.solution().bandwidths_hz);
             allocation.project_feasible(scenario);
 
-            let cost = scenario.cost_summary(allocation)?;
+            let cost = scenario.cost_summary_arrays(arrays, allocation)?;
             // Track energy among allocations that actually meet the deadline (tiny slack for
             // the floating-point repairs in the sanitize pass).
             let meets_deadline = cost.round_time_s <= round_deadline * (1.0 + 1e-3);
@@ -604,36 +626,48 @@ fn rate_floors(
     frequencies_hz: &[f64],
     weights: Weights,
 ) -> Vec<f64> {
+    let arrays = ScenarioArrays::from_scenario(scenario);
     let mut out = Vec::with_capacity(scenario.devices.len());
-    rate_floors_into(scenario, round_time_s, frequencies_hz, weights, &mut out);
+    rate_floors_into(
+        &arrays,
+        scenario.params.rl(),
+        round_time_s,
+        frequencies_hz,
+        weights,
+        &mut out,
+    );
     out
 }
 
 /// `rate_floors` into a caller-owned buffer (cleared first) — the hot-path form used by
-/// Algorithm 2's outer loop.
+/// Algorithm 2's outer loop. Reads the [`ScenarioArrays`] lanes (one zip, no per-device
+/// struct chasing); `rl` is the scenario's local-iteration count `R_l`.
 fn rate_floors_into(
-    scenario: &Scenario,
+    arrays: &ScenarioArrays,
+    rl: f64,
     round_time_s: f64,
     frequencies_hz: &[f64],
     weights: Weights,
     out: &mut Vec<f64>,
 ) {
-    let rl = scenario.params.rl();
     out.clear();
-    out.extend(scenario.devices.iter().enumerate().map(|(i, dev)| {
-        if weights.time() <= 0.0 && round_time_s.is_infinite() {
-            return 0.0;
-        }
-        let t_cmp = rl * dev.cycles_per_local_iteration() / frequencies_hz[i].max(1e-3);
-        let budget = round_time_s - t_cmp;
-        if budget <= 0.0 {
-            // The deadline leaves no room for the upload: ask for the fastest rate the
-            // device could possibly need; the sanitize pass will do its best.
-            dev.upload_bits / 1e-6
-        } else {
-            dev.upload_bits / budget
-        }
-    }));
+    let unconstrained = weights.time() <= 0.0 && round_time_s.is_infinite();
+    out.extend(arrays.cycles_per_iter.iter().zip(&arrays.upload_bits).zip(frequencies_hz).map(
+        |((&cd, &d_bits), &f)| {
+            if unconstrained {
+                return 0.0;
+            }
+            let t_cmp = rl * cd / f.max(1e-3);
+            let budget = round_time_s - t_cmp;
+            if budget <= 0.0 {
+                // The deadline leaves no room for the upload: ask for the fastest rate the
+                // device could possibly need; the sanitize pass will do its best.
+                d_bits / 1e-6
+            } else {
+                d_bits / budget
+            }
+        },
+    ));
 }
 
 /// Smallest bandwidth at which a device with channel gain `gain` can reach `r_min` at power
@@ -794,7 +828,7 @@ mod tests {
     #[test]
     fn warm_start_matches_cold_within_outer_tol_and_saves_iterations() {
         let s = scenario(10, 40);
-        let cold_opt = optimizer();
+        let cold_opt = JointOptimizer::new(SolverConfig::fast().with_warm_start(false));
         let warm_opt = JointOptimizer::new(SolverConfig::fast().with_warm_start(true));
         for w in Weights::paper_sweep() {
             let mut cold_ws = SolverWorkspace::new();
@@ -831,7 +865,7 @@ mod tests {
     #[test]
     fn warm_start_deadline_variant_meets_deadline_and_matches_cold_energy() {
         let s = scenario(10, 41);
-        let cold_opt = optimizer();
+        let cold_opt = JointOptimizer::new(SolverConfig::fast().with_warm_start(false));
         let warm_opt = JointOptimizer::new(SolverConfig::fast().with_warm_start(true));
         let (_, fastest_round) = cold_opt.minimize_round_time(&s).unwrap();
         let deadline = fastest_round * s.params.rg() * 1.8;

@@ -30,19 +30,30 @@ pub struct SolverConfig {
     pub polish_with_reference: bool,
     /// Enables the warm-start continuation through the solver stack: Subproblem 2 seeds its
     /// Newton-like loop with the previous solve's `(β, ν)` multipliers, reuses the previous
-    /// `μ`-bisection bracket, skips the loop entirely once the rate floors stop moving (see
-    /// [`SolverConfig::warm_rmin_tol`]), and Algorithm 2 carries the previous `(p, B)`
+    /// `μ`-root bracket, skips the loop entirely once the rate floors stop moving (see
+    /// [`SolverConfig::warm_rmin_tol`]), Subproblem 1 narrows its golden-section bracket
+    /// around the previous round time, and Algorithm 2 carries the previous `(p, B)`
     /// iterate between outer iterations instead of restaging it.
     ///
-    /// `false` (the default) is the bit-exact reference path: no warm state is ever read
-    /// and results are identical to a solver without the continuation. With `true` the
-    /// solver converges to the same fixed point within the configured tolerances
-    /// (`outer_tol`, `jong.phi_tol`) but along a cheaper trajectory, so the last bits of
-    /// the result may differ; results can also depend on what a reused
-    /// [`SolverWorkspace`](crate::SolverWorkspace) solved last (the sweep engine resets
-    /// that state at every cell-group boundary to stay deterministic).
+    /// `true` (the default) is the production path: the solver converges to the same fixed
+    /// point within the configured tolerances (`outer_tol`, `jong.phi_tol`) along a cheaper
+    /// trajectory, so the last bits of the result may differ from the cold path; results
+    /// can also depend on what a reused [`SolverWorkspace`](crate::SolverWorkspace) solved
+    /// last (the sweep engine resets that state at every cell-group boundary to stay
+    /// deterministic). `false` is the bit-exact cold reference path: no warm state is ever
+    /// read and results are identical to a solver without the continuation — the sweep
+    /// engine's `FEDOPT_WARM_START=0` escape hatch forces it sweep-wide.
     #[serde(default)]
     pub warm_start: bool,
+    /// Finds the Theorem-2 bandwidth multiplier `μ` with the superlinear Brent iteration
+    /// instead of pure bisection (same bracket, same tolerance, bisection safeguard inside
+    /// the step — see `numopt::roots::brent`). `true` (the default) typically cuts the
+    /// `g'(μ)` evaluation count by an order of magnitude; `false` is the legacy
+    /// pure-bisection path, pinned bit-identical by regression goldens. Both paths clamp
+    /// identically when the budget constraint is inactive, and the drift between them is
+    /// bounded by the `mu_tol`-wide final bracket, i.e. within the solver's own tolerance.
+    #[serde(default = "default_superlinear_mu")]
+    pub superlinear_mu: bool,
     /// Maximum relative drift of Subproblem 2's rate floors `r_n^min` (against the previous
     /// solve's floors) under which the warm-start fast path may skip the Newton-like loop.
     /// Only read when [`SolverConfig::warm_start`] is set. The fast path additionally
@@ -63,6 +74,10 @@ fn default_warm_rmin_tol() -> f64 {
     1.0e-4
 }
 
+fn default_superlinear_mu() -> bool {
+    true
+}
+
 impl Default for SolverConfig {
     fn default() -> Self {
         Self {
@@ -74,8 +89,9 @@ impl Default for SolverConfig {
             feasibility_tol: 1.0e-6,
             bandwidth_floor_hz: 1.0,
             polish_with_reference: true,
-            warm_start: false,
+            warm_start: true,
             warm_rmin_tol: default_warm_rmin_tol(),
+            superlinear_mu: default_superlinear_mu(),
         }
     }
 }
@@ -98,6 +114,13 @@ impl SolverConfig {
     #[must_use]
     pub fn with_warm_start(self, warm_start: bool) -> Self {
         Self { warm_start, ..self }
+    }
+
+    /// This configuration with the superlinear `μ`-root step switched on or off
+    /// (`false` = the legacy pure-bisection path; see [`SolverConfig::superlinear_mu`]).
+    #[must_use]
+    pub fn with_superlinear_mu(self, superlinear_mu: bool) -> Self {
+        Self { superlinear_mu, ..self }
     }
 }
 
@@ -123,13 +146,22 @@ mod tests {
     }
 
     #[test]
-    fn warm_start_defaults_are_cold_and_rmin_tol_tracks_outer_tol() {
+    fn warm_start_defaults_on_and_rmin_tol_tracks_outer_tol() {
         let def = SolverConfig::default();
-        assert!(!def.warm_start, "the default must be the bit-exact cold reference path");
+        assert!(def.warm_start, "warm start is the library-wide default since PR 6");
         assert_eq!(def.warm_rmin_tol, def.outer_tol);
         let fast = SolverConfig::fast();
-        assert!(!fast.warm_start);
+        assert!(fast.warm_start);
         assert_eq!(fast.warm_rmin_tol, fast.outer_tol);
-        assert!(SolverConfig::default().with_warm_start(true).warm_start);
+        assert!(!SolverConfig::default().with_warm_start(false).warm_start);
+    }
+
+    #[test]
+    fn superlinear_mu_defaults_on_with_a_legacy_gate() {
+        assert!(SolverConfig::default().superlinear_mu);
+        assert!(SolverConfig::fast().superlinear_mu);
+        let legacy = SolverConfig::default().with_superlinear_mu(false);
+        assert!(!legacy.superlinear_mu, "the pure-bisection gate must stay selectable");
+        assert_eq!(legacy.with_superlinear_mu(true), SolverConfig::default());
     }
 }

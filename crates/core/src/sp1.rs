@@ -26,10 +26,36 @@
 
 use crate::config::SolverConfig;
 use crate::error::CoreError;
-use flsys::{Scenario, Weights};
+use flsys::{Scenario, ScenarioArrays, Weights};
 use numopt::projgrad::{projected_gradient_ascent, ProjGradConfig};
 use numopt::scalar::{clamp, golden_section_min_with_endpoints};
 use numopt::simplex::project_simplex;
+
+/// Geometric half-width of the warm-start golden-section bracket: the previous round time
+/// `T` brackets the new search as `[T/γ, T·γ]` (intersected with the feasible `[T_min,
+/// T_max]`). The outer alternation moves `T` by a few percent per iteration, so γ = 2 keeps
+/// the warm bracket generous — a ~4× narrower interval than the cold `[T_min, T_max]` on
+/// paper-default scenarios — while the interior-argmin check below catches any stale seed.
+const SP1_WARM_BRACKET_FACTOR: f64 = 2.0;
+
+/// Warm-start carry-over of Subproblem 1: the previous solve's optimal round time `T`,
+/// used to narrow the golden-section bracket (the objective is unimodal in `T`, so an
+/// argmin strictly inside the narrowed bracket is the global one; an argmin on a clipped
+/// edge triggers a full-bracket re-search). Only read when
+/// [`SolverConfig::warm_start`](crate::SolverConfig) is enabled;
+/// [`Sp1WarmState::reset`] drops the seed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sp1WarmState {
+    t_prev: f64,
+    valid: bool,
+}
+
+impl Sp1WarmState {
+    /// Drops the carried round-time seed: the next solve searches the full bracket.
+    pub fn reset(&mut self) {
+        self.valid = false;
+    }
+}
 
 /// Relative slack allowed between the dual ([`solve_dual`]) and direct ([`solve_direct`])
 /// Subproblem-1 objectives before the cross-check fails.
@@ -77,17 +103,39 @@ fn computation_energy_term(scenario: &Scenario, frequencies: &[f64]) -> f64 {
         .sum()
 }
 
-/// The cheapest feasible frequency for one device under a round deadline: `f_n =
-/// clamp(R_l·c_n·D_n / (T − T_n^up), f_min, f_max)`, or `f_max` (best effort) when the
-/// uplink alone exceeds the deadline.
+/// The cheapest feasible frequency under a round deadline, over raw per-device scalars
+/// (`cd` = `c_n·D_n`): `f_n = clamp(R_l·c_n·D_n / (T − T_n^up), f_min, f_max)`, or `f_max`
+/// (best effort) when the uplink alone exceeds the deadline. This is the form the
+/// lane-walking probe loop calls; the arithmetic (and hence the result bits) is the same
+/// whether the scalars come from a [`ScenarioArrays`] lane or a profile getter.
 #[inline]
-fn frequency_for_deadline(dev: &flsys::DeviceProfile, rl: f64, deadline_s: f64, t_up: f64) -> f64 {
+fn frequency_for_deadline_raw(
+    cd: f64,
+    f_min: f64,
+    f_max: f64,
+    rl: f64,
+    deadline_s: f64,
+    t_up: f64,
+) -> f64 {
     let compute_budget = deadline_s - t_up;
     if compute_budget <= 0.0 {
-        dev.f_max.value()
+        f_max
     } else {
-        dev.clamp_frequency(rl * dev.cycles_per_local_iteration() / compute_budget)
+        clamp(rl * cd / compute_budget, f_min, f_max)
     }
+}
+
+/// [`frequency_for_deadline_raw`] reading from a device profile.
+#[inline]
+fn frequency_for_deadline(dev: &flsys::DeviceProfile, rl: f64, deadline_s: f64, t_up: f64) -> f64 {
+    frequency_for_deadline_raw(
+        dev.cycles_per_local_iteration(),
+        dev.f_min.value(),
+        dev.f_max.value(),
+        rl,
+        deadline_s,
+        t_up,
+    )
 }
 
 /// The cheapest feasible frequency vector for a given round deadline `T` and uplink times:
@@ -177,21 +225,80 @@ pub fn solve_direct_in(
     config: &SolverConfig,
     frequencies_out: &mut Vec<f64>,
 ) -> Result<Sp1Summary, CoreError> {
+    // Build a throwaway lane view (this convenience form allocates; the sweep hot path
+    // holds lanes in its workspace and calls `solve_direct_with_arrays_in` directly). A
+    // fresh (invalid) warm state keeps this entry bit-identical to the historical cold
+    // full-bracket search regardless of `config.warm_start`.
+    let arrays = ScenarioArrays::from_scenario(scenario);
+    let mut warm = Sp1WarmState::default();
+    let mut probes = 0u64;
+    solve_direct_with_arrays_in(
+        scenario,
+        &arrays,
+        weights,
+        upload_times_s,
+        &SolverConfig { warm_start: false, ..*config },
+        frequencies_out,
+        &mut warm,
+        &mut probes,
+    )
+}
+
+/// [`solve_direct_in`] over a caller-held lane view — the Algorithm-2 hot-path form.
+///
+/// Differences from the wrapper: the per-device reads of the probe loop walk the
+/// [`ScenarioArrays`] lanes (contiguous, bounds-check-free via `zip`); `warm` carries the
+/// previous solve's optimal `T` and, with [`SolverConfig::warm_start`] enabled, narrows the
+/// golden-section bracket to `[T/γ, T·γ] ∩ [T_min, T_max]` — the objective is unimodal in
+/// `T`, so an argmin strictly inside the narrowed bracket is the global one, and an argmin
+/// landing on a clipped bracket edge falls back to the full `[T_min, T_max]` search;
+/// `probe_evals` accumulates the number of objective probes the search spends (the
+/// [`SolveCounters::sp1_probe_evals`](crate::SolveCounters) evidence). With warm start off
+/// the search trajectory — and hence every result bit — matches the historical cold path.
+///
+/// # Errors
+///
+/// Same as [`solve_direct`], plus [`CoreError::Model`] if `arrays` does not match the
+/// scenario size.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_direct_with_arrays_in(
+    scenario: &Scenario,
+    arrays: &ScenarioArrays,
+    weights: Weights,
+    upload_times_s: &[f64],
+    config: &SolverConfig,
+    frequencies_out: &mut Vec<f64>,
+    warm: &mut Sp1WarmState,
+    probe_evals: &mut u64,
+) -> Result<Sp1Summary, CoreError> {
     check_lengths(scenario, upload_times_s)?;
+    if arrays.len() != scenario.devices.len() {
+        return Err(CoreError::Model(flsys::FlError::AllocationSizeMismatch {
+            devices: scenario.devices.len(),
+            got: arrays.len(),
+        }));
+    }
     let params = &scenario.params;
     let w1 = weights.energy();
     let w2 = weights.time();
     let rg = params.rg();
     let rl = params.rl();
 
-    let t_min = min_feasible_round_time(scenario, upload_times_s);
-    let t_max = scenario
-        .devices
+    // Feasible T bracket from the lanes: t_up + R_l·c_nD_n / f at f_max (lower) and f_min
+    // (upper). Same per-device expression and max-fold order as the struct walk.
+    let t_min = arrays
+        .cycles_per_iter
         .iter()
+        .zip(&arrays.f_max_hz)
         .zip(upload_times_s)
-        .map(|(dev, &t_up)| {
-            t_up + rl * dev.cycles_per_local_iteration() / dev.f_min.value().max(1e-3)
-        })
+        .map(|((&cd, &f_max), &t_up)| t_up + rl * cd / f_max)
+        .fold(0.0, f64::max);
+    let t_max = arrays
+        .cycles_per_iter
+        .iter()
+        .zip(&arrays.f_min_hz)
+        .zip(upload_times_s)
+        .map(|((&cd, &f_min), &t_up)| t_up + rl * cd / f_min.max(1e-3))
         .fold(0.0, f64::max)
         .max(t_min);
 
@@ -199,7 +306,7 @@ pub fn solve_direct_in(
     if w2 == 0.0 {
         // No pressure on time: every device runs at its minimum frequency.
         frequencies_out.clear();
-        frequencies_out.extend(scenario.devices.iter().map(|d| d.f_min.value()));
+        frequencies_out.extend_from_slice(&arrays.f_min_hz);
         let round = round_time(scenario, frequencies_out, upload_times_s);
         let objective =
             w1 * rg * computation_energy_term(scenario, frequencies_out) + w2 * rg * round;
@@ -208,7 +315,7 @@ pub fn solve_direct_in(
     if w1 == 0.0 {
         // No pressure on energy: every device runs flat out.
         frequencies_out.clear();
-        frequencies_out.extend(scenario.devices.iter().map(|d| d.f_max.value()));
+        frequencies_out.extend_from_slice(&arrays.f_max_hz);
         let round = round_time(scenario, frequencies_out, upload_times_s);
         let objective = w2 * rg * round;
         return Ok(Sp1Summary { round_time_s: round, objective });
@@ -220,31 +327,57 @@ pub fn solve_direct_in(
     // the old inline `κ·R_l·c_nD_n·f·f` left-to-right evaluation exactly, so every probe
     // value — and hence the search trajectory — is bit-identical to the unhoisted code.
     frequencies_out.clear();
-    frequencies_out.extend(
-        scenario
-            .devices
-            .iter()
-            .map(|dev| params.kappa * params.rl() * dev.cycles_per_local_iteration()),
-    );
+    frequencies_out
+        .extend(arrays.cycles_per_iter.iter().map(|&cd| params.kappa * params.rl() * cd));
     let energy_coef: &[f64] = frequencies_out;
 
+    let probes = std::cell::Cell::new(0u64);
     let objective_of_t = |t: f64| {
+        probes.set(probes.get() + 1);
         // Same per-device terms and summation order as `computation_energy_term` over
-        // `frequencies_for_deadline`, without the intermediate vector.
+        // `frequencies_for_deadline`, without the intermediate vector: one fused
+        // bounds-check-free walk over four read-only lanes.
         let mut energy = 0.0;
-        for (i, (dev, &t_up)) in scenario.devices.iter().zip(upload_times_s).enumerate() {
-            let f = frequency_for_deadline(dev, rl, t, t_up);
-            energy += energy_coef[i] * f * f;
+        let it = energy_coef
+            .iter()
+            .zip(&arrays.cycles_per_iter)
+            .zip(&arrays.f_min_hz)
+            .zip(&arrays.f_max_hz)
+            .zip(upload_times_s);
+        for ((((&coef, &cd), &f_min), &f_max), &t_up) in it {
+            let f = frequency_for_deadline_raw(cd, f_min, f_max, rl, t, t_up);
+            energy += coef * f * f;
         }
         w1 * rg * energy + w2 * rg * t
     };
-    let best = golden_section_min_with_endpoints(
-        objective_of_t,
-        t_min,
-        t_max,
-        config.scalar_tol * t_max.max(1.0),
-        500,
-    )?;
+    let tol = config.scalar_tol * t_max.max(1.0);
+
+    // Warm-start bracket narrowing around the previous optimal T, validated two ways: the
+    // seed must fall inside the feasible interval, and the argmin must come back strictly
+    // interior to any clipped edge (unimodality then guarantees it is the global argmin;
+    // an edge hit means the optimum moved outside the narrow bracket — re-search in full).
+    let mut best = None;
+    if config.warm_start && warm.valid && warm.t_prev.is_finite() {
+        let lo = t_min.max(warm.t_prev / SP1_WARM_BRACKET_FACTOR);
+        let hi = t_max.min(warm.t_prev * SP1_WARM_BRACKET_FACTOR);
+        if lo < hi {
+            let candidate = golden_section_min_with_endpoints(&objective_of_t, lo, hi, tol, 500)?;
+            let clipped_lo = lo > t_min && candidate.argmin <= lo + tol;
+            let clipped_hi = hi < t_max && candidate.argmin >= hi - tol;
+            if !clipped_lo && !clipped_hi {
+                best = Some(candidate);
+            }
+        }
+    }
+    let best = match best {
+        Some(best) => best,
+        None => golden_section_min_with_endpoints(&objective_of_t, t_min, t_max, tol, 500)?,
+    };
+    *probe_evals += probes.get();
+    if config.warm_start {
+        warm.t_prev = best.argmin;
+        warm.valid = true;
+    }
     frequencies_for_deadline_into(scenario, best.argmin, upload_times_s, frequencies_out);
     // Report the actually achieved round time (≤ the searched T when clamping bites).
     let achieved_round = round_time(scenario, frequencies_out, upload_times_s);
@@ -519,5 +652,119 @@ mod tests {
             let sol = solve_direct(&s, w, &uploads, &cfg).unwrap();
             assert!(sol.round_time_s >= t_min - 1e-9);
         }
+    }
+
+    #[test]
+    fn arrays_entry_is_bit_identical_to_wrapper_when_cold() {
+        let s = scenario(14);
+        let arrays = ScenarioArrays::from_scenario(&s);
+        let cfg = SolverConfig::default().with_warm_start(false);
+        let uploads = uniform_uploads(&s, 0.012);
+        let w = Weights::new(0.6, 0.4).unwrap();
+
+        let mut wrapper_freqs = Vec::new();
+        let wrapper = solve_direct_in(&s, w, &uploads, &cfg, &mut wrapper_freqs).unwrap();
+
+        let mut lane_freqs = Vec::new();
+        let mut warm = Sp1WarmState::default();
+        let mut probes = 0u64;
+        let lanes = solve_direct_with_arrays_in(
+            &s,
+            &arrays,
+            w,
+            &uploads,
+            &cfg,
+            &mut lane_freqs,
+            &mut warm,
+            &mut probes,
+        )
+        .unwrap();
+        assert_eq!(wrapper, lanes);
+        assert_eq!(wrapper_freqs, lane_freqs);
+        assert!(probes > 0, "the probe counter must observe the search");
+    }
+
+    #[test]
+    fn warm_bracket_saves_probes_and_stays_on_the_optimum() {
+        let s = scenario(12);
+        let arrays = ScenarioArrays::from_scenario(&s);
+        let warm_cfg = SolverConfig::default().with_warm_start(true);
+        let cold_cfg = warm_cfg.with_warm_start(false);
+        let w = Weights::balanced();
+        let uploads = uniform_uploads(&s, 0.015);
+        // The outer alternation's typical move: upload times shift by a couple percent.
+        let nearby = uniform_uploads(&s, 0.0153);
+
+        let mut freqs = Vec::new();
+        let mut warm = Sp1WarmState::default();
+        let mut warm_probes = 0u64;
+        solve_direct_with_arrays_in(
+            &s,
+            &arrays,
+            w,
+            &uploads,
+            &warm_cfg,
+            &mut freqs,
+            &mut warm,
+            &mut warm_probes,
+        )
+        .unwrap();
+        let seeded_before = warm_probes;
+        let warm_sol = solve_direct_with_arrays_in(
+            &s,
+            &arrays,
+            w,
+            &nearby,
+            &warm_cfg,
+            &mut freqs,
+            &mut warm,
+            &mut warm_probes,
+        )
+        .unwrap();
+        let warm_second = warm_probes - seeded_before;
+
+        let mut cold_state = Sp1WarmState::default();
+        let mut cold_probes = 0u64;
+        let cold_sol = solve_direct_with_arrays_in(
+            &s,
+            &arrays,
+            w,
+            &nearby,
+            &cold_cfg,
+            &mut freqs,
+            &mut cold_state,
+            &mut cold_probes,
+        )
+        .unwrap();
+
+        assert!(
+            warm_second < cold_probes,
+            "narrowed bracket must probe less: warm {warm_second} vs cold {cold_probes}"
+        );
+        let rel = (warm_sol.objective - cold_sol.objective).abs() / cold_sol.objective;
+        assert!(
+            rel <= 1e-4,
+            "warm {} vs cold {} (rel {rel})",
+            warm_sol.objective,
+            cold_sol.objective
+        );
+
+        // A wildly stale seed must fall back to the full bracket and still land on the
+        // cold optimum (edge-hit detection), not silently return a clipped-bracket argmin.
+        let mut stale = Sp1WarmState { t_prev: cold_sol.round_time_s * 50.0, valid: true };
+        let mut stale_probes = 0u64;
+        let stale_sol = solve_direct_with_arrays_in(
+            &s,
+            &arrays,
+            w,
+            &nearby,
+            &warm_cfg,
+            &mut freqs,
+            &mut stale,
+            &mut stale_probes,
+        )
+        .unwrap();
+        let rel = (stale_sol.objective - cold_sol.objective).abs() / cold_sol.objective;
+        assert!(rel <= 1e-6, "stale seed must re-search in full (rel {rel})");
     }
 }

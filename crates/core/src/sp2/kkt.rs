@@ -15,7 +15,10 @@
 //! 2. Eliminating `p` yields a dual in `(τ, μ)`; the stationarity condition (A.3) links
 //!    `τ_n` to the bandwidth price `μ` through a Lambert-W expression (A.4):
 //!    `τ_n = (μ − j_n) ln 2 / W₀((μ − j_n)/(e·j_n)) − ν_nβ_n`, `j_n = ν_n d_n N₀ / g_n`.
-//! 3. `μ` is the root of the scalar concave dual derivative `g'(μ) = 0`, found by bisection.
+//! 3. `μ` is the root of the scalar concave dual derivative `g'(μ) = 0`, found by a
+//!    safeguarded Brent iteration (or, behind
+//!    [`SolverConfig::superlinear_mu`](crate::SolverConfig) `= false`, the paper's pure
+//!    bisection).
 //!    We use the algebraically simplified form
 //!    `g'(μ) = Σ_n r_n^min·ln2 / (W₀((μ − j_n)/(e·j_n)) + 1) − B`,
 //!    which is equivalent to the paper's expression but avoids the removable singularity at
@@ -28,7 +31,8 @@
 
 use super::{PowerBandwidth, Sp2Problem};
 use numopt::lambertw::{lambert_w0, ratio_over_w0};
-use numopt::roots::root_of_decreasing;
+use numopt::roots::{root_of_decreasing, root_of_decreasing_brent};
+use numopt::scalar::clamp;
 use numopt::NumError;
 use wireless::channel::power_for_rate;
 
@@ -61,13 +65,27 @@ pub(crate) struct LpEntry {
 pub struct KktScratch {
     /// `j_n = ν_n d_n N₀ / g_n` per device (the constant of Appendix B).
     j: Vec<f64>,
+    /// Compacted `j_n` lane of the rate-constrained devices only (in device order) — the
+    /// `g'(μ)` summation set. Built **once per parametric solve**, so every `μ` probe is a
+    /// dense, branch-free `O(m)` walk (`m` = rate-constrained devices) instead of an
+    /// `O(n)` scan that re-tests `r_n^min > 0` on every device.
+    rc_j: Vec<f64>,
+    /// Matching compacted `r_n^min · ln 2` lane (the constant numerator of each `g'` term,
+    /// hoisted out of the per-probe loop; `(r·ln2)/denom` is bit-identical to
+    /// `r·ln2/denom` — same left-to-right grouping).
+    rc_rmin_ln2: Vec<f64>,
     /// LP entries of the devices whose rate constraint is slack (step 4b).
     entries: Vec<LpEntry>,
     /// Cumulative count of Theorem-2 parametric solves performed with this scratch.
     pub parametric_solves: u64,
-    /// Cumulative count of `g'(μ)` evaluations spent in the `μ` bisection (bracket
-    /// validation, expansion and root refinement alike).
+    /// Cumulative count of `g'(μ)` evaluations spent in the `μ` root search (bracket
+    /// validation, expansion and root refinement alike; bisection and Brent count the
+    /// same way).
     pub mu_bisect_evals: u64,
+    /// Cumulative count of step-4b `(ρ, idx)` key sorts. The LP ordering is `μ`-invariant,
+    /// so this advances exactly once per parametric solve — never once per `g'(μ)`
+    /// evaluation. The complexity audit asserts this ratio.
+    pub lp_sorts: u64,
     /// The previous solve's bandwidth price `μ` — the warm-start bracket seed.
     warm_mu: f64,
     /// Whether [`KktScratch::warm_mu`] holds a usable seed.
@@ -118,43 +136,76 @@ pub fn solve_parametric_into(
     beta: &[f64],
     out: &mut PowerBandwidth,
 ) -> Result<(), NumError> {
-    let scenario = problem.scenario();
-    let n = scenario.devices.len();
+    let arrays = problem.arrays();
+    let n = arrays.len();
     let n0 = problem.n0();
     let b_total = problem.total_bandwidth();
     let floor = problem.config().bandwidth_floor_hz;
     let r_min = problem.r_min_bps();
     let mut scratch = problem.scratch_mut();
-    let KktScratch { j, entries, parametric_solves, mu_bisect_evals, warm_mu, warm_mu_valid } =
-        &mut *scratch;
+    let KktScratch {
+        j,
+        rc_j,
+        rc_rmin_ln2,
+        entries,
+        parametric_solves,
+        mu_bisect_evals,
+        lp_sorts,
+        warm_mu,
+        warm_mu_valid,
+    } = &mut *scratch;
     *parametric_solves += 1;
 
-    // j_n = ν_n d_n N₀ / g_n (the constant of Appendix B).
+    // j_n = ν_n d_n N₀ / g_n (the constant of Appendix B), filled from the contiguous
+    // lanes. The expression keeps the exact operand grouping of the struct walk
+    // (ν·d·N₀/g, left to right over the raw per-device values), so the fill is
+    // bit-identical to indexing the profiles.
     j.clear();
-    j.extend((0..n).map(|i| {
-        let dev = &scenario.devices[i];
-        (nu[i].max(1e-300)) * dev.upload_bits * n0 / dev.gain.value()
-    }));
+    j.extend(
+        nu.iter()
+            .zip(arrays.upload_bits.iter())
+            .zip(arrays.gain.iter())
+            .map(|((&nu_i, &d), &g)| (nu_i.max(1e-300)) * d * n0 / g),
+    );
 
-    // --- Step 3: bandwidth price μ from g'(μ) = 0 (bisection on a decreasing function). ---
+    // --- Step 3: bandwidth price μ from g'(μ) = 0 (root of a decreasing function). ---
     let has_rate_constraints = r_min.iter().any(|&r| r > 0.0);
     let warm_start = problem.config().warm_start;
+    let superlinear = problem.config().superlinear_mu;
     let mu = if has_rate_constraints {
+        // Compact the summation set once per parametric solve: the μ search only ever
+        // touches the rate-constrained devices, and their (j_n, r_n^min·ln2) pairs are
+        // μ-invariant. Device order is preserved, so the per-probe sum below accumulates
+        // the exact same terms in the exact same order as a full skip-scan would.
+        rc_j.clear();
+        rc_rmin_ln2.clear();
+        for i in 0..n {
+            if r_min[i] > 0.0 {
+                rc_j.push(j[i]);
+                rc_rmin_ln2.push(r_min[i] * LN2);
+            }
+        }
         let evals = std::cell::Cell::new(0u64);
         let g_prime = |mu: f64| -> f64 {
             evals.set(evals.get() + 1);
             let mut sum = 0.0;
-            for i in 0..n {
-                if r_min[i] <= 0.0 {
-                    continue;
-                }
-                let arg = (mu - j[i]) / (std::f64::consts::E * j[i]);
+            for (&ji, &rml) in rc_j.iter().zip(rc_rmin_ln2.iter()) {
+                let arg = (mu - ji) / (std::f64::consts::E * ji);
                 let w = lambert_w0(arg.max(-1.0 / std::f64::consts::E)).unwrap_or(0.0);
                 // Simplified derivative term: r_min·ln2 / (W + 1).
                 let denom = (w + 1.0).max(1e-12);
-                sum += r_min[i] * LN2 / denom;
+                sum += rml / denom;
             }
             sum - b_total
+        };
+        // Brent (superlinear, with a bisection safeguard inside the step) or the legacy
+        // pure bisection — same bracket, same tolerance semantics either way.
+        let find_root = |lo: f64, hi: f64, tol: f64| -> Result<f64, NumError> {
+            if superlinear {
+                root_of_decreasing_brent(&g_prime, lo, hi, tol, 300)
+            } else {
+                root_of_decreasing(&g_prime, lo, hi, tol, 300)
+            }
         };
         let j_max = j.iter().cloned().fold(0.0_f64, f64::max).max(1e-300);
         let j_min = j.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-300);
@@ -177,7 +228,7 @@ pub fn solve_parametric_into(
                     // A failed refinement (e.g. a non-finite interior probe) falls back to
                     // the conservative bracket below rather than failing the solve — the
                     // warm bracket is only ever a hint.
-                    warm_root = root_of_decreasing(&g_prime, lo, hi, tol, 300).ok();
+                    warm_root = find_root(lo, hi, tol).ok();
                     break;
                 }
                 delta *= 16.0;
@@ -194,7 +245,7 @@ pub fn solve_parametric_into(
                     mu_hi *= 4.0;
                     expansions += 1;
                 }
-                root_of_decreasing(&g_prime, mu_lo, mu_hi, problem.config().mu_tol * mu_hi, 300)?
+                find_root(mu_lo, mu_hi, problem.config().mu_tol * mu_hi)?
             }
         };
         *mu_bisect_evals += evals.get();
@@ -220,9 +271,9 @@ pub fn solve_parametric_into(
     let mut budget_used = 0.0;
 
     for i in 0..n {
-        let dev = &scenario.devices[i];
-        let g = dev.gain.value();
-        let d = dev.upload_bits;
+        let g = arrays.gain[i];
+        let d = arrays.upload_bits[i];
+        let (p_min, p_max) = (arrays.p_min_w[i], arrays.p_max_w[i]);
         let tau = if r_min[i] > 0.0 && mu > 0.0 {
             (ratio_over_w0(mu - j[i], j[i])? * LN2 - nu[i] * beta[i]).max(0.0)
         } else {
@@ -234,7 +285,7 @@ pub fn solve_parametric_into(
                 let b = r_min[i] / lambda_n.log2();
                 let p = (lambda_n - 1.0) * n0 * b / g;
                 bandwidths[i] = b.max(floor);
-                powers[i] = dev.clamp_power(p);
+                powers[i] = clamp(p, p_min, p_max);
                 budget_used += bandwidths[i];
                 continue;
             }
@@ -244,8 +295,8 @@ pub fn solve_parametric_into(
         if lambda0 > 1.0 + 1e-9 {
             rho = nu[i] * beta[i] / LN2 - n0 * d * nu[i] / g - nu[i] * beta[i] * lambda0.log2();
             let slope = (lambda0 - 1.0) * n0 / g; // p = slope · B
-            let lo_from_pmin = dev.p_min.value() / slope;
-            let hi_from_pmax = dev.p_max.value() / slope;
+            let lo_from_pmin = p_min / slope;
+            let hi_from_pmax = p_max / slope;
             let lo_from_rate = if r_min[i] > 0.0 { r_min[i] / lambda0.log2() } else { 0.0 };
             b_lo = lo_from_pmin.max(lo_from_rate).max(floor);
             b_hi = hi_from_pmax.max(b_lo);
@@ -255,7 +306,7 @@ pub fn solve_parametric_into(
             // is decreasing in B there). Its lower bound is whatever keeps the rate
             // constraint satisfiable at maximum power.
             rho = -nu[i] * beta[i]; // strictly negative ⇒ prioritized for leftover bandwidth
-            b_lo = bandwidth_for_rate(dev, r_min[i], n0, b_total, floor);
+            b_lo = bandwidth_for_rate(g, p_max, r_min[i], n0, b_total, floor);
             b_hi = b_total;
         }
         entries.push(LpEntry { idx: i, rho, b_lo, b_hi });
@@ -282,7 +333,10 @@ pub fn solve_parametric_into(
         // `sort_unstable_by` with the `(ρ, idx)` key: ties on ρ resolve by device index —
         // exactly the order a stable sort would produce (entries are pushed in index order),
         // but the determinism no longer hinges on sort stability (and the unstable sort does
-        // not allocate its merge buffer).
+        // not allocate its merge buffer). The (ρ, idx) keys do not depend on μ's refinement
+        // history, so this O(m log m) sort runs once per parametric solve — never per
+        // g'(μ) probe; `lp_sorts` counts it as evidence.
+        *lp_sorts += 1;
         entries.sort_unstable_by(|a, b| {
             (a.rho, a.idx).partial_cmp(&(b.rho, b.idx)).expect("finite coefficients")
         });
@@ -301,20 +355,17 @@ pub fn solve_parametric_into(
         // repaired upward if the rate constraint needs it.
         for e in entries.iter() {
             let i = e.idx;
-            let dev = &scenario.devices[i];
-            let g = dev.gain.value();
-            let d = dev.upload_bits;
+            let g = arrays.gain[i];
+            let d = arrays.upload_bits[i];
+            let (p_min, p_max) = (arrays.p_min_w[i], arrays.p_max_w[i]);
             let lambda0 = beta[i] * g / (n0 * d * LN2);
-            let p_raw = if lambda0 > 1.0 + 1e-9 {
-                (lambda0 - 1.0) * n0 * bandwidths[i] / g
-            } else {
-                dev.p_min.value()
-            };
-            let mut p = dev.clamp_power(p_raw);
+            let p_raw =
+                if lambda0 > 1.0 + 1e-9 { (lambda0 - 1.0) * n0 * bandwidths[i] / g } else { p_min };
+            let mut p = clamp(p_raw, p_min, p_max);
             if r_min[i] > 0.0 {
                 let needed = power_for_rate(r_min[i], bandwidths[i], g, n0);
                 if needed > p {
-                    p = dev.clamp_power(needed);
+                    p = clamp(needed, p_min, p_max);
                 }
             }
             powers[i] = p;
@@ -325,21 +376,14 @@ pub fn solve_parametric_into(
     Ok(())
 }
 
-/// Smallest bandwidth at which the device can reach `r_min` at maximum power (bisection on
-/// the monotone-increasing map `B ↦ G(p_max, B)`), capped at `b_total`.
-fn bandwidth_for_rate(
-    dev: &flsys::DeviceProfile,
-    r_min: f64,
-    n0: f64,
-    b_total: f64,
-    floor: f64,
-) -> f64 {
+/// Smallest bandwidth at which a device with channel gain `g` can reach `r_min` at its
+/// maximum power `p_max` (bisection on the monotone-increasing map `B ↦ G(p_max, B)`),
+/// capped at `b_total`.
+fn bandwidth_for_rate(g: f64, p_max: f64, r_min: f64, n0: f64, b_total: f64, floor: f64) -> f64 {
     if r_min <= 0.0 {
         return floor;
     }
-    let g = dev.gain.value();
-    let p = dev.p_max.value();
-    let rate_at = |b: f64| wireless::channel::shannon_rate_raw(p, b, g, n0);
+    let rate_at = |b: f64| wireless::channel::shannon_rate_raw(p_max, b, g, n0);
     if rate_at(b_total) < r_min {
         // Not reachable even with the whole band: ask for the whole band (the sanitize pass
         // will scale it back together with everyone else).
@@ -365,7 +409,7 @@ fn bandwidth_for_rate(
 mod tests {
     use super::*;
     use crate::config::SolverConfig;
-    use flsys::{Allocation, ScenarioBuilder, Weights};
+    use flsys::{Allocation, ScenarioArrays, ScenarioBuilder, Weights};
     use numopt::fractional::FractionalProblem;
     use wireless::channel::shannon_rate_raw;
 
@@ -373,11 +417,12 @@ mod tests {
         n: usize,
         seed: u64,
         upload_window_s: f64,
-    ) -> (flsys::Scenario, SolverConfig, Vec<f64>) {
+    ) -> (flsys::Scenario, ScenarioArrays, SolverConfig, Vec<f64>) {
         let s = ScenarioBuilder::paper_default().with_devices(n).build(seed).unwrap();
+        let arrays = ScenarioArrays::from_scenario(&s);
         let cfg = SolverConfig::default();
         let r_min: Vec<f64> = s.devices.iter().map(|d| d.upload_bits / upload_window_s).collect();
-        (s, cfg, r_min)
+        (s, arrays, cfg, r_min)
     }
 
     fn nominal_multipliers(
@@ -397,8 +442,8 @@ mod tests {
 
     #[test]
     fn parametric_solution_is_feasible() {
-        let (s, cfg, r_min) = problem_fixture(10, 11, 0.05);
-        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
+        let (s, arrays, cfg, r_min) = problem_fixture(10, 11, 0.05);
+        let problem = Sp2Problem::new(&s, &arrays, Weights::balanced(), &r_min, &cfg).unwrap();
         let a = Allocation::equal_split_max(&s);
         let start = PowerBandwidth::new(a.powers_w, a.bandwidths_hz);
         let (nu, beta) = nominal_multipliers(&problem, &start);
@@ -421,8 +466,8 @@ mod tests {
     fn parametric_solution_improves_parametric_objective() {
         // The KKT point should not be worse than the starting point on the subtractive
         // objective Σ ν(p·d − β·G).
-        let (s, cfg, r_min) = problem_fixture(8, 13, 0.05);
-        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
+        let (s, arrays, cfg, r_min) = problem_fixture(8, 13, 0.05);
+        let problem = Sp2Problem::new(&s, &arrays, Weights::balanced(), &r_min, &cfg).unwrap();
         let a = Allocation::equal_split_max(&s);
         let start = PowerBandwidth::new(a.powers_w, a.bandwidths_hz);
         let (nu, beta) = nominal_multipliers(&problem, &start);
@@ -449,9 +494,10 @@ mod tests {
             .with_total_bandwidth(wireless::units::Hertz::from_mhz(2.0))
             .build(17)
             .unwrap();
+        let arrays = ScenarioArrays::from_scenario(&s);
         let cfg = SolverConfig::default();
         let r_min: Vec<f64> = s.devices.iter().map(|d| d.upload_bits / 0.02).collect();
-        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
+        let problem = Sp2Problem::new(&s, &arrays, Weights::balanced(), &r_min, &cfg).unwrap();
         let a = Allocation::equal_split_max(&s);
         let start = PowerBandwidth::new(a.powers_w, a.bandwidths_hz);
         let (nu, beta) = nominal_multipliers(&problem, &start);
@@ -471,9 +517,9 @@ mod tests {
 
     #[test]
     fn no_rate_constraint_spends_whole_budget_mostly_at_low_power() {
-        let (s, cfg, _) = problem_fixture(6, 19, 0.05);
+        let (s, arrays, cfg, _) = problem_fixture(6, 19, 0.05);
         let r_min = vec![0.0; 6];
-        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
+        let problem = Sp2Problem::new(&s, &arrays, Weights::balanced(), &r_min, &cfg).unwrap();
         let a = Allocation::equal_split_max(&s);
         let start = PowerBandwidth::new(a.powers_w, a.bandwidths_hz);
         let (nu, beta) = nominal_multipliers(&problem, &start);
@@ -485,8 +531,8 @@ mod tests {
 
     #[test]
     fn into_variant_matches_allocating_variant_from_dirty_out() {
-        let (s, cfg, r_min) = problem_fixture(10, 11, 0.05);
-        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
+        let (s, arrays, cfg, r_min) = problem_fixture(10, 11, 0.05);
+        let problem = Sp2Problem::new(&s, &arrays, Weights::balanced(), &r_min, &cfg).unwrap();
         let a = Allocation::equal_split_max(&s);
         let start = PowerBandwidth::new(a.powers_w, a.bandwidths_hz);
         let (nu, beta) = nominal_multipliers(&problem, &start);
@@ -530,9 +576,10 @@ mod tests {
             .with_total_bandwidth(wireless::units::Hertz::from_mhz(2.0))
             .build(17)
             .unwrap();
+        let arrays = ScenarioArrays::from_scenario(&s);
         let cfg = SolverConfig::default();
         let r_min: Vec<f64> = s.devices.iter().map(|d| d.upload_bits / 0.02).collect();
-        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
+        let problem = Sp2Problem::new(&s, &arrays, Weights::balanced(), &r_min, &cfg).unwrap();
         let a = Allocation::equal_split_max(&s);
         let start = PowerBandwidth::new(a.powers_w, a.bandwidths_hz);
         let (nu, beta) = nominal_multipliers(&problem, &start);
@@ -552,9 +599,12 @@ mod tests {
         let n0 = s.params.noise.watts_per_hz();
         let b_total = s.params.total_bandwidth.value();
         let r_min = 1.0e6;
-        let b = bandwidth_for_rate(dev, r_min, n0, b_total, 1.0);
+        let b = bandwidth_for_rate(dev.gain.value(), dev.p_max.value(), r_min, n0, b_total, 1.0);
         let achieved = shannon_rate_raw(dev.p_max.value(), b, dev.gain.value(), n0);
         assert!((achieved - r_min).abs() / r_min < 1e-3);
-        assert_eq!(bandwidth_for_rate(dev, 0.0, n0, b_total, 1.0), 1.0);
+        assert_eq!(
+            bandwidth_for_rate(dev.gain.value(), dev.p_max.value(), 0.0, n0, b_total, 1.0),
+            1.0
+        );
     }
 }

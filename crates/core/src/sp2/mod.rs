@@ -31,9 +31,10 @@ pub mod reference;
 
 use crate::config::SolverConfig;
 use crate::error::CoreError;
-use flsys::{Scenario, Weights};
+use flsys::{Scenario, ScenarioArrays, Weights};
 use kkt::KktScratch;
 use numopt::fractional::{solve_sum_of_ratios_warm_in, FractionalProblem, JongScratch, WarmMode};
+use numopt::scalar::clamp;
 use numopt::NumError;
 use std::cell::RefCell;
 use wireless::channel::{power_for_rate, shannon_rate_raw};
@@ -88,6 +89,10 @@ impl PowerBandwidth {
 pub struct Sp2Scratch {
     /// Scratch of the Theorem-2 KKT construction (the parametric inner solver).
     pub kkt: KktScratch,
+    /// Struct-of-arrays lanes of the current scenario, rebuilt (capacity-reusing) by
+    /// [`solve_in`] on entry. Callers that already hold lanes skip the rebuild via
+    /// [`solve_with_arrays_in`].
+    arrays: ScenarioArrays,
     /// Scratch of the Newton-like outer loop (the paper's Algorithm 1).
     jong: JongScratch,
     /// Start point in / solution out; doubles as the outer loop's primary point buffer.
@@ -160,8 +165,12 @@ pub struct Sp2Summary {
     pub fast_path: bool,
     /// Theorem-2 parametric (KKT) solves this call performed.
     pub kkt_solves: u64,
-    /// `g'(μ)` evaluations the `μ` bisections of this call performed.
+    /// `g'(μ)` evaluations the `μ` root searches of this call performed (bisection or
+    /// Brent alike).
     pub mu_bisect_evals: u64,
+    /// Step-4b `(ρ, idx)` key sorts this call performed — exactly one per parametric KKT
+    /// solve (the LP ordering is `μ`-invariant and is never re-sorted per `g'(μ)` probe).
+    pub lp_sorts: u64,
 }
 
 /// Result of a Subproblem-2 solve.
@@ -185,6 +194,10 @@ pub struct Sp2Solution {
 /// The Subproblem-2 instance handed to the sum-of-ratios machinery.
 pub struct Sp2Problem<'a> {
     scenario: &'a Scenario,
+    /// Struct-of-arrays lanes of `scenario` — the layout every hot per-device loop (the
+    /// Theorem-2 KKT construction, the rate/energy evaluations of the Newton-like outer
+    /// loop, the reference polish) reads instead of walking the profile structs.
+    arrays: &'a ScenarioArrays,
     /// Constant weight `w1·R_g` multiplying every ratio.
     weight: f64,
     /// Per-device minimum rate `r_n^min` (bit/s); `0` disables the rate constraint.
@@ -198,28 +211,38 @@ pub struct Sp2Problem<'a> {
 }
 
 impl<'a> Sp2Problem<'a> {
-    /// Builds a Subproblem-2 instance.
+    /// Builds a Subproblem-2 instance over a scenario and its pre-built lane view
+    /// (see [`ScenarioArrays::from_scenario`]).
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Model`] if `r_min_bps` does not match the scenario size.
+    /// Returns [`CoreError::Model`] if `r_min_bps` or `arrays` does not match the scenario
+    /// size.
     pub fn new(
         scenario: &'a Scenario,
+        arrays: &'a ScenarioArrays,
         weights: Weights,
         r_min_bps: &'a [f64],
         config: &'a SolverConfig,
     ) -> Result<Self, CoreError> {
-        if r_min_bps.len() != scenario.devices.len() {
+        let n = scenario.devices.len();
+        if r_min_bps.len() != n {
             return Err(CoreError::Model(flsys::FlError::AllocationSizeMismatch {
-                devices: scenario.devices.len(),
+                devices: n,
                 got: r_min_bps.len(),
+            }));
+        }
+        if arrays.len() != n {
+            return Err(CoreError::Model(flsys::FlError::AllocationSizeMismatch {
+                devices: n,
+                got: arrays.len(),
             }));
         }
         // A zero energy weight makes the ratio weights vanish and the parametric machinery
         // degenerate; the caller (Algorithm 2) special-cases that, but clamping here keeps
         // this type safe to use directly.
         let weight = (weights.energy() * scenario.params.rg()).max(1e-12);
-        Ok(Self { scenario, weight, r_min_bps, config, scratch: RefCell::default() })
+        Ok(Self { scenario, arrays, weight, r_min_bps, config, scratch: RefCell::default() })
     }
 
     /// Mutable access to the KKT scratch buffers (for [`kkt::solve_parametric`]).
@@ -230,6 +253,11 @@ impl<'a> Sp2Problem<'a> {
     /// The scenario this instance optimizes.
     pub fn scenario(&self) -> &Scenario {
         self.scenario
+    }
+
+    /// The struct-of-arrays lane view of the scenario (same device order).
+    pub fn arrays(&self) -> &ScenarioArrays {
+        self.arrays
     }
 
     /// The per-device minimum rates (bit/s).
@@ -254,17 +282,16 @@ impl<'a> Sp2Problem<'a> {
 
     /// Shannon rate of device `i` at a point, floored so it is always strictly positive.
     pub fn rate(&self, i: usize, point: &PowerBandwidth) -> f64 {
-        let dev = &self.scenario.devices[i];
         let b = point.bandwidths_hz[i].max(self.config.bandwidth_floor_hz);
-        let p = point.powers_w[i].max(dev.p_min.value().max(1e-9));
-        shannon_rate_raw(p, b, dev.gain.value(), self.n0()).max(1e-9)
+        let p = point.powers_w[i].max(self.arrays.p_min_w[i].max(1e-9));
+        shannon_rate_raw(p, b, self.arrays.gain[i], self.n0()).max(1e-9)
     }
 
     /// Per-round communication energy `Σ_n p_n d_n / r_n` at a point (J).
     pub fn comm_energy(&self, point: &PowerBandwidth) -> f64 {
-        (0..self.scenario.devices.len())
+        (0..self.arrays.len())
             .map(|i| {
-                let d = self.scenario.devices[i].upload_bits;
+                let d = self.arrays.upload_bits[i];
                 point.powers_w[i] * d / self.rate(i, point)
             })
             .sum()
@@ -273,18 +300,18 @@ impl<'a> Sp2Problem<'a> {
     /// Clamps a candidate point into the feasible set: power boxes, bandwidth floor, total
     /// bandwidth budget, and (best-effort) the per-device rate constraints.
     pub fn sanitize(&self, point: &mut PowerBandwidth) {
-        let n = self.scenario.devices.len();
+        let n = self.arrays.len();
         let floor = self.config.bandwidth_floor_hz;
         let b_total = self.total_bandwidth();
         for i in 0..n {
-            let dev = &self.scenario.devices[i];
+            let (p_min, p_max) = (self.arrays.p_min_w[i], self.arrays.p_max_w[i]);
             if !point.bandwidths_hz[i].is_finite() || point.bandwidths_hz[i] < floor {
                 point.bandwidths_hz[i] = floor;
             }
             if !point.powers_w[i].is_finite() {
-                point.powers_w[i] = dev.p_max.value();
+                point.powers_w[i] = p_max;
             }
-            point.powers_w[i] = dev.clamp_power(point.powers_w[i]);
+            point.powers_w[i] = clamp(point.powers_w[i], p_min, p_max);
         }
         let sum: f64 = point.bandwidths_hz.iter().sum();
         if sum > b_total {
@@ -296,14 +323,13 @@ impl<'a> Sp2Problem<'a> {
         // Best-effort rate repair: raise power (never bandwidth, which is budgeted) until the
         // rate constraint holds or the power box is exhausted.
         for i in 0..n {
-            let dev = &self.scenario.devices[i];
             if self.r_min_bps[i] <= 0.0 {
                 continue;
             }
             let b = point.bandwidths_hz[i];
-            let needed = power_for_rate(self.r_min_bps[i], b, dev.gain.value(), self.n0());
+            let needed = power_for_rate(self.r_min_bps[i], b, self.arrays.gain[i], self.n0());
             if needed > point.powers_w[i] {
-                point.powers_w[i] = dev.clamp_power(needed);
+                point.powers_w[i] = clamp(needed, self.arrays.p_min_w[i], self.arrays.p_max_w[i]);
             }
         }
     }
@@ -321,7 +347,7 @@ impl FractionalProblem for Sp2Problem<'_> {
     }
 
     fn numerator(&self, i: usize, x: &PowerBandwidth) -> f64 {
-        x.powers_w[i] * self.scenario.devices[i].upload_bits
+        x.powers_w[i] * self.arrays.upload_bits[i]
     }
 
     fn denominator(&self, i: usize, x: &PowerBandwidth) -> f64 {
@@ -414,12 +440,40 @@ pub fn solve_in(
     config: &SolverConfig,
     scratch: &mut Sp2Scratch,
 ) -> Result<Sp2Summary, CoreError> {
-    let problem = Sp2Problem::new(scenario, weights, r_min_bps, config)?;
+    // Rebuild the lane view in place (capacity-reusing: zero allocations at steady state)
+    // and delegate; `mem::take` sidesteps the simultaneous &scratch.arrays / &mut scratch
+    // borrow, and the lanes are restored even on error.
+    let mut arrays = std::mem::take(&mut scratch.arrays);
+    arrays.rebuild(scenario);
+    let result = solve_with_arrays_in(scenario, &arrays, weights, r_min_bps, config, scratch);
+    scratch.arrays = arrays;
+    result
+}
+
+/// [`solve_in`] over a caller-held lane view ([`ScenarioArrays`]), skipping the per-call
+/// lane rebuild — the Algorithm-2 hot path builds the lanes once per scenario and reuses
+/// them across every outer iteration. `arrays` must describe `scenario` (same devices,
+/// same order); results are bit-identical to [`solve_in`].
+///
+/// # Errors
+///
+/// Same as [`solve`], plus [`CoreError::Model`] if `arrays` does not match the scenario
+/// size.
+pub fn solve_with_arrays_in(
+    scenario: &Scenario,
+    arrays: &ScenarioArrays,
+    weights: Weights,
+    r_min_bps: &[f64],
+    config: &SolverConfig,
+    scratch: &mut Sp2Scratch,
+) -> Result<Sp2Summary, CoreError> {
+    let problem = Sp2Problem::new(scenario, arrays, weights, r_min_bps, config)?;
     // Lend the caller's KKT buffers to this problem instance for the duration of the solve;
     // they are swapped back (with whatever capacity they grew) before returning.
     std::mem::swap(&mut *problem.scratch_mut(), &mut scratch.kkt);
     let kkt_solves_before = problem.scratch_mut().parametric_solves;
     let mu_evals_before = problem.scratch_mut().mu_bisect_evals;
+    let lp_sorts_before = problem.scratch_mut().lp_sorts;
     let Sp2Scratch {
         jong,
         point,
@@ -521,6 +575,7 @@ pub fn solve_in(
         fast_path,
         kkt_solves: scratch.kkt.parametric_solves - kkt_solves_before,
         mu_bisect_evals: scratch.kkt.mu_bisect_evals - mu_evals_before,
+        lp_sorts: scratch.kkt.lp_sorts - lp_sorts_before,
     })
 }
 
@@ -547,9 +602,10 @@ mod tests {
     #[test]
     fn solve_reduces_comm_energy_vs_start() {
         let (s, cfg) = setup(10, 1);
+        let arrays = ScenarioArrays::from_scenario(&s);
         let start = equal_start(&s);
         let r_min = loose_r_min(&s);
-        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
+        let problem = Sp2Problem::new(&s, &arrays, Weights::balanced(), &r_min, &cfg).unwrap();
         let start_energy = problem.comm_energy(&start);
         let sol = solve(&s, Weights::balanced(), &r_min, start, &cfg).unwrap();
         assert!(
@@ -609,7 +665,8 @@ mod tests {
         let newton = solve(&s, Weights::balanced(), &r_min, start.clone(), &cfg_newton).unwrap();
 
         let cfg = SolverConfig::default();
-        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
+        let arrays = ScenarioArrays::from_scenario(&s);
+        let problem = Sp2Problem::new(&s, &arrays, Weights::balanced(), &r_min, &cfg).unwrap();
         let reference = reference::solve_reference(&problem, &start).unwrap();
         let ref_energy = problem.comm_energy(&reference);
 
@@ -632,8 +689,9 @@ mod tests {
     #[test]
     fn sanitize_repairs_pathological_points() {
         let (s, cfg) = setup(5, 6);
+        let arrays = ScenarioArrays::from_scenario(&s);
         let r_min = loose_r_min(&s);
-        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
+        let problem = Sp2Problem::new(&s, &arrays, Weights::balanced(), &r_min, &cfg).unwrap();
         let n = s.devices.len();
         let mut bad = PowerBandwidth::new(vec![f64::NAN; n], vec![-1.0; n]);
         problem.sanitize(&mut bad);
@@ -680,8 +738,9 @@ mod tests {
 
     #[test]
     fn warm_and_cold_solves_agree_on_energy_within_tolerance() {
-        let (s, cold_cfg) = setup(12, 9);
-        let warm_cfg = cold_cfg.with_warm_start(true);
+        let (s, cfg) = setup(12, 9);
+        let cold_cfg = cfg.with_warm_start(false);
+        let warm_cfg = cfg.with_warm_start(true);
         let r_min: Vec<f64> = s.devices.iter().map(|d| d.upload_bits / 0.04).collect();
 
         let mut cold_scratch = Sp2Scratch::new();
@@ -710,6 +769,7 @@ mod tests {
     #[test]
     fn warm_start_spends_fewer_mu_bisection_evals() {
         let (s, cfg) = setup(10, 10);
+        let cold_cfg = cfg.with_warm_start(false);
         let warm_cfg = cfg.with_warm_start(true);
         let start = equal_start(&s);
 
@@ -727,7 +787,7 @@ mod tests {
             }
             (mu, kkt)
         };
-        let (cold_mu, cold_kkt) = run(&cfg);
+        let (cold_mu, cold_kkt) = run(&cold_cfg);
         let (warm_mu, warm_kkt) = run(&warm_cfg);
         assert!(cold_kkt > 0 && warm_kkt > 0);
         assert!(

@@ -18,7 +18,7 @@
 //! role CVX played for the authors) and a robust fallback.
 
 use super::{PowerBandwidth, Sp2Problem};
-use numopt::scalar::golden_section_min_with_endpoints;
+use numopt::scalar::{clamp, golden_section_min_with_endpoints};
 use numopt::NumError;
 use wireless::channel::{power_for_rate, shannon_rate_raw};
 
@@ -46,12 +46,12 @@ impl ReferenceWarmState {
 
 /// Per-device energy under the "smallest feasible power" rule.
 fn device_energy(problem: &Sp2Problem<'_>, i: usize, bandwidth: f64) -> f64 {
-    let dev = &problem.scenario().devices[i];
+    let arrays = problem.arrays();
     let n0 = problem.n0();
-    let g = dev.gain.value();
-    let d = dev.upload_bits;
+    let g = arrays.gain[i];
+    let d = arrays.upload_bits[i];
     let r_min = problem.r_min_bps()[i];
-    let p = dev.clamp_power(power_for_rate(r_min, bandwidth, g, n0));
+    let p = clamp(power_for_rate(r_min, bandwidth, g, n0), arrays.p_min_w[i], arrays.p_max_w[i]);
     let rate = shannon_rate_raw(p, bandwidth, g, n0);
     if rate <= 0.0 {
         return f64::INFINITY;
@@ -67,10 +67,10 @@ fn device_energy(problem: &Sp2Problem<'_>, i: usize, bandwidth: f64) -> f64 {
 
 /// Smallest bandwidth at which the device can meet its rate floor at maximum power.
 fn min_bandwidth(problem: &Sp2Problem<'_>, i: usize) -> f64 {
-    let dev = &problem.scenario().devices[i];
+    let arrays = problem.arrays();
     let n0 = problem.n0();
-    let g = dev.gain.value();
-    let p_max = dev.p_max.value();
+    let g = arrays.gain[i];
+    let p_max = arrays.p_max_w[i];
     let r_min = problem.r_min_bps()[i];
     let floor = problem.config().bandwidth_floor_hz;
     let b_total = problem.total_bandwidth();
@@ -80,7 +80,7 @@ fn min_bandwidth(problem: &Sp2Problem<'_>, i: usize) -> f64 {
     if shannon_rate_raw(p_max, b_total, g, n0) < r_min {
         // Infeasible even with the whole band; claim an equal share and let the sanitize pass
         // arbitrate.
-        return b_total / problem.scenario().devices.len() as f64;
+        return b_total / arrays.len() as f64;
     }
     let mut lo = floor;
     let mut hi = b_total;
@@ -155,8 +155,8 @@ pub fn solve_reference_into(
     b_lo_scratch: &mut Vec<f64>,
     warm: &mut ReferenceWarmState,
 ) -> Result<(), NumError> {
-    let scenario = problem.scenario();
-    let n = scenario.devices.len();
+    let arrays = problem.arrays();
+    let n = arrays.len();
     let b_total = problem.total_bandwidth();
     let n0 = problem.n0();
     let warm_on = problem.config().warm_start;
@@ -242,13 +242,11 @@ pub fn solve_reference_into(
 
     out.powers_w.clear();
     for i in 0..n {
-        let dev = &scenario.devices[i];
-        let p = dev.clamp_power(power_for_rate(
-            problem.r_min_bps()[i],
-            out.bandwidths_hz[i],
-            dev.gain.value(),
-            n0,
-        ));
+        let p = clamp(
+            power_for_rate(problem.r_min_bps()[i], out.bandwidths_hz[i], arrays.gain[i], n0),
+            arrays.p_min_w[i],
+            arrays.p_max_w[i],
+        );
         out.powers_w.push(p);
     }
 
@@ -260,19 +258,24 @@ pub fn solve_reference_into(
 mod tests {
     use super::*;
     use crate::config::SolverConfig;
-    use flsys::{Allocation, ScenarioBuilder, Weights};
+    use flsys::{Allocation, ScenarioArrays, ScenarioBuilder, Weights};
 
-    fn fixture(n: usize, seed: u64, window_s: f64) -> (flsys::Scenario, SolverConfig, Vec<f64>) {
+    fn fixture(
+        n: usize,
+        seed: u64,
+        window_s: f64,
+    ) -> (flsys::Scenario, ScenarioArrays, SolverConfig, Vec<f64>) {
         let s = ScenarioBuilder::paper_default().with_devices(n).build(seed).unwrap();
+        let arrays = ScenarioArrays::from_scenario(&s);
         let cfg = SolverConfig::default();
         let r_min = s.devices.iter().map(|d| d.upload_bits / window_s).collect();
-        (s, cfg, r_min)
+        (s, arrays, cfg, r_min)
     }
 
     #[test]
     fn reference_beats_equal_split_at_max_power() {
-        let (s, cfg, r_min) = fixture(10, 21, 0.05);
-        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
+        let (s, arrays, cfg, r_min) = fixture(10, 21, 0.05);
+        let problem = Sp2Problem::new(&s, &arrays, Weights::balanced(), &r_min, &cfg).unwrap();
         let a = Allocation::equal_split_max(&s);
         let start = PowerBandwidth::new(a.powers_w.clone(), a.bandwidths_hz.clone());
         let reference = solve_reference(&problem, &start).unwrap();
@@ -286,8 +289,8 @@ mod tests {
 
     #[test]
     fn reference_uses_the_whole_band() {
-        let (s, cfg, r_min) = fixture(8, 22, 0.05);
-        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
+        let (s, arrays, cfg, r_min) = fixture(8, 22, 0.05);
+        let problem = Sp2Problem::new(&s, &arrays, Weights::balanced(), &r_min, &cfg).unwrap();
         let a = Allocation::equal_split_max(&s);
         let start = PowerBandwidth::new(a.powers_w, a.bandwidths_hz);
         let reference = solve_reference(&problem, &start).unwrap();
@@ -298,8 +301,8 @@ mod tests {
 
     #[test]
     fn reference_meets_rate_floors() {
-        let (s, cfg, r_min) = fixture(12, 23, 0.03);
-        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
+        let (s, arrays, cfg, r_min) = fixture(12, 23, 0.03);
+        let problem = Sp2Problem::new(&s, &arrays, Weights::balanced(), &r_min, &cfg).unwrap();
         let a = Allocation::equal_split_max(&s);
         let start = PowerBandwidth::new(a.powers_w, a.bandwidths_hz);
         let reference = solve_reference(&problem, &start).unwrap();
@@ -317,8 +320,8 @@ mod tests {
 
     #[test]
     fn min_bandwidth_respects_rate_floor() {
-        let (s, cfg, r_min) = fixture(5, 24, 0.02);
-        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
+        let (s, arrays, cfg, r_min) = fixture(5, 24, 0.02);
+        let problem = Sp2Problem::new(&s, &arrays, Weights::balanced(), &r_min, &cfg).unwrap();
         let n0 = s.params.noise.watts_per_hz();
         for (i, dev) in s.devices.iter().enumerate() {
             let b = min_bandwidth(&problem, i);
@@ -331,8 +334,8 @@ mod tests {
     fn devices_with_better_channels_spend_less_energy() {
         // Aggregate sanity: the reference solution's total energy decreases if every channel
         // gain is improved by 6 dB.
-        let (s, cfg, r_min) = fixture(10, 25, 0.05);
-        let problem = Sp2Problem::new(&s, Weights::balanced(), &r_min, &cfg).unwrap();
+        let (s, arrays, cfg, r_min) = fixture(10, 25, 0.05);
+        let problem = Sp2Problem::new(&s, &arrays, Weights::balanced(), &r_min, &cfg).unwrap();
         let a = Allocation::equal_split_max(&s);
         let start = PowerBandwidth::new(a.powers_w.clone(), a.bandwidths_hz.clone());
         let base = problem.comm_energy(&solve_reference(&problem, &start).unwrap());
@@ -341,7 +344,9 @@ mod tests {
         for d in &mut better.devices {
             d.gain = wireless::channel::ChannelGain::new(d.gain.value() * 4.0);
         }
-        let problem2 = Sp2Problem::new(&better, Weights::balanced(), &r_min, &cfg).unwrap();
+        let arrays2 = ScenarioArrays::from_scenario(&better);
+        let problem2 =
+            Sp2Problem::new(&better, &arrays2, Weights::balanced(), &r_min, &cfg).unwrap();
         let improved = problem2.comm_energy(&solve_reference(&problem2, &start).unwrap());
         assert!(improved < base, "better channels should reduce energy ({improved} vs {base})");
     }

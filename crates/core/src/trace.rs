@@ -38,10 +38,18 @@ pub struct SolveCounters {
     pub jong_iterations: u64,
     /// Theorem-2 parametric (KKT) solves across all Subproblem-2 solves.
     pub kkt_solves: u64,
-    /// `g'(μ)` evaluations across all `μ` bisections.
+    /// `g'(μ)` evaluations across all `μ`-root searches (bisection or Brent — the name
+    /// predates the superlinear step and is kept for bench-history continuity).
     pub mu_bisect_evals: u64,
     /// Subproblem-2 solves short-circuited by the warm-start fast path.
     pub sp2_fast_path_hits: u64,
+    /// Objective probes of Subproblem 1's golden-section search over the round time `T`.
+    pub sp1_probe_evals: u64,
+    /// `(ρ, idx)` key sorts of the Theorem-2 step-4b bounded LP — at most one per
+    /// parametric KKT solve (zero when every device is rate-tight and the LP has no
+    /// entries to order). The ordering is `μ`-invariant, so it is never re-sorted per
+    /// `g'(μ)` evaluation; `lp_sorts ≤ kkt_solves` is the asserted evidence.
+    pub lp_sorts: u64,
 }
 
 impl SolveCounters {
@@ -52,6 +60,8 @@ impl SolveCounters {
         self.kkt_solves += other.kkt_solves;
         self.mu_bisect_evals += other.mu_bisect_evals;
         self.sp2_fast_path_hits += other.sp2_fast_path_hits;
+        self.sp1_probe_evals += other.sp1_probe_evals;
+        self.lp_sorts += other.lp_sorts;
     }
 
     /// The counts accumulated since an `earlier` snapshot of the same counter set.
@@ -63,6 +73,8 @@ impl SolveCounters {
             kkt_solves: self.kkt_solves - earlier.kkt_solves,
             mu_bisect_evals: self.mu_bisect_evals - earlier.mu_bisect_evals,
             sp2_fast_path_hits: self.sp2_fast_path_hits - earlier.sp2_fast_path_hits,
+            sp1_probe_evals: self.sp1_probe_evals - earlier.sp1_probe_evals,
+            lp_sorts: self.lp_sorts - earlier.lp_sorts,
         }
     }
 
@@ -77,6 +89,7 @@ impl SolveCounters {
         self.kkt_solves += summary.kkt_solves;
         self.mu_bisect_evals += summary.mu_bisect_evals;
         self.sp2_fast_path_hits += u64::from(summary.fast_path);
+        self.lp_sorts += summary.lp_sorts;
     }
 }
 

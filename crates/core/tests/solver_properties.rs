@@ -44,7 +44,8 @@ proptest! {
         let scenario = ScenarioBuilder::paper_default().with_devices(devices).build(seed).unwrap();
         let w1 = f64::from(w1_tenths) / 10.0;
         let weights = Weights::new(w1, 1.0 - w1).unwrap();
-        let cold_cfg = SolverConfig::fast();
+        // Warm start is the library default now — the cold reference must opt out.
+        let cold_cfg = SolverConfig::fast().with_warm_start(false);
         let warm_cfg = cold_cfg.with_warm_start(true);
 
         let mut cold_ws = SolverWorkspace::new();
@@ -87,5 +88,53 @@ proptest! {
             }
             Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
         }
+    }
+}
+
+/// One cold solve's counters at a given device count.
+fn cold_solve_counters(devices: usize, superlinear: bool) -> fedopt_core::SolveCounters {
+    let scenario = ScenarioBuilder::paper_default().with_devices(devices).build(11).unwrap();
+    let cfg = SolverConfig::fast().with_warm_start(false).with_superlinear_mu(superlinear);
+    let mut ws = SolverWorkspace::with_capacity(devices);
+    JointOptimizer::new(cfg)
+        .solve_summary_with(&scenario, Weights::new(0.5, 0.5).unwrap(), &mut ws)
+        .unwrap();
+    ws.counters
+}
+
+/// The `μ`-root searches iterate in `μ`, not in `n`: quadrupling the device count must not
+/// even double the per-solve `g'(μ)` evaluation count. This is the counter-level evidence
+/// that per-evaluation work is the only thing that grows with the fleet size — the number
+/// of evaluations stays flat — so whole solves scale `O(n)`–`O(n log n)`, not `O(n·evals)`
+/// with `evals` itself creeping up.
+#[test]
+fn mu_eval_count_scales_sublinearly_in_device_count() {
+    let small = cold_solve_counters(50, true);
+    let large = cold_solve_counters(200, true);
+    assert!(small.mu_bisect_evals > 0, "the small solve must exercise the μ-root search");
+    assert!(
+        large.mu_bisect_evals < 2 * small.mu_bisect_evals,
+        "μ-evals grew superlinearly with n: {} at 200 devices vs {} at 50",
+        large.mu_bisect_evals,
+        small.mu_bisect_evals
+    );
+    // The step-4b (ρ, idx) sort happens once per parametric KKT solve, never per μ-eval.
+    assert!(small.lp_sorts <= small.kkt_solves, "more sorts than KKT solves at n = 50");
+    assert!(large.lp_sorts <= large.kkt_solves, "more sorts than KKT solves at n = 200");
+}
+
+/// The safeguarded-Brent `μ`-root step must spend strictly fewer `g'(μ)` evaluations than
+/// the legacy pure bisection it replaced, on the same scenario and tolerances.
+#[test]
+fn brent_mu_root_beats_pure_bisection_on_evals() {
+    for devices in [25usize, 100] {
+        let brent = cold_solve_counters(devices, true);
+        let bisect = cold_solve_counters(devices, false);
+        assert!(
+            brent.mu_bisect_evals < bisect.mu_bisect_evals,
+            "Brent spent {} μ-evals, pure bisection {} at n = {devices}",
+            brent.mu_bisect_evals,
+            bisect.mu_bisect_evals
+        );
     }
 }

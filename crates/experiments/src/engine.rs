@@ -98,6 +98,10 @@ pub struct CellContext<'a> {
     /// through [`CellContext::solver_config`] so the engine-level switch wins over
     /// whatever the arm was constructed with.
     pub warm_start: bool,
+    /// Whether this sweep runs with the superlinear (Brent) `μ`-root step
+    /// ([`SweepEngine::with_superlinear_mu`]); gated through
+    /// [`CellContext::solver_config`] like [`Self::warm_start`].
+    pub superlinear_mu: bool,
     /// The worker thread's reusable solver workspace. Pure scratch (see
     /// `fedopt_core::workspace` for the contract): arms may hand it to any `*_with` solver
     /// entry point but must not expect state to survive between cells. With warm start
@@ -113,7 +117,7 @@ impl CellContext<'_> {
     /// was built with, so one engine flag flips the whole grid between the bit-exact cold
     /// reference path and the warm continuation.
     pub fn solver_config(&self, base: &SolverConfig) -> SolverConfig {
-        base.with_warm_start(self.warm_start)
+        base.with_warm_start(self.warm_start).with_superlinear_mu(self.superlinear_mu)
     }
 }
 
@@ -389,9 +393,10 @@ pub const THREADS_ENV: &str = "FEDOPT_SWEEP_THREADS";
 
 /// Environment variable read by [`SweepEngine::new`] to set the default warm-start switch
 /// (`1`/`true` enables, `0`/`false` disables; anything else is ignored and the default —
-/// off, the bit-exact cold reference path — applies). CI uses it to run the whole test
-/// suite with the warm continuation both on and off; tests that pin bit-exact reference
-/// outputs force [`SweepEngine::with_warm_start`]`(false)` explicitly.
+/// **on**, the warm continuation — applies). `FEDOPT_WARM_START=0` is the escape hatch
+/// back to the bit-exact cold reference path. CI runs the whole test suite with the warm
+/// continuation both on and off; tests that pin bit-exact reference outputs force
+/// [`SweepEngine::with_warm_start`]`(false)` explicitly.
 pub const WARM_START_ENV: &str = "FEDOPT_WARM_START";
 
 /// Default number of seeds per streaming chunk (see [`SweepEngine::with_seed_chunk`]).
@@ -419,6 +424,7 @@ pub struct SweepEngine {
     streaming: bool,
     seed_chunk: NonZeroUsize,
     warm_start: bool,
+    superlinear_mu: bool,
 }
 
 impl Default for SweepEngine {
@@ -436,13 +442,14 @@ impl SweepEngine {
             .and_then(|v| v.parse::<usize>().ok())
             .and_then(NonZeroUsize::new)
             .unwrap_or_else(|| std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN));
-        let warm_start = warm_start_env().unwrap_or(false);
+        let warm_start = warm_start_env().unwrap_or(true);
         Self {
             threads,
             share_scenarios: true,
             streaming: true,
             seed_chunk: NonZeroUsize::new(DEFAULT_SEED_CHUNK).expect("nonzero"),
             warm_start,
+            superlinear_mu: true,
         }
     }
 
@@ -492,6 +499,21 @@ impl SweepEngine {
     /// Whether this engine runs sweeps with the warm-start continuation.
     pub fn warm_starts(&self) -> bool {
         self.warm_start
+    }
+
+    /// Enables or disables the superlinear (Brent) `μ`-root step for every arm of the
+    /// sweep (default: enabled). `with_superlinear_mu(false)` is the legacy pure-bisection
+    /// reference path — kept selectable so the historical goldens remain reproducible
+    /// bit for bit (see `SolverConfig::superlinear_mu`).
+    #[must_use]
+    pub fn with_superlinear_mu(mut self, superlinear_mu: bool) -> Self {
+        self.superlinear_mu = superlinear_mu;
+        self
+    }
+
+    /// Whether this engine runs sweeps with the superlinear (Brent) `μ`-root step.
+    pub fn superlinear_mu(&self) -> bool {
+        self.superlinear_mu
     }
 
     /// Enables or disables the streaming reduction (default: enabled). With streaming the
@@ -641,6 +663,7 @@ impl SweepEngine {
             scenarios_built: &scenarios_built,
             cells_evaluated: &cells_evaluated,
             warm_start: self.warm_start,
+            superlinear_mu: self.superlinear_mu,
             solver_totals: &solver_totals,
         };
 
@@ -759,6 +782,7 @@ impl SweepEngine {
             scenarios_built: &scenarios_built,
             cells_evaluated: &cells_evaluated,
             warm_start: self.warm_start,
+            superlinear_mu: self.superlinear_mu,
             solver_totals: &solver_totals,
         };
         // One cell-group = all arms of one (point, seed); returns one Cell per arm.
@@ -851,6 +875,8 @@ struct GroupEvaluator<'a> {
     cells_evaluated: &'a AtomicUsize,
     /// Engine-level warm-start switch, handed to every cell via [`CellContext`].
     warm_start: bool,
+    /// Engine-level superlinear `μ`-root switch, handed to every cell via [`CellContext`].
+    superlinear_mu: bool,
     /// Per-sweep solver-iteration totals (folded once per cell-group; integer sums, so
     /// thread count and fold order cannot change the result).
     solver_totals: &'a Mutex<SolveCounters>,
@@ -930,6 +956,7 @@ impl GroupEvaluator<'_> {
                     point_idx,
                     arm_idx,
                     warm_start: self.warm_start,
+                    superlinear_mu: self.superlinear_mu,
                     workspace: &mut *ws,
                 };
                 self.cells_evaluated.fetch_add(1, Ordering::Relaxed);

@@ -8,13 +8,17 @@
 //! built by hand, and the `spec_identity` integration test pins that equivalence arm by
 //! arm and bit by bit.
 //!
-//! The **paper** presets default the warm-start continuation on
+//! The **paper** presets pin the warm-start continuation on
 //! (`engine.warm_start = Some(true)`): a full-scale figure run is exactly the repeated
 //! re-solving of slowly-moving problems the continuation was built for (~2.2× end to
 //! end), and warm results agree with cold within the solver tolerances. The quick presets
-//! leave the flag unset, so the library default (cold — the bit-exact reference path)
-//! applies, and an explicit `FEDOPT_WARM_START` environment setting still overrides
-//! either direction.
+//! leave the flag unset, so the library default — warm, since the continuation became the
+//! library-wide default — applies, and an explicit `FEDOPT_WARM_START` environment
+//! setting (`0` is the cold escape hatch) still overrides either direction.
+//!
+//! Beyond the seven figures, [`large_n`] is the fleet-scale quick preset: one sweep point
+//! at a caller-chosen device count (10³–10⁶), few seeds, the reference polish disabled —
+//! the spec-expressible form of the `large_n` benchmark scenarios.
 
 use crate::spec::{
     ArmKind, ArmSpec, AxisKind, AxisSpec, BenchmarkDraw, DeadlineSpec, ExperimentSpec, Metric,
@@ -355,6 +359,51 @@ pub fn fig8(variant: Variant) -> ExperimentSpec {
     spec
 }
 
+/// Fleet-scale single-scenario quick preset: one sweep point at `devices` devices, one
+/// seed, the balanced-weights proposed arm only.
+///
+/// This is the spec-expressible form of the `large_n` benchmark scenarios (10³–10⁶
+/// devices — the [`crate::spec::MAX_DEVICES`] guardrail still applies at validation).
+/// Two deliberate departures from the figure presets:
+///
+/// * the **reference polish is off** (`solver.polish_with_reference = Some(false)`): the
+///   Subproblem-2 reference polish re-evaluates an `O(n)` demand curve inside a 300-step
+///   price search per solve, which is noise at paper scale and dominant past ~10³
+///   devices, while the KKT path it cross-checks is itself `O(n log n)`;
+/// * the seed grid is a single draw: at fleet scale the per-scenario solve *is* the
+///   experiment, and averaging belongs in seed-sharded shards (see
+///   [`crate::spec::MAX_SEEDS`]).
+pub fn large_n(devices: usize) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::new(
+        "large_n",
+        AxisSpec { kind: AxisKind::Devices, values: vec![devices as f64] },
+    );
+    spec.description = format!(
+        "large_n (quick preset): one balanced-weights solve of a {devices}-device scenario \
+         (fleet-scale hot-path exercise; reference polish off)"
+    );
+    spec.solver = SolverSpec::fast();
+    spec.solver.polish_with_reference = Some(false);
+    spec.scenario.samples_per_device = Some(500);
+    spec.arms = vec![ArmSpec::new(ArmKind::Proposed { weights: Weights::balanced() })];
+    spec.seeds = SeedSpec::list(vec![1]);
+    spec.reports = vec![
+        ReportSpec::new(
+            "large_n_energy",
+            Metric::Energy,
+            "Total energy consumption at fleet scale",
+            "number of devices",
+        ),
+        ReportSpec::new(
+            "large_n_time",
+            Metric::Time,
+            "Total completion time at fleet scale",
+            "number of devices",
+        ),
+    ];
+    spec
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,7 +432,8 @@ mod tests {
             let quick = spec(fig, Variant::Quick).unwrap();
             assert_eq!(
                 quick.engine.warm_start, None,
-                "fig{fig} quick must inherit the cold library default"
+                "fig{fig} quick must inherit the library default (warm, FEDOPT_WARM_START=0 \
+                 to escape)"
             );
             assert_eq!(quick.solver.preset, SolverPreset::Fast);
             let paper = spec(fig, Variant::Paper).unwrap();
@@ -408,5 +458,21 @@ mod tests {
         assert_eq!(fig5.arms[1].label.as_deref(), Some("N = 50"));
         let fig8 = spec(8, Variant::Paper).unwrap();
         assert_eq!(fig8.arms.len(), 6, "a (scheme1, proposed) pair per deadline");
+    }
+
+    #[test]
+    fn large_n_preset_validates_and_disables_the_reference_polish() {
+        for devices in [1_000usize, 10_000, 100_000] {
+            let spec = large_n(devices);
+            spec.validate().unwrap_or_else(|e| panic!("large_n({devices}): {e}"));
+            assert_eq!(spec.axis.kind, AxisKind::Devices);
+            assert_eq!(spec.axis.values, vec![devices as f64]);
+            assert_eq!(spec.solver.polish_with_reference, Some(false));
+            assert_eq!(spec.arms.len(), 1);
+        }
+        // Past the guardrail the spec must fail loudly at validation.
+        let err = large_n(crate::spec::MAX_DEVICES + 1).validate().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("large_n"), "guardrail error must point at the preset: {msg}");
     }
 }

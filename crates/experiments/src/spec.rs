@@ -67,6 +67,15 @@ pub const SCHEMA_VERSION: u64 = 1;
 /// (`seeds.start`/`seeds.count`), so the cap bounds a *unit of work*, not the protocol.
 pub const MAX_SEEDS: u64 = 10_000_000;
 
+/// Most devices one scenario may hold (10⁶). One solve at this count is feasible with the
+/// struct-of-arrays hot path (seven `f64` lanes ≈ 56 MB plus the allocation buffers), but
+/// a *sweep* over such scenarios is not a unit of work this crate schedules — past the
+/// guardrail the spec layer fails loudly and points at the [`crate::presets::large_n`]
+/// quick preset, which expresses the fleet-scale single-scenario experiment (few seeds,
+/// reference polish off) instead of a paper-style grid. Mirrors the [`MAX_SEEDS`] cap: it
+/// bounds a unit of work, not the protocol.
+pub const MAX_DEVICES: usize = 1_000_000;
+
 /// Why a spec could not be parsed, validated, compiled, or run.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SpecError {
@@ -189,6 +198,17 @@ impl AxisKind {
             return Err(SpecError::invalid(
                 path,
                 format!("axis `{}` requires positive integer values, got {x}", self.name()),
+            ));
+        }
+        if self == Self::Devices && x > MAX_DEVICES as f64 {
+            return Err(SpecError::invalid(
+                path,
+                format!(
+                    "axis `devices` is capped at {MAX_DEVICES} devices per scenario (got {x}); \
+                     fleet-scale experiments should start from the `large_n` quick preset \
+                     (`experiments::presets::large_n`) and shard by seed range, not grow a \
+                     single sweep past the guardrail"
+                ),
             ));
         }
         // dBm is a log scale (negative is meaningful); the physical magnitudes are not —
@@ -390,6 +410,19 @@ impl ScenarioSpec {
         }
         if self.devices == Some(0) {
             return Err(SpecError::invalid(format!("{path}.devices"), "must be at least 1"));
+        }
+        if let Some(n) = self.devices {
+            if n > MAX_DEVICES {
+                return Err(SpecError::invalid(
+                    format!("{path}.devices"),
+                    format!(
+                        "capped at {MAX_DEVICES} devices per scenario (got {n}); fleet-scale \
+                         experiments should start from the `large_n` quick preset \
+                         (`experiments::presets::large_n`) instead of growing a single \
+                         scenario past the guardrail"
+                    ),
+                ));
+            }
         }
         Ok(())
     }

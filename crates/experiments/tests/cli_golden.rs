@@ -51,6 +51,31 @@ fn fig2_quick_seeds3_json_document_matches_golden() {
     assert_eq!(cli::render_run(&spec, &run, true), document);
 }
 
+/// The legacy reference pin: the same document on the cold solver path with the
+/// superlinear (Brent) `μ`-root step switched off must still reproduce the historical
+/// pure-bisection golden **bit for bit**. This is the gate the PR 6 hot-path work hides
+/// behind: the struct-of-arrays lanes, the hoisted constants and the once-per-solve
+/// `(ρ, idx)` sort are all exact rewrites, so with Brent *and* warm start off nothing may
+/// drift — any diff here is a real numerical regression, not an intentional re-bless.
+///
+/// `fig2_quick_seeds3_bisect.json` is frozen (copied from the pre-Brent golden); it is
+/// deliberately **not** re-blessed by `FEDOPT_BLESS`.
+#[test]
+fn fig2_quick_seeds3_legacy_bisection_path_is_bit_identical() {
+    let mut spec = presets::spec(2, Variant::Quick).expect("figure 2 exists");
+    spec.override_seed_count(3);
+    let engine = SweepEngine::single_thread().with_warm_start(false).with_superlinear_mu(false);
+    let run = spec.run_with_engine(&engine).expect("fig2 quick must evaluate");
+    let document = cli::run_document(&spec, &run).to_pretty_string();
+    let path = manifest_dir().join("tests/golden/fig2_quick_seeds3_bisect.json");
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing frozen legacy golden {path:?} ({e})"));
+    assert_eq!(
+        document, golden,
+        "the legacy cold+bisection path drifted — the SoA/complexity rewrites must be exact"
+    );
+}
+
 /// The committed, README-documented example spec is exactly `fedopt spec --fig 2` today.
 #[test]
 fn committed_example_spec_is_fresh_and_parseable() {

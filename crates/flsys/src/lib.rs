@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod allocation;
+pub mod arrays;
 pub mod device;
 pub mod energy;
 pub mod error;
@@ -39,6 +40,7 @@ pub mod scenario;
 pub mod weights;
 
 pub use allocation::{Allocation, CostBreakdown, CostSummary, DeviceCost};
+pub use arrays::ScenarioArrays;
 pub use device::DeviceProfile;
 pub use error::FlError;
 pub use params::SystemParams;

@@ -88,6 +88,22 @@ impl Scenario {
     pub fn cost_summary(&self, allocation: &Allocation) -> Result<CostSummary, FlError> {
         evaluate_allocation_summary(self, allocation)
     }
+
+    /// [`Scenario::cost_summary`] reading the [`crate::ScenarioArrays`] lanes instead of
+    /// the device profiles — bit-identical output, contiguous memory traffic. The solver
+    /// hot path uses this form with the lanes it already caches in its workspace.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scenario::cost_summary`], plus a size mismatch if `arrays` was built from
+    /// a different device count.
+    pub fn cost_summary_arrays(
+        &self,
+        arrays: &crate::ScenarioArrays,
+        allocation: &Allocation,
+    ) -> Result<CostSummary, FlError> {
+        crate::arrays::evaluate_allocation_summary_arrays(self, arrays, allocation)
+    }
 }
 
 /// Builder for [`Scenario`] reproducing the parameter table of Section VII-A.

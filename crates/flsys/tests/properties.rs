@@ -1,6 +1,6 @@
 //! Property-based tests of the system model: cost formulas and feasibility projection.
 
-use flsys::{Allocation, ScenarioBuilder, Weights};
+use flsys::{Allocation, ScenarioArrays, ScenarioBuilder, Weights};
 use proptest::prelude::*;
 
 proptest! {
@@ -49,6 +49,55 @@ proptest! {
         let cost_fast = scenario.cost(&fast).unwrap();
         prop_assert!(cost_fast.round_time_s <= cost_slow.round_time_s + 1e-12);
         prop_assert!(cost_fast.computation_energy_j >= cost_slow.computation_energy_j - 1e-12);
+    }
+
+    /// The struct-of-arrays cost kernel is **bit-identical** to the struct-walking one on
+    /// arbitrary feasible allocations, across the whole 2–200 device range the sweeps use.
+    /// Floating-point summation is order-sensitive, so this only holds because the lane
+    /// kernel reproduces the exact operand grouping — `assert_eq!` on every `f64` field,
+    /// no tolerance.
+    #[test]
+    fn soa_cost_kernel_is_bit_identical_to_struct_walk(
+        seed in 0u64..1000,
+        devices in 2usize..201,
+        p_scale in 0.1f64..3.0,
+        f_scale in 0.1f64..3.0,
+        b_scale in 0.1f64..3.0,
+    ) {
+        let scenario = ScenarioBuilder::paper_default().with_devices(devices).build(seed).unwrap();
+        let mut alloc = Allocation::equal_split_max(&scenario);
+        for p in &mut alloc.powers_w { *p *= p_scale; }
+        for f in &mut alloc.frequencies_hz { *f *= f_scale; }
+        for b in &mut alloc.bandwidths_hz { *b *= b_scale; }
+        alloc.project_feasible(&scenario);
+
+        let arrays = ScenarioArrays::from_scenario(&scenario);
+        let lanes = scenario.cost_summary_arrays(&arrays, &alloc).unwrap();
+        let structs = scenario.cost_summary(&alloc).unwrap();
+        prop_assert_eq!(lanes, structs);
+    }
+
+    /// `rebuild` into a reused [`ScenarioArrays`] — growing, shrinking, or same-size — is
+    /// indistinguishable from a fresh `from_scenario` build: no stale lane tails, no
+    /// cross-scenario leakage. This is the resize-safety contract the sweep engine relies
+    /// on when one workspace serves cells of different device counts.
+    #[test]
+    fn soa_rebuild_is_resize_safe(
+        seed in 0u64..500,
+        first in 1usize..201,
+        second in 1usize..201,
+        third in 1usize..201,
+    ) {
+        let mut reused = ScenarioArrays::new();
+        for (i, n) in [first, second, third].into_iter().enumerate() {
+            let s = ScenarioBuilder::paper_default()
+                .with_devices(n)
+                .build(seed.wrapping_add(i as u64))
+                .unwrap();
+            reused.rebuild(&s);
+            prop_assert_eq!(&reused, &ScenarioArrays::from_scenario(&s));
+            prop_assert_eq!(reused.len(), n);
+        }
     }
 
     /// Scenario generation is deterministic in the seed and scales sample counts as asked.

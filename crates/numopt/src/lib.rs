@@ -61,6 +61,6 @@ pub use fractional::{
     FractionalSolution, FractionalSummary, JongConfig, JongScratch, WarmMode,
 };
 pub use lambertw::lambert_w0;
-pub use roots::{bisect, BisectOutcome};
+pub use roots::{bisect, brent, BisectOutcome};
 pub use scalar::{golden_section_min, ScalarMinimum};
 pub use simplex::project_simplex;

@@ -1,0 +1,85 @@
+//! CI smoke of the fleet-scale hot path: one 10⁴-device solve through the `large_n`
+//! preset, asserting **completion and counters, never timing** (CI hosts are too noisy
+//! for wall-clock gates; the committed before/after numbers live in `BENCH_PR6.json`).
+//!
+//! ```text
+//! cargo run --release --example large_n_smoke            # 10⁴ devices (the CI job)
+//! cargo run --release --example large_n_smoke -- --devices 100000
+//! ```
+//!
+//! What must hold for the run to pass:
+//!
+//! * the sweep completes and every report row is finite (the solver converged through the
+//!   struct-of-arrays path at fleet scale);
+//! * the scalar searches stayed flat in `n`: the `g'(μ)`-evaluation and SP1-probe counts
+//!   are bounded by constants that a per-device (`O(n · evals)`) regression would blow
+//!   through by orders of magnitude;
+//! * the Theorem-2 step-4b `(ρ, idx)` sort ran at most once per parametric KKT solve.
+
+use fedopt::experiments::presets;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut devices: usize = 10_000;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--devices" => {
+                devices = args.next().ok_or("--devices needs a value")?.parse()?;
+            }
+            other => return Err(format!("unknown argument: {other}").into()),
+        }
+    }
+
+    let spec = presets::large_n(devices);
+    spec.validate()?;
+    let start = Instant::now();
+    let run = spec.run()?;
+    let wall = start.elapsed();
+
+    for report in &run.reports {
+        for (x, ys) in &report.rows {
+            for y in ys {
+                assert!(y.is_finite(), "report {} has a non-finite value at x = {x}", report.id);
+            }
+        }
+        println!("{}: {:?}", report.id, report.rows);
+    }
+
+    let k = run.result.counters.solver;
+    println!(
+        "devices = {devices}: wall = {wall:.2?} (informational only), \
+         outer = {}, jong = {}, kkt = {}, mu_evals = {}, sp1_probes = {}, lp_sorts = {}",
+        k.outer_iterations,
+        k.jong_iterations,
+        k.kkt_solves,
+        k.mu_bisect_evals,
+        k.sp1_probe_evals,
+        k.lp_sorts
+    );
+
+    assert!(k.outer_iterations > 0, "the solve never iterated");
+    assert!(k.mu_bisect_evals > 0, "the μ-root search never ran");
+    // Flat-in-n ceilings: one cold solve measures ~450 μ-evals and ~260 SP1 probes at
+    // every device count from 10³ to 10⁵ (BENCH_PR6.json). A regression that made either
+    // search iterate per device would overshoot these bounds a thousandfold.
+    assert!(
+        k.mu_bisect_evals < 5_000,
+        "μ-evals exploded: {} (expected a flat, n-independent count)",
+        k.mu_bisect_evals
+    );
+    assert!(
+        k.sp1_probe_evals < 5_000,
+        "SP1 probes exploded: {} (expected a flat, n-independent count)",
+        k.sp1_probe_evals
+    );
+    assert!(
+        k.lp_sorts <= k.kkt_solves,
+        "the step-4b LP sorted more than once per KKT solve ({} sorts, {} solves)",
+        k.lp_sorts,
+        k.kkt_solves
+    );
+
+    println!("large_n smoke OK");
+    Ok(())
+}
