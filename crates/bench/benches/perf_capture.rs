@@ -2,19 +2,31 @@
 //! cells/sec on the solver-bound fig2 quick grid (legacy pure-bisection, cold, and warm
 //! paths), steady-state allocations per cell, the sp2 hot-path latency, the solver
 //! iteration counters on each path, fleet-scale single-scenario solves at 10³/10⁴/10⁵
-//! devices, and the streaming reducer's accumulator footprint, then writes the per-run
-//! `BENCH_PR6.capture.json` at the workspace root (gitignored; CI uploads it as an
-//! artifact so the perf trajectory is recorded per commit). The curated, committed
-//! before/after snapshots live separately in `BENCH_PR3.json` / `BENCH_PR4.json` /
-//! `BENCH_PR6.json` — this bench never touches them.
+//! devices, sharded-fleet sweep rows (1/2/4 worker subprocesses on the fig2 100-draw
+//! grid, plus a cold-vs-cached re-run over the content-addressed shard cache), the
+//! adaptive-vs-fixed warm μ-bracket eval counts, and the streaming reducer's
+//! accumulator footprint, then writes the per-run `BENCH_PR7.capture.json` at the
+//! workspace root (gitignored; CI uploads it as an artifact so the perf trajectory is
+//! recorded per commit). The curated, committed before/after snapshots live separately
+//! in `BENCH_PR3.json` / `BENCH_PR4.json` / `BENCH_PR6.json` / `BENCH_PR7.json` — this
+//! bench never touches them.
 //!
-//! Run with `cargo bench -p fedopt-bench --bench perf_capture`.
+//! Run with `cargo bench -p fedopt-bench --bench perf_capture` (build the release
+//! `fedopt` binary first so the fleet rows can spawn real worker subprocesses; without
+//! it they fall back to in-process workers and say so in the capture).
+//!
+//! The fleet rows honor `FEDOPT_BIN` as an explicit path to the coordinator binary.
 
 use experiments::fig2::{run_with_engine, Fig2Config};
+use experiments::presets::{self, Variant};
+use experiments::shard::{
+    run_fleet, FleetOptions, InProcessRunner, ShardCache, ShardRunner, SubprocessRunner,
+};
 use experiments::SweepEngine;
 use fedopt_bench::thread_allocation_count;
 use fedopt_core::{sp2, JointOptimizer, SolveCounters, SolverConfig, SolverWorkspace};
 use flsys::{ScenarioBuilder, Weights};
+use std::path::PathBuf;
 use std::time::Instant;
 
 #[global_allocator]
@@ -130,6 +142,71 @@ fn main() {
         .collect::<Vec<_>>()
         .join(",\n");
 
+    // --- Adaptive warm μ-bracket (PR 7): the warm path with and without the adaptive
+    // bracket width + endpoint-value reuse, counters only (same grid as above).
+    let fixed_mu = SweepEngine::single_thread()
+        .with_warm_start(true)
+        .with_adaptive_mu_bracket(false)
+        .run(&grid)
+        .unwrap()
+        .counters
+        .solver
+        .mu_bisect_evals;
+    let adaptive_mu = warm_counters.mu_bisect_evals;
+
+    // --- Sharded fleet sweeps (PR 7): the fig2 quick protocol at the paper's 100
+    // draws/point, direct vs 1/2/4 worker subprocesses (workers pinned to 1 engine
+    // thread each so the rows measure fleet fan-out, not intra-worker threading), plus
+    // a cold-vs-cached re-run over the content-addressed shard cache.
+    let mut fleet_spec = presets::spec(2, Variant::Quick).unwrap();
+    fleet_spec.override_seed_count(100);
+    fleet_spec.engine.threads = Some(1);
+    let runner = locate_fedopt();
+    let runner_kind = match &runner {
+        FleetRunner::Subprocess(_) => "subprocess",
+        FleetRunner::InProcess => "in_process",
+    };
+    let runner: Box<dyn ShardRunner> = match runner {
+        FleetRunner::Subprocess(bin) => Box::new(SubprocessRunner::new(bin)),
+        FleetRunner::InProcess => Box::new(InProcessRunner),
+    };
+    let direct_secs = best_of(2, || fleet_spec.run().unwrap());
+    let shard_rows: Vec<(usize, f64)> = [1usize, 2, 4]
+        .iter()
+        .map(|&n| {
+            let opts = FleetOptions { shards: n, cache: None, concurrency: None };
+            let secs = best_of(2, || run_fleet(&fleet_spec, &opts, runner.as_ref()).unwrap());
+            (n, secs)
+        })
+        .collect();
+    let shard_json: String = shard_rows
+        .iter()
+        .map(|(n, secs)| {
+            format!(
+                "    {{ \"shards\": {n}, \"sweep_ms\": {:.1}, \"speedup_vs_direct\": {:.3} }}",
+                secs * 1e3,
+                direct_secs / secs
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
+    let cache_dir: PathBuf =
+        PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/shard-cache-bench"));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let fleet_opts = || FleetOptions {
+        shards: 4,
+        cache: Some(ShardCache::open(&cache_dir).expect("cache dir")),
+        concurrency: None,
+    };
+    let cold_start = Instant::now();
+    let (_, cold_stats) = run_fleet(&fleet_spec, &fleet_opts(), runner.as_ref()).unwrap();
+    let cache_cold_secs = cold_start.elapsed().as_secs_f64();
+    let warm_start_t = Instant::now();
+    let (_, warm_stats) = run_fleet(&fleet_spec, &fleet_opts(), runner.as_ref()).unwrap();
+    let cache_warm_secs = warm_start_t.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
     let json = format!(
         "{{\n  \"bench\": \"perf_capture\",\n  \"grid\": \"fig2_quick\",\n  \
          \"cells\": {cells},\n  \"legacy_bisect_cells_per_sec\": {:.1},\n  \
@@ -145,6 +222,14 @@ fn main() {
          \"allocs_per_cell_steady_state\": {allocs_per_cell},\n  \
          \"sp2_solve_in_us\": {:.1},\n  \"peak_accumulators\": {peak_accumulators},\n  \
          \"large_n\": [\n{fleet_json}\n  ],\n  \
+         \"adaptive_mu_bracket_warm_mu_evals\": {adaptive_mu},\n  \
+         \"fixed_mu_bracket_warm_mu_evals\": {fixed_mu},\n  \
+         \"fleet\": {{\n    \"grid\": \"fig2_quick_seeds100\",\n    \
+         \"runner\": \"{runner_kind}\",\n    \
+         \"direct_sweep_ms\": {:.1},\n    \"shards\": [\n{shard_json}\n    ],\n    \
+         \"cache_cold_ms\": {:.1},\n    \"cache_warm_ms\": {:.1},\n    \
+         \"cache_speedup\": {:.1},\n    \
+         \"cold_hits_misses\": [{}, {}],\n    \"warm_hits_misses\": [{}, {}]\n  }},\n  \
          \"seed_chunk\": {},\n  \"threads\": 1\n}}\n",
         cells as f64 / legacy_secs,
         legacy_secs / cold_secs,
@@ -160,13 +245,21 @@ fn main() {
         cold_counters.kkt_solves,
         warm_counters.sp2_fast_path_hits,
         sp2_secs * 1e6,
+        direct_secs * 1e3,
+        cache_cold_secs * 1e3,
+        cache_warm_secs * 1e3,
+        cache_cold_secs / cache_warm_secs,
+        cold_stats.shard_cache_hits,
+        cold_stats.shard_cache_misses,
+        warm_stats.shard_cache_hits,
+        warm_stats.shard_cache_misses,
         cold_engine.seed_chunk(),
     );
     print!("{json}");
 
     // Workspace root (bench crate lives at crates/bench).
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR6.capture.json");
-    std::fs::write(out, &json).expect("write BENCH_PR6.capture.json");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR7.capture.json");
+    std::fs::write(out, &json).expect("write BENCH_PR7.capture.json");
     eprintln!("wrote {out}");
 
     assert_eq!(allocs_per_cell, 0.0, "steady-state cells must not allocate");
@@ -180,4 +273,38 @@ fn main() {
     );
     // The step-4b sort happens once per parametric KKT solve, never per μ-evaluation.
     assert!(cold_counters.lp_sorts <= cold_counters.kkt_solves, "lp re-sorted per μ-eval");
+    assert!(
+        adaptive_mu < fixed_mu,
+        "the adaptive warm μ-bracket must spend fewer evals than the fixed width"
+    );
+    assert_eq!(warm_stats.shard_cache_misses, 0, "a warm re-run must be pure cache reads");
+}
+
+enum FleetRunner {
+    Subprocess(PathBuf),
+    InProcess,
+}
+
+/// The release `fedopt` binary next to this bench's own executable (`FEDOPT_BIN`
+/// overrides). Bench executables live in `target/<profile>/deps/`, the binary one level
+/// up in `target/<profile>/`.
+fn locate_fedopt() -> FleetRunner {
+    if let Ok(path) = std::env::var("FEDOPT_BIN") {
+        return FleetRunner::Subprocess(PathBuf::from(path));
+    }
+    let candidate = std::env::current_exe()
+        .ok()
+        .and_then(|exe| Some(exe.parent()?.parent()?.join("fedopt")))
+        .filter(|p| p.is_file());
+    match candidate {
+        Some(bin) => FleetRunner::Subprocess(bin),
+        None => {
+            eprintln!(
+                "note: no fedopt binary found next to the bench executable \
+                 (build with `cargo build --release -p fedopt --bin fedopt` or set \
+                 FEDOPT_BIN); fleet rows fall back to in-process workers"
+            );
+            FleetRunner::InProcess
+        }
+    }
 }

@@ -54,6 +54,20 @@ pub struct SolverConfig {
     /// bounded by the `mu_tol`-wide final bracket, i.e. within the solver's own tolerance.
     #[serde(default = "default_superlinear_mu")]
     pub superlinear_mu: bool,
+    /// Carries the *width* of the converged warm `μ` bracket across parametric solves in
+    /// addition to its center ([`KktScratch`](crate::KktScratch) already carries the
+    /// previous root). The first warm bracket after a reset still opens at the
+    /// conservative relative half-width `1e-3`; afterwards the width adapts to how far
+    /// the root actually moved last time (clamped to `[1e-5, 1e-3]`), so near-stationary
+    /// arms validate their bracket with probes that are three orders of magnitude
+    /// tighter and the Brent refinement starts essentially converged. `true` (the
+    /// default) only changes *which* bracket the warm path searches — the tolerance and
+    /// the cold fallback are untouched, so drift stays within the solver's own `mu_tol`
+    /// band; `false` restores the fixed-width warm bracket bit-exactly (the gate works
+    /// like [`SolverConfig::superlinear_mu`]). Only read when
+    /// [`SolverConfig::warm_start`] is set.
+    #[serde(default = "default_adaptive_mu_bracket")]
+    pub adaptive_mu_bracket: bool,
     /// Maximum relative drift of Subproblem 2's rate floors `r_n^min` (against the previous
     /// solve's floors) under which the warm-start fast path may skip the Newton-like loop.
     /// Only read when [`SolverConfig::warm_start`] is set. The fast path additionally
@@ -78,6 +92,10 @@ fn default_superlinear_mu() -> bool {
     true
 }
 
+fn default_adaptive_mu_bracket() -> bool {
+    true
+}
+
 impl Default for SolverConfig {
     fn default() -> Self {
         Self {
@@ -92,6 +110,7 @@ impl Default for SolverConfig {
             warm_start: true,
             warm_rmin_tol: default_warm_rmin_tol(),
             superlinear_mu: default_superlinear_mu(),
+            adaptive_mu_bracket: default_adaptive_mu_bracket(),
         }
     }
 }
@@ -121,6 +140,14 @@ impl SolverConfig {
     #[must_use]
     pub fn with_superlinear_mu(self, superlinear_mu: bool) -> Self {
         Self { superlinear_mu, ..self }
+    }
+
+    /// This configuration with the adaptive warm `μ`-bracket width switched on or off
+    /// (`false` = the fixed `1e-3` warm bracket; see
+    /// [`SolverConfig::adaptive_mu_bracket`]).
+    #[must_use]
+    pub fn with_adaptive_mu_bracket(self, adaptive_mu_bracket: bool) -> Self {
+        Self { adaptive_mu_bracket, ..self }
     }
 }
 

@@ -31,7 +31,7 @@
 
 use super::{PowerBandwidth, Sp2Problem};
 use numopt::lambertw::{lambert_w0, ratio_over_w0};
-use numopt::roots::{root_of_decreasing, root_of_decreasing_brent};
+use numopt::roots::{brent_with_endpoints, root_of_decreasing, root_of_decreasing_brent};
 use numopt::scalar::clamp;
 use numopt::NumError;
 use wireless::channel::power_for_rate;
@@ -90,13 +90,27 @@ pub struct KktScratch {
     warm_mu: f64,
     /// Whether [`KktScratch::warm_mu`] holds a usable seed.
     warm_mu_valid: bool,
+    /// Adaptive relative half-width of the next warm bracket, learned from how far the
+    /// root moved in the previous solve. `0.0` means "no history" — the warm path then
+    /// opens at the conservative [`INITIAL_WARM_DELTA`]. Only read when
+    /// [`SolverConfig::adaptive_mu_bracket`](crate::SolverConfig) is set.
+    warm_delta: f64,
 }
+
+/// Relative half-width of the first warm `μ` bracket after a reset (and the fixed width
+/// of every warm bracket when the adaptive carry is gated off).
+const INITIAL_WARM_DELTA: f64 = 1e-3;
+/// Floor of the adaptive warm-bracket half-width: the bracket never collapses below this
+/// even for a root that did not move at all, so one pair of validation probes still has a
+/// realistic chance of straddling the new root.
+const MIN_WARM_DELTA: f64 = 1e-5;
 
 impl KktScratch {
     /// Drops the carried `μ`-bracket seed: the next warm-start solve brackets from the
     /// full conservative interval again.
     pub fn reset_warm_start(&mut self) {
         self.warm_mu_valid = false;
+        self.warm_delta = 0.0;
     }
 }
 
@@ -153,6 +167,7 @@ pub fn solve_parametric_into(
         lp_sorts,
         warm_mu,
         warm_mu_valid,
+        warm_delta,
     } = &mut *scratch;
     *parametric_solves += 1;
 
@@ -172,6 +187,7 @@ pub fn solve_parametric_into(
     let has_rate_constraints = r_min.iter().any(|&r| r > 0.0);
     let warm_start = problem.config().warm_start;
     let superlinear = problem.config().superlinear_mu;
+    let adaptive = problem.config().adaptive_mu_bracket;
     let mu = if has_rate_constraints {
         // Compact the summation set once per parametric solve: the μ search only ever
         // touches the rate-constrained devices, and their (j_n, r_n^min·ln2) pairs are
@@ -220,18 +236,45 @@ pub fn solve_parametric_into(
         let mut warm_root = None;
         if warm_start && *warm_mu_valid && *warm_mu > 0.0 && warm_mu.is_finite() {
             let tol = problem.config().mu_tol * (10.0 * j_max);
-            let mut delta = 1e-3;
-            for _ in 0..4 {
+            // Open at the adaptively carried half-width when there is movement history
+            // (one extra escalation keeps the worst-case expansion reach identical),
+            // otherwise at the conservative fixed width — which is also the gated-off
+            // legacy path, probe for probe.
+            let (mut delta, tries) = if adaptive && *warm_delta > 0.0 {
+                (*warm_delta, 5)
+            } else {
+                (INITIAL_WARM_DELTA, 4)
+            };
+            for _ in 0..tries {
                 let lo = (*warm_mu * (1.0 - delta)).max(1e-9 * j_min);
                 let hi = *warm_mu * (1.0 + delta);
-                if g_prime(lo) > 0.0 && g_prime(hi) <= 0.0 {
+                let (g_lo, g_hi) = (g_prime(lo), g_prime(hi));
+                if g_lo > 0.0 && g_hi <= 0.0 {
                     // A failed refinement (e.g. a non-finite interior probe) falls back to
                     // the conservative bracket below rather than failing the solve — the
                     // warm bracket is only ever a hint.
-                    warm_root = find_root(lo, hi, tol).ok();
+                    warm_root = if adaptive && superlinear && g_lo.is_finite() && g_hi.is_finite() {
+                        // The validation probes double as Brent's endpoint values: the
+                        // refinement starts with zero redundant `g'` evaluations (the
+                        // wrapper-and-Brent entry probes used to re-evaluate both ends
+                        // twice). `g_hi == 0.0` returns `hi` exactly like the wrapper's
+                        // endpoint clamp.
+                        brent_with_endpoints(&g_prime, lo, g_lo, hi, g_hi, tol, 300)
+                            .map(|o| o.root)
+                            .or_else(|_| find_root(lo, hi, tol))
+                            .ok()
+                    } else {
+                        find_root(lo, hi, tol).ok()
+                    };
                     break;
                 }
-                delta *= 16.0;
+                // A stale adaptive width first re-tries the proven fixed width before the
+                // geometric escalation takes over.
+                delta = if adaptive && delta < INITIAL_WARM_DELTA {
+                    INITIAL_WARM_DELTA
+                } else {
+                    delta * 16.0
+                };
             }
         }
         let mu = match warm_root {
@@ -254,6 +297,13 @@ pub fn solve_parametric_into(
         0.0
     };
     if warm_start && mu > 0.0 {
+        if adaptive && *warm_mu_valid && *warm_mu > 0.0 {
+            // Next bracket's half-width: a small multiple of the observed relative root
+            // movement, clamped so it neither collapses to nothing nor exceeds the
+            // conservative opening width.
+            let rel = (mu - *warm_mu).abs() / *warm_mu;
+            *warm_delta = (16.0 * rel).clamp(MIN_WARM_DELTA, INITIAL_WARM_DELTA);
+        }
         *warm_mu = mu;
         *warm_mu_valid = true;
     }

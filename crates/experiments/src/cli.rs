@@ -17,6 +17,23 @@
 //! golden-file diffs; the CI `cli-smoke` job pins exactly that. All diagnostics go to
 //! stderr, so stdout is always exactly the payload.
 //!
+//! ## Fleet mode
+//!
+//! ```text
+//! fedopt run --fig 2 --shards 4 [--cache-dir D] [--shard-timeout S] [--json]
+//! fedopt shard split --fig 2 --shards 4        # print the shard specs, don't run them
+//! fedopt run --spec - --shard-json             # worker mode (the coordinator's child)
+//! ```
+//!
+//! `--shards N` splits the run's seed policy into `N` sub-range shards
+//! ([`crate::shard::split`]) and runs each as a subprocess of this same binary
+//! (`run --spec - --shard-json`), merging the shard results back bit-identically — a
+//! sharded `--json` document is byte-for-byte the single-process one. With
+//! `--cache-dir`, finished shards are stored content-addressed on disk and re-runs
+//! answer from the cache; the document then grows `shard_cache_hits` /
+//! `shard_cache_misses` counters (and only then, so uncached sharded output stays
+//! diffable against single-process goldens).
+//!
 //! The binary itself (the facade crate's `src/bin/fedopt.rs`) is a thin wrapper over
 //! [`main_with`], so
 //! every branch here is exercisable from unit tests.
@@ -24,8 +41,10 @@
 use crate::json::Json;
 use crate::presets::{self, Variant};
 use crate::report::FigureReport;
+use crate::shard::{self, FleetOptions, FleetStats, ShardCache, ShardError, SubprocessRunner};
 use crate::spec::{ExperimentSpec, SpecError, SpecRun};
 use std::fmt;
+use std::time::Duration;
 
 /// The usage text (`fedopt help` / any parse error).
 pub const USAGE: &str = "\
@@ -39,16 +58,25 @@ USAGE:
                                      run a figure preset
   fedopt run --spec FILE [--seeds N] [--threads N] [--json]
                                      run a serialized spec (FILE of '-' reads stdin)
+  fedopt run ... --shards N [--cache-dir DIR] [--shard-timeout SECS]
+                                     split the run into N seed shards, execute them as
+                                     fedopt subprocesses, merge bit-identically
+  fedopt shard split (--fig N | --spec FILE) --shards N
+                                     print the N shard specs as a JSON array
   fedopt help                        this text
 
 OPTIONS:
-  --fig N       figure number (2..=8)
-  --paper       full-scale paper preset (50 devices, 100 draws/point, warm start on)
-  --quick       small CI preset (the default)
-  --seeds N     override the draws per point with seeds 0..N
-  --threads N   pin the sweep-engine worker count
-  --json        emit one machine-readable JSON document instead of tables + CSV
-  --spec FILE   run the ExperimentSpec in FILE ('-' for stdin)
+  --fig N            figure number (2..=8)
+  --paper            full-scale paper preset (50 devices, 100 draws/point, warm start on)
+  --quick            small CI preset (the default)
+  --seeds N          override the draws per point with seeds 0..N
+  --threads N        pin the sweep-engine worker count
+  --json             emit one machine-readable JSON document instead of tables + CSV
+  --spec FILE        run the ExperimentSpec in FILE ('-' for stdin)
+  --shards N         fleet mode: seed-shard the sweep across N worker subprocesses
+  --cache-dir DIR    content-addressed shard result cache (requires --shards)
+  --shard-timeout S  per-shard wall-clock timeout in seconds (requires --shards)
+  --shard-json       worker mode: print the raw shard result document (internal)
 
 Environment: FEDOPT_SWEEP_THREADS pins the default worker count; FEDOPT_WARM_START
 overrides every spec's warm-start default (0 forces cold, 1 forces warm).";
@@ -82,6 +110,12 @@ impl std::error::Error for CliError {}
 
 impl From<SpecError> for CliError {
     fn from(e: SpecError) -> Self {
+        CliError::runtime(e.to_string())
+    }
+}
+
+impl From<ShardError> for CliError {
+    fn from(e: ShardError) -> Self {
         CliError::runtime(e.to_string())
     }
 }
@@ -120,6 +154,19 @@ impl Overrides {
     }
 }
 
+/// The fleet-mode options of `fedopt run` (`--shards` and friends).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FleetArgs {
+    /// Seed-shard the run across this many `fedopt` worker subprocesses.
+    pub shards: Option<usize>,
+    /// Content-addressed shard result cache directory (requires `shards`).
+    pub cache_dir: Option<String>,
+    /// Per-shard wall-clock timeout in seconds (requires `shards`).
+    pub shard_timeout_s: Option<u64>,
+    /// Worker mode: print the raw [`crate::shard::ShardResult`] document and exit.
+    pub shard_json: bool,
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -131,6 +178,17 @@ pub enum Command {
         overrides: Overrides,
         /// Emit the JSON document instead of tables.
         json: bool,
+        /// Sharded fleet execution options.
+        fleet: FleetArgs,
+    },
+    /// `fedopt shard split …` — print the shard specs instead of running them.
+    ShardSplit {
+        /// The spec to split.
+        source: SpecSource,
+        /// How many shards.
+        shards: usize,
+        /// Seed/thread overrides, baked in before splitting.
+        overrides: Overrides,
     },
     /// `fedopt spec …`
     Spec {
@@ -195,7 +253,7 @@ fn take_overrides(args: &mut Vec<String>) -> Result<Overrides, CliError> {
         if n > crate::spec::MAX_SEEDS {
             return Err(CliError::usage(format!(
                 "--seeds {n} exceeds the per-spec maximum of {} — shard larger sweeps \
-                 into seed sub-ranges",
+                 with `fedopt run --shards N` or `fedopt shard split`",
                 crate::spec::MAX_SEEDS
             )));
         }
@@ -262,32 +320,70 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             Ok(Command::Spec { fig, paper, overrides })
         }
         "run" => {
-            let fig = take_fig(&mut rest)?;
-            let file = take_value(&mut rest, "--spec")?;
-            let (paper, variant_given) = take_variant(&mut rest)?;
+            let source = take_source(&mut rest)?
+                .ok_or_else(|| CliError::usage("`fedopt run` requires --fig N or --spec FILE"))?;
             let overrides = take_overrides(&mut rest)?;
             let json = take_switch(&mut rest, "--json");
-            reject_leftovers(&rest)?;
-            let source = match (fig, file) {
-                (Some(fig), None) => SpecSource::Fig { fig, paper },
-                (None, Some(path)) => {
-                    if variant_given {
-                        return Err(CliError::usage(
-                            "--paper/--quick select a preset; they cannot modify --spec FILE",
-                        ));
-                    }
-                    SpecSource::File(path)
-                }
-                (Some(_), Some(_)) => {
-                    return Err(CliError::usage("--fig and --spec are mutually exclusive"))
-                }
-                (None, None) => {
-                    return Err(CliError::usage("`fedopt run` requires --fig N or --spec FILE"))
-                }
+            let fleet = FleetArgs {
+                shards: take_positive(&mut rest, "--shards")?.map(|n| n as usize),
+                cache_dir: take_value(&mut rest, "--cache-dir")?,
+                shard_timeout_s: take_positive(&mut rest, "--shard-timeout")?,
+                shard_json: take_switch(&mut rest, "--shard-json"),
             };
-            Ok(Command::Run { source, overrides, json })
+            reject_leftovers(&rest)?;
+            if fleet.shards.is_none() {
+                if fleet.cache_dir.is_some() {
+                    return Err(CliError::usage("--cache-dir requires --shards N"));
+                }
+                if fleet.shard_timeout_s.is_some() {
+                    return Err(CliError::usage("--shard-timeout requires --shards N"));
+                }
+            }
+            if fleet.shard_json && (json || fleet.shards.is_some()) {
+                return Err(CliError::usage(
+                    "--shard-json is the worker-mode output format; it cannot combine \
+                     with --json or --shards",
+                ));
+            }
+            Ok(Command::Run { source, overrides, json, fleet })
         }
+        "shard" => match rest.split_first() {
+            Some((sub, tail)) if sub == "split" => {
+                let mut tail: Vec<String> = tail.to_vec();
+                let source = take_source(&mut tail)?.ok_or_else(|| {
+                    CliError::usage("`fedopt shard split` requires --fig N or --spec FILE")
+                })?;
+                let overrides = take_overrides(&mut tail)?;
+                let shards = take_positive(&mut tail, "--shards")?
+                    .ok_or_else(|| CliError::usage("`fedopt shard split` requires --shards N"))?
+                    as usize;
+                reject_leftovers(&tail)?;
+                Ok(Command::ShardSplit { source, shards, overrides })
+            }
+            _ => Err(CliError::usage("`fedopt shard` has one subcommand: `shard split`")),
+        },
         other => Err(CliError::usage(format!("unknown command {other:?}"))),
+    }
+}
+
+/// Parses the shared spec-source arguments (`--fig`/`--paper`/`--quick`/`--spec`).
+/// `Ok(None)` when none were given — the verbs word their own "required" errors.
+fn take_source(rest: &mut Vec<String>) -> Result<Option<SpecSource>, CliError> {
+    let fig = take_fig(rest)?;
+    let file = take_value(rest, "--spec")?;
+    let (paper, variant_given) = take_variant(rest)?;
+    match (fig, file) {
+        (Some(fig), None) => Ok(Some(SpecSource::Fig { fig, paper })),
+        (None, Some(path)) => {
+            if variant_given {
+                return Err(CliError::usage(
+                    "--paper/--quick select a preset; they cannot modify --spec FILE",
+                ));
+            }
+            Ok(Some(SpecSource::File(path)))
+        }
+        (Some(_), Some(_)) => Err(CliError::usage("--fig and --spec are mutually exclusive")),
+        (None, None) => Ok(None),
     }
 }
 
@@ -331,36 +427,61 @@ pub fn render_list() -> String {
 /// The deterministic JSON document `fedopt run --json` emits: the spec identity, every
 /// rendered report (see [`FigureReport::to_json`]), and the sweep's work counters.
 pub fn run_document(spec: &ExperimentSpec, run: &SpecRun) -> Json {
+    run_document_with_fleet(spec, run, None)
+}
+
+/// [`run_document`] with optional fleet-cache counters. `shard_cache_hits` /
+/// `shard_cache_misses` appear **only** when `fleet` is `Some` — i.e. only when a cache
+/// directory was actually configured — so uncached sharded output stays byte-identical
+/// to the single-process document (the CI golden diff depends on it).
+pub fn run_document_with_fleet(
+    spec: &ExperimentSpec,
+    run: &SpecRun,
+    fleet: Option<&FleetStats>,
+) -> Json {
     let counters = &run.result.counters;
     let solver = &counters.solver;
+    let mut counter_members = vec![
+        ("scenarios_built", Json::uint(counters.scenarios_built as u64)),
+        ("cells_evaluated", Json::uint(counters.cells_evaluated as u64)),
+        (
+            "solver",
+            Json::obj([
+                ("outer_iterations", Json::uint(solver.outer_iterations)),
+                ("jong_iterations", Json::uint(solver.jong_iterations)),
+                ("kkt_solves", Json::uint(solver.kkt_solves)),
+                ("mu_bisect_evals", Json::uint(solver.mu_bisect_evals)),
+                ("sp2_fast_path_hits", Json::uint(solver.sp2_fast_path_hits)),
+            ]),
+        ),
+    ];
+    if let Some(stats) = fleet {
+        counter_members.push(("shard_cache_hits", Json::uint(stats.shard_cache_hits)));
+        counter_members.push(("shard_cache_misses", Json::uint(stats.shard_cache_misses)));
+    }
     Json::obj([
         ("schema_version", Json::uint(crate::spec::SCHEMA_VERSION)),
         ("spec_id", Json::Str(spec.id.clone())),
         ("reports", Json::Arr(run.reports.iter().map(FigureReport::to_json).collect())),
-        (
-            "counters",
-            Json::obj([
-                ("scenarios_built", Json::uint(counters.scenarios_built as u64)),
-                ("cells_evaluated", Json::uint(counters.cells_evaluated as u64)),
-                (
-                    "solver",
-                    Json::obj([
-                        ("outer_iterations", Json::uint(solver.outer_iterations)),
-                        ("jong_iterations", Json::uint(solver.jong_iterations)),
-                        ("kkt_solves", Json::uint(solver.kkt_solves)),
-                        ("mu_bisect_evals", Json::uint(solver.mu_bisect_evals)),
-                        ("sp2_fast_path_hits", Json::uint(solver.sp2_fast_path_hits)),
-                    ]),
-                ),
-            ]),
-        ),
+        ("counters", Json::obj(counter_members)),
     ])
 }
 
 /// Renders a finished run: the historical tables + CSV, or the JSON document.
 pub fn render_run(spec: &ExperimentSpec, run: &SpecRun, json: bool) -> String {
+    render_run_with_fleet(spec, run, json, None)
+}
+
+/// [`render_run`] with optional fleet-cache counters (JSON mode only; the tables never
+/// show them).
+pub fn render_run_with_fleet(
+    spec: &ExperimentSpec,
+    run: &SpecRun,
+    json: bool,
+    fleet: Option<&FleetStats>,
+) -> String {
     if json {
-        return run_document(spec, run).to_pretty_string();
+        return run_document_with_fleet(spec, run, fleet).to_pretty_string();
     }
     let mut out = String::new();
     for report in &run.reports {
@@ -388,9 +509,18 @@ pub fn main_with(args: &[String]) -> Result<String, CliError> {
             overrides.apply(&mut spec);
             Ok(spec.to_json_string())
         }
-        Command::Run { source, overrides, json } => {
+        Command::Run { source, overrides, json, fleet } => {
             let mut spec = load_spec(&source)?;
             overrides.apply(&mut spec);
+            if fleet.shard_json {
+                // Worker mode: raw samples out, nothing rendered. One compact line so the
+                // coordinator can stream-parse stdout.
+                let result = shard::run_shard_in_process(&spec)?;
+                return Ok(format!("{}\n", result.to_json_string()));
+            }
+            if let Some(shards) = fleet.shards {
+                return run_fleet_command(&spec, shards, &fleet, json);
+            }
             let engine = spec.engine.to_engine();
             eprintln!(
                 "running {} ({} points x {} arms x {} draws/point, {} threads, warm start {})...",
@@ -404,7 +534,56 @@ pub fn main_with(args: &[String]) -> Result<String, CliError> {
             let run = spec.run_with_engine(&engine)?;
             Ok(render_run(&spec, &run, json))
         }
+        Command::ShardSplit { source, shards, overrides } => {
+            let mut spec = load_spec(&source)?;
+            overrides.apply(&mut spec);
+            let shard_specs = shard::split(&spec, shards)?;
+            let doc = Json::Arr(shard_specs.iter().map(ExperimentSpec::to_json).collect());
+            Ok(doc.to_pretty_string())
+        }
     }
+}
+
+/// The coordinator half of `fedopt run --shards N`: split, fan out to `fedopt`
+/// subprocesses, merge, render.
+fn run_fleet_command(
+    spec: &ExperimentSpec,
+    shards: usize,
+    fleet: &FleetArgs,
+    json: bool,
+) -> Result<String, CliError> {
+    let program = std::env::current_exe()
+        .map_err(|e| CliError::runtime(format!("cannot locate the fedopt binary: {e}")))?;
+    let mut runner = SubprocessRunner::new(program);
+    if let Some(secs) = fleet.shard_timeout_s {
+        runner = runner.with_timeout(Duration::from_secs(secs));
+    }
+    let cache = match &fleet.cache_dir {
+        Some(dir) => Some(ShardCache::open(dir)?),
+        None => None,
+    };
+    let cached = cache.is_some();
+    let opts = FleetOptions { shards, cache, concurrency: None };
+    eprintln!(
+        "running {} as a fleet ({} shards over {} draws/point{})...",
+        spec.id,
+        shards.min(spec.seeds.len().try_into().unwrap_or(usize::MAX)).max(1),
+        spec.seeds.len(),
+        match &fleet.cache_dir {
+            Some(dir) => format!(", cache {dir}"),
+            None => String::new(),
+        },
+    );
+    let (result, stats) = shard::run_fleet(spec, &opts, &runner)?;
+    if cached {
+        eprintln!(
+            "fleet done: {} cache hits, {} misses, {} retries",
+            stats.shard_cache_hits, stats.shard_cache_misses, stats.retries
+        );
+    }
+    let reports = spec.render_reports(&result);
+    let run = SpecRun { result, reports };
+    Ok(render_run_with_fleet(spec, &run, json, cached.then_some(&stats)))
 }
 
 #[cfg(test)]
@@ -431,6 +610,7 @@ mod tests {
                 source: SpecSource::Fig { fig: 7, paper: true },
                 overrides: Overrides { seeds: Some(25), threads: Some(8) },
                 json: true,
+                fleet: FleetArgs::default(),
             }
         );
         // `--flag=value` form and flag order both work (the historical bins' contract).
@@ -440,6 +620,7 @@ mod tests {
                 source: SpecSource::Fig { fig: 2, paper: false },
                 overrides: Overrides { seeds: Some(3), threads: None },
                 json: true,
+                fleet: FleetArgs::default(),
             }
         );
         assert_eq!(
@@ -448,6 +629,7 @@ mod tests {
                 source: SpecSource::File("-".to_string()),
                 overrides: Overrides::default(),
                 json: true,
+                fleet: FleetArgs::default(),
             }
         );
     }
@@ -471,10 +653,84 @@ mod tests {
             "spec",
             "spec --fig 2 extra",
             "list --fig 2",
+            // Fleet-flag combinations.
+            "run --fig 2 --shards 0",
+            "run --fig 2 --cache-dir /tmp/c",
+            "run --fig 2 --shard-timeout 60",
+            "run --fig 2 --shard-json --json",
+            "run --fig 2 --shard-json --shards 2",
+            "shard",
+            "shard merge",
+            "shard split --shards 3",
+            "shard split --fig 2",
+            "shard split --fig 2 --spec x.json --shards 2",
         ] {
             let err = parse(&argv(bad)).unwrap_err();
             assert!(err.usage, "{bad:?} must be a usage error, got {err:?}");
         }
+    }
+
+    #[test]
+    fn parses_the_fleet_command_lines() {
+        assert_eq!(
+            parse(&argv("run --fig 2 --shards 3 --cache-dir /tmp/c --shard-timeout 90 --json"))
+                .unwrap(),
+            Command::Run {
+                source: SpecSource::Fig { fig: 2, paper: false },
+                overrides: Overrides::default(),
+                json: true,
+                fleet: FleetArgs {
+                    shards: Some(3),
+                    cache_dir: Some("/tmp/c".to_string()),
+                    shard_timeout_s: Some(90),
+                    shard_json: false,
+                },
+            }
+        );
+        assert_eq!(
+            parse(&argv("run --spec - --shard-json")).unwrap(),
+            Command::Run {
+                source: SpecSource::File("-".to_string()),
+                overrides: Overrides::default(),
+                json: false,
+                fleet: FleetArgs { shard_json: true, ..FleetArgs::default() },
+            }
+        );
+        assert_eq!(
+            parse(&argv("shard split --fig 5 --paper --seeds 40 --shards 8")).unwrap(),
+            Command::ShardSplit {
+                source: SpecSource::Fig { fig: 5, paper: true },
+                shards: 8,
+                overrides: Overrides { seeds: Some(40), threads: None },
+            }
+        );
+    }
+
+    #[test]
+    fn shard_split_prints_a_parseable_partition() {
+        let out = main_with(&argv("shard split --fig 2 --seeds 5 --shards 3")).unwrap();
+        let doc = Json::parse(&out).unwrap();
+        let arr = doc.as_array().unwrap();
+        assert_eq!(arr.len(), 3);
+        let shards: Vec<ExperimentSpec> =
+            arr.iter().map(|v| ExperimentSpec::from_json(v).unwrap()).collect();
+        let all_seeds: Vec<u64> = shards.iter().flat_map(|s| s.seeds.values()).collect();
+        assert_eq!(all_seeds, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn shard_json_worker_output_is_a_parseable_shard_result() {
+        let mut spec = preset(2, false).unwrap();
+        Overrides { seeds: Some(2), threads: Some(1) }.apply(&mut spec);
+        let dir = std::env::temp_dir().join(format!("fedopt-cli-worker-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spec.json");
+        std::fs::write(&path, spec.to_json_string()).unwrap();
+        let out = main_with(&argv(&format!("run --spec {} --shard-json", path.display()))).unwrap();
+        let result = crate::shard::ShardResult::from_json_str(&out).unwrap();
+        assert_eq!(result.spec_id, spec.id);
+        assert_eq!(result.n_seeds, 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -102,6 +102,10 @@ pub struct CellContext<'a> {
     /// ([`SweepEngine::with_superlinear_mu`]); gated through
     /// [`CellContext::solver_config`] like [`Self::warm_start`].
     pub superlinear_mu: bool,
+    /// Whether this sweep carries the adaptive warm `μ`-bracket width across the solves of
+    /// a cell-group ([`SweepEngine::with_adaptive_mu_bracket`]); gated through
+    /// [`CellContext::solver_config`] like [`Self::warm_start`].
+    pub adaptive_mu_bracket: bool,
     /// The worker thread's reusable solver workspace. Pure scratch (see
     /// `fedopt_core::workspace` for the contract): arms may hand it to any `*_with` solver
     /// entry point but must not expect state to survive between cells. With warm start
@@ -117,7 +121,9 @@ impl CellContext<'_> {
     /// was built with, so one engine flag flips the whole grid between the bit-exact cold
     /// reference path and the warm continuation.
     pub fn solver_config(&self, base: &SolverConfig) -> SolverConfig {
-        base.with_warm_start(self.warm_start).with_superlinear_mu(self.superlinear_mu)
+        base.with_warm_start(self.warm_start)
+            .with_superlinear_mu(self.superlinear_mu)
+            .with_adaptive_mu_bracket(self.adaptive_mu_bracket)
     }
 }
 
@@ -296,6 +302,22 @@ impl AggregateAccumulator {
         }
     }
 
+    /// Folds a contiguous run of per-seed outputs into this accumulator, in slice order.
+    ///
+    /// This is the merge operation of the sharded fleet path: a shard ships the raw
+    /// `Option<CellOutput>` samples of its seed sub-range (not its partial sums — float
+    /// addition is not associative, so merging sums would *not* reproduce the
+    /// single-process bits), and the coordinator replays each shard's slice into the
+    /// per-(point, arm) accumulator in shard order. Because the shards partition the seed
+    /// range in order, the replayed fold is literally the same sequence of
+    /// [`AggregateAccumulator::push`] calls a single-process run performs — bit-identical
+    /// by construction.
+    pub fn merge_samples(&mut self, samples: &[Option<CellOutput>]) {
+        for sample in samples {
+            self.push(*sample);
+        }
+    }
+
     /// The aggregate of everything pushed so far.
     pub fn finish(&self) -> Aggregate {
         if self.count == 0 {
@@ -338,6 +360,18 @@ pub struct SweepCounters {
     /// summed over every cell — the evidence that warm starting saves iterations, not just
     /// wall clock. Deterministic for a successful sweep, independent of thread count.
     pub solver: SolveCounters,
+}
+
+impl SweepCounters {
+    /// Folds another run's counters into this one. Every field is an exact integer sum,
+    /// so merging per-shard counters in any order reproduces the single-process totals —
+    /// the counter half of the fleet-merge bit-identity contract (the float half lives in
+    /// [`AggregateAccumulator::merge_samples`]).
+    pub fn merge(&mut self, other: &Self) {
+        self.scenarios_built += other.scenarios_built;
+        self.cells_evaluated += other.cells_evaluated;
+        self.solver.add(&other.solver);
+    }
 }
 
 /// The evaluated grid: one [`Aggregate`] per (point, arm).
@@ -425,6 +459,7 @@ pub struct SweepEngine {
     seed_chunk: NonZeroUsize,
     warm_start: bool,
     superlinear_mu: bool,
+    adaptive_mu_bracket: bool,
 }
 
 impl Default for SweepEngine {
@@ -450,6 +485,7 @@ impl SweepEngine {
             seed_chunk: NonZeroUsize::new(DEFAULT_SEED_CHUNK).expect("nonzero"),
             warm_start,
             superlinear_mu: true,
+            adaptive_mu_bracket: true,
         }
     }
 
@@ -514,6 +550,24 @@ impl SweepEngine {
     /// Whether this engine runs sweeps with the superlinear (Brent) `μ`-root step.
     pub fn superlinear_mu(&self) -> bool {
         self.superlinear_mu
+    }
+
+    /// Enables or disables the adaptive warm `μ`-bracket width for every arm of the sweep
+    /// (default: enabled). With it on, each worker's KKT scratch remembers how far the
+    /// `μ`-root moved in its previous solve and opens the next warm bracket that tight —
+    /// near-stationary arms of a cell-group then resolve `μ` in a handful of `g'(μ)`
+    /// evaluations. `with_adaptive_mu_bracket(false)` restores the fixed-width warm
+    /// bracket bit for bit (see `SolverConfig::adaptive_mu_bracket`); either way the cold
+    /// path (`with_warm_start(false)`) never reads the carried width.
+    #[must_use]
+    pub fn with_adaptive_mu_bracket(mut self, adaptive_mu_bracket: bool) -> Self {
+        self.adaptive_mu_bracket = adaptive_mu_bracket;
+        self
+    }
+
+    /// Whether this engine runs sweeps with the adaptive warm `μ`-bracket width.
+    pub fn adaptive_mu_bracket(&self) -> bool {
+        self.adaptive_mu_bracket
     }
 
     /// Enables or disables the streaming reduction (default: enabled). With streaming the
@@ -593,6 +647,50 @@ impl SweepEngine {
     /// more, scheduling decides which failing cells were reached first. Infeasible cells
     /// (`Ok(None)`) are not errors.
     pub fn run(&self, grid: &SweepGrid) -> Result<SweepResult, CoreError> {
+        let (builders, groups) = self.prepare_groups(grid);
+        if self.streaming {
+            self.run_streaming(grid, &builders, &groups)
+        } else {
+            self.run_materializing(grid, &builders, &groups)
+        }
+    }
+
+    /// Evaluates every cell of the grid and returns the **raw** per-cell outputs in
+    /// `(point, arm, seed)` slot order, without reducing them to aggregates.
+    ///
+    /// This is the worker half of the sharded fleet path ([`crate::shard`]): a shard runs
+    /// `run_cells` on its seed sub-range and ships the samples, and the coordinator
+    /// replays them through [`AggregateAccumulator::merge_samples`] in shard order —
+    /// reproducing the single-process [`SweepEngine::run`] reduction bit for bit. The
+    /// evaluation itself is the materializing scheduler, so every determinism property of
+    /// [`SweepEngine::run`] (bit-identical across thread counts, seed-order reduction
+    /// keys) carries over unchanged; memory is `O(points × arms × seeds)` samples, which
+    /// is exactly the payload a shard has to ship anyway.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SweepEngine::run`].
+    pub fn run_cells(&self, grid: &SweepGrid) -> Result<CellMatrix, CoreError> {
+        let (builders, groups) = self.prepare_groups(grid);
+        let (samples, counters) = self.materialize_cells(grid, &builders, &groups)?;
+        Ok(CellMatrix {
+            xs: grid.points.iter().map(|p| p.x).collect(),
+            arm_names: grid.arms.iter().map(|a| a.name()).collect(),
+            n_seeds: grid.seeds.len(),
+            samples,
+            counters,
+        })
+    }
+
+    /// Specialises the grid's builders once per (point, arm) and groups each point's arms
+    /// by identical prepared builder — the shared preamble of every evaluation path. Every
+    /// group shares one scenario build per seed; with sharing disabled, every arm is its
+    /// own group.
+    #[allow(clippy::type_complexity)]
+    fn prepare_groups(
+        &self,
+        grid: &SweepGrid,
+    ) -> (Vec<Vec<ScenarioBuilder>>, Vec<Vec<Vec<usize>>>) {
         // Builders are pure data; specialise them once per (point, arm) up front.
         let builders: Vec<Vec<ScenarioBuilder>> = grid
             .points
@@ -600,8 +698,6 @@ impl SweepEngine {
             .map(|p| grid.arms.iter().map(|a| a.prepare(&p.builder)).collect())
             .collect();
 
-        // Group each point's arms by identical prepared builder: every group shares one
-        // scenario build per seed. With sharing disabled, every arm is its own group.
         let groups: Vec<Vec<Vec<usize>>> = builders
             .iter()
             .map(|point_builders| {
@@ -621,12 +717,7 @@ impl SweepEngine {
                 point_groups
             })
             .collect();
-
-        if self.streaming {
-            self.run_streaming(grid, &builders, &groups)
-        } else {
-            self.run_materializing(grid, &builders, &groups)
-        }
+        (builders, groups)
     }
 
     /// The streaming evaluation-and-reduction path (the default): work items are chunks of
@@ -664,6 +755,7 @@ impl SweepEngine {
             cells_evaluated: &cells_evaluated,
             warm_start: self.warm_start,
             superlinear_mu: self.superlinear_mu,
+            adaptive_mu_bracket: self.adaptive_mu_bracket,
             solver_totals: &solver_totals,
         };
 
@@ -762,6 +854,39 @@ impl SweepEngine {
         let n_points = grid.points.len();
         let n_arms = grid.arms.len();
         let n_seeds = grid.seeds.len();
+        let (samples, counters) = self.materialize_cells(grid, builders, groups)?;
+
+        let aggregates: Vec<Vec<Aggregate>> = (0..n_points)
+            .map(|p| {
+                (0..n_arms)
+                    .map(|a| {
+                        let base = (p * n_arms + a) * n_seeds;
+                        Aggregate::from_samples(&samples[base..base + n_seeds])
+                    })
+                    .collect()
+            })
+            .collect();
+
+        Ok(SweepResult {
+            xs: grid.points.iter().map(|p| p.x).collect(),
+            arm_names: grid.arms.iter().map(|a| a.name()).collect(),
+            aggregates,
+            counters,
+        })
+    }
+
+    /// Evaluates every cell and materialises the raw outputs in `(point, arm, seed)` slot
+    /// order, together with the run's counters — the shared body of
+    /// [`SweepEngine::run_cells`] and the materializing reduction.
+    fn materialize_cells(
+        &self,
+        grid: &SweepGrid,
+        builders: &[Vec<ScenarioBuilder>],
+        groups: &[Vec<Vec<usize>>],
+    ) -> Result<(Vec<Option<CellOutput>>, SweepCounters), CoreError> {
+        let n_points = grid.points.len();
+        let n_arms = grid.arms.len();
+        let n_seeds = grid.seeds.len();
 
         enum Cell {
             Computed(Option<CellOutput>),
@@ -783,6 +908,7 @@ impl SweepEngine {
             cells_evaluated: &cells_evaluated,
             warm_start: self.warm_start,
             superlinear_mu: self.superlinear_mu,
+            adaptive_mu_bracket: self.adaptive_mu_bracket,
             solver_totals: &solver_totals,
         };
         // One cell-group = all arms of one (point, seed); returns one Cell per arm.
@@ -837,27 +963,48 @@ impl SweepEngine {
         debug_assert_eq!(skipped, 0, "skips must imply a surfaced failure");
         debug_assert_eq!(samples.len(), grid.num_cells());
 
-        let aggregates: Vec<Vec<Aggregate>> = (0..n_points)
-            .map(|p| {
-                (0..n_arms)
-                    .map(|a| {
-                        let base = (p * n_arms + a) * n_seeds;
-                        Aggregate::from_samples(&samples[base..base + n_seeds])
-                    })
-                    .collect()
-            })
-            .collect();
+        let counters = SweepCounters {
+            scenarios_built: scenarios_built.into_inner(),
+            cells_evaluated: cells_evaluated.into_inner(),
+            solver: solver_totals.into_inner().expect("counter totals poisoned"),
+        };
+        Ok((samples, counters))
+    }
+}
 
-        Ok(SweepResult {
-            xs: grid.points.iter().map(|p| p.x).collect(),
-            arm_names: grid.arms.iter().map(|a| a.name()).collect(),
-            aggregates,
-            counters: SweepCounters {
-                scenarios_built: scenarios_built.into_inner(),
-                cells_evaluated: cells_evaluated.into_inner(),
-                solver: solver_totals.into_inner().expect("counter totals poisoned"),
-            },
-        })
+/// The raw output of [`SweepEngine::run_cells`]: every cell's `Option<CellOutput>` in
+/// `(point, arm, seed)` slot order, plus the run's counters — the unreduced form a shard
+/// ships to the fleet coordinator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellMatrix {
+    /// The x value of every sweep point, in grid order.
+    pub xs: Vec<f64>,
+    /// The arm (column) names, in grid order.
+    pub arm_names: Vec<String>,
+    /// Number of seeds per (point, arm) — the innermost slot dimension.
+    pub n_seeds: usize,
+    /// `samples[(point_idx * arms + arm_idx) * n_seeds + seed_idx]`; `None` = infeasible
+    /// draw (counted in the aggregate's `attempts`, not averaged).
+    pub samples: Vec<Option<CellOutput>>,
+    /// Scenario-build vs cell-evaluation counters of the run.
+    pub counters: SweepCounters,
+}
+
+impl CellMatrix {
+    /// The sample slice of one (point, arm) — `n_seeds` entries in seed order.
+    pub fn cell_slice(&self, point_idx: usize, arm_idx: usize) -> &[Option<CellOutput>] {
+        let base = (point_idx * self.arm_names.len() + arm_idx) * self.n_seeds;
+        &self.samples[base..base + self.n_seeds]
+    }
+
+    /// Reduces this matrix to the [`SweepResult`] a plain [`SweepEngine::run`] would have
+    /// produced — the degenerate single-shard merge.
+    pub fn into_sweep_result(self) -> SweepResult {
+        let n_arms = self.arm_names.len();
+        let aggregates: Vec<Vec<Aggregate>> = (0..self.xs.len())
+            .map(|p| (0..n_arms).map(|a| Aggregate::from_samples(self.cell_slice(p, a))).collect())
+            .collect();
+        SweepResult { xs: self.xs, arm_names: self.arm_names, aggregates, counters: self.counters }
     }
 }
 
@@ -877,6 +1024,9 @@ struct GroupEvaluator<'a> {
     warm_start: bool,
     /// Engine-level superlinear `μ`-root switch, handed to every cell via [`CellContext`].
     superlinear_mu: bool,
+    /// Engine-level adaptive warm `μ`-bracket switch, handed to every cell via
+    /// [`CellContext`].
+    adaptive_mu_bracket: bool,
     /// Per-sweep solver-iteration totals (folded once per cell-group; integer sums, so
     /// thread count and fold order cannot change the result).
     solver_totals: &'a Mutex<SolveCounters>,
@@ -957,6 +1107,7 @@ impl GroupEvaluator<'_> {
                     arm_idx,
                     warm_start: self.warm_start,
                     superlinear_mu: self.superlinear_mu,
+                    adaptive_mu_bracket: self.adaptive_mu_bracket,
                     workspace: &mut *ws,
                 };
                 self.cells_evaluated.fetch_add(1, Ordering::Relaxed);

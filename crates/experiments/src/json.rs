@@ -203,6 +203,26 @@ impl Json {
 /// this module promises to reject.
 pub const MAX_EXACT_INT: u64 = (1 << 53) - 1;
 
+/// The 64-bit FNV-1a hash of a byte string.
+///
+/// This is the content hash behind the shard result cache ([`crate::shard`]): cache keys
+/// hash the canonical compact JSON of a shard spec, and cache entries carry the hash of
+/// their payload so truncation or corruption is detected instead of trusted. FNV-1a is
+/// deliberate — a tiny, dependency-free, *stable* hash (the constants are part of the
+/// wire format, so `std`'s randomized `DefaultHasher` would not do); it is not
+/// collision-resistant against adversaries, which is fine for a local result cache whose
+/// entries are verified against the full spec text by the reader.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET_BASIS;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
 fn write_seq(
     out: &mut String,
     indent: Option<usize>,
@@ -640,5 +660,16 @@ mod tests {
         assert!(doc.get("o").unwrap().as_object().unwrap().is_empty());
         assert!(doc.get("missing").is_none());
         assert_eq!(doc.get("s").unwrap().as_f64(), None);
+    }
+
+    #[test]
+    fn fnv1a_matches_the_published_test_vectors() {
+        // The constants are part of the cache wire format: pin them to the reference
+        // FNV-1a 64 vectors so a refactor can never silently re-key every cache.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+        // Sensitive to every byte and to order.
+        assert_ne!(fnv1a_64(b"ab"), fnv1a_64(b"ba"));
     }
 }

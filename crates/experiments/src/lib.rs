@@ -63,8 +63,10 @@ pub mod fig8;
 pub mod json;
 pub mod presets;
 pub mod report;
+pub mod shard;
 pub mod spec;
 
 pub use engine::{Aggregate, SweepCounters, SweepEngine, SweepGrid, SweepResult};
 pub use report::FigureReport;
+pub use shard::{FleetOptions, FleetStats, ShardCache, ShardError, ShardResult};
 pub use spec::{ExperimentSpec, SpecError, SpecRun};

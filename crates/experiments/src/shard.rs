@@ -1,0 +1,1060 @@
+//! Sharded fleet execution: split one [`ExperimentSpec`] into seed sub-range shards, run
+//! them as subprocesses of the `fedopt` binary (or in process), cache finished shards on
+//! disk by content hash, and merge the shard results back into the exact
+//! [`SweepResult`] a single-process run would have produced.
+//!
+//! ## Bit-identity by replay, not by summing
+//!
+//! The merge contract is *byte-for-byte* equality with the unsharded run — aggregates,
+//! counters, and the rendered `--json` report alike. Float addition is not associative,
+//! so merging per-shard *sums* would not achieve that. Instead a shard ships the **raw
+//! per-cell samples** of its seed sub-range ([`crate::engine::SweepEngine::run_cells`]) and the
+//! coordinator replays them through one [`AggregateAccumulator`] per (point, arm) in
+//! shard order ([`AggregateAccumulator::merge_samples`]). Because [`split`] partitions
+//! the seed sequence contiguously and in order, the replayed fold performs literally the
+//! same sequence of pushes as the single-process reduction — bit-identical by
+//! construction. Counters are exact integer sums, mergeable in any order. The engine
+//! resets all warm-start state at every (point, seed) cell-group boundary, so a cell's
+//! output never depends on which other seeds share its process — which is what makes
+//! seed-granular sharding sound in the first place.
+//!
+//! ## The wire and cache formats
+//!
+//! Everything crossing a process or filesystem boundary uses the deterministic
+//! [`crate::json`] codec (never serde): the shard spec piped to a worker's stdin, the
+//! [`ShardResult`] streamed back on stdout (`fedopt run --spec - --shard-json`), and the
+//! cache entries under `--cache-dir`. Cache entries are content-addressed by
+//! [`cache_key`] — the FNV-1a 64 hash of a canonical preimage (cache-format version,
+//! schema version, solver preset, and the shard spec JSON normalized to drop
+//! result-invariant fields like `id`, `description`, `reports` and engine scheduling
+//! knobs) — and self-validating: each entry stores the FNV-1a hash of its payload, so a
+//! truncated or corrupted entry is detected and recomputed, never silently trusted.
+
+use crate::engine::{
+    warm_start_env, Aggregate, AggregateAccumulator, CellMatrix, CellOutput, SweepCounters,
+    SweepResult, THREADS_ENV,
+};
+use crate::json::{fnv1a_64, Json};
+use crate::spec::{EngineSpec, ExperimentSpec, SeedPolicy, SolverPreset, SpecError};
+use fedopt_core::SolveCounters;
+use std::fmt;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Version of the shard result wire format and the cache entry format. Bumping it
+/// invalidates every existing cache entry (the key preimage includes it).
+pub const SHARD_FORMAT_VERSION: u64 = 1;
+
+/// Default per-shard wall-clock timeout of the subprocess runner.
+pub const DEFAULT_SHARD_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// `kind` tag of a shard result document.
+const RESULT_KIND: &str = "fedopt_shard_result";
+/// `kind` tag of a cache entry document.
+const ENTRY_KIND: &str = "fedopt_shard_cache_entry";
+/// `kind` tag of the cache-key preimage document (never written to disk; hashed).
+const KEY_KIND: &str = "fedopt_shard_cache_key";
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// One shard's terminal failure, after its retry.
+#[derive(Debug, Clone)]
+pub struct ShardFailure {
+    /// Shard index (0-based) within the split.
+    pub index: usize,
+    /// Human-readable description of the shard's seed sub-range.
+    pub seeds: String,
+    /// How many attempts were made (1 + retries).
+    pub attempts: usize,
+    /// The last attempt's error.
+    pub error: String,
+}
+
+/// Why a fleet run (or one of its pieces) failed.
+#[derive(Debug)]
+pub enum ShardError {
+    /// The parent spec failed validation (or a shard grid failed to compile/run).
+    Spec(SpecError),
+    /// A shard result or cache document was malformed.
+    Codec(String),
+    /// Some shards failed after their retry; the successful shards' work is described so
+    /// nothing is silently dropped.
+    Partial {
+        /// Every failed shard, in shard order.
+        failures: Vec<ShardFailure>,
+        /// Number of shards that completed.
+        completed: usize,
+        /// Total number of shards.
+        total: usize,
+    },
+    /// Shard results disagreed with each other or with the parent spec during the merge.
+    Merge(String),
+    /// Filesystem trouble preparing the cache directory.
+    Io(String),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Spec(e) => write!(f, "{e}"),
+            ShardError::Codec(msg) => write!(f, "malformed shard document: {msg}"),
+            ShardError::Partial { failures, completed, total } => {
+                writeln!(
+                    f,
+                    "fleet run FAILED: {} of {total} shards failed ({completed} completed):",
+                    failures.len()
+                )?;
+                for failure in failures {
+                    writeln!(
+                        f,
+                        "  shard {}/{total} (seeds {}) failed after {} attempt(s): {}",
+                        failure.index + 1,
+                        failure.seeds,
+                        failure.attempts,
+                        failure.error
+                    )?;
+                }
+                write!(f, "no partial output was written")
+            }
+            ShardError::Merge(msg) => write!(f, "shard results do not merge: {msg}"),
+            ShardError::Io(msg) => write!(f, "shard cache I/O: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Spec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpecError> for ShardError {
+    fn from(e: SpecError) -> Self {
+        ShardError::Spec(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Splitting
+// ---------------------------------------------------------------------------
+
+/// Partitions a valid spec's seed policy into at most `n` shard specs.
+///
+/// The shards partition the parent's seed sequence **exactly** — contiguous, in order, no
+/// overlap, no gap — so replaying shard results in shard order reproduces the parent's
+/// seed-order fold. `n` is clamped to the seed count (a 3-seed sweep split 8 ways yields
+/// 3 single-seed shards); seed counts are balanced to within one (the first
+/// `count % shards` shards get the extra seed). Every other spec field is copied
+/// verbatim, so each shard is itself a complete, valid, runnable spec.
+///
+/// # Errors
+///
+/// [`ShardError::Spec`] when the parent spec fails validation, or [`ShardError::Merge`]
+/// when `n == 0`.
+pub fn split(spec: &ExperimentSpec, n: usize) -> Result<Vec<ExperimentSpec>, ShardError> {
+    if n == 0 {
+        return Err(ShardError::Merge("cannot split a spec into 0 shards".to_string()));
+    }
+    spec.validate()?;
+    let total = spec.seeds.len();
+    let shards = (n as u64).min(total).max(1);
+    let base = total / shards;
+    let remainder = total % shards;
+
+    let mut out = Vec::with_capacity(shards as usize);
+    let mut offset = 0u64;
+    for k in 0..shards {
+        let count = base + u64::from(k < remainder);
+        let mut shard = spec.clone();
+        shard.seeds.policy = match &spec.seeds.policy {
+            SeedPolicy::Range { start, .. } => SeedPolicy::Range { start: start + offset, count },
+            SeedPolicy::List(seeds) => {
+                SeedPolicy::List(seeds[offset as usize..(offset + count) as usize].to_vec())
+            }
+        };
+        out.push(shard);
+        offset += count;
+    }
+    debug_assert_eq!(offset, total);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Cache key
+// ---------------------------------------------------------------------------
+
+/// The content-addressed cache key of a shard spec: 16 lowercase hex digits of the
+/// FNV-1a 64 hash of the canonical key preimage.
+///
+/// The preimage is a compact JSON document of the cache-format version
+/// ([`SHARD_FORMAT_VERSION`]), the spec schema version, the resolved solver preset name,
+/// and the shard spec itself **normalized to what actually determines the samples**:
+/// `id`, `description` and `reports` are cleared (renaming a sweep or adding a report
+/// must not re-key its finished shards) and the engine block keeps only the *effective*
+/// warm-start switch — thread count, scenario sharing, streaming mode and seed chunking
+/// are scheduling decisions, proven result-invariant by the engine's determinism tests.
+/// The warm-start switch *is* result-affecting (warm solves converge along a different
+/// trajectory), so the key pins it to the value the run will actually use:
+/// the [`crate::engine::WARM_START_ENV`] environment override when set, else the spec's
+/// own field, else the warm default.
+pub fn cache_key(spec: &ExperimentSpec) -> String {
+    let mut normalized = spec.clone();
+    normalized.id = String::new();
+    normalized.description = String::new();
+    normalized.reports = Vec::new();
+    let effective_warm = warm_start_env().or(spec.engine.warm_start).unwrap_or(true);
+    normalized.engine = EngineSpec { warm_start: Some(effective_warm), ..EngineSpec::default() };
+    let preset = match spec.solver.preset {
+        SolverPreset::Default => "default",
+        SolverPreset::Fast => "fast",
+    };
+    let preimage = Json::obj([
+        ("kind", Json::Str(KEY_KIND.to_string())),
+        ("cache_version", Json::uint(SHARD_FORMAT_VERSION)),
+        ("schema_version", Json::uint(crate::spec::SCHEMA_VERSION)),
+        ("solver_preset", Json::Str(preset.to_string())),
+        ("spec", normalized.to_json()),
+    ]);
+    format!("{:016x}", fnv1a_64(preimage.to_compact_string().as_bytes()))
+}
+
+// ---------------------------------------------------------------------------
+// The shard result and its codec
+// ---------------------------------------------------------------------------
+
+/// The raw output of one shard: every cell sample of its seed sub-range in
+/// `(point, arm, seed)` slot order, plus the shard's work counters — the
+/// [`CellMatrix`] of the shard spec, stamped with the spec id and cache key it answers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardResult {
+    /// `id` of the (parent and shard) spec this result answers.
+    pub spec_id: String,
+    /// [`cache_key`] of the shard spec, as computed by the process that ran it.
+    pub key: String,
+    /// The sweep points' x values, in grid order.
+    pub xs: Vec<f64>,
+    /// The arm (column) names, in grid order.
+    pub arm_names: Vec<String>,
+    /// Seeds per (point, arm) in this shard.
+    pub n_seeds: usize,
+    /// `samples[(point_idx * arms + arm_idx) * n_seeds + seed_idx]`; `None` = infeasible.
+    pub samples: Vec<Option<CellOutput>>,
+    /// The shard run's counters (exact integer sums; merge by addition).
+    pub counters: SweepCounters,
+}
+
+impl ShardResult {
+    /// Stamps a [`CellMatrix`] with the shard spec's identity.
+    pub fn from_cells(spec: &ExperimentSpec, cells: CellMatrix) -> Self {
+        Self {
+            spec_id: spec.id.clone(),
+            key: cache_key(spec),
+            xs: cells.xs,
+            arm_names: cells.arm_names,
+            n_seeds: cells.n_seeds,
+            samples: cells.samples,
+            counters: cells.counters,
+        }
+    }
+
+    /// The sample slice of one (point, arm) — `n_seeds` entries in seed order.
+    pub fn cell_slice(&self, point_idx: usize, arm_idx: usize) -> &[Option<CellOutput>] {
+        let base = (point_idx * self.arm_names.len() + arm_idx) * self.n_seeds;
+        &self.samples[base..base + self.n_seeds]
+    }
+
+    /// Serializes to the deterministic wire document (the worker's stdout format).
+    pub fn to_json(&self) -> Json {
+        let n_arms = self.arm_names.len();
+        let samples = Json::Arr(
+            (0..self.xs.len())
+                .map(|p| {
+                    Json::Arr(
+                        (0..n_arms)
+                            .map(|a| {
+                                Json::Arr(
+                                    self.cell_slice(p, a)
+                                        .iter()
+                                        .map(|cell| match cell {
+                                            None => Json::Null,
+                                            Some(c) => Json::Arr(vec![
+                                                Json::Num(c.energy_j),
+                                                Json::Num(c.time_s),
+                                            ]),
+                                        })
+                                        .collect(),
+                                )
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        );
+        let solver = &self.counters.solver;
+        Json::obj([
+            ("schema_version", Json::uint(SHARD_FORMAT_VERSION)),
+            ("kind", Json::Str(RESULT_KIND.to_string())),
+            ("spec_id", Json::Str(self.spec_id.clone())),
+            ("key", Json::Str(self.key.clone())),
+            ("xs", Json::Arr(self.xs.iter().map(|&x| Json::Num(x)).collect())),
+            ("arm_names", Json::Arr(self.arm_names.iter().map(|n| Json::Str(n.clone())).collect())),
+            ("seeds", Json::uint(self.n_seeds as u64)),
+            ("samples", samples),
+            (
+                "counters",
+                Json::obj([
+                    ("scenarios_built", Json::uint(self.counters.scenarios_built as u64)),
+                    ("cells_evaluated", Json::uint(self.counters.cells_evaluated as u64)),
+                    (
+                        "solver",
+                        Json::obj([
+                            ("outer_iterations", Json::uint(solver.outer_iterations)),
+                            ("jong_iterations", Json::uint(solver.jong_iterations)),
+                            ("kkt_solves", Json::uint(solver.kkt_solves)),
+                            ("mu_bisect_evals", Json::uint(solver.mu_bisect_evals)),
+                            ("sp2_fast_path_hits", Json::uint(solver.sp2_fast_path_hits)),
+                            ("sp1_probe_evals", Json::uint(solver.sp1_probe_evals)),
+                            ("lp_sorts", Json::uint(solver.lp_sorts)),
+                        ]),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Serializes to the compact single-line wire string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_compact_string()
+    }
+
+    /// Parses and structurally validates a wire document.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Codec`] on any missing field, type mismatch, version/kind mismatch,
+    /// or dimension inconsistency (the sample tensor must be exactly
+    /// `points × arms × seeds`).
+    pub fn from_json(doc: &Json) -> Result<Self, ShardError> {
+        let version = field(doc, "schema_version")?
+            .as_u64()
+            .ok_or_else(|| codec("schema_version must be an unsigned integer"))?;
+        if version != SHARD_FORMAT_VERSION {
+            return Err(codec(format!(
+                "shard format version mismatch: expected {SHARD_FORMAT_VERSION}, got {version}"
+            )));
+        }
+        let kind = field(doc, "kind")?.as_str().ok_or_else(|| codec("kind must be a string"))?;
+        if kind != RESULT_KIND {
+            return Err(codec(format!("expected kind {RESULT_KIND:?}, got {kind:?}")));
+        }
+        let spec_id = field(doc, "spec_id")?
+            .as_str()
+            .ok_or_else(|| codec("spec_id must be a string"))?
+            .to_string();
+        let key =
+            field(doc, "key")?.as_str().ok_or_else(|| codec("key must be a string"))?.to_string();
+        let xs = field(doc, "xs")?
+            .as_array()
+            .ok_or_else(|| codec("xs must be an array"))?
+            .iter()
+            .map(|v| v.as_f64().ok_or_else(|| codec("xs entries must be numbers")))
+            .collect::<Result<Vec<f64>, _>>()?;
+        let arm_names = field(doc, "arm_names")?
+            .as_array()
+            .ok_or_else(|| codec("arm_names must be an array"))?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| codec("arm_names entries must be strings"))
+            })
+            .collect::<Result<Vec<String>, _>>()?;
+        let n_seeds = field(doc, "seeds")?
+            .as_usize()
+            .ok_or_else(|| codec("seeds must be an unsigned integer"))?;
+
+        let points =
+            field(doc, "samples")?.as_array().ok_or_else(|| codec("samples must be an array"))?;
+        if points.len() != xs.len() {
+            return Err(codec(format!(
+                "samples has {} point rows, xs has {}",
+                points.len(),
+                xs.len()
+            )));
+        }
+        let mut samples = Vec::with_capacity(xs.len() * arm_names.len() * n_seeds);
+        for row in points {
+            let arms = row.as_array().ok_or_else(|| codec("sample point rows must be arrays"))?;
+            if arms.len() != arm_names.len() {
+                return Err(codec(format!(
+                    "a point row has {} arm cells, arm_names has {}",
+                    arms.len(),
+                    arm_names.len()
+                )));
+            }
+            for cell in arms {
+                let seeds =
+                    cell.as_array().ok_or_else(|| codec("sample arm cells must be arrays"))?;
+                if seeds.len() != n_seeds {
+                    return Err(codec(format!(
+                        "an arm cell has {} seed samples, seeds says {n_seeds}",
+                        seeds.len()
+                    )));
+                }
+                for sample in seeds {
+                    samples.push(match sample {
+                        Json::Null => None,
+                        Json::Arr(pair) if pair.len() == 2 => {
+                            let energy_j = pair[0]
+                                .as_f64()
+                                .ok_or_else(|| codec("sample energy must be a number"))?;
+                            let time_s = pair[1]
+                                .as_f64()
+                                .ok_or_else(|| codec("sample time must be a number"))?;
+                            Some(CellOutput::new(energy_j, time_s))
+                        }
+                        _ => return Err(codec("samples must be null or [energy, time] pairs")),
+                    });
+                }
+            }
+        }
+
+        let counters_obj = field(doc, "counters")?;
+        let solver_obj = field(counters_obj, "solver")?;
+        let counter = |obj: &Json, name: &str| -> Result<u64, ShardError> {
+            field(obj, name)?
+                .as_u64()
+                .ok_or_else(|| codec(format!("counter {name} must be an unsigned integer")))
+        };
+        let counters = SweepCounters {
+            scenarios_built: counter(counters_obj, "scenarios_built")? as usize,
+            cells_evaluated: counter(counters_obj, "cells_evaluated")? as usize,
+            solver: SolveCounters {
+                outer_iterations: counter(solver_obj, "outer_iterations")?,
+                jong_iterations: counter(solver_obj, "jong_iterations")?,
+                kkt_solves: counter(solver_obj, "kkt_solves")?,
+                mu_bisect_evals: counter(solver_obj, "mu_bisect_evals")?,
+                sp2_fast_path_hits: counter(solver_obj, "sp2_fast_path_hits")?,
+                sp1_probe_evals: counter(solver_obj, "sp1_probe_evals")?,
+                lp_sorts: counter(solver_obj, "lp_sorts")?,
+            },
+        };
+
+        Ok(Self { spec_id, key, xs, arm_names, n_seeds, samples, counters })
+    }
+
+    /// [`ShardResult::from_json`] from text.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Codec`] on parse or structural failure.
+    pub fn from_json_str(text: &str) -> Result<Self, ShardError> {
+        let doc = Json::parse(text).map_err(|e| codec(format!("not valid JSON: {e}")))?;
+        Self::from_json(&doc)
+    }
+}
+
+fn codec(msg: impl Into<String>) -> ShardError {
+    ShardError::Codec(msg.into())
+}
+
+fn field<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, ShardError> {
+    doc.get(key).ok_or_else(|| codec(format!("missing field {key:?}")))
+}
+
+/// Runs one shard spec in this process: compile the grid, evaluate with the spec's
+/// engine, return the raw cell matrix stamped as a [`ShardResult`]. This is the body of
+/// the `fedopt run --spec - --shard-json` worker mode.
+///
+/// # Errors
+///
+/// Validation errors, or any sweep error from the engine.
+pub fn run_shard_in_process(spec: &ExperimentSpec) -> Result<ShardResult, SpecError> {
+    let grid = spec.grid()?;
+    let engine = spec.engine.to_engine();
+    let cells = engine.run_cells(&grid)?;
+    Ok(ShardResult::from_cells(spec, cells))
+}
+
+// ---------------------------------------------------------------------------
+// The on-disk cache
+// ---------------------------------------------------------------------------
+
+/// Content-addressed on-disk cache of finished shard results.
+///
+/// One file per shard, named `shard-<key>.json` after the shard spec's [`cache_key`].
+/// Each entry wraps the [`ShardResult`] wire document with the FNV-1a hash of its
+/// compact payload bytes; [`ShardCache::load`] re-hashes on read, so a truncated,
+/// bit-flipped or hand-edited entry fails validation and reads as a miss (the shard is
+/// recomputed and the entry overwritten) — corruption is never silently trusted. Writes
+/// go through a temp file + rename, so a crashed writer leaves no half-written entry
+/// under the final name. Entries carry no expiry: a key embeds everything that
+/// determines the samples, so a hit can only go stale by bumping
+/// [`SHARD_FORMAT_VERSION`].
+#[derive(Debug, Clone)]
+pub struct ShardCache {
+    dir: PathBuf,
+}
+
+impl ShardCache {
+    /// Opens (creating if needed) a cache directory.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Io`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, ShardError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| ShardError::Io(format!("cannot create {}: {e}", dir.display())))?;
+        Ok(Self { dir })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The entry path of a cache key.
+    pub fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("shard-{key}.json"))
+    }
+
+    /// Loads and validates the entry of `key`. Any failure — missing file, unparsable
+    /// JSON, wrong kind/version, key mismatch, payload-hash mismatch, malformed payload —
+    /// is a miss (`None`), never an error: the coordinator recomputes and overwrites.
+    pub fn load(&self, key: &str) -> Option<ShardResult> {
+        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        let doc = Json::parse(&text).ok()?;
+        if doc.get("kind")?.as_str()? != ENTRY_KIND {
+            return None;
+        }
+        if doc.get("schema_version")?.as_u64()? != SHARD_FORMAT_VERSION {
+            return None;
+        }
+        if doc.get("key")?.as_str()? != key {
+            return None;
+        }
+        let payload = doc.get("payload")?;
+        let expected_hash = doc.get("payload_hash")?.as_str()?;
+        let actual_hash = format!("{:016x}", fnv1a_64(payload.to_compact_string().as_bytes()));
+        if actual_hash != expected_hash {
+            return None;
+        }
+        let result = ShardResult::from_json(payload).ok()?;
+        if result.key != key {
+            return None;
+        }
+        Some(result)
+    }
+
+    /// Stores a shard result under its own key (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Io`] when the entry cannot be written.
+    pub fn store(&self, result: &ShardResult) -> Result<(), ShardError> {
+        let payload = result.to_json();
+        let payload_hash = format!("{:016x}", fnv1a_64(payload.to_compact_string().as_bytes()));
+        let entry = Json::obj([
+            ("schema_version", Json::uint(SHARD_FORMAT_VERSION)),
+            ("kind", Json::Str(ENTRY_KIND.to_string())),
+            ("key", Json::Str(result.key.clone())),
+            ("payload_hash", Json::Str(payload_hash)),
+            ("payload", payload),
+        ]);
+        let path = self.entry_path(&result.key);
+        let tmp = self.dir.join(format!("shard-{}.json.tmp.{}", result.key, std::process::id()));
+        let io = |e: std::io::Error, what: &str| ShardError::Io(format!("{what}: {e}"));
+        std::fs::write(&tmp, entry.to_compact_string())
+            .map_err(|e| io(e, "writing cache temp file"))?;
+        std::fs::rename(&tmp, &path).map_err(|e| io(e, "publishing cache entry"))?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runners
+// ---------------------------------------------------------------------------
+
+/// Something that can run one shard spec to a [`ShardResult`] — in process for tests and
+/// benchmarks, or as a `fedopt` subprocess for the fleet.
+pub trait ShardRunner: Sync {
+    /// Runs the shard. The error string ends up verbatim in the partial-failure report.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of why the shard could not produce a result.
+    fn run_shard(&self, spec: &ExperimentSpec) -> Result<ShardResult, String>;
+}
+
+/// Runs shards inside the coordinating process (no subprocess, no timeout).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InProcessRunner;
+
+impl ShardRunner for InProcessRunner {
+    fn run_shard(&self, spec: &ExperimentSpec) -> Result<ShardResult, String> {
+        run_shard_in_process(spec).map_err(|e| e.to_string())
+    }
+}
+
+/// Runs each shard as a subprocess of the `fedopt` binary: pipes the shard spec JSON to
+/// `<program> run --spec - --shard-json` and parses the [`ShardResult`] document the
+/// worker streams back on stdout. Enforces a per-shard wall-clock timeout (the child is
+/// killed, the shard reports a timeout error), and captures the worker's stderr tail for
+/// the failure report. The child inherits the coordinator's environment — crucially
+/// including [`crate::engine::WARM_START_ENV`], so the warm-start switch (and with it the
+/// cache key) agrees across the fleet — with only the worker thread count
+/// ([`crate::engine::THREADS_ENV`]) overridden to divide the machine between concurrent
+/// shards.
+#[derive(Debug, Clone)]
+pub struct SubprocessRunner {
+    program: PathBuf,
+    timeout: Duration,
+    child_threads: Option<usize>,
+}
+
+impl SubprocessRunner {
+    /// A runner spawning `program` with the default timeout.
+    pub fn new(program: impl Into<PathBuf>) -> Self {
+        Self { program: program.into(), timeout: DEFAULT_SHARD_TIMEOUT, child_threads: None }
+    }
+
+    /// Sets the per-shard wall-clock timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Pins every child's worker thread count (via [`crate::engine::THREADS_ENV`]).
+    #[must_use]
+    pub fn with_child_threads(mut self, threads: usize) -> Self {
+        self.child_threads = Some(threads.max(1));
+        self
+    }
+}
+
+impl ShardRunner for SubprocessRunner {
+    fn run_shard(&self, spec: &ExperimentSpec) -> Result<ShardResult, String> {
+        let payload = spec.to_json_string();
+        let mut cmd = Command::new(&self.program);
+        cmd.args(["run", "--spec", "-", "--shard-json"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped());
+        if let Some(threads) = self.child_threads {
+            cmd.env(THREADS_ENV, threads.to_string());
+        }
+        let mut child =
+            cmd.spawn().map_err(|e| format!("cannot spawn {}: {e}", self.program.display()))?;
+
+        // Dedicated threads for all three pipes: a worker blocked writing stdout while
+        // the coordinator blocks writing a large spec to stdin would deadlock both.
+        let mut stdin = child.stdin.take().expect("stdin was piped");
+        let stdin_writer = std::thread::spawn(move || {
+            let _ = stdin.write_all(payload.as_bytes());
+            // Dropping stdin closes the pipe — the worker's read loop sees EOF.
+        });
+        let mut stdout = child.stdout.take().expect("stdout was piped");
+        let stdout_reader = std::thread::spawn(move || {
+            let mut buf = String::new();
+            let _ = std::io::Read::read_to_string(&mut stdout, &mut buf);
+            buf
+        });
+        let mut stderr = child.stderr.take().expect("stderr was piped");
+        let stderr_reader = std::thread::spawn(move || {
+            let mut buf = String::new();
+            let _ = std::io::Read::read_to_string(&mut stderr, &mut buf);
+            buf
+        });
+
+        let deadline = Instant::now() + self.timeout;
+        let status = loop {
+            match child.try_wait() {
+                Ok(Some(status)) => break status,
+                Ok(None) => {
+                    if Instant::now() >= deadline {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        let _ = stdin_writer.join();
+                        let _ = stdout_reader.join();
+                        let _ = stderr_reader.join();
+                        return Err(format!(
+                            "timed out after {:.0?} (worker killed)",
+                            self.timeout
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(format!("waiting on worker failed: {e}"));
+                }
+            }
+        };
+        let _ = stdin_writer.join();
+        let stdout_text = stdout_reader.join().unwrap_or_default();
+        let stderr_text = stderr_reader.join().unwrap_or_default();
+        let stderr_tail = || {
+            let tail: Vec<&str> = stderr_text.lines().rev().take(5).collect();
+            let mut lines: Vec<&str> = tail.into_iter().rev().collect();
+            if lines.is_empty() {
+                lines.push("(no stderr)");
+            }
+            lines.join(" | ")
+        };
+
+        if !status.success() {
+            return Err(format!("worker exited with {status}; stderr: {}", stderr_tail()));
+        }
+        ShardResult::from_json_str(&stdout_text)
+            .map_err(|e| format!("{e}; stderr: {}", stderr_tail()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The coordinator
+// ---------------------------------------------------------------------------
+
+/// How a fleet run is shaped: shard count, optional result cache, worker-pool bound.
+#[derive(Debug, Default)]
+pub struct FleetOptions {
+    /// Number of shards to split into (clamped to the seed count; must be ≥ 1).
+    pub shards: usize,
+    /// Content-addressed result cache; `None` disables caching entirely.
+    pub cache: Option<ShardCache>,
+    /// Maximum shards in flight at once. `None` = `min(shards, available cores)`.
+    pub concurrency: Option<usize>,
+}
+
+/// What the coordinator observed: cache traffic and retries. Only meaningful when a
+/// cache was configured (`shard_cache_hits`/`shard_cache_misses` stay 0 without one).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Shards answered from the cache.
+    pub shard_cache_hits: u64,
+    /// Shards that had to be computed (cache configured but entry absent or invalid).
+    pub shard_cache_misses: u64,
+    /// Failed first attempts that were retried (successfully or not).
+    pub retries: u64,
+}
+
+/// Splits the spec, runs every shard (bounded concurrency, cache-first, one retry each),
+/// and merges the shard results into the exact [`SweepResult`] of a single-process run.
+///
+/// The worker pool claims shards in index order; results are merged strictly in shard
+/// order afterwards, so completion order never affects the output. Every shard failure
+/// is retried once; shards that still fail are collected into one loud
+/// [`ShardError::Partial`] report naming each failed shard's seed range and last error —
+/// no partial result is returned.
+///
+/// # Errors
+///
+/// [`ShardError::Spec`] on an invalid parent spec, [`ShardError::Partial`] when any
+/// shard fails twice, [`ShardError::Merge`] when shard results are mutually
+/// inconsistent.
+pub fn run_fleet(
+    spec: &ExperimentSpec,
+    opts: &FleetOptions,
+    runner: &dyn ShardRunner,
+) -> Result<(SweepResult, FleetStats), ShardError> {
+    let shard_specs = split(spec, opts.shards)?;
+    let keys: Vec<String> = shard_specs.iter().map(cache_key).collect();
+    let total = shard_specs.len();
+    let workers = opts
+        .concurrency
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+        .clamp(1, total);
+
+    let next = AtomicUsize::new(0);
+    let hits = AtomicU64::new(0);
+    let misses = AtomicU64::new(0);
+    let retries = AtomicU64::new(0);
+    let slots: Mutex<Vec<Option<Result<ShardResult, ShardFailure>>>> =
+        Mutex::new((0..total).map(|_| None).collect());
+
+    let worker = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= total {
+            return;
+        }
+        let shard_spec = &shard_specs[i];
+        let key = &keys[i];
+        let outcome =
+            run_one_shard(shard_spec, key, opts.cache.as_ref(), runner, (&hits, &misses, &retries))
+                .map_err(|(attempts, error)| ShardFailure {
+                    index: i,
+                    seeds: describe_seeds(shard_spec),
+                    attempts,
+                    error,
+                });
+        slots.lock().expect("shard slots poisoned")[i] = Some(outcome);
+    };
+    if workers == 1 {
+        worker();
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers).map(|_| scope.spawn(worker)).collect();
+            for h in handles {
+                h.join().expect("fleet worker panicked");
+            }
+        });
+    }
+
+    let slots = slots.into_inner().expect("shard slots poisoned");
+    let mut results = Vec::with_capacity(total);
+    let mut failures = Vec::new();
+    for slot in slots {
+        match slot.expect("every shard slot must be filled") {
+            Ok(result) => results.push(result),
+            Err(failure) => failures.push(failure),
+        }
+    }
+    if !failures.is_empty() {
+        let completed = results.len();
+        return Err(ShardError::Partial { failures, completed, total });
+    }
+
+    let stats = FleetStats {
+        shard_cache_hits: hits.into_inner(),
+        shard_cache_misses: misses.into_inner(),
+        retries: retries.into_inner(),
+    };
+    let merged = merge(spec, &shard_specs, &results)?;
+    Ok((merged, stats))
+}
+
+/// Cache-first, retry-once execution of one shard. Returns `(attempts, error)` on
+/// terminal failure.
+fn run_one_shard(
+    shard_spec: &ExperimentSpec,
+    key: &str,
+    cache: Option<&ShardCache>,
+    runner: &dyn ShardRunner,
+    (hits, misses, retries): (&AtomicU64, &AtomicU64, &AtomicU64),
+) -> Result<ShardResult, (usize, String)> {
+    if let Some(cache) = cache {
+        if let Some(result) = cache.load(key) {
+            hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(result);
+        }
+        misses.fetch_add(1, Ordering::Relaxed);
+    }
+    let mut attempts = 0usize;
+    let result = loop {
+        attempts += 1;
+        match runner.run_shard(shard_spec) {
+            Ok(result) => break result,
+            Err(error) if attempts == 1 => {
+                retries.fetch_add(1, Ordering::Relaxed);
+                let _ = error;
+            }
+            Err(error) => return Err((attempts, error)),
+        }
+    };
+    if result.spec_id != shard_spec.id {
+        return Err((
+            attempts,
+            format!("worker answered for spec {:?}, expected {:?}", result.spec_id, shard_spec.id),
+        ));
+    }
+    if result.key != key {
+        return Err((
+            attempts,
+            format!(
+                "worker computed cache key {} for a shard the coordinator keyed {key} — \
+                 the worker ran under a different effective configuration",
+                result.key
+            ),
+        ));
+    }
+    if let Some(cache) = cache {
+        if let Err(e) = cache.store(&result) {
+            // A failed store only loses future cache hits; the shard's result is good.
+            eprintln!("warning: {e}");
+        }
+    }
+    Ok(result)
+}
+
+/// Replays the shard results, in shard order, into the single-process [`SweepResult`].
+fn merge(
+    spec: &ExperimentSpec,
+    shard_specs: &[ExperimentSpec],
+    results: &[ShardResult],
+) -> Result<SweepResult, ShardError> {
+    let first = results.first().ok_or_else(|| ShardError::Merge("no shards".to_string()))?;
+    let n_points = first.xs.len();
+    let n_arms = first.arm_names.len();
+    let mut accumulators: Vec<AggregateAccumulator> =
+        vec![AggregateAccumulator::new(); n_points * n_arms];
+    let mut counters = SweepCounters::default();
+
+    for (i, (shard_spec, result)) in shard_specs.iter().zip(results).enumerate() {
+        if result.spec_id != spec.id {
+            return Err(ShardError::Merge(format!(
+                "shard {i} answers spec {:?}, expected {:?}",
+                result.spec_id, spec.id
+            )));
+        }
+        if result.xs != first.xs || result.arm_names != first.arm_names {
+            return Err(ShardError::Merge(format!(
+                "shard {i} evaluated a different grid (points/arms mismatch)"
+            )));
+        }
+        let expected_seeds = shard_spec.seeds.len();
+        if result.n_seeds as u64 != expected_seeds {
+            return Err(ShardError::Merge(format!(
+                "shard {i} carries {} seeds, its spec has {expected_seeds}",
+                result.n_seeds
+            )));
+        }
+        for p in 0..n_points {
+            for a in 0..n_arms {
+                accumulators[p * n_arms + a].merge_samples(result.cell_slice(p, a));
+            }
+        }
+        counters.merge(&result.counters);
+    }
+
+    let aggregates: Vec<Vec<Aggregate>> = (0..n_points)
+        .map(|p| (0..n_arms).map(|a| accumulators[p * n_arms + a].finish()).collect())
+        .collect();
+    Ok(SweepResult {
+        xs: first.xs.clone(),
+        arm_names: first.arm_names.clone(),
+        aggregates,
+        counters,
+    })
+}
+
+/// Human-readable seed sub-range of a shard spec, for failure reports.
+fn describe_seeds(spec: &ExperimentSpec) -> String {
+    match &spec.seeds.policy {
+        SeedPolicy::Range { start, count } => format!("{start}..{}", start + count),
+        SeedPolicy::List(seeds) => format!("list of {}", seeds.len()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SeedSpec;
+
+    fn tiny_spec() -> ExperimentSpec {
+        let mut spec = crate::presets::spec(2, crate::presets::Variant::Quick).unwrap();
+        spec.override_seed_count(5);
+        spec
+    }
+
+    #[test]
+    fn split_partitions_a_range_exactly() {
+        let mut spec = tiny_spec();
+        spec.seeds =
+            SeedSpec { policy: SeedPolicy::Range { start: 7, count: 10 }, ..spec.seeds.clone() };
+        let shards = split(&spec, 3).unwrap();
+        assert_eq!(shards.len(), 3);
+        let concatenated: Vec<u64> = shards.iter().flat_map(|s| s.seeds.values()).collect();
+        assert_eq!(concatenated, spec.seeds.values());
+        // Balanced to within one seed.
+        let sizes: Vec<u64> = shards.iter().map(|s| s.seeds.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        // Everything but the seed policy is untouched.
+        for shard in &shards {
+            assert_eq!(shard.id, spec.id);
+            assert_eq!(shard.arms, spec.arms);
+            assert_eq!(shard.axis, spec.axis);
+        }
+    }
+
+    #[test]
+    fn split_clamps_to_the_seed_count_and_rejects_zero() {
+        let spec = tiny_spec(); // 5 seeds
+        assert_eq!(split(&spec, 16).unwrap().len(), 5);
+        assert_eq!(split(&spec, 1).unwrap().len(), 1);
+        assert!(matches!(split(&spec, 0), Err(ShardError::Merge(_))));
+    }
+
+    #[test]
+    fn split_partitions_a_list_exactly() {
+        let mut spec = tiny_spec();
+        spec.seeds = SeedSpec::list([11u64, 3, 5, 8, 2, 13, 1]);
+        let shards = split(&spec, 4).unwrap();
+        let concatenated: Vec<u64> = shards.iter().flat_map(|s| s.seeds.values()).collect();
+        assert_eq!(concatenated, vec![11, 3, 5, 8, 2, 13, 1]);
+    }
+
+    #[test]
+    fn cache_key_ignores_naming_and_scheduling_but_not_results() {
+        let spec = tiny_spec();
+        let base = cache_key(&spec);
+        assert_eq!(base.len(), 16, "16 hex digits");
+
+        // Renaming, describing, re-reporting, re-threading: same key.
+        let mut renamed = spec.clone();
+        renamed.id = "renamed".to_string();
+        renamed.description = "something else".to_string();
+        renamed.reports.clear();
+        renamed.engine.threads = Some(7);
+        renamed.engine.streaming = Some(false);
+        renamed.engine.seed_chunk = Some(3);
+        assert_eq!(cache_key(&renamed), base);
+
+        // A different seed range: different key.
+        let mut other_seeds = spec.clone();
+        other_seeds.seeds =
+            SeedSpec { policy: SeedPolicy::Range { start: 1, count: 5 }, ..spec.seeds.clone() };
+        assert_ne!(cache_key(&other_seeds), base);
+
+        // A different solver preset: different key.
+        let mut other_solver = spec.clone();
+        other_solver.solver.preset = SolverPreset::Default;
+        assert_ne!(cache_key(&other_solver), base);
+
+        // The warm-start switch is result-affecting: different key. (Guarded on a silent
+        // environment — under FEDOPT_WARM_START the env pin wins for both, by design.)
+        if warm_start_env().is_none() {
+            let mut cold = spec.clone();
+            cold.engine.warm_start = Some(false);
+            assert_ne!(cache_key(&cold), base);
+        }
+    }
+
+    #[test]
+    fn shard_result_round_trips_through_the_wire_format() {
+        let spec = split(&tiny_spec(), 3).unwrap().remove(1);
+        let result = run_shard_in_process(&spec).unwrap();
+        let text = result.to_json_string();
+        let back = ShardResult::from_json_str(&text).unwrap();
+        assert_eq!(back, result);
+        // And the document is byte-stable.
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn malformed_shard_documents_are_rejected_with_context() {
+        let spec = split(&tiny_spec(), 5).unwrap().remove(0);
+        let good = run_shard_in_process(&spec).unwrap().to_json_string();
+        for (needle, replacement) in [
+            ("\"kind\":\"fedopt_shard_result\"", "\"kind\":\"something\""),
+            ("\"schema_version\":1", "\"schema_version\":9"),
+            ("\"seeds\":1", "\"seeds\":2"),
+        ] {
+            let bad = good.replacen(needle, replacement, 1);
+            assert_ne!(bad, good, "replacement {needle:?} must apply");
+            assert!(ShardResult::from_json_str(&bad).is_err(), "{needle} must be rejected");
+        }
+        assert!(ShardResult::from_json_str("not json").is_err());
+        assert!(ShardResult::from_json_str("{}").is_err());
+    }
+}

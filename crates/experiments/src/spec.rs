@@ -65,6 +65,8 @@ pub const SCHEMA_VERSION: u64 = 1;
 /// Most scenario seeds one spec may carry (10⁷ ≈ an 80 MB materialized seed vector).
 /// Larger experiments must be sharded: a shard is the same spec with a seed sub-range
 /// (`seeds.start`/`seeds.count`), so the cap bounds a *unit of work*, not the protocol.
+/// `fedopt run --shards N` splits and runs one automatically; `fedopt shard split`
+/// prints the shard specs (see [`crate::shard::split`]).
 pub const MAX_SEEDS: u64 = 10_000_000;
 
 /// Most devices one scenario may hold (10⁶). One solve at this count is feasible with the
@@ -206,8 +208,9 @@ impl AxisKind {
                 format!(
                     "axis `devices` is capped at {MAX_DEVICES} devices per scenario (got {x}); \
                      fleet-scale experiments should start from the `large_n` quick preset \
-                     (`experiments::presets::large_n`) and shard by seed range, not grow a \
-                     single sweep past the guardrail"
+                     (`experiments::presets::large_n`) and split the seed grid across \
+                     workers with `fedopt run --shards N` or `fedopt shard split`, not \
+                     grow a single sweep past the guardrail"
                 ),
             ));
         }
@@ -418,8 +421,9 @@ impl ScenarioSpec {
                     format!(
                         "capped at {MAX_DEVICES} devices per scenario (got {n}); fleet-scale \
                          experiments should start from the `large_n` quick preset \
-                         (`experiments::presets::large_n`) instead of growing a single \
-                         scenario past the guardrail"
+                         (`experiments::presets::large_n`) and spread the seed grid with \
+                         `fedopt run --shards N` instead of growing a single scenario \
+                         past the guardrail"
                     ),
                 ));
             }
@@ -854,8 +858,9 @@ impl SeedSpec {
                     return Err(SpecError::invalid(
                         format!("{path}.count"),
                         format!(
-                            "at most {MAX_SEEDS} seeds per spec — shard larger sweeps into \
-                             seed sub-ranges"
+                            "at most {MAX_SEEDS} seeds per spec — shard larger sweeps \
+                             into seed sub-ranges with `fedopt run --shards N` or \
+                             `fedopt shard split`"
                         ),
                     ));
                 }
@@ -873,7 +878,11 @@ impl SeedSpec {
                 if seeds.len() as u64 > MAX_SEEDS {
                     return Err(SpecError::invalid(
                         format!("{path}.list"),
-                        format!("at most {MAX_SEEDS} seeds per spec"),
+                        format!(
+                            "at most {MAX_SEEDS} seeds per spec — shard larger sweeps \
+                             into seed sub-lists with `fedopt run --shards N` or \
+                             `fedopt shard split`"
+                        ),
                     ));
                 }
                 if seeds.iter().any(|&s| s > MAX_EXACT_INT) {

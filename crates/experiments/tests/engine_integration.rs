@@ -136,6 +136,46 @@ fn warm_sweep_spends_strictly_fewer_iterations_than_cold_on_fig2_quick() {
     }
 }
 
+/// The PR 7 solver-speed satellite in counter form: carrying the warm `μ`-bracket *width*
+/// across the solves of a cell-group (the adaptive default) must spend strictly fewer
+/// `g'(μ)` evaluations on the warm fig2 quick grid than the fixed-width bracket
+/// (`with_adaptive_mu_bracket(false)`, the pre-PR-7 warm path) — while agreeing with the
+/// fixed-width means to well within the solver's own outer tolerance. The cold path never
+/// reads the carried width, so the gate must be invisible there.
+#[test]
+fn adaptive_mu_bracket_spends_strictly_fewer_mu_evals_on_warm_fig2_quick() {
+    assert!(SweepEngine::new().adaptive_mu_bracket(), "adaptive width is the default");
+    let cfg = Fig2Config::quick();
+    let warm = SweepEngine::with_threads(2).with_warm_start(true);
+    let fixed = warm.with_adaptive_mu_bracket(false).run(&cfg.grid()).unwrap();
+    let adaptive = warm.run(&cfg.grid()).unwrap();
+
+    let (f, a) = (fixed.counters.solver, adaptive.counters.solver);
+    assert!(f.mu_bisect_evals > 0, "the fixed-width warm sweep must do real work");
+    assert!(
+        a.mu_bisect_evals < f.mu_bisect_evals,
+        "adaptive warm μ evals {} not strictly below fixed-width {}",
+        a.mu_bisect_evals,
+        f.mu_bisect_evals
+    );
+
+    // Same physics: the adaptive bracket only changes where the root search *starts*, so
+    // every (point, arm) mean agrees with the fixed-width warm reference to well within
+    // the solver's outer tolerance.
+    for (fixed_row, adaptive_row) in fixed.aggregates.iter().zip(&adaptive.aggregates) {
+        for (x, y) in fixed_row.iter().zip(adaptive_row) {
+            let rel = (x.mean_energy_j - y.mean_energy_j).abs() / x.mean_energy_j;
+            assert!(rel <= cfg.solver.outer_tol, "adaptive mean drifted by {rel}");
+        }
+    }
+
+    // Cold sweeps never read warm state, so the gate must be bit-invisible there.
+    let cold = SweepEngine::with_threads(2).with_warm_start(false);
+    let cold_fixed = cold.with_adaptive_mu_bracket(false).run(&cfg.grid()).unwrap();
+    let cold_adaptive = cold.run(&cfg.grid()).unwrap();
+    assert_eq!(cold_fixed, cold_adaptive, "cold path must not depend on the bracket gate");
+}
+
 /// The whole point of the cell-group refactor: a sweep builds `points × seeds` scenarios
 /// (per distinct prepared builder), not `points × arms × seeds`, while still evaluating
 /// every cell.

@@ -189,10 +189,10 @@ where
     F: FnMut(f64) -> f64,
 {
     check_interval(lo, hi)?;
-    let mut a = lo;
-    let mut b = hi;
-    let mut fa = f(a);
-    let mut fb = f(b);
+    let a = lo;
+    let b = hi;
+    let fa = f(a);
+    let fb = f(b);
     if !fa.is_finite() {
         return Err(NumError::NonFiniteValue { at: a });
     }
@@ -208,7 +208,59 @@ where
     if fa.signum() == fb.signum() {
         return Err(NumError::NoSignChange { f_lo: fa, f_hi: fb });
     }
+    brent_seeded(f, a, fa, b, fb, tol, max_iter)
+}
 
+/// [`brent`] with both endpoint values already known: the iteration starts immediately,
+/// spending zero evaluations re-probing `lo` and `hi`. Bit-identical to [`brent`] fed the
+/// same endpoint values — this is the same loop, entered past the entry probes.
+///
+/// The caller vouches for the preconditions [`brent`] normally checks: `lo < hi` finite,
+/// `f_lo`/`f_hi` finite, of opposite sign and neither zero, and actually equal to
+/// `f(lo)` / `f(hi)`. This is the warm-start entry of the `μ`-root search, where the
+/// bracket-validation probes double as the endpoint values.
+///
+/// # Errors
+///
+/// Same as [`brent`], except that the endpoint preconditions are not re-checked.
+pub fn brent_with_endpoints<F>(
+    f: F,
+    lo: f64,
+    f_lo: f64,
+    hi: f64,
+    f_hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<BisectOutcome, NumError>
+where
+    F: FnMut(f64) -> f64,
+{
+    check_interval(lo, hi)?;
+    if f_lo == 0.0 {
+        return Ok(BisectOutcome { root: lo, f_root: 0.0, iterations: 0 });
+    }
+    if f_hi == 0.0 {
+        return Ok(BisectOutcome { root: hi, f_root: 0.0, iterations: 0 });
+    }
+    if f_lo.signum() == f_hi.signum() {
+        return Err(NumError::NoSignChange { f_lo, f_hi });
+    }
+    brent_seeded(f, lo, f_lo, hi, f_hi, tol, max_iter)
+}
+
+/// The Brent iteration proper, entered with both endpoint values in hand.
+fn brent_seeded<F>(
+    mut f: F,
+    mut a: f64,
+    mut fa: f64,
+    mut b: f64,
+    mut fb: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<BisectOutcome, NumError>
+where
+    F: FnMut(f64) -> f64,
+{
     // Invariant: the root is bracketed by `b` (best iterate) and `c`; `a` is the previous
     // iterate feeding the interpolation.
     let mut c = a;

@@ -2,6 +2,11 @@
 //! All logic lives in [`fedopt::experiments::cli`] so it is unit-testable; this wrapper only
 //! forwards `argv`, prints the payload to stdout, and maps errors to exit codes
 //! (2 = usage, 1 = runtime).
+//!
+//! The same executable plays both fleet roles: `run --shards N` makes it a coordinator
+//! that spawns copies of itself (`std::env::current_exe`) as workers, and
+//! `run --spec - --shard-json` makes it a worker that reads a shard spec from stdin and
+//! streams the raw shard result back on stdout (see [`fedopt::experiments::shard`]).
 
 use std::process::ExitCode;
 
