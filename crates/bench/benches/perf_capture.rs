@@ -174,7 +174,7 @@ fn main() {
     let shard_rows: Vec<(usize, f64)> = [1usize, 2, 4]
         .iter()
         .map(|&n| {
-            let opts = FleetOptions { shards: n, cache: None, concurrency: None };
+            let opts = FleetOptions { shards: n, ..FleetOptions::default() };
             let secs = best_of(2, || run_fleet(&fleet_spec, &opts, runner.as_ref()).unwrap());
             (n, secs)
         })
@@ -197,7 +197,7 @@ fn main() {
     let fleet_opts = || FleetOptions {
         shards: 4,
         cache: Some(ShardCache::open(&cache_dir).expect("cache dir")),
-        concurrency: None,
+        ..FleetOptions::default()
     };
     let cold_start = Instant::now();
     let (_, cold_stats) = run_fleet(&fleet_spec, &fleet_opts(), runner.as_ref()).unwrap();

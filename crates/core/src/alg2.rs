@@ -163,7 +163,7 @@ impl JointOptimizer {
                 ..
             } = &mut *ws;
             counters.outer_iterations += 1;
-            let sp1_sol = sp1::solve_direct_with_arrays_in(
+            let sp1_sol = match sp1::solve_direct_with_arrays_in(
                 scenario,
                 arrays,
                 weights,
@@ -172,7 +172,18 @@ impl JointOptimizer {
                 frequencies_hz,
                 sp1_warm,
                 &mut counters.sp1_probe_evals,
-            )?;
+            ) {
+                Ok(sol) => sol,
+                // Watchdog: a non-finite subproblem objective (overflowed energy, NaN
+                // cost) is a property of the draw, not a solver bug — degrade the whole
+                // solve to the typed infeasibility instead of escalating a hard error
+                // that would abort an entire sweep shard.
+                Err(CoreError::Numerical(numopt::NumError::NonFiniteValue { .. })) => {
+                    counters.degraded_solves += 1;
+                    return Err(CoreError::NonFiniteObjective { iterations: k });
+                }
+                Err(e) => return Err(e),
+            };
             allocation.frequencies_hz.copy_from_slice(frequencies_hz);
 
             // --- Subproblem 2: powers and bandwidths under the rate floors implied by T. ---
@@ -190,8 +201,21 @@ impl JointOptimizer {
                 // restages the projected allocation every iteration, as Algorithm 2 writes.
                 sp2.stage_start(&allocation.powers_w, &allocation.bandwidths_hz);
             }
-            let sp2_sol =
-                sp2::solve_with_arrays_in(scenario, arrays, weights, r_min_bps, &self.config, sp2)?;
+            let sp2_sol = match sp2::solve_with_arrays_in(
+                scenario,
+                arrays,
+                weights,
+                r_min_bps,
+                &self.config,
+                sp2,
+            ) {
+                Ok(sol) => sol,
+                Err(CoreError::Numerical(numopt::NumError::NonFiniteValue { .. })) => {
+                    counters.degraded_solves += 1;
+                    return Err(CoreError::NonFiniteObjective { iterations: k });
+                }
+                Err(e) => return Err(e),
+            };
             counters.record_sp2(&sp2_sol);
             allocation.powers_w.copy_from_slice(&sp2.solution().powers_w);
             allocation.bandwidths_hz.copy_from_slice(&sp2.solution().bandwidths_hz);
@@ -210,7 +234,9 @@ impl JointOptimizer {
                 sp2_converged: sp2_sol.converged,
                 sp2_iterations: sp2_sol.iterations,
             });
-            if !have_best || objective < best_objective {
+            // Watchdog: a non-finite objective (overflowed energy, NaN cost) must never be
+            // accepted as "best" — it would propagate straight into the summary totals.
+            if objective.is_finite() && (!have_best || objective < best_objective) {
                 best_objective = objective;
                 have_best = true;
                 best.clone_from(allocation);
@@ -222,9 +248,12 @@ impl JointOptimizer {
         }
 
         if !have_best {
-            return Err(CoreError::SolverFailure(
-                "no iteration produced a finite objective".into(),
-            ));
+            // Every iteration in the budget produced a non-finite objective: degrade the
+            // solve (typed error + counter) instead of panicking or returning garbage.
+            // Sweep layers map this to an infeasible cell, so one pathological draw
+            // cannot abort a whole shard.
+            ws.counters.degraded_solves += 1;
+            return Err(CoreError::NonFiniteObjective { iterations: ws.trace.len() });
         }
         self.finish_summary(scenario, weights, ws, converged)
     }
@@ -377,8 +406,23 @@ impl JointOptimizer {
                 // the dual-seed diversity the deadline search relies on.
                 sp2.stage_start(&allocation.powers_w, &allocation.bandwidths_hz);
             }
-            let sp2_sol =
-                sp2::solve_with_arrays_in(scenario, arrays, weights, r_min_bps, &self.config, sp2)?;
+            let sp2_sol = match sp2::solve_with_arrays_in(
+                scenario,
+                arrays,
+                weights,
+                r_min_bps,
+                &self.config,
+                sp2,
+            ) {
+                Ok(sol) => sol,
+                // Same degradation contract as the weighted loop: non-finite subproblem
+                // values become the typed watchdog error, never a shard-killing abort.
+                Err(CoreError::Numerical(numopt::NumError::NonFiniteValue { .. })) => {
+                    counters.degraded_solves += 1;
+                    return Err(CoreError::NonFiniteObjective { iterations: k });
+                }
+                Err(e) => return Err(e),
+            };
             counters.record_sp2(&sp2_sol);
             allocation.powers_w.copy_from_slice(&sp2.solution().powers_w);
             allocation.bandwidths_hz.copy_from_slice(&sp2.solution().bandwidths_hz);
@@ -399,7 +443,11 @@ impl JointOptimizer {
                 sp2_converged: sp2_sol.converged,
                 sp2_iterations: sp2_sol.iterations,
             });
-            if meets_deadline && (!*have_best || objective < *best_energy) {
+            // The same non-finite watchdog as the weighted loop: an overflowed energy can
+            // never become "best" (the deadline search falls back to `fastest_alloc` or a
+            // typed infeasibility when nothing finite survives).
+            if objective.is_finite() && meets_deadline && (!*have_best || objective < *best_energy)
+            {
                 *best_energy = objective;
                 *have_best = true;
                 best.clone_from(allocation);
@@ -751,6 +799,35 @@ mod tests {
         for pair in times.windows(2) {
             assert!(pair[1] <= pair[0] * (1.0 + 0.05), "time not monotone: {times:?}");
         }
+    }
+
+    #[test]
+    fn watchdog_degrades_non_finite_objectives_to_a_typed_error() {
+        // Frequencies around 1e169 Hz make κ·c·f² overflow to +inf for every feasible
+        // frequency, so no outer iteration can produce a finite objective. The watchdog
+        // must hand back the typed degradation (and count it) — never accept the
+        // non-finite iterate as "best", never panic.
+        let s = ScenarioBuilder::paper_default()
+            .with_devices(4)
+            .with_f_min_hz(1e160)
+            .with_f_max_ghz(1e160)
+            .build(7)
+            .unwrap();
+        let opt = optimizer();
+        let mut ws = SolverWorkspace::new();
+        let before = ws.counters;
+        match opt.solve_summary_with(&s, Weights::new(0.5, 0.5).unwrap(), &mut ws) {
+            Err(CoreError::NonFiniteObjective { iterations }) => {
+                assert!(iterations >= 1, "the watchdog must have let the loop run");
+            }
+            other => panic!("expected NonFiniteObjective, got {other:?}"),
+        }
+        assert_eq!(ws.counters.since(&before).degraded_solves, 1);
+        // The workspace stays usable: a healthy scenario solves fine right after.
+        let healthy = scenario(4, 7);
+        let out = opt.solve_summary_with(&healthy, Weights::new(0.5, 0.5).unwrap(), &mut ws);
+        assert!(out.is_ok(), "degradation must not poison the workspace: {out:?}");
+        assert_eq!(ws.counters.degraded_solves, 1, "healthy solve must not count");
     }
 
     #[test]

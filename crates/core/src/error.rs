@@ -18,6 +18,15 @@ pub enum CoreError {
     },
     /// The solver produced an infeasible or non-finite allocation and the fallback also failed.
     SolverFailure(String),
+    /// The watchdog abandoned a solve: no outer iteration produced a finite objective
+    /// within the iteration budget. Unlike [`CoreError::SolverFailure`] this is a
+    /// *degradation*, not an abort — sweep layers treat the affected cell as infeasible
+    /// (`None` sample, counted in `SolveCounters::degraded_solves`) instead of killing the
+    /// whole run, so one pathological draw cannot take a fleet shard down with it.
+    NonFiniteObjective {
+        /// Outer iterations attempted before the watchdog gave up.
+        iterations: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -30,6 +39,9 @@ impl fmt::Display for CoreError {
                 "deadline {requested_s} s is infeasible; best achievable is {achievable_s} s"
             ),
             CoreError::SolverFailure(msg) => write!(f, "solver failure: {msg}"),
+            CoreError::NonFiniteObjective { iterations } => {
+                write!(f, "solver degraded: no finite objective in {iterations} outer iteration(s)")
+            }
         }
     }
 }

@@ -50,6 +50,12 @@ pub struct SolveCounters {
     /// entries to order). The ordering is `μ`-invariant, so it is never re-sorted per
     /// `g'(μ)` evaluation; `lp_sorts ≤ kkt_solves` is the asserted evidence.
     pub lp_sorts: u64,
+    /// Solves abandoned by the watchdog because no outer iteration produced a finite
+    /// objective within the iteration budget (see
+    /// [`CoreError::NonFiniteObjective`](crate::CoreError::NonFiniteObjective)). Callers
+    /// degrade such a solve to an infeasible cell instead of aborting a whole sweep, so
+    /// this counter is the only loud record that degradation happened.
+    pub degraded_solves: u64,
 }
 
 impl SolveCounters {
@@ -62,6 +68,7 @@ impl SolveCounters {
         self.sp2_fast_path_hits += other.sp2_fast_path_hits;
         self.sp1_probe_evals += other.sp1_probe_evals;
         self.lp_sorts += other.lp_sorts;
+        self.degraded_solves += other.degraded_solves;
     }
 
     /// The counts accumulated since an `earlier` snapshot of the same counter set.
@@ -75,6 +82,7 @@ impl SolveCounters {
             sp2_fast_path_hits: self.sp2_fast_path_hits - earlier.sp2_fast_path_hits,
             sp1_probe_evals: self.sp1_probe_evals - earlier.sp1_probe_evals,
             lp_sorts: self.lp_sorts - earlier.lp_sorts,
+            degraded_solves: self.degraded_solves - earlier.degraded_solves,
         }
     }
 

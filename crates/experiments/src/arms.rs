@@ -68,8 +68,14 @@ impl Arm for ProposedArm {
         let optimizer = JointOptimizer::new(ctx.solver_config(&self.solver));
         // The summary path: bit-identical totals to `solve_with`, but the cell performs
         // zero heap allocations in steady state (everything lives in the workspace).
-        let out = optimizer.solve_summary_with(scenario, self.weights, ctx.workspace)?;
-        Ok(Some(CellOutput::new(out.total_energy_j, out.total_time_s)))
+        match optimizer.solve_summary_with(scenario, self.weights, ctx.workspace) {
+            Ok(out) => Ok(Some(CellOutput::new(out.total_energy_j, out.total_time_s))),
+            // A watchdog-degraded draw is an infeasible *cell*, not a sweep abort: the
+            // aggregate records it through the sample count, and the solver's
+            // `degraded_solves` counter keeps it loud in the run document.
+            Err(CoreError::NonFiniteObjective { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -110,7 +116,9 @@ impl Arm for DeadlineProposedArm {
         let deadline_s = self.deadline.deadline_s(ctx);
         match optimizer.solve_with_deadline_summary_in(scenario, deadline_s, ctx.workspace) {
             Ok(out) => Ok(Some(CellOutput::new(out.total_energy_j, out.total_time_s))),
-            Err(CoreError::InfeasibleDeadline { .. }) => Ok(None),
+            Err(CoreError::InfeasibleDeadline { .. } | CoreError::NonFiniteObjective { .. }) => {
+                Ok(None)
+            }
             Err(e) => Err(e),
         }
     }

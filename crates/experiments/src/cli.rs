@@ -21,7 +21,11 @@
 //!
 //! ```text
 //! fedopt run --fig 2 --shards 4 [--cache-dir D] [--shard-timeout S] [--json]
+//!            [--shard-retries N] [--shard-backoff-ms MS] [--shard-heartbeat S]
+//!            [--allow-partial]
 //! fedopt shard split --fig 2 --shards 4        # print the shard specs, don't run them
+//! fedopt shard cache stats --cache-dir D       # size up a shard cache
+//! fedopt shard cache gc --cache-dir D [--max-age SECS] [--max-bytes N]
 //! fedopt run --spec - --shard-json             # worker mode (the coordinator's child)
 //! ```
 //!
@@ -34,17 +38,31 @@
 //! `shard_cache_misses` counters (and only then, so uncached sharded output stays
 //! diffable against single-process goldens).
 //!
+//! ## Failure semantics
+//!
+//! Workers emit `fedopt-heartbeat` progress lines on stderr; the coordinator kills a
+//! worker that goes heartbeat-silent (`--shard-heartbeat`, default 30 s) or overruns
+//! its wall clock (`--shard-timeout`), retries it with deterministic exponential
+//! backoff (`--shard-retries` / `--shard-backoff-ms`), and — with `--allow-partial` —
+//! salvages what completed, reporting the missing seed ranges as explicit holes
+//! (`shard_holes` in the JSON document, a `note:` line in the tables) instead of
+//! silently renormalizing means. The `FEDOPT_FAULT_PLAN` environment variable
+//! ([`crate::fault`]) injects deterministic worker faults to chaos-test exactly this
+//! path; only worker mode consults it.
+//!
 //! The binary itself (the facade crate's `src/bin/fedopt.rs`) is a thin wrapper over
 //! [`main_with`], so
 //! every branch here is exercisable from unit tests.
 
+use crate::fault::{FaultKind, FaultPlan};
 use crate::json::Json;
 use crate::presets::{self, Variant};
 use crate::report::FigureReport;
 use crate::shard::{self, FleetOptions, FleetStats, ShardCache, ShardError, SubprocessRunner};
 use crate::spec::{ExperimentSpec, SpecError, SpecRun};
 use std::fmt;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// The usage text (`fedopt help` / any parse error).
 pub const USAGE: &str = "\
@@ -59,10 +77,17 @@ USAGE:
   fedopt run --spec FILE [--seeds N] [--threads N] [--json]
                                      run a serialized spec (FILE of '-' reads stdin)
   fedopt run ... --shards N [--cache-dir DIR] [--shard-timeout SECS]
+                 [--shard-retries N] [--shard-backoff-ms MS] [--shard-heartbeat SECS]
+                 [--allow-partial]
                                      split the run into N seed shards, execute them as
                                      fedopt subprocesses, merge bit-identically
   fedopt shard split (--fig N | --spec FILE) --shards N
                                      print the N shard specs as a JSON array
+  fedopt shard cache stats --cache-dir DIR
+                                     report entry/tmp counts and bytes of a shard cache
+  fedopt shard cache gc --cache-dir DIR [--max-age SECS] [--max-bytes N]
+                                     expire old entries, evict LRU past the byte budget,
+                                     and clean up crashed writers' tmp files
   fedopt help                        this text
 
 OPTIONS:
@@ -76,10 +101,20 @@ OPTIONS:
   --shards N         fleet mode: seed-shard the sweep across N worker subprocesses
   --cache-dir DIR    content-addressed shard result cache (requires --shards)
   --shard-timeout S  per-shard wall-clock timeout in seconds (requires --shards)
+  --shard-retries N  retries per failed shard before giving up; 0 disables
+                     (requires --shards; default 1, spec engine.shard_retries overridable)
+  --shard-backoff-ms MS
+                     base of the exponential retry backoff (requires --shards; default 100)
+  --shard-heartbeat S
+                     kill a worker after S seconds of heartbeat silence
+                     (requires --shards; default 30)
+  --allow-partial    salvage mode: merge completed shards, report failed seed ranges as
+                     explicit holes instead of failing the run (requires --shards)
   --shard-json       worker mode: print the raw shard result document (internal)
 
 Environment: FEDOPT_SWEEP_THREADS pins the default worker count; FEDOPT_WARM_START
-overrides every spec's warm-start default (0 forces cold, 1 forces warm).";
+overrides every spec's warm-start default (0 forces cold, 1 forces warm);
+FEDOPT_FAULT_PLAN (<kind>@<seed>) injects a deterministic worker fault for chaos tests.";
 
 /// A CLI failure: a message for stderr (usage problems include the usage text).
 #[derive(Debug, Clone, PartialEq)]
@@ -163,6 +198,14 @@ pub struct FleetArgs {
     pub cache_dir: Option<String>,
     /// Per-shard wall-clock timeout in seconds (requires `shards`).
     pub shard_timeout_s: Option<u64>,
+    /// Retries per failed shard; `0` disables retrying (requires `shards`).
+    pub shard_retries: Option<u64>,
+    /// Base of the exponential retry backoff, in milliseconds (requires `shards`).
+    pub shard_backoff_ms: Option<u64>,
+    /// Kill a worker after this many seconds of heartbeat silence (requires `shards`).
+    pub shard_heartbeat_s: Option<u64>,
+    /// Salvage mode: merge completed shards, surface failures as explicit holes.
+    pub allow_partial: bool,
     /// Worker mode: print the raw [`crate::shard::ShardResult`] document and exit.
     pub shard_json: bool,
 }
@@ -189,6 +232,20 @@ pub enum Command {
         shards: usize,
         /// Seed/thread overrides, baked in before splitting.
         overrides: Overrides,
+    },
+    /// `fedopt shard cache stats --cache-dir DIR`
+    CacheStats {
+        /// The cache directory.
+        dir: String,
+    },
+    /// `fedopt shard cache gc --cache-dir DIR [--max-age SECS] [--max-bytes N]`
+    CacheGc {
+        /// The cache directory.
+        dir: String,
+        /// Expire entries older than this many seconds.
+        max_age_s: Option<u64>,
+        /// Evict least-recently-modified entries until the cache fits this budget.
+        max_bytes: Option<u64>,
     },
     /// `fedopt spec …`
     Spec {
@@ -240,6 +297,20 @@ fn take_positive(args: &mut Vec<String>, flag: &str) -> Result<Option<u64>, CliE
         Some(value) => value.parse::<u64>().ok().filter(|&n| n > 0).map(Some).ok_or_else(|| {
             CliError::usage(format!(
                 "{flag} requires a positive integer, got {value:?} (e.g. `{flag} 4`)"
+            ))
+        }),
+    }
+}
+
+/// Removes one non-negative-integer-valued flag. Unlike [`take_positive`], `0` is a
+/// meaningful value here (`--shard-retries 0` disables retrying; `--max-bytes 0`
+/// evicts everything).
+fn take_nonneg(args: &mut Vec<String>, flag: &str) -> Result<Option<u64>, CliError> {
+    match take_value(args, flag)? {
+        None => Ok(None),
+        Some(value) => value.parse::<u64>().map(Some).map_err(|_| {
+            CliError::usage(format!(
+                "{flag} requires a non-negative integer, got {value:?} (e.g. `{flag} 2`)"
             ))
         }),
     }
@@ -328,15 +399,25 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 shards: take_positive(&mut rest, "--shards")?.map(|n| n as usize),
                 cache_dir: take_value(&mut rest, "--cache-dir")?,
                 shard_timeout_s: take_positive(&mut rest, "--shard-timeout")?,
+                shard_retries: take_nonneg(&mut rest, "--shard-retries")?,
+                shard_backoff_ms: take_nonneg(&mut rest, "--shard-backoff-ms")?,
+                shard_heartbeat_s: take_positive(&mut rest, "--shard-heartbeat")?,
+                allow_partial: take_switch(&mut rest, "--allow-partial"),
                 shard_json: take_switch(&mut rest, "--shard-json"),
             };
             reject_leftovers(&rest)?;
             if fleet.shards.is_none() {
-                if fleet.cache_dir.is_some() {
-                    return Err(CliError::usage("--cache-dir requires --shards N"));
-                }
-                if fleet.shard_timeout_s.is_some() {
-                    return Err(CliError::usage("--shard-timeout requires --shards N"));
+                for (set, flag) in [
+                    (fleet.cache_dir.is_some(), "--cache-dir"),
+                    (fleet.shard_timeout_s.is_some(), "--shard-timeout"),
+                    (fleet.shard_retries.is_some(), "--shard-retries"),
+                    (fleet.shard_backoff_ms.is_some(), "--shard-backoff-ms"),
+                    (fleet.shard_heartbeat_s.is_some(), "--shard-heartbeat"),
+                    (fleet.allow_partial, "--allow-partial"),
+                ] {
+                    if set {
+                        return Err(CliError::usage(format!("{flag} requires --shards N")));
+                    }
                 }
             }
             if fleet.shard_json && (json || fleet.shards.is_some()) {
@@ -360,7 +441,35 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 reject_leftovers(&tail)?;
                 Ok(Command::ShardSplit { source, shards, overrides })
             }
-            _ => Err(CliError::usage("`fedopt shard` has one subcommand: `shard split`")),
+            Some((sub, tail)) if sub == "cache" => {
+                let mut tail: Vec<String> = tail.to_vec();
+                let action = (!tail.is_empty()).then(|| tail.remove(0));
+                let dir = |tail: &mut Vec<String>, what: &str| {
+                    take_value(tail, "--cache-dir")?.ok_or_else(|| {
+                        CliError::usage(format!(
+                            "`fedopt shard cache {what}` requires --cache-dir DIR"
+                        ))
+                    })
+                };
+                match action.as_deref() {
+                    Some("stats") => {
+                        let dir = dir(&mut tail, "stats")?;
+                        reject_leftovers(&tail)?;
+                        Ok(Command::CacheStats { dir })
+                    }
+                    Some("gc") => {
+                        let dir = dir(&mut tail, "gc")?;
+                        let max_age_s = take_nonneg(&mut tail, "--max-age")?;
+                        let max_bytes = take_nonneg(&mut tail, "--max-bytes")?;
+                        reject_leftovers(&tail)?;
+                        Ok(Command::CacheGc { dir, max_age_s, max_bytes })
+                    }
+                    _ => Err(CliError::usage(
+                        "`fedopt shard cache` has two subcommands: `stats` and `gc`",
+                    )),
+                }
+            }
+            _ => Err(CliError::usage("`fedopt shard` has subcommands `split` and `cache`")),
         },
         other => Err(CliError::usage(format!("unknown command {other:?}"))),
     }
@@ -430,10 +539,12 @@ pub fn run_document(spec: &ExperimentSpec, run: &SpecRun) -> Json {
     run_document_with_fleet(spec, run, None)
 }
 
-/// [`run_document`] with optional fleet-cache counters. `shard_cache_hits` /
-/// `shard_cache_misses` appear **only** when `fleet` is `Some` — i.e. only when a cache
-/// directory was actually configured — so uncached sharded output stays byte-identical
-/// to the single-process document (the CI golden diff depends on it).
+/// [`run_document`] with optional fleet statistics. Every optional member is gated so
+/// fault-free output stays byte-identical to the single-process document (the CI golden
+/// diff depends on it): `shard_cache_hits` / `shard_cache_misses` appear only when a
+/// cache directory was actually configured, `degraded_solves` only when the solver
+/// watchdog actually degraded a cell, and `shard_holes` only when a salvaged run is
+/// missing seed ranges.
 pub fn run_document_with_fleet(
     spec: &ExperimentSpec,
     run: &SpecRun,
@@ -441,30 +552,51 @@ pub fn run_document_with_fleet(
 ) -> Json {
     let counters = &run.result.counters;
     let solver = &counters.solver;
+    let mut solver_members = vec![
+        ("outer_iterations", Json::uint(solver.outer_iterations)),
+        ("jong_iterations", Json::uint(solver.jong_iterations)),
+        ("kkt_solves", Json::uint(solver.kkt_solves)),
+        ("mu_bisect_evals", Json::uint(solver.mu_bisect_evals)),
+        ("sp2_fast_path_hits", Json::uint(solver.sp2_fast_path_hits)),
+    ];
+    if solver.degraded_solves > 0 {
+        solver_members.push(("degraded_solves", Json::uint(solver.degraded_solves)));
+    }
     let mut counter_members = vec![
         ("scenarios_built", Json::uint(counters.scenarios_built as u64)),
         ("cells_evaluated", Json::uint(counters.cells_evaluated as u64)),
-        (
-            "solver",
-            Json::obj([
-                ("outer_iterations", Json::uint(solver.outer_iterations)),
-                ("jong_iterations", Json::uint(solver.jong_iterations)),
-                ("kkt_solves", Json::uint(solver.kkt_solves)),
-                ("mu_bisect_evals", Json::uint(solver.mu_bisect_evals)),
-                ("sp2_fast_path_hits", Json::uint(solver.sp2_fast_path_hits)),
-            ]),
-        ),
+        ("solver", Json::obj(solver_members)),
     ];
     if let Some(stats) = fleet {
-        counter_members.push(("shard_cache_hits", Json::uint(stats.shard_cache_hits)));
-        counter_members.push(("shard_cache_misses", Json::uint(stats.shard_cache_misses)));
+        if stats.cache_enabled {
+            counter_members.push(("shard_cache_hits", Json::uint(stats.shard_cache_hits)));
+            counter_members.push(("shard_cache_misses", Json::uint(stats.shard_cache_misses)));
+        }
     }
-    Json::obj([
-        ("schema_version", Json::uint(crate::spec::SCHEMA_VERSION)),
-        ("spec_id", Json::Str(spec.id.clone())),
-        ("reports", Json::Arr(run.reports.iter().map(FigureReport::to_json).collect())),
-        ("counters", Json::obj(counter_members)),
-    ])
+    let mut members = vec![
+        ("schema_version".to_string(), Json::uint(crate::spec::SCHEMA_VERSION)),
+        ("spec_id".to_string(), Json::Str(spec.id.clone())),
+        ("reports".to_string(), Json::Arr(run.reports.iter().map(FigureReport::to_json).collect())),
+        ("counters".to_string(), Json::obj(counter_members)),
+    ];
+    if let Some(stats) = fleet {
+        if !stats.holes.is_empty() {
+            let holes = stats
+                .holes
+                .iter()
+                .map(|h| {
+                    Json::obj([
+                        ("shard", Json::uint(h.index as u64)),
+                        ("seeds", Json::Str(h.seeds.clone())),
+                        ("attempts", Json::uint(h.attempts as u64)),
+                        ("error", Json::Str(h.error.clone())),
+                    ])
+                })
+                .collect();
+            members.push(("shard_holes".to_string(), Json::Arr(holes)));
+        }
+    }
+    Json::Obj(members)
 }
 
 /// Renders a finished run: the historical tables + CSV, or the JSON document.
@@ -472,8 +604,8 @@ pub fn render_run(spec: &ExperimentSpec, run: &SpecRun, json: bool) -> String {
     render_run_with_fleet(spec, run, json, None)
 }
 
-/// [`render_run`] with optional fleet-cache counters (JSON mode only; the tables never
-/// show them).
+/// [`render_run`] with optional fleet statistics (cache counters and salvage holes are
+/// JSON-mode members; in table mode the salvage caveat travels as each report's `note`).
 pub fn render_run_with_fleet(
     spec: &ExperimentSpec,
     run: &SpecRun,
@@ -515,8 +647,7 @@ pub fn main_with(args: &[String]) -> Result<String, CliError> {
             if fleet.shard_json {
                 // Worker mode: raw samples out, nothing rendered. One compact line so the
                 // coordinator can stream-parse stdout.
-                let result = shard::run_shard_in_process(&spec)?;
-                return Ok(format!("{}\n", result.to_json_string()));
+                return run_worker(&spec);
             }
             if let Some(shards) = fleet.shards {
                 return run_fleet_command(&spec, shards, &fleet, json);
@@ -541,6 +672,96 @@ pub fn main_with(args: &[String]) -> Result<String, CliError> {
             let doc = Json::Arr(shard_specs.iter().map(ExperimentSpec::to_json).collect());
             Ok(doc.to_pretty_string())
         }
+        Command::CacheStats { dir } => {
+            let stats = ShardCache::open(&dir)?.stats()?;
+            Ok(format!(
+                "cache {dir}\n  entries:   {} ({} bytes)\n  tmp files: {} ({} bytes)\n",
+                stats.entries, stats.entry_bytes, stats.tmp_files, stats.tmp_bytes
+            ))
+        }
+        Command::CacheGc { dir, max_age_s, max_bytes } => {
+            let report =
+                ShardCache::open(&dir)?.gc(max_age_s.map(Duration::from_secs), max_bytes)?;
+            Ok(format!(
+                "cache {dir}\n  evicted:   {} entries ({} bytes)\n  tmp files: {} removed\n  \
+                 retained:  {} entries ({} bytes)\n",
+                report.evicted_entries,
+                report.evicted_bytes,
+                report.removed_tmp_files,
+                report.retained_entries,
+                report.retained_bytes
+            ))
+        }
+    }
+}
+
+/// Worker mode (`fedopt run --spec - --shard-json`): compute the shard, heartbeat on
+/// stderr while doing so, print the one-line wire document — unless a
+/// [`FaultPlan`](crate::fault::FaultPlan) targets this shard, in which case misbehave
+/// exactly as planned (this is the production failure surface the chaos suite drives).
+fn run_worker(spec: &ExperimentSpec) -> Result<String, CliError> {
+    let fault = FaultPlan::from_env()
+        .map_err(CliError::runtime)?
+        .filter(|plan| plan.applies_to(spec))
+        .map(|plan| plan.kind);
+    match fault {
+        Some(FaultKind::CrashOnEntry) => {
+            return Err(CliError::runtime("injected fault: crash on entry"));
+        }
+        Some(FaultKind::Stall) => {
+            // Hang silently forever: no heartbeat, no output. Only the coordinator's
+            // heartbeat timeout can end this worker.
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+        Some(FaultKind::StderrFlood) => {
+            for i in 0..5000 {
+                eprintln!("injected flood line {i}: runaway diagnostic output before a crash");
+            }
+            return Err(CliError::runtime("injected fault: stderr flood then crash"));
+        }
+        _ => {}
+    }
+    let progress = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let result = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            // Heartbeat immediately, then every ~500 ms, polling `stop` at 50 ms so the
+            // worker exits promptly once the shard is done.
+            let start = Instant::now();
+            loop {
+                eprintln!(
+                    "{} t={:.1}s cells={}",
+                    shard::HEARTBEAT_PREFIX,
+                    start.elapsed().as_secs_f64(),
+                    progress.load(Ordering::Relaxed)
+                );
+                for _ in 0..10 {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        });
+        let result = shard::run_shard_in_process_with_progress(spec, Some(&progress));
+        stop.store(true, Ordering::Relaxed);
+        result
+    })?;
+    let line = result.to_json_string();
+    match fault {
+        Some(FaultKind::TruncateStdout) => {
+            // Exit mid-stream: half a document, no newline, successful exit status —
+            // the shape of a broken pipe or a disk-full stdout redirect.
+            let mut cut = line.len() / 2;
+            while !line.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            Ok(line[..cut].to_string())
+        }
+        Some(FaultKind::CorruptWire) => Ok(format!("{}\n", crate::fault::corrupt_payload(&line))),
+        _ => Ok(format!("{line}\n")),
     }
 }
 
@@ -555,15 +776,28 @@ fn run_fleet_command(
     let program = std::env::current_exe()
         .map_err(|e| CliError::runtime(format!("cannot locate the fedopt binary: {e}")))?;
     let mut runner = SubprocessRunner::new(program);
-    if let Some(secs) = fleet.shard_timeout_s {
+    // Precedence for the hardening knobs: CLI flag > spec `engine` field > default.
+    if let Some(secs) = fleet.shard_timeout_s.or(spec.engine.shard_timeout_s) {
         runner = runner.with_timeout(Duration::from_secs(secs));
+    }
+    if let Some(secs) = fleet.shard_heartbeat_s {
+        runner = runner.with_heartbeat_timeout(Some(Duration::from_secs(secs)));
     }
     let cache = match &fleet.cache_dir {
         Some(dir) => Some(ShardCache::open(dir)?),
         None => None,
     };
-    let cached = cache.is_some();
-    let opts = FleetOptions { shards, cache, concurrency: None };
+    let opts = FleetOptions {
+        shards,
+        cache,
+        concurrency: None,
+        max_retries: fleet
+            .shard_retries
+            .or(spec.engine.shard_retries)
+            .map_or(shard::DEFAULT_MAX_RETRIES, |n| n as usize),
+        backoff: fleet.shard_backoff_ms.map_or(shard::DEFAULT_RETRY_BACKOFF, Duration::from_millis),
+        allow_partial: fleet.allow_partial,
+    };
     eprintln!(
         "running {} as a fleet ({} shards over {} draws/point{})...",
         spec.id,
@@ -575,15 +809,30 @@ fn run_fleet_command(
         },
     );
     let (result, stats) = shard::run_fleet(spec, &opts, &runner)?;
-    if cached {
+    if stats.cache_enabled {
         eprintln!(
             "fleet done: {} cache hits, {} misses, {} retries",
             stats.shard_cache_hits, stats.shard_cache_misses, stats.retries
         );
     }
-    let reports = spec.render_reports(&result);
+    let mut reports = spec.render_reports(&result);
+    if !stats.holes.is_empty() {
+        eprintln!(
+            "WARNING: salvaged a partial fleet run — {} shard(s) failed terminally; their \
+             seed ranges are holes, means are over the surviving draws only:",
+            stats.holes.len(),
+        );
+        for hole in &stats.holes {
+            eprintln!("  shard {} (seeds {}): {}", hole.index, hole.seeds, hole.error);
+        }
+        let missing: Vec<String> = stats.holes.iter().map(|h| h.seeds.clone()).collect();
+        let note = format!("salvaged fleet run: seeds {} missing", missing.join(", "));
+        for report in &mut reports {
+            report.note = Some(note.clone());
+        }
+    }
     let run = SpecRun { result, reports };
-    Ok(render_run_with_fleet(spec, &run, json, cached.then_some(&stats)))
+    Ok(render_run_with_fleet(spec, &run, json, Some(&stats)))
 }
 
 #[cfg(test)]
@@ -657,6 +906,13 @@ mod tests {
             "run --fig 2 --shards 0",
             "run --fig 2 --cache-dir /tmp/c",
             "run --fig 2 --shard-timeout 60",
+            "run --fig 2 --shard-retries 2",
+            "run --fig 2 --shard-backoff-ms 50",
+            "run --fig 2 --shard-heartbeat 5",
+            "run --fig 2 --allow-partial",
+            "run --fig 2 --shards 2 --shard-retries -1",
+            "run --fig 2 --shards 2 --shard-retries many",
+            "run --fig 2 --shards 2 --shard-heartbeat 0",
             "run --fig 2 --shard-json --json",
             "run --fig 2 --shard-json --shards 2",
             "shard",
@@ -664,6 +920,12 @@ mod tests {
             "shard split --shards 3",
             "shard split --fig 2",
             "shard split --fig 2 --spec x.json --shards 2",
+            "shard cache",
+            "shard cache stats",
+            "shard cache gc --max-age 10",
+            "shard cache flush --cache-dir /tmp/c",
+            "shard cache gc --cache-dir /tmp/c --max-age never",
+            "shard cache stats --cache-dir /tmp/c extra",
         ] {
             let err = parse(&argv(bad)).unwrap_err();
             assert!(err.usage, "{bad:?} must be a usage error, got {err:?}");
@@ -683,9 +945,45 @@ mod tests {
                     shards: Some(3),
                     cache_dir: Some("/tmp/c".to_string()),
                     shard_timeout_s: Some(90),
-                    shard_json: false,
+                    ..FleetArgs::default()
                 },
             }
+        );
+        assert_eq!(
+            parse(&argv(
+                "run --fig 2 --shards 4 --shard-retries 0 --shard-backoff-ms 250 \
+                 --shard-heartbeat 5 --allow-partial"
+            ))
+            .unwrap(),
+            Command::Run {
+                source: SpecSource::Fig { fig: 2, paper: false },
+                overrides: Overrides::default(),
+                json: false,
+                fleet: FleetArgs {
+                    shards: Some(4),
+                    shard_retries: Some(0),
+                    shard_backoff_ms: Some(250),
+                    shard_heartbeat_s: Some(5),
+                    allow_partial: true,
+                    ..FleetArgs::default()
+                },
+            }
+        );
+        assert_eq!(
+            parse(&argv("shard cache stats --cache-dir /tmp/c")).unwrap(),
+            Command::CacheStats { dir: "/tmp/c".to_string() }
+        );
+        assert_eq!(
+            parse(&argv("shard cache gc --cache-dir /tmp/c --max-age 3600 --max-bytes 0")).unwrap(),
+            Command::CacheGc {
+                dir: "/tmp/c".to_string(),
+                max_age_s: Some(3600),
+                max_bytes: Some(0),
+            }
+        );
+        assert_eq!(
+            parse(&argv("shard cache gc --cache-dir /tmp/c")).unwrap(),
+            Command::CacheGc { dir: "/tmp/c".to_string(), max_age_s: None, max_bytes: None }
         );
         assert_eq!(
             parse(&argv("run --spec - --shard-json")).unwrap(),

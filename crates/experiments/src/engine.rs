@@ -671,8 +671,25 @@ impl SweepEngine {
     ///
     /// Same contract as [`SweepEngine::run`].
     pub fn run_cells(&self, grid: &SweepGrid) -> Result<CellMatrix, CoreError> {
+        self.run_cells_with_progress(grid, None)
+    }
+
+    /// [`SweepEngine::run_cells`] with a live progress observer: `progress` (when given)
+    /// is incremented once per evaluated cell, from whichever worker thread evaluated it.
+    /// The fleet worker's heartbeat thread reads it to report cells-completed progress on
+    /// stderr while the sweep is still running — the counter is observational only and
+    /// never influences scheduling or results.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SweepEngine::run`].
+    pub fn run_cells_with_progress(
+        &self,
+        grid: &SweepGrid,
+        progress: Option<&AtomicUsize>,
+    ) -> Result<CellMatrix, CoreError> {
         let (builders, groups) = self.prepare_groups(grid);
-        let (samples, counters) = self.materialize_cells(grid, &builders, &groups)?;
+        let (samples, counters) = self.materialize_cells(grid, &builders, &groups, progress)?;
         Ok(CellMatrix {
             xs: grid.points.iter().map(|p| p.x).collect(),
             arm_names: grid.arms.iter().map(|a| a.name()).collect(),
@@ -757,6 +774,7 @@ impl SweepEngine {
             superlinear_mu: self.superlinear_mu,
             adaptive_mu_bracket: self.adaptive_mu_bracket,
             solver_totals: &solver_totals,
+            progress: None,
         };
 
         // The (point, arm, seed) slot index of a cell — the same error-ordering key the
@@ -854,7 +872,7 @@ impl SweepEngine {
         let n_points = grid.points.len();
         let n_arms = grid.arms.len();
         let n_seeds = grid.seeds.len();
-        let (samples, counters) = self.materialize_cells(grid, builders, groups)?;
+        let (samples, counters) = self.materialize_cells(grid, builders, groups, None)?;
 
         let aggregates: Vec<Vec<Aggregate>> = (0..n_points)
             .map(|p| {
@@ -883,6 +901,7 @@ impl SweepEngine {
         grid: &SweepGrid,
         builders: &[Vec<ScenarioBuilder>],
         groups: &[Vec<Vec<usize>>],
+        progress: Option<&AtomicUsize>,
     ) -> Result<(Vec<Option<CellOutput>>, SweepCounters), CoreError> {
         let n_points = grid.points.len();
         let n_arms = grid.arms.len();
@@ -910,6 +929,7 @@ impl SweepEngine {
             superlinear_mu: self.superlinear_mu,
             adaptive_mu_bracket: self.adaptive_mu_bracket,
             solver_totals: &solver_totals,
+            progress,
         };
         // One cell-group = all arms of one (point, seed); returns one Cell per arm.
         let evaluate_group = |ws: &mut SolverWorkspace, item: usize| -> Vec<Cell> {
@@ -1030,6 +1050,9 @@ struct GroupEvaluator<'a> {
     /// Per-sweep solver-iteration totals (folded once per cell-group; integer sums, so
     /// thread count and fold order cannot change the result).
     solver_totals: &'a Mutex<SolveCounters>,
+    /// Optional live cells-completed observer (see
+    /// [`SweepEngine::run_cells_with_progress`]); bumped alongside `cells_evaluated`.
+    progress: Option<&'a AtomicUsize>,
 }
 
 /// How one (point, seed) cell-group evaluation ended.
@@ -1111,6 +1134,9 @@ impl GroupEvaluator<'_> {
                     workspace: &mut *ws,
                 };
                 self.cells_evaluated.fetch_add(1, Ordering::Relaxed);
+                if let Some(progress) = self.progress {
+                    progress.fetch_add(1, Ordering::Relaxed);
+                }
                 match self.grid.arms[arm_idx].evaluate(&scenario, &mut ctx) {
                     Ok(sample) => sink(arm_idx, sample),
                     Err(e) => {

@@ -53,6 +53,7 @@
 pub mod arms;
 pub mod cli;
 pub mod engine;
+pub mod fault;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

@@ -24,6 +24,10 @@ pub struct FigureReport {
     /// [`Self::push_row`]); otherwise one count per column. A `NaN` cell with a recorded
     /// count of `0` is the labelled "no feasible draw" condition, not a numerical accident.
     pub counts: Vec<Vec<usize>>,
+    /// Optional provenance caveat attached to the whole report — e.g. "salvaged fleet
+    /// run: seeds 2..4 missing" when a `--allow-partial` merge completed with holes.
+    /// `None` (the default) renders nothing, so fault-free output stays byte-identical.
+    pub note: Option<String>,
 }
 
 impl FigureReport {
@@ -37,6 +41,7 @@ impl FigureReport {
             columns,
             rows: Vec::new(),
             counts: Vec::new(),
+            note: None,
         }
     }
 
@@ -118,6 +123,9 @@ impl FigureReport {
             out.push_str(&line);
             out.push('\n');
         }
+        if let Some(note) = &self.note {
+            out.push_str(&format!("note: {note}\n"));
+        }
         out
     }
 
@@ -178,14 +186,21 @@ impl FigureReport {
                 Json::Obj(members)
             })
             .collect();
-        Json::obj([
-            ("id", Json::Str(self.id.clone())),
-            ("title", Json::Str(self.title.clone())),
-            ("x_label", Json::Str(self.x_label.clone())),
-            ("y_label", Json::Str(self.y_label.clone())),
-            ("columns", Json::Arr(self.columns.iter().map(|c| Json::Str(c.clone())).collect())),
-            ("rows", Json::Arr(rows)),
-        ])
+        let mut members = vec![
+            ("id".to_string(), Json::Str(self.id.clone())),
+            ("title".to_string(), Json::Str(self.title.clone())),
+            ("x_label".to_string(), Json::Str(self.x_label.clone())),
+            ("y_label".to_string(), Json::Str(self.y_label.clone())),
+            (
+                "columns".to_string(),
+                Json::Arr(self.columns.iter().map(|c| Json::Str(c.clone())).collect()),
+            ),
+            ("rows".to_string(), Json::Arr(rows)),
+        ];
+        if let Some(note) = &self.note {
+            members.push(("note".to_string(), Json::Str(note.clone())));
+        }
+        Json::Obj(members)
     }
 
     /// [`FigureReport::to_json`], pretty-printed.
@@ -309,6 +324,19 @@ mod tests {
         r.push_row_with_counts(7.0, vec![1.0, 2.0], vec![3, 3]);
         let table = r.to_table_string();
         assert!(table.contains("feasible draws: 3 per cell"), "{table}");
+    }
+
+    #[test]
+    fn note_renders_only_when_set() {
+        let mut r = sample();
+        assert!(!r.to_table_string().contains("note:"));
+        assert!(r.to_json().get("note").is_none());
+        r.note = Some("salvaged fleet run: seeds 2..4 missing".to_string());
+        assert!(r.to_table_string().ends_with("note: salvaged fleet run: seeds 2..4 missing\n"));
+        assert_eq!(
+            r.to_json().get("note").unwrap().as_str(),
+            Some("salvaged fleet run: seeds 2..4 missing")
+        );
     }
 
     #[test]

@@ -29,6 +29,18 @@
 //! result-invariant fields like `id`, `description`, `reports` and engine scheduling
 //! knobs) — and self-validating: each entry stores the FNV-1a hash of its payload, so a
 //! truncated or corrupted entry is detected and recomputed, never silently trusted.
+//! Since format version 2 the wire document itself also carries a whole-document
+//! `checksum`, so corruption is caught on the pipe as well as on disk.
+//!
+//! ## Failure semantics
+//!
+//! The hardening contract, enforced under injected faults (see [`crate::fault`]): a
+//! fleet run either completes byte-identical to the single-process run, salvages with
+//! *explicit* holes ([`FleetOptions::allow_partial`] / [`FleetStats::holes`]), or fails
+//! with a typed [`ShardError`] — it never hangs (wall-clock **and** heartbeat-silence
+//! timeouts bound every worker), never panics the coordinator, and never returns
+//! silently-wrong aggregates (the wire checksum and the replay-based merge see to that).
+//! Failed shards are retried with deterministic exponential backoff ([`backoff_delay`]).
 
 use crate::engine::{
     warm_start_env, Aggregate, AggregateAccumulator, CellMatrix, CellOutput, SweepCounters,
@@ -37,20 +49,47 @@ use crate::engine::{
 use crate::json::{fnv1a_64, Json};
 use crate::spec::{EngineSpec, ExperimentSpec, SeedPolicy, SolverPreset, SpecError};
 use fedopt_core::SolveCounters;
+use std::collections::VecDeque;
 use std::fmt;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant, SystemTime};
 
 /// Version of the shard result wire format and the cache entry format. Bumping it
-/// invalidates every existing cache entry (the key preimage includes it).
-pub const SHARD_FORMAT_VERSION: u64 = 1;
+/// invalidates every existing cache entry (the key preimage includes it). Version 2
+/// added the whole-document `checksum` member and the `degraded_solves` counter.
+pub const SHARD_FORMAT_VERSION: u64 = 2;
 
 /// Default per-shard wall-clock timeout of the subprocess runner.
 pub const DEFAULT_SHARD_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Default heartbeat-silence timeout of the subprocess runner: a worker that has not
+/// emitted a [`HEARTBEAT_PREFIX`] stderr line for this long is killed as stalled, even
+/// when its wall-clock budget is not yet spent — a silent hang must not cost the whole
+/// [`DEFAULT_SHARD_TIMEOUT`].
+pub const DEFAULT_HEARTBEAT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default retries per failed shard beyond its first attempt.
+pub const DEFAULT_MAX_RETRIES: usize = 1;
+
+/// Default base delay of the deterministic exponential retry backoff.
+pub const DEFAULT_RETRY_BACKOFF: Duration = Duration::from_millis(100);
+
+/// Prefix of worker heartbeat lines on stderr (`fedopt-heartbeat t=<secs>s cells=<n>`).
+/// The coordinator treats such lines as liveness signals and excludes them from the
+/// captured stderr tail.
+pub const HEARTBEAT_PREFIX: &str = "fedopt-heartbeat";
+
+/// Byte budget of the stderr tail captured per worker for failure reports. Oldest lines
+/// are dropped first; any drop is marked with a leading `… (truncated)`.
+pub const STDERR_TAIL_BUDGET: usize = 2048;
+
+/// Grace period before a crashed writer's `*.json.tmp.<pid>` file is garbage-collected:
+/// a younger temp file may belong to a live writer about to rename it into place.
+pub const TMP_GRACE: Duration = Duration::from_secs(60);
 
 /// `kind` tag of a shard result document.
 const RESULT_KIND: &str = "fedopt_shard_result";
@@ -63,8 +102,31 @@ const KEY_KIND: &str = "fedopt_shard_cache_key";
 // Errors
 // ---------------------------------------------------------------------------
 
-/// One shard's terminal failure, after its retry.
-#[derive(Debug, Clone)]
+/// Why one shard attempt failed, as reported by a [`ShardRunner`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRunError {
+    /// Human-readable description; ends up verbatim in the failure report.
+    pub message: String,
+    /// Seconds between the worker's last observed heartbeat and the failure, when the
+    /// runner tracks heartbeats (`None` for in-process runs and for workers that never
+    /// heartbeated).
+    pub last_heartbeat_s: Option<f64>,
+}
+
+impl From<String> for ShardRunError {
+    fn from(message: String) -> Self {
+        Self { message, last_heartbeat_s: None }
+    }
+}
+
+impl fmt::Display for ShardRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// One shard's terminal failure, after its retries.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardFailure {
     /// Shard index (0-based) within the split.
     pub index: usize,
@@ -74,6 +136,9 @@ pub struct ShardFailure {
     pub attempts: usize,
     /// The last attempt's error.
     pub error: String,
+    /// Seconds between the worker's last observed heartbeat and the failure, when known
+    /// — the difference between "died instantly" and "went quiet mid-sweep".
+    pub last_heartbeat_s: Option<f64>,
 }
 
 /// Why a fleet run (or one of its pieces) failed.
@@ -111,7 +176,7 @@ impl fmt::Display for ShardError {
                     failures.len()
                 )?;
                 for failure in failures {
-                    writeln!(
+                    write!(
                         f,
                         "  shard {}/{total} (seeds {}) failed after {} attempt(s): {}",
                         failure.index + 1,
@@ -119,6 +184,10 @@ impl fmt::Display for ShardError {
                         failure.attempts,
                         failure.error
                     )?;
+                    if let Some(age) = failure.last_heartbeat_s {
+                        write!(f, " [last heartbeat {age:.1}s before failure]")?;
+                    }
+                    writeln!(f)?;
                 }
                 write!(f, "no partial output was written")
             }
@@ -273,6 +342,11 @@ impl ShardResult {
     }
 
     /// Serializes to the deterministic wire document (the worker's stdout format).
+    ///
+    /// The final `checksum` member is the FNV-1a 64 hash of the compact serialization of
+    /// every *other* member. [`ShardResult::from_json`] re-derives and compares it, so a
+    /// single flipped byte anywhere in the document — even one that still parses as a
+    /// different valid number — is a typed codec error, never a silently-wrong merge.
     pub fn to_json(&self) -> Json {
         let n_arms = self.arm_names.len();
         let samples = Json::Arr(
@@ -300,7 +374,7 @@ impl ShardResult {
                 .collect(),
         );
         let solver = &self.counters.solver;
-        Json::obj([
+        let mut doc = Json::obj([
             ("schema_version", Json::uint(SHARD_FORMAT_VERSION)),
             ("kind", Json::Str(RESULT_KIND.to_string())),
             ("spec_id", Json::Str(self.spec_id.clone())),
@@ -324,11 +398,17 @@ impl ShardResult {
                             ("sp2_fast_path_hits", Json::uint(solver.sp2_fast_path_hits)),
                             ("sp1_probe_evals", Json::uint(solver.sp1_probe_evals)),
                             ("lp_sorts", Json::uint(solver.lp_sorts)),
+                            ("degraded_solves", Json::uint(solver.degraded_solves)),
                         ]),
                     ),
                 ]),
             ),
-        ])
+        ]);
+        let checksum = format!("{:016x}", fnv1a_64(doc.to_compact_string().as_bytes()));
+        if let Json::Obj(members) = &mut doc {
+            members.push(("checksum".to_string(), Json::Str(checksum)));
+        }
+        doc
     }
 
     /// Serializes to the compact single-line wire string.
@@ -355,6 +435,25 @@ impl ShardResult {
         let kind = field(doc, "kind")?.as_str().ok_or_else(|| codec("kind must be a string"))?;
         if kind != RESULT_KIND {
             return Err(codec(format!("expected kind {RESULT_KIND:?}, got {kind:?}")));
+        }
+        // Whole-document integrity check before trusting any value: hash the canonical
+        // re-emission of everything but the checksum member. Our own compact output
+        // re-emits byte-identically, so a corrupted byte either breaks the parse, changes
+        // a value (hash mismatch), or was semantically inert — all three are safe.
+        let checksum =
+            field(doc, "checksum")?.as_str().ok_or_else(|| codec("checksum must be a string"))?;
+        let payload = match doc {
+            Json::Obj(members) => Json::Obj(
+                members.iter().filter(|(k, _)| k.as_str() != "checksum").cloned().collect(),
+            ),
+            _ => return Err(codec("a shard result document must be an object")),
+        };
+        let actual = format!("{:016x}", fnv1a_64(payload.to_compact_string().as_bytes()));
+        if actual != checksum {
+            return Err(codec(format!(
+                "checksum mismatch: document claims {checksum}, payload hashes to {actual} \
+                 — the document was corrupted in transit"
+            )));
         }
         let spec_id = field(doc, "spec_id")?
             .as_str()
@@ -446,6 +545,7 @@ impl ShardResult {
                 sp2_fast_path_hits: counter(solver_obj, "sp2_fast_path_hits")?,
                 sp1_probe_evals: counter(solver_obj, "sp1_probe_evals")?,
                 lp_sorts: counter(solver_obj, "lp_sorts")?,
+                degraded_solves: counter(solver_obj, "degraded_solves")?,
             },
         };
 
@@ -479,9 +579,24 @@ fn field<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, ShardError> {
 ///
 /// Validation errors, or any sweep error from the engine.
 pub fn run_shard_in_process(spec: &ExperimentSpec) -> Result<ShardResult, SpecError> {
+    run_shard_in_process_with_progress(spec, None)
+}
+
+/// [`run_shard_in_process`] with a live cells-completed observer: `progress` (when
+/// given) is incremented once per evaluated cell while the sweep runs. The CLI worker
+/// mode's heartbeat thread reads it to put real progress numbers on its
+/// [`HEARTBEAT_PREFIX`] stderr lines.
+///
+/// # Errors
+///
+/// Validation errors, or any sweep error from the engine.
+pub fn run_shard_in_process_with_progress(
+    spec: &ExperimentSpec,
+    progress: Option<&AtomicUsize>,
+) -> Result<ShardResult, SpecError> {
     let grid = spec.grid()?;
     let engine = spec.engine.to_engine();
-    let cells = engine.run_cells(&grid)?;
+    let cells = engine.run_cells_with_progress(&grid, progress)?;
     Ok(ShardResult::from_cells(spec, cells))
 }
 
@@ -556,6 +671,114 @@ impl ShardCache {
         Some(result)
     }
 
+    /// Aggregate statistics of the cache directory: entry count/bytes plus leftover
+    /// `*.json.tmp.<pid>` files from crashed (or currently in-flight) writers.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Io`] when the directory cannot be listed.
+    pub fn stats(&self) -> Result<CacheStats, ShardError> {
+        let (entries, tmps) = self.scan()?;
+        Ok(CacheStats {
+            entries: entries.len() as u64,
+            entry_bytes: entries.iter().map(|(_, n, _)| n).sum(),
+            tmp_files: tmps.len() as u64,
+            tmp_bytes: tmps.iter().map(|(_, n, _)| n).sum(),
+        })
+    }
+
+    /// Garbage-collects the cache: removes crashed-writer temp files past their grace
+    /// period ([`TMP_GRACE`], or `max_age` when that is sooner), expires entries older
+    /// than `max_age`, then — when `max_bytes` is set — evicts the least-recently
+    /// modified entries until the remainder fits the byte budget.
+    ///
+    /// Eviction is a plain unlink, which POSIX guarantees never disturbs a reader that
+    /// already opened the file: an in-flight [`ShardCache::load`] finishes from the open
+    /// descriptor, and the next load of that key is an ordinary miss. A concurrent
+    /// writer is equally safe — [`ShardCache::store`] publishes by rename, so GC only
+    /// ever sees complete entries or clearly-marked temp files.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Io`] when the directory cannot be listed (individual remove
+    /// failures are skipped — a file deleted by a concurrent GC is not an error).
+    pub fn gc(
+        &self,
+        max_age: Option<Duration>,
+        max_bytes: Option<u64>,
+    ) -> Result<GcReport, ShardError> {
+        let now = SystemTime::now();
+        let age_of = |mtime: SystemTime| now.duration_since(mtime).unwrap_or(Duration::ZERO);
+        let (mut entries, tmps) = self.scan()?;
+        let mut report = GcReport::default();
+
+        let tmp_cutoff = max_age.map_or(TMP_GRACE, |age| age.min(TMP_GRACE));
+        for (path, _, mtime) in &tmps {
+            if age_of(*mtime) >= tmp_cutoff && std::fs::remove_file(path).is_ok() {
+                report.removed_tmp_files += 1;
+            }
+        }
+
+        if let Some(max_age) = max_age {
+            entries.retain(|(path, bytes, mtime)| {
+                if age_of(*mtime) >= max_age && std::fs::remove_file(path).is_ok() {
+                    report.evicted_entries += 1;
+                    report.evicted_bytes += bytes;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+
+        if let Some(max_bytes) = max_bytes {
+            entries.sort_by_key(|e| e.2);
+            let mut total: u64 = entries.iter().map(|(_, n, _)| *n).sum();
+            let mut kept = Vec::with_capacity(entries.len());
+            for (path, bytes, mtime) in entries {
+                if total > max_bytes && std::fs::remove_file(&path).is_ok() {
+                    report.evicted_entries += 1;
+                    report.evicted_bytes += bytes;
+                    total -= bytes;
+                } else {
+                    kept.push((path, bytes, mtime));
+                }
+            }
+            entries = kept;
+        }
+
+        report.retained_entries = entries.len() as u64;
+        report.retained_bytes = entries.iter().map(|(_, n, _)| n).sum();
+        Ok(report)
+    }
+
+    /// Lists `(path, bytes, mtime)` of cache entries and of leftover temp files.
+    fn scan(&self) -> Result<(Vec<ScanItem>, Vec<ScanItem>), ShardError> {
+        let mut entries = Vec::new();
+        let mut tmps = Vec::new();
+        let listing = std::fs::read_dir(&self.dir)
+            .map_err(|e| ShardError::Io(format!("cannot list {}: {e}", self.dir.display())))?;
+        for item in listing {
+            let Ok(item) = item else { continue };
+            let name = item.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !name.starts_with("shard-") {
+                continue;
+            }
+            let Ok(meta) = item.metadata() else { continue };
+            if !meta.is_file() {
+                continue;
+            }
+            let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+            if name.contains(".json.tmp.") {
+                tmps.push((item.path(), meta.len(), mtime));
+            } else if name.ends_with(".json") {
+                entries.push((item.path(), meta.len(), mtime));
+            }
+        }
+        Ok((entries, tmps))
+    }
+
     /// Stores a shard result under its own key (temp file + rename).
     ///
     /// # Errors
@@ -581,6 +804,37 @@ impl ShardCache {
     }
 }
 
+/// `(path, bytes, mtime)` of one cache directory file.
+type ScanItem = (PathBuf, u64, SystemTime);
+
+/// Aggregate statistics of a cache directory (see [`ShardCache::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of published cache entries.
+    pub entries: u64,
+    /// Total bytes of the published entries.
+    pub entry_bytes: u64,
+    /// Leftover `*.json.tmp.<pid>` files from crashed (or in-flight) writers.
+    pub tmp_files: u64,
+    /// Total bytes of the leftover temp files.
+    pub tmp_bytes: u64,
+}
+
+/// What one [`ShardCache::gc`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Entries removed, by age or by the byte-budget LRU.
+    pub evicted_entries: u64,
+    /// Bytes reclaimed from evicted entries.
+    pub evicted_bytes: u64,
+    /// Crashed-writer temp files cleaned up.
+    pub removed_tmp_files: u64,
+    /// Entries kept.
+    pub retained_entries: u64,
+    /// Bytes kept.
+    pub retained_bytes: u64,
+}
+
 // ---------------------------------------------------------------------------
 // Runners
 // ---------------------------------------------------------------------------
@@ -588,12 +842,13 @@ impl ShardCache {
 /// Something that can run one shard spec to a [`ShardResult`] — in process for tests and
 /// benchmarks, or as a `fedopt` subprocess for the fleet.
 pub trait ShardRunner: Sync {
-    /// Runs the shard. The error string ends up verbatim in the partial-failure report.
+    /// Runs the shard.
     ///
     /// # Errors
     ///
-    /// A human-readable description of why the shard could not produce a result.
-    fn run_shard(&self, spec: &ExperimentSpec) -> Result<ShardResult, String>;
+    /// A [`ShardRunError`] whose message ends up verbatim in the partial-failure report
+    /// (plus the last-heartbeat age, when the runner tracks one).
+    fn run_shard(&self, spec: &ExperimentSpec) -> Result<ShardResult, ShardRunError>;
 }
 
 /// Runs shards inside the coordinating process (no subprocess, no timeout).
@@ -601,37 +856,53 @@ pub trait ShardRunner: Sync {
 pub struct InProcessRunner;
 
 impl ShardRunner for InProcessRunner {
-    fn run_shard(&self, spec: &ExperimentSpec) -> Result<ShardResult, String> {
-        run_shard_in_process(spec).map_err(|e| e.to_string())
+    fn run_shard(&self, spec: &ExperimentSpec) -> Result<ShardResult, ShardRunError> {
+        run_shard_in_process(spec).map_err(|e| ShardRunError::from(e.to_string()))
     }
 }
 
 /// Runs each shard as a subprocess of the `fedopt` binary: pipes the shard spec JSON to
 /// `<program> run --spec - --shard-json` and parses the [`ShardResult`] document the
-/// worker streams back on stdout. Enforces a per-shard wall-clock timeout (the child is
-/// killed, the shard reports a timeout error), and captures the worker's stderr tail for
-/// the failure report. The child inherits the coordinator's environment — crucially
-/// including [`crate::engine::WARM_START_ENV`], so the warm-start switch (and with it the
-/// cache key) agrees across the fleet — with only the worker thread count
-/// ([`crate::engine::THREADS_ENV`]) overridden to divide the machine between concurrent
-/// shards.
+/// worker streams back on stdout. Enforces a per-shard wall-clock timeout **and** a
+/// heartbeat-silence timeout — workers periodically print [`HEARTBEAT_PREFIX`] lines on
+/// stderr, and a worker that goes quiet for [`DEFAULT_HEARTBEAT_TIMEOUT`] is killed as
+/// stalled long before its wall-clock budget runs out. Non-heartbeat stderr is captured
+/// into a [`STDERR_TAIL_BUDGET`]-bounded tail for failure reports, so a log-flooding
+/// worker cannot balloon the coordinator's memory. The child inherits the coordinator's
+/// environment — crucially including [`crate::engine::WARM_START_ENV`], so the
+/// warm-start switch (and with it the cache key) agrees across the fleet — with only the
+/// worker thread count ([`crate::engine::THREADS_ENV`]) overridden to divide the machine
+/// between concurrent shards.
 #[derive(Debug, Clone)]
 pub struct SubprocessRunner {
     program: PathBuf,
     timeout: Duration,
+    heartbeat_timeout: Option<Duration>,
     child_threads: Option<usize>,
 }
 
 impl SubprocessRunner {
-    /// A runner spawning `program` with the default timeout.
+    /// A runner spawning `program` with the default timeouts.
     pub fn new(program: impl Into<PathBuf>) -> Self {
-        Self { program: program.into(), timeout: DEFAULT_SHARD_TIMEOUT, child_threads: None }
+        Self {
+            program: program.into(),
+            timeout: DEFAULT_SHARD_TIMEOUT,
+            heartbeat_timeout: Some(DEFAULT_HEARTBEAT_TIMEOUT),
+            child_threads: None,
+        }
     }
 
     /// Sets the per-shard wall-clock timeout.
     #[must_use]
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
+        self
+    }
+
+    /// Sets (or with `None` disables) the heartbeat-silence timeout.
+    #[must_use]
+    pub fn with_heartbeat_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.heartbeat_timeout = timeout;
         self
     }
 
@@ -643,8 +914,60 @@ impl SubprocessRunner {
     }
 }
 
+/// Shared per-worker stderr capture: the byte-bounded tail plus the heartbeat clock.
+#[derive(Debug, Default)]
+struct StderrState {
+    tail: VecDeque<String>,
+    tail_bytes: usize,
+    truncated: bool,
+    last_heartbeat: Option<Instant>,
+}
+
+impl StderrState {
+    fn observe(&mut self, line: &str) {
+        if line.starts_with(HEARTBEAT_PREFIX) {
+            self.last_heartbeat = Some(Instant::now());
+            return;
+        }
+        let mut line = line.to_string();
+        if line.len() > STDERR_TAIL_BUDGET {
+            let mut cut = STDERR_TAIL_BUDGET;
+            while !line.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            line.truncate(cut);
+            self.truncated = true;
+        }
+        self.tail_bytes += line.len();
+        self.tail.push_back(line);
+        while self.tail_bytes > STDERR_TAIL_BUDGET && self.tail.len() > 1 {
+            let dropped = self.tail.pop_front().expect("tail is non-empty");
+            self.tail_bytes -= dropped.len();
+            self.truncated = true;
+        }
+    }
+
+    fn render_tail(&self) -> String {
+        if self.tail.is_empty() {
+            return "(no stderr)".to_string();
+        }
+        let joined = self.tail.iter().map(String::as_str).collect::<Vec<_>>().join(" | ");
+        if self.truncated {
+            format!("… (truncated) | {joined}")
+        } else {
+            joined
+        }
+    }
+}
+
+/// How the subprocess poll loop ended.
+enum WorkerExit {
+    Status(std::process::ExitStatus),
+    Killed(String),
+}
+
 impl ShardRunner for SubprocessRunner {
-    fn run_shard(&self, spec: &ExperimentSpec) -> Result<ShardResult, String> {
+    fn run_shard(&self, spec: &ExperimentSpec) -> Result<ShardResult, ShardRunError> {
         let payload = spec.to_json_string();
         let mut cmd = Command::new(&self.program);
         cmd.args(["run", "--spec", "-", "--shard-json"])
@@ -654,8 +977,9 @@ impl ShardRunner for SubprocessRunner {
         if let Some(threads) = self.child_threads {
             cmd.env(THREADS_ENV, threads.to_string());
         }
-        let mut child =
-            cmd.spawn().map_err(|e| format!("cannot spawn {}: {e}", self.program.display()))?;
+        let mut child = cmd.spawn().map_err(|e| {
+            ShardRunError::from(format!("cannot spawn {}: {e}", self.program.display()))
+        })?;
 
         // Dedicated threads for all three pipes: a worker blocked writing stdout while
         // the coordinator blocks writing a large spec to stdin would deadlock both.
@@ -670,55 +994,78 @@ impl ShardRunner for SubprocessRunner {
             let _ = std::io::Read::read_to_string(&mut stdout, &mut buf);
             buf
         });
-        let mut stderr = child.stderr.take().expect("stderr was piped");
+        // Stderr is read incrementally while the child runs: heartbeat lines feed the
+        // liveness clock (and are excluded from capture), everything else lands in the
+        // bounded tail.
+        let stderr = child.stderr.take().expect("stderr was piped");
+        let state = Arc::new(Mutex::new(StderrState::default()));
+        let reader_state = Arc::clone(&state);
         let stderr_reader = std::thread::spawn(move || {
-            let mut buf = String::new();
-            let _ = std::io::Read::read_to_string(&mut stderr, &mut buf);
-            buf
+            let mut reader = std::io::BufReader::new(stderr);
+            let mut buf = Vec::new();
+            loop {
+                buf.clear();
+                match std::io::BufRead::read_until(&mut reader, b'\n', &mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {
+                        let text = String::from_utf8_lossy(&buf);
+                        let line = text.trim_end_matches(['\n', '\r']);
+                        reader_state.lock().expect("stderr state poisoned").observe(line);
+                    }
+                }
+            }
         });
 
-        let deadline = Instant::now() + self.timeout;
-        let status = loop {
+        let start = Instant::now();
+        let deadline = start + self.timeout;
+        let exit = loop {
             match child.try_wait() {
-                Ok(Some(status)) => break status,
+                Ok(Some(status)) => break WorkerExit::Status(status),
                 Ok(None) => {
-                    if Instant::now() >= deadline {
-                        let _ = child.kill();
-                        let _ = child.wait();
-                        let _ = stdin_writer.join();
-                        let _ = stdout_reader.join();
-                        let _ = stderr_reader.join();
-                        return Err(format!(
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break WorkerExit::Killed(format!(
                             "timed out after {:.0?} (worker killed)",
                             self.timeout
                         ));
                     }
+                    if let Some(max_silence) = self.heartbeat_timeout {
+                        let last = state.lock().expect("stderr state poisoned").last_heartbeat;
+                        let silence = now.duration_since(last.unwrap_or(start));
+                        if silence >= max_silence {
+                            break WorkerExit::Killed(format!(
+                                "no heartbeat for {silence:.0?} (worker killed as stalled)"
+                            ));
+                        }
+                    }
                     std::thread::sleep(Duration::from_millis(25));
                 }
-                Err(e) => {
-                    let _ = child.kill();
-                    let _ = child.wait();
-                    return Err(format!("waiting on worker failed: {e}"));
-                }
+                Err(e) => break WorkerExit::Killed(format!("waiting on worker failed: {e}")),
             }
         };
+        if matches!(exit, WorkerExit::Killed(_)) {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
         let _ = stdin_writer.join();
         let stdout_text = stdout_reader.join().unwrap_or_default();
-        let stderr_text = stderr_reader.join().unwrap_or_default();
-        let stderr_tail = || {
-            let tail: Vec<&str> = stderr_text.lines().rev().take(5).collect();
-            let mut lines: Vec<&str> = tail.into_iter().rev().collect();
-            if lines.is_empty() {
-                lines.push("(no stderr)");
-            }
-            lines.join(" | ")
-        };
+        let _ = stderr_reader.join();
 
+        let (tail, last_heartbeat_s) = {
+            let st = state.lock().expect("stderr state poisoned");
+            let age = st.last_heartbeat.map(|t| Instant::now().duration_since(t).as_secs_f64());
+            (st.render_tail(), age)
+        };
+        let fail = |message: String| ShardRunError { message, last_heartbeat_s };
+
+        let status = match exit {
+            WorkerExit::Killed(reason) => return Err(fail(format!("{reason}; stderr: {tail}"))),
+            WorkerExit::Status(status) => status,
+        };
         if !status.success() {
-            return Err(format!("worker exited with {status}; stderr: {}", stderr_tail()));
+            return Err(fail(format!("worker exited with {status}; stderr: {tail}")));
         }
-        ShardResult::from_json_str(&stdout_text)
-            .map_err(|e| format!("{e}; stderr: {}", stderr_tail()))
+        ShardResult::from_json_str(&stdout_text).map_err(|e| fail(format!("{e}; stderr: {tail}")))
     }
 }
 
@@ -726,8 +1073,9 @@ impl ShardRunner for SubprocessRunner {
 // The coordinator
 // ---------------------------------------------------------------------------
 
-/// How a fleet run is shaped: shard count, optional result cache, worker-pool bound.
-#[derive(Debug, Default)]
+/// How a fleet run is shaped: shard count, optional result cache, worker-pool bound,
+/// retry policy, and the salvage switch.
+#[derive(Debug)]
 pub struct FleetOptions {
     /// Number of shards to split into (clamped to the seed count; must be ≥ 1).
     pub shards: usize,
@@ -735,34 +1083,78 @@ pub struct FleetOptions {
     pub cache: Option<ShardCache>,
     /// Maximum shards in flight at once. `None` = `min(shards, available cores)`.
     pub concurrency: Option<usize>,
+    /// Retries per failed shard beyond its first attempt (`0` disables retries).
+    pub max_retries: usize,
+    /// Base delay of the deterministic exponential backoff between attempts (see
+    /// [`backoff_delay`]). `Duration::ZERO` disables waiting.
+    pub backoff: Duration,
+    /// Salvage mode: when some shards fail terminally but at least one completes, merge
+    /// the survivors and record the missing seed ranges as explicit holes
+    /// ([`FleetStats::holes`]) instead of failing the run. The merged means cover the
+    /// surviving samples only — the holes, not any renormalization, are the record of
+    /// what is missing.
+    pub allow_partial: bool,
 }
 
-/// What the coordinator observed: cache traffic and retries. Only meaningful when a
-/// cache was configured (`shard_cache_hits`/`shard_cache_misses` stay 0 without one).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+impl Default for FleetOptions {
+    fn default() -> Self {
+        Self {
+            shards: 0,
+            cache: None,
+            concurrency: None,
+            max_retries: DEFAULT_MAX_RETRIES,
+            backoff: DEFAULT_RETRY_BACKOFF,
+            allow_partial: false,
+        }
+    }
+}
+
+/// The deterministic exponential backoff before the `retry`-th retry (1-based) of a
+/// failed shard: `base · 2^(retry−1)`, capped at 10 seconds. No jitter on purpose —
+/// chaos tests assert exact retry schedules, and concurrent shards already
+/// desynchronize naturally.
+pub fn backoff_delay(base: Duration, retry: usize) -> Duration {
+    const CAP: Duration = Duration::from_secs(10);
+    let exponent = u32::try_from(retry.saturating_sub(1)).unwrap_or(u32::MAX).min(20);
+    base.saturating_mul(1u32 << exponent).min(CAP)
+}
+
+/// What the coordinator observed: cache traffic, retries, and — in salvage mode — the
+/// holes left by terminally failed shards.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FleetStats {
     /// Shards answered from the cache.
     pub shard_cache_hits: u64,
     /// Shards that had to be computed (cache configured but entry absent or invalid).
     pub shard_cache_misses: u64,
-    /// Failed first attempts that were retried (successfully or not).
+    /// Failed attempts that were retried (successfully or not).
     pub retries: u64,
+    /// Terminally failed shards whose seed ranges are **missing** from the merged result.
+    /// Always empty unless [`FleetOptions::allow_partial`] salvaged the run — consumers
+    /// must surface these loudly, never fold them into a mean silently.
+    pub holes: Vec<ShardFailure>,
+    /// Whether a cache was configured (the hit/miss counters are only meaningful then).
+    pub cache_enabled: bool,
 }
 
-/// Splits the spec, runs every shard (bounded concurrency, cache-first, one retry each),
-/// and merges the shard results into the exact [`SweepResult`] of a single-process run.
+/// Splits the spec, runs every shard (bounded concurrency, cache-first, configurable
+/// retries with deterministic backoff), and merges the shard results into the exact
+/// [`SweepResult`] of a single-process run.
 ///
 /// The worker pool claims shards in index order; results are merged strictly in shard
-/// order afterwards, so completion order never affects the output. Every shard failure
-/// is retried once; shards that still fail are collected into one loud
-/// [`ShardError::Partial`] report naming each failed shard's seed range and last error —
-/// no partial result is returned.
+/// order afterwards, so completion order never affects the output. A failed shard is
+/// retried [`FleetOptions::max_retries`] times with [`backoff_delay`] waits between
+/// attempts. Shards that still fail are collected into one loud [`ShardError::Partial`]
+/// report naming each failed shard's seed range, last error, and last heartbeat age —
+/// unless [`FleetOptions::allow_partial`] is set and at least one shard completed, in
+/// which case the survivors are merged (bit-identical to their fault-free samples, the
+/// replay simply skips the holes) and the failures come back as [`FleetStats::holes`].
 ///
 /// # Errors
 ///
-/// [`ShardError::Spec`] on an invalid parent spec, [`ShardError::Partial`] when any
-/// shard fails twice, [`ShardError::Merge`] when shard results are mutually
-/// inconsistent.
+/// [`ShardError::Spec`] on an invalid parent spec, [`ShardError::Partial`] when shards
+/// fail terminally (and salvage is off, or nothing completed), [`ShardError::Merge`]
+/// when shard results are mutually inconsistent.
 pub fn run_fleet(
     spec: &ExperimentSpec,
     opts: &FleetOptions,
@@ -790,14 +1182,14 @@ pub fn run_fleet(
         }
         let shard_spec = &shard_specs[i];
         let key = &keys[i];
-        let outcome =
-            run_one_shard(shard_spec, key, opts.cache.as_ref(), runner, (&hits, &misses, &retries))
-                .map_err(|(attempts, error)| ShardFailure {
-                    index: i,
-                    seeds: describe_seeds(shard_spec),
-                    attempts,
-                    error,
-                });
+        let outcome = run_one_shard(shard_spec, key, opts, runner, (&hits, &misses, &retries))
+            .map_err(|(attempts, error)| ShardFailure {
+                index: i,
+                seeds: describe_seeds(shard_spec),
+                attempts,
+                error: error.message,
+                last_heartbeat_s: error.last_heartbeat_s,
+            });
         slots.lock().expect("shard slots poisoned")[i] = Some(outcome);
     };
     if workers == 1 {
@@ -812,38 +1204,43 @@ pub fn run_fleet(
     }
 
     let slots = slots.into_inner().expect("shard slots poisoned");
-    let mut results = Vec::with_capacity(total);
-    let mut failures = Vec::new();
-    for slot in slots {
+    let mut survivors: Vec<(usize, ShardResult)> = Vec::with_capacity(total);
+    let mut failures: Vec<ShardFailure> = Vec::new();
+    for (i, slot) in slots.into_iter().enumerate() {
         match slot.expect("every shard slot must be filled") {
-            Ok(result) => results.push(result),
+            Ok(result) => survivors.push((i, result)),
             Err(failure) => failures.push(failure),
         }
     }
+    let completed = survivors.len();
     if !failures.is_empty() {
-        let completed = results.len();
-        return Err(ShardError::Partial { failures, completed, total });
+        let salvageable = opts.allow_partial && completed > 0;
+        if !salvageable {
+            return Err(ShardError::Partial { failures, completed, total });
+        }
     }
 
     let stats = FleetStats {
         shard_cache_hits: hits.into_inner(),
         shard_cache_misses: misses.into_inner(),
         retries: retries.into_inner(),
+        holes: failures,
+        cache_enabled: opts.cache.is_some(),
     };
-    let merged = merge(spec, &shard_specs, &results)?;
+    let merged = merge(spec, &shard_specs, &survivors)?;
     Ok((merged, stats))
 }
 
-/// Cache-first, retry-once execution of one shard. Returns `(attempts, error)` on
-/// terminal failure.
+/// Cache-first execution of one shard with [`FleetOptions::max_retries`] retries and
+/// deterministic backoff. Returns `(attempts, error)` on terminal failure.
 fn run_one_shard(
     shard_spec: &ExperimentSpec,
     key: &str,
-    cache: Option<&ShardCache>,
+    opts: &FleetOptions,
     runner: &dyn ShardRunner,
     (hits, misses, retries): (&AtomicU64, &AtomicU64, &AtomicU64),
-) -> Result<ShardResult, (usize, String)> {
-    if let Some(cache) = cache {
+) -> Result<ShardResult, (usize, ShardRunError)> {
+    if let Some(cache) = opts.cache.as_ref() {
         if let Some(result) = cache.load(key) {
             hits.fetch_add(1, Ordering::Relaxed);
             return Ok(result);
@@ -855,9 +1252,10 @@ fn run_one_shard(
         attempts += 1;
         match runner.run_shard(shard_spec) {
             Ok(result) => break result,
-            Err(error) if attempts == 1 => {
+            Err(error) if attempts <= opts.max_retries => {
                 retries.fetch_add(1, Ordering::Relaxed);
                 let _ = error;
+                std::thread::sleep(backoff_delay(opts.backoff, attempts));
             }
             Err(error) => return Err((attempts, error)),
         }
@@ -865,20 +1263,23 @@ fn run_one_shard(
     if result.spec_id != shard_spec.id {
         return Err((
             attempts,
-            format!("worker answered for spec {:?}, expected {:?}", result.spec_id, shard_spec.id),
+            ShardRunError::from(format!(
+                "worker answered for spec {:?}, expected {:?}",
+                result.spec_id, shard_spec.id
+            )),
         ));
     }
     if result.key != key {
         return Err((
             attempts,
-            format!(
+            ShardRunError::from(format!(
                 "worker computed cache key {} for a shard the coordinator keyed {key} — \
                  the worker ran under a different effective configuration",
                 result.key
-            ),
+            )),
         ));
     }
-    if let Some(cache) = cache {
+    if let Some(cache) = opts.cache.as_ref() {
         if let Err(e) = cache.store(&result) {
             // A failed store only loses future cache hits; the shard's result is good.
             eprintln!("warning: {e}");
@@ -887,20 +1288,26 @@ fn run_one_shard(
     Ok(result)
 }
 
-/// Replays the shard results, in shard order, into the single-process [`SweepResult`].
+/// Replays the surviving shard results, in shard order, into the single-process
+/// [`SweepResult`]. With every shard present this is bit-identical to the unsharded
+/// run; in salvage mode the fold simply skips the holes, so each (point, arm) aggregate
+/// covers exactly the surviving shards' samples — bit-identical to those shards'
+/// fault-free contribution, never a renormalized approximation of the full sweep.
 fn merge(
     spec: &ExperimentSpec,
     shard_specs: &[ExperimentSpec],
-    results: &[ShardResult],
+    survivors: &[(usize, ShardResult)],
 ) -> Result<SweepResult, ShardError> {
-    let first = results.first().ok_or_else(|| ShardError::Merge("no shards".to_string()))?;
+    let first =
+        survivors.first().map(|(_, r)| r).ok_or_else(|| ShardError::Merge("no shards".into()))?;
     let n_points = first.xs.len();
     let n_arms = first.arm_names.len();
     let mut accumulators: Vec<AggregateAccumulator> =
         vec![AggregateAccumulator::new(); n_points * n_arms];
     let mut counters = SweepCounters::default();
 
-    for (i, (shard_spec, result)) in shard_specs.iter().zip(results).enumerate() {
+    for (i, result) in survivors {
+        let shard_spec = &shard_specs[*i];
         if result.spec_id != spec.id {
             return Err(ShardError::Merge(format!(
                 "shard {i} answers spec {:?}, expected {:?}",
@@ -1047,7 +1454,7 @@ mod tests {
         let good = run_shard_in_process(&spec).unwrap().to_json_string();
         for (needle, replacement) in [
             ("\"kind\":\"fedopt_shard_result\"", "\"kind\":\"something\""),
-            ("\"schema_version\":1", "\"schema_version\":9"),
+            ("\"schema_version\":2", "\"schema_version\":9"),
             ("\"seeds\":1", "\"seeds\":2"),
         ] {
             let bad = good.replacen(needle, replacement, 1);
@@ -1056,5 +1463,219 @@ mod tests {
         }
         assert!(ShardResult::from_json_str("not json").is_err());
         assert!(ShardResult::from_json_str("{}").is_err());
+    }
+
+    #[test]
+    fn wire_checksum_rejects_single_byte_corruption() {
+        let spec = split(&tiny_spec(), 5).unwrap().remove(0);
+        let good = run_shard_in_process(&spec).unwrap().to_json_string();
+        let corrupted = crate::fault::corrupt_payload(&good);
+        assert_ne!(corrupted, good);
+        match ShardResult::from_json_str(&corrupted) {
+            Err(ShardError::Codec(_)) => {}
+            Err(other) => panic!("expected a codec error, got {other:?}"),
+            Ok(result) => assert_eq!(
+                result,
+                ShardResult::from_json_str(&good).unwrap(),
+                "corruption may only be accepted when semantically inert"
+            ),
+        }
+        // Dropping the checksum member entirely is equally fatal.
+        let good_doc = run_shard_in_process(&spec).unwrap().to_json();
+        if let Json::Obj(mut members) = good_doc {
+            members.retain(|(k, _)| k != "checksum");
+            let stripped = Json::Obj(members).to_compact_string();
+            assert!(ShardResult::from_json_str(&stripped).is_err());
+        } else {
+            panic!("shard result must serialize to an object");
+        }
+    }
+
+    #[test]
+    fn degraded_solves_travel_on_the_wire() {
+        let spec = split(&tiny_spec(), 5).unwrap().remove(0);
+        let mut result = run_shard_in_process(&spec).unwrap();
+        result.counters.solver.degraded_solves = 3;
+        let back = ShardResult::from_json_str(&result.to_json_string()).unwrap();
+        assert_eq!(back.counters.solver.degraded_solves, 3);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_capped() {
+        let base = Duration::from_millis(100);
+        assert_eq!(backoff_delay(base, 1), Duration::from_millis(100));
+        assert_eq!(backoff_delay(base, 2), Duration::from_millis(200));
+        assert_eq!(backoff_delay(base, 3), Duration::from_millis(400));
+        assert_eq!(backoff_delay(Duration::from_secs(8), 4), Duration::from_secs(10));
+        assert_eq!(backoff_delay(Duration::ZERO, 7), Duration::ZERO);
+        // Huge retry indices saturate instead of overflowing the shift.
+        assert_eq!(backoff_delay(base, usize::MAX), Duration::from_secs(10));
+    }
+
+    #[test]
+    fn stderr_tail_is_byte_bounded_and_marks_truncation() {
+        let mut state = StderrState::default();
+        assert_eq!(state.render_tail(), "(no stderr)");
+        state.observe("short line");
+        assert_eq!(state.render_tail(), "short line");
+        for i in 0..200 {
+            state.observe(&format!("noise line {i} {}", "x".repeat(64)));
+        }
+        let tail = state.render_tail();
+        assert!(tail.starts_with("… (truncated) | "), "{tail}");
+        assert!(tail.len() <= STDERR_TAIL_BUDGET + 64, "tail must stay near budget");
+        assert!(tail.contains("noise line 199"), "newest lines survive");
+        assert!(!tail.contains("short line"), "oldest lines are dropped");
+        // Heartbeat lines feed the clock, not the tail.
+        assert!(state.last_heartbeat.is_none());
+        state.observe(&format!("{HEARTBEAT_PREFIX} t=1.0s cells=5"));
+        assert!(state.last_heartbeat.is_some());
+        assert!(!state.render_tail().contains(HEARTBEAT_PREFIX));
+        // A single over-budget line is cut, not kept whole.
+        let mut fat = StderrState::default();
+        fat.observe(&"y".repeat(STDERR_TAIL_BUDGET * 3));
+        assert!(fat.render_tail().len() <= STDERR_TAIL_BUDGET + 32);
+        assert!(fat.truncated);
+    }
+
+    #[test]
+    fn cache_gc_respects_age_and_byte_budgets() {
+        let dir = std::env::temp_dir().join(format!("fedopt-cache-gc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ShardCache::open(&dir).unwrap();
+        let shards = split(&tiny_spec(), 3).unwrap();
+        let results: Vec<ShardResult> =
+            shards.iter().map(|s| run_shard_in_process(s).unwrap()).collect();
+        for r in &results {
+            cache.store(r).unwrap();
+        }
+        let stats = cache.stats().unwrap();
+        assert_eq!(stats.entries, 3);
+        assert!(stats.entry_bytes > 0);
+        assert_eq!(stats.tmp_files, 0);
+
+        // Nothing is old and no byte budget binds: nothing evicted.
+        let report = cache.gc(Some(Duration::from_secs(3600)), None).unwrap();
+        assert_eq!(report.evicted_entries, 0);
+        assert_eq!(report.retained_entries, 3);
+
+        let backdate = |path: &Path, secs: u64| {
+            let f = std::fs::OpenOptions::new().append(true).open(path).unwrap();
+            f.set_modified(SystemTime::now() - Duration::from_secs(secs)).unwrap();
+        };
+
+        // Age out one entry by back-dating its mtime.
+        backdate(&cache.entry_path(&results[0].key), 7200);
+        let report = cache.gc(Some(Duration::from_secs(3600)), None).unwrap();
+        assert_eq!(report.evicted_entries, 1);
+        assert!(cache.load(&results[0].key).is_none());
+        assert!(cache.load(&results[1].key).is_some());
+
+        // Byte budget: least-recently-modified entries go first until the rest fit.
+        backdate(&cache.entry_path(&results[1].key), 60);
+        let budget = cache.stats().unwrap().entry_bytes - 1; // forces ≥ 1 eviction
+        let report = cache.gc(None, Some(budget)).unwrap();
+        assert!(report.evicted_entries >= 1);
+        assert!(cache.load(&results[1].key).is_none(), "the oldest entry goes first");
+        assert!(cache.load(&results[2].key).is_some(), "the newest survives");
+        assert!(cache.stats().unwrap().entry_bytes <= budget);
+        assert_eq!(report.retained_bytes, cache.stats().unwrap().entry_bytes);
+
+        // Crashed-writer temp files are cleaned once past the grace period — and a
+        // fresh one is left alone (it may belong to a live writer).
+        let stale = dir.join("shard-deadbeef.json.tmp.999");
+        let fresh = dir.join("shard-cafebabe.json.tmp.998");
+        std::fs::write(&stale, "half-written").unwrap();
+        std::fs::write(&fresh, "half-written").unwrap();
+        backdate(&stale, 7200);
+        let report = cache.gc(None, None).unwrap();
+        assert_eq!(report.removed_tmp_files, 1);
+        assert!(!stale.exists());
+        assert!(fresh.exists());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn salvaged_merge_is_bit_identical_to_surviving_shards_with_explicit_holes() {
+        let spec = tiny_spec();
+        let shards = split(&spec, 3).unwrap();
+        let failing = describe_seeds(&shards[1]);
+
+        struct FailSeeds(String);
+        impl ShardRunner for FailSeeds {
+            fn run_shard(&self, spec: &ExperimentSpec) -> Result<ShardResult, ShardRunError> {
+                if describe_seeds(spec) == self.0 {
+                    return Err(ShardRunError {
+                        message: "injected terminal failure".to_string(),
+                        last_heartbeat_s: Some(1.5),
+                    });
+                }
+                run_shard_in_process(spec).map_err(|e| ShardRunError::from(e.to_string()))
+            }
+        }
+        let runner = FailSeeds(failing.clone());
+
+        // Without salvage: a loud typed Partial error naming the heartbeat age.
+        let opts = FleetOptions { shards: 3, max_retries: 0, ..FleetOptions::default() };
+        let err = run_fleet(&spec, &opts, &runner).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("fleet run FAILED"), "{text}");
+        assert!(text.contains("last heartbeat 1.5s before failure"), "{text}");
+
+        // With salvage: the survivors merge, the hole is explicit.
+        let opts = FleetOptions {
+            shards: 3,
+            max_retries: 0,
+            allow_partial: true,
+            ..FleetOptions::default()
+        };
+        let (salvaged, stats) = run_fleet(&spec, &opts, &runner).unwrap();
+        assert_eq!(stats.holes.len(), 1);
+        assert_eq!(stats.holes[0].index, 1);
+        assert_eq!(stats.holes[0].seeds, failing);
+        assert_eq!(stats.holes[0].last_heartbeat_s, Some(1.5));
+        assert!(!stats.cache_enabled);
+
+        // Bit-identity: replay shards 0 and 2 by hand and compare every aggregate bit.
+        let r0 = run_shard_in_process(&shards[0]).unwrap();
+        let r2 = run_shard_in_process(&shards[2]).unwrap();
+        let expected = merge(&spec, &shards, &[(0, r0), (2, r2)]).unwrap();
+        assert_eq!(salvaged.xs, expected.xs);
+        for (p, (got_row, want_row)) in
+            salvaged.aggregates.iter().zip(&expected.aggregates).enumerate()
+        {
+            for (a, (got, want)) in got_row.iter().zip(want_row).enumerate() {
+                assert_eq!(got.count, want.count, "count at ({p},{a})");
+                assert_eq!(
+                    got.mean_energy_j.to_bits(),
+                    want.mean_energy_j.to_bits(),
+                    "energy bits at ({p},{a})"
+                );
+                assert_eq!(
+                    got.mean_time_s.to_bits(),
+                    want.mean_time_s.to_bits(),
+                    "time bits at ({p},{a})"
+                );
+            }
+        }
+
+        // All shards failing: salvage has nothing to save — still a typed error.
+        struct FailAll;
+        impl ShardRunner for FailAll {
+            fn run_shard(&self, _: &ExperimentSpec) -> Result<ShardResult, ShardRunError> {
+                Err(ShardRunError::from("boom".to_string()))
+            }
+        }
+        let opts = FleetOptions {
+            shards: 3,
+            max_retries: 0,
+            allow_partial: true,
+            ..FleetOptions::default()
+        };
+        assert!(matches!(
+            run_fleet(&spec, &opts, &FailAll).unwrap_err(),
+            ShardError::Partial { .. }
+        ));
     }
 }

@@ -1151,6 +1151,16 @@ pub struct EngineSpec {
     pub streaming: Option<bool>,
     /// Seeds per streaming chunk ([`SweepEngine::with_seed_chunk`]).
     pub seed_chunk: Option<usize>,
+    /// Retries per failed fleet shard before the shard counts as failed
+    /// ([`crate::shard::FleetOptions::max_retries`]). `0` disables retries. Only
+    /// consulted by sharded (`--shards`) runs; an explicit `--shard-retries` CLI flag
+    /// wins over this field. Cache keys ignore it — retry policy cannot change results.
+    pub shard_retries: Option<u64>,
+    /// Per-shard wall-clock timeout in seconds for subprocess fleet workers
+    /// ([`crate::shard::SubprocessRunner`]). Must be at least 1. Only consulted by
+    /// sharded runs; an explicit `--shard-timeout` CLI flag wins over this field. Cache
+    /// keys ignore it — a timeout cannot change what a surviving shard computes.
+    pub shard_timeout_s: Option<u64>,
 }
 
 impl EngineSpec {
@@ -1187,6 +1197,12 @@ impl EngineSpec {
         if self.seed_chunk == Some(0) {
             return Err(SpecError::invalid(format!("{path}.seed_chunk"), "must be at least 1"));
         }
+        if self.shard_timeout_s == Some(0) {
+            return Err(SpecError::invalid(
+                format!("{path}.shard_timeout_s"),
+                "must be at least 1",
+            ));
+        }
         Ok(())
     }
 
@@ -1202,6 +1218,8 @@ impl EngineSpec {
         push("scenario_sharing", self.scenario_sharing.map(Json::Bool));
         push("streaming", self.streaming.map(Json::Bool));
         push("seed_chunk", self.seed_chunk.map(|v| Json::uint(v as u64)));
+        push("shard_retries", self.shard_retries.map(Json::uint));
+        push("shard_timeout_s", self.shard_timeout_s.map(Json::uint));
         Json::Obj(members)
     }
 
@@ -1209,7 +1227,15 @@ impl EngineSpec {
         let obj = Obj::new(
             v,
             path,
-            &["threads", "warm_start", "scenario_sharing", "streaming", "seed_chunk"],
+            &[
+                "threads",
+                "warm_start",
+                "scenario_sharing",
+                "streaming",
+                "seed_chunk",
+                "shard_retries",
+                "shard_timeout_s",
+            ],
         )?;
         let spec = Self {
             threads: obj.opt_usize("threads")?,
@@ -1217,6 +1243,8 @@ impl EngineSpec {
             scenario_sharing: obj.opt_bool("scenario_sharing")?,
             streaming: obj.opt_bool("streaming")?,
             seed_chunk: obj.opt_usize("seed_chunk")?,
+            shard_retries: obj.opt_u64("shard_retries")?,
+            shard_timeout_s: obj.opt_u64("shard_timeout_s")?,
         };
         spec.validate(path)?;
         Ok(spec)
@@ -1872,6 +1900,8 @@ mod tests {
             scenario_sharing: Some(false),
             streaming: Some(false),
             seed_chunk: Some(7),
+            shard_retries: Some(3),
+            shard_timeout_s: Some(120),
         };
         let parsed = EngineSpec::from_json(&spec.to_json(), "engine").unwrap();
         assert_eq!(parsed, spec);
@@ -1882,6 +1912,20 @@ mod tests {
         assert_eq!(engine.seed_chunk(), 7);
         // The empty spec serializes to an empty object.
         assert_eq!(EngineSpec::default().to_json(), Json::Obj(vec![]));
+    }
+
+    #[test]
+    fn engine_spec_fleet_fields_are_validated_strictly() {
+        // `shard_retries: 0` is legal (retries disabled)…
+        let spec = EngineSpec { shard_retries: Some(0), ..EngineSpec::default() };
+        assert_eq!(EngineSpec::from_json(&spec.to_json(), "engine").unwrap(), spec);
+        // …but a zero timeout can never complete a shard.
+        let bad = EngineSpec { shard_timeout_s: Some(0), ..EngineSpec::default() };
+        let err = EngineSpec::from_json(&bad.to_json(), "engine").unwrap_err();
+        assert!(err.to_string().contains("shard_timeout_s"), "{err}");
+        // Unknown keys stay rejected (strict parse).
+        let doc = Json::obj([("shard_retrys", Json::uint(1))]);
+        assert!(EngineSpec::from_json(&doc, "engine").is_err());
     }
 
     #[test]

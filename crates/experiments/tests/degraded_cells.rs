@@ -1,0 +1,101 @@
+//! The solver watchdog's degradation contract at the sweep level (satellite of the
+//! chaos-hardening work): a scenario whose objective can never be finite — device CPU
+//! frequencies pinned around `1e160` Hz, so every candidate's energy overflows `f64` —
+//! must degrade each cell into a typed infeasible result (`Aggregate { count: 0, .. }`)
+//! with the `degraded_solves` counter incremented. It must never abort the sweep, never
+//! panic a worker thread, and never leak a non-finite mean into a report. Exercised at
+//! one and several threads, warm and cold, because the watchdog lives on the per-thread
+//! hot path in both solver modes.
+
+use experiments::presets::{self, Variant};
+use experiments::spec::{ArmKind, ExperimentSpec};
+
+/// Figure 2's quick preset, proposed arm only, with the scenario overridden so every
+/// solve's objective overflows to infinity.
+fn non_finite_spec() -> ExperimentSpec {
+    let mut spec = presets::spec(2, Variant::Quick).unwrap();
+    spec.arms.retain(|arm| matches!(arm.kind, ArmKind::Proposed { .. }));
+    spec.arms.truncate(1);
+    assert_eq!(spec.arms.len(), 1, "fig2 must carry at least one proposed arm");
+    spec.axis.values.truncate(2);
+    spec.override_seed_count(2);
+    // f_min 1e160 Hz with f_max 1e160 GHz: a valid (min < max) but astronomically fast
+    // CPU band — every f^2-proportional energy term is +inf from the first iterate.
+    spec.scenario.f_min_hz = Some(1e160);
+    spec.scenario.f_max_ghz = Some(1e160);
+    spec
+}
+
+#[test]
+fn non_finite_objectives_degrade_to_empty_aggregates_with_a_counter() {
+    for threads in [1usize, 4] {
+        for warm in [false, true] {
+            let mut spec = non_finite_spec();
+            spec.engine.threads = Some(threads);
+            spec.engine.warm_start = Some(warm);
+            let what = format!("threads={threads} warm={warm}");
+
+            let run = spec
+                .run()
+                .unwrap_or_else(|e| panic!("{what}: degradation must not abort the sweep: {e}"));
+            for (p, row) in run.result.aggregates.iter().enumerate() {
+                for (a, agg) in row.iter().enumerate() {
+                    assert_eq!(agg.count, 0, "{what}: cell ({p},{a}) must hold zero draws");
+                    assert_eq!(agg.attempts, 2, "{what}: both draws were still attempted");
+                    assert!(
+                        agg.mean_energy_j.is_nan() && agg.mean_time_s.is_nan(),
+                        "{what}: an empty cell renders as NaN, never as a fake number"
+                    );
+                }
+            }
+            let degraded = run.result.counters.solver.degraded_solves;
+            assert!(
+                degraded >= 4,
+                "{what}: every (point, seed) solve must count its degradation, got {degraded}"
+            );
+        }
+    }
+}
+
+#[test]
+fn the_degradation_count_is_thread_count_invariant() {
+    let count_at = |threads: usize| {
+        let mut spec = non_finite_spec();
+        spec.engine.threads = Some(threads);
+        spec.run().unwrap().result.counters.solver.degraded_solves
+    };
+    assert_eq!(
+        count_at(1),
+        count_at(4),
+        "degradations are per-cell facts; scheduling must not change them"
+    );
+}
+
+#[test]
+fn degraded_solves_surface_in_the_json_document_only_when_nonzero() {
+    use experiments::cli;
+    use experiments::json::Json;
+
+    // A healthy run: no degradations, and no `degraded_solves` member — the goldens
+    // from before the watchdog existed stay byte-identical.
+    let mut healthy = presets::spec(2, Variant::Quick).unwrap();
+    healthy.override_seed_count(2);
+    let run = healthy.run().unwrap();
+    let doc = cli::run_document(&healthy, &run);
+    let solver = doc.get("counters").unwrap().get("solver").unwrap().clone();
+    assert!(solver.get("degraded_solves").is_none(), "healthy runs must not grow members");
+
+    // The degraded run: the member appears, with the counter's exact value.
+    let spec = non_finite_spec();
+    let run = spec.run().unwrap();
+    let expected = run.result.counters.solver.degraded_solves;
+    assert!(expected > 0);
+    let doc = cli::run_document(&spec, &run);
+    let reported = doc
+        .get("counters")
+        .and_then(|c| c.get("solver"))
+        .and_then(|s| s.get("degraded_solves"))
+        .and_then(Json::as_u64)
+        .expect("a degraded run must report its degradations");
+    assert_eq!(reported, expected);
+}

@@ -55,7 +55,7 @@ fn every_figure_preset_merges_bit_identically_across_three_shards() {
         // and unevenly sized (7 = 3 + 2 + 2).
         spec.override_seed_count(7);
         let direct = spec.run().unwrap();
-        let opts = FleetOptions { shards: 3, cache: None, concurrency: None };
+        let opts = FleetOptions { shards: 3, ..FleetOptions::default() };
         let (merged, stats) = run_fleet(&spec, &opts, &InProcessRunner).unwrap();
         assert_bit_identical(&merged, &direct.result, &format!("fig{fig}"));
         assert_eq!(stats.shard_cache_hits, 0, "no cache configured");
@@ -76,7 +76,7 @@ fn shard_counts_beyond_the_seed_count_still_merge_exactly() {
     spec.override_seed_count(2);
     let direct = spec.run().unwrap();
     for shards in [1, 2, 5, 16] {
-        let opts = FleetOptions { shards, cache: None, concurrency: Some(2) };
+        let opts = FleetOptions { shards, concurrency: Some(2), ..FleetOptions::default() };
         let (merged, _) = run_fleet(&spec, &opts, &InProcessRunner).unwrap();
         assert_bit_identical(&merged, &direct.result, &format!("{shards} shards"));
     }
@@ -93,7 +93,7 @@ fn a_warm_cache_answers_every_shard_and_stays_bit_identical() {
     let opts = |dir: &std::path::Path| FleetOptions {
         shards: 3,
         cache: Some(ShardCache::open(dir).unwrap()),
-        concurrency: None,
+        ..FleetOptions::default()
     };
     let (cold, cold_stats) = run_fleet(&spec, &opts(&dir), &InProcessRunner).unwrap();
     assert_eq!((cold_stats.shard_cache_hits, cold_stats.shard_cache_misses), (0, 3));
@@ -116,7 +116,7 @@ fn corrupted_cache_entries_are_recomputed_never_trusted() {
     // Populate the cache, then damage every entry a different way.
     let cache = ShardCache::open(&dir).unwrap();
     let shard_specs = split(&spec, 3).unwrap();
-    let opts = FleetOptions { shards: 3, cache: Some(cache.clone()), concurrency: None };
+    let opts = FleetOptions { shards: 3, cache: Some(cache.clone()), ..FleetOptions::default() };
     run_fleet(&spec, &opts, &InProcessRunner).unwrap();
 
     let keys: Vec<String> = shard_specs.iter().map(cache_key).collect();
@@ -146,7 +146,7 @@ fn corrupted_cache_entries_are_recomputed_never_trusted() {
 
     // The fleet recomputes the two damaged shards, trusts the intact one, and the merged
     // result is still exactly the single-process answer.
-    let opts = FleetOptions { shards: 3, cache: Some(cache.clone()), concurrency: None };
+    let opts = FleetOptions { shards: 3, cache: Some(cache.clone()), ..FleetOptions::default() };
     let (merged, stats) = run_fleet(&spec, &opts, &InProcessRunner).unwrap();
     assert_eq!((stats.shard_cache_hits, stats.shard_cache_misses), (1, 2));
     assert_bit_identical(&merged, &direct.result, "fleet over a damaged cache");
@@ -164,18 +164,21 @@ fn a_failing_runner_produces_a_loud_partial_report() {
         fn run_shard(
             &self,
             spec: &ExperimentSpec,
-        ) -> Result<experiments::shard::ShardResult, String> {
+        ) -> Result<experiments::shard::ShardResult, experiments::shard::ShardRunError> {
             let first_seed = spec.seeds.values()[0];
             if first_seed % 2 == 1 {
-                Err(format!("synthetic failure for seed {first_seed}"))
+                Err(experiments::shard::ShardRunError::from(format!(
+                    "synthetic failure for seed {first_seed}"
+                )))
             } else {
-                experiments::shard::run_shard_in_process(spec).map_err(|e| e.to_string())
+                experiments::shard::run_shard_in_process(spec)
+                    .map_err(|e| experiments::shard::ShardRunError::from(e.to_string()))
             }
         }
     }
     let mut spec = presets::spec(2, Variant::Quick).unwrap();
     spec.override_seed_count(4); // shards start at seeds 0, 2, 3 → the last one fails
-    let opts = FleetOptions { shards: 3, cache: None, concurrency: None };
+    let opts = FleetOptions { shards: 3, ..FleetOptions::default() };
     let err = run_fleet(&spec, &opts, &FailOdd).unwrap_err();
     match &err {
         ShardError::Partial { failures, completed, total } => {
@@ -190,6 +193,41 @@ fn a_failing_runner_produces_a_loud_partial_report() {
     let report = err.to_string();
     assert!(report.contains("1 of 3 shards failed"), "{report}");
     assert!(report.contains("seeds 3..4"), "the report names the failed range: {report}");
+}
+
+#[test]
+fn configured_retries_are_exhausted_before_a_shard_fails_terminally() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct CountingFailure(AtomicUsize);
+    impl experiments::shard::ShardRunner for CountingFailure {
+        fn run_shard(
+            &self,
+            _spec: &ExperimentSpec,
+        ) -> Result<experiments::shard::ShardResult, experiments::shard::ShardRunError> {
+            let n = self.0.fetch_add(1, Ordering::Relaxed) + 1;
+            Err(experiments::shard::ShardRunError::from(format!("attempt {n} down")))
+        }
+    }
+
+    let mut spec = presets::spec(2, Variant::Quick).unwrap();
+    spec.override_seed_count(2);
+    let runner = CountingFailure(AtomicUsize::new(0));
+    let opts = FleetOptions {
+        shards: 1,
+        max_retries: 3,
+        backoff: std::time::Duration::ZERO, // the schedule is covered by backoff_delay tests
+        ..FleetOptions::default()
+    };
+    let err = run_fleet(&spec, &opts, &runner).unwrap_err();
+    assert_eq!(runner.0.load(Ordering::Relaxed), 4, "1 initial try + 3 retries");
+    match err {
+        ShardError::Partial { failures, .. } => {
+            assert_eq!(failures[0].attempts, 4);
+            assert!(failures[0].error.contains("attempt 4"), "the last error wins");
+        }
+        other => panic!("expected a partial failure, got {other:?}"),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -254,7 +292,7 @@ proptest! {
         };
         let n = 1 + rng.below(6) as usize;
         let direct = spec.run().unwrap();
-        let opts = FleetOptions { shards: n, cache: None, concurrency: None };
+        let opts = FleetOptions { shards: n, ..FleetOptions::default() };
         let (merged, _) = run_fleet(&spec, &opts, &InProcessRunner).unwrap();
         assert_bit_identical(&merged, &direct.result, &format!("{n}-shard random fleet"));
     }

@@ -190,6 +190,8 @@ fn arbitrary_spec(rng: &mut TestRng) -> ExperimentSpec {
         scenario_sharing: (rng.below(4) == 0).then(|| rng.below(2) == 0),
         streaming: (rng.below(4) == 0).then(|| rng.below(2) == 0),
         seed_chunk: (rng.below(4) == 0).then(|| 1 + rng.below(256) as usize),
+        shard_retries: (rng.below(4) == 0).then(|| rng.below(5)),
+        shard_timeout_s: (rng.below(4) == 0).then(|| 1 + rng.below(600)),
     };
     let n_reports = rng.below(3) as usize;
     spec.reports = (0..n_reports)

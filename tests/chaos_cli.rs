@@ -1,0 +1,166 @@
+//! The chaos suite: every injected fault class, end to end through the real `fedopt`
+//! binary and its real subprocess pipes. The hardening contract under test — a fleet
+//! run either completes byte-identical to the single-process run, salvages with
+//! *explicit* holes, or fails with a typed error; it never hangs, never panics the
+//! coordinator, and never returns silently-wrong aggregates.
+//!
+//! Faults are planted with `FEDOPT_FAULT_PLAN=<kind>@<seed>` (see
+//! `experiments::fault`): only the worker whose shard starts at the target seed
+//! misbehaves. Every test here runs `--fig 2 --seeds 6 --shards 3`, so the shards carry
+//! seeds `0..2`, `2..4` and `4..6` and a plan targeting seed 2 fails exactly the middle
+//! shard.
+
+use experiments::json::Json;
+use std::process::Command;
+
+fn fedopt() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fedopt"));
+    cmd.env("FEDOPT_SWEEP_THREADS", "2");
+    cmd
+}
+
+const FLEET: &[&str] =
+    &["run", "--fig", "2", "--seeds", "6", "--json", "--shards", "3", "--shard-retries", "0"];
+
+/// Runs the fleet command under a fault plan; returns (exit-success, stdout, stderr).
+fn run_fleet_with_fault(plan: &str, extra: &[&str]) -> (bool, String, String) {
+    let out = fedopt()
+        .args(FLEET)
+        .args(extra)
+        .env("FEDOPT_FAULT_PLAN", plan)
+        .output()
+        .expect("fedopt must spawn");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn a_crashing_worker_fails_the_run_with_a_typed_partial_report() {
+    let (ok, _, stderr) = run_fleet_with_fault("crash@2", &[]);
+    assert!(!ok, "a crashed shard without --allow-partial must fail the run");
+    assert!(stderr.contains("fleet run FAILED"), "{stderr}");
+    assert!(stderr.contains("seeds 2..4"), "the report names the dead shard: {stderr}");
+    assert!(stderr.contains("injected fault: crash on entry"), "{stderr}");
+}
+
+#[test]
+fn allow_partial_salvages_a_crash_with_an_explicit_hole() {
+    let (ok, stdout, stderr) = run_fleet_with_fault("crash@2", &["--allow-partial"]);
+    assert!(ok, "salvage mode must succeed when survivors exist: {stderr}");
+    let doc = Json::parse(&stdout).expect("salvaged output is still one JSON document");
+    let holes = doc.get("shard_holes").expect("a salvaged run reports its holes").clone();
+    let holes = holes.as_array().unwrap();
+    assert_eq!(holes.len(), 1);
+    assert_eq!(holes[0].get("seeds").unwrap().as_str().unwrap(), "2..4");
+    assert_eq!(holes[0].get("shard").unwrap().as_u64().unwrap(), 1);
+    // The caveat rides inside every report too — a consumer reading only a figure's
+    // table or JSON cannot miss that the means cover fewer draws.
+    let reports = doc.get("reports").unwrap().as_array().unwrap();
+    for report in reports {
+        let note = report.get("note").expect("salvaged reports carry a note");
+        assert!(
+            note.as_str().unwrap().contains("seeds 2..4 missing"),
+            "note must name the hole: {note:?}"
+        );
+    }
+    assert!(stderr.contains("WARNING: salvaged a partial fleet run"), "{stderr}");
+
+    // Against the fault-free control: same spec identity, visibly less work done (the
+    // hole's draws were genuinely skipped, not renormalized away), and no hole members.
+    let (ok, clean, _) = run_fleet_with_fault("crash@999", &["--allow-partial"]);
+    assert!(ok);
+    let clean_doc = Json::parse(&clean).unwrap();
+    assert_eq!(doc.get("spec_id").unwrap(), clean_doc.get("spec_id").unwrap());
+    assert!(clean_doc.get("shard_holes").is_none(), "a clean run reports no holes");
+    let cells =
+        |d: &Json| d.get("counters").unwrap().get("cells_evaluated").unwrap().as_u64().unwrap();
+    assert!(cells(&doc) < cells(&clean_doc), "the salvaged run must have done less work");
+}
+
+#[test]
+fn a_truncated_wire_document_is_a_typed_codec_error_not_a_wrong_answer() {
+    let (ok, _, stderr) = run_fleet_with_fault("truncate@2", &[]);
+    assert!(!ok, "a truncated shard document must fail the run");
+    assert!(stderr.contains("fleet run FAILED"), "{stderr}");
+    assert!(stderr.contains("seeds 2..4"), "{stderr}");
+}
+
+#[test]
+fn a_corrupted_wire_document_is_caught_by_the_checksum() {
+    let (ok, _, stderr) = run_fleet_with_fault("corrupt@2", &[]);
+    assert!(!ok, "a corrupted shard document must fail the run");
+    // Depending on where the flipped byte lands the document either stops parsing or
+    // parses with a wrong payload — the checksum catches the latter. Either way the
+    // error is typed and names the shard; it is never merged.
+    assert!(stderr.contains("seeds 2..4"), "{stderr}");
+}
+
+#[test]
+fn a_stalled_worker_is_killed_on_heartbeat_silence_not_wall_clock() {
+    let start = std::time::Instant::now();
+    let (ok, _, stderr) = run_fleet_with_fault("stall@2", &["--shard-heartbeat", "1"]);
+    assert!(!ok, "a stalled shard must fail the run");
+    assert!(stderr.contains("no heartbeat"), "the kill names its cause: {stderr}");
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(60),
+        "heartbeat silence must end the stall long before any default wall clock"
+    );
+}
+
+#[test]
+fn a_stderr_flooding_worker_leaves_a_bounded_truncated_tail() {
+    let (ok, _, stderr) = run_fleet_with_fault("flood@2", &[]);
+    assert!(!ok);
+    assert!(stderr.contains("… (truncated)"), "the tail marks what it dropped: {stderr}");
+    assert!(stderr.contains("injected flood line 4999"), "the newest lines survive: {stderr}");
+    assert!(
+        !stderr.contains("injected flood line 0:"),
+        "the oldest flood lines must have been dropped: {stderr}"
+    );
+}
+
+#[test]
+fn a_control_plan_changes_nothing_byte_for_byte() {
+    // Seed 999 is outside the sweep: the plan arms but never fires, and the fleet
+    // output stays byte-identical to the single-process run — the strongest form of
+    // "the chaos machinery itself is inert when not triggered".
+    let single = fedopt()
+        .args(["run", "--fig", "2", "--seeds", "6", "--json"])
+        .output()
+        .expect("fedopt must spawn");
+    assert!(single.status.success());
+    let (ok, sharded, _) = run_fleet_with_fault("crash@999", &[]);
+    assert!(ok);
+    assert_eq!(
+        sharded,
+        String::from_utf8_lossy(&single.stdout),
+        "a dormant fault plan must not change a single output byte"
+    );
+}
+
+#[test]
+fn a_malformed_fault_plan_is_a_loud_error_not_a_silent_control_run() {
+    let out = fedopt()
+        .args(["run", "--spec", "-", "--shard-json"])
+        .env("FEDOPT_FAULT_PLAN", "segfault@oops")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .and_then(|mut child| {
+            use std::io::Write as _;
+            let spec = fedopt()
+                .args(["spec", "--fig", "2", "--seeds", "2"])
+                .output()
+                .expect("spec must print");
+            child.stdin.take().unwrap().write_all(&spec.stdout)?;
+            child.wait_with_output()
+        })
+        .expect("fedopt must spawn");
+    assert!(!out.status.success(), "a typo'd chaos plan must not pass as a clean run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("FEDOPT_FAULT_PLAN"), "{stderr}");
+}
