@@ -1,0 +1,79 @@
+//! Per-request latency of the `fedopt serve` session loop (PR 9).
+//!
+//! Drives [`experiments::serve::serve_session`] in process — real worker threads, real
+//! response serialization, output to a sink — with a replayed JSON-lines request
+//! stream, so the measured cost is the full admission → dispatch → solve → respond
+//! path and not just the solver. Two stream shapes:
+//!
+//! * `serve_latency/cold_32req` — 32 distinct scenarios (every request a warm miss);
+//! * `serve_latency/warm_32req` — one scenario replayed 32 times (31 warm-cache hits,
+//!   the PR 4 continuation resolving each repeat with 0 Jong iterations).
+//!
+//! Besides throughput, each shape reports its per-request p50/p99 (microseconds, from
+//! the session's own `--timing` instrumentation) on stderr once before the criterion
+//! samples — the latency numbers the ISSUE's serving contract asks for.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::serve::{serve_session, ServeOptions, ServeStats};
+use std::sync::atomic::AtomicBool;
+use std::time::Duration;
+
+const REQUESTS: usize = 32;
+
+fn request(id: usize, seed: u64) -> String {
+    format!(
+        "{{\"schema_version\":1,\"id\":\"r{id}\",\"scenario\":{{\"devices\":5}},\
+         \"seed\":{seed},\"solver\":{{\"preset\":\"fast\"}}}}\n"
+    )
+}
+
+/// A 32-request stream: distinct seeds (cold) or one seed replayed (warm).
+fn stream(warm: bool) -> String {
+    (0..REQUESTS).map(|i| request(i, if warm { 7 } else { i as u64 })).collect()
+}
+
+fn options() -> ServeOptions {
+    ServeOptions {
+        workers: 1,            // one worker: every request lands on the same warm state
+        queue_depth: REQUESTS, // a replayed burst must queue, not shed
+        timing: true,
+        warm_start: Some(true),
+        ..ServeOptions::default()
+    }
+}
+
+fn run_session(input: &str, opts: &ServeOptions) -> ServeStats {
+    let drain = AtomicBool::new(false);
+    serve_session(input.as_bytes(), std::io::sink(), opts, &drain)
+        .expect("an in-process session must not fail")
+}
+
+fn bench_serve_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_latency");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(5));
+    let opts = options();
+    for (label, warm) in [("cold", false), ("warm", true)] {
+        let input = stream(warm);
+        // One instrumented pass up front: the per-request latency percentiles.
+        let stats = run_session(&input, &opts);
+        assert_eq!(stats.ok, REQUESTS as u64, "every benched request must resolve ok");
+        eprintln!(
+            "serve_latency/{label}_{REQUESTS}req: p50={} us p99={} us \
+             (warm_hits={} warm_misses={})",
+            stats.percentile_us(50),
+            stats.percentile_us(99),
+            stats.warm_hits,
+            stats.warm_misses,
+        );
+        group.bench_function(format!("{label}_{REQUESTS}req"), |b| {
+            b.iter(|| run_session(&input, &opts).requests)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_latency);
+criterion_main!(benches);

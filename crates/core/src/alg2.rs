@@ -109,6 +109,20 @@ impl JointOptimizer {
         self.outcome_from_workspace(scenario, weights, ws, summary)
     }
 
+    /// Enforces the caller's wall-clock budget ([`SolverWorkspace::solve_deadline`]) at an
+    /// outer-iteration boundary: past the instant, the solve is abandoned with the typed
+    /// [`CoreError::DeadlineExpired`] degradation. `iterations` is the count of outer
+    /// iterations already completed (what the error reports). A `None` budget — the
+    /// default, and every non-serving caller — costs one branch.
+    fn check_deadline(ws: &SolverWorkspace, iterations: usize) -> Result<(), CoreError> {
+        if let Some(deadline) = ws.solve_deadline {
+            if std::time::Instant::now() >= deadline {
+                return Err(CoreError::DeadlineExpired { iterations });
+            }
+        }
+        Ok(())
+    }
+
     /// [`Self::solve_with`] without materialising an [`Outcome`]: the sweep hot path.
     ///
     /// Returns the scalar [`OutcomeSummary`] and leaves the winning allocation in
@@ -128,6 +142,7 @@ impl JointOptimizer {
         ws: &mut SolverWorkspace,
     ) -> Result<OutcomeSummary, CoreError> {
         ws.trace.clear();
+        Self::check_deadline(ws, 0)?;
         if weights.time() >= 1.0 {
             // Pure delay minimization: energy plays no role, so Subproblem 2's objective is
             // degenerate. Solve the min-max completion-time problem directly.
@@ -136,13 +151,35 @@ impl JointOptimizer {
             return self.finish_summary(scenario, weights, ws, true);
         }
 
-        ws.allocation.set_equal_split_max(scenario);
+        // Outer-loop continuation (serving layers only; see `SolverConfig`): re-open at the
+        // carried best allocation when it plausibly belongs to this scenario, so a repeat
+        // of the same problem starts converged and SP2's fast path fires at k = 1. The
+        // shape check is a guard against misuse, not the correctness argument — callers
+        // must only enable this when the workspace last solved the *same* problem.
+        let n = scenario.devices.len();
+        let continued = self.config.warm_start
+            && self.config.outer_continuation
+            && ws.best.powers_w.len() == n
+            && ws.best.frequencies_hz.len() == n
+            && ws.best.bandwidths_hz.len() == n
+            && ws.sp2.solution().powers_w.len() == n
+            && ws.sp2.solution().bandwidths_hz.len() == n;
+        if continued {
+            let SolverWorkspace { allocation, best, .. } = &mut *ws;
+            allocation.clone_from(best);
+        } else {
+            ws.allocation.set_equal_split_max(scenario);
+        }
         ws.arrays.rebuild(scenario);
         let mut best_objective = f64::INFINITY;
         let mut have_best = false;
         let mut converged = false;
 
         for k in 1..=self.config.outer_max_iter {
+            // Deadline watchdog: the caller's wall-clock budget is checked at every
+            // outer-iteration boundary, so an expired budget costs at most one more
+            // (bounded) iteration before the solve degrades to the typed error.
+            Self::check_deadline(ws, k - 1)?;
             ws.previous.clone_from(&ws.allocation);
 
             // --- Subproblem 1: frequencies and the auxiliary round time T. ---
@@ -195,10 +232,12 @@ impl JointOptimizer {
                 weights,
                 r_min_bps,
             );
-            if !(self.config.warm_start && k > 1) {
+            if !(self.config.warm_start && (k > 1 || continued)) {
                 // Warm continuation keeps the previous SP2 iterate staged in the scratch
                 // (un-projected, which is what the fast path recognises); the cold path
                 // restages the projected allocation every iteration, as Algorithm 2 writes.
+                // An outer-continued solve extends the same rule to k = 1: the scratch
+                // still stages the previous solve's iterate of this very problem.
                 sp2.stage_start(&allocation.powers_w, &allocation.bandwidths_hz);
             }
             let sp2_sol = match sp2::solve_with_arrays_in(
@@ -312,6 +351,7 @@ impl JointOptimizer {
         let weights = Weights::energy_only();
         let round_deadline = total_deadline_s / scenario.params.rg();
 
+        Self::check_deadline(ws, 0)?;
         let (fastest_alloc, fastest_round) = self.minimize_round_time(scenario)?;
         if round_deadline < fastest_round * (1.0 - 1e-9) {
             return Err(CoreError::InfeasibleDeadline {
@@ -370,6 +410,8 @@ impl JointOptimizer {
         let k_offset = ws.trace.len();
 
         for k in 1..=self.config.outer_max_iter {
+            // Same wall-clock watchdog as the weighted loop (see `solve_summary_with`).
+            Self::check_deadline(ws, k_offset + k - 1)?;
             ws.previous.clone_from(&ws.allocation);
             let SolverWorkspace {
                 r_min_bps,
@@ -828,6 +870,57 @@ mod tests {
         let out = opt.solve_summary_with(&healthy, Weights::new(0.5, 0.5).unwrap(), &mut ws);
         assert!(out.is_ok(), "degradation must not poison the workspace: {out:?}");
         assert_eq!(ws.counters.degraded_solves, 1, "healthy solve must not count");
+    }
+
+    #[test]
+    fn an_expired_solve_deadline_degrades_without_poisoning_the_workspace() {
+        let s = scenario(10, 35);
+        let opt = optimizer();
+        let mut ws = SolverWorkspace::new();
+
+        // A budget that is already in the past must stop the solve at the first boundary
+        // check — zero outer iterations, typed error, no hang.
+        ws.solve_deadline = Some(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        match opt.solve_summary_with(&s, Weights::new(0.5, 0.5).unwrap(), &mut ws) {
+            Err(CoreError::DeadlineExpired { iterations }) => assert_eq!(iterations, 0),
+            other => panic!("expected DeadlineExpired, got {other:?}"),
+        }
+        match opt.solve_with_deadline_summary_in(&s, 500.0, &mut ws) {
+            Err(CoreError::DeadlineExpired { iterations }) => assert_eq!(iterations, 0),
+            other => panic!("expected DeadlineExpired, got {other:?}"),
+        }
+        // A deadline miss is a budget property, not workspace corruption: it must not be
+        // counted as a degraded (non-finite) solve.
+        assert_eq!(ws.counters.degraded_solves, 0);
+
+        // The budget is a caller-managed input — clearing it restores normal behaviour,
+        // and a generous budget never fires.
+        ws.solve_deadline = None;
+        opt.solve_summary_with(&s, Weights::new(0.5, 0.5).unwrap(), &mut ws).unwrap();
+        ws.solve_deadline = Some(std::time::Instant::now() + std::time::Duration::from_secs(3600));
+        opt.solve_summary_with(&s, Weights::new(0.5, 0.5).unwrap(), &mut ws).unwrap();
+        ws.solve_deadline = None;
+    }
+
+    #[test]
+    fn quarantine_reset_restores_fresh_workspace_behaviour() {
+        let s = scenario(8, 36);
+        let opt = JointOptimizer::new(SolverConfig::fast().with_warm_start(true));
+        let mut ws = SolverWorkspace::new();
+        let fresh = opt.solve_summary_with(&s, Weights::balanced(), &mut ws).unwrap();
+
+        // Dirty everything a solve can dirty (plus the deadline input), then quarantine.
+        let _ = opt.solve_summary_with(&s, Weights::balanced(), &mut ws);
+        ws.solve_deadline = Some(std::time::Instant::now() + std::time::Duration::from_secs(1));
+        ws.quarantine_reset();
+        assert!(ws.solve_deadline.is_none(), "quarantine must drop the pending budget");
+        assert_eq!(
+            ws.counters,
+            crate::trace::SolveCounters::default(),
+            "quarantine must zero the counters"
+        );
+        let after = opt.solve_summary_with(&s, Weights::balanced(), &mut ws).unwrap();
+        assert_eq!(fresh, after, "a quarantined workspace must behave like a fresh one");
     }
 
     #[test]

@@ -27,6 +27,18 @@ pub enum CoreError {
         /// Outer iterations attempted before the watchdog gave up.
         iterations: usize,
     },
+    /// The caller-supplied wall-clock budget ([`SolverWorkspace::solve_deadline`]) expired
+    /// before the outer loop converged. Like [`CoreError::NonFiniteObjective`] this is a
+    /// *degradation*, not an abort: the solve is abandoned at an iteration boundary so it
+    /// can never hang a serving thread, and request-level callers answer with a typed
+    /// `degraded` response instead of tearing anything down. The workspace itself stays
+    /// healthy — no quarantine is implied.
+    ///
+    /// [`SolverWorkspace::solve_deadline`]: crate::SolverWorkspace::solve_deadline
+    DeadlineExpired {
+        /// Outer iterations completed before the budget ran out.
+        iterations: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -41,6 +53,12 @@ impl fmt::Display for CoreError {
             CoreError::SolverFailure(msg) => write!(f, "solver failure: {msg}"),
             CoreError::NonFiniteObjective { iterations } => {
                 write!(f, "solver degraded: no finite objective in {iterations} outer iteration(s)")
+            }
+            CoreError::DeadlineExpired { iterations } => {
+                write!(
+                    f,
+                    "solver degraded: wall-clock budget expired after {iterations} outer iteration(s)"
+                )
             }
         }
     }
@@ -83,6 +101,10 @@ mod tests {
 
         let e = CoreError::InfeasibleDeadline { requested_s: 10.0, achievable_s: 24.0 };
         assert!(e.to_string().contains("24"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e = CoreError::DeadlineExpired { iterations: 3 };
+        assert!(e.to_string().contains("wall-clock budget expired after 3"));
         assert!(std::error::Error::source(&e).is_none());
     }
 

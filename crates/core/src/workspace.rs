@@ -85,6 +85,17 @@ pub struct SolverWorkspace {
     /// Subproblem 1's carried golden-section bracket (warm-start state; reset together
     /// with the Subproblem-2 warm state by [`Self::reset_warm_start`]).
     pub sp1_warm: Sp1WarmState,
+    /// Optional wall-clock budget for the *next* solve that borrows this workspace.
+    ///
+    /// When set, Algorithm 2 checks it at solve entry and at every outer-iteration
+    /// boundary and abandons the solve with
+    /// [`CoreError::DeadlineExpired`](crate::CoreError::DeadlineExpired) once the instant
+    /// has passed — the hook serving layers use to turn a slow request into a typed
+    /// `degraded` response instead of a hang. This is a caller-managed *input*, not
+    /// carried state: solvers only read it, never clear or set it, so a long-lived
+    /// workspace owner must decide per solve whether a budget applies (and `None`, the
+    /// default, costs the hot path nothing beyond one branch per outer iteration).
+    pub solve_deadline: Option<std::time::Instant>,
 }
 
 impl SolverWorkspace {
@@ -109,6 +120,7 @@ impl SolverWorkspace {
             sp1_cd: Vec::with_capacity(n),
             arrays: ScenarioArrays::with_capacity(n),
             sp1_warm: Sp1WarmState::default(),
+            solve_deadline: None,
         }
     }
 
@@ -118,6 +130,20 @@ impl SolverWorkspace {
     pub fn reset_warm_start(&mut self) {
         self.sp2.reset_warm_start();
         self.sp1_warm.reset();
+    }
+
+    /// Tears the workspace down to a freshly-constructed state, keeping only the
+    /// per-device `Vec` capacity as a sizing hint.
+    ///
+    /// This is the quarantine hammer for supervisors that suspect the workspace itself —
+    /// a panicking solve, a non-finite objective, or warm-vs-cold drift beyond tolerance.
+    /// Unlike [`Self::reset_warm_start`] (which drops only the deliberately-carried
+    /// warm-start state) this also zeroes the counters, the staged allocations, the trace
+    /// pool and any pending [`Self::solve_deadline`], so nothing a corrupted solve may
+    /// have left behind can influence the next one.
+    pub fn quarantine_reset(&mut self) {
+        let n = self.rates_bps.capacity();
+        *self = Self::with_capacity(n);
     }
 
     /// Fills [`Self::uploads_s`] with the per-device upload times `T_n^up = d_n / r_n`

@@ -58,6 +58,7 @@ use crate::fault::{FaultKind, FaultPlan};
 use crate::json::Json;
 use crate::presets::{self, Variant};
 use crate::report::FigureReport;
+use crate::serve::{self, ServeOptions};
 use crate::shard::{self, FleetOptions, FleetStats, ShardCache, ShardError, SubprocessRunner};
 use crate::spec::{ExperimentSpec, SpecError, SpecRun};
 use std::fmt;
@@ -78,9 +79,19 @@ USAGE:
                                      run a serialized spec (FILE of '-' reads stdin)
   fedopt run ... --shards N [--cache-dir DIR] [--shard-timeout SECS]
                  [--shard-retries N] [--shard-backoff-ms MS] [--shard-heartbeat SECS]
-                 [--allow-partial]
+                 [--shard-heartbeat-interval-ms MS] [--allow-partial]
                                      split the run into N seed shards, execute them as
                                      fedopt subprocesses, merge bit-identically
+  fedopt run ... --fill-holes REPORT --cache-dir DIR
+                                     resume a salvaged run: re-run only the shards a
+                                     --allow-partial JSON document reports as holes,
+                                     replay the survivors from the cache, emit the
+                                     complete document
+  fedopt serve [--socket PATH] [--workers N] [--queue-depth N] [--deadline-ms MS]
+               [--warm-staleness N] [--timing]
+                                     long-lived solve service: JSON-lines requests on
+                                     stdin (or a unix socket), one typed JSON response
+                                     per request (ok | degraded | shed | invalid)
   fedopt shard split (--fig N | --spec FILE) --shards N
                                      print the N shard specs as a JSON array
   fedopt shard cache stats --cache-dir DIR
@@ -108,13 +119,33 @@ OPTIONS:
   --shard-heartbeat S
                      kill a worker after S seconds of heartbeat silence
                      (requires --shards; default 30)
+  --shard-heartbeat-interval-ms MS
+                     pace the workers' heartbeat lines (requires --shards or
+                     --fill-holes; default 500; must fit inside the --shard-heartbeat
+                     silence window)
   --allow-partial    salvage mode: merge completed shards, report failed seed ranges as
                      explicit holes instead of failing the run (requires --shards)
+  --fill-holes FILE  resume the salvaged JSON document FILE: re-run only its shard_holes
+                     under the recorded shard_count split (requires --cache-dir — the
+                     surviving shards replay from the cache)
   --shard-json       worker mode: print the raw shard result document (internal)
+  --socket PATH      serve on a unix domain socket instead of stdin/stdout
+  --workers N        serve: worker threads, each owning a hot solver workspace (default 2)
+  --queue-depth N    serve: per-worker admission queue depth; a full queue sheds
+                     (default 16)
+  --deadline-ms MS   serve: default per-request wall-clock budget (a request's own
+                     deadline_ms member overrides it)
+  --warm-staleness N serve: warm-cache hits between drift-checked cold refreshes
+                     (default 64)
+  --timing           serve: include latency_us in every response (off by default — it
+                     breaks replay byte-identity)
 
 Environment: FEDOPT_SWEEP_THREADS pins the default worker count; FEDOPT_WARM_START
 overrides every spec's warm-start default (0 forces cold, 1 forces warm);
-FEDOPT_FAULT_PLAN (<kind>@<seed>) injects a deterministic worker fault for chaos tests.";
+FEDOPT_SHARD_HEARTBEAT_INTERVAL_MS paces worker heartbeats (the flag sets it);
+FEDOPT_FAULT_PLAN (<kind>@<target>) injects a deterministic fault for chaos tests —
+worker kinds fire on a shard's first seed, serve kinds (slowreq/poisonreq/floodreq)
+on a request index.";
 
 /// A CLI failure: a message for stderr (usage problems include the usage text).
 #[derive(Debug, Clone, PartialEq)]
@@ -204,8 +235,14 @@ pub struct FleetArgs {
     pub shard_backoff_ms: Option<u64>,
     /// Kill a worker after this many seconds of heartbeat silence (requires `shards`).
     pub shard_heartbeat_s: Option<u64>,
+    /// Pace the workers' heartbeat lines this many milliseconds apart (requires
+    /// `shards` or `fill_holes`; default [`shard::DEFAULT_HEARTBEAT_INTERVAL`]).
+    pub shard_heartbeat_interval_ms: Option<u64>,
     /// Salvage mode: merge completed shards, surface failures as explicit holes.
     pub allow_partial: bool,
+    /// Resume mode: path of a salvaged `--json` document whose `shard_holes` are the
+    /// only shards to re-run (requires `cache_dir`; excludes `shards`).
+    pub fill_holes: Option<String>,
     /// Worker mode: print the raw [`crate::shard::ShardResult`] document and exit.
     pub shard_json: bool,
 }
@@ -255,6 +292,21 @@ pub enum Command {
         paper: bool,
         /// Baked into the printed spec.
         overrides: Overrides,
+    },
+    /// `fedopt serve …` — the long-lived, crash-isolated allocation service.
+    Serve {
+        /// Unix-socket path to listen on (`None` = one stdin/stdout session).
+        socket: Option<String>,
+        /// Worker threads, each owning a hot solver workspace.
+        workers: usize,
+        /// Per-worker admission-queue depth; a full queue sheds.
+        queue_depth: usize,
+        /// Default per-request wall-clock budget in milliseconds.
+        deadline_ms: Option<u64>,
+        /// Warm-cache hits between drift-checked cold refreshes.
+        warm_staleness: u64,
+        /// Include per-request latency in every response.
+        timing: bool,
     },
     /// `fedopt list`
     List,
@@ -402,17 +454,43 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 shard_retries: take_nonneg(&mut rest, "--shard-retries")?,
                 shard_backoff_ms: take_nonneg(&mut rest, "--shard-backoff-ms")?,
                 shard_heartbeat_s: take_positive(&mut rest, "--shard-heartbeat")?,
+                shard_heartbeat_interval_ms: take_positive(
+                    &mut rest,
+                    "--shard-heartbeat-interval-ms",
+                )?,
                 allow_partial: take_switch(&mut rest, "--allow-partial"),
+                fill_holes: take_value(&mut rest, "--fill-holes")?,
                 shard_json: take_switch(&mut rest, "--shard-json"),
             };
             reject_leftovers(&rest)?;
-            if fleet.shards.is_none() {
+            if fleet.fill_holes.is_some() {
+                if fleet.shards.is_some() {
+                    return Err(CliError::usage(
+                        "--fill-holes resumes the split recorded in the document; it \
+                         cannot combine with --shards",
+                    ));
+                }
+                if fleet.allow_partial {
+                    return Err(CliError::usage(
+                        "--fill-holes completes a salvaged run; --allow-partial would \
+                         let it stay partial",
+                    ));
+                }
+                if fleet.cache_dir.is_none() {
+                    return Err(CliError::usage(
+                        "--fill-holes requires --cache-dir DIR — the surviving shards \
+                         replay from the shard cache, only the holes are recomputed",
+                    ));
+                }
+            }
+            if fleet.shards.is_none() && fleet.fill_holes.is_none() {
                 for (set, flag) in [
                     (fleet.cache_dir.is_some(), "--cache-dir"),
                     (fleet.shard_timeout_s.is_some(), "--shard-timeout"),
                     (fleet.shard_retries.is_some(), "--shard-retries"),
                     (fleet.shard_backoff_ms.is_some(), "--shard-backoff-ms"),
                     (fleet.shard_heartbeat_s.is_some(), "--shard-heartbeat"),
+                    (fleet.shard_heartbeat_interval_ms.is_some(), "--shard-heartbeat-interval-ms"),
                     (fleet.allow_partial, "--allow-partial"),
                 ] {
                     if set {
@@ -420,13 +498,40 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     }
                 }
             }
-            if fleet.shard_json && (json || fleet.shards.is_some()) {
+            if let Some(interval_ms) = fleet.shard_heartbeat_interval_ms {
+                // A beat cadence slower than the allowed silence kills every healthy
+                // worker between two beats — a configuration that can only lose.
+                let window_s =
+                    fleet.shard_heartbeat_s.unwrap_or(shard::DEFAULT_HEARTBEAT_TIMEOUT.as_secs());
+                if window_s.saturating_mul(1000) < interval_ms {
+                    return Err(CliError::usage(format!(
+                        "--shard-heartbeat-interval-ms {interval_ms} exceeds the \
+                         heartbeat-silence window of {window_s} s — every worker would \
+                         be killed as stalled between two beats; raise --shard-heartbeat \
+                         or lower the interval"
+                    )));
+                }
+            }
+            if fleet.shard_json && (json || fleet.shards.is_some() || fleet.fill_holes.is_some()) {
                 return Err(CliError::usage(
                     "--shard-json is the worker-mode output format; it cannot combine \
-                     with --json or --shards",
+                     with --json, --shards, or --fill-holes",
                 ));
             }
             Ok(Command::Run { source, overrides, json, fleet })
+        }
+        "serve" => {
+            let socket = take_value(&mut rest, "--socket")?;
+            let workers = take_positive(&mut rest, "--workers")?
+                .map_or(serve::DEFAULT_WORKERS, |n| n as usize);
+            let queue_depth = take_positive(&mut rest, "--queue-depth")?
+                .map_or(serve::DEFAULT_QUEUE_DEPTH, |n| n as usize);
+            let deadline_ms = take_positive(&mut rest, "--deadline-ms")?;
+            let warm_staleness = take_positive(&mut rest, "--warm-staleness")?
+                .unwrap_or(serve::DEFAULT_WARM_STALENESS);
+            let timing = take_switch(&mut rest, "--timing");
+            reject_leftovers(&rest)?;
+            Ok(Command::Serve { socket, workers, queue_depth, deadline_ms, warm_staleness, timing })
         }
         "shard" => match rest.split_first() {
             Some((sub, tail)) if sub == "split" => {
@@ -543,8 +648,9 @@ pub fn run_document(spec: &ExperimentSpec, run: &SpecRun) -> Json {
 /// fault-free output stays byte-identical to the single-process document (the CI golden
 /// diff depends on it): `shard_cache_hits` / `shard_cache_misses` appear only when a
 /// cache directory was actually configured, `degraded_solves` only when the solver
-/// watchdog actually degraded a cell, and `shard_holes` only when a salvaged run is
-/// missing seed ranges.
+/// watchdog actually degraded a cell, and `shard_holes` (plus the `shard_count` that
+/// `--fill-holes` needs to reproduce the split) only when a salvaged run is missing
+/// seed ranges.
 pub fn run_document_with_fleet(
     spec: &ExperimentSpec,
     run: &SpecRun,
@@ -594,6 +700,10 @@ pub fn run_document_with_fleet(
                 })
                 .collect();
             members.push(("shard_holes".to_string(), Json::Arr(holes)));
+            // Only salvaged documents record their split: `--fill-holes` needs it to
+            // reproduce the identical shard boundaries, and gating it here keeps
+            // fault-free output byte-identical to the single-process document.
+            members.push(("shard_count".to_string(), Json::uint(stats.shards as u64)));
         }
     }
     Json::Obj(members)
@@ -649,6 +759,9 @@ pub fn main_with(args: &[String]) -> Result<String, CliError> {
                 // coordinator can stream-parse stdout.
                 return run_worker(&spec);
             }
+            if let Some(report_path) = fleet.fill_holes.clone() {
+                return run_fill_holes(&spec, &report_path, &fleet, json);
+            }
             if let Some(shards) = fleet.shards {
                 return run_fleet_command(&spec, shards, &fleet, json);
             }
@@ -678,6 +791,23 @@ pub fn main_with(args: &[String]) -> Result<String, CliError> {
                 "cache {dir}\n  entries:   {} ({} bytes)\n  tmp files: {} ({} bytes)\n",
                 stats.entries, stats.entry_bytes, stats.tmp_files, stats.tmp_bytes
             ))
+        }
+        Command::Serve { socket, workers, queue_depth, deadline_ms, warm_staleness, timing } => {
+            // Only the serve-side fault kinds apply here; a plan targeting shard seeds
+            // stays armed for worker subprocesses and is inert for the service.
+            let fault = FaultPlan::from_env()
+                .map_err(CliError::runtime)?
+                .filter(|plan| plan.kind.is_serve_fault());
+            let opts = ServeOptions {
+                workers,
+                queue_depth,
+                deadline_ms,
+                warm_staleness,
+                timing,
+                warm_start: None,
+                fault,
+            };
+            run_serve_command(socket, &opts)
         }
         Command::CacheGc { dir, max_age_s, max_bytes } => {
             let report =
@@ -723,13 +853,20 @@ fn run_worker(spec: &ExperimentSpec) -> Result<String, CliError> {
         }
         _ => {}
     }
+    // The beat cadence comes from the coordinator (or the user) via the environment; a
+    // malformed value is a loud startup error — a typo must not degrade into a silently
+    // different liveness contract.
+    let interval = shard::heartbeat_interval_env()
+        .map_err(CliError::runtime)?
+        .unwrap_or(shard::DEFAULT_HEARTBEAT_INTERVAL);
     let progress = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
     let result = std::thread::scope(|scope| {
         scope.spawn(|| {
-            // Heartbeat immediately, then every ~500 ms, polling `stop` at 50 ms so the
-            // worker exits promptly once the shard is done.
+            // Heartbeat immediately, then every `interval`, polling `stop` at 50 ms so
+            // the worker exits promptly once the shard is done.
             let start = Instant::now();
+            let slice = Duration::from_millis(50).min(interval);
             loop {
                 eprintln!(
                     "{} t={:.1}s cells={}",
@@ -737,11 +874,12 @@ fn run_worker(spec: &ExperimentSpec) -> Result<String, CliError> {
                     start.elapsed().as_secs_f64(),
                     progress.load(Ordering::Relaxed)
                 );
-                for _ in 0..10 {
+                let beat = Instant::now();
+                while beat.elapsed() < interval {
                     if stop.load(Ordering::Relaxed) {
                         return;
                     }
-                    std::thread::sleep(Duration::from_millis(50));
+                    std::thread::sleep(slice);
                 }
             }
         });
@@ -765,29 +903,39 @@ fn run_worker(spec: &ExperimentSpec) -> Result<String, CliError> {
     }
 }
 
-/// The coordinator half of `fedopt run --shards N`: split, fan out to `fedopt`
-/// subprocesses, merge, render.
-fn run_fleet_command(
-    spec: &ExperimentSpec,
-    shards: usize,
+/// The subprocess runner a fleet-mode (or fill-holes) command configures. Precedence
+/// for the hardening knobs: CLI flag > spec `engine` field > default.
+fn subprocess_runner(
     fleet: &FleetArgs,
-    json: bool,
-) -> Result<String, CliError> {
+    spec: &ExperimentSpec,
+) -> Result<SubprocessRunner, CliError> {
     let program = std::env::current_exe()
         .map_err(|e| CliError::runtime(format!("cannot locate the fedopt binary: {e}")))?;
     let mut runner = SubprocessRunner::new(program);
-    // Precedence for the hardening knobs: CLI flag > spec `engine` field > default.
     if let Some(secs) = fleet.shard_timeout_s.or(spec.engine.shard_timeout_s) {
         runner = runner.with_timeout(Duration::from_secs(secs));
     }
     if let Some(secs) = fleet.shard_heartbeat_s {
         runner = runner.with_heartbeat_timeout(Some(Duration::from_secs(secs)));
     }
+    if let Some(ms) = fleet.shard_heartbeat_interval_ms {
+        runner = runner.with_heartbeat_interval(Duration::from_millis(ms));
+    }
+    Ok(runner)
+}
+
+/// The [`FleetOptions`] a fleet-mode (or fill-holes) command configures.
+fn fleet_options(
+    fleet: &FleetArgs,
+    spec: &ExperimentSpec,
+    shards: usize,
+    allow_partial: bool,
+) -> Result<FleetOptions, CliError> {
     let cache = match &fleet.cache_dir {
         Some(dir) => Some(ShardCache::open(dir)?),
         None => None,
     };
-    let opts = FleetOptions {
+    Ok(FleetOptions {
         shards,
         cache,
         concurrency: None,
@@ -796,8 +944,20 @@ fn run_fleet_command(
             .or(spec.engine.shard_retries)
             .map_or(shard::DEFAULT_MAX_RETRIES, |n| n as usize),
         backoff: fleet.shard_backoff_ms.map_or(shard::DEFAULT_RETRY_BACKOFF, Duration::from_millis),
-        allow_partial: fleet.allow_partial,
-    };
+        allow_partial,
+    })
+}
+
+/// The coordinator half of `fedopt run --shards N`: split, fan out to `fedopt`
+/// subprocesses, merge, render.
+fn run_fleet_command(
+    spec: &ExperimentSpec,
+    shards: usize,
+    fleet: &FleetArgs,
+    json: bool,
+) -> Result<String, CliError> {
+    let runner = subprocess_runner(fleet, spec)?;
+    let opts = fleet_options(fleet, spec, shards, fleet.allow_partial)?;
     eprintln!(
         "running {} as a fleet ({} shards over {} draws/point{})...",
         spec.id,
@@ -833,6 +993,117 @@ fn run_fleet_command(
     }
     let run = SpecRun { result, reports };
     Ok(render_run_with_fleet(spec, &run, json, Some(&stats)))
+}
+
+/// The resume half of salvage (`fedopt run --fill-holes REPORT`): read the salvaged
+/// document's `shard_holes` and `shard_count`, re-run the identical split with the
+/// survivors answering from the shard cache (cache-first, so only the holes cost
+/// compute), and emit the complete document — byte-identical to a run that never
+/// faulted. The document's `spec_id` must match the spec selected on the command line;
+/// a document without holes, or without a recorded split, is a loud error rather than a
+/// silent full re-run.
+fn run_fill_holes(
+    spec: &ExperimentSpec,
+    report_path: &str,
+    fleet: &FleetArgs,
+    json: bool,
+) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(report_path)
+        .map_err(|e| CliError::runtime(format!("reading {report_path}: {e}")))?;
+    let doc = Json::parse(&text).map_err(|e| {
+        CliError::runtime(format!("--fill-holes: {report_path} is not a JSON run document: {e}"))
+    })?;
+    let doc_spec_id = doc.get("spec_id").and_then(Json::as_str).ok_or_else(|| {
+        CliError::runtime(format!(
+            "--fill-holes: {report_path} carries no spec_id — is it a `fedopt run --json` \
+             document?"
+        ))
+    })?;
+    if doc_spec_id != spec.id {
+        return Err(CliError::runtime(format!(
+            "--fill-holes: {report_path} documents spec {doc_spec_id:?} but the command \
+             line selects {:?} — refusing to merge unrelated runs",
+            spec.id
+        )));
+    }
+    let holes = doc
+        .get("shard_holes")
+        .and_then(Json::as_array)
+        .filter(|holes| !holes.is_empty())
+        .ok_or_else(|| {
+        CliError::runtime(format!(
+            "--fill-holes: {report_path} reports no shard_holes — the document is \
+                 already complete, nothing to fill"
+        ))
+    })?;
+    let shard_count = doc.get("shard_count").and_then(Json::as_u64).ok_or_else(|| {
+        CliError::runtime(format!(
+            "--fill-holes: {report_path} records no shard_count — only salvaged documents \
+             from `--shards N --allow-partial` runs are resumable"
+        ))
+    })? as usize;
+    let missing: Vec<&str> =
+        holes.iter().filter_map(|hole| hole.get("seeds").and_then(Json::as_str)).collect();
+    eprintln!(
+        "filling {} hole(s) of {report_path} (seeds {}) under the recorded {shard_count}-shard \
+         split; surviving shards replay from the cache...",
+        holes.len(),
+        missing.join(", "),
+    );
+    let runner = subprocess_runner(fleet, spec)?;
+    let opts = fleet_options(fleet, spec, shard_count, false)?;
+    let (result, mut stats) = shard::run_fleet(spec, &opts, &runner)?;
+    eprintln!(
+        "holes filled: {} shard(s) answered from the cache, {} recomputed",
+        stats.shard_cache_hits, stats.shard_cache_misses
+    );
+    // The filled document must be byte-identical to the never-faulted single-process
+    // document — the cache traffic is reported on stderr (above), not in the payload.
+    stats.cache_enabled = false;
+    let reports = spec.render_reports(&result);
+    let run = SpecRun { result, reports };
+    Ok(render_run_with_fleet(spec, &run, json, Some(&stats)))
+}
+
+/// The `serve` verb: a long-lived allocation service over stdin/stdout or a unix
+/// socket. Responses stream directly to the transport while the session runs — the
+/// returned payload is empty on purpose — and the run's stats summary goes to stderr,
+/// where all diagnostics live.
+fn run_serve_command(socket: Option<String>, opts: &ServeOptions) -> Result<String, CliError> {
+    eprintln!(
+        "serving ({} worker(s), queue depth {}, default deadline {}, warm staleness {})...",
+        opts.workers,
+        opts.queue_depth,
+        opts.deadline_ms.map_or_else(|| "none".to_string(), |ms| format!("{ms} ms")),
+        opts.warm_staleness,
+    );
+    let stats = match socket {
+        Some(path) => serve_socket(&path, opts)?,
+        None => {
+            // The owned handle (not StdoutLock, which is !Send) crosses into the
+            // session's writer thread; it is the only stdout writer for the run.
+            let stdin = std::io::stdin().lock();
+            serve::serve_session(stdin, std::io::stdout(), opts, serve::drain_flag())
+                .map_err(|e| CliError::runtime(format!("serve: {e}")))?
+        }
+    };
+    eprintln!("{}", stats.summary_line());
+    Ok(String::new())
+}
+
+#[cfg(unix)]
+fn serve_socket(path: &str, opts: &ServeOptions) -> Result<serve::ServeStats, CliError> {
+    eprintln!("listening on {path} (SIGTERM drains; each connection is one session)");
+    serve::serve_unix_socket(std::path::Path::new(path), opts, serve::drain_flag())
+        .map_err(|e| CliError::runtime(format!("serve --socket {path}: {e}")))
+}
+
+#[cfg(not(unix))]
+fn serve_socket(path: &str, _opts: &ServeOptions) -> Result<serve::ServeStats, CliError> {
+    Err(CliError::runtime(format!(
+        "serve --socket {path}: unix domain sockets are unavailable on this platform; \
+         use the stdin/stdout transport"
+    )))
 }
 
 #[cfg(test)]
@@ -915,6 +1186,25 @@ mod tests {
             "run --fig 2 --shards 2 --shard-heartbeat 0",
             "run --fig 2 --shard-json --json",
             "run --fig 2 --shard-json --shards 2",
+            // Heartbeat-interval combinations.
+            "run --fig 2 --shard-heartbeat-interval-ms 500",
+            "run --fig 2 --shards 2 --shard-heartbeat-interval-ms 0",
+            "run --fig 2 --shards 2 --shard-heartbeat-interval-ms soon",
+            // The silence window must fit at least one full beat interval.
+            "run --fig 2 --shards 2 --shard-heartbeat 1 --shard-heartbeat-interval-ms 2000",
+            "run --fig 2 --shards 2 --shard-heartbeat-interval-ms 31000",
+            // Fill-holes combinations.
+            "run --fig 2 --fill-holes r.json",
+            "run --fig 2 --fill-holes r.json --cache-dir /tmp/c --shards 2",
+            "run --fig 2 --fill-holes r.json --cache-dir /tmp/c --allow-partial",
+            "run --fig 2 --fill-holes r.json --cache-dir /tmp/c --shard-json",
+            // Serve combinations.
+            "serve --workers 0",
+            "serve --queue-depth 0",
+            "serve --deadline-ms 0",
+            "serve --warm-staleness none",
+            "serve extra",
+            "serve --fig 2",
             "shard",
             "shard merge",
             "shard split --shards 3",
@@ -1002,6 +1292,107 @@ mod tests {
                 overrides: Overrides { seeds: Some(40), threads: None },
             }
         );
+        // The heartbeat cadence rides along when it fits inside the silence window.
+        assert_eq!(
+            parse(&argv(
+                "run --fig 2 --shards 2 --shard-heartbeat 2 \
+                         --shard-heartbeat-interval-ms 200"
+            ))
+            .unwrap(),
+            Command::Run {
+                source: SpecSource::Fig { fig: 2, paper: false },
+                overrides: Overrides::default(),
+                json: false,
+                fleet: FleetArgs {
+                    shards: Some(2),
+                    shard_heartbeat_s: Some(2),
+                    shard_heartbeat_interval_ms: Some(200),
+                    ..FleetArgs::default()
+                },
+            }
+        );
+        assert_eq!(
+            parse(&argv("run --fig 2 --fill-holes salvaged.json --cache-dir /tmp/c --json"))
+                .unwrap(),
+            Command::Run {
+                source: SpecSource::Fig { fig: 2, paper: false },
+                overrides: Overrides::default(),
+                json: true,
+                fleet: FleetArgs {
+                    fill_holes: Some("salvaged.json".to_string()),
+                    cache_dir: Some("/tmp/c".to_string()),
+                    ..FleetArgs::default()
+                },
+            }
+        );
+    }
+
+    #[test]
+    fn parses_the_serve_command_lines() {
+        assert_eq!(
+            parse(&argv("serve")).unwrap(),
+            Command::Serve {
+                socket: None,
+                workers: serve::DEFAULT_WORKERS,
+                queue_depth: serve::DEFAULT_QUEUE_DEPTH,
+                deadline_ms: None,
+                warm_staleness: serve::DEFAULT_WARM_STALENESS,
+                timing: false,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "serve --socket /tmp/fedopt.sock --workers 4 --queue-depth 1 \
+                 --deadline-ms 250 --warm-staleness 8 --timing"
+            ))
+            .unwrap(),
+            Command::Serve {
+                socket: Some("/tmp/fedopt.sock".to_string()),
+                workers: 4,
+                queue_depth: 1,
+                deadline_ms: Some(250),
+                warm_staleness: 8,
+                timing: true,
+            }
+        );
+    }
+
+    #[test]
+    fn fill_holes_rejects_documents_it_cannot_resume() {
+        let dir = std::env::temp_dir().join(format!("fedopt-fill-holes-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache = dir.join("cache");
+        let run_with = |doc: &str| {
+            let path = dir.join("report.json");
+            std::fs::write(&path, doc).unwrap();
+            main_with(&argv(&format!(
+                "run --fig 2 --seeds 4 --json --fill-holes {} --cache-dir {}",
+                path.display(),
+                cache.display()
+            )))
+        };
+        // The spec id of fig2-quick at 4 seeds, as the document must carry it.
+        let spec_id = {
+            let mut spec = preset(2, false).unwrap();
+            Overrides { seeds: Some(4), threads: None }.apply(&mut spec);
+            spec.id.clone()
+        };
+        for (doc, needle) in [
+            ("not json", "not a JSON run document"),
+            ("{\"reports\": []}", "carries no spec_id"),
+            ("{\"spec_id\": \"some-other-spec\"}", "refusing to merge unrelated runs"),
+            (&format!("{{\"spec_id\": {:?}}}", spec_id), "no shard_holes"),
+            (&format!("{{\"spec_id\": {:?}, \"shard_holes\": []}}", spec_id), "no shard_holes"),
+            (
+                &format!("{{\"spec_id\": {:?}, \"shard_holes\": [{{\"shard\": 1}}]}}", spec_id),
+                "no shard_count",
+            ),
+        ] {
+            let err = run_with(doc).unwrap_err();
+            assert!(!err.usage, "{doc:?} must be a runtime error");
+            assert!(err.message.contains(needle), "{doc:?}: {}", err.message);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -106,6 +106,12 @@ pub struct CellContext<'a> {
     /// a cell-group ([`SweepEngine::with_adaptive_mu_bracket`]); gated through
     /// [`CellContext::solver_config`] like [`Self::warm_start`].
     pub adaptive_mu_bracket: bool,
+    /// Whether the solve may re-open Algorithm 2's outer loop at the workspace's carried
+    /// best allocation (`SolverConfig::outer_continuation`). Always `false` in sweeps —
+    /// every cell must have a trajectory independent of workspace history — and enabled
+    /// per request by the serving loop (`crate::serve`) on a warm-cache hit, where the
+    /// fingerprint guarantees the carried state belongs to the same problem.
+    pub outer_continuation: bool,
     /// The worker thread's reusable solver workspace. Pure scratch (see
     /// `fedopt_core::workspace` for the contract): arms may hand it to any `*_with` solver
     /// entry point but must not expect state to survive between cells. With warm start
@@ -124,6 +130,7 @@ impl CellContext<'_> {
         base.with_warm_start(self.warm_start)
             .with_superlinear_mu(self.superlinear_mu)
             .with_adaptive_mu_bracket(self.adaptive_mu_bracket)
+            .with_outer_continuation(self.outer_continuation)
     }
 }
 
@@ -1131,6 +1138,7 @@ impl GroupEvaluator<'_> {
                     warm_start: self.warm_start,
                     superlinear_mu: self.superlinear_mu,
                     adaptive_mu_bracket: self.adaptive_mu_bracket,
+                    outer_continuation: false,
                     workspace: &mut *ws,
                 };
                 self.cells_evaluated.fetch_add(1, Ordering::Relaxed);

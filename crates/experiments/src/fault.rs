@@ -9,11 +9,19 @@
 //! explicit-hole salvage, or typed error — never a hang, never a coordinator panic")
 //! is assertable in CI.
 //!
-//! The plan is consulted exclusively by the worker mode of the `fedopt` CLI
+//! The shard-side plan is consulted exclusively by the worker mode of the `fedopt` CLI
 //! (`fedopt run --spec - --shard-json`), i.e. by coordinator-spawned subprocesses —
 //! which is exactly the production failure surface: real worker crashes, stalls and
 //! corrupted pipes all happen on the far side of the [`crate::shard::SubprocessRunner`]
 //! boundary, so that is where injected ones must happen too.
+//!
+//! The serve-side kinds ([`FaultKind::SlowRequest`], [`FaultKind::PoisonRequest`],
+//! [`FaultKind::FloodRequest`]) target `fedopt serve` instead: there the `@<target>`
+//! suffix addresses a **0-based request index** in the session's input stream, and the
+//! fault fires inside the worker thread that picked that request up. The two families
+//! are mutually inert — a serve plan is ignored by fleet workers and a shard plan is
+//! ignored by the serving loop — so one environment variable covers both surfaces
+//! without cross-talk.
 
 use crate::spec::ExperimentSpec;
 use std::fmt;
@@ -41,6 +49,19 @@ pub enum FaultKind {
     /// The worker floods stderr with garbage lines and then fails (runaway logging
     /// before a crash). The coordinator's stderr capture must stay bounded.
     StderrFlood,
+    /// Serve-side: the worker sleeps past the request's wall-clock budget before
+    /// solving (GC pause, page-fault storm, cold cache). The deadline watchdog must
+    /// turn it into a typed `degraded` response, never a hang.
+    SlowRequest,
+    /// Serve-side: handling the target request panics inside the worker (heap
+    /// corruption, logic bug on a hostile input). Quarantine must tear down only that
+    /// worker's workspace and the supervisor must keep answering.
+    PoisonRequest,
+    /// Serve-side: the worker holds the target request until the input stream reaches
+    /// EOF before solving it (a wedged downstream dependency). With a bounded queue
+    /// this deterministically forces admission-control shedding of the requests piled
+    /// up behind it.
+    FloodRequest,
 }
 
 impl FaultKind {
@@ -52,7 +73,17 @@ impl FaultKind {
             FaultKind::Stall => "stall",
             FaultKind::CorruptWire => "corrupt",
             FaultKind::StderrFlood => "flood",
+            FaultKind::SlowRequest => "slowreq",
+            FaultKind::PoisonRequest => "poisonreq",
+            FaultKind::FloodRequest => "floodreq",
         }
+    }
+
+    /// Whether this kind targets the serving loop (`fedopt serve`) rather than fleet
+    /// shard workers. The serving loop honors exactly these kinds and treats every
+    /// other plan as dormant, and vice versa.
+    pub const fn is_serve_fault(self) -> bool {
+        matches!(self, FaultKind::SlowRequest | FaultKind::PoisonRequest | FaultKind::FloodRequest)
     }
 
     fn parse(text: &str) -> Option<Self> {
@@ -62,19 +93,24 @@ impl FaultKind {
             "stall" => Some(FaultKind::Stall),
             "corrupt" => Some(FaultKind::CorruptWire),
             "flood" => Some(FaultKind::StderrFlood),
+            "slowreq" => Some(FaultKind::SlowRequest),
+            "poisonreq" => Some(FaultKind::PoisonRequest),
+            "floodreq" => Some(FaultKind::FloodRequest),
             _ => None,
         }
     }
 }
 
-/// One planned fault: which class, and which shard (addressed by its first seed).
+/// One planned fault: which class, and which target (a shard's first seed, or — for
+/// serve-side kinds — a request index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultPlan {
     /// The fault class to inject.
     pub kind: FaultKind,
-    /// The shard whose seed sub-range *starts* with this seed misbehaves; all others
-    /// run clean. A seed outside the sweep's range makes the plan a no-op (the
-    /// control arm of a chaos experiment).
+    /// For shard kinds: the shard whose seed sub-range *starts* with this seed
+    /// misbehaves; all others run clean. For serve kinds: the 0-based index of the
+    /// request in the session's input stream that misbehaves. A target outside the
+    /// sweep/stream makes the plan a no-op (the control arm of a chaos experiment).
     pub target_seed: u64,
 }
 
@@ -92,7 +128,8 @@ impl FaultPlan {
         let kind = FaultKind::parse(kind_text).ok_or_else(|| {
             format!(
                 "unknown fault kind {kind_text:?} (expected crash, truncate, stall, \
-                 corrupt or flood)"
+                 corrupt or flood for fleet shards; slowreq, poisonreq or floodreq \
+                 for serve requests)"
             )
         })?;
         let target_seed = seed_text
@@ -115,9 +152,15 @@ impl FaultPlan {
     }
 
     /// Whether this plan targets the given shard spec: true iff the spec's seed
-    /// sequence starts with the target seed.
+    /// sequence starts with the target seed. Serve-side kinds never target a shard.
     pub fn applies_to(&self, spec: &ExperimentSpec) -> bool {
-        spec.seeds.values().first() == Some(&self.target_seed)
+        !self.kind.is_serve_fault() && spec.seeds.values().first() == Some(&self.target_seed)
+    }
+
+    /// Whether this plan targets the serve request at the given 0-based stream index.
+    /// Shard-side kinds never target a request.
+    pub fn applies_to_request(&self, index: u64) -> bool {
+        self.kind.is_serve_fault() && self.target_seed == index
     }
 }
 
@@ -151,6 +194,9 @@ mod tests {
             FaultKind::Stall,
             FaultKind::CorruptWire,
             FaultKind::StderrFlood,
+            FaultKind::SlowRequest,
+            FaultKind::PoisonRequest,
+            FaultKind::FloodRequest,
         ] {
             let plan = FaultPlan { kind, target_seed: 42 };
             assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
@@ -172,6 +218,31 @@ mod tests {
         assert!(plan.applies_to(&spec));
         let miss = FaultPlan { kind: FaultKind::CrashOnEntry, target_seed: first + 999 };
         assert!(!miss.applies_to(&spec));
+    }
+
+    #[test]
+    fn the_two_fault_families_are_mutually_inert() {
+        let spec = crate::presets::spec(2, crate::presets::Variant::Quick).unwrap();
+        let first = spec.seeds.values()[0];
+        // A serve plan aimed exactly at a shard's first seed still never fires there…
+        let serve = FaultPlan { kind: FaultKind::PoisonRequest, target_seed: first };
+        assert!(!serve.applies_to(&spec));
+        assert!(serve.applies_to_request(first));
+        // …and a shard plan aimed at a request index never fires in the serving loop.
+        let shard = FaultPlan { kind: FaultKind::CrashOnEntry, target_seed: 0 };
+        assert!(!shard.applies_to_request(0));
+        for kind in [FaultKind::SlowRequest, FaultKind::PoisonRequest, FaultKind::FloodRequest] {
+            assert!(kind.is_serve_fault());
+        }
+        for kind in [
+            FaultKind::CrashOnEntry,
+            FaultKind::TruncateStdout,
+            FaultKind::Stall,
+            FaultKind::CorruptWire,
+            FaultKind::StderrFlood,
+        ] {
+            assert!(!kind.is_serve_fault());
+        }
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub mod fig8;
 pub mod json;
 pub mod presets;
 pub mod report;
+pub mod serve;
 pub mod shard;
 pub mod spec;
 

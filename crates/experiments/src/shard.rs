@@ -83,6 +83,71 @@ pub const DEFAULT_RETRY_BACKOFF: Duration = Duration::from_millis(100);
 /// captured stderr tail.
 pub const HEARTBEAT_PREFIX: &str = "fedopt-heartbeat";
 
+/// Environment variable pacing the worker's heartbeat emission, in milliseconds.
+/// [`SubprocessRunner::with_heartbeat_interval`] sets it on every child it spawns; a
+/// malformed value is a loud worker-startup error, never a silently different cadence.
+pub const HEARTBEAT_INTERVAL_ENV: &str = "FEDOPT_SHARD_HEARTBEAT_INTERVAL_MS";
+
+/// Default interval between a worker's heartbeat lines. Far below
+/// [`DEFAULT_HEARTBEAT_TIMEOUT`] on purpose: several beats must fit into the silence
+/// window, or scheduling jitter alone would kill healthy workers.
+pub const DEFAULT_HEARTBEAT_INTERVAL: Duration = Duration::from_millis(500);
+
+/// Parses [`HEARTBEAT_INTERVAL_ENV`] text into a heartbeat interval.
+///
+/// # Errors
+///
+/// A message naming the variable when the value is not a positive integer of
+/// milliseconds — a typo'd cadence must not degrade into the default one.
+pub fn parse_heartbeat_interval(text: &str) -> Result<Duration, String> {
+    text.trim().parse::<u64>().ok().filter(|&ms| ms > 0).map(Duration::from_millis).ok_or_else(
+        || {
+            format!(
+                "{HEARTBEAT_INTERVAL_ENV}: expected a positive integer of milliseconds, \
+                 got {text:?}"
+            )
+        },
+    )
+}
+
+/// Reads the heartbeat interval from [`HEARTBEAT_INTERVAL_ENV`]. `Ok(None)` when unset.
+///
+/// # Errors
+///
+/// See [`parse_heartbeat_interval`].
+pub fn heartbeat_interval_env() -> Result<Option<Duration>, String> {
+    match std::env::var(HEARTBEAT_INTERVAL_ENV) {
+        Ok(text) => parse_heartbeat_interval(&text).map(Some),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(e) => Err(format!("{HEARTBEAT_INTERVAL_ENV}: {e}")),
+    }
+}
+
+/// Parses one worker heartbeat line (`fedopt-heartbeat t=<secs>s cells=<n>`) into its
+/// `(elapsed seconds, cells evaluated)` payload. Deliberately tolerant: unknown tokens
+/// are skipped, token order is free, and anything short of both fields parsing cleanly
+/// — a truncated number, interleaved bytes from another writer, a negative or
+/// non-finite time — returns `None` rather than panicking. Liveness detection does
+/// **not** ride on this parse (any [`HEARTBEAT_PREFIX`]-prefixed line feeds the clock,
+/// see [`StderrState::observe`]), so a mangled beat can cost progress *reporting* but
+/// never a worker's life.
+pub fn parse_heartbeat(line: &str) -> Option<(f64, u64)> {
+    let rest = line.strip_prefix(HEARTBEAT_PREFIX)?;
+    let mut elapsed_s = None;
+    let mut cells = None;
+    for token in rest.split_whitespace() {
+        if let Some(value) = token.strip_prefix("t=") {
+            elapsed_s = value
+                .strip_suffix('s')
+                .and_then(|v| v.parse::<f64>().ok())
+                .filter(|v| v.is_finite() && *v >= 0.0);
+        } else if let Some(value) = token.strip_prefix("cells=") {
+            cells = value.parse::<u64>().ok();
+        }
+    }
+    Some((elapsed_s?, cells?))
+}
+
 /// Byte budget of the stderr tail captured per worker for failure reports. Oldest lines
 /// are dropped first; any drop is marked with a leading `… (truncated)`.
 pub const STDERR_TAIL_BUDGET: usize = 2048;
@@ -878,6 +943,7 @@ pub struct SubprocessRunner {
     program: PathBuf,
     timeout: Duration,
     heartbeat_timeout: Option<Duration>,
+    heartbeat_interval: Option<Duration>,
     child_threads: Option<usize>,
 }
 
@@ -888,6 +954,7 @@ impl SubprocessRunner {
             program: program.into(),
             timeout: DEFAULT_SHARD_TIMEOUT,
             heartbeat_timeout: Some(DEFAULT_HEARTBEAT_TIMEOUT),
+            heartbeat_interval: None,
             child_threads: None,
         }
     }
@@ -906,6 +973,16 @@ impl SubprocessRunner {
         self
     }
 
+    /// Paces every child's heartbeat emission (via [`HEARTBEAT_INTERVAL_ENV`]). The
+    /// caller is responsible for keeping the interval below the heartbeat-silence
+    /// timeout — the CLI rejects the inverted configuration at parse time, because a
+    /// silence window shorter than the beat cadence kills every healthy worker.
+    #[must_use]
+    pub fn with_heartbeat_interval(mut self, interval: Duration) -> Self {
+        self.heartbeat_interval = Some(interval);
+        self
+    }
+
     /// Pins every child's worker thread count (via [`crate::engine::THREADS_ENV`]).
     #[must_use]
     pub fn with_child_threads(mut self, threads: usize) -> Self {
@@ -914,19 +991,30 @@ impl SubprocessRunner {
     }
 }
 
-/// Shared per-worker stderr capture: the byte-bounded tail plus the heartbeat clock.
+/// Shared per-worker stderr capture: the byte-bounded tail, the heartbeat liveness
+/// clock, and the last well-formed progress payload. Public so the heartbeat-parsing
+/// fuzz suite can drive it with arbitrary interleaved/truncated stderr directly.
 #[derive(Debug, Default)]
-struct StderrState {
+pub struct StderrState {
     tail: VecDeque<String>,
     tail_bytes: usize,
     truncated: bool,
     last_heartbeat: Option<Instant>,
+    last_cells: Option<u64>,
 }
 
 impl StderrState {
-    fn observe(&mut self, line: &str) {
+    /// Feeds one stderr line (without its newline) into the capture. Any
+    /// [`HEARTBEAT_PREFIX`]-prefixed line — however mangled its payload — advances the
+    /// liveness clock and stays out of the tail; only a line [`parse_heartbeat`]
+    /// accepts updates the cells-evaluated progress reading. Everything else lands in
+    /// the [`STDERR_TAIL_BUDGET`]-bounded tail, oldest lines dropped first.
+    pub fn observe(&mut self, line: &str) {
         if line.starts_with(HEARTBEAT_PREFIX) {
             self.last_heartbeat = Some(Instant::now());
+            if let Some((_, cells)) = parse_heartbeat(line) {
+                self.last_cells = Some(cells);
+            }
             return;
         }
         let mut line = line.to_string();
@@ -947,7 +1035,8 @@ impl StderrState {
         }
     }
 
-    fn render_tail(&self) -> String {
+    /// Renders the captured non-heartbeat tail for a failure report.
+    pub fn render_tail(&self) -> String {
         if self.tail.is_empty() {
             return "(no stderr)".to_string();
         }
@@ -957,6 +1046,16 @@ impl StderrState {
         } else {
             joined
         }
+    }
+
+    /// When the last heartbeat line was observed, however mangled its payload.
+    pub fn last_heartbeat(&self) -> Option<Instant> {
+        self.last_heartbeat
+    }
+
+    /// The cells-evaluated count of the last *well-formed* heartbeat line.
+    pub fn last_cells(&self) -> Option<u64> {
+        self.last_cells
     }
 }
 
@@ -976,6 +1075,9 @@ impl ShardRunner for SubprocessRunner {
             .stderr(Stdio::piped());
         if let Some(threads) = self.child_threads {
             cmd.env(THREADS_ENV, threads.to_string());
+        }
+        if let Some(interval) = self.heartbeat_interval {
+            cmd.env(HEARTBEAT_INTERVAL_ENV, interval.as_millis().to_string());
         }
         let mut child = cmd.spawn().map_err(|e| {
             ShardRunError::from(format!("cannot spawn {}: {e}", self.program.display()))
@@ -1133,6 +1235,10 @@ pub struct FleetStats {
     /// Always empty unless [`FleetOptions::allow_partial`] salvaged the run — consumers
     /// must surface these loudly, never fold them into a mean silently.
     pub holes: Vec<ShardFailure>,
+    /// How many shards the run actually split into (after clamping to the seed count).
+    /// Recorded in salvaged documents as `shard_count` so `fedopt run --fill-holes` can
+    /// reproduce the identical split without the caller re-supplying `--shards`.
+    pub shards: usize,
     /// Whether a cache was configured (the hit/miss counters are only meaningful then).
     pub cache_enabled: bool,
 }
@@ -1225,6 +1331,7 @@ pub fn run_fleet(
         shard_cache_misses: misses.into_inner(),
         retries: retries.into_inner(),
         holes: failures,
+        shards: total,
         cache_enabled: opts.cache.is_some(),
     };
     let merged = merge(spec, &shard_specs, &survivors)?;
@@ -1345,8 +1452,9 @@ fn merge(
     })
 }
 
-/// Human-readable seed sub-range of a shard spec, for failure reports.
-fn describe_seeds(spec: &ExperimentSpec) -> String {
+/// Human-readable seed sub-range of a shard spec, for failure reports and for matching
+/// a salvaged document's `shard_holes` back to a re-split (`fedopt run --fill-holes`).
+pub(crate) fn describe_seeds(spec: &ExperimentSpec) -> String {
     match &spec.seeds.policy {
         SeedPolicy::Range { start, count } => format!("{start}..{}", start + count),
         SeedPolicy::List(seeds) => format!("list of {}", seeds.len()),
@@ -1536,6 +1644,43 @@ mod tests {
         fat.observe(&"y".repeat(STDERR_TAIL_BUDGET * 3));
         assert!(fat.render_tail().len() <= STDERR_TAIL_BUDGET + 32);
         assert!(fat.truncated);
+    }
+
+    #[test]
+    fn heartbeat_lines_parse_tolerantly_and_feed_the_progress_reading() {
+        assert_eq!(parse_heartbeat("fedopt-heartbeat t=1.5s cells=42"), Some((1.5, 42)));
+        // Token order and unknown tokens are free; both payload fields are required.
+        assert_eq!(parse_heartbeat("fedopt-heartbeat cells=7 t=0.0s extra=1"), Some((0.0, 7)));
+        for mangled in [
+            "fedopt-heartbeat",
+            "fedopt-heartbeat t=1.5s",
+            "fedopt-heartbeat cells=42",
+            "fedopt-heartbeat t=1.5 cells=42", // missing the `s` suffix
+            "fedopt-heartbeat t=-1.0s cells=42", // negative time
+            "fedopt-heartbeat t=nans cells=42", // non-finite time
+            "fedopt-heartbeat t=1.5s cells=-3", // negative count
+            "fedopt-heartbeat t=1.5s cells=4x2", // interleaved bytes mid-number
+            "unrelated stderr line",           // no prefix at all
+        ] {
+            assert_eq!(parse_heartbeat(mangled), None, "{mangled:?}");
+        }
+        // A mangled beat still counts as liveness but never moves the progress reading.
+        let mut state = StderrState::default();
+        state.observe("fedopt-heartbeat t=2.0s cells=11");
+        assert_eq!(state.last_cells(), Some(11));
+        state.observe("fedopt-heartbeat t=3.0s cells=ga rbage");
+        assert!(state.last_heartbeat().is_some());
+        assert_eq!(state.last_cells(), Some(11), "garbage must not clobber progress");
+    }
+
+    #[test]
+    fn heartbeat_interval_text_parses_strictly() {
+        assert_eq!(parse_heartbeat_interval("500"), Ok(Duration::from_millis(500)));
+        assert_eq!(parse_heartbeat_interval(" 25 "), Ok(Duration::from_millis(25)));
+        for bad in ["0", "-5", "0.5", "fast", ""] {
+            let err = parse_heartbeat_interval(bad).unwrap_err();
+            assert!(err.contains(HEARTBEAT_INTERVAL_ENV), "{bad:?}: {err}");
+        }
     }
 
     #[test]

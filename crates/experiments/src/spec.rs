@@ -95,7 +95,7 @@ pub enum SpecError {
 }
 
 impl SpecError {
-    fn invalid(path: impl Into<String>, message: impl Into<String>) -> Self {
+    pub(crate) fn invalid(path: impl Into<String>, message: impl Into<String>) -> Self {
         Self::Invalid { path: path.into(), message: message.into() }
     }
 }
@@ -363,7 +363,7 @@ impl ScenarioSpec {
         *self == Self::default()
     }
 
-    fn validate(&self, path: &str) -> Result<(), SpecError> {
+    pub(crate) fn validate(&self, path: &str) -> Result<(), SpecError> {
         if self.samples_per_device.is_some() && self.total_samples.is_some() {
             return Err(SpecError::invalid(
                 path,
@@ -431,7 +431,7 @@ impl ScenarioSpec {
         Ok(())
     }
 
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         let mut members: Vec<(String, Json)> = Vec::new();
         let mut push = |key: &str, value: Option<Json>| {
             if let Some(v) = value {
@@ -458,7 +458,7 @@ impl ScenarioSpec {
         Json::Obj(members)
     }
 
-    fn from_json(v: &Json, path: &str) -> Result<Self, SpecError> {
+    pub(crate) fn from_json(v: &Json, path: &str) -> Result<Self, SpecError> {
         let obj = Obj::new(
             v,
             path,
@@ -623,7 +623,7 @@ impl ArmSpec {
     }
 
     /// Compiles the arm description into a live [`Arm`].
-    fn instantiate(&self, solver: SolverConfig) -> Box<dyn Arm> {
+    pub(crate) fn instantiate(&self, solver: SolverConfig) -> Box<dyn Arm> {
         let base: Box<dyn Arm> = match &self.kind {
             ArmKind::Proposed { weights } => Box::new(ProposedArm::new(*weights, solver)),
             ArmKind::DeadlineProposed { deadline } => {
@@ -653,7 +653,7 @@ impl ArmSpec {
         Box::new(configured)
     }
 
-    fn validate(&self, path: &str) -> Result<(), SpecError> {
+    pub(crate) fn validate(&self, path: &str) -> Result<(), SpecError> {
         match &self.kind {
             ArmKind::Scheme1 { deadline_s } if !(deadline_s.is_finite() && *deadline_s > 0.0) => {
                 return Err(SpecError::invalid(
@@ -677,7 +677,7 @@ impl ArmSpec {
         Ok(())
     }
 
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         let mut members: Vec<(String, Json)> =
             vec![("kind".to_string(), Json::Str(self.kind.name().to_string()))];
         match &self.kind {
@@ -709,7 +709,7 @@ impl ArmSpec {
         Json::Obj(members)
     }
 
-    fn from_json(v: &Json, path: &str) -> Result<Self, SpecError> {
+    pub(crate) fn from_json(v: &Json, path: &str) -> Result<Self, SpecError> {
         // Strictness is per kind: each scheme allows exactly its own payload keys, so the
         // discriminator is peeked first and the full key check runs per variant.
         let kind_name = Obj::any(v, path)?.str("kind")?.to_string();
@@ -1044,7 +1044,7 @@ impl SolverSpec {
         config
     }
 
-    fn validate(&self, path: &str) -> Result<(), SpecError> {
+    pub(crate) fn validate(&self, path: &str) -> Result<(), SpecError> {
         for (name, value) in [
             ("outer_tol", self.outer_tol),
             ("mu_tol", self.mu_tol),
@@ -1068,7 +1068,7 @@ impl SolverSpec {
         Ok(())
     }
 
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         let mut members: Vec<(String, Json)> =
             vec![("preset".to_string(), Json::Str(self.preset.name().to_string()))];
         let mut push = |key: &str, value: Option<Json>| {
@@ -1087,7 +1087,7 @@ impl SolverSpec {
         Json::Obj(members)
     }
 
-    fn from_json(v: &Json, path: &str) -> Result<Self, SpecError> {
+    pub(crate) fn from_json(v: &Json, path: &str) -> Result<Self, SpecError> {
         let obj = Obj::new(
             v,
             path,
@@ -1599,28 +1599,28 @@ impl SweepEngine {
 
 /// Strict object accessor: type checks, required/optional getters, unknown-key rejection,
 /// and dotted error paths.
-struct Obj<'a> {
+pub(crate) struct Obj<'a> {
     path: &'a str,
     members: &'a [(String, Json)],
 }
 
 impl<'a> Obj<'a> {
     /// An object whose keys must all be in `allowed`.
-    fn new(v: &'a Json, path: &'a str, allowed: &[&str]) -> Result<Self, SpecError> {
+    pub(crate) fn new(v: &'a Json, path: &'a str, allowed: &[&str]) -> Result<Self, SpecError> {
         let obj = Self::any(v, path)?;
         obj.check_keys(allowed)?;
         Ok(obj)
     }
 
     /// An object with no key restrictions (used to peek at a discriminator first).
-    fn any(v: &'a Json, path: &'a str) -> Result<Self, SpecError> {
+    pub(crate) fn any(v: &'a Json, path: &'a str) -> Result<Self, SpecError> {
         match v.as_object() {
             Some(members) => Ok(Self { path, members }),
             None => Err(SpecError::invalid(path, "expected a JSON object")),
         }
     }
 
-    fn check_keys(&self, allowed: &[&str]) -> Result<(), SpecError> {
+    pub(crate) fn check_keys(&self, allowed: &[&str]) -> Result<(), SpecError> {
         for (key, _) in self.members {
             if !allowed.contains(&key.as_str()) {
                 return Err(SpecError::invalid(
@@ -1632,25 +1632,25 @@ impl<'a> Obj<'a> {
         Ok(())
     }
 
-    fn path_of(&self, key: &str) -> String {
+    pub(crate) fn path_of(&self, key: &str) -> String {
         format!("{}.{key}", self.path)
     }
 
-    fn get(&self, key: &str) -> Option<&'a Json> {
+    pub(crate) fn get(&self, key: &str) -> Option<&'a Json> {
         self.members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
-    fn req(&self, key: &str) -> Result<&'a Json, SpecError> {
+    pub(crate) fn req(&self, key: &str) -> Result<&'a Json, SpecError> {
         self.get(key).ok_or_else(|| SpecError::invalid(self.path_of(key), "missing required key"))
     }
 
-    fn str(&self, key: &str) -> Result<&'a str, SpecError> {
+    pub(crate) fn str(&self, key: &str) -> Result<&'a str, SpecError> {
         self.req(key)?
             .as_str()
             .ok_or_else(|| SpecError::invalid(self.path_of(key), "expected a string"))
     }
 
-    fn opt_str(&self, key: &str) -> Result<Option<&'a str>, SpecError> {
+    pub(crate) fn opt_str(&self, key: &str) -> Result<Option<&'a str>, SpecError> {
         self.get(key)
             .map(|v| {
                 v.as_str().ok_or_else(|| SpecError::invalid(self.path_of(key), "expected a string"))
@@ -1658,13 +1658,13 @@ impl<'a> Obj<'a> {
             .transpose()
     }
 
-    fn f64(&self, key: &str) -> Result<f64, SpecError> {
+    pub(crate) fn f64(&self, key: &str) -> Result<f64, SpecError> {
         self.req(key)?
             .as_f64()
             .ok_or_else(|| SpecError::invalid(self.path_of(key), "expected a number"))
     }
 
-    fn opt_f64(&self, key: &str) -> Result<Option<f64>, SpecError> {
+    pub(crate) fn opt_f64(&self, key: &str) -> Result<Option<f64>, SpecError> {
         self.get(key)
             .map(|v| {
                 v.as_f64().ok_or_else(|| SpecError::invalid(self.path_of(key), "expected a number"))
@@ -1672,13 +1672,13 @@ impl<'a> Obj<'a> {
             .transpose()
     }
 
-    fn u64(&self, key: &str) -> Result<u64, SpecError> {
+    pub(crate) fn u64(&self, key: &str) -> Result<u64, SpecError> {
         self.req(key)?.as_u64().ok_or_else(|| {
             SpecError::invalid(self.path_of(key), "expected a non-negative integer (≤ 2^53)")
         })
     }
 
-    fn opt_u64(&self, key: &str) -> Result<Option<u64>, SpecError> {
+    pub(crate) fn opt_u64(&self, key: &str) -> Result<Option<u64>, SpecError> {
         self.get(key)
             .map(|v| {
                 v.as_u64().ok_or_else(|| {
@@ -1691,7 +1691,7 @@ impl<'a> Obj<'a> {
             .transpose()
     }
 
-    fn opt_u32(&self, key: &str) -> Result<Option<u32>, SpecError> {
+    pub(crate) fn opt_u32(&self, key: &str) -> Result<Option<u32>, SpecError> {
         self.opt_u64(key)?
             .map(|v| {
                 u32::try_from(v).map_err(|_| {
@@ -1701,7 +1701,7 @@ impl<'a> Obj<'a> {
             .transpose()
     }
 
-    fn opt_usize(&self, key: &str) -> Result<Option<usize>, SpecError> {
+    pub(crate) fn opt_usize(&self, key: &str) -> Result<Option<usize>, SpecError> {
         self.opt_u64(key)?
             .map(|v| {
                 usize::try_from(v).map_err(|_| {
@@ -1711,7 +1711,7 @@ impl<'a> Obj<'a> {
             .transpose()
     }
 
-    fn opt_bool(&self, key: &str) -> Result<Option<bool>, SpecError> {
+    pub(crate) fn opt_bool(&self, key: &str) -> Result<Option<bool>, SpecError> {
         self.get(key)
             .map(|v| {
                 v.as_bool()
@@ -1720,13 +1720,13 @@ impl<'a> Obj<'a> {
             .transpose()
     }
 
-    fn array(&self, key: &str) -> Result<&'a [Json], SpecError> {
+    pub(crate) fn array(&self, key: &str) -> Result<&'a [Json], SpecError> {
         self.req(key)?
             .as_array()
             .ok_or_else(|| SpecError::invalid(self.path_of(key), "expected an array"))
     }
 
-    fn f64_array(&self, key: &str) -> Result<Vec<f64>, SpecError> {
+    pub(crate) fn f64_array(&self, key: &str) -> Result<Vec<f64>, SpecError> {
         self.array(key)?
             .iter()
             .enumerate()
@@ -1738,7 +1738,7 @@ impl<'a> Obj<'a> {
             .collect()
     }
 
-    fn u64_array(&self, key: &str) -> Result<Vec<u64>, SpecError> {
+    pub(crate) fn u64_array(&self, key: &str) -> Result<Vec<u64>, SpecError> {
         self.array(key)?
             .iter()
             .enumerate()
@@ -1753,7 +1753,7 @@ impl<'a> Obj<'a> {
             .collect()
     }
 
-    fn opt_f64_pair(&self, key: &str) -> Result<Option<(f64, f64)>, SpecError> {
+    pub(crate) fn opt_f64_pair(&self, key: &str) -> Result<Option<(f64, f64)>, SpecError> {
         match self.get(key) {
             None => Ok(None),
             Some(v) => {

@@ -1,0 +1,136 @@
+//! Fuzzing the worker heartbeat protocol against stderr damage. The liveness contract:
+//! malformed, interleaved, or truncated `fedopt-heartbeat t=…s cells=…` lines must
+//! never panic the parser or the coordinator's [`StderrState`] clock — a worker's
+//! *life* rides on the prefix alone, while the progress *reading* only moves on a
+//! well-formed payload. The shape mirrors `wire_fuzz.rs`: damage is either rejected
+//! (parse returns `None`) or semantically inert, never a panic and never a wrongly
+//! accepted payload.
+
+use experiments::shard::{
+    parse_heartbeat, parse_heartbeat_interval, StderrState, HEARTBEAT_PREFIX,
+};
+use proptest::prelude::*;
+use proptest::TestRng;
+
+/// Fragments biased toward the protocol's own vocabulary — random characters rarely
+/// spell `t=` or `cells=`, so plain noise would leave the field parsers untested.
+const FRAGMENTS: &[&str] =
+    &["t=", "cells=", "s", "t=1.5", "cells=nine", " ", "\t", "=", "-", ".", "NaN", "inf", "µs"];
+
+/// One line of structured junk: protocol fragments interleaved with printable noise.
+fn junk_line(rng: &mut TestRng) -> String {
+    let pieces = rng.below(12);
+    let mut line = String::new();
+    for _ in 0..pieces {
+        if rng.below(3) == 0 {
+            line.push_str(FRAGMENTS[rng.below(FRAGMENTS.len() as u64) as usize]);
+        } else {
+            line.push(char::from(b' ' + rng.below(95) as u8));
+        }
+    }
+    line
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary lines — protocol-shaped junk, with and without the heartbeat prefix —
+    /// never panic the parser or the stderr capture.
+    #[test]
+    fn malformed_lines_never_panic_the_parser_or_the_clock(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::from_seed(seed);
+        for _ in 0..8 {
+            let body = junk_line(&mut rng);
+            let line = if rng.below(2) == 0 { format!("{HEARTBEAT_PREFIX}{body}") } else { body };
+            let _ = parse_heartbeat(&line);
+            let mut state = StderrState::default();
+            state.observe(&line);
+            let _ = state.render_tail();
+            // The liveness clock answers to the prefix alone, malformed payload or not.
+            prop_assert_eq!(state.last_heartbeat().is_some(), line.starts_with(HEARTBEAT_PREFIX));
+        }
+    }
+
+    /// A well-formed heartbeat line round-trips exactly: the parsed payload is the
+    /// printed payload, and the capture records the cell count.
+    #[test]
+    fn well_formed_lines_round_trip(t in 0.0f64..1.0e6, cells in 0u64..u64::MAX) {
+        let line = format!("{HEARTBEAT_PREFIX} t={t:.1}s cells={cells}");
+        let (parsed_t, parsed_cells) = parse_heartbeat(&line).expect("well-formed must parse");
+        let printed_t: f64 = format!("{t:.1}").parse().unwrap();
+        prop_assert_eq!(parsed_t, printed_t);
+        prop_assert_eq!(parsed_cells, cells);
+        let mut state = StderrState::default();
+        state.observe(&line);
+        prop_assert_eq!(state.last_cells(), Some(cells));
+        prop_assert!(state.last_heartbeat().is_some());
+    }
+
+    /// Any truncation of a valid heartbeat line is handled without panicking, and a
+    /// truncation that still parses must agree with the original time field —
+    /// truncation can only lose fields or shorten the cells number, never invent a
+    /// different reading.
+    #[test]
+    fn truncated_heartbeats_never_panic_and_never_invent_a_time(
+        t in 0.0f64..1.0e6,
+        cells in 0u64..u64::MAX,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = TestRng::from_seed(seed);
+        let line = format!("{HEARTBEAT_PREFIX} t={t:.1}s cells={cells}");
+        let cut = 1 + rng.below(line.len() as u64 - 1) as usize;
+        let prefix = &line[..cut]; // the line is pure ASCII: every cut is a char boundary
+        if let Some((parsed_t, _)) = parse_heartbeat(prefix) {
+            let printed_t: f64 = format!("{t:.1}").parse().unwrap();
+            prop_assert_eq!(parsed_t, printed_t); // a kept-whole t= field parses exactly
+        }
+        // However short the cut, feeding it to the capture must not panic; and any cut
+        // that still carries the prefix counts as liveness (the clock never starves on
+        // payload damage alone).
+        let mut state = StderrState::default();
+        state.observe(prefix);
+        prop_assert_eq!(state.last_heartbeat().is_some(), prefix.starts_with(HEARTBEAT_PREFIX));
+    }
+
+    /// Mangled heartbeat payloads interleaved with a real one advance the liveness
+    /// clock but never move the progress reading off the last well-formed value, and
+    /// never leak into the captured stderr tail.
+    #[test]
+    fn interleaved_garbage_never_corrupts_progress_or_the_tail(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::from_seed(seed);
+        let mut state = StderrState::default();
+        state.observe(&format!("{HEARTBEAT_PREFIX} t=1.0s cells=7"));
+        // Every interleaved line carries the prefix — few parse as a heartbeat.
+        let garbage: Vec<String> =
+            (0..rng.below(16)).map(|_| format!("{HEARTBEAT_PREFIX}{}", junk_line(&mut rng))).collect();
+        for line in &garbage {
+            state.observe(line);
+        }
+        let last = state.last_cells().expect("the well-formed beat is never forgotten");
+        // The reading is the initial beat unless some junk happened to parse cleanly.
+        let junk_cells: Vec<u64> =
+            garbage.iter().filter_map(|l| parse_heartbeat(l)).map(|(_, cells)| cells).collect();
+        match junk_cells.last() {
+            Some(&cells) => prop_assert_eq!(last, cells),
+            None => prop_assert_eq!(last, 7),
+        }
+        prop_assert!(
+            !state.render_tail().contains(HEARTBEAT_PREFIX),
+            "heartbeat-prefixed lines stay out of the failure tail"
+        );
+    }
+
+    /// The interval parser is strict in both directions: every positive integer of
+    /// milliseconds round-trips, and anything led by a non-digit is a loud error.
+    #[test]
+    fn interval_parsing_is_strict(ms in 1u64..1_000_000, seed in 0u64..u64::MAX) {
+        prop_assert_eq!(
+            parse_heartbeat_interval(&ms.to_string()),
+            Ok(std::time::Duration::from_millis(ms))
+        );
+        let mut rng = TestRng::from_seed(seed);
+        // A leading 'x' survives trimming and can never begin an integer.
+        let junk = format!("x{}", junk_line(&mut rng));
+        prop_assert!(parse_heartbeat_interval(&junk).is_err(), "{:?} must not parse", junk);
+    }
+}

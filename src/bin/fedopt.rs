@@ -10,11 +10,44 @@
 //! stdout (see [`fedopt::experiments::shard`]). Workers also honor the
 //! `FEDOPT_FAULT_PLAN` chaos variable ([`fedopt::experiments::fault`]), which is how
 //! the crash/stall/corruption hardening of the coordinator is tested end to end.
+//!
+//! `serve` turns the same binary into a long-lived allocation service
+//! ([`fedopt::experiments::serve`]): JSON-lines requests in, one typed JSON response
+//! per request out, and SIGTERM drains gracefully instead of killing mid-response —
+//! the only verb that traps a signal.
 
 use std::process::ExitCode;
 
+/// Routes SIGTERM into the serve module's drain flag so `fedopt serve` finishes
+/// in-flight requests and exits with its stats line instead of dying mid-response.
+/// The handler body is a single atomic store ([`request_drain`] is async-signal-safe
+/// by construction); installation failure is ignored — the worst case is the
+/// pre-handler behavior, a hard kill.
+#[cfg(unix)]
+fn install_sigterm_drain() {
+    use fedopt::experiments::serve::request_drain;
+    extern "C" fn on_sigterm(_signum: i32) {
+        request_drain();
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    // SAFETY: `signal` is the C standard library's handler registration; the handler
+    // only performs an atomic store, which is async-signal-safe.
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Graceful drain is a service concern: only the serve verb traps SIGTERM; every
+    // other verb keeps the default die-now semantics (a killed sweep must not linger).
+    #[cfg(unix)]
+    if args.first().is_some_and(|arg| arg == "serve") {
+        install_sigterm_drain();
+    }
     match fedopt::experiments::cli::main_with(&args) {
         Ok(payload) => {
             print!("{payload}");

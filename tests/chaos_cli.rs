@@ -142,6 +142,53 @@ fn a_control_plan_changes_nothing_byte_for_byte() {
 }
 
 #[test]
+fn fill_holes_resumes_a_salvaged_run_to_byte_identity() {
+    let dir = std::env::temp_dir().join(format!("fedopt-fill-holes-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache = dir.join("cache");
+    let cache_arg = cache.to_str().unwrap().to_string();
+
+    // The reference: the never-faulted single-process document.
+    let single = fedopt()
+        .args(["run", "--fig", "2", "--seeds", "6", "--json"])
+        .output()
+        .expect("fedopt must spawn");
+    assert!(single.status.success());
+
+    // Salvage under an injected crash, with the survivors landing in the cache. The
+    // salvaged document records both the holes and the split that produced them.
+    let (ok, salvaged, _) =
+        run_fleet_with_fault("crash@2", &["--allow-partial", "--cache-dir", &cache_arg]);
+    assert!(ok, "salvage must succeed");
+    assert!(salvaged.contains("\"shard_count\": 3"), "the split is recorded: {salvaged}");
+    assert!(salvaged.contains("\"seeds\": \"2..4\""), "{salvaged}");
+    let report = dir.join("report.json");
+    std::fs::write(&report, &salvaged).unwrap();
+
+    // Resume: only the hole is recomputed, the survivors replay from the cache, and
+    // the filled document is byte-identical to the run that never faulted.
+    let out = fedopt()
+        .args(["run", "--fig", "2", "--seeds", "6", "--json", "--fill-holes"])
+        .arg(&report)
+        .args(["--cache-dir", &cache_arg])
+        .output()
+        .expect("fedopt must spawn");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&single.stdout),
+        "the filled document must be byte-identical to the never-faulted run"
+    );
+    assert!(
+        stderr.contains("holes filled: 2 shard(s) answered from the cache, 1 recomputed"),
+        "only the hole costs compute: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn a_malformed_fault_plan_is_a_loud_error_not_a_silent_control_run() {
     let out = fedopt()
         .args(["run", "--spec", "-", "--shard-json"])
