@@ -34,4 +34,4 @@ pub use comm_only::CommOnlyAllocator;
 pub use comp_only::CompOnlyAllocator;
 pub use result::BaselineResult;
 pub use scheme1::Scheme1Allocator;
-pub use seeding::{derive_stream_seed, StreamDerivation};
+pub use seeding::{derive_stream_seed, round_channel_seed, StreamDerivation};

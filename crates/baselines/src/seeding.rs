@@ -26,6 +26,34 @@ pub enum StreamDerivation {
     /// draw.
     #[default]
     XorGolden32,
+    /// FNV-1a hash of the base seed and a round index — the per-round channel-fading
+    /// stream of the round simulator. Round `t`'s seed is a **pure function of
+    /// `(base_seed, t)`**: a simulation may jump straight to round `t` (or replay rounds
+    /// out of order, or skip rounds entirely) and still redraw exactly the channel that a
+    /// full history walk would have seen. Use [`StreamDerivation::derive_round`]; the
+    /// round-free [`StreamDerivation::derive`] is the `round = 0` stream.
+    RoundChannelFnv,
+}
+
+/// FNV-1a (64-bit) over the little-endian bytes of `base_seed` followed by `round` —
+/// the [`StreamDerivation::RoundChannelFnv`] mixing function.
+const fn fnv1a_seed_round(base_seed: u64, round: u64) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let seed_bytes = base_seed.to_le_bytes();
+    let round_bytes = round.to_le_bytes();
+    let mut i = 0;
+    while i < 8 {
+        hash = (hash ^ seed_bytes[i] as u64).wrapping_mul(PRIME);
+        i += 1;
+    }
+    let mut i = 0;
+    while i < 8 {
+        hash = (hash ^ round_bytes[i] as u64).wrapping_mul(PRIME);
+        i += 1;
+    }
+    hash
 }
 
 impl StreamDerivation {
@@ -34,6 +62,7 @@ impl StreamDerivation {
     pub const fn name(self) -> &'static str {
         match self {
             Self::XorGolden32 => "xor-golden32",
+            Self::RoundChannelFnv => "round-channel-fnv",
         }
     }
 
@@ -42,15 +71,34 @@ impl StreamDerivation {
     pub fn from_name(name: &str) -> Option<Self> {
         match name {
             "xor-golden32" => Some(Self::XorGolden32),
+            "round-channel-fnv" => Some(Self::RoundChannelFnv),
             _ => None,
         }
     }
 
     /// Derives the stream seed for a base (scenario) seed under this rule.
+    ///
+    /// For the round-indexed [`StreamDerivation::RoundChannelFnv`] rule this is the
+    /// `round = 0` stream; use [`StreamDerivation::derive_round`] for later rounds.
     #[must_use]
     pub const fn derive(self, base_seed: u64) -> u64 {
         match self {
             Self::XorGolden32 => base_seed ^ 0x9e37_79b9,
+            Self::RoundChannelFnv => fnv1a_seed_round(base_seed, 0),
+        }
+    }
+
+    /// Derives the stream seed for global round `round` of a base (scenario) seed.
+    ///
+    /// The result depends only on `(self, base_seed, round)` — never on which other
+    /// rounds were derived before — so per-round redraws are replayable from any point.
+    /// [`StreamDerivation::XorGolden32`] has no round dimension and ignores `round`
+    /// (every round maps to the one historical stream).
+    #[must_use]
+    pub const fn derive_round(self, base_seed: u64, round: u64) -> u64 {
+        match self {
+            Self::XorGolden32 => base_seed ^ 0x9e37_79b9,
+            Self::RoundChannelFnv => fnv1a_seed_round(base_seed, round),
         }
     }
 }
@@ -63,6 +111,16 @@ impl StreamDerivation {
 #[must_use]
 pub fn derive_stream_seed(base_seed: u64) -> u64 {
     StreamDerivation::XorGolden32.derive(base_seed)
+}
+
+/// Derives the channel-fading stream seed for global round `round` of a cell's base
+/// (scenario) seed, under the [`StreamDerivation::RoundChannelFnv`] rule.
+///
+/// A pure function of `(base_seed, round)`: the round simulator can redraw round `t`'s
+/// channel without having simulated rounds `0..t-1` and get bit-identical draws.
+#[must_use]
+pub fn round_channel_seed(base_seed: u64, round: u64) -> u64 {
+    StreamDerivation::RoundChannelFnv.derive_round(base_seed, round)
 }
 
 #[cfg(test)]
@@ -92,9 +150,65 @@ mod tests {
 
     #[test]
     fn wire_names_round_trip() {
-        let rule = StreamDerivation::XorGolden32;
-        assert_eq!(StreamDerivation::from_name(rule.name()), Some(rule));
+        for rule in [StreamDerivation::XorGolden32, StreamDerivation::RoundChannelFnv] {
+            assert_eq!(StreamDerivation::from_name(rule.name()), Some(rule));
+        }
         assert_eq!(StreamDerivation::from_name("never-a-rule"), None);
-        assert_eq!(StreamDerivation::default(), rule);
+        assert_eq!(StreamDerivation::default(), StreamDerivation::XorGolden32);
+    }
+
+    #[test]
+    fn round_channel_seeds_are_distinct_across_rounds_and_bases() {
+        let mut seen = std::collections::BTreeSet::new();
+        for base in [0u64, 1, 7, 42, 1 << 40, u64::MAX] {
+            for round in 0..64u64 {
+                assert!(
+                    seen.insert(round_channel_seed(base, round)),
+                    "collision at base={base} round={round}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_channel_draws_are_independent_of_simulated_history() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+
+        // Draw one fading value per device the way the round simulator does: a fresh RNG
+        // seeded from `round_channel_seed(base, t)` for each round. The "full history"
+        // walk simulates rounds 0..=t in order; the "skip" walk jumps straight to round
+        // t. Round t's draws must be bit-identical either way — i.e. the redraw depends
+        // only on (base_seed, t), never on whether earlier rounds ran.
+        let base_seed = 11u64;
+        let devices = 8;
+        let draw_round = |round: u64| -> Vec<u64> {
+            let mut rng = StdRng::seed_from_u64(round_channel_seed(base_seed, round));
+            (0..devices).map(|_| rng.gen::<u64>()).collect()
+        };
+
+        let target = 13u64;
+        let mut history_walk = Vec::new();
+        for round in 0..=target {
+            history_walk = draw_round(round);
+        }
+        let skipped = draw_round(target);
+        assert_eq!(history_walk, skipped, "round {target} draw must not depend on history");
+
+        // And consecutive rounds must actually redraw (distinct streams).
+        assert_ne!(draw_round(0), draw_round(1));
+    }
+
+    #[test]
+    fn derive_matches_derive_round_zero() {
+        for rule in [StreamDerivation::XorGolden32, StreamDerivation::RoundChannelFnv] {
+            for base in [0u64, 3, 99, u64::MAX] {
+                assert_eq!(rule.derive(base), rule.derive_round(base, 0));
+            }
+        }
+        // The legacy rule has no round dimension.
+        assert_eq!(
+            StreamDerivation::XorGolden32.derive_round(5, 0),
+            StreamDerivation::XorGolden32.derive_round(5, 9),
+        );
     }
 }

@@ -10,6 +10,8 @@
 //! fedopt run  --fig 2 [--paper] [--seeds N] [--threads N] [--json]
 //! fedopt run  --spec experiment.json [--json]   # run any serialized spec ("-" = stdin)
 //! fedopt spec --fig 2 | fedopt run --spec -     # specs are data: pipe them
+//! fedopt sim  --preset rounds-quick [--json]    # round-structured FL simulation
+//! fedopt spec --preset rounds-quick             # print a sim preset's spec
 //! ```
 //!
 //! `run` prints each report as an aligned table plus CSV (the historical format), or —
@@ -70,13 +72,17 @@ pub const USAGE: &str = "\
 fedopt — declarative sweep runner for the ICDCS 2022 reproduction
 
 USAGE:
-  fedopt list                        list the figure presets
-  fedopt spec --fig N [--paper] [--seeds N] [--threads N]
-                                     print a figure preset as a JSON ExperimentSpec
+  fedopt list                        list the figure and sim presets
+  fedopt spec (--fig N [--paper] | --preset NAME) [--seeds N] [--threads N]
+                                     print a preset as a JSON ExperimentSpec
   fedopt run --fig N [--paper|--quick] [--seeds N] [--threads N] [--json]
                                      run a figure preset
   fedopt run --spec FILE [--seeds N] [--threads N] [--json]
                                      run a serialized spec (FILE of '-' reads stdin)
+  fedopt sim (--preset NAME | --spec FILE) [--seeds N] [--threads N] [--json]
+                                     run a round-structured FL simulation: per-round
+                                     channel redraws, stragglers, and policy columns
+                                     (re-solve | static | fedaecs | elastic)
   fedopt run ... --shards N [--cache-dir DIR] [--shard-timeout SECS]
                  [--shard-retries N] [--shard-backoff-ms MS] [--shard-heartbeat SECS]
                  [--shard-heartbeat-interval-ms MS] [--allow-partial]
@@ -103,6 +109,7 @@ USAGE:
 
 OPTIONS:
   --fig N            figure number (2..=8)
+  --preset NAME      round-simulation preset (rounds-quick | rounds-paper)
   --paper            full-scale paper preset (50 devices, 100 draws/point, warm start on)
   --quick            small CI preset (the default)
   --seeds N          override the draws per point with seeds 0..N
@@ -200,6 +207,16 @@ pub enum SpecSource {
     File(String),
 }
 
+/// Where a `sim` gets its spec: a named round-simulation preset or a spec file with a
+/// `rounds` section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimSource {
+    /// A named round-simulation preset ([`presets::SIM_PRESETS`]).
+    Preset(String),
+    /// A serialized spec file (`"-"` = stdin); must carry a `rounds` section.
+    File(String),
+}
+
 /// The `--seeds` / `--threads` overrides shared by `run` and `spec`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Overrides {
@@ -286,12 +303,23 @@ pub enum Command {
     },
     /// `fedopt spec …`
     Spec {
-        /// The figure number.
-        fig: u8,
-        /// Paper scale instead of quick.
+        /// The figure number (`--fig N`); exactly one of `fig`/`preset` is set.
+        fig: Option<u8>,
+        /// A round-simulation preset name (`--preset NAME`).
+        preset: Option<String>,
+        /// Paper scale instead of quick (figure presets only).
         paper: bool,
         /// Baked into the printed spec.
         overrides: Overrides,
+    },
+    /// `fedopt sim …` — the round-structured FL simulation.
+    Sim {
+        /// The sim spec to run.
+        source: SimSource,
+        /// Seed/thread overrides.
+        overrides: Overrides,
+        /// Emit the JSON document instead of the table rendering.
+        json: bool,
     },
     /// `fedopt serve …` — the long-lived, crash-isolated allocation service.
     Serve {
@@ -435,12 +463,47 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             Ok(Command::List)
         }
         "spec" => {
-            let fig = take_fig(&mut rest)?
-                .ok_or_else(|| CliError::usage("`fedopt spec` requires --fig N"))?;
-            let (paper, _) = take_variant(&mut rest)?;
+            let fig = take_fig(&mut rest)?;
+            let preset = take_value(&mut rest, "--preset")?;
+            let (paper, variant_given) = take_variant(&mut rest)?;
             let overrides = take_overrides(&mut rest)?;
             reject_leftovers(&rest)?;
-            Ok(Command::Spec { fig, paper, overrides })
+            match (&fig, &preset) {
+                (None, None) => {
+                    return Err(CliError::usage("`fedopt spec` requires --fig N or --preset NAME"));
+                }
+                (Some(_), Some(_)) => {
+                    return Err(CliError::usage("--fig and --preset are mutually exclusive"));
+                }
+                (None, Some(_)) if variant_given => {
+                    return Err(CliError::usage(
+                        "--paper/--quick scale figure presets; they cannot modify \
+                         --preset NAME",
+                    ));
+                }
+                _ => {}
+            }
+            Ok(Command::Spec { fig, preset, paper, overrides })
+        }
+        "sim" => {
+            let preset = take_value(&mut rest, "--preset")?;
+            let file = take_value(&mut rest, "--spec")?;
+            let overrides = take_overrides(&mut rest)?;
+            let json = take_switch(&mut rest, "--json");
+            reject_leftovers(&rest)?;
+            let source = match (preset, file) {
+                (Some(name), None) => SimSource::Preset(name),
+                (None, Some(path)) => SimSource::File(path),
+                (Some(_), Some(_)) => {
+                    return Err(CliError::usage("--preset and --spec are mutually exclusive"));
+                }
+                (None, None) => {
+                    return Err(CliError::usage(
+                        "`fedopt sim` requires --preset NAME or --spec FILE",
+                    ));
+                }
+            };
+            Ok(Command::Sim { source, overrides, json })
         }
         "run" => {
             let source = take_source(&mut rest)?
@@ -611,6 +674,38 @@ fn preset(fig: u8, paper: bool) -> Result<ExperimentSpec, CliError> {
         .ok_or_else(|| CliError::usage(format!("no preset for figure {fig}")))
 }
 
+/// Resolves a round-simulation preset name. The unknown-name error deliberately names
+/// *both* preset families — a user who guessed the wrong family lands on their feet.
+fn sim_preset(name: &str) -> Result<ExperimentSpec, CliError> {
+    presets::sim(name).ok_or_else(|| {
+        CliError::usage(format!(
+            "unknown preset {name:?} — sim presets are {}; figure presets are \
+             fig{}..=fig{} (selected with --fig N)",
+            presets::SIM_PRESETS.join(" | "),
+            presets::FIGURES[0],
+            presets::FIGURES[presets::FIGURES.len() - 1],
+        ))
+    })
+}
+
+/// Loads a `fedopt sim` spec and checks it actually has a `rounds` section — a sweep
+/// spec fed to the wrong verb gets a pointer back to `fedopt run`, not a generic
+/// validation error.
+fn load_sim_spec(source: &SimSource) -> Result<ExperimentSpec, CliError> {
+    let spec = match source {
+        SimSource::Preset(name) => sim_preset(name)?,
+        SimSource::File(path) => load_spec(&SpecSource::File(path.clone()))?,
+    };
+    if spec.rounds.is_none() {
+        return Err(CliError::runtime(format!(
+            "spec {:?} has no `rounds` section — `fedopt sim` runs round simulations; \
+             sweep specs run with `fedopt run --spec …`",
+            spec.id
+        )));
+    }
+    Ok(spec)
+}
+
 fn load_spec(source: &SpecSource) -> Result<ExperimentSpec, CliError> {
     match source {
         SpecSource::Fig { fig, paper } => preset(*fig, *paper),
@@ -634,7 +729,16 @@ pub fn render_list() -> String {
         let summary = presets::summary(fig).expect("every listed figure has a summary");
         out.push_str(&format!("fig{fig}    quick | paper   {summary}\n"));
     }
-    out.push_str("\nrun one with `fedopt run --fig N [--paper]`; print its spec with `fedopt spec --fig N`.\n");
+    out.push_str("\nsim preset      what it shows\n");
+    for name in presets::SIM_PRESETS {
+        let summary = presets::sim_summary(name).expect("every listed sim preset has a summary");
+        out.push_str(&format!("{name:<15} {summary}\n"));
+    }
+    out.push_str(
+        "\nrun a figure with `fedopt run --fig N [--paper]`; run a round simulation with \
+         `fedopt sim --preset NAME`; print either spec with `fedopt spec --fig N` / \
+         `fedopt spec --preset NAME`.\n",
+    );
     out
 }
 
@@ -746,10 +850,31 @@ pub fn main_with(args: &[String]) -> Result<String, CliError> {
     match parse(args)? {
         Command::Help => Ok(format!("{USAGE}\n")),
         Command::List => Ok(render_list()),
-        Command::Spec { fig, paper, overrides } => {
-            let mut spec = preset(fig, paper)?;
+        Command::Spec { fig, preset: sim_name, paper, overrides } => {
+            let mut spec = match (fig, sim_name) {
+                (Some(fig), None) => preset(fig, paper)?,
+                (None, Some(name)) => sim_preset(&name)?,
+                _ => unreachable!("parse enforces exactly one of --fig/--preset"),
+            };
             overrides.apply(&mut spec);
             Ok(spec.to_json_string())
+        }
+        Command::Sim { source, overrides, json } => {
+            let mut spec = load_sim_spec(&source)?;
+            overrides.apply(&mut spec);
+            let engine = spec.engine.to_engine();
+            let rounds = spec.rounds.as_ref().expect("load_sim_spec checked for rounds");
+            eprintln!(
+                "simulating {} ({} rounds x {} policies x {} seeds, {} threads, warm start {})...",
+                spec.id,
+                rounds.rounds,
+                rounds.policies.len(),
+                spec.seeds.len(),
+                engine.threads(),
+                if engine.warm_starts() { "on" } else { "off" },
+            );
+            let run = crate::rounds::simulate_with_engine(&spec, &engine)?;
+            Ok(if json { run.to_json_string() } else { run.to_table_string() })
         }
         Command::Run { source, overrides, json, fleet } => {
             let mut spec = load_spec(&source)?;
@@ -1122,7 +1247,37 @@ mod tests {
         assert_eq!(parse(&argv("list")).unwrap(), Command::List);
         assert_eq!(
             parse(&argv("spec --fig 2")).unwrap(),
-            Command::Spec { fig: 2, paper: false, overrides: Overrides::default() }
+            Command::Spec {
+                fig: Some(2),
+                preset: None,
+                paper: false,
+                overrides: Overrides::default()
+            }
+        );
+        assert_eq!(
+            parse(&argv("spec --preset rounds-quick --seeds 2")).unwrap(),
+            Command::Spec {
+                fig: None,
+                preset: Some("rounds-quick".to_string()),
+                paper: false,
+                overrides: Overrides { seeds: Some(2), threads: None },
+            }
+        );
+        assert_eq!(
+            parse(&argv("sim --preset rounds-quick --seeds 2 --threads 1 --json")).unwrap(),
+            Command::Sim {
+                source: SimSource::Preset("rounds-quick".to_string()),
+                overrides: Overrides { seeds: Some(2), threads: Some(1) },
+                json: true,
+            }
+        );
+        assert_eq!(
+            parse(&argv("sim --spec -")).unwrap(),
+            Command::Sim {
+                source: SimSource::File("-".to_string()),
+                overrides: Overrides::default(),
+                json: false,
+            }
         );
         assert_eq!(
             parse(&argv("run --fig 7 --paper --seeds 25 --threads 8 --json")).unwrap(),
@@ -1172,7 +1327,16 @@ mod tests {
             "run --fig 2 --threads two",
             "spec",
             "spec --fig 2 extra",
+            "spec --fig 2 --preset rounds-quick",
+            "spec --preset rounds-quick --paper",
             "list --fig 2",
+            // Sim combinations.
+            "sim",
+            "sim --preset rounds-quick --spec x.json",
+            "sim --fig 2",
+            "sim --preset rounds-quick --paper",
+            "sim --preset rounds-quick extra",
+            "sim --preset rounds-quick --seeds 0",
             // Fleet-flag combinations.
             "run --fig 2 --shards 0",
             "run --fig 2 --cache-dir /tmp/c",
@@ -1440,10 +1604,66 @@ mod tests {
     }
 
     #[test]
+    fn spec_preset_output_is_a_parseable_round_trip() {
+        let out = main_with(&argv("spec --preset rounds-quick --seeds 2"))
+            .expect("sim preset spec must print");
+        let parsed = ExperimentSpec::from_json_str(&out).expect("printed spec must parse");
+        let mut expected = presets::sim("rounds-quick").unwrap();
+        Overrides { seeds: Some(2), threads: None }.apply(&mut expected);
+        assert_eq!(parsed, expected);
+        assert!(parsed.rounds.is_some(), "sim preset specs carry a rounds section");
+    }
+
+    #[test]
+    fn unknown_preset_errors_name_both_preset_families() {
+        for line in ["spec --preset rounds-nope", "sim --preset rounds-nope"] {
+            let err = main_with(&argv(line)).unwrap_err();
+            assert!(err.usage, "{line:?} must be a usage error");
+            for needle in ["rounds-quick", "rounds-paper", "fig2", "fig8"] {
+                assert!(
+                    err.message.contains(needle),
+                    "{line:?}: error must name both preset families, missing {needle:?} \
+                     in {}",
+                    err.message
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sim_rejects_specs_without_a_rounds_section() {
+        let spec = preset(2, false).unwrap();
+        let dir = std::env::temp_dir().join(format!("fedopt-cli-sim-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.json");
+        std::fs::write(&path, spec.to_json_string()).unwrap();
+        let err = main_with(&argv(&format!("sim --spec {}", path.display()))).unwrap_err();
+        assert!(!err.usage, "a rounds-less spec is a runtime error, not a usage one");
+        assert!(err.message.contains("fedopt run"), "points back to the sweep verb: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sim_command_renders_both_output_modes() {
+        let json =
+            main_with(&argv("sim --preset rounds-quick --seeds 1 --threads 1 --json")).unwrap();
+        let doc = Json::parse(&json).expect("sim --json must be parseable JSON");
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("round_sim"));
+        assert_eq!(doc.get("seeds").and_then(Json::as_f64), Some(1.0));
+        let table = main_with(&argv("sim --preset rounds-quick --seeds 1 --threads 1")).unwrap();
+        for label in ["re-solve", "static", "fedaecs", "elastic"] {
+            assert!(table.contains(label), "table must show the {label} policy:\n{table}");
+        }
+    }
+
+    #[test]
     fn list_names_every_figure() {
         let out = render_list();
         for &fig in &presets::FIGURES {
             assert!(out.contains(&format!("fig{fig}")), "missing fig{fig} in {out}");
+        }
+        for name in presets::SIM_PRESETS {
+            assert!(out.contains(name), "missing sim preset {name} in {out}");
         }
     }
 

@@ -64,11 +64,13 @@ pub mod fig8;
 pub mod json;
 pub mod presets;
 pub mod report;
+pub mod rounds;
 pub mod serve;
 pub mod shard;
 pub mod spec;
 
 pub use engine::{Aggregate, SweepCounters, SweepEngine, SweepGrid, SweepResult};
 pub use report::FigureReport;
+pub use rounds::RoundSimRun;
 pub use shard::{FleetOptions, FleetStats, ShardCache, ShardError, ShardResult};
 pub use spec::{ExperimentSpec, SpecError, SpecRun};

@@ -22,8 +22,10 @@
 
 use crate::spec::{
     ArmKind, ArmSpec, AxisKind, AxisSpec, BenchmarkDraw, DeadlineSpec, ExperimentSpec, Metric,
-    ReportSpec, ScenarioSpec, SeedSpec, SolverSpec,
+    ReportSpec, RoundPolicy, RoundPolicySpec, RoundsReportSpec, RoundsSpec, ScenarioSpec, SeedSpec,
+    SimTrainingSpec, SolverSpec, StragglerSpec,
 };
+use baselines::StreamDerivation;
 use flsys::Weights;
 
 /// Which preset scale of a figure to build.
@@ -404,6 +406,123 @@ pub fn large_n(devices: usize) -> ExperimentSpec {
     spec
 }
 
+// ---------------------------------------------------------------------------
+// Round-simulation presets (`fedopt sim --preset <name>`)
+// ---------------------------------------------------------------------------
+
+/// The named round-simulation presets, in listing order.
+pub const SIM_PRESETS: [&str; 2] = ["rounds-quick", "rounds-paper"];
+
+/// One-line summaries, parallel to [`SIM_PRESETS`] (what `fedopt list` prints).
+pub fn sim_summary(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "rounds-quick" => {
+            "12-round fading/straggler simulation, 8 devices, 3 seeds: re-solve vs static \
+             vs FedAECS vs ELASTIC"
+        }
+        "rounds-paper" => {
+            "40-round fading/straggler simulation, 10 devices, 10 seeds: re-solve vs \
+             static vs FedAECS vs ELASTIC"
+        }
+        _ => return None,
+    })
+}
+
+/// The spec of one round-simulation preset, or `None` for an unknown name.
+pub fn sim(name: &str) -> Option<ExperimentSpec> {
+    Some(match name {
+        "rounds-quick" => rounds_quick(),
+        "rounds-paper" => rounds_paper(),
+        _ => return None,
+    })
+}
+
+/// The four-policy column set every sim preset compares. The solver arms run
+/// energy-only weights (the paper's Figs. 7–8 setting): with `w1 = 1` the per-round
+/// re-solve is energy-optimal for each redrawn channel, so it beats replaying the round-0
+/// allocation on cumulative energy by construction — the gap the sim measures is pure
+/// re-optimization gain.
+fn sim_policies() -> Vec<RoundPolicySpec> {
+    vec![
+        RoundPolicySpec::new(RoundPolicy::ReSolve { weights: Weights::energy_only() })
+            .labeled("re-solve"),
+        RoundPolicySpec::new(RoundPolicy::Static { weights: Weights::energy_only() })
+            .labeled("static"),
+        // ε_n = ln(1 + 0.05·60) ≈ 1.39 per device; Γ ≥ 1.8 needs about four of them.
+        RoundPolicySpec::new(RoundPolicy::FedAecs { epsilon: 1.8, mu: 0.05, t_max_s: None })
+            .labeled("fedaecs"),
+        // n_i = α·(E_i + 1) − 1 ≤ 0 ⟺ E_i ≤ (1 − α)/α ≈ 0.031 J: admits the cheap half
+        // of the fleet under the sequential-upload energy model.
+        RoundPolicySpec::new(RoundPolicy::Elastic { alpha: 0.97 }).labeled("elastic"),
+    ]
+}
+
+/// Quick round-simulation preset: 8 devices, 12 rounds, 3 seeds, 6 dB per-round refades,
+/// mild stragglers, the fast solver.
+///
+/// The scenario's `R_g` is pinned to the simulated horizon so the solver's objective
+/// (which scales energy by `R_g`) prices exactly the rounds being simulated.
+pub fn rounds_quick() -> ExperimentSpec {
+    let mut spec = ExperimentSpec::new(
+        "rounds-quick",
+        AxisSpec { kind: AxisKind::Devices, values: vec![8.0] },
+    );
+    spec.description = "rounds-quick (sim preset): 12 global rounds over an 8-device \
+                        scenario with 6 dB per-round refades and stragglers — the paper's \
+                        re-solved optimizer vs a static allocation vs FedAECS/ELASTIC \
+                        selection"
+        .to_string();
+    spec.solver = SolverSpec::fast();
+    spec.scenario.global_rounds = Some(12);
+    spec.seeds = SeedSpec::list(vec![11, 12, 13]);
+    spec.rounds = Some(RoundsSpec {
+        rounds: 12,
+        refade_db: 6.0,
+        channel_stream: StreamDerivation::RoundChannelFnv,
+        straggler: StragglerSpec { dropout: 0.08, slow: 0.15, slow_factor: 2.0 },
+        training: SimTrainingSpec::default(),
+        policies: sim_policies(),
+        report: RoundsReportSpec {
+            id: "rounds-quick".to_string(),
+            title: "Round trajectory under per-round fading and stragglers (quick)".to_string(),
+        },
+    });
+    spec
+}
+
+/// Full-scale round-simulation preset: 10 devices, 40 rounds, 10 seeds, heavier
+/// stragglers, the default solver, warm-start continuation pinned on (the per-round
+/// re-solve is exactly the repeated slowly-moving problem the continuation was built
+/// for).
+pub fn rounds_paper() -> ExperimentSpec {
+    let mut spec = ExperimentSpec::new(
+        "rounds-paper",
+        AxisSpec { kind: AxisKind::Devices, values: vec![10.0] },
+    );
+    spec.description = "rounds-paper (sim preset): 40 global rounds over a 10-device \
+                        scenario with 6 dB per-round refades and heavier stragglers — the \
+                        paper's re-solved optimizer vs a static allocation vs \
+                        FedAECS/ELASTIC selection"
+        .to_string();
+    spec.engine.warm_start = Some(true);
+    spec.scenario.global_rounds = Some(40);
+    spec.seeds = SeedSpec::count(10);
+    spec.rounds = Some(RoundsSpec {
+        rounds: 40,
+        refade_db: 6.0,
+        channel_stream: StreamDerivation::RoundChannelFnv,
+        straggler: StragglerSpec { dropout: 0.1, slow: 0.2, slow_factor: 2.5 },
+        training: SimTrainingSpec::default(),
+        policies: sim_policies(),
+        report: RoundsReportSpec {
+            id: "rounds-paper".to_string(),
+            title: "Round trajectory under per-round fading and stragglers (full scale)"
+                .to_string(),
+        },
+    });
+    spec
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -458,6 +577,25 @@ mod tests {
         assert_eq!(fig5.arms[1].label.as_deref(), Some("N = 50"));
         let fig8 = spec(8, Variant::Paper).unwrap();
         assert_eq!(fig8.arms.len(), 6, "a (scheme1, proposed) pair per deadline");
+    }
+
+    #[test]
+    fn sim_presets_validate_and_round_trip() {
+        for name in SIM_PRESETS {
+            assert!(sim_summary(name).is_some(), "{name} needs a summary");
+            let spec = sim(name).unwrap();
+            spec.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(spec.id, name);
+            let rounds = spec.rounds.as_ref().expect("sim presets carry a rounds section");
+            assert_eq!(rounds.policies.len(), 4);
+            assert_eq!(rounds.report.id, name);
+            assert!(spec.arms.is_empty(), "sim presets have no sweep arms");
+            // The rounds section survives the wire format losslessly.
+            let text = spec.to_json_string();
+            assert_eq!(ExperimentSpec::from_json_str(&text).unwrap(), spec);
+        }
+        assert!(sim("rounds-nope").is_none());
+        assert!(sim_summary("fig2").is_none());
     }
 
     #[test]

@@ -228,7 +228,7 @@ impl AxisKind {
     }
 
     /// Applies one axis value to a sweep point's scenario builder.
-    fn apply(self, builder: ScenarioBuilder, x: f64) -> ScenarioBuilder {
+    pub(crate) fn apply(self, builder: ScenarioBuilder, x: f64) -> ScenarioBuilder {
         match self {
             Self::PMaxDbm => builder.with_p_max_dbm(x),
             Self::FMaxGhz => builder.with_f_max_ghz(x),
@@ -1331,6 +1331,472 @@ impl ReportSpec {
 }
 
 // ---------------------------------------------------------------------------
+// Round simulation
+// ---------------------------------------------------------------------------
+
+/// Cap on the number of simulated global rounds per spec.
+pub const MAX_SIM_ROUNDS: u32 = 100_000;
+
+/// The closed set of per-round allocation/selection policies the round simulator
+/// compares — the round-by-round counterpart of [`ArmKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoundPolicy {
+    /// Re-runs Algorithm 2 on each round's redrawn channel (warm-started across rounds
+    /// when the engine's continuation is on). Every device that survives dropout
+    /// participates.
+    ReSolve {
+        /// The objective weights `(w1, w2)`.
+        weights: Weights,
+    },
+    /// Solves Algorithm 2 once on the base (round-0) channel and reuses that allocation
+    /// for every round — what a deployment that never re-optimizes pays under fading.
+    Static {
+        /// The objective weights `(w1, w2)`.
+        weights: Weights,
+    },
+    /// FedAECS-style accuracy-constrained selection: greedily admits the
+    /// cheapest-energy-per-accuracy devices (accuracy proxy `ε_n = ln(1 + μ·D_n)`)
+    /// until the round accuracy `Γ = ln(1 + Σ ε_n)` reaches `epsilon`, skipping devices
+    /// whose round time exceeds `t_max_s`. Runs on the equal-split allocation.
+    FedAecs {
+        /// Required round accuracy `ε₀` (on the `Γ` scale).
+        epsilon: f64,
+        /// Accuracy-proxy curvature `μ` in `ε_n = ln(1 + μ·D_n)`.
+        mu: f64,
+        /// Per-device round-time cap in seconds (`None` disables the cap).
+        t_max_s: Option<f64>,
+    },
+    /// ELASTIC-style (Yu et al.) joint selection with a **sequential-upload** wall-clock
+    /// model: each device uploads alone over the full bandwidth, waiting its
+    /// `t_wait` recurrence turn; a device is selected when its energy score
+    /// `α·(E_n + 1) − 1 ≤ 0` (smaller `alpha` admits more devices).
+    Elastic {
+        /// Energy/participation trade-off `α ∈ (0, 1]`.
+        alpha: f64,
+    },
+}
+
+impl RoundPolicy {
+    /// The stable wire name of this policy kind.
+    pub const fn name(&self) -> &'static str {
+        match self {
+            Self::ReSolve { .. } => "re_solve",
+            Self::Static { .. } => "static",
+            Self::FedAecs { .. } => "fedaecs",
+            Self::Elastic { .. } => "elastic",
+        }
+    }
+}
+
+/// One column of the round simulation: a policy plus an optional display label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundPolicySpec {
+    /// The policy.
+    pub policy: RoundPolicy,
+    /// Overrides the policy's generated column label.
+    pub label: Option<String>,
+}
+
+impl RoundPolicySpec {
+    /// A plain policy column (no label override).
+    pub fn new(policy: RoundPolicy) -> Self {
+        Self { policy, label: None }
+    }
+
+    /// This policy with a display label.
+    #[must_use]
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// The display label: the override, or the policy's wire name.
+    pub fn display_label(&self) -> &str {
+        self.label.as_deref().unwrap_or(self.policy.name())
+    }
+
+    pub(crate) fn validate(&self, path: &str) -> Result<(), SpecError> {
+        match &self.policy {
+            RoundPolicy::ReSolve { .. } | RoundPolicy::Static { .. } => {}
+            RoundPolicy::FedAecs { epsilon, mu, t_max_s } => {
+                for (name, v) in [("epsilon", *epsilon), ("mu", *mu)] {
+                    if !(v.is_finite() && v > 0.0) {
+                        return Err(SpecError::invalid(
+                            format!("{path}.{name}"),
+                            "must be a positive finite number",
+                        ));
+                    }
+                }
+                if let Some(t) = t_max_s {
+                    if !(t.is_finite() && *t > 0.0) {
+                        return Err(SpecError::invalid(
+                            format!("{path}.t_max_s"),
+                            "must be a positive finite number of seconds",
+                        ));
+                    }
+                }
+            }
+            RoundPolicy::Elastic { alpha } => {
+                if !(alpha.is_finite() && *alpha > 0.0 && *alpha <= 1.0) {
+                    return Err(SpecError::invalid(format!("{path}.alpha"), "must be in (0, 1]"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn to_json(&self) -> Json {
+        let mut members: Vec<(String, Json)> =
+            vec![("kind".to_string(), Json::Str(self.policy.name().to_string()))];
+        match &self.policy {
+            RoundPolicy::ReSolve { weights } | RoundPolicy::Static { weights } => {
+                members.push(("w1".to_string(), Json::Num(weights.energy())));
+                members.push(("w2".to_string(), Json::Num(weights.time())));
+            }
+            RoundPolicy::FedAecs { epsilon, mu, t_max_s } => {
+                members.push(("epsilon".to_string(), Json::Num(*epsilon)));
+                members.push(("mu".to_string(), Json::Num(*mu)));
+                if let Some(t) = t_max_s {
+                    members.push(("t_max_s".to_string(), Json::Num(*t)));
+                }
+            }
+            RoundPolicy::Elastic { alpha } => {
+                members.push(("alpha".to_string(), Json::Num(*alpha)));
+            }
+        }
+        if let Some(label) = &self.label {
+            members.push(("label".to_string(), Json::Str(label.clone())));
+        }
+        Json::Obj(members)
+    }
+
+    pub(crate) fn from_json(v: &Json, path: &str) -> Result<Self, SpecError> {
+        // Same per-kind strictness as `ArmSpec::from_json`: peek the discriminator, then
+        // check the full key set against exactly that kind's payload.
+        let kind_name = Obj::any(v, path)?.str("kind")?.to_string();
+        fn with<'x>(extra: &[&'x str]) -> Vec<&'x str> {
+            let mut allowed = vec!["kind", "label"];
+            allowed.extend_from_slice(extra);
+            allowed
+        }
+        let weights_of = |obj: &Obj<'_>| -> Result<Weights, SpecError> {
+            let (w1, w2) = (obj.f64("w1")?, obj.f64("w2")?);
+            Weights::new(w1, w2)
+                .map_err(|e| SpecError::invalid(path.to_string(), format!("invalid weights: {e}")))
+        };
+        let (policy, obj) = match kind_name.as_str() {
+            "re_solve" => {
+                let obj = Obj::new(v, path, &with(&["w1", "w2"]))?;
+                (RoundPolicy::ReSolve { weights: weights_of(&obj)? }, obj)
+            }
+            "static" => {
+                let obj = Obj::new(v, path, &with(&["w1", "w2"]))?;
+                (RoundPolicy::Static { weights: weights_of(&obj)? }, obj)
+            }
+            "fedaecs" => {
+                let obj = Obj::new(v, path, &with(&["epsilon", "mu", "t_max_s"]))?;
+                (
+                    RoundPolicy::FedAecs {
+                        epsilon: obj.f64("epsilon")?,
+                        mu: obj.f64("mu")?,
+                        t_max_s: obj.opt_f64("t_max_s")?,
+                    },
+                    obj,
+                )
+            }
+            "elastic" => {
+                let obj = Obj::new(v, path, &with(&["alpha"]))?;
+                (RoundPolicy::Elastic { alpha: obj.f64("alpha")? }, obj)
+            }
+            other => {
+                return Err(SpecError::invalid(
+                    format!("{path}.kind"),
+                    format!("unknown round policy kind {other:?}"),
+                ))
+            }
+        };
+        let spec = Self { policy, label: obj.opt_str("label")?.map(str::to_string) };
+        spec.validate(path)?;
+        Ok(spec)
+    }
+}
+
+/// The straggler model applied every round, per device, from the straggler stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StragglerSpec {
+    /// Probability a device misses the round entirely (no training, no cost).
+    pub dropout: f64,
+    /// Probability a participating device straggles (its computation slows down).
+    pub slow: f64,
+    /// Computation time/energy multiplier for a straggling device (`≥ 1`).
+    pub slow_factor: f64,
+}
+
+impl Default for StragglerSpec {
+    fn default() -> Self {
+        Self { dropout: 0.0, slow: 0.0, slow_factor: 1.0 }
+    }
+}
+
+impl StragglerSpec {
+    pub(crate) fn validate(&self, path: &str) -> Result<(), SpecError> {
+        for (name, v) in [("dropout", self.dropout), ("slow", self.slow)] {
+            if !(v.is_finite() && (0.0..1.0).contains(&v)) {
+                return Err(SpecError::invalid(
+                    format!("{path}.{name}"),
+                    "must be a probability in [0, 1)",
+                ));
+            }
+        }
+        if !(self.slow_factor.is_finite() && self.slow_factor >= 1.0) {
+            return Err(SpecError::invalid(
+                format!("{path}.slow_factor"),
+                "must be a finite multiplier of at least 1",
+            ));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn to_json(self) -> Json {
+        Json::obj([
+            ("dropout", Json::Num(self.dropout)),
+            ("slow", Json::Num(self.slow)),
+            ("slow_factor", Json::Num(self.slow_factor)),
+        ])
+    }
+
+    pub(crate) fn from_json(v: &Json, path: &str) -> Result<Self, SpecError> {
+        let obj = Obj::new(v, path, &["dropout", "slow", "slow_factor"])?;
+        let default = Self::default();
+        let spec = Self {
+            dropout: obj.opt_f64("dropout")?.unwrap_or(default.dropout),
+            slow: obj.opt_f64("slow")?.unwrap_or(default.slow),
+            slow_factor: obj.opt_f64("slow_factor")?.unwrap_or(default.slow_factor),
+        };
+        spec.validate(path)?;
+        Ok(spec)
+    }
+}
+
+/// The synthetic training task the round simulator learns on (see
+/// [`fedsim::SyntheticConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimTrainingSpec {
+    /// Synthetic samples per device.
+    pub samples_per_device: u64,
+    /// Local SGD learning rate.
+    pub learning_rate: f64,
+}
+
+impl Default for SimTrainingSpec {
+    fn default() -> Self {
+        Self { samples_per_device: 60, learning_rate: 0.5 }
+    }
+}
+
+impl SimTrainingSpec {
+    pub(crate) fn validate(&self, path: &str) -> Result<(), SpecError> {
+        if self.samples_per_device == 0 {
+            return Err(SpecError::invalid(
+                format!("{path}.samples_per_device"),
+                "must be at least 1",
+            ));
+        }
+        if self.samples_per_device > 1_000_000 {
+            return Err(SpecError::invalid(
+                format!("{path}.samples_per_device"),
+                "capped at 1000000 synthetic samples per device",
+            ));
+        }
+        if !(self.learning_rate.is_finite() && self.learning_rate > 0.0) {
+            return Err(SpecError::invalid(
+                format!("{path}.learning_rate"),
+                "must be a positive finite number",
+            ));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn to_json(self) -> Json {
+        Json::obj([
+            ("samples_per_device", Json::uint(self.samples_per_device)),
+            ("learning_rate", Json::Num(self.learning_rate)),
+        ])
+    }
+
+    pub(crate) fn from_json(v: &Json, path: &str) -> Result<Self, SpecError> {
+        let obj = Obj::new(v, path, &["samples_per_device", "learning_rate"])?;
+        let default = Self::default();
+        let spec = Self {
+            samples_per_device: obj
+                .opt_u64("samples_per_device")?
+                .unwrap_or(default.samples_per_device),
+            learning_rate: obj.opt_f64("learning_rate")?.unwrap_or(default.learning_rate),
+        };
+        spec.validate(path)?;
+        Ok(spec)
+    }
+}
+
+/// Identity of the rendered round-trajectory report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundsReportSpec {
+    /// Identifier, e.g. `"rounds-quick"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+}
+
+impl RoundsReportSpec {
+    pub(crate) fn validate(&self, path: &str) -> Result<(), SpecError> {
+        if self.id.is_empty() {
+            return Err(SpecError::invalid(format!("{path}.id"), "must not be empty"));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn to_json(&self) -> Json {
+        Json::obj([("id", Json::Str(self.id.clone())), ("title", Json::Str(self.title.clone()))])
+    }
+
+    pub(crate) fn from_json(v: &Json, path: &str) -> Result<Self, SpecError> {
+        let obj = Obj::new(v, path, &["id", "title"])?;
+        let spec = Self { id: obj.str("id")?.to_string(), title: obj.str("title")?.to_string() };
+        spec.validate(path)?;
+        Ok(spec)
+    }
+}
+
+/// The optional round-simulation section of a spec, run by `fedopt sim` (the
+/// `experiments::rounds` subsystem). When present, the spec's axis must hold exactly one
+/// value (the single scenario point simulated) and the sweep `arms` may be empty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundsSpec {
+    /// Number of simulated global rounds `T`.
+    pub rounds: u32,
+    /// Per-round log-normal block-fading standard deviation in dB (`0` freezes the
+    /// channel at its base realisation).
+    pub refade_db: f64,
+    /// The named derivation of per-round channel/straggler stream seeds. Pinned in the
+    /// wire format; must be a round-indexed rule
+    /// ([`StreamDerivation::RoundChannelFnv`]).
+    pub channel_stream: StreamDerivation,
+    /// The straggler/dropout model.
+    pub straggler: StragglerSpec,
+    /// The synthetic training task.
+    pub training: SimTrainingSpec,
+    /// The policies compared, in column order.
+    pub policies: Vec<RoundPolicySpec>,
+    /// Identity of the rendered trajectory report.
+    pub report: RoundsReportSpec,
+}
+
+impl RoundsSpec {
+    pub(crate) fn validate(&self, path: &str) -> Result<(), SpecError> {
+        if self.rounds == 0 {
+            return Err(SpecError::invalid(format!("{path}.rounds"), "must be at least 1"));
+        }
+        if self.rounds > MAX_SIM_ROUNDS {
+            return Err(SpecError::invalid(
+                format!("{path}.rounds"),
+                format!("capped at {MAX_SIM_ROUNDS} simulated rounds"),
+            ));
+        }
+        if !(self.refade_db.is_finite() && self.refade_db >= 0.0) {
+            return Err(SpecError::invalid(
+                format!("{path}.refade_db"),
+                "must be finite and non-negative",
+            ));
+        }
+        if self.channel_stream.derive_round(0, 0) == self.channel_stream.derive_round(0, 1) {
+            return Err(SpecError::invalid(
+                format!("{path}.channel_stream"),
+                format!(
+                    "must be a round-indexed stream derivation (e.g. {:?}); {:?} maps \
+                     every round to one stream",
+                    StreamDerivation::RoundChannelFnv.name(),
+                    self.channel_stream.name()
+                ),
+            ));
+        }
+        self.straggler.validate(&format!("{path}.straggler"))?;
+        self.training.validate(&format!("{path}.training"))?;
+        if self.policies.is_empty() {
+            return Err(SpecError::invalid(format!("{path}.policies"), "must not be empty"));
+        }
+        for (i, policy) in self.policies.iter().enumerate() {
+            policy.validate(&format!("{path}.policies[{i}]"))?;
+        }
+        self.report.validate(&format!("{path}.report"))?;
+        Ok(())
+    }
+
+    pub(crate) fn to_json(&self) -> Json {
+        Json::obj([
+            ("rounds", Json::uint(u64::from(self.rounds))),
+            ("refade_db", Json::Num(self.refade_db)),
+            ("channel_stream", Json::Str(self.channel_stream.name().to_string())),
+            ("straggler", self.straggler.to_json()),
+            ("training", self.training.to_json()),
+            ("policies", Json::Arr(self.policies.iter().map(RoundPolicySpec::to_json).collect())),
+            ("report", self.report.to_json()),
+        ])
+    }
+
+    pub(crate) fn from_json(v: &Json, path: &str) -> Result<Self, SpecError> {
+        let obj = Obj::new(
+            v,
+            path,
+            &[
+                "rounds",
+                "refade_db",
+                "channel_stream",
+                "straggler",
+                "training",
+                "policies",
+                "report",
+            ],
+        )?;
+        let channel_stream = match obj.opt_str("channel_stream")? {
+            None => StreamDerivation::RoundChannelFnv,
+            Some(name) => StreamDerivation::from_name(name).ok_or_else(|| {
+                SpecError::invalid(
+                    obj.path_of("channel_stream"),
+                    format!("unknown stream derivation {name:?}"),
+                )
+            })?,
+        };
+        let straggler = match obj.get("straggler") {
+            Some(s) => StragglerSpec::from_json(s, &obj.path_of("straggler"))?,
+            None => StragglerSpec::default(),
+        };
+        let training = match obj.get("training") {
+            Some(t) => SimTrainingSpec::from_json(t, &obj.path_of("training"))?,
+            None => SimTrainingSpec::default(),
+        };
+        let policies = obj
+            .array("policies")?
+            .iter()
+            .enumerate()
+            .map(|(i, p)| RoundPolicySpec::from_json(p, &format!("{path}.policies[{i}]")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let spec = Self {
+            rounds: obj.u64("rounds")?.try_into().map_err(|_| {
+                SpecError::invalid(obj.path_of("rounds"), "must fit in a 32-bit round count")
+            })?,
+            refade_db: obj.opt_f64("refade_db")?.unwrap_or(0.0),
+            channel_stream,
+            straggler,
+            training,
+            policies,
+            report: RoundsReportSpec::from_json(obj.req("report")?, &obj.path_of("report"))?,
+        };
+        spec.validate(path)?;
+        Ok(spec)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The spec
 // ---------------------------------------------------------------------------
 
@@ -1357,6 +1823,9 @@ pub struct ExperimentSpec {
     pub engine: EngineSpec,
     /// Reports rendered from the evaluated grid, in output order.
     pub reports: Vec<ReportSpec>,
+    /// Optional round-simulation section, run by `fedopt sim` instead of the sweep
+    /// engine. When present, `arms` may be empty and the axis must hold one value.
+    pub rounds: Option<RoundsSpec>,
 }
 
 /// The outcome of running a spec: the raw evaluated grid plus the rendered reports.
@@ -1383,6 +1852,7 @@ impl ExperimentSpec {
             solver: SolverSpec::default(),
             engine: EngineSpec::default(),
             reports: Vec::new(),
+            rounds: None,
         }
     }
 
@@ -1413,7 +1883,20 @@ impl ExperimentSpec {
             self.axis.kind.check(x, &format!("axis.values[{i}]"))?;
         }
         self.scenario.validate("scenario")?;
-        if self.arms.is_empty() {
+        if let Some(rounds) = &self.rounds {
+            rounds.validate("rounds")?;
+            if self.axis.values.len() != 1 {
+                return Err(SpecError::invalid(
+                    "axis.values",
+                    format!(
+                        "a round-simulation spec pins one scenario point, so the axis \
+                         must hold exactly one value (got {})",
+                        self.axis.values.len()
+                    ),
+                ));
+            }
+        }
+        if self.arms.is_empty() && self.rounds.is_none() {
             return Err(SpecError::invalid("arms", "must not be empty"));
         }
         for (i, arm) in self.arms.iter().enumerate() {
@@ -1450,6 +1933,12 @@ impl ExperimentSpec {
     /// [`SpecError::Invalid`] when validation fails.
     pub fn grid(&self) -> Result<SweepGrid, SpecError> {
         self.validate()?;
+        if self.arms.is_empty() {
+            return Err(SpecError::invalid(
+                "arms",
+                "this spec has no sweep arms; round-simulation specs run with `fedopt sim`",
+            ));
+        }
         let solver = self.solver.resolve();
         let template = self.scenario.apply(ScenarioBuilder::paper_default());
         let mut grid = SweepGrid::new(self.seeds.values());
@@ -1490,18 +1979,26 @@ impl ExperimentSpec {
 
     /// The spec as a JSON value (deterministic member order).
     pub fn to_json(&self) -> Json {
-        Json::obj([
-            ("schema_version", Json::uint(self.schema_version)),
-            ("id", Json::Str(self.id.clone())),
-            ("description", Json::Str(self.description.clone())),
-            ("axis", self.axis.to_json()),
-            ("scenario", self.scenario.to_json()),
-            ("arms", Json::Arr(self.arms.iter().map(ArmSpec::to_json).collect())),
-            ("seeds", self.seeds.to_json()),
-            ("solver", self.solver.to_json()),
-            ("engine", self.engine.to_json()),
-            ("reports", Json::Arr(self.reports.iter().map(ReportSpec::to_json).collect())),
-        ])
+        let mut members: Vec<(String, Json)> = vec![
+            ("schema_version".to_string(), Json::uint(self.schema_version)),
+            ("id".to_string(), Json::Str(self.id.clone())),
+            ("description".to_string(), Json::Str(self.description.clone())),
+            ("axis".to_string(), self.axis.to_json()),
+            ("scenario".to_string(), self.scenario.to_json()),
+            ("arms".to_string(), Json::Arr(self.arms.iter().map(ArmSpec::to_json).collect())),
+            ("seeds".to_string(), self.seeds.to_json()),
+            ("solver".to_string(), self.solver.to_json()),
+            ("engine".to_string(), self.engine.to_json()),
+            (
+                "reports".to_string(),
+                Json::Arr(self.reports.iter().map(ReportSpec::to_json).collect()),
+            ),
+        ];
+        // Appended last and omitted when unset, so sweep-only specs keep their bytes.
+        if let Some(rounds) = &self.rounds {
+            members.push(("rounds".to_string(), rounds.to_json()));
+        }
+        Json::Obj(members)
     }
 
     /// The canonical serialized form (pretty-printed, trailing newline) — byte-stable for
@@ -1531,6 +2028,7 @@ impl ExperimentSpec {
                 "solver",
                 "engine",
                 "reports",
+                "rounds",
             ],
         )?;
         let version = obj.u64("schema_version")?;
@@ -1563,6 +2061,10 @@ impl ExperimentSpec {
             solver: SolverSpec::from_json(obj.req("solver")?, "spec.solver")?,
             engine: EngineSpec::from_json(obj.req("engine")?, "spec.engine")?,
             reports,
+            rounds: match obj.get("rounds") {
+                Some(r) => Some(RoundsSpec::from_json(r, "spec.rounds")?),
+                None => None,
+            },
         };
         spec.validate()?;
         Ok(spec)

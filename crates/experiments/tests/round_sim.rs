@@ -1,0 +1,148 @@
+//! Integration pins of the round-structured FL simulator (`experiments::rounds`):
+//!
+//! * the PR's headline claim — on the `rounds-quick` preset, per-round re-solving
+//!   (`re_solve`) spends **less cumulative energy** than replaying the round-0 allocation
+//!   (`static`) under per-round fading — asserted, not just benchmarked;
+//! * bit-identical output across thread counts, for both warm and cold solver paths,
+//!   property-tested over seeds and refade depths;
+//! * a golden byte-pin of the `rounds-quick` JSON document on the cold single-thread
+//!   path (regenerate with `FEDOPT_BLESS=1 cargo test -p experiments --test round_sim`).
+
+use experiments::engine::SweepEngine;
+use experiments::presets;
+use experiments::rounds::simulate_with_engine;
+use experiments::spec::SeedPolicy;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+fn manifest_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn check_golden(actual: &str, path: &Path, regenerate_hint: &str) {
+    if std::env::var("FEDOPT_BLESS").is_ok() {
+        std::fs::write(path, actual).unwrap_or_else(|e| panic!("blessing {path:?}: {e}"));
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("missing golden file {path:?} ({e}); {regenerate_hint}"));
+    assert_eq!(actual, golden, "{path:?} is stale; {regenerate_hint}");
+}
+
+/// The acceptance claim of the round simulator: re-solving Algorithm 2 on each round's
+/// redrawn channel beats the static round-0 allocation on cumulative energy. Both
+/// policies see identical channel/straggler draws and identical (full) participation, so
+/// the entire gap is re-optimization.
+#[test]
+fn re_solve_beats_static_on_cumulative_energy() {
+    let spec = presets::sim("rounds-quick").expect("preset exists");
+    let run = simulate_with_engine(&spec, &SweepEngine::single_thread())
+        .expect("rounds-quick must simulate");
+    let energy = |kind: &str| {
+        run.policies
+            .iter()
+            .find(|p| p.kind == kind)
+            .unwrap_or_else(|| panic!("missing policy {kind}"))
+            .totals
+            .total_energy_j
+    };
+    let (re_solve, static_) = (energy("re_solve"), energy("static"));
+    assert!(
+        re_solve < static_,
+        "per-round re-solving must beat the static allocation on cumulative energy \
+         (re_solve {re_solve} J vs static {static_} J)"
+    );
+    // Cumulative columns must be monotone for every policy.
+    for p in &run.policies {
+        for pair in p.trajectory.windows(2) {
+            assert!(
+                pair[1].cumulative_energy_j >= pair[0].cumulative_energy_j,
+                "{}: cumulative energy regressed at round {}",
+                p.label,
+                pair[1].round
+            );
+            assert!(
+                pair[1].cumulative_time_s >= pair[0].cumulative_time_s,
+                "{}: cumulative time regressed at round {}",
+                p.label,
+                pair[1].round
+            );
+        }
+    }
+}
+
+/// Selection policies must actually shed participants under the preset's straggler and
+/// selection settings — otherwise the scheme arms degenerate into full participation and
+/// compare nothing.
+#[test]
+fn selection_policies_shed_participants() {
+    let spec = presets::sim("rounds-quick").expect("preset exists");
+    let run = simulate_with_engine(&spec, &SweepEngine::single_thread())
+        .expect("rounds-quick must simulate");
+    let rate = |kind: &str| {
+        run.policies.iter().find(|p| p.kind == kind).unwrap().totals.participation_rate
+    };
+    // Dropout alone keeps full-participation policies just under 1.
+    assert!(rate("re_solve") > 0.8 && rate("re_solve") < 1.0);
+    // FedAECS stops at the accuracy target; ELASTIC admits only cheap-energy devices.
+    assert!(rate("fedaecs") < rate("re_solve"), "FedAECS must select a strict subset");
+    assert!(rate("elastic") < rate("re_solve"), "ELASTIC must select a strict subset");
+    assert!(rate("elastic") > 0.0, "ELASTIC's fallback keeps at least one uploader alive");
+    // Training still converges to something useful for every policy.
+    for p in &run.policies {
+        assert!(
+            p.totals.final_accuracy > 0.6,
+            "{}: final accuracy {} too low",
+            p.label,
+            p.totals.final_accuracy
+        );
+    }
+}
+
+/// The golden byte-pin the CI `sim-smoke` job diffs: `fedopt sim --preset rounds-quick
+/// --json` on the cold single-thread path. The engine is pinned explicitly so the pin
+/// holds under every CI matrix entry; output is thread-count independent, so the CLI
+/// reproduces it at any `--threads`.
+#[test]
+fn rounds_quick_json_document_matches_golden() {
+    let spec = presets::sim("rounds-quick").expect("preset exists");
+    let engine = SweepEngine::single_thread().with_warm_start(false);
+    let run = simulate_with_engine(&spec, &engine).expect("rounds-quick must simulate");
+    check_golden(
+        &run.to_json_string(),
+        &manifest_dir().join("tests/golden/rounds_quick.json"),
+        "regenerate with FEDOPT_BLESS=1 cargo test -p experiments --test round_sim",
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Bit-identical trajectories across 1 vs 4 threads, on both the warm and cold solver
+    /// paths, over random seed ranges and refade depths. (Warm and cold legitimately
+    /// differ from each other within solver tolerances; each must be thread-count
+    /// independent on its own.)
+    #[test]
+    fn simulation_is_bit_identical_across_thread_counts(
+        start in 0u64..1000,
+        refade_db in 0.0f64..10.0,
+        warm_bit in 0u8..2,
+    ) {
+        let warm = warm_bit == 1;
+        let mut spec = presets::sim("rounds-quick").expect("preset exists");
+        spec.seeds.policy = SeedPolicy::Range { start, count: 3 };
+        let rounds = spec.rounds.as_mut().expect("sim preset");
+        rounds.refade_db = refade_db;
+        rounds.rounds = 4;
+        let one = simulate_with_engine(
+            &spec,
+            &SweepEngine::single_thread().with_warm_start(warm),
+        ).expect("1-thread simulation");
+        let four = simulate_with_engine(
+            &spec,
+            &SweepEngine::with_threads(4).with_warm_start(warm),
+        ).expect("4-thread simulation");
+        prop_assert_eq!(&one.to_json_string(), &four.to_json_string());
+        prop_assert_eq!(one, four);
+    }
+}

@@ -9,11 +9,10 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use wireless::shadowing::standard_normal;
 
 /// One device's local dataset.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DeviceDataset {
     /// Feature vectors, one per sample.
     pub features: Vec<Vec<f64>>,
@@ -34,7 +33,7 @@ impl DeviceDataset {
 }
 
 /// A dataset partitioned across the devices of an FL system.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct FederatedDataset {
     /// Per-device shards.
     pub devices: Vec<DeviceDataset>,
@@ -45,7 +44,7 @@ pub struct FederatedDataset {
 }
 
 /// Configuration of the synthetic dataset generator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SyntheticConfig {
     /// Number of devices to partition across.
     pub num_devices: usize,

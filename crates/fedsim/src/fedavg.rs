@@ -7,12 +7,11 @@
 //! cumulative joules/seconds for whichever allocation is being exercised.
 
 use crate::data::FederatedDataset;
-use crate::model::LogisticModel;
+use crate::rounds::RoundTrainer;
 use flsys::{Allocation, FlError, Scenario};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a FedAvg run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FedAvgConfig {
     /// Local SGD learning rate.
     pub learning_rate: f64,
@@ -27,7 +26,7 @@ impl Default for FedAvgConfig {
 }
 
 /// Per-round record of a FedAvg run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoundReport {
     /// Global round index (1-based).
     pub round: u32,
@@ -46,7 +45,7 @@ pub struct RoundReport {
 }
 
 /// Summary of a complete FedAvg run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainingReport {
     /// One record per global round, in order.
     pub rounds: Vec<RoundReport>,
@@ -93,45 +92,24 @@ impl FedAvgRunner {
         let round_energy_j = cost.total_energy_j / scenario.params.rg();
         let round_time_s = cost.round_time_s;
 
-        let sample_weights: Vec<f64> = dataset.devices.iter().map(|d| d.len() as f64).collect();
         let rounds = self.config.rounds_override.unwrap_or(scenario.params.global_rounds);
         let local_iterations = scenario.params.local_iterations;
 
-        let mut global = LogisticModel::zeros(dataset.dimension);
+        // Full participation every round: the rounds stepper with the all-devices subset.
+        let mut trainer = RoundTrainer::new(dataset, self.config.learning_rate, local_iterations);
+        let all_devices: Vec<usize> = (0..n).collect();
         let mut reports = Vec::with_capacity(rounds as usize);
         let mut cumulative_energy = 0.0;
         let mut cumulative_time = 0.0;
 
         for round in 1..=rounds {
-            // Local training on every device, starting from the broadcast global model.
-            let locals: Vec<LogisticModel> = dataset
-                .devices
-                .iter()
-                .map(|data| {
-                    let mut local = global.clone();
-                    local.train_local(data, self.config.learning_rate, local_iterations);
-                    local
-                })
-                .collect();
-            global = LogisticModel::weighted_average(&locals, &sample_weights)
-                .expect("locals and weights are non-empty and consistent");
-
-            // Weighted global loss F(w) = Σ (D_n / D)·l_n(w).
-            let total_samples: f64 = sample_weights.iter().sum();
-            let global_loss: f64 = dataset
-                .devices
-                .iter()
-                .zip(&sample_weights)
-                .map(|(d, &w)| w / total_samples * global.loss(d))
-                .sum();
-            let test_accuracy = global.accuracy(&dataset.test);
-
+            let step = trainer.step(&all_devices);
             cumulative_energy += round_energy_j;
             cumulative_time += round_time_s;
             reports.push(RoundReport {
                 round,
-                global_loss,
-                test_accuracy,
+                global_loss: step.global_loss,
+                test_accuracy: step.test_accuracy,
                 round_energy_j,
                 round_time_s,
                 cumulative_energy_j: cumulative_energy,

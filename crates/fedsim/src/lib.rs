@@ -14,6 +14,9 @@
 //! * [`fedavg`] — the federated averaging loop of the paper's Section III (weighted by
 //!   `D_n / D`), wired to an [`flsys::Scenario`] so every round is also costed in joules and
 //!   seconds through the same formulas the optimizer uses.
+//! * [`rounds`] — the partial-participation stepper underneath the round simulator: a
+//!   scheduling policy picks a participant subset each global round and [`RoundTrainer`]
+//!   trains and aggregates exactly those devices.
 //!
 //! ## Example
 //!
@@ -39,14 +42,17 @@
 pub mod data;
 pub mod fedavg;
 pub mod model;
+pub mod rounds;
 
 pub use data::{DeviceDataset, FederatedDataset, SyntheticConfig};
 pub use fedavg::{FedAvgConfig, FedAvgRunner, RoundReport, TrainingReport};
 pub use model::LogisticModel;
+pub use rounds::{RoundTrainer, TrainStep};
 
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::data::{FederatedDataset, SyntheticConfig};
     pub use crate::fedavg::{FedAvgConfig, FedAvgRunner};
     pub use crate::model::LogisticModel;
+    pub use crate::rounds::RoundTrainer;
 }

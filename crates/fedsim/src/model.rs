@@ -6,10 +6,9 @@
 //! local iteration).
 
 use crate::data::DeviceDataset;
-use serde::{Deserialize, Serialize};
 
 /// A logistic-regression model `σ(w·x + b)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LogisticModel {
     /// Feature weights.
     pub weights: Vec<f64>,

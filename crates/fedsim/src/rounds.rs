@@ -1,0 +1,178 @@
+//! Per-round federated training over **participant subsets**.
+//!
+//! [`crate::fedavg`] runs the paper's full-participation FedAvg loop: every device trains
+//! every round. The round simulator needs the generalization every piece of retrieved
+//! related work assumes — per round, a *policy* picks a participant subset (stragglers
+//! drop out, FedAECS selects an accuracy-feasible subset, ELASTIC selects for sequential
+//! upload), only those devices train, and the aggregate is weighted over the participants
+//! alone. [`RoundTrainer`] is that stepper: it owns the evolving global model and exposes
+//! one [`RoundTrainer::step`] per global round, leaving scheduling, channel redraws and
+//! cost accounting to the caller (the `experiments::rounds` subsystem).
+//!
+//! Every step is a pure fold over `(global model, participant set)` in device-index
+//! order — no interior randomness — so a trajectory is bit-identical for a given dataset
+//! and participant schedule regardless of thread count or replay history.
+
+use crate::data::FederatedDataset;
+use crate::model::LogisticModel;
+
+/// Loss/accuracy outcome of one training round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainStep {
+    /// Training loss of the (post-aggregation) global model, weighted `D_n / D` over
+    /// **all** devices — participation changes who trains, not whose loss counts.
+    pub global_loss: f64,
+    /// Accuracy of the global model on the held-out test set.
+    pub test_accuracy: f64,
+    /// Number of devices that trained this round.
+    pub participants: usize,
+}
+
+/// Steps a global logistic model through federated rounds with per-round participation.
+#[derive(Debug, Clone)]
+pub struct RoundTrainer<'a> {
+    dataset: &'a FederatedDataset,
+    global: LogisticModel,
+    learning_rate: f64,
+    local_iterations: u32,
+    sample_weights: Vec<f64>,
+    total_samples: f64,
+}
+
+impl<'a> RoundTrainer<'a> {
+    /// Creates a trainer starting from the all-zeros model, matching [`crate::fedavg`].
+    #[must_use]
+    pub fn new(dataset: &'a FederatedDataset, learning_rate: f64, local_iterations: u32) -> Self {
+        let sample_weights: Vec<f64> = dataset.devices.iter().map(|d| d.len() as f64).collect();
+        let total_samples: f64 = sample_weights.iter().sum();
+        Self {
+            dataset,
+            global: LogisticModel::zeros(dataset.dimension),
+            learning_rate,
+            local_iterations,
+            sample_weights,
+            total_samples,
+        }
+    }
+
+    /// The current global model.
+    #[must_use]
+    pub fn model(&self) -> &LogisticModel {
+        &self.global
+    }
+
+    /// The number of devices in the federation.
+    #[must_use]
+    pub fn devices(&self) -> usize {
+        self.dataset.devices.len()
+    }
+
+    /// Evaluates the current global model without training: `(global_loss, test_accuracy)`
+    /// with the same weighting as [`RoundTrainer::step`].
+    #[must_use]
+    pub fn evaluate(&self) -> (f64, f64) {
+        let global_loss: f64 = self
+            .dataset
+            .devices
+            .iter()
+            .zip(&self.sample_weights)
+            .map(|(d, &w)| w / self.total_samples * self.global.loss(d))
+            .sum();
+        (global_loss, self.global.accuracy(&self.dataset.test))
+    }
+
+    /// Runs one global round over `participants` (device indices, processed in the order
+    /// given — pass them sorted for a canonical trajectory).
+    ///
+    /// Each participant trains `local_iterations` SGD passes from the broadcast global
+    /// model; the new global model is the `D_n`-weighted average **over the participants**
+    /// (standard partial-participation FedAvg). An empty participant set leaves the model
+    /// unchanged — the round still evaluates, modelling a round lost to stragglers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a participant index is out of range.
+    pub fn step(&mut self, participants: &[usize]) -> TrainStep {
+        if !participants.is_empty() {
+            let mut locals = Vec::with_capacity(participants.len());
+            let mut weights = Vec::with_capacity(participants.len());
+            for &idx in participants {
+                let data = &self.dataset.devices[idx];
+                let mut local = self.global.clone();
+                local.train_local(data, self.learning_rate, self.local_iterations);
+                locals.push(local);
+                weights.push(self.sample_weights[idx]);
+            }
+            self.global = LogisticModel::weighted_average(&locals, &weights)
+                .expect("participants are non-empty with positive sample weights");
+        }
+        let (global_loss, test_accuracy) = self.evaluate();
+        TrainStep { global_loss, test_accuracy, participants: participants.len() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SyntheticConfig;
+
+    fn dataset() -> FederatedDataset {
+        FederatedDataset::synthetic(
+            &SyntheticConfig::default().with_devices(5).with_samples_per_device(80),
+            3,
+        )
+    }
+
+    #[test]
+    fn full_participation_matches_fedavg_loop() {
+        use crate::fedavg::{FedAvgConfig, FedAvgRunner};
+        use flsys::{Allocation, ScenarioBuilder};
+
+        let scenario = ScenarioBuilder::paper_default()
+            .with_devices(5)
+            .with_global_rounds(6)
+            .build(2)
+            .unwrap();
+        let data = dataset();
+        let allocation = Allocation::equal_split_max(&scenario);
+        let report =
+            FedAvgRunner::new(FedAvgConfig::default()).run(&scenario, &allocation, &data).unwrap();
+
+        let mut trainer = RoundTrainer::new(&data, 0.5, scenario.params.local_iterations);
+        let all: Vec<usize> = (0..5).collect();
+        for round in &report.rounds {
+            let step = trainer.step(&all);
+            assert_eq!(step.global_loss.to_bits(), round.global_loss.to_bits());
+            assert_eq!(step.test_accuracy.to_bits(), round.test_accuracy.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_round_leaves_the_model_unchanged() {
+        let data = dataset();
+        let mut trainer = RoundTrainer::new(&data, 0.5, 4);
+        trainer.step(&[0, 1, 2, 3, 4]);
+        let before = trainer.model().clone();
+        let step = trainer.step(&[]);
+        assert_eq!(step.participants, 0);
+        assert_eq!(trainer.model(), &before);
+        let (loss, acc) = trainer.evaluate();
+        assert_eq!(step.global_loss.to_bits(), loss.to_bits());
+        assert_eq!(step.test_accuracy.to_bits(), acc.to_bits());
+    }
+
+    #[test]
+    fn partial_participation_still_learns() {
+        let data = dataset();
+        let mut trainer = RoundTrainer::new(&data, 0.5, 4);
+        let (loss0, _) = trainer.evaluate();
+        for round in 0..12 {
+            // A rotating 3-of-5 subset.
+            let participants: Vec<usize> = (0..5).filter(|i| (i + round) % 5 < 3).collect();
+            trainer.step(&participants);
+        }
+        let (loss, acc) = trainer.evaluate();
+        assert!(loss < loss0, "loss {loss} should improve on {loss0}");
+        assert!(acc > 0.7, "accuracy {acc}");
+    }
+}
